@@ -1,0 +1,861 @@
+(* The experiment harness: regenerates every table of the evaluation
+   suite defined in DESIGN.md (E1..E8), plus Bechamel microbenchmarks of
+   the hot kernels.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- e1 e6   # selected experiments
+     dune exec bench/main.exe -- micro   # microbenchmarks only
+
+   Expected shapes (paper-style claims being reproduced) are printed
+   with each table; EXPERIMENTS.md records a reference run. *)
+
+let pf = Format.printf
+
+let header title =
+  pf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ms t = t *. 1e3
+
+(* ------------------------------------------------------------------ *)
+(* E1 — policy compilation: FDD vs naive baseline *)
+
+let allowlist_policy topo k =
+  (* allowlist ACL (naive-compatible: no negation) over source IPs,
+     composed with IP routing *)
+  let acl =
+    Netkat.Syntax.big_union
+      (List.init k (fun i ->
+         Netkat.Syntax.filter
+           (Netkat.Syntax.test Packet.Fields.Ip4_src
+              (Packet.Ipv4.of_host_id (i + 1)))))
+  in
+  Netkat.Syntax.seq acl (Netkat.Builder.ip_routing_policy topo)
+
+let denylist_policy topo k =
+  let entries =
+    List.init k (fun i ->
+      { Netkat.Builder.allow = false;
+        src_ip = Some (Packet.Ipv4.of_host_id (i + 1));
+        dst_ip = None; proto = None; dst_port = Some 22 })
+  in
+  Netkat.Builder.firewall ~default_allow:true topo entries
+
+let e1 () =
+  header "E1 — policy compilation: FDD compiler vs naive baseline";
+  pf "expected shape: naive ties on plain routing, blows up on ACL x routing,@.";
+  pf "and cannot compile denylists at all; the FDD stays linear and shadow-free.@.@.";
+  pf "%-12s %-16s | %8s %8s %8s | %10s %10s %9s@." "topology" "policy"
+    "fdd-rul" "fdd-nod" "fdd-ms" "naive-rul" "naive-shad" "naive-ms";
+  pf "%s@." (String.make 94 '-');
+  let row topo_name topo pol_name pol =
+    let switches = Topo.Topology.switch_ids topo in
+    Netkat.Fdd.clear_cache ();
+    let (fdd_rules, fdd_nodes), fdd_t =
+      wall (fun () ->
+        let d = Netkat.Fdd.of_policy pol in
+        let rules =
+          List.fold_left
+            (fun acc sw ->
+              acc + List.length (Netkat.Local.rules_of_fdd ~switch:sw d))
+            0 switches
+        in
+        (rules, Netkat.Fdd.node_count d))
+    in
+    let naive_cell =
+      match
+        wall (fun () ->
+          List.map (fun sw -> Netkat.Naive.compile ~switch:sw pol) switches)
+      with
+      | per_switch, t ->
+        let rules = List.fold_left (fun a l -> a + List.length l) 0 per_switch in
+        (* count dead (shadowed) rules the baseline installs *)
+        let shadowed =
+          List.fold_left
+            (fun acc rules ->
+              let tbl = Flow.Table.create () in
+              List.iter
+                (fun (r : Netkat.Local.rule) ->
+                  Flow.Table.add tbl
+                    (Flow.Table.make_rule ~priority:r.priority
+                       ~pattern:r.pattern ~actions:r.actions ()))
+                rules;
+              acc + List.length (Flow.Table.shadowed tbl))
+            0 per_switch
+        in
+        Printf.sprintf "%10d %10d %8.1f" rules shadowed (ms t)
+      | exception Netkat.Naive.Unsupported _ ->
+        Printf.sprintf "%10s %10s %8s" "--" "--" "--"
+    in
+    pf "%-12s %-16s | %8d %8d %8.1f | %s@." topo_name pol_name fdd_rules
+      fdd_nodes (ms fdd_t) naive_cell
+  in
+  let topos =
+    [ ("linear:4", Topo.Gen.linear ~switches:4 ~hosts_per_switch:2 ());
+      ("linear:8", Topo.Gen.linear ~switches:8 ~hosts_per_switch:2 ());
+      ("fattree:4", fst (Topo.Gen.fat_tree ~k:4 ())) ]
+  in
+  List.iter
+    (fun (name, topo) ->
+      row name topo "routing" (Netkat.Builder.routing_policy topo);
+      row name topo "acl8-allowlist" (allowlist_policy topo 8);
+      row name topo "fw8-denylist" (denylist_policy topo 8))
+    topos
+
+(* ------------------------------------------------------------------ *)
+(* E2 — flow-table lookup cost vs table size *)
+
+let e2 () =
+  header "E2 — flow-table lookup cost vs table size";
+  pf "expected shape: linear search cost grows with table size; hits near@.";
+  pf "the top are cheap, misses scan the whole table.@.@.";
+  let prng = Util.Prng.create 5 in
+  pf "%-10s | %12s %12s %12s@." "rules" "hit-hi(ns)" "hit-lo(ns)" "miss(ns)";
+  pf "%s@." (String.make 52 '-');
+  List.iter
+    (fun n ->
+      let table = Flow.Table.create () in
+      for i = 1 to n do
+        Flow.Table.add table
+          (Flow.Table.make_rule ~priority:(n - i)
+             ~pattern:
+               { Flow.Pattern.any with
+                 eth_dst = Some (Packet.Mac.of_host_id i) }
+             ~actions:(Flow.Action.forward 1) ())
+      done;
+      let probe dst =
+        Packet.Headers.tcp ~switch:1 ~in_port:1 ~src_host:1 ~dst_host:dst
+          ~tp_src:(Util.Prng.int prng 1000) ~tp_dst:80
+      in
+      let time_lookups mk =
+        let iters = 200_000 / (1 + (n / 100)) in
+        let hs = Array.init 64 (fun _ -> mk ()) in
+        let (), t =
+          wall (fun () ->
+            for i = 0 to iters - 1 do
+              ignore (Flow.Table.lookup table hs.(i land 63))
+            done)
+        in
+        t /. float_of_int iters *. 1e9
+      in
+      let hit_hi = time_lookups (fun () -> probe (1 + Util.Prng.int prng (max 1 (n / 10)))) in
+      let hit_lo = time_lookups (fun () -> probe (max 1 (n - Util.Prng.int prng (max 1 (n / 10))))) in
+      let miss = time_lookups (fun () -> probe (n + 1 + Util.Prng.int prng 1000)) in
+      pf "%-10d | %12.0f %12.0f %12.0f@." n hit_hi hit_lo miss)
+    [ 10; 100; 1000; 4000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3 — simulator throughput vs topology size *)
+
+let e3 () =
+  header "E3 — simulator packet throughput vs topology size";
+  pf "expected shape: events/sec roughly constant (heap-bound), so pkts/sec@.";
+  pf "falls with path length; larger topologies cost more per delivered packet.@.@.";
+  pf "%-12s %8s %8s | %10s %10s %12s %12s@." "topology" "switches" "hosts"
+    "delivered" "events" "events/s" "pkt-hops/s";
+  pf "%s@." (String.make 80 '-');
+  List.iter
+    (fun spec ->
+      let topo = Topo.Gen.of_spec spec in
+      let net = Zen.create topo in
+      ignore (Zen.install_policy net (Netkat.Builder.routing_policy topo));
+      let prng = Util.Prng.create 9 in
+      let _ =
+        Dataplane.Traffic.random_pairs (Zen.network net) ~prng ~flows:32
+          ~rate_pps:500.0 ~pkt_size:1000 ~stop:1.0
+      in
+      let events, t = wall (fun () -> Zen.run net) in
+      let stats = Dataplane.Network.stats (Zen.network net) in
+      pf "%-12s %8d %8d | %10d %10d %12.0f %12.0f@." spec
+        (Topo.Topology.switch_count topo)
+        (Topo.Topology.host_count topo)
+        stats.delivered events
+        (float_of_int events /. t)
+        (float_of_int stats.forwarded /. t))
+    [ "ring:4"; "ring:16"; "ring:64"; "fattree:4"; "grid:6x6" ]
+
+(* ------------------------------------------------------------------ *)
+(* E4 — reactive vs proactive control *)
+
+let e4 () =
+  header "E4 — reactive (learning) vs proactive (routing) control";
+  pf "expected shape: reactive pays control-channel latency on first packets@.";
+  pf "(~ms flow setup) and keeps punting; proactive pre-installs everything@.";
+  pf "and sees zero packet-ins, at the cost of pushing all rules up front.@.@.";
+  pf "%-10s | %12s %12s %10s %10s %10s %10s@." "mode" "first(us)"
+    "steady(us)" "pkt-ins" "ctl-msgs" "ctl-KB" "rules";
+  pf "%s@." (String.make 84 '-');
+  let run_mode name apps get_rules =
+    let topo = Topo.Gen.linear ~switches:4 ~hosts_per_switch:2 () in
+    let net = Zen.create topo in
+    let _rt = Zen.with_controller net (apps ()) in
+    Dataplane.Traffic.install_responders (Zen.network net) ;
+    (* 20 pings between far hosts; first is the cold path *)
+    let result =
+      Dataplane.Traffic.ping (Zen.network net) ~src:1 ~dst:8 ~count:20
+        ~interval:0.05
+    in
+    ignore (Zen.run ~until:(Zen.now net +. 3.0) net);
+    let rtts = List.rev_map snd !(result.rtts) in
+    let first = match rtts with r :: _ -> r | [] -> nan in
+    let steady =
+      match List.rev rtts with r :: _ -> r | [] -> nan
+    in
+    let stats = Dataplane.Network.stats (Zen.network net) in
+    let pkt_ins =
+      List.fold_left
+        (fun acc (sw : Dataplane.Network.switch) -> acc + sw.packet_ins)
+        0
+        (Dataplane.Network.switch_list (Zen.network net))
+    in
+    let rules =
+      List.fold_left
+        (fun acc (sw : Dataplane.Network.switch) ->
+          acc + Flow.Table.size sw.table)
+        0
+        (Dataplane.Network.switch_list (Zen.network net))
+    in
+    pf "%-10s | %12.0f %12.0f %10d %10d %10.1f %10d@." name (first *. 1e6)
+      (steady *. 1e6) pkt_ins stats.control_msgs
+      (float_of_int stats.control_bytes /. 1024.0)
+      (get_rules rules)
+  in
+  run_mode "reactive"
+    (fun () -> [ Controller.Learning.app (Controller.Learning.create ()) ])
+    (fun r -> r);
+  run_mode "proactive"
+    (fun () -> [ Controller.Routing.app (Controller.Routing.create ()) ])
+    (fun r -> r)
+
+(* ------------------------------------------------------------------ *)
+(* E5 — failover convergence *)
+
+let e5 () =
+  header "E5 — failover: loss and convergence after a link failure";
+  pf "expected shape: outage lasts about one control RTT + recompute; loss@.";
+  pf "scales with flow rate x outage; rule churn = full tables (no deltas).@.@.";
+  pf "%-12s %10s | %10s %12s %10s %10s@." "topology" "rate(pps)" "lost"
+    "outage(ms)" "churn" "reinstalls";
+  pf "%s@." (String.make 74 '-');
+  List.iter
+    (fun (spec, rate) ->
+      let topo = Topo.Gen.of_spec spec in
+      let net = Zen.create topo in
+      let routing = Controller.Routing.create () in
+      let _rt = Zen.with_controller net [ Controller.Routing.app routing ] in
+      (* a flow crossing the network; fail a link on its path at t=1 *)
+      let dst_host = Topo.Topology.host_count topo / 2 in
+      let arrivals = ref [] in
+      (Dataplane.Network.host (Zen.network net) dst_host).on_receive <-
+        Some (fun _ -> arrivals := Zen.now net :: !arrivals);
+      let sent =
+        Dataplane.Traffic.cbr (Zen.network net)
+          { (Dataplane.Traffic.default_flow ~src:1 ~dst:dst_host) with
+            rate_pps = rate; pkt_size = 500; stop = 3.0 }
+      in
+      (* the path's first inter-switch link *)
+      let path =
+        Option.get
+          (Topo.Path.shortest_path topo ~src:(Topo.Topology.Node.Host 1)
+             ~dst:(Topo.Topology.Node.Host dst_host))
+      in
+      let sw_hop =
+        List.find
+          (fun (h : Topo.Path.hop) ->
+            Topo.Topology.Node.is_switch h.node
+            && Topo.Topology.Node.is_switch h.next)
+          path
+      in
+      Dataplane.Sim.schedule (Dataplane.Network.sim (Zen.network net))
+        ~delay:1.0 (fun () ->
+          Dataplane.Network.fail_link (Zen.network net) sw_hop.node
+            sw_hop.out_port);
+      ignore (Zen.run ~until:4.0 net);
+      let received = List.length !arrivals in
+      (* outage = largest inter-arrival gap in a window around the
+         failure (in-flight packets keep arriving briefly after t=1.0) *)
+      let outage =
+        let sorted = List.sort compare !arrivals in
+        let rec max_gap best prev = function
+          | [] -> best
+          | t :: rest ->
+            let best =
+              if prev >= 0.95 && prev <= 1.5 then max best (t -. prev)
+              else best
+            in
+            max_gap best t rest
+        in
+        match sorted with [] -> nan | t0 :: rest -> max_gap 0.0 t0 rest
+      in
+      pf "%-12s %10.0f | %10d %12.2f %10d %10d@." spec rate (!sent - received)
+        (ms outage)
+        (Controller.Routing.last_churn routing)
+        (Controller.Routing.reinstalls routing - 1))
+    [ ("ring:6", 500.0); ("ring:6", 2000.0); ("fattree:4", 1000.0) ]
+
+(* ------------------------------------------------------------------ *)
+(* E6 — traffic engineering on the WAN *)
+
+let e6 () =
+  header "E6 — TE: carried traffic under load (B4-like WAN, gravity demands)";
+  pf "expected shape: all equal under light load; at/after saturation the@.";
+  pf "multipath schemes carry 15-40%% more than oblivious ECMP, and greedy@.";
+  pf "protects priority-0 demands (B4's property) at some fairness cost.@.@.";
+  let topo = Topo.Gen.b4 ~hosts_per_switch:0 () in
+  let prng = Util.Prng.create 4242 in
+  let base =
+    Te.Demand.gravity ~prng ~switches:(Topo.Topology.switch_ids topo)
+      ~total_rate:100e9 ~priorities:3 ()
+  in
+  pf "%-6s %9s | %9s %9s %9s | %7s %7s | %8s@." "load" "offered" "ecmp-G"
+    "maxmin-G" "greedy-G" "g/e" "jain-g" "p0-sat";
+  pf "%s@." (String.make 82 '-');
+  List.iter
+    (fun scale ->
+      let demands = Te.Demand.scale scale base in
+      let e = Te.Ecmp.solve topo demands in
+      let m = Te.Maxmin.solve topo demands in
+      let g = Te.Greedy_kpath.solve topo demands in
+      let p0 =
+        let xs =
+          List.filter_map
+            (fun (en : Te.Alloc.entry) ->
+              if en.demand.priority = 0 then Some (Te.Alloc.satisfaction en)
+              else None)
+            g.entries
+        in
+        Util.Stats.mean xs
+      in
+      pf "%-6.2f %8.1fG | %8.1fG %8.1fG %8.1fG | %6.2fx %7.2f | %8.2f@." scale
+        (Te.Demand.total demands /. 1e9)
+        (Te.Alloc.carried e /. 1e9)
+        (Te.Alloc.carried m /. 1e9)
+        (Te.Alloc.carried g /. 1e9)
+        (Te.Alloc.carried g /. Te.Alloc.carried e)
+        (Te.Alloc.fairness g) p0)
+    [ 0.25; 0.5; 1.0; 1.5; 2.0; 3.0; 4.0 ];
+  pf "@.same sweep on Abilene (11 nodes):@.";
+  let topo = Topo.Gen.abilene ~hosts_per_switch:0 () in
+  let prng = Util.Prng.create 11 in
+  let base =
+    Te.Demand.gravity ~prng ~switches:(Topo.Topology.switch_ids topo)
+      ~total_rate:100e9 ~priorities:3 ()
+  in
+  List.iter
+    (fun scale ->
+      let demands = Te.Demand.scale scale base in
+      let e = Te.Ecmp.solve topo demands in
+      let g = Te.Greedy_kpath.solve topo demands in
+      pf "  load %.2f: ecmp %.1fG, greedy %.1fG (%.2fx)@." scale
+        (Te.Alloc.carried e /. 1e9)
+        (Te.Alloc.carried g /. 1e9)
+        (Te.Alloc.carried g /. Te.Alloc.carried e))
+    [ 1.0; 2.0; 4.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — verification cost *)
+
+let e7 () =
+  header "E7 — header-space verification cost vs network size";
+  pf "expected shape: per-pair reachability is near-linear in path length x@.";
+  pf "rules; the full matrix scales with host pairs; loop checks walk the@.";
+  pf "entire header space from every host and dominate.@.@.";
+  pf "%-12s %7s %7s %7s | %12s %12s %10s@." "topology" "switch" "hosts"
+    "rules" "matrix(ms)" "loops(ms)" "explored";
+  pf "%s@." (String.make 78 '-');
+  List.iter
+    (fun spec ->
+      let topo = Topo.Gen.of_spec spec in
+      let net = Zen.create topo in
+      let rules = Zen.install_policy net (Netkat.Builder.routing_policy topo) in
+      let snap = Zen.snapshot net in
+      let matrix, mt = wall (fun () -> Verify.Reach.reachability_matrix snap) in
+      let _loops, lt = wall (fun () -> Verify.Reach.loop_free snap) in
+      let explored =
+        List.fold_left
+          (fun acc src ->
+            acc
+            + (Verify.Reach.walk snap ~src ~cube:Verify.Hsa.top ()).explored)
+          0 (Topo.Topology.host_ids topo)
+      in
+      pf "%-12s %7d %7d %7d | %12.1f %12.1f %10d@." spec
+        (Topo.Topology.switch_count topo)
+        (Topo.Topology.host_count topo)
+        rules (ms mt) (ms lt) explored;
+      ignore matrix)
+    [ "linear:8"; "fattree:2"; "fattree:4"; "waxman:16:3" ]
+
+(* ------------------------------------------------------------------ *)
+(* E8 — codec throughput *)
+
+let e8 () =
+  header "E8 — wire codec throughput (packets and control messages)";
+  pf "expected shape: encoding costs more than decoding (it allocates one@.";
+  pf "buffer per protocol layer); control messages reach millions of msg/s.@.@.";
+  let mac i = Packet.Mac.of_host_id i and ip i = Packet.Ipv4.of_host_id i in
+  let frames =
+    Array.init 256 (fun i ->
+      Packet.Frame.tcp_packet ~eth_src:(mac (i + 1)) ~eth_dst:(mac (i + 2))
+        ~ip_src:(ip (i + 1)) ~ip_dst:(ip (i + 2)) ~tp_src:i ~tp_dst:80
+        ~payload:(Bytes.make (64 + (i land 63)) 'x') ())
+  in
+  let encoded = Array.map Packet.Codec.encode frames in
+  let iters = 200_000 in
+  let (), enc_t =
+    wall (fun () ->
+      for i = 0 to iters - 1 do
+        ignore (Packet.Codec.encode frames.(i land 255))
+      done)
+  in
+  let (), dec_t =
+    wall (fun () ->
+      for i = 0 to iters - 1 do
+        ignore (Packet.Codec.decode encoded.(i land 255))
+      done)
+  in
+  let bytes =
+    Array.fold_left (fun a b -> a + Bytes.length b) 0 encoded * (iters / 256)
+  in
+  pf "%-22s | %12s %12s@." "codec" "ops/s" "MB/s";
+  pf "%s@." (String.make 50 '-');
+  let rate t = float_of_int iters /. t in
+  pf "%-22s | %12.0f %12.1f@." "frame encode" (rate enc_t)
+    (float_of_int bytes /. enc_t /. 1e6);
+  pf "%-22s | %12.0f %12.1f@." "frame decode" (rate dec_t)
+    (float_of_int bytes /. dec_t /. 1e6);
+  (* control messages *)
+  let fm =
+    Openflow.Message.Flow_mod
+      (Openflow.Message.add_flow ~priority:10
+         ~pattern:{ Flow.Pattern.any with eth_dst = Some (mac 1) }
+         ~actions:(Flow.Action.forward 2) ())
+  in
+  let fm_b = Openflow.Wire.encode ~xid:1 fm in
+  let (), ofe_t =
+    wall (fun () ->
+      for _ = 1 to iters do
+        ignore (Openflow.Wire.encode ~xid:1 fm)
+      done)
+  in
+  let (), ofd_t =
+    wall (fun () ->
+      for _ = 1 to iters do
+        ignore (Openflow.Wire.decode fm_b)
+      done)
+  in
+  pf "%-22s | %12.0f %12.1f@." "flow_mod encode" (rate ofe_t)
+    (float_of_int (Bytes.length fm_b * iters) /. ofe_t /. 1e6);
+  pf "%-22s | %12.0f %12.1f@." "flow_mod decode" (rate ofd_t)
+    (float_of_int (Bytes.length fm_b * iters) /. ofd_t /. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* E9 — consistent updates: naive vs two-phase *)
+
+(* the port of [sw] whose (possibly down) link leads to [nbr] *)
+let port_toward topo sw nbr =
+  Topo.Topology.ports topo (Topo.Topology.Node.Switch sw)
+  |> List.find (fun p ->
+    match Topo.Topology.link_via topo (Topo.Topology.Node.Switch sw) p with
+    | Some l -> l.dst = Topo.Topology.Node.Switch nbr
+    | None -> false)
+
+(* unicast policy along the current shortest path h_src -> h_dst *)
+let path_policy topo ~src ~dst =
+  let path =
+    Option.get
+      (Topo.Path.shortest_path topo ~src:(Topo.Topology.Node.Host src)
+         ~dst:(Topo.Topology.Node.Host dst))
+  in
+  Netkat.Syntax.big_union
+    (List.filter_map
+       (fun (h : Topo.Path.hop) ->
+         match h.node with
+         | Topo.Topology.Node.Host _ -> None
+         | Topo.Topology.Node.Switch sw ->
+           Some
+             (Netkat.Syntax.big_seq
+                [ Netkat.Syntax.at ~switch:sw;
+                  Netkat.Syntax.filter
+                    (Netkat.Syntax.conj
+                       (Netkat.Syntax.test Packet.Fields.Eth_src
+                          (Packet.Mac.of_host_id src))
+                       (Netkat.Syntax.test Packet.Fields.Eth_dst
+                          (Packet.Mac.of_host_id dst)));
+                  Netkat.Syntax.forward h.out_port ]))
+       path)
+
+let e9 () =
+  header "E9 — consistent updates: naive switch-by-switch vs two-phase";
+  pf "expected shape: rerouting a live flow by rewriting tables one switch@.";
+  pf "at a time drops packets while the network is a mix of old and new@.";
+  pf "policy; two-phase versioned update loses nothing but transiently@.";
+  pf "doubles table occupancy.@.@.";
+  (* ring:4 — h1 -> h3 has two disjoint 2-hop switch paths (via s2 / s4) *)
+  let make_policies topo =
+    let via_s4 = port_toward topo 1 4 in
+    Topo.Topology.fail_link topo (Topo.Topology.Node.Switch 1, via_s4);
+    let old_pol = path_policy topo ~src:1 ~dst:3 in
+    Topo.Topology.restore_link topo (Topo.Topology.Node.Switch 1, via_s4);
+    let via_s2 = port_toward topo 1 2 in
+    Topo.Topology.fail_link topo (Topo.Topology.Node.Switch 1, via_s2);
+    let new_pol = path_policy topo ~src:1 ~dst:3 in
+    Topo.Topology.restore_link topo (Topo.Topology.Node.Switch 1, via_s2);
+    (old_pol, new_pol)
+  in
+  pf "%-12s | %8s %8s %8s | %10s %10s@." "strategy" "sent" "lost"
+    "ttl-drop" "peak-rules" "flowmods";
+  pf "%s@." (String.make 66 '-');
+  let run name go =
+    let topo = Topo.Gen.ring ~switches:4 ~hosts_per_switch:1 () in
+    let old_pol, new_pol = make_policies topo in
+    let net = Zen.create topo in
+    let rt = Zen.with_controller net [] in
+    let ctx = Controller.Runtime.ctx rt in
+    let updater = Controller.Update.create ~drain:0.3 () in
+    go ctx updater old_pol new_pol;
+    ignore (Zen.run ~until:(Zen.now net +. 0.2) net);
+    let sent =
+      Dataplane.Traffic.cbr (Zen.network net)
+        { (Dataplane.Traffic.default_flow ~src:1 ~dst:3) with
+          rate_pps = 2000.0; pkt_size = 500; start = Zen.now net;
+          stop = Zen.now net +. 2.0 }
+    in
+    let update_at = Zen.now net +. 1.0 in
+    Dataplane.Sim.schedule
+      (Dataplane.Network.sim (Zen.network net))
+      ~delay:1.0
+      (fun () ->
+        match name with
+        | "naive" ->
+          Controller.Update.naive updater ctx
+            ~prng:(Util.Prng.create 99) ~max_jitter:0.05 new_pol
+        | _ -> Controller.Update.two_phase updater ctx new_pol);
+    ignore update_at;
+    ignore (Zen.run ~until:(Zen.now net +. 3.5) net);
+    let stats = Dataplane.Network.stats (Zen.network net) in
+    let received = (Dataplane.Network.host (Zen.network net) 3).received in
+    pf "%-12s | %8d %8d %8d | %10d %10d@." name !sent (!sent - received)
+      stats.dropped_ttl
+      (Controller.Update.peak_rules updater)
+      updater.Controller.Update.installs
+  in
+  run "naive" (fun ctx updater old_pol _new ->
+    Controller.Update.install_plain updater ctx old_pol);
+  run "two-phase" (fun ctx updater old_pol _new ->
+    Controller.Update.install updater ctx old_pol)
+
+(* ------------------------------------------------------------------ *)
+(* E10 — incremental (delta) routing updates *)
+
+let e10 () =
+  header "E10 — failover churn: full table re-push vs delta updates";
+  pf "expected shape: one link failure affects a few destinations; the@.";
+  pf "delta installer touches an order of magnitude fewer rules than a@.";
+  pf "full re-push, with identical resulting reachability.@.@.";
+  pf "%-14s | %10s %12s %12s | %12s@." "mode" "initial" "fail-churn"
+    "restore-churn" "reachable";
+  pf "%s@." (String.make 70 '-');
+  let results =
+    List.map
+      (fun (name, incremental) ->
+        let topo, info = Topo.Gen.fat_tree ~k:4 () in
+        let net = Zen.create topo in
+        let routing = Controller.Routing.create ~incremental () in
+        let _rt = Zen.with_controller net [ Controller.Routing.app routing ] in
+        let initial = Controller.Routing.last_churn routing in
+        let core = List.hd info.core in
+        Dataplane.Network.fail_link (Zen.network net)
+          (Topo.Topology.Node.Switch core) 1;
+        ignore (Zen.run ~until:(Zen.now net +. 0.5) net);
+        let fail_churn = Controller.Routing.last_churn routing in
+        Dataplane.Network.restore_link (Zen.network net)
+          (Topo.Topology.Node.Switch core) 1;
+        ignore (Zen.run ~until:(Zen.now net +. 0.5) net);
+        let restore_churn = Controller.Routing.last_churn routing in
+        let matrix = Verify.Reach.reachability_matrix (Zen.snapshot net) in
+        let reachable = List.length (List.filter snd matrix) in
+        pf "%-14s | %10d %12d %12d | %9d/%d@." name initial fail_churn
+          restore_churn reachable (List.length matrix);
+        (name, reachable))
+      [ ("full", false); ("incremental", true) ]
+  in
+  match results with
+  | [ (_, a); (_, b) ] ->
+    pf "@.post-convergence reachability identical: %b@." (a = b)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* E11 — flow-table minimization *)
+
+let e11 () =
+  header "E11 — flow-table minimization (dead + redundant rule removal)";
+  pf "expected shape: baseline-compiled tables shrink substantially (they@.";
+  pf "carry duplicated and shadowed rules); FDD-compiled tables are already@.";
+  pf "near-minimal; random tables shrink by whatever redundancy was drawn.@.@.";
+  pf "%-34s | %8s %8s %8s@." "table" "before" "after" "saved";
+  pf "%s@." (String.make 64 '-');
+  let to_opt (rules : Netkat.Local.rule list) =
+    List.map
+      (fun (r : Netkat.Local.rule) ->
+        { Flow.Optimize.priority = r.priority; pattern = r.pattern;
+          actions = r.actions })
+      rules
+  in
+  let row name rules =
+    let before = List.length rules in
+    let after = List.length (Flow.Optimize.minimize rules) in
+    pf "%-34s | %8d %8d %7.0f%%@." name before after
+      (100.0 *. float_of_int (before - after) /. float_of_int (max 1 before))
+  in
+  (* redundant unions through the naive compiler *)
+  let dup_policy =
+    Netkat.Syntax.big_union
+      (List.concat
+         (List.init 8 (fun _ ->
+            List.init 8 (fun i ->
+              Netkat.Syntax.seq
+                (Netkat.Syntax.filter
+                   (Netkat.Syntax.test Packet.Fields.Tp_dst (i + 1)))
+                (Netkat.Syntax.forward ((i mod 3) + 1))))))
+  in
+  row "naive: 8x-duplicated ACL" (to_opt (Netkat.Naive.compile ~switch:1 dup_policy));
+  let topo, _ = Topo.Gen.fat_tree ~k:4 () in
+  row "naive: acl8 x routing (s9)"
+    (to_opt (Netkat.Naive.compile ~switch:9 (allowlist_policy topo 8)));
+  row "fdd: routing fat-tree (s9)"
+    (to_opt (Netkat.Local.compile ~switch:9 (Netkat.Builder.routing_policy topo)));
+  row "fdd: fw8-denylist (s9)"
+    (to_opt (Netkat.Local.compile ~switch:9 (denylist_policy topo 8)));
+  (* random tables: mostly-exact rules over a few fields, few actions *)
+  let prng = Util.Prng.create 31 in
+  let random_rules n =
+    List.init n (fun i ->
+      let pattern =
+        match Util.Prng.int prng 4 with
+        | 0 -> Flow.Pattern.any
+        | 1 -> Flow.Pattern.of_field Packet.Fields.Tp_dst (Util.Prng.int prng 8)
+        | 2 -> Flow.Pattern.of_field Packet.Fields.In_port (Util.Prng.int prng 4)
+        | _ ->
+          (match
+             Flow.Pattern.conj
+               (Flow.Pattern.of_field Packet.Fields.Tp_dst (Util.Prng.int prng 8))
+               (Flow.Pattern.of_field Packet.Fields.In_port (Util.Prng.int prng 4))
+           with
+           | Some p -> p
+           | None -> Flow.Pattern.any)
+      in
+      { Flow.Optimize.priority = n - i; pattern;
+        actions = Flow.Action.forward (1 + Util.Prng.int prng 3) })
+  in
+  row "random: 500 rules, 3 actions" (random_rules 500)
+
+(* ------------------------------------------------------------------ *)
+(* E12 — TE allocations validated in the dataplane *)
+
+let e12 () =
+  header "E12 — analytic TE allocation vs packet-level simulation";
+  pf "expected shape: realizing an allocation as per-subflow forwarding@.";
+  pf "rules and replaying it at packet granularity reproduces the analytic@.";
+  pf "throughput within CBR quantization (a few percent).@.@.";
+  pf "%-10s | %10s %12s %12s %9s@." "scheme" "demands" "alloc(Mb/s)"
+    "meas(Mb/s)" "accuracy";
+  pf "%s@." (String.make 60 '-');
+  (* miniature-capacity B4 so packet simulation is tractable *)
+  let topo = Topo.Gen.b4 ~capacity:1e6 () in
+  let prng = Util.Prng.create 12 in
+  let demands =
+    Te.Demand.gravity ~prng ~switches:(Topo.Topology.switch_ids topo)
+      ~total_rate:8e6 ()
+  in
+  List.iter
+    (fun (name, alloc) ->
+      let m = Zen.Wan.validate ~subflows:4 ~pkt_size:250 ~duration:2.0 topo alloc in
+      let total_alloc =
+        List.fold_left (fun a (r : Zen.Wan.measurement) -> a +. r.allocated) 0.0 m
+      in
+      let total_meas =
+        List.fold_left (fun a (r : Zen.Wan.measurement) -> a +. r.measured) 0.0 m
+      in
+      pf "%-10s | %10d %12.2f %12.2f %9.2f@." name (List.length m)
+        (total_alloc /. 1e6) (total_meas /. 1e6) (Zen.Wan.accuracy m))
+    [ ("greedy", Te.Greedy_kpath.solve topo demands);
+      ("maxmin", Te.Maxmin.solve topo demands) ]
+
+(* ------------------------------------------------------------------ *)
+(* E13 — core-table state: destination routing vs label tunnels *)
+
+let e13 () =
+  header "E13 — core-table state: destination routing vs label-switched tunnels";
+  pf "expected shape: destination routing keeps one rule per host at every@.";
+  pf "switch, so core state grows with hosts; edge-to-edge tunnels keep one@.";
+  pf "rule per tunnel in the core — constant in host count (the MPLS/@.";
+  pf "segment-routing aggregation argument).@.@.";
+  pf "%-22s %8s | %14s %14s | %14s %14s@." "topology" "hosts"
+    "route-core" "route-edge" "tunnel-core" "tunnel-edge";
+  pf "%s@." (String.make 96 '-');
+  List.iter
+    (fun hosts_per_leaf ->
+      let leaves = 4 and spines = 2 in
+      let mk () = Topo.Gen.leaf_spine ~leaves ~spines ~hosts_per_leaf () in
+      (* routing *)
+      let net_r = Zen.create (mk ()) in
+      ignore
+        (Zen.install_policy net_r (Netkat.Builder.routing_policy (Zen.topology net_r)));
+      let table_size net sw =
+        Flow.Table.size (Dataplane.Network.switch (Zen.network net) sw).table
+      in
+      let route_core = table_size net_r 1 in
+      let route_edge = table_size net_r (spines + 1) in
+      (* tunnels *)
+      let net_t = Zen.create (mk ()) in
+      let tunnels = Controller.Tunnel.create () in
+      let _rt = Zen.with_controller net_t [ Controller.Tunnel.app tunnels ] in
+      let tunnel_core = table_size net_t 1 in
+      let tunnel_edge = table_size net_t (spines + 1) in
+      pf "%-22s %8d | %14d %14d | %14d %14d@."
+        (Printf.sprintf "leafspine:%d:%d" leaves spines)
+        (leaves * hosts_per_leaf) route_core route_edge tunnel_core
+        tunnel_edge)
+    [ 2; 8; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* E14 — reliable transport: goodput vs window vs queue depth *)
+
+let e14 () =
+  header "E14 — reliable transport (go-back-N) goodput vs window and queue";
+  pf "expected shape: goodput rises with window until the path is full@.";
+  pf "(bandwidth-delay product), then flattens; past the queue's capacity@.";
+  pf "larger windows add loss and retransmissions without adding goodput.@.@.";
+  pf "%-8s %-8s | %12s %10s %10s@." "queue" "window" "goodput(Mb/s)"
+    "retx" "q-drops";
+  pf "%s@." (String.make 56 '-');
+  List.iter
+    (fun queue_depth ->
+      List.iter
+        (fun window ->
+          let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+          let net = Dataplane.Network.create ~queue_depth topo in
+          let fdd = Netkat.Fdd.of_policy (Netkat.Builder.routing_policy topo) in
+          List.iter
+            (fun sw ->
+              let id = Topo.Topology.Node.id sw in
+              let table = (Dataplane.Network.switch net id).table in
+              List.iter
+                (fun (r : Netkat.Local.rule) ->
+                  Flow.Table.add table
+                    (Flow.Table.make_rule ~priority:r.priority
+                       ~pattern:r.pattern ~actions:r.actions ()))
+                (Netkat.Local.rules_of_fdd ~switch:id fdd))
+            (Topo.Topology.switches topo);
+          let c =
+            Dataplane.Transport.start net ~src:1 ~dst:2 ~total:2000 ~window
+              ~rto:0.005 ~max_retx:2000 ()
+          in
+          ignore (Dataplane.Network.run ~until:120.0 net ());
+          let s = Dataplane.Transport.stats c in
+          pf "%-8d %-8d | %12.1f %10d %10d@." queue_depth window
+            (Dataplane.Transport.goodput c /. 1e6)
+            s.retransmissions
+            (Dataplane.Network.stats net).dropped_queue)
+        [ 1; 4; 16; 64 ])
+    [ 8; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the hot kernels *)
+
+let micro () =
+  header "micro — Bechamel microbenchmarks (ns/run, OLS estimate)";
+  let open Bechamel in
+  let topo2 = fst (Topo.Gen.fat_tree ~k:2 ()) in
+  let routing2 = Netkat.Builder.routing_policy topo2 in
+  let table =
+    Netkat.Local.compile_table ~switch:6 routing2
+  in
+  let hdr =
+    Packet.Headers.tcp ~switch:6 ~in_port:1 ~src_host:1 ~dst_host:2 ~tp_src:9
+      ~tp_dst:80
+  in
+  let wan = Topo.Gen.b4 ~hosts_per_switch:0 () in
+  let frame =
+    Packet.Frame.tcp_packet ~eth_src:(Packet.Mac.of_host_id 1)
+      ~eth_dst:(Packet.Mac.of_host_id 2) ~ip_src:(Packet.Ipv4.of_host_id 1)
+      ~ip_dst:(Packet.Ipv4.of_host_id 2) ~tp_src:1 ~tp_dst:2
+      ~payload:(Bytes.make 512 'x') ()
+  in
+  let frame_bytes = Packet.Codec.encode frame in
+  let prng = Util.Prng.create 3 in
+  let tests =
+    [ Test.make ~name:"fdd-compile-fattree2"
+        (Staged.stage (fun () ->
+           Netkat.Fdd.clear_cache ();
+           ignore (Netkat.Fdd.of_policy routing2)));
+      Test.make ~name:"table-lookup-17rules"
+        (Staged.stage (fun () -> ignore (Flow.Table.lookup table hdr)));
+      Test.make ~name:"dijkstra-b4"
+        (Staged.stage (fun () ->
+           ignore
+             (Topo.Path.dijkstra wan
+                ~weight:(fun l -> l.Topo.Topology.delay)
+                ~src:(Topo.Topology.Node.Switch 1))));
+      Test.make ~name:"heap-push-pop-64"
+        (Staged.stage (fun () ->
+           let h = Util.Heap.create () in
+           for i = 1 to 64 do
+             Util.Heap.push h (Util.Prng.float prng 1.0) i
+           done;
+           while not (Util.Heap.is_empty h) do
+             ignore (Util.Heap.pop h)
+           done));
+      Test.make ~name:"frame-encode-566B"
+        (Staged.stage (fun () -> ignore (Packet.Codec.encode frame)));
+      Test.make ~name:"frame-decode-566B"
+        (Staged.stage (fun () -> ignore (Packet.Codec.decode frame_bytes))) ]
+  in
+  let grouped = Test.make_grouped ~name:"zen" ~fmt:"%s/%s" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~stabilize:true ~quota:(Time.second 0.4) ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0
+         ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  pf "%-28s | %14s@." "kernel" "ns/run";
+  pf "%s@." (String.make 46 '-');
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols) ->
+    match Analyze.OLS.estimates ols with
+    | Some (t :: _) -> pf "%-28s | %14.1f@." name t
+    | Some [] | None -> pf "%-28s | %14s@." name "?")
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("micro", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        pf "unknown experiment %S (have: %s)@." name
+          (String.concat ", " (List.map fst experiments)))
+    requested;
+  pf "@.total bench wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,280 @@
+(* zenctl — command-line front end to the toolkit.
+
+   Subcommands:
+     topo      describe a generated topology
+     compile   compile a policy and print per-switch flow tables
+     verify    check reachability / loops / isolation of a policy
+     simulate  run traffic through the simulated network
+     ping      end-to-end ping between two hosts under a policy
+     te        compare traffic-engineering schemes on a WAN
+
+   Topology specs: linear:N ring:N star:N fattree:K grid:RxC abilene b4
+   waxman:N:SEED (see Topo.Gen.of_spec). *)
+
+open Cmdliner
+
+let topo_arg =
+  let doc =
+    "Topology spec: linear:N, ring:N, star:N, fattree:K, grid:RxC, \
+     abilene, b4, waxman:N:SEED."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TOPO" ~doc)
+
+let load_topo spec =
+  try Ok (Topo.Gen.of_spec spec) with
+  | Invalid_argument m -> Error (`Msg m)
+
+let policy_arg =
+  let doc =
+    "Policy in concrete syntax (e.g. 'filter tpDst = 80; port := 2'). \
+     Default: shortest-path routing synthesized from the topology."
+  in
+  Arg.(value & opt (some string) None & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+
+let load_policy topo = function
+  | None -> Ok (Netkat.Builder.routing_policy topo)
+  | Some s ->
+    (try Ok (Netkat.Parser.pol_of_string s) with
+     | Netkat.Parser.Parse_error m -> Error (`Msg ("policy: " ^ m)))
+
+let or_die = function
+  | Ok v -> v
+  | Error (`Msg m) ->
+    prerr_endline ("zenctl: " ^ m);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* topo *)
+
+let topo_cmd =
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+  in
+  let run spec dot =
+    let topo = or_die (load_topo spec) in
+    if dot then print_string (Topo.Topology.to_dot topo)
+    else Format.printf "%a" Topo.Topology.pp topo
+  in
+  Cmd.v (Cmd.info "topo" ~doc:"Describe a generated topology")
+    Term.(const run $ topo_arg $ dot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compile *)
+
+let compile_cmd =
+  let switch_arg =
+    Arg.(value & opt (some int) None
+         & info [ "s"; "switch" ] ~docv:"ID" ~doc:"Only this switch.")
+  in
+  let naive_arg =
+    Arg.(value & flag
+         & info [ "naive" ] ~doc:"Use the naive baseline compiler instead of the FDD.")
+  in
+  let run spec pol_str switch naive =
+    let topo = or_die (load_topo spec) in
+    let pol = or_die (load_policy topo pol_str) in
+    let switches =
+      match switch with
+      | Some s -> [ s ]
+      | None -> Topo.Topology.switch_ids topo
+    in
+    let total = ref 0 in
+    List.iter
+      (fun sw ->
+        let rules =
+          if naive then Netkat.Naive.compile ~switch:sw pol
+          else Netkat.Local.compile ~switch:sw pol
+        in
+        total := !total + List.length rules;
+        Format.printf "switch %d (%d rules):@." sw (List.length rules);
+        List.iter
+          (fun r -> Format.printf "  %a@." Netkat.Local.pp_rule r)
+          rules)
+      switches;
+    Format.printf "total: %d rules (%s compiler)@." !total
+      (if naive then "naive" else "FDD")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a policy to per-switch flow tables")
+    Term.(const run $ topo_arg $ policy_arg $ switch_arg $ naive_arg)
+
+(* ------------------------------------------------------------------ *)
+(* verify *)
+
+let verify_cmd =
+  let run spec pol_str =
+    let topo = or_die (load_topo spec) in
+    let pol = or_die (load_policy topo pol_str) in
+    let net = Zen.create topo in
+    ignore (Zen.install_policy net pol);
+    let snap = Zen.snapshot net in
+    let matrix = Verify.Reach.reachability_matrix snap in
+    let ok = List.length (List.filter snd matrix) in
+    Format.printf "reachability: %d/%d host pairs connected@." ok
+      (List.length matrix);
+    List.iter
+      (fun ((s, d), r) -> if not r then Format.printf "  h%d -/-> h%d@." s d)
+      matrix;
+    let loops = Verify.Reach.loop_free snap in
+    Format.printf "loops: %s@."
+      (if loops = [] then "none"
+       else Printf.sprintf "%d looping slices" (List.length loops))
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Symbolically verify a policy's tables")
+    Term.(const run $ topo_arg $ policy_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate_cmd =
+  let flows_arg =
+    Arg.(value & opt int 10 & info [ "flows" ] ~docv:"N" ~doc:"Random CBR flows.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 100.0 & info [ "rate" ] ~docv:"PPS" ~doc:"Per-flow rate.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~docv:"SECS" ~doc:"Traffic duration.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+  in
+  let mode_arg =
+    let e = Arg.enum [ ("compiled", `Compiled); ("learning", `Learning);
+                       ("routing", `Routing) ] in
+    Arg.(value & opt e `Compiled
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"compiled (tables pushed directly), learning (reactive \
+                   controller) or routing (proactive controller).")
+  in
+  let run spec pol_str flows rate duration seed mode =
+    let topo = or_die (load_topo spec) in
+    let net = Zen.create topo in
+    (match mode with
+     | `Compiled ->
+       let pol = or_die (load_policy topo pol_str) in
+       let n = Zen.install_policy net pol in
+       Format.printf "installed %d rules@." n
+     | `Learning ->
+       let app = Controller.Learning.create () in
+       ignore (Zen.with_controller net [ Controller.Learning.app app ])
+     | `Routing ->
+       let app = Controller.Routing.create () in
+       ignore (Zen.with_controller net [ Controller.Routing.app app ]));
+    let prng = Util.Prng.create seed in
+    let senders =
+      Dataplane.Traffic.random_pairs net.network ~prng ~flows ~rate_pps:rate
+        ~pkt_size:1000 ~stop:duration
+    in
+    ignore (Zen.run ~until:(duration +. 1.0) net);
+    let sent = List.fold_left (fun acc s -> acc + !s) 0 senders in
+    Format.printf "sent %d packets over %d flows in %.1fs of simulated time@."
+      sent flows duration;
+    Format.printf "%a@." Dataplane.Network.pp_stats
+      (Dataplane.Network.stats net.network);
+    Format.printf "events executed: %d@."
+      (Dataplane.Sim.executed (Dataplane.Network.sim net.network))
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run random traffic through the network")
+    Term.(const run $ topo_arg $ policy_arg $ flows_arg $ rate_arg
+          $ duration_arg $ seed_arg $ mode_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ping *)
+
+let ping_cmd =
+  let src_arg =
+    Arg.(required & opt (some int) None & info [ "src" ] ~docv:"HOST" ~doc:"Source host id.")
+  in
+  let dst_arg =
+    Arg.(required & opt (some int) None & info [ "dst" ] ~docv:"HOST" ~doc:"Destination host id.")
+  in
+  let run spec pol_str src dst =
+    let topo = or_die (load_topo spec) in
+    let pol = or_die (load_policy topo pol_str) in
+    let net = Zen.create topo in
+    ignore (Zen.install_policy net pol);
+    Format.printf "verified reachable: %b@." (Zen.reachable net ~src ~dst);
+    match Zen.ping net ~src ~dst with
+    | [] -> Format.printf "no replies@."; exit 2
+    | rtts ->
+      List.iteri
+        (fun i r -> Format.printf "seq=%d rtt=%.1f us@." i (r *. 1e6))
+        rtts
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"End-to-end ping through the simulated dataplane")
+    Term.(const run $ topo_arg $ policy_arg $ src_arg $ dst_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze_cmd =
+  let pol_pos n doc = Arg.(required & pos n (some string) None & info [] ~docv:"POLICY" ~doc) in
+  let run a b =
+    let parse s =
+      try Netkat.Parser.pol_of_string s with
+      | Netkat.Parser.Parse_error m ->
+        prerr_endline ("zenctl: " ^ m);
+        exit 1
+    in
+    let pa = parse a and pb = parse b in
+    match Netkat.Analysis.counterexample pa pb with
+    | None -> Format.printf "equivalent@."
+    | Some h ->
+      Format.printf "NOT equivalent; counterexample packet:@.  %a@."
+        Packet.Headers.pp h;
+      Format.printf "  first  policy output: %d packet(s)@."
+        (Netkat.Semantics.HSet.cardinal (Netkat.Semantics.eval pa h));
+      Format.printf "  second policy output: %d packet(s)@."
+        (Netkat.Semantics.HSet.cardinal (Netkat.Semantics.eval pb h));
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Decide equivalence of two policies")
+    Term.(const run
+          $ pol_pos 0 "First policy." $ pol_pos 1 "Second policy.")
+
+(* ------------------------------------------------------------------ *)
+(* te *)
+
+let te_cmd =
+  let load_arg =
+    Arg.(value & opt float 2.0
+         & info [ "load" ] ~docv:"X" ~doc:"Demand scale (1.0 ~ capacity).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Demand seed.")
+  in
+  let run spec load seed =
+    let topo = or_die (load_topo spec) in
+    let prng = Util.Prng.create seed in
+    let demands =
+      Te.Demand.gravity ~prng ~switches:(Topo.Topology.switch_ids topo)
+        ~total_rate:(load *. 100e9) ~priorities:3 ()
+    in
+    Format.printf "offered: %.1f Gb/s over %d demands@."
+      (Te.Demand.total demands /. 1e9)
+      (List.length demands);
+    List.iter
+      (fun (name, a) -> Format.printf "%-8s %s@." name (Te.Alloc.summary a))
+      [ ("ecmp", Te.Ecmp.solve topo demands);
+        ("maxmin", Te.Maxmin.solve topo demands);
+        ("greedy", Te.Greedy_kpath.solve topo demands) ]
+  in
+  Cmd.v
+    (Cmd.info "te" ~doc:"Compare traffic-engineering schemes")
+    Term.(const run $ topo_arg $ load_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "zenctl" ~version:Zen.version
+      ~doc:"Software-defined network architecture toolkit"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ topo_cmd; compile_cmd; verify_cmd; simulate_cmd; ping_cmd;
+            analyze_cmd; te_cmd ]))

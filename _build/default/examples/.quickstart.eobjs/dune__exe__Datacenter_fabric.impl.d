@@ -1,0 +1,1 @@
+examples/datacenter_fabric.ml: Controller Dataplane Format List Packet Topo Util Verify Zen

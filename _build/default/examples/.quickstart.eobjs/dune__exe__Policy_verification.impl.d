@@ -1,0 +1,1 @@
+examples/policy_verification.ml: Dataplane Format List Netkat Option Packet Topo Util Verify Zen

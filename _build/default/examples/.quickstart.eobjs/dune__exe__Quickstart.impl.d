@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dataplane Flow Format List Netkat Topo Verify Zen

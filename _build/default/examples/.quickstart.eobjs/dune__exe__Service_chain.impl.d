@@ -1,0 +1,1 @@
+examples/service_chain.ml: Controller Dataplane Format List Netkat Packet Topo Verify Zen

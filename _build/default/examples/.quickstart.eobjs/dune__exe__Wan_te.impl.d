@@ -1,0 +1,1 @@
+examples/wan_te.ml: Format List Printf String Te Topo Util

@@ -1,0 +1,103 @@
+(* Datacenter fabric: a k=4 fat-tree run by the proactive routing app
+   over the (wire-encoded) control channel, with a load balancer fronting
+   three backend servers, background traffic, live monitoring, and a
+   core-link failure that the controller routes around.
+
+   Run with: dune exec examples/datacenter_fabric.exe *)
+
+let pf = Format.printf
+
+let () =
+  let topo, info = Topo.Gen.fat_tree ~k:4 () in
+  pf "fat-tree k=4: %d core / %d aggregation / %d edge switches, %d hosts@."
+    (List.length info.core) (List.length info.aggregation)
+    (List.length info.edge) (List.length info.host_ids);
+
+  let net = Zen.create topo in
+
+  (* controller apps: proactive IP routing + LB + monitoring *)
+  let routing = Controller.Routing.create ~use_ip:true () in
+  let vip = Packet.Ipv4.of_string "10.99.0.1" in
+  let backends = [ 2; 3; 4 ] in
+  let lb = Controller.Lb.create ~vip ~backends () in
+  let monitor = Controller.Monitor.create ~period:0.25 () in
+  let _rt =
+    Zen.with_controller net
+      [ Controller.Routing.app routing; Controller.Lb.app lb;
+        Controller.Monitor.app monitor ]
+  in
+  pf "routing app pushed %d rules (%d per switch on average)@."
+    (Controller.Routing.installs routing)
+    (Controller.Routing.installs routing / Topo.Topology.switch_count topo);
+
+  (* cross-pod background traffic *)
+  let prng = Util.Prng.create 2013 in
+  let _senders =
+    Dataplane.Traffic.random_pairs (Zen.network net) ~prng ~flows:24
+      ~rate_pps:200.0 ~pkt_size:1000 ~stop:2.0
+  in
+
+  (* clients in the last pod hammer the VIP *)
+  let clients =
+    List.filteri (fun i _ -> i >= 12) info.host_ids |> fun l ->
+    List.filteri (fun i _ -> i < 4) l
+  in
+  List.iteri
+    (fun i client ->
+      for flow = 0 to 9 do
+        let pkt =
+          Dataplane.Network.make_pkt ~tp_src:(30000 + (i * 100) + flow)
+            ~src:client ~dst:client ()
+        in
+        let pkt =
+          { pkt with
+            hdr = { pkt.hdr with ip4_dst = vip; eth_dst = 0x02deadbeef01 } }
+        in
+        Dataplane.Sim.schedule
+          (Dataplane.Network.sim (Zen.network net))
+          ~delay:(0.05 +. (0.01 *. float_of_int ((i * 10) + flow)))
+          (fun () -> Dataplane.Network.send_from (Zen.network net) ~host:client pkt)
+      done)
+    clients;
+
+  ignore (Zen.run ~until:1.0 net);
+  pf "@.t=1.0s  VIP flows balanced: %d@." (Controller.Lb.flows lb);
+  List.iter
+    (fun (b, n) -> pf "  backend h%d: %d flows@." b n)
+    (Controller.Lb.distribution lb);
+
+  (* fail a core->aggregation link under traffic *)
+  let core = List.hd info.core in
+  pf "@.t=1.0s  failing core switch s%d port 1...@." core;
+  Dataplane.Network.fail_link (Zen.network net)
+    (Topo.Topology.Node.Switch core) 1;
+  ignore (Zen.run ~until:2.5 net);
+  pf "controller recomputed %d time(s); last churn %d rules@."
+    (Controller.Routing.reinstalls routing - 1)
+    (Controller.Routing.last_churn routing);
+
+  (* verified connectivity after failover *)
+  let snap = Zen.snapshot net in
+  let h1 = List.hd info.host_ids
+  and h_last = List.hd (List.rev info.host_ids) in
+  pf "verified reachability h%d -> h%d after failover: %b@." h1 h_last
+    (Verify.Reach.reachable snap ~src:h1 ~dst:h_last);
+  pf "verified loop-free: %b@." (Verify.Reach.loop_free snap = []);
+
+  (* measured connectivity *)
+  let rtts = Zen.ping net ~src:h1 ~dst:h_last in
+  pf "measured: %d/3 pings answered (median rtt %.1f us)@."
+    (List.length rtts)
+    (match rtts with
+     | [] -> nan
+     | _ -> Util.Stats.percentile rtts 50.0 *. 1e6);
+
+  (* hottest links as seen by the monitoring app *)
+  pf "@.hottest links (monitor app):@.";
+  Controller.Monitor.hot_links monitor (Zen.network net)
+  |> List.filteri (fun i _ -> i < 5)
+  |> List.iter (fun (sw, port, u) ->
+    pf "  s%d port %d: %.2f%% utilized@." sw port (u *. 100.0));
+
+  pf "@.final stats: %a@." Dataplane.Network.pp_stats
+    (Dataplane.Network.stats (Zen.network net))

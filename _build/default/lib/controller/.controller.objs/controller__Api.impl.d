@@ -1,0 +1,1 @@
+lib/controller/api.ml: Dataplane Flow Openflow

@@ -1,0 +1,1 @@
+lib/controller/arp_proxy.ml: Api Flow Ipv4 List Mac Openflow Option Packet Topo

@@ -1,0 +1,1 @@
+lib/controller/firewall.ml: Api Flow List Netkat Option Topo

@@ -1,0 +1,1 @@
+lib/controller/lb.ml: Api Array Fields Flow Hashtbl Headers Ipv4 List Mac Openflow Option Packet Topo

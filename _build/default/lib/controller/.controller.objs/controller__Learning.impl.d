@@ -1,0 +1,1 @@
+lib/controller/learning.ml: Api Flow Hashtbl Mac Openflow Option Packet Topo

@@ -1,0 +1,1 @@
+lib/controller/monitor.ml: Api Dataplane Hashtbl List Openflow Option Topo Util

@@ -1,0 +1,1 @@
+lib/controller/nat.ml: Api Fields Flow Ipv4 List Mac Openflow Option Packet Topo

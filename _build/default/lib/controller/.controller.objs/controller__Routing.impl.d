@@ -1,0 +1,1 @@
+lib/controller/routing.ml: Api Flow Hashtbl List Netkat Option Topo

@@ -1,0 +1,1 @@
+lib/controller/runtime.ml: Api Dataplane Hashtbl List Openflow Queue

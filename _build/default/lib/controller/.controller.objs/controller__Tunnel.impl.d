@@ -1,0 +1,1 @@
+lib/controller/tunnel.ml: Api Fields Flow Hashtbl List Mac Option Packet Topo

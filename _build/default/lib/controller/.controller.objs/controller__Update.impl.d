@@ -1,0 +1,1 @@
+lib/controller/update.ml: Api Dataplane Fdd Flow List Local Netkat Packet Syntax Topo Util

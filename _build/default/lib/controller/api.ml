@@ -1,0 +1,99 @@
+(** The controller programming interface.
+
+    An {!app} is a record of event callbacks; the {!Runtime} dispatches
+    control-channel events to every registered app and provides a
+    {!ctx} whose operations (rule installation, packet-out, stats
+    polling) are encoded as wire messages and sent down the control
+    channel.  Several apps can run side by side (they see the same
+    events); apps that install rules should use distinct cookie spaces
+    if they need to delete selectively. *)
+
+type ctx = {
+  net : Dataplane.Network.t;
+  send : switch_id:int -> Openflow.Message.t -> unit;
+      (** low-level: send any message to a switch *)
+  await_stats :
+    switch_id:int -> (Openflow.Message.stats_reply -> unit) -> unit;
+      (** enqueue a one-shot continuation for the switch's next stats
+          reply (replies arrive in request order on the ordered control
+          channel) *)
+}
+
+(** The network topology as currently known (link state included). *)
+let topology ctx = Dataplane.Network.topology ctx.net
+
+(** Current simulated time. *)
+let time ctx = Dataplane.Network.now ctx.net
+
+(** [schedule ctx ~delay f] runs [f] after [delay] seconds of simulated
+    time. *)
+let schedule ctx ~delay f =
+  Dataplane.Sim.schedule (Dataplane.Network.sim ctx.net) ~delay f
+
+(** [install ctx ~switch_id ?priority ?idle_timeout ?hard_timeout ?cookie
+    pattern actions] adds a flow rule. *)
+let install ctx ~switch_id ?(priority = 0) ?idle_timeout ?hard_timeout
+    ?(cookie = 0) ?(notify_when_removed = false) pattern actions =
+  ctx.send ~switch_id
+    (Openflow.Message.Flow_mod
+       (Openflow.Message.add_flow ~priority ~idle_timeout ~hard_timeout
+          ~cookie ~notify_when_removed ~pattern ~actions ()))
+
+(** [uninstall ctx ~switch_id ?cookie pattern] deletes all rules subsumed
+    by [pattern] (restricted to [cookie] when given). *)
+let uninstall ctx ~switch_id ?cookie pattern =
+  ctx.send ~switch_id
+    (Openflow.Message.Flow_mod (Openflow.Message.delete_flow ~cookie ~pattern ()))
+
+(** [uninstall_strict ctx ~switch_id ~priority pattern] deletes exactly
+    the rule with this priority and pattern. *)
+let uninstall_strict ctx ~switch_id ?cookie ~priority pattern =
+  ctx.send ~switch_id
+    (Openflow.Message.Flow_mod
+       (Openflow.Message.delete_strict_flow ~cookie ~priority ~pattern ()))
+
+(** [clear ctx ~switch_id] empties the switch's table. *)
+let clear ctx ~switch_id = uninstall ctx ~switch_id Flow.Pattern.any
+
+(** [packet_out ctx ~switch_id ~in_port actions payload] re-injects a
+    packet at the switch, applying [actions]. *)
+let packet_out ctx ~switch_id ~in_port actions payload =
+  ctx.send ~switch_id
+    (Openflow.Message.Packet_out
+       { out_in_port = in_port; out_actions = actions; out_packet = payload })
+
+(** [flood ctx ~switch_id ~in_port payload] sends out all (spanning-tree)
+    ports except the ingress. *)
+let flood ctx ~switch_id ~in_port payload =
+  packet_out ctx ~switch_id ~in_port [ Flow.Action.Output Flood ] payload
+
+(** [request_stats ctx ~switch_id req k] polls statistics; [k] receives
+    the matching {!Openflow.Message.stats_reply}. *)
+let request_stats ctx ~switch_id req k =
+  ctx.await_stats ~switch_id k;
+  ctx.send ~switch_id (Openflow.Message.Stats_request req)
+
+(** [set_flood_ports ctx ~switch_id ports] restricts the switch's [Flood]
+    action to [ports] (plus never the ingress).  This models configuring
+    the spanning-tree port set and takes effect immediately. *)
+let set_flood_ports ctx ~switch_id ports =
+  (Dataplane.Network.switch ctx.net switch_id).flood_ports <- Some ports
+
+type app = {
+  name : string;
+  switch_up : ctx -> switch_id:int -> ports:int list -> unit;
+  packet_in :
+    ctx -> switch_id:int -> port:int ->
+    reason:Openflow.Message.packet_in_reason ->
+    Openflow.Message.payload -> unit;
+  port_status : ctx -> switch_id:int -> port:int -> up:bool -> unit;
+  flow_removed : ctx -> switch_id:int -> Openflow.Message.flow_removed -> unit;
+}
+
+(** An app with every callback a no-op; override the fields you need. *)
+let default_app name =
+  { name;
+    switch_up = (fun _ ~switch_id:_ ~ports:_ -> ());
+    packet_in = (fun _ ~switch_id:_ ~port:_ ~reason:_ _ -> ());
+    port_status = (fun _ ~switch_id:_ ~port:_ ~up:_ -> ());
+    flow_removed = (fun _ ~switch_id:_ _ -> ()) }

@@ -1,0 +1,47 @@
+(** Proactive ACL firewall: compiles an access-control list composed
+    with shortest-path routing ({!Netkat.Builder.firewall}) and installs
+    the result.  Separated from {!Routing} so experiments can measure the
+    cost of policy composition. *)
+
+type t = {
+  app : Api.app;
+  cookie : int;
+  entries : Netkat.Builder.acl_entry list;
+  default_allow : bool;
+  mutable rules_installed : int;
+}
+
+let push t ctx =
+  let topo = Api.topology ctx in
+  let pol =
+    Netkat.Builder.firewall ~default_allow:t.default_allow topo t.entries
+  in
+  let fdd = Netkat.Fdd.of_policy pol in
+  List.iter
+    (fun sw ->
+      let switch_id = Topo.Topology.Node.id sw in
+      Api.uninstall ctx ~switch_id ~cookie:t.cookie Flow.Pattern.any;
+      List.iter
+        (fun (r : Netkat.Local.rule) ->
+          t.rules_installed <- t.rules_installed + 1;
+          Api.install ctx ~switch_id ~priority:r.priority ~cookie:t.cookie
+            r.pattern r.actions)
+        (Netkat.Local.rules_of_fdd ~switch:switch_id fdd))
+    (Topo.Topology.switches topo)
+
+let create ?(default_allow = true) ?(cookie = 0x0f) entries =
+  let t_ref = ref None in
+  let installed = ref false in
+  let switch_up ctx ~switch_id:_ ~ports:_ =
+    if not !installed then begin
+      installed := true;
+      push (Option.get !t_ref) ctx
+    end
+  in
+  let app = { (Api.default_app "firewall") with switch_up } in
+  let t = { app; cookie; entries; default_allow; rules_installed = 0 } in
+  t_ref := Some t;
+  t
+
+let app t = t.app
+let rules_installed t = t.rules_installed

@@ -1,0 +1,86 @@
+(** Monitoring app: periodically polls port counters from every switch
+    and maintains per-port time series, from which link utilization and
+    loss are derived.  The poll loop runs on simulated time via the
+    controller context. *)
+
+type port_key = { m_switch : int; m_port : int }
+
+type t = {
+  app : Api.app;
+  period : float;
+  (* (switch, port) -> cumulative tx-bytes series *)
+  tx_series : (port_key, Util.Stats.Series.t) Hashtbl.t;
+  drops : (port_key, int) Hashtbl.t;
+  mutable polls : int;
+}
+
+let series t key =
+  match Hashtbl.find_opt t.tx_series key with
+  | Some s -> s
+  | None ->
+    let s = Util.Stats.Series.create () in
+    Hashtbl.replace t.tx_series key s;
+    s
+
+let record t ~time (ps : Openflow.Message.port_stat) ~switch_id =
+  let key = { m_switch = switch_id; m_port = ps.pstat_port } in
+  Util.Stats.Series.add (series t key) ~time ~value:(float_of_int ps.tx_bytes);
+  Hashtbl.replace t.drops key ps.drops
+
+let create ?(period = 0.5) () =
+  let t_ref = ref None in
+  let get () = Option.get !t_ref in
+  let rec poll ctx ~switch_id =
+    let t = get () in
+    Api.request_stats ctx ~switch_id
+      (Openflow.Message.Port_stats_request None)
+      (fun reply ->
+        match reply with
+        | Openflow.Message.Port_stats_reply stats ->
+          t.polls <- t.polls + 1;
+          List.iter (record t ~time:(Api.time ctx) ~switch_id) stats
+        | Openflow.Message.Flow_stats_reply _
+        | Openflow.Message.Table_stats_reply _ -> ());
+    Api.schedule ctx ~delay:t.period (fun () -> poll ctx ~switch_id)
+  in
+  let switch_up ctx ~switch_id ~ports:_ =
+    Api.schedule ctx ~delay:(get ()).period (fun () -> poll ctx ~switch_id)
+  in
+  let app = { (Api.default_app "monitor") with switch_up } in
+  let t =
+    { app; period; tx_series = Hashtbl.create 64; drops = Hashtbl.create 64;
+      polls = 0 }
+  in
+  t_ref := Some t;
+  t
+
+let app t = t.app
+let polls t = t.polls
+
+(** Average transmit rate (bytes/s) observed on a port over the whole
+    monitoring window; 0 when unobserved. *)
+let tx_rate t ~switch_id ~port =
+  match Hashtbl.find_opt t.tx_series { m_switch = switch_id; m_port = port } with
+  | None -> 0.0
+  | Some s -> Util.Stats.Series.rate s
+
+(** Utilization in [0, 1] of the link leaving [switch_id] via [port],
+    relative to its capacity in the topology. *)
+let utilization t net ~switch_id ~port =
+  match
+    Topo.Topology.link_via
+      (Dataplane.Network.topology net)
+      (Topo.Topology.Node.Switch switch_id) port
+  with
+  | None -> 0.0
+  | Some l -> tx_rate t ~switch_id ~port *. 8.0 /. l.capacity
+
+(** Most-utilized links first: [(switch, port, utilization)]. *)
+let hot_links t net =
+  Hashtbl.fold
+    (fun key _ acc ->
+      (key.m_switch, key.m_port,
+       utilization t net ~switch_id:key.m_switch ~port:key.m_port)
+      :: acc)
+    t.tx_series []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)

@@ -1,0 +1,125 @@
+(** Proactive shortest-path routing with failover — the canonical
+    {e proactive} app.
+
+    On startup the app compiles the network-wide destination-based
+    routing policy ({!Netkat.Builder.routing_policy}) and pushes every
+    switch's table.  On a port-status change it recomputes the policy
+    over the surviving topology and replaces the tables, counting the
+    rule churn (E5 measures convergence from these numbers). *)
+
+type t = {
+  app : Api.app;
+  cookie : int;
+  incremental : bool;            (* delta updates instead of full re-push *)
+  mutable installs : int;        (* rules pushed over the lifetime *)
+  mutable reinstalls : int;      (* recomputation rounds *)
+  mutable last_churn : int;      (* flow-mods issued by the last round *)
+  mutable last_recompute : float;
+  mutable rules_per_switch : (int * int) list;
+  (* what we believe each switch's table holds (for diffing) *)
+  installed : (int, Netkat.Local.rule list) Hashtbl.t;
+  use_ip : bool;
+}
+
+(* flow-mods needed to turn [old_rules] into [new_rules]: adds/modifies
+   for new or changed (priority, pattern) keys, strict deletes for
+   vanished ones *)
+let diff_rules old_rules new_rules =
+  let key (r : Netkat.Local.rule) = (r.priority, r.pattern) in
+  let old_tbl = Hashtbl.create 32 in
+  List.iter (fun r -> Hashtbl.replace old_tbl (key r) r) old_rules;
+  let adds =
+    List.filter
+      (fun (r : Netkat.Local.rule) ->
+        match Hashtbl.find_opt old_tbl (key r) with
+        | Some old -> old.actions <> r.actions
+        | None -> true)
+      new_rules
+  in
+  let new_keys = Hashtbl.create 32 in
+  List.iter (fun r -> Hashtbl.replace new_keys (key r) ()) new_rules;
+  let deletes =
+    List.filter (fun r -> not (Hashtbl.mem new_keys (key r))) old_rules
+  in
+  (adds, deletes)
+
+let push_tables t ctx =
+  let topo = Api.topology ctx in
+  let pol =
+    if t.use_ip then Netkat.Builder.ip_routing_policy topo
+    else Netkat.Builder.routing_policy topo
+  in
+  let fdd = Netkat.Fdd.of_policy pol in
+  let churn = ref 0 in
+  let per_switch = ref [] in
+  List.iter
+    (fun sw ->
+      let switch_id = Topo.Topology.Node.id sw in
+      let rules = Netkat.Local.rules_of_fdd ~switch:switch_id fdd in
+      let previous = Hashtbl.find_opt t.installed switch_id in
+      (match (t.incremental, previous) with
+       | true, Some old_rules ->
+         let adds, deletes = diff_rules old_rules rules in
+         List.iter
+           (fun (r : Netkat.Local.rule) ->
+             incr churn;
+             Api.install ctx ~switch_id ~priority:r.priority ~cookie:t.cookie
+               r.pattern r.actions)
+           adds;
+         List.iter
+           (fun (r : Netkat.Local.rule) ->
+             incr churn;
+             Api.uninstall_strict ctx ~switch_id ~cookie:t.cookie
+               ~priority:r.priority r.pattern)
+           deletes
+       | _ ->
+         Api.uninstall ctx ~switch_id ~cookie:t.cookie Flow.Pattern.any;
+         List.iter
+           (fun (r : Netkat.Local.rule) ->
+             incr churn;
+             Api.install ctx ~switch_id ~priority:r.priority ~cookie:t.cookie
+               r.pattern r.actions)
+           rules);
+      Hashtbl.replace t.installed switch_id rules;
+      per_switch := (switch_id, List.length rules) :: !per_switch)
+    (Topo.Topology.switches topo);
+  t.installs <- t.installs + !churn;
+  t.last_churn <- !churn;
+  t.reinstalls <- t.reinstalls + 1;
+  t.last_recompute <- Api.time ctx;
+  t.rules_per_switch <- List.rev !per_switch
+
+let create ?(use_ip = false) ?(incremental = false) ?(cookie = 0x0e) () =
+  let t_ref = ref None in
+  let get () = Option.get !t_ref in
+  let installed = ref false in
+  let switch_up ctx ~switch_id:_ ~ports:_ =
+    (* push all tables once, when the first switch comes up; later
+       switch_up events see tables already present *)
+    if not !installed then begin
+      installed := true;
+      push_tables (get ()) ctx
+    end
+  in
+  let port_status ctx ~switch_id:_ ~port:_ ~up:_ =
+    (* link state changed: recompute routes over the surviving graph.
+       Both endpoints of a link report at the same instant — debounce so
+       one failure triggers one recomputation. *)
+    let t = get () in
+    if t.reinstalls = 0 || Api.time ctx > t.last_recompute then
+      push_tables t ctx
+  in
+  let app = { (Api.default_app "routing") with switch_up; port_status } in
+  let t =
+    { app; cookie; incremental; installs = 0; reinstalls = 0; last_churn = 0;
+      last_recompute = 0.0; rules_per_switch = [];
+      installed = Hashtbl.create 16; use_ip }
+  in
+  t_ref := Some t;
+  t
+
+let app t = t.app
+let installs t = t.installs
+let reinstalls t = t.reinstalls
+let last_churn t = t.last_churn
+let rules_per_switch t = t.rules_per_switch

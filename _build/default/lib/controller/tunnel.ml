@@ -1,0 +1,140 @@
+(** Label-switched edge-to-edge tunnels (MPLS/segment-routing flavor,
+    label carried in the VLAN field).
+
+    Destination-based routing installs one rule {e per destination host}
+    at {e every} switch on a path.  Label switching aggregates: an
+    ingress edge switch classifies packets by destination onto the tunnel
+    toward that destination's edge switch and pushes the tunnel label;
+    {e core} switches forward on the label alone (one rule per tunnel
+    through them, independent of host count); the egress edge pops the
+    label and delivers.  Experiment E13 measures the resulting core-table
+    compression.
+
+    Tunnels are provisioned proactively between every pair of
+    host-bearing switches along current shortest paths. *)
+
+open Packet
+
+type lsp = {
+  label : int;
+  src_sw : int;
+  dst_sw : int;
+  path : Topo.Path.t;  (** switch-level path, [src_sw] to [dst_sw] *)
+}
+
+type t = {
+  app : Api.app;
+  mutable lsps : lsp list;
+  mutable rules_installed : int;
+  per_switch_rules : (int, int) Hashtbl.t;
+}
+
+let bump t sw =
+  Hashtbl.replace t.per_switch_rules sw
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_switch_rules sw))
+
+let install t ctx ~switch_id pattern actions =
+  t.rules_installed <- t.rules_installed + 1;
+  bump t switch_id;
+  Api.install ctx ~switch_id ~priority:50 ~cookie:0x70 pattern actions
+
+(* local delivery: each edge switch forwards its own hosts' traffic *)
+let install_local_delivery t ctx topo sw =
+  List.iter
+    (fun (h, port) ->
+      install t ctx ~switch_id:sw
+        { Flow.Pattern.any with
+          vlan = Some Fields.vlan_none;
+          eth_dst = Some (Mac.of_host_id h) }
+        (Flow.Action.forward port))
+    (Topo.Topology.hosts_of_switch topo sw)
+
+let install_lsp t ctx topo (l : lsp) =
+  let dst_hosts = Topo.Topology.hosts_of_switch topo l.dst_sw in
+  match l.path with
+  | [] -> ()
+  | first :: _ ->
+    (* ingress: classify per destination host, push the tunnel label *)
+    List.iter
+      (fun (h, _) ->
+        install t ctx ~switch_id:l.src_sw
+          { Flow.Pattern.any with
+            vlan = Some Fields.vlan_none;
+            eth_dst = Some (Mac.of_host_id h) }
+          [ [ Flow.Action.Set_field (Fields.Vlan, l.label);
+              Flow.Action.Output (Physical first.Topo.Path.out_port) ] ])
+      dst_hosts;
+    (* core: label switching only *)
+    List.iteri
+      (fun i (h : Topo.Path.hop) ->
+        if i > 0 then
+          install t ctx
+            ~switch_id:(Topo.Topology.Node.id h.node)
+            { Flow.Pattern.any with vlan = Some l.label }
+            (Flow.Action.forward h.out_port))
+      l.path;
+    (* egress: pop and deliver per host *)
+    List.iter
+      (fun (h, port) ->
+        install t ctx ~switch_id:l.dst_sw
+          { Flow.Pattern.any with
+            vlan = Some l.label;
+            eth_dst = Some (Mac.of_host_id h) }
+          [ [ Flow.Action.Set_field (Fields.Vlan, Fields.vlan_none);
+              Flow.Action.Output (Physical port) ] ])
+      dst_hosts
+
+let provision t ctx =
+  let topo = Api.topology ctx in
+  let edges =
+    Topo.Topology.switch_ids topo
+    |> List.filter (fun sw -> Topo.Topology.hosts_of_switch topo sw <> [])
+  in
+  let next_label = ref 100 in
+  List.iter (install_local_delivery t ctx topo) edges;
+  t.lsps <-
+    List.concat_map
+      (fun src_sw ->
+        List.filter_map
+          (fun dst_sw ->
+            if src_sw = dst_sw then None
+            else begin
+              match
+                Topo.Path.shortest_path topo
+                  ~src:(Topo.Topology.Node.Switch src_sw)
+                  ~dst:(Topo.Topology.Node.Switch dst_sw)
+              with
+              | None | Some [] -> None
+              | Some path ->
+                let label = !next_label in
+                incr next_label;
+                Some { label; src_sw; dst_sw; path }
+            end)
+          edges)
+      edges;
+  List.iter (install_lsp t ctx topo) t.lsps
+
+let create () =
+  let t_ref = ref None in
+  let installed = ref false in
+  let switch_up ctx ~switch_id:_ ~ports:_ =
+    if not !installed then begin
+      installed := true;
+      provision (Option.get !t_ref) ctx
+    end
+  in
+  let app = { (Api.default_app "tunnels") with switch_up } in
+  let t =
+    { app; lsps = []; rules_installed = 0;
+      per_switch_rules = Hashtbl.create 16 }
+  in
+  t_ref := Some t;
+  t
+
+let app t = t.app
+let lsps t = t.lsps
+let rules_installed t = t.rules_installed
+
+(** Rules this app installed on [sw]. *)
+let rules_on t sw =
+  Option.value ~default:0 (Hashtbl.find_opt t.per_switch_rules sw)

@@ -1,0 +1,308 @@
+(** Consistent network updates (Reitblatt et al.'s per-packet consistency,
+    the mechanism behind congestion-free/loss-free update systems like
+    zUpdate).
+
+    The problem: replacing the rules of many switches is not atomic, so a
+    packet in flight can be forwarded by a {e mix} of the old and new
+    policy — transient loops, black holes or security violations that
+    neither policy alone would produce.
+
+    The classic fix implemented here is {e two-phase update with version
+    stamping}: the VLAN id carries a configuration version.  Packets are
+    stamped with the current version at their ingress switch, internal
+    rules match only their own version, and the stamp is popped at the
+    egress (host-facing) port.
+
+    - {b phase 1}: install the new version's {e internal} rules everywhere
+      (they match only the new tag, so live traffic is untouched);
+    - {b phase 2}: after the installs have landed, flip the {e ingress}
+      rules to stamp the new version — each packet is handled entirely by
+      one version;
+    - {b phase 3}: after a drain interval, delete the old version's rules.
+
+    The cost is transient double table occupancy; {!peak_rules} reports it.
+    {!naive} performs the inconsistent switch-by-switch replacement for
+    comparison (experiment E9).
+
+    Restriction: the managed policy must not itself use the [Vlan] field
+    (it carries the version); {!Policy_uses_vlan} is raised otherwise. *)
+
+open Netkat
+
+exception Policy_uses_vlan
+
+let rec pred_uses_vlan : Syntax.pred -> bool = function
+  | True | False -> false
+  | Test (f, _) -> Packet.Fields.equal f Packet.Fields.Vlan
+  | And (a, b) | Or (a, b) -> pred_uses_vlan a || pred_uses_vlan b
+  | Not a -> pred_uses_vlan a
+
+let rec pol_uses_vlan : Syntax.pol -> bool = function
+  | Filter p -> pred_uses_vlan p
+  | Mod (f, _) -> Packet.Fields.equal f Packet.Fields.Vlan
+  | Union (a, b) | Seq (a, b) -> pol_uses_vlan a || pol_uses_vlan b
+  | Star a -> pol_uses_vlan a
+
+(* predicate: the packet sits at a host-facing port (used both for
+   ingress detection and for egress popping, since after forwarding the
+   port field holds the output port) *)
+let edge_pred topo =
+  Topo.Topology.switches topo
+  |> List.concat_map (fun sw ->
+    let sw_id = Topo.Topology.Node.id sw in
+    Topo.Topology.hosts_of_switch topo sw_id
+    |> List.map (fun (_, port) ->
+      Syntax.conj
+        (Syntax.test Packet.Fields.Switch sw_id)
+        (Syntax.test Packet.Fields.In_port port)))
+  |> List.fold_left Syntax.disj Syntax.False
+
+(** The version-[u] {e ingress} policy: packets entering from hosts are
+    stamped [u], forwarded by [pol], and popped if they exit to a host on
+    the same switch. *)
+let ingress_part topo pol ~version =
+  let edge = edge_pred topo in
+  Syntax.big_seq
+    [ Syntax.filter edge;
+      Syntax.modify Packet.Fields.Vlan version;
+      pol;
+      Syntax.ite edge (Syntax.modify Packet.Fields.Vlan Packet.Fields.vlan_none)
+        Syntax.id ]
+
+(** The version-[u] {e internal} policy: packets already stamped [u]
+    arriving from other switches.  No explicit edge exclusion is needed
+    (or wanted): packets entering from hosts are untagged, so the version
+    test alone excludes them — and an explicit [not edge] filter would
+    compile to version-blind drop rules that shadow the other live
+    version's ingress rules during a two-phase transition. *)
+let internal_part topo pol ~version =
+  let edge = edge_pred topo in
+  Syntax.big_seq
+    [ Syntax.filter (Syntax.test Packet.Fields.Vlan version);
+      pol;
+      Syntax.ite edge (Syntax.modify Packet.Fields.Vlan Packet.Fields.vlan_none)
+        Syntax.id ]
+
+type t = {
+  drain : float;                 (** seconds before old rules are removed *)
+  mutable version : int;
+  mutable installs : int;        (** flow-mods issued over the lifetime *)
+  mutable peak_rules : int;      (** max total rules observed installed *)
+  mutable updates_done : int;
+}
+
+let create ?(drain = 0.5) () =
+  { drain; version = 0; installs = 0; peak_rules = 0; updates_done = 0 }
+
+let version t = t.version
+let peak_rules t = t.peak_rules
+let updates_done t = t.updates_done
+
+let observe_occupancy t ctx =
+  let total =
+    List.fold_left
+      (fun acc (sw : Dataplane.Network.switch) ->
+        acc + Flow.Table.size sw.table)
+      0
+      (Dataplane.Network.switch_list ctx.Api.net)
+  in
+  if total > t.peak_rules then t.peak_rules <- total
+
+(* Install the compiled rules of [part] on every switch.
+
+   Correctness requirement: while two versions coexist, no rule of one
+   version may catch the other version's packets.  The FDD encodes its
+   negative constraints (e.g. "vlan <> u" fall-through drops) through
+   intra-table shadowing, which breaks when two compiled tables are
+   interleaved at different priority bases.  We therefore specialize the
+   diagram to the vlan value its packets are known to carry ([only_vlan]:
+   the version tag for internal parts, untagged for ingress parts) and
+   stamp that value into every emitted pattern — making every single
+   rule, including drops, version-specific. *)
+let install_part t ctx part ~only_vlan ~cookie ~base =
+  let topo = Api.topology ctx in
+  let fdd = Fdd.restrict (Packet.Fields.Vlan, only_vlan) (Fdd.of_policy part) in
+  List.iter
+    (fun sw ->
+      let switch_id = Topo.Topology.Node.id sw in
+      Local.rules_of_fdd ~switch:switch_id fdd
+      |> List.iter (fun (r : Local.rule) ->
+        let pattern = { r.pattern with vlan = Some only_vlan } in
+        t.installs <- t.installs + 1;
+        Api.install ctx ~switch_id ~priority:(base + r.priority) ~cookie
+          pattern r.actions))
+    (Topo.Topology.switches topo)
+
+let delete_version ctx ~cookie =
+  List.iter
+    (fun sw ->
+      Api.uninstall ctx ~switch_id:(Topo.Topology.Node.id sw) ~cookie
+        Flow.Pattern.any)
+    (Topo.Topology.switches (Api.topology ctx))
+
+(** [install t ctx pol] — initial installation of a versioned policy
+    (version 1). @raise Policy_uses_vlan *)
+let install t ctx pol =
+  if pol_uses_vlan pol then raise Policy_uses_vlan;
+  t.version <- t.version + 1;
+  let topo = Api.topology ctx in
+  let base = t.version * 10000 in
+  install_part t ctx (internal_part topo pol ~version:t.version)
+    ~only_vlan:t.version ~cookie:t.version ~base;
+  install_part t ctx (ingress_part topo pol ~version:t.version)
+    ~only_vlan:Packet.Fields.vlan_none ~cookie:t.version ~base:(base + 1000);
+  Api.schedule ctx ~delay:0.05 (fun () -> observe_occupancy t ctx)
+
+(** [two_phase t ctx pol] — per-packet-consistent transition to [pol].
+    Phases are driven by simulated time; the transition completes (old
+    rules gone) after roughly [2 * control latency + drain] seconds.
+    @raise Policy_uses_vlan *)
+let two_phase t ctx pol =
+  if pol_uses_vlan pol then raise Policy_uses_vlan;
+  let old_version = t.version in
+  let new_version = t.version + 1 in
+  t.version <- new_version;
+  let topo = Api.topology ctx in
+  let base = new_version * 10000 in
+  (* phase 1: internal rules of the new version (invisible to old traffic) *)
+  install_part t ctx (internal_part topo pol ~version:new_version)
+    ~only_vlan:new_version ~cookie:new_version ~base;
+  (* phase 2: once phase 1 has certainly landed (one control latency plus
+     slack), flip ingress stamping; new ingress rules shadow the old ones
+     by their higher priority base *)
+  Api.schedule ctx ~delay:0.01 (fun () ->
+    install_part t ctx (ingress_part topo pol ~version:new_version)
+      ~only_vlan:Packet.Fields.vlan_none ~cookie:new_version
+      ~base:(base + 1000);
+    (* sample occupancy at its peak: both versions fully installed *)
+    Api.schedule ctx ~delay:0.01 (fun () -> observe_occupancy t ctx);
+    (* phase 3: drain, then garbage-collect the old version *)
+    Api.schedule ctx ~delay:t.drain (fun () ->
+      delete_version ctx ~cookie:old_version;
+      t.updates_done <- t.updates_done + 1))
+
+(** [naive t ctx ~prng ~max_jitter pol] — the inconsistent baseline:
+    every switch's table is replaced independently (unversioned rules),
+    each after a random delay in [0, max_jitter], emulating the
+    asynchronous rollout of real deployments.  In-flight packets can see
+    mixed old/new forwarding. *)
+let naive t ctx ~prng ~max_jitter pol =
+  let topo = Api.topology ctx in
+  let fdd = Fdd.of_policy pol in
+  t.updates_done <- t.updates_done + 1;
+  List.iter
+    (fun sw ->
+      let switch_id = Topo.Topology.Node.id sw in
+      let delay = Util.Prng.float prng max_jitter in
+      Api.schedule ctx ~delay (fun () ->
+        Api.uninstall ctx ~switch_id Flow.Pattern.any;
+        Local.rules_of_fdd ~switch:switch_id fdd
+        |> List.iter (fun (r : Local.rule) ->
+          t.installs <- t.installs + 1;
+          Api.install ctx ~switch_id ~priority:r.priority r.pattern r.actions)))
+    (Topo.Topology.switches topo)
+
+(* ------------------------------------------------------------------ *)
+(* Consistent updates of globally-compiled programs.
+
+   Policies produced by {!Netkat.Global.compile} already discipline the
+   VLAN field: every forwarding rule matches either the untagged ingress
+   traffic or one of the program's own tags, and distinct compilations
+   with distinct [base_tag]s occupy disjoint tag spaces.  Such programs
+   are therefore self-versioning: installing the new program's tagged
+   (internal) rules first cannot affect live traffic, flipping the
+   untagged (ingress) rules by priority switches packets atomically to
+   the new program, and the old rules can be drained afterwards.
+
+   Contract: the caller passes pre-compiled local policies whose tag
+   spaces are disjoint (e.g. [Global.compile ~base_tag:3000] vs [4000]).
+   Fall-through drop rules are not installed (the switch default already
+   drops), which is what makes interleaving the two programs' rule sets
+   safe. *)
+
+let split_global_rules fdd ~switch =
+  Local.rules_of_fdd ~switch fdd
+  |> List.filter (fun (r : Local.rule) -> r.actions <> [])
+  |> List.partition (fun (r : Local.rule) ->
+    r.pattern.vlan = Some Packet.Fields.vlan_none)
+
+let install_global_rules t ctx ~cookie ~base ~ingress_bump fdd =
+  List.iter
+    (fun sw ->
+      let switch_id = Topo.Topology.Node.id sw in
+      let ingress, internal = split_global_rules fdd ~switch:switch_id in
+      List.iter
+        (fun (r : Local.rule) ->
+          t.installs <- t.installs + 1;
+          Api.install ctx ~switch_id
+            ~priority:(base + ingress_bump + r.priority) ~cookie r.pattern
+            r.actions)
+        ingress;
+      List.iter
+        (fun (r : Local.rule) ->
+          t.installs <- t.installs + 1;
+          Api.install ctx ~switch_id ~priority:(base + r.priority) ~cookie
+            r.pattern r.actions)
+        internal)
+    (Topo.Topology.switches (Api.topology ctx))
+
+(** [global_install t ctx pol] — initial installation of a
+    {!Netkat.Global.compile}d program (or any policy obeying the vlan
+    discipline above). *)
+let global_install t ctx pol =
+  t.version <- t.version + 1;
+  install_global_rules t ctx ~cookie:t.version ~base:(t.version * 10000)
+    ~ingress_bump:1000 (Fdd.of_policy pol);
+  Api.schedule ctx ~delay:0.05 (fun () -> observe_occupancy t ctx)
+
+(** [global_two_phase t ctx pol] — per-packet-consistent transition to a
+    new globally-compiled program whose tag space is disjoint from the
+    currently installed one. *)
+let global_two_phase t ctx pol =
+  let old_version = t.version in
+  let new_version = t.version + 1 in
+  t.version <- new_version;
+  let fdd = Fdd.of_policy pol in
+  let base = new_version * 10000 in
+  (* phase 1: tagged (internal) rules only — invisible to live traffic *)
+  List.iter
+    (fun sw ->
+      let switch_id = Topo.Topology.Node.id sw in
+      let _, internal = split_global_rules fdd ~switch:switch_id in
+      List.iter
+        (fun (r : Local.rule) ->
+          t.installs <- t.installs + 1;
+          Api.install ctx ~switch_id ~priority:(base + r.priority)
+            ~cookie:new_version r.pattern r.actions)
+        internal)
+    (Topo.Topology.switches (Api.topology ctx));
+  (* phase 2: flip ingress; phase 3: drain the old program *)
+  Api.schedule ctx ~delay:0.01 (fun () ->
+    List.iter
+      (fun sw ->
+        let switch_id = Topo.Topology.Node.id sw in
+        let ingress, _ = split_global_rules fdd ~switch:switch_id in
+        List.iter
+          (fun (r : Local.rule) ->
+            t.installs <- t.installs + 1;
+            Api.install ctx ~switch_id ~priority:(base + 1000 + r.priority)
+              ~cookie:new_version r.pattern r.actions)
+          ingress)
+      (Topo.Topology.switches (Api.topology ctx));
+    Api.schedule ctx ~delay:0.01 (fun () -> observe_occupancy t ctx);
+    Api.schedule ctx ~delay:t.drain (fun () ->
+      delete_version ctx ~cookie:old_version;
+      t.updates_done <- t.updates_done + 1))
+
+(** Plain (unversioned) initial install, for the naive baseline runs. *)
+let install_plain t ctx pol =
+  let fdd = Fdd.of_policy pol in
+  List.iter
+    (fun sw ->
+      let switch_id = Topo.Topology.Node.id sw in
+      Local.rules_of_fdd ~switch:switch_id fdd
+      |> List.iter (fun (r : Local.rule) ->
+        t.installs <- t.installs + 1;
+        Api.install ctx ~switch_id ~priority:r.priority r.pattern r.actions))
+    (Topo.Topology.switches (Api.topology ctx));
+  Api.schedule ctx ~delay:0.05 (fun () -> observe_occupancy t ctx)

@@ -1,0 +1,1 @@
+lib/core/zen.ml: Controller Dataplane Flow List Netkat Slice Topo Verify Wan

@@ -1,0 +1,1 @@
+lib/core/slice.ml: List Netkat Packet Verify

@@ -1,0 +1,1 @@
+lib/core/wan.ml: Dataplane Float Flow Hashtbl List Netkat Option Packet Printf Syntax Te Topo

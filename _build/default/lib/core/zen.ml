@@ -1,0 +1,96 @@
+(** The public facade of the toolkit — the four architectural pillars
+    behind one small API.
+
+    {ol
+    {- {b Separated planes}: build a topology ({!Topo.Gen}), instantiate
+       a simulated dataplane ({!create}), and either program it directly
+       ({!install_policy}) or attach a controller with apps
+       ({!with_controller}).}
+    {- {b Declarative policy}: express intent in the policy language
+       ({!Netkat.Syntax}, {!Netkat.Parser}) and let the FDD compiler
+       produce the tables.}
+    {- {b Slicing}: {!Slice} compiles coexisting tenants onto one
+       substrate.}
+    {- {b Verification}: {!snapshot} extracts the installed tables for
+       header-space analysis ({!Verify.Reach}).}}
+
+    See [examples/] for complete programs built on this module. *)
+
+(** Network slicing (re-exported — this file is the library root). *)
+module Slice = Slice
+
+(** TE-allocation realization and validation (re-exported). *)
+module Wan = Wan
+
+type net = {
+  network : Dataplane.Network.t;
+  mutable runtime : Controller.Runtime.t option;
+}
+
+(** [create topo] instantiates the simulated network (empty tables). *)
+let create ?queue_depth topo =
+  { network = Dataplane.Network.create ?queue_depth topo; runtime = None }
+
+let topology t = Dataplane.Network.topology t.network
+let network t = t.network
+let now t = Dataplane.Network.now t.network
+
+(** [install_policy t pol] compiles the local policy with the FDD
+    compiler and loads every switch's table directly (the "compiled,
+    proactive, no controller" mode).  Returns total rules installed.
+    @raise Netkat.Local.Not_local on policies with links. *)
+let install_policy t pol =
+  let fdd = Netkat.Fdd.of_policy pol in
+  List.fold_left
+    (fun acc sw ->
+      let switch_id = Topo.Topology.Node.id sw in
+      let rules = Netkat.Local.rules_of_fdd ~switch:switch_id fdd in
+      let table = (Dataplane.Network.switch t.network switch_id).table in
+      Flow.Table.clear table;
+      List.iter
+        (fun (r : Netkat.Local.rule) ->
+          Flow.Table.add table
+            (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+               ~actions:r.actions ()))
+        rules;
+      acc + List.length rules)
+    0
+    (Topo.Topology.switches (topology t))
+
+(** [install_policy_string t s] — as {!install_policy}, from concrete
+    syntax.  @raise Netkat.Parser.Parse_error on bad syntax. *)
+let install_policy_string t s =
+  install_policy t (Netkat.Parser.pol_of_string s)
+
+(** [with_controller t apps] attaches a controller running [apps] and
+    completes the handshake (the "controller-driven" mode). *)
+let with_controller ?latency t apps =
+  let rt = Controller.Runtime.create_and_handshake ?latency t.network apps in
+  t.runtime <- Some rt;
+  rt
+
+(** [run t ~until] advances simulated time. *)
+let run ?until ?max_events t =
+  Dataplane.Network.run ?until ?max_events t.network ()
+
+(** [snapshot t] captures topology + installed tables for verification. *)
+let snapshot t : Verify.Reach.snapshot =
+  { topo = topology t;
+    tables =
+      (fun switch_id ->
+        Flow.Table.rules (Dataplane.Network.switch t.network switch_id).table) }
+
+(** One-call check: with the current tables, can [src] reach [dst]? *)
+let reachable t ~src ~dst = Verify.Reach.reachable (snapshot t) ~src ~dst
+
+(** One-call end-to-end ping through the simulated dataplane: returns
+    measured RTTs in seconds (empty = no connectivity). *)
+let ping ?(count = 3) ?(interval = 0.01) t ~src ~dst =
+  Dataplane.Traffic.install_responders t.network;
+  let result = Dataplane.Traffic.ping t.network ~src ~dst ~count ~interval in
+  let horizon = now t +. (float_of_int count *. interval) +. 1.0 in
+  ignore (run ~until:horizon t);
+  List.rev_map snd !(result.rtts)
+
+(** Version of the toolkit. *)
+let version = "1.0.0"

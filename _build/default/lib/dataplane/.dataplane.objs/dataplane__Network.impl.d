@@ -1,0 +1,1 @@
+lib/dataplane/network.ml: Bytes Flow Format Hashtbl List Openflow Packet Printf Sim Topo

@@ -1,0 +1,1 @@
+lib/dataplane/traffic.ml: Array Hashtbl List Network Sim Util

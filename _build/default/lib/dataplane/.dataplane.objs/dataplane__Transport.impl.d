@@ -1,0 +1,1 @@
+lib/dataplane/transport.ml: Hashtbl Network Option Sim

@@ -1,0 +1,461 @@
+(** The simulated network: switches, hosts and links instantiated from a
+    {!Topo.Topology.t} and driven by a {!Sim.t}.
+
+    Switches forward with {!Flow.Table} match-action semantics; a table
+    miss (or an explicit controller output) produces a packet-in on the
+    control channel.  The control channel speaks wire-encoded
+    {!Openflow} messages with a configurable one-way latency, so the
+    protocol codec is on the hot path exactly as in a real deployment.
+
+    Links model serialization (size / capacity), propagation delay and a
+    drop-tail queue of configurable depth per direction.  A packet in
+    flight is a flat header record plus size and an opaque tag. *)
+
+module Node = Topo.Topology.Node
+
+type pkt = {
+  hdr : Packet.Headers.t;  (** [switch]/[in_port] = current location *)
+  size : int;              (** bytes *)
+  tag : int;               (** correlation tag for host applications *)
+  ttl : int;               (** hop budget; decremented per switch, packets
+                               expire at zero (bounds transient loops) *)
+}
+
+type switch = {
+  sw_id : int;
+  table : Flow.Table.t;
+  mutable flood_ports : int list option;
+      (** spanning-tree restriction for [Flood]; [None] = all ports *)
+  port_stats : (int, Openflow.Message.port_stat) Hashtbl.t;
+  mutable packet_ins : int;
+  mutable has_timeouts : bool;  (* whether an expiry sweep is scheduled *)
+}
+
+type host = {
+  host_id : int;
+  mac : Packet.Mac.t;
+  ip : Packet.Ipv4.t;
+  mutable received : int;
+  mutable rx_bytes : int;
+  mutable on_receive : (pkt -> unit) option;
+}
+
+(* per-direction link state for queueing *)
+type link_state = {
+  mutable busy_until : float;
+  mutable queued : int;     (* packets scheduled but not yet on the wire *)
+  mutable tx_drops : int;
+}
+
+type counters = {
+  mutable delivered : int;       (* packets that reached a host app *)
+  mutable dropped_policy : int;  (* explicit drop by a matching rule *)
+  mutable dropped_miss : int;    (* table miss with no controller *)
+  mutable dropped_queue : int;   (* drop-tail queue overflow *)
+  mutable dropped_link : int;    (* transmission into a down/absent link *)
+  mutable dropped_ttl : int;     (* hop budget exhausted (loops) *)
+  mutable forwarded : int;       (* switch forwarding operations *)
+  mutable control_msgs : int;    (* messages on the control channel *)
+  mutable control_bytes : int;
+}
+
+type t = {
+  sim : Sim.t;
+  topo : Topo.Topology.t;
+  switches : (int, switch) Hashtbl.t;
+  host_tbl : (int, host) Hashtbl.t;
+  links : (Node.t * int, link_state) Hashtbl.t;
+  queue_depth : int;  (** drop-tail queue depth, packets per direction *)
+  stats : counters;
+  mutable controller :
+    (switch_id:int -> bytes -> unit) option;  (** switch → controller *)
+  mutable control_latency : float;
+  mutable tracer : (float -> string -> unit) option;
+  expiry_period : float;
+}
+
+let default_queue_depth = 64
+
+(** Default hop budget of injected packets. *)
+let default_ttl = 64
+
+let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0) topo =
+  let t =
+    { sim = Sim.create (); topo;
+      switches = Hashtbl.create 16;
+      host_tbl = Hashtbl.create 16;
+      links = Hashtbl.create 64;
+      queue_depth;
+      stats =
+        { delivered = 0; dropped_policy = 0; dropped_miss = 0;
+          dropped_queue = 0; dropped_link = 0; dropped_ttl = 0;
+          forwarded = 0; control_msgs = 0; control_bytes = 0 };
+      controller = None; control_latency = 1e-3; tracer = None;
+      expiry_period }
+  in
+  List.iter
+    (fun n ->
+      match n with
+      | Node.Switch id ->
+        Hashtbl.replace t.switches id
+          { sw_id = id; table = Flow.Table.create ();
+            flood_ports = None; port_stats = Hashtbl.create 8;
+            packet_ins = 0; has_timeouts = false }
+      | Node.Host id ->
+        Hashtbl.replace t.host_tbl id
+          { host_id = id; mac = Packet.Mac.of_host_id id;
+            ip = Packet.Ipv4.of_host_id id; received = 0; rx_bytes = 0;
+            on_receive = None })
+    (Topo.Topology.nodes topo);
+  t
+
+let sim t = t.sim
+let topology t = t.topo
+let stats t = t.stats
+let now t = Sim.now t.sim
+
+let switch t id =
+  match Hashtbl.find_opt t.switches id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Network.switch: no switch %d" id)
+
+let host t id =
+  match Hashtbl.find_opt t.host_tbl id with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Network.host: no host %d" id)
+
+let switch_list t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.switches []
+  |> List.sort (fun a b -> compare a.sw_id b.sw_id)
+
+let host_list t =
+  Hashtbl.fold (fun _ h acc -> h :: acc) t.host_tbl []
+  |> List.sort (fun a b -> compare a.host_id b.host_id)
+
+let trace t fmt =
+  Printf.ksprintf
+    (fun s -> match t.tracer with Some f -> f (now t) s | None -> ())
+    fmt
+
+let set_tracer t f = t.tracer <- Some f
+
+let port_stat sw port =
+  match Hashtbl.find_opt sw.port_stats port with
+  | Some ps -> ps
+  | None ->
+    let ps =
+      { Openflow.Message.pstat_port = port; rx_packets = 0; tx_packets = 0;
+        rx_bytes = 0; tx_bytes = 0; drops = 0 }
+    in
+    Hashtbl.replace sw.port_stats port ps;
+    ps
+
+let link_state t node port =
+  match Hashtbl.find_opt t.links (node, port) with
+  | Some ls -> ls
+  | None ->
+    let ls = { busy_until = 0.0; queued = 0; tx_drops = 0 } in
+    Hashtbl.replace t.links (node, port) ls;
+    ls
+
+(* ------------------------------------------------------------------ *)
+(* Forwarding *)
+
+let rec transmit t node port pkt =
+  match Topo.Topology.link_via t.topo node port with
+  | None ->
+    t.stats.dropped_link <- t.stats.dropped_link + 1;
+    trace t "drop(no-link) %s port %d" (Node.to_string node) port
+  | Some l when not l.up ->
+    t.stats.dropped_link <- t.stats.dropped_link + 1;
+    (match node with
+     | Node.Switch id -> (port_stat (switch t id) port).drops <-
+         (port_stat (switch t id) port).drops + 1
+     | Node.Host _ -> ());
+    trace t "drop(link-down) %s port %d" (Node.to_string node) port
+  | Some l ->
+    let ls = link_state t node port in
+    if ls.queued >= t.queue_depth then begin
+      t.stats.dropped_queue <- t.stats.dropped_queue + 1;
+      ls.tx_drops <- ls.tx_drops + 1;
+      trace t "drop(queue) %s port %d" (Node.to_string node) port
+    end
+    else begin
+      let nowt = now t in
+      let ser = float_of_int (pkt.size * 8) /. l.capacity in
+      let start = max nowt ls.busy_until in
+      ls.busy_until <- start +. ser;
+      ls.queued <- ls.queued + 1;
+      (match node with
+       | Node.Switch id ->
+         let ps = port_stat (switch t id) port in
+         ps.tx_packets <- ps.tx_packets + 1;
+         ps.tx_bytes <- ps.tx_bytes + pkt.size
+       | Node.Host _ -> ());
+      let arrival = start +. ser +. l.delay in
+      Sim.schedule_at t.sim ~time:arrival (fun () ->
+        ls.queued <- ls.queued - 1;
+        (* the link may have failed while the packet was in flight *)
+        if l.up then deliver t l.dst l.dst_port pkt)
+    end
+
+and deliver t node port pkt =
+  match node with
+  | Node.Host id ->
+    let h = host t id in
+    h.received <- h.received + 1;
+    h.rx_bytes <- h.rx_bytes + pkt.size;
+    t.stats.delivered <- t.stats.delivered + 1;
+    trace t "h%d rx tag=%d" id pkt.tag;
+    (match h.on_receive with Some f -> f pkt | None -> ())
+  | Node.Switch id -> switch_process t (switch t id) ~in_port:port pkt
+
+and switch_process t sw ~in_port pkt =
+  if pkt.ttl <= 0 then begin
+    t.stats.dropped_ttl <- t.stats.dropped_ttl + 1;
+    trace t "s%d drop(ttl)" sw.sw_id
+  end
+  else switch_process_live t sw ~in_port pkt
+
+and switch_process_live t sw ~in_port pkt =
+  let hdr = { pkt.hdr with switch = sw.sw_id; in_port } in
+  let pkt = { pkt with hdr; ttl = pkt.ttl - 1 } in
+  let ps = port_stat sw in_port in
+  ps.rx_packets <- ps.rx_packets + 1;
+  ps.rx_bytes <- ps.rx_bytes + pkt.size;
+  match Flow.Table.apply sw.table ~now:(now t) ~size:pkt.size hdr with
+  | None -> packet_in t sw ~in_port ~reason:Openflow.Message.No_match pkt
+  | Some group ->
+    if group = Flow.Action.drop then begin
+      t.stats.dropped_policy <- t.stats.dropped_policy + 1;
+      trace t "s%d drop(policy)" sw.sw_id
+    end
+    else begin
+      t.stats.forwarded <- t.stats.forwarded + 1;
+      execute_outputs t sw ~in_port (Flow.Action.apply_group hdr group) pkt
+    end
+
+and execute_outputs t sw ~in_port outputs pkt =
+  List.iter
+    (fun ((hdr : Packet.Headers.t), (port : Flow.Action.port)) ->
+      let out = { pkt with hdr } in
+      match port with
+      | Physical p -> transmit t (Node.Switch sw.sw_id) p out
+      | In_port_out -> transmit t (Node.Switch sw.sw_id) in_port out
+      | Controller ->
+        packet_in t sw ~in_port ~reason:Openflow.Message.Explicit_send out
+      | Flood ->
+        let candidates =
+          match sw.flood_ports with
+          | Some ports -> ports
+          | None -> Topo.Topology.ports t.topo (Node.Switch sw.sw_id)
+        in
+        List.iter
+          (fun p ->
+            if p <> in_port then transmit t (Node.Switch sw.sw_id) p out)
+          candidates)
+    outputs
+
+(* ------------------------------------------------------------------ *)
+(* Control channel *)
+
+and control_send t sw msg =
+  match t.controller with
+  | None -> ()
+  | Some handler ->
+    let data = Openflow.Wire.encode ~xid:0 msg in
+    t.stats.control_msgs <- t.stats.control_msgs + 1;
+    t.stats.control_bytes <- t.stats.control_bytes + Bytes.length data;
+    Sim.schedule t.sim ~delay:t.control_latency (fun () ->
+      handler ~switch_id:sw.sw_id data)
+
+and packet_in t sw ~in_port ~reason pkt =
+  match t.controller with
+  | None ->
+    t.stats.dropped_miss <- t.stats.dropped_miss + 1;
+    trace t "s%d drop(miss)" sw.sw_id
+  | Some _ ->
+    sw.packet_ins <- sw.packet_ins + 1;
+    trace t "s%d packet-in port=%d" sw.sw_id in_port;
+    control_send t sw
+      (Openflow.Message.Packet_in
+         { in_port; reason;
+           packet = { headers = pkt.hdr; size = pkt.size; tag = pkt.tag } })
+
+(** Registers the controller side of the control channel.  [handler]
+    receives wire-encoded messages from switches; {!controller_send}
+    carries messages the other way.  Both directions incur [latency]. *)
+let attach_controller t ?(latency = 1e-3) handler =
+  t.control_latency <- latency;
+  t.controller <- Some handler
+
+(* Periodic sweep evicting timed-out rules; started lazily when the
+   first rule with a timeout is installed. *)
+let rec schedule_expiry t sw =
+  Sim.schedule t.sim ~delay:t.expiry_period (fun () ->
+    let gone = Flow.Table.expire sw.table ~now:(now t) in
+    List.iter
+      (fun (r : Flow.Table.rule) ->
+        if r.cookie land 0x40000000 <> 0 (* notify bit, see below *) then
+          control_send t sw
+            (Openflow.Message.Flow_removed
+               { fr_pattern = r.pattern; fr_priority = r.priority;
+                 fr_cookie = r.cookie land (lnot 0x40000000);
+                 fr_reason = Openflow.Message.Idle_timeout_expired;
+                 fr_packets = r.packets; fr_bytes = r.bytes }))
+      gone;
+    if sw.has_timeouts then schedule_expiry t sw)
+
+let apply_flow_mod t sw (fm : Openflow.Message.flow_mod) =
+  match fm.command with
+  | Add_flow | Modify_flow ->
+    let cookie =
+      if fm.notify_when_removed then fm.fm_cookie lor 0x40000000
+      else fm.fm_cookie
+    in
+    Flow.Table.add sw.table
+      (Flow.Table.make_rule ~priority:fm.fm_priority ~pattern:fm.fm_pattern
+         ~actions:fm.fm_actions ~idle_timeout:fm.idle_timeout
+         ~hard_timeout:fm.hard_timeout ~cookie ~now:(now t) ());
+    if (fm.idle_timeout <> None || fm.hard_timeout <> None)
+       && not sw.has_timeouts
+    then begin
+      sw.has_timeouts <- true;
+      schedule_expiry t sw
+    end
+  | Delete_flow ->
+    let cookie = if fm.fm_cookie = -1 then None else Some fm.fm_cookie in
+    Flow.Table.remove ?cookie sw.table ~pattern:fm.fm_pattern
+  | Delete_strict_flow ->
+    let cookie = if fm.fm_cookie = -1 then None else Some fm.fm_cookie in
+    Flow.Table.remove_strict ?cookie sw.table ~priority:fm.fm_priority
+      ~pattern:fm.fm_pattern
+
+let flow_stats_of_table table pattern =
+  Flow.Table.rules table
+  |> List.filter (fun (r : Flow.Table.rule) ->
+    Flow.Pattern.subsumes ~general:pattern r.pattern)
+  |> List.map (fun (r : Flow.Table.rule) ->
+    { Openflow.Message.fs_pattern = r.pattern; fs_priority = r.priority;
+      fs_cookie = r.cookie; fs_packets = r.packets; fs_bytes = r.bytes })
+
+let handle_at_switch t sw (msg : Openflow.Message.t) =
+  match msg with
+  | Hello -> control_send t sw Openflow.Message.Hello
+  | Echo_request s -> control_send t sw (Openflow.Message.Echo_reply s)
+  | Features_request ->
+    control_send t sw
+      (Openflow.Message.Features_reply
+         { datapath_id = sw.sw_id;
+           port_list = Topo.Topology.ports t.topo (Node.Switch sw.sw_id) })
+  | Flow_mod fm -> apply_flow_mod t sw fm
+  | Packet_out po ->
+    let pkt =
+      { hdr = po.out_packet.headers; size = po.out_packet.size;
+        tag = po.out_packet.tag; ttl = default_ttl }
+    in
+    let hdr = { pkt.hdr with switch = sw.sw_id } in
+    let outputs =
+      Flow.Action.apply_group hdr [ po.out_actions ]
+    in
+    execute_outputs t sw ~in_port:po.out_in_port outputs pkt
+  | Barrier_request -> control_send t sw Openflow.Message.Barrier_reply
+  | Stats_request (Flow_stats_request pattern) ->
+    control_send t sw
+      (Openflow.Message.Stats_reply
+         (Flow_stats_reply (flow_stats_of_table sw.table pattern)))
+  | Stats_request (Port_stats_request which) ->
+    let ports =
+      match which with
+      | Some p -> [ port_stat sw p ]
+      | None ->
+        Topo.Topology.ports t.topo (Node.Switch sw.sw_id)
+        |> List.map (port_stat sw)
+    in
+    control_send t sw (Openflow.Message.Stats_reply (Port_stats_reply ports))
+  | Stats_request Table_stats_request ->
+    control_send t sw
+      (Openflow.Message.Stats_reply
+         (Table_stats_reply
+            { active_rules = Flow.Table.size sw.table;
+              table_hits = Flow.Table.hits sw.table;
+              table_misses = Flow.Table.misses sw.table }))
+  | Echo_reply _ | Features_reply _ | Packet_in _ | Port_status _
+  | Flow_removed _ | Stats_reply _ | Barrier_reply ->
+    ()  (* controller-bound messages are meaningless at a switch *)
+
+(** Controller → switch: delivers wire-encoded [data] to [switch_id]
+    after the control-channel latency.
+    @raise Openflow.Wire.Wire_error on undecodable bytes (at delivery). *)
+let controller_send t ~switch_id data =
+  t.stats.control_msgs <- t.stats.control_msgs + 1;
+  t.stats.control_bytes <- t.stats.control_bytes + Bytes.length data;
+  Sim.schedule t.sim ~delay:t.control_latency (fun () ->
+    let _xid, msg = Openflow.Wire.decode data in
+    handle_at_switch t (switch t switch_id) msg)
+
+(* ------------------------------------------------------------------ *)
+(* Failures *)
+
+(** Fails the link at [(node, port)] and notifies the controller with
+    port-status messages from both endpoints (switches only). *)
+let fail_link t node port =
+  (match Topo.Topology.link_via t.topo node port with
+   | None -> ()
+   | Some l ->
+     Topo.Topology.set_link_up t.topo (node, port) false;
+     trace t "link %s[%d] down" (Node.to_string node) port;
+     let notify n p =
+       match n with
+       | Node.Switch id ->
+         control_send t (switch t id)
+           (Openflow.Message.Port_status
+              { ps_port = p; ps_reason = Openflow.Message.Port_down })
+       | Node.Host _ -> ()
+     in
+     notify node port;
+     notify l.dst l.dst_port)
+
+let restore_link t node port =
+  match Topo.Topology.link_via t.topo node port with
+  | None -> ()
+  | Some l ->
+    Topo.Topology.set_link_up t.topo (node, port) true;
+    trace t "link %s[%d] up" (Node.to_string node) port;
+    let notify n p =
+      match n with
+      | Node.Switch id ->
+        control_send t (switch t id)
+          (Openflow.Message.Port_status
+             { ps_port = p; ps_reason = Openflow.Message.Port_up })
+      | Node.Host _ -> ()
+    in
+    notify node port;
+    notify l.dst l.dst_port
+
+(* ------------------------------------------------------------------ *)
+(* Host sending *)
+
+(** [send_from t ~host pkt] puts [pkt] on the host's access link at the
+    current simulated time (headers should carry the intended addressing;
+    location fields are set by the receiving switch). *)
+let send_from t ~host:id pkt =
+  let _h = host t id in
+  transmit t (Node.Host id) 1 pkt
+
+(** Builds a TCP-shaped packet from one synthesized host to another. *)
+let make_pkt ?(size = 1000) ?(tag = 0) ?(tp_src = 10000) ?(tp_dst = 80)
+    ?(ttl = default_ttl) ~src ~dst () =
+  { hdr =
+      Packet.Headers.tcp ~switch:0 ~in_port:0 ~src_host:src ~dst_host:dst
+        ~tp_src ~tp_dst;
+    size; tag; ttl }
+
+(** [run t ?until ()] advances the simulation (see {!Sim.run}). *)
+let run ?until ?max_events t () = Sim.run ?until ?max_events t.sim
+
+let pp_stats fmt (c : counters) =
+  Format.fprintf fmt
+    "delivered=%d forwarded=%d dropped(policy=%d miss=%d queue=%d link=%d ttl=%d) control(msgs=%d bytes=%d)"
+    c.delivered c.forwarded c.dropped_policy c.dropped_miss c.dropped_queue
+    c.dropped_link c.dropped_ttl c.control_msgs c.control_bytes

@@ -1,0 +1,77 @@
+(** The discrete-event engine: a clock and a priority queue of thunks.
+    Everything in the simulated network — packet transmission, link
+    propagation, controller latency, traffic generation, timeouts — is
+    expressed as scheduled events.  Ties execute in scheduling order, so
+    runs are deterministic. *)
+
+type t = {
+  mutable now : float;
+  events : (unit -> unit) Util.Heap.t;
+  mutable executed : int;
+  mutable running : bool;
+}
+
+let create () =
+  { now = 0.0; events = Util.Heap.create (); executed = 0; running = false }
+
+(** Current simulated time in seconds. *)
+let now t = t.now
+
+(** Number of events executed so far. *)
+let executed t = t.executed
+
+(** [schedule t ~delay f] runs [f] at [now + delay].
+    @raise Invalid_argument on negative delay. *)
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  Util.Heap.push t.events (t.now +. delay) f
+
+(** [schedule_at t ~time f] runs [f] at the absolute [time] (clamped to
+    the present if already past). *)
+let schedule_at t ~time f = Util.Heap.push t.events (max time t.now) f
+
+let pending t = Util.Heap.length t.events
+
+(** Executes the next event; returns [false] when none remain. *)
+let step t =
+  match Util.Heap.pop t.events with
+  | exception Not_found -> false
+  | time, f ->
+    t.now <- max t.now time;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+(** [run ?until ?max_events t] drains the event queue.  [until] stops the
+    clock at an absolute time (events beyond it stay queued); [max_events]
+    bounds work as a runaway guard.  Returns the number of events
+    executed by this call. *)
+let run ?until ?max_events t =
+  if t.running then invalid_arg "Sim.run: already running";
+  t.running <- true;
+  let start = t.executed in
+  let budget = match max_events with None -> max_int | Some m -> m in
+  let rec loop n =
+    if n >= budget then ()
+    else begin
+      match Util.Heap.peek t.events with
+      | None -> ()
+      | Some (time, _) ->
+        (match until with
+         | Some stop when time > stop -> t.now <- stop
+         | Some _ | None ->
+           if step t then loop (n + 1))
+    end
+  in
+  loop 0;
+  t.running <- false;
+  t.executed - start
+
+(** Periodic task: runs [f] every [every] seconds starting after [every],
+    until [f] returns [false] or the optional [stop] time passes. *)
+let rec every t ~every:interval ?stop f =
+  schedule t ~delay:interval (fun () ->
+    let continue_ =
+      match stop with Some s when t.now > s -> false | Some _ | None -> f ()
+    in
+    if continue_ then every t ~every:interval ?stop f)

@@ -1,0 +1,150 @@
+(** Workload generators and simple host applications layered on the
+    simulated network: constant-bit-rate and Poisson flows, ping-style
+    request/response with RTT measurement, and random traffic mixes. *)
+
+type flow_spec = {
+  src : int;           (** source host id *)
+  dst : int;           (** destination host id *)
+  rate_pps : float;    (** packets per second *)
+  pkt_size : int;      (** bytes *)
+  start : float;
+  stop : float;
+  tp_dst : int;
+  tp_src : int option; (** fixed source port, or [None] to vary per packet *)
+}
+
+let default_flow ~src ~dst =
+  { src; dst; rate_pps = 100.0; pkt_size = 1000; start = 0.0; stop = 1.0;
+    tp_dst = 80; tp_src = None }
+
+(** [cbr net spec] schedules a constant-bit-rate packet train.  Returns a
+    counter cell incremented per packet sent. *)
+let cbr net (spec : flow_spec) =
+  let sent = ref 0 in
+  let interval = 1.0 /. spec.rate_pps in
+  let sim = Network.sim net in
+  let rec send_at time =
+    if time <= spec.stop then
+      Sim.schedule_at sim ~time (fun () ->
+        let tp_src =
+          match spec.tp_src with
+          | Some p -> p
+          | None -> 10000 + (!sent mod 50000)
+        in
+        let pkt =
+          Network.make_pkt ~size:spec.pkt_size ~tp_dst:spec.tp_dst ~tp_src
+            ~src:spec.src ~dst:spec.dst ()
+        in
+        incr sent;
+        Network.send_from net ~host:spec.src pkt;
+        send_at (time +. interval))
+  in
+  send_at spec.start;
+  sent
+
+(** [poisson net ~prng spec] — as {!cbr} with exponential inter-arrivals
+    of mean [1 / rate_pps]. *)
+let poisson net ~prng (spec : flow_spec) =
+  let sent = ref 0 in
+  let sim = Network.sim net in
+  let rec send_at time =
+    if time <= spec.stop then
+      Sim.schedule_at sim ~time (fun () ->
+        let tp_src =
+          match spec.tp_src with
+          | Some p -> p
+          | None -> 10000 + (!sent mod 50000)
+        in
+        let pkt =
+          Network.make_pkt ~size:spec.pkt_size ~tp_dst:spec.tp_dst ~tp_src
+            ~src:spec.src ~dst:spec.dst ()
+        in
+        incr sent;
+        Network.send_from net ~host:spec.src pkt;
+        send_at (time +. Util.Prng.exponential prng ~mean:(1.0 /. spec.rate_pps)))
+  in
+  send_at spec.start;
+  sent
+
+(** Ping application: echo requests carry a tag; the destination host
+    answers with the tag mirrored; RTTs are recorded at the source.
+
+    [install_responders net] must be called once so that every host
+    answers pings (it composes with an existing receive handler). *)
+
+let ping_tag_bit = 0x100000  (* distinguishes requests from replies *)
+
+let install_responders net =
+  List.iter
+    (fun (h : Network.host) ->
+      let previous = h.on_receive in
+      h.on_receive <-
+        Some
+          (fun pkt ->
+            (match previous with Some f -> f pkt | None -> ());
+            if pkt.tag land ping_tag_bit <> 0 then begin
+              (* answer: swap src/dst, clear the request bit *)
+              let hdr = pkt.hdr in
+              let reply_hdr =
+                { hdr with
+                  eth_src = hdr.eth_dst; eth_dst = hdr.eth_src;
+                  ip4_src = hdr.ip4_dst; ip4_dst = hdr.ip4_src;
+                  tp_src = hdr.tp_dst; tp_dst = hdr.tp_src }
+              in
+              Network.send_from net ~host:h.host_id
+                { pkt with hdr = reply_hdr; tag = pkt.tag land lnot ping_tag_bit }
+            end))
+    (Network.host_list net)
+
+type ping_result = { rtts : (int * float) list ref; lost : unit -> int }
+
+(** [ping net ~src ~dst ~count ~interval] sends [count] echo requests and
+    records (sequence, RTT) pairs as replies arrive.  Call after
+    {!install_responders}. *)
+let ping net ~src ~dst ~count ~interval =
+  let rtts = ref [] in
+  let sent_at : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let h = Network.host net src in
+  let previous = h.on_receive in
+  h.on_receive <-
+    Some
+      (fun pkt ->
+        (match previous with Some f -> f pkt | None -> ());
+        if pkt.tag land ping_tag_bit = 0 then begin
+          match Hashtbl.find_opt sent_at pkt.tag with
+          | Some t0 ->
+            Hashtbl.remove sent_at pkt.tag;
+            rtts := (pkt.tag, Network.now net -. t0) :: !rtts
+          | None -> ()
+        end);
+  let sim = Network.sim net in
+  for i = 0 to count - 1 do
+    Sim.schedule sim ~delay:(float_of_int i *. interval) (fun () ->
+      let tag = i lor ping_tag_bit in
+      Hashtbl.replace sent_at i (Network.now net);
+      let pkt = Network.make_pkt ~size:100 ~tag ~src ~dst () in
+      Network.send_from net ~host:src pkt)
+  done;
+  { rtts; lost = (fun () -> Hashtbl.length sent_at) }
+
+(** [random_pairs net ~prng ~flows ~rate_pps ~stop] starts [flows] CBR
+    flows between uniformly chosen distinct host pairs; returns the
+    per-flow sent counters. *)
+let random_pairs net ~prng ~flows ~rate_pps ~pkt_size ~stop =
+  let ids = Array.of_list (List.map (fun (h : Network.host) -> h.host_id)
+                             (Network.host_list net)) in
+  if Array.length ids < 2 then invalid_arg "Traffic.random_pairs: < 2 hosts";
+  List.init flows (fun _ ->
+    let src = Util.Prng.pick prng ids in
+    let rec pick_dst () =
+      let d = Util.Prng.pick prng ids in
+      if d = src then pick_dst () else d
+    in
+    let dst = pick_dst () in
+    cbr net { (default_flow ~src ~dst) with rate_pps; pkt_size; stop })
+
+(** Total packets received across all hosts. *)
+let total_received net =
+  List.fold_left
+    (fun acc (h : Network.host) -> acc + h.received)
+    0 (Network.host_list net)

@@ -1,0 +1,180 @@
+(** A reliable transport on top of the lossy dataplane: sliding-window
+    ARQ with cumulative ACKs and timeout retransmission — the protocol
+    stack run as a host application, in the x-kernel tradition of
+    composing protocols above a bare forwarding substrate.
+
+    Sequence numbers and ACKs ride in the packet's [tag] field (data:
+    [seq], ACK: [ack_bit lor highest_in_order]).  The receiver delivers
+    in order and acknowledges cumulatively; the sender keeps up to
+    [window] packets in flight and retransmits on a fixed RTO.  Loss
+    comes from the network itself (drop-tail queues, failures), so the
+    transfer exercises exactly the queueing behavior the simulator
+    models.  Used by experiment E14 (goodput vs window vs queue depth). *)
+
+let ack_bit = 0x400000
+
+type stats = {
+  mutable sent : int;            (** data transmissions incl. retransmits *)
+  mutable retransmissions : int;
+  mutable acks_received : int;
+  mutable completed_at : float;  (** simulated completion time; nan if not *)
+}
+
+type t = {
+  net : Network.t;
+  src : int;
+  dst : int;
+  total : int;        (** packets to deliver *)
+  window : int;
+  rto : float;
+  max_retx : int;     (** per-packet retransmission budget before abort *)
+  pkt_size : int;
+  tp_dst : int;
+  start_time : float;
+  stats : stats;
+  retx_count : (int, int) Hashtbl.t;
+  mutable aborted : bool;
+  mutable timer_gen : int;  (* invalidates stale timers on base advance *)
+  (* sender state *)
+  mutable base : int;        (* lowest unacked seq *)
+  mutable next_seq : int;    (* next never-sent seq *)
+  mutable done_ : bool;
+  (* receiver state *)
+  mutable expected : int;    (* next in-order seq the receiver wants *)
+  out_of_order : (int, unit) Hashtbl.t;
+  mutable delivered : int;
+}
+
+let stats t = t.stats
+let is_complete t = t.done_
+let is_aborted t = t.aborted
+let delivered t = t.delivered
+
+let send_data t seq ~retransmit =
+  t.stats.sent <- t.stats.sent + 1;
+  if retransmit then
+    t.stats.retransmissions <- t.stats.retransmissions + 1;
+  Network.send_from t.net ~host:t.src
+    (Network.make_pkt ~size:t.pkt_size ~tag:seq ~tp_dst:t.tp_dst ~src:t.src
+       ~dst:t.dst ())
+
+let send_ack t upto =
+  Network.send_from t.net ~host:t.dst
+    (Network.make_pkt ~size:64 ~tag:(ack_bit lor upto) ~tp_dst:t.tp_dst
+       ~src:t.dst ~dst:t.src ())
+
+(* fill the window *)
+let rec pump t =
+  if (not t.done_) && t.next_seq < t.total
+     && t.next_seq - t.base < t.window
+  then begin
+    let seq = t.next_seq in
+    t.next_seq <- t.next_seq + 1;
+    send_data t seq ~retransmit:false;
+    pump t
+  end
+
+(* One timer per connection (go-back-N).  On expiry the whole
+   outstanding window is retransmitted *starting at base*, so the packet
+   that gates progress is first into any bottleneck queue — per-packet
+   timers are prone to deterministic starvation of the base packet when
+   their firing order drifts. *)
+and arm_timer t =
+  t.timer_gen <- t.timer_gen + 1;
+  let gen = t.timer_gen in
+  Sim.schedule (Network.sim t.net) ~delay:t.rto (fun () ->
+    if (not t.done_) && (not t.aborted) && gen = t.timer_gen
+       && t.base < t.next_seq
+    then begin
+      let n =
+        1 + Option.value ~default:0 (Hashtbl.find_opt t.retx_count t.base)
+      in
+      if n > t.max_retx then t.aborted <- true
+      else begin
+        Hashtbl.replace t.retx_count t.base n;
+        for seq = t.base to t.next_seq - 1 do
+          send_data t seq ~retransmit:true
+        done;
+        arm_timer t
+      end
+    end
+    else if (not t.done_) && (not t.aborted) && gen = t.timer_gen then
+      arm_timer t)
+
+let on_sender_receive t (pkt : Network.pkt) =
+  if pkt.tag land ack_bit <> 0 then begin
+    let upto = pkt.tag land lnot ack_bit in
+    t.stats.acks_received <- t.stats.acks_received + 1;
+    if upto + 1 > t.base then begin
+      t.base <- upto + 1;
+      if t.base >= t.total then begin
+        if not t.done_ then begin
+          t.done_ <- true;
+          t.stats.completed_at <- Network.now t.net
+        end
+      end
+      else begin
+        pump t;
+        (* fresh RTT credit for the new base *)
+        arm_timer t
+      end
+    end
+  end
+
+let on_receiver_receive t (pkt : Network.pkt) =
+  if pkt.tag land ack_bit = 0 && pkt.hdr.tp_dst = t.tp_dst then begin
+    let seq = pkt.tag in
+    if seq = t.expected then begin
+      t.expected <- t.expected + 1;
+      t.delivered <- t.delivered + 1;
+      (* drain any buffered successors *)
+      while Hashtbl.mem t.out_of_order t.expected do
+        Hashtbl.remove t.out_of_order t.expected;
+        t.expected <- t.expected + 1;
+        t.delivered <- t.delivered + 1
+      done
+    end
+    else if seq > t.expected && not (Hashtbl.mem t.out_of_order seq) then
+      Hashtbl.replace t.out_of_order seq ();
+    (* cumulative ACK (also re-ACKs duplicates, unblocking the sender) *)
+    send_ack t (t.expected - 1)
+  end
+
+(** [start net ~src ~dst ~total ()] — begins a reliable transfer of
+    [total] packets; composes with existing host receive handlers.  Run
+    the simulation, then inspect {!stats} / {!is_complete}. *)
+let start net ~src ~dst ~total ?(window = 8) ?(rto = 0.05)
+    ?(max_retx = 50) ?(pkt_size = 1000) ?(tp_dst = 9000) () =
+  if total <= 0 then invalid_arg "Transport.start: total";
+  if window <= 0 then invalid_arg "Transport.start: window";
+  let t =
+    { net; src; dst; total; window; rto; max_retx; pkt_size; tp_dst;
+      start_time = Network.now net;
+      stats = { sent = 0; retransmissions = 0; acks_received = 0;
+                completed_at = nan };
+      retx_count = Hashtbl.create 32; aborted = false; timer_gen = 0;
+      base = 0; next_seq = 0; done_ = false; expected = 0;
+      out_of_order = Hashtbl.create 32; delivered = 0 }
+  in
+  let chain host f =
+    let h = Network.host net host in
+    let previous = h.on_receive in
+    h.on_receive <-
+      Some
+        (fun pkt ->
+          (match previous with Some g -> g pkt | None -> ());
+          f pkt)
+  in
+  chain src (on_sender_receive t);
+  chain dst (on_receiver_receive t);
+  pump t;
+  arm_timer t;
+  t
+
+(** Application-level goodput in bits/s (delivered payload over the
+    completed transfer), or [nan] when incomplete. *)
+let goodput t =
+  if not t.done_ then nan
+  else
+    float_of_int (t.total * t.pkt_size * 8)
+    /. (t.stats.completed_at -. t.start_time)

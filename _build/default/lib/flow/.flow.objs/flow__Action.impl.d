@@ -1,0 +1,1 @@
+lib/flow/action.ml: Fields Format Headers List Packet

@@ -1,0 +1,1 @@
+lib/flow/optimize.ml: Action Array List Packet Pattern Table

@@ -1,0 +1,1 @@
+lib/flow/pattern.ml: Fields Format Headers Ipv4 Mac Option Packet Printf String

@@ -1,0 +1,1 @@
+lib/flow/table.ml: Action Format Headers List Packet Pattern

@@ -1,0 +1,82 @@
+(** Flow-rule actions.
+
+    An {!atom} is a single primitive; a {!seq} applies atoms left to
+    right to one copy of the packet; a {!group} is a multiset of
+    sequences, each applied to its own copy (multicast).  The empty group
+    drops the packet; the group containing one empty sequence would
+    forward nowhere — sequences are only meaningful when they end in an
+    [Output]. *)
+
+open Packet
+
+type port =
+  | Physical of int      (** a concrete port number *)
+  | In_port_out          (** send back through the ingress port *)
+  | Flood                (** all ports except ingress (spanning-tree filtered by the switch) *)
+  | Controller           (** punt to the controller as a packet-in *)
+
+type atom =
+  | Set_field of Fields.t * int
+  | Output of port
+
+type seq = atom list
+type group = seq list
+
+let drop : group = []
+
+(** Forward unchanged through one physical port. *)
+let forward p : group = [ [ Output (Physical p) ] ]
+
+let to_controller : group = [ [ Output Controller ] ]
+let flood : group = [ [ Output Flood ] ]
+
+(** [apply_seq h seq] threads headers through the sequence, returning the
+    final headers and the output ports hit along the way (in order). *)
+let apply_seq (h : Headers.t) (s : seq) =
+  let rec go h outs = function
+    | [] -> (h, List.rev outs)
+    | Set_field (f, v) :: rest -> go (Headers.set h f v) outs rest
+    | Output p :: rest -> go h (p :: outs) rest
+  in
+  go h [] s
+
+(** [apply_group h g] yields one [(headers, port)] pair per copy emitted
+    by the group (a sequence with several outputs emits several copies,
+    each carrying the header state at its output point). *)
+let apply_group (h : Headers.t) (g : group) =
+  List.concat_map
+    (fun s ->
+      (* replay the sequence, recording headers at each output *)
+      let rec go h acc = function
+        | [] -> List.rev acc
+        | Set_field (f, v) :: rest -> go (Headers.set h f v) acc rest
+        | Output p :: rest -> go h ((h, p) :: acc) rest
+      in
+      go h [] s)
+    g
+
+let pp_port fmt = function
+  | Physical p -> Format.fprintf fmt "%d" p
+  | In_port_out -> Format.pp_print_string fmt "in_port"
+  | Flood -> Format.pp_print_string fmt "flood"
+  | Controller -> Format.pp_print_string fmt "ctrl"
+
+let pp_atom fmt = function
+  | Set_field (f, v) ->
+    Format.fprintf fmt "%a:=%a" Fields.pp f Fields.pp_value (f, v)
+  | Output p -> Format.fprintf fmt "out(%a)" pp_port p
+
+let pp_seq fmt s =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+    pp_atom fmt s
+
+let pp_group fmt = function
+  | [] -> Format.pp_print_string fmt "drop"
+  | g ->
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " + ")
+      (fun fmt s -> Format.fprintf fmt "[%a]" pp_seq s)
+      fmt g
+
+let group_to_string g = Format.asprintf "%a" pp_group g

@@ -1,0 +1,154 @@
+(** Wildcard match patterns: the left-hand side of a flow-table rule.
+    A pattern constrains a subset of header fields; unconstrained fields
+    match anything.  IPv4 source/destination support CIDR prefixes
+    (longest-prefix matching emerges from rule priorities). *)
+
+open Packet
+
+type t = {
+  in_port : int option;
+  eth_src : Mac.t option;
+  eth_dst : Mac.t option;
+  eth_type : int option;
+  vlan : int option;
+  ip_proto : int option;
+  ip4_src : Ipv4.Prefix.t option;
+  ip4_dst : Ipv4.Prefix.t option;
+  tp_src : int option;
+  tp_dst : int option;
+}
+
+(** Matches every packet. *)
+let any =
+  { in_port = None; eth_src = None; eth_dst = None; eth_type = None;
+    vlan = None; ip_proto = None; ip4_src = None; ip4_dst = None;
+    tp_src = None; tp_dst = None }
+
+let is_any t = t = any
+
+(** [of_field f v] constrains exactly field [f] to [v] (addresses become
+    host prefixes).  @raise Invalid_argument for [Fields.Switch], which is
+    a policy-level meta-field that never appears in a table. *)
+let of_field (f : Fields.t) v =
+  match f with
+  | Switch -> invalid_arg "Pattern.of_field: Switch is not matchable"
+  | In_port -> { any with in_port = Some v }
+  | Eth_src -> { any with eth_src = Some v }
+  | Eth_dst -> { any with eth_dst = Some v }
+  | Eth_type -> { any with eth_type = Some v }
+  | Vlan -> { any with vlan = Some v }
+  | Ip_proto -> { any with ip_proto = Some v }
+  | Ip4_src -> { any with ip4_src = Some (Ipv4.Prefix.host v) }
+  | Ip4_dst -> { any with ip4_dst = Some (Ipv4.Prefix.host v) }
+  | Tp_src -> { any with tp_src = Some v }
+  | Tp_dst -> { any with tp_dst = Some v }
+
+(** [matches t h] tests headers [h] against the pattern. *)
+let matches t (h : Headers.t) =
+  let exact field value =
+    match field with None -> true | Some v -> v = value
+  in
+  let prefix field value =
+    match field with None -> true | Some p -> Ipv4.Prefix.matches p value
+  in
+  exact t.in_port h.in_port
+  && exact t.eth_src h.eth_src
+  && exact t.eth_dst h.eth_dst
+  && exact t.eth_type h.eth_type
+  && exact t.vlan h.vlan
+  && exact t.ip_proto h.ip_proto
+  && prefix t.ip4_src h.ip4_src
+  && prefix t.ip4_dst h.ip4_dst
+  && exact t.tp_src h.tp_src
+  && exact t.tp_dst h.tp_dst
+
+exception Contradiction
+
+(* Meet of two per-field constraints; raises if unsatisfiable. *)
+let meet_exact a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> if x = y then Some x else raise Contradiction
+
+let meet_prefix a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some p, Some q ->
+    if Ipv4.Prefix.subset ~of_:p q then Some q
+    else if Ipv4.Prefix.subset ~of_:q p then Some p
+    else raise Contradiction
+
+(** [conj a b] is the pattern matching exactly the packets matched by
+    both, or [None] when the conjunction is unsatisfiable. *)
+let conj a b =
+  match
+    { in_port = meet_exact a.in_port b.in_port;
+      eth_src = meet_exact a.eth_src b.eth_src;
+      eth_dst = meet_exact a.eth_dst b.eth_dst;
+      eth_type = meet_exact a.eth_type b.eth_type;
+      vlan = meet_exact a.vlan b.vlan;
+      ip_proto = meet_exact a.ip_proto b.ip_proto;
+      ip4_src = meet_prefix a.ip4_src b.ip4_src;
+      ip4_dst = meet_prefix a.ip4_dst b.ip4_dst;
+      tp_src = meet_exact a.tp_src b.tp_src;
+      tp_dst = meet_exact a.tp_dst b.tp_dst }
+  with
+  | p -> Some p
+  | exception Contradiction -> None
+
+(** [subsumes ~general t] holds when every packet matching [t] also
+    matches [general]. *)
+let subsumes ~general t =
+  let exact g s =
+    match (g, s) with
+    | None, _ -> true
+    | Some _, None -> false
+    | Some a, Some b -> a = b
+  in
+  let prefix g s =
+    match (g, s) with
+    | None, _ -> true
+    | Some _, None -> false
+    | Some gp, Some sp -> Ipv4.Prefix.subset ~of_:gp sp
+  in
+  exact general.in_port t.in_port
+  && exact general.eth_src t.eth_src
+  && exact general.eth_dst t.eth_dst
+  && exact general.eth_type t.eth_type
+  && exact general.vlan t.vlan
+  && exact general.ip_proto t.ip_proto
+  && prefix general.ip4_src t.ip4_src
+  && prefix general.ip4_dst t.ip4_dst
+  && exact general.tp_src t.tp_src
+  && exact general.tp_dst t.tp_dst
+
+(** Two patterns overlap when some packet matches both. *)
+let overlap a b = conj a b <> None
+
+(** Number of constrained fields — a rough specificity measure. *)
+let weight t =
+  let count o = match o with None -> 0 | Some _ -> 1 in
+  count t.in_port + count t.eth_src + count t.eth_dst + count t.eth_type
+  + count t.vlan + count t.ip_proto + count t.ip4_src + count t.ip4_dst
+  + count t.tp_src + count t.tp_dst
+
+let pp fmt t =
+  if is_any t then Format.pp_print_string fmt "*"
+  else begin
+    let parts = ref [] in
+    let add name s = parts := Printf.sprintf "%s=%s" name s :: !parts in
+    let addi name o = Option.iter (fun v -> add name (string_of_int v)) o in
+    addi "tpDst" t.tp_dst;
+    addi "tpSrc" t.tp_src;
+    Option.iter (fun p -> add "ip4Dst" (Ipv4.Prefix.to_string p)) t.ip4_dst;
+    Option.iter (fun p -> add "ip4Src" (Ipv4.Prefix.to_string p)) t.ip4_src;
+    addi "ipProto" t.ip_proto;
+    addi "vlan" t.vlan;
+    Option.iter (fun v -> add "ethType" (Printf.sprintf "0x%04x" v)) t.eth_type;
+    Option.iter (fun m -> add "ethDst" (Mac.to_string m)) t.eth_dst;
+    Option.iter (fun m -> add "ethSrc" (Mac.to_string m)) t.eth_src;
+    addi "port" t.in_port;
+    Format.pp_print_string fmt (String.concat "," !parts)
+  end
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,184 @@
+(** Priority flow tables: the forwarding state of one switch.
+
+    Lookup returns the action group of the highest-priority matching
+    rule; among equal priorities the earliest-installed rule wins (as in
+    OpenFlow, equal-priority overlaps are discouraged — {!overlaps}
+    detects them).  Rules carry packet/byte counters and optional idle
+    and hard timeouts evicted by {!expire}. *)
+
+open Packet
+
+type rule = {
+  priority : int;
+  pattern : Pattern.t;
+  actions : Action.group;
+  mutable packets : int;
+  mutable bytes : int;
+  installed_at : float;
+  mutable last_hit : float;
+  idle_timeout : float option;  (** seconds of inactivity before eviction *)
+  hard_timeout : float option;  (** absolute lifetime in seconds *)
+  cookie : int;                 (** opaque tag chosen by the controller *)
+}
+
+type t = {
+  mutable rules : rule list;  (* descending priority, stable within ties *)
+  mutable capacity : int option;  (* max rules, None = unbounded *)
+  mutable misses : int;
+  mutable hits : int;
+}
+
+let create ?capacity () = { rules = []; capacity; misses = 0; hits = 0 }
+
+let size t = List.length t.rules
+let rules t = t.rules
+let hits t = t.hits
+let misses t = t.misses
+
+exception Table_full
+
+let make_rule ?(priority = 0) ?(idle_timeout = None) ?(hard_timeout = None)
+    ?(cookie = 0) ?(now = 0.0) ~pattern ~actions () =
+  { priority; pattern; actions; packets = 0; bytes = 0; installed_at = now;
+    last_hit = now; idle_timeout; hard_timeout; cookie }
+
+(** [add t rule] inserts keeping the descending-priority order; a rule
+    with the same priority and pattern as an existing one replaces it
+    (OpenFlow modify semantics).
+    @raise Table_full when the table is at capacity. *)
+let add t rule =
+  let replaced = ref false in
+  let rules =
+    List.map
+      (fun r ->
+        if r.priority = rule.priority && r.pattern = rule.pattern then begin
+          replaced := true;
+          rule
+        end
+        else r)
+      t.rules
+  in
+  if !replaced then t.rules <- rules
+  else begin
+    (match t.capacity with
+     | Some cap when List.length t.rules >= cap -> raise Table_full
+     | Some _ | None -> ());
+    let rec insert = function
+      | [] -> [ rule ]
+      | r :: rest when r.priority < rule.priority -> rule :: r :: rest
+      | r :: rest -> r :: insert rest
+    in
+    t.rules <- insert t.rules
+  end
+
+(** Removes every rule whose pattern is subsumed by [pattern] (OpenFlow
+    delete semantics); [cookie] restricts deletion to matching cookies. *)
+let remove ?cookie t ~pattern =
+  t.rules <-
+    List.filter
+      (fun r ->
+        let cookie_match =
+          match cookie with None -> true | Some c -> r.cookie = c
+        in
+        not (cookie_match && Pattern.subsumes ~general:pattern r.pattern))
+      t.rules
+
+(** [remove_strict t ~priority ~pattern] removes exactly the rule with
+    this priority and pattern, if present (OpenFlow strict-delete). *)
+let remove_strict ?cookie t ~priority ~pattern =
+  t.rules <-
+    List.filter
+      (fun r ->
+        let cookie_match =
+          match cookie with None -> true | Some c -> r.cookie = c
+        in
+        not (cookie_match && r.priority = priority && r.pattern = pattern))
+      t.rules
+
+let clear t = t.rules <- []
+
+(** [lookup t h] returns the winning rule for headers [h], if any,
+    without touching counters. *)
+let lookup t (h : Headers.t) =
+  List.find_opt (fun r -> Pattern.matches r.pattern h) t.rules
+
+(** [apply t ~now ~size h] performs a dataplane lookup: updates hit/miss
+    and per-rule counters and returns the winning rule's action group, or
+    [None] on a table miss. *)
+let apply t ~now ~size (h : Headers.t) =
+  match lookup t h with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some r ->
+    t.hits <- t.hits + 1;
+    r.packets <- r.packets + 1;
+    r.bytes <- r.bytes + size;
+    r.last_hit <- now;
+    Some r.actions
+
+(** [expire t ~now] evicts rules whose idle or hard timeout has passed,
+    returning the evicted rules (for flow-removed notifications). *)
+let expire t ~now =
+  let expired r =
+    let idle =
+      match r.idle_timeout with
+      | Some dt -> now -. r.last_hit >= dt
+      | None -> false
+    in
+    let hard =
+      match r.hard_timeout with
+      | Some dt -> now -. r.installed_at >= dt
+      | None -> false
+    in
+    idle || hard
+  in
+  let gone, kept = List.partition expired t.rules in
+  t.rules <- kept;
+  gone
+
+(** Pairs of distinct same-priority rules whose patterns overlap — the
+    situations where lookup results depend on insertion order. *)
+let overlaps t =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | r :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc r' ->
+            if r'.priority = r.priority && Pattern.overlap r.pattern r'.pattern
+            then (r, r') :: acc
+            else acc)
+          acc rest
+      in
+      go acc rest
+  in
+  go [] t.rules
+
+(** Rules that can never match because a higher-priority rule subsumes
+    them — dead table entries. *)
+let shadowed t =
+  let rec go seen acc = function
+    | [] -> List.rev acc
+    | r :: rest ->
+      let dead =
+        List.exists
+          (fun earlier ->
+            earlier.priority >= r.priority
+            && Pattern.subsumes ~general:earlier.pattern r.pattern)
+          seen
+      in
+      go (r :: seen) (if dead then r :: acc else acc) rest
+  in
+  go [] [] t.rules
+
+let pp fmt t =
+  Format.fprintf fmt "flow table (%d rules, %d hits, %d misses)@." (size t)
+    t.hits t.misses;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  [%4d] %a -> %a (pkts=%d)@." r.priority Pattern.pp
+        r.pattern Action.pp_group r.actions r.packets)
+    t.rules
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,1 @@
+lib/netkat/analysis.ml: Fdd Fields Headers List Local Packet Syntax

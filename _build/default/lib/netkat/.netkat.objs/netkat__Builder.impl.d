@@ -1,0 +1,1 @@
+lib/netkat/builder.ml: Fields Ipv4 List Mac Option Packet Syntax Topo Util

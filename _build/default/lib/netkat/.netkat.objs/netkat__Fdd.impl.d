@@ -1,0 +1,1 @@
+lib/netkat/fdd.ml: Fields Format Hashtbl Headers List Packet Set Syntax

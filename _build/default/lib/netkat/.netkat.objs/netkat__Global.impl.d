@@ -1,0 +1,1 @@
+lib/netkat/global.ml: Fields List Packet Printf Syntax Topo

@@ -1,0 +1,1 @@
+lib/netkat/local.ml: Fdd Fields Flow Format List Packet

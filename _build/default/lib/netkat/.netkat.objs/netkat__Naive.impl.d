@@ -1,0 +1,1 @@
+lib/netkat/naive.ml: Fdd Fields Flow List Local Packet Syntax

@@ -1,0 +1,1 @@
+lib/netkat/parser.ml: List Packet Printf String Syntax

@@ -1,0 +1,1 @@
+lib/netkat/semantics.ml: Headers Packet Set Syntax

@@ -1,0 +1,1 @@
+lib/netkat/syntax.ml: Fields Format List Packet

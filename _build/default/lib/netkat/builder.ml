@@ -1,0 +1,128 @@
+(** Policy builders: canonical network-wide policies synthesized from a
+    topology.  These are the workloads of the compiler experiments and
+    the proactive controller app. *)
+
+open Packet
+module Node = Topo.Topology.Node
+
+(** [routing_policy topo] — destination-based shortest-path L2/L3
+    forwarding: for every host [h] and every switch [sw] that can reach
+    it, match [Eth_dst = mac h] at [sw] and forward out the next-hop port
+    of a shortest path.  The union over all pairs is the network-wide
+    policy. *)
+let routing_policy topo =
+  let pols = ref [] in
+  List.iter
+    (fun dst ->
+      let dst_node = Node.Host dst in
+      let mac = Mac.of_host_id dst in
+      (* one BFS per destination gives every switch's next hop: run BFS
+         from the destination and follow predecessor hops backwards. *)
+      List.iter
+        (fun sw_node ->
+          match Topo.Path.shortest_path topo ~src:sw_node ~dst:dst_node with
+          | None | Some [] -> ()
+          | Some (first_hop :: _) ->
+            let sw = Node.id sw_node in
+            pols :=
+              Syntax.big_seq
+                [ Syntax.at ~switch:sw;
+                  Syntax.filter (Syntax.test Fields.Eth_dst mac);
+                  Syntax.forward first_hop.Topo.Path.out_port ]
+              :: !pols)
+        (Topo.Topology.switches topo))
+    (Topo.Topology.host_ids topo);
+  Syntax.big_union (List.rev !pols)
+
+(** IP-destination variant of {!routing_policy} (matches [Ip4_dst]). *)
+let ip_routing_policy topo =
+  let pols = ref [] in
+  List.iter
+    (fun dst ->
+      let dst_node = Node.Host dst in
+      let ip = Ipv4.of_host_id dst in
+      List.iter
+        (fun sw_node ->
+          match Topo.Path.shortest_path topo ~src:sw_node ~dst:dst_node with
+          | None | Some [] -> ()
+          | Some (first_hop :: _) ->
+            pols :=
+              Syntax.big_seq
+                [ Syntax.at ~switch:(Node.id sw_node);
+                  Syntax.filter (Syntax.test Fields.Ip4_dst ip);
+                  Syntax.forward first_hop.Topo.Path.out_port ]
+              :: !pols)
+        (Topo.Topology.switches topo))
+    (Topo.Topology.host_ids topo);
+  Syntax.big_union (List.rev !pols)
+
+(** One entry of an access-control list. *)
+type acl_entry = {
+  allow : bool;
+  src_ip : Ipv4.t option;
+  dst_ip : Ipv4.t option;
+  proto : int option;
+  dst_port : int option;
+}
+
+let acl_pred (e : acl_entry) =
+  let tests =
+    List.filter_map
+      (fun x -> x)
+      [ Option.map (Syntax.test Fields.Ip4_src) e.src_ip;
+        Option.map (Syntax.test Fields.Ip4_dst) e.dst_ip;
+        Option.map (Syntax.test Fields.Ip_proto) e.proto;
+        Option.map (Syntax.test Fields.Tp_dst) e.dst_port ]
+  in
+  List.fold_left Syntax.conj Syntax.True tests
+
+(** [acl_policy entries ~default_allow] — first-match-wins access
+    control, expressed as nested if-then-else over the entry predicates.
+    Composed in sequence with a forwarding policy it yields a firewall. *)
+let acl_policy entries ~default_allow =
+  let rec build = function
+    | [] -> if default_allow then Syntax.id else Syntax.drop
+    | e :: rest ->
+      Syntax.ite (acl_pred e)
+        (if e.allow then Syntax.id else Syntax.drop)
+        (build rest)
+  in
+  build entries
+
+(** [firewall topo entries] — routing restricted by the ACL. *)
+let firewall ?(default_allow = true) topo entries =
+  Syntax.seq (acl_policy entries ~default_allow) (ip_routing_policy topo)
+
+(** [isolation_policy topo ~groups] — slices hosts into groups and only
+    routes traffic whose source and destination IP belong to the same
+    group (a PlanetLab-style coexistence policy). *)
+let isolation_policy topo ~groups =
+  let same_group =
+    List.map
+      (fun group ->
+        let members src =
+          Syntax.big_union
+            (List.map
+               (fun h -> Syntax.filter
+                  (Syntax.test
+                     (if src then Fields.Ip4_src else Fields.Ip4_dst)
+                     (Ipv4.of_host_id h)))
+               group)
+        in
+        Syntax.seq (members true) (members false))
+      groups
+  in
+  Syntax.seq (Syntax.big_union same_group) (ip_routing_policy topo)
+
+(** Random exact-match ACL entries for benchmarks: [n] entries over the
+    given host-id universe. *)
+let random_acl prng ~n ~hosts =
+  List.init n (fun _ ->
+    { allow = Util.Prng.bool prng;
+      src_ip =
+        (if Util.Prng.bool prng then
+           Some (Ipv4.of_host_id (1 + Util.Prng.int prng hosts))
+         else None);
+      dst_ip = Some (Ipv4.of_host_id (1 + Util.Prng.int prng hosts));
+      proto = Some (if Util.Prng.bool prng then 6 else 17);
+      dst_port = (if Util.Prng.bool prng then Some (Util.Prng.int prng 1024) else None) })

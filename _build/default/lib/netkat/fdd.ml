@@ -1,0 +1,395 @@
+(** Forwarding decision diagrams (FDDs) — the compiler's intermediate
+    representation, after Smolka et al.'s "A fast compiler for NetKAT".
+
+    An FDD is a binary decision diagram whose internal nodes test
+    [field = value] and whose leaves are {e action sets}: sets of partial
+    header updates, each update producing one output packet (the empty
+    set is drop, the singleton empty update is the identity).
+
+    Diagrams are ordered — along any root-to-leaf path, tests appear in
+    nondecreasing field order, a field is never tested again after a
+    true-branch, and equal fields appear with increasing values along
+    false-branches — and hash-consed, so semantic construction is
+    maximally shared and physical equality [==] coincides with diagram
+    equality.  All construction goes through {!leaf} and {!branch}. *)
+
+open Packet
+
+(** A single action: a partial header update, sorted by field, at most
+    one binding per field.  Applying it to a packet yields one packet. *)
+module Act = struct
+  type t = (Fields.t * int) list
+
+  (** The identity update. *)
+  let id : t = []
+
+  let field_cmp (f, _) (g, _) = Fields.compare f g
+
+  let of_list l =
+    let sorted = List.sort_uniq (fun a b ->
+      match field_cmp a b with 0 -> compare (snd a) (snd b) | c -> c) l
+    in
+    (* reject two bindings for one field *)
+    let rec check = function
+      | (f, _) :: ((g, _) :: _ as rest) ->
+        if Fields.equal f g then invalid_arg "Fdd.Act.of_list: duplicate field"
+        else check rest
+      | [ _ ] | [] -> ()
+    in
+    check sorted;
+    sorted
+
+  let get (t : t) f =
+    List.find_map (fun (g, v) -> if Fields.equal f g then Some v else None) t
+
+  (** [compose a b] is the update "do [a], then [b]" ([b] wins). *)
+  let compose (a : t) (b : t) : t =
+    let keep_a = List.filter (fun (f, _) -> get b f = None) a in
+    List.sort field_cmp (keep_a @ b)
+
+  let apply (t : t) (h : Headers.t) =
+    List.fold_left (fun h (f, v) -> Headers.set h f v) h t
+
+  let compare (a : t) (b : t) =
+    compare
+      (List.map (fun (f, v) -> (Fields.index f, v)) a)
+      (List.map (fun (f, v) -> (Fields.index f, v)) b)
+
+  let pp fmt (t : t) =
+    match t with
+    | [] -> Format.pp_print_string fmt "id"
+    | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+        (fun fmt (f, v) ->
+          Format.fprintf fmt "%a:=%a" Fields.pp f Fields.pp_value (f, v))
+        fmt t
+end
+
+module ActSet = Set.Make (Act)
+
+type test = Fields.t * int
+
+type t = { uid : int; node : node }
+
+and node =
+  | Leaf of ActSet.t
+  | Branch of test * t * t  (** test, true-branch, false-branch *)
+
+let uid t = t.uid
+
+let test_compare (f, v) (g, u) =
+  match Fields.compare f g with 0 -> compare v u | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing *)
+
+module Leaf_key = struct
+  type t = ActSet.t
+
+  let equal = ActSet.equal
+  let hash s = Hashtbl.hash (List.map (List.map (fun (f, v) -> (Fields.index f, v))) (ActSet.elements s))
+end
+
+module Leaf_tbl = Hashtbl.Make (Leaf_key)
+
+let leaf_tbl : t Leaf_tbl.t = Leaf_tbl.create 256
+let branch_tbl : (int * int * int * int, t) Hashtbl.t = Hashtbl.create 256
+let next_uid = ref 0
+
+let fresh node =
+  let t = { uid = !next_uid; node } in
+  incr next_uid;
+  t
+
+let leaf acts =
+  match Leaf_tbl.find_opt leaf_tbl acts with
+  | Some t -> t
+  | None ->
+    let t = fresh (Leaf acts) in
+    Leaf_tbl.add leaf_tbl acts t;
+    t
+
+(** [branch test tru fls] hash-conses, collapsing redundant tests. *)
+let branch ((f, v) as test) tru fls =
+  if tru == fls then tru
+  else begin
+    let key = (Fields.index f, v, tru.uid, fls.uid) in
+    match Hashtbl.find_opt branch_tbl key with
+    | Some t -> t
+    | None ->
+      let t = fresh (Branch (test, tru, fls)) in
+      Hashtbl.add branch_tbl key t;
+      t
+  end
+
+let drop = leaf ActSet.empty
+let ident = leaf (ActSet.singleton Act.id)
+
+(** Resets the hash-cons tables (used between benchmark runs to measure
+    cold construction).  Existing diagrams remain usable but will no
+    longer share with new ones. *)
+let clear_cache () =
+  Leaf_tbl.reset leaf_tbl;
+  Hashtbl.reset branch_tbl;
+  ignore (leaf ActSet.empty);
+  ignore (leaf (ActSet.singleton Act.id))
+
+let equal a b = a == b
+
+(* ------------------------------------------------------------------ *)
+(* Cofactors and generic binary apply *)
+
+(* [pos test d]: specialize [d] under the assumption [test] holds.
+   Precondition: [d]'s root test is >= [test] in diagram order. *)
+let rec pos ((f, v) as t) d =
+  match d.node with
+  | Leaf _ -> d
+  | Branch ((g, u), tru, fls) ->
+    if Fields.equal g f then if u = v then tru else pos t fls else d
+
+(* [neg test d]: specialize [d] under the assumption [test] fails. *)
+let neg test d =
+  match d.node with
+  | Branch (root, _, fls) when test_compare root test = 0 -> fls
+  | Leaf _ | Branch _ -> d
+
+let min_root a b =
+  match (a.node, b.node) with
+  | Branch (ta, _, _), Branch (tb, _, _) ->
+    if test_compare ta tb <= 0 then ta else tb
+  | Branch (ta, _, _), Leaf _ -> ta
+  | Leaf _, Branch (tb, _, _) -> tb
+  | Leaf _, Leaf _ -> assert false
+
+(* Shannon-expansion apply of a leaf-level binary operation.  [op] must
+   be deterministic; results are memoized per call on (uid, uid). *)
+let apply op =
+  let memo : (int * int, t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go a b =
+    match (a.node, b.node) with
+    | Leaf x, Leaf y -> leaf (op x y)
+    | _ ->
+      let key = (a.uid, b.uid) in
+      (match Hashtbl.find_opt memo key with
+       | Some r -> r
+       | None ->
+         let test = min_root a b in
+         let r =
+           branch test (go (pos test a) (pos test b))
+             (go (neg test a) (neg test b))
+         in
+         Hashtbl.add memo key r;
+         r)
+  in
+  go
+
+(** Pointwise union of the two diagrams' action sets. *)
+let union a b = if a == b then a else apply ActSet.union a b
+
+(* Gate: where the predicate diagram [p] passes, behave as [d]. *)
+let gate p d =
+  apply (fun pass acts -> if ActSet.is_empty pass then ActSet.empty else acts)
+    p d
+
+(** [cond test t e]: if [test] then [t] else [e], restoring diagram order
+    regardless of the orders of [t] and [e]. *)
+let cond test t e =
+  if t == e then t
+  else begin
+    let p_pos = branch test ident drop in
+    let p_neg = branch test drop ident in
+    union (gate p_pos t) (gate p_neg e)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sequencing *)
+
+(* [act_seq act d]: the diagram "apply [act], then run [d]", expressed
+   over the *input* packet.  Tests in [d] on fields written by [act] are
+   resolved; leaves are pre-composed with [act]. *)
+let act_seq =
+  let memo : (Act.t * int, t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go act d =
+    match d.node with
+    | Leaf acts -> leaf (ActSet.map (fun a2 -> Act.compose act a2) acts)
+    | Branch ((f, v), tru, fls) ->
+      let key = (act, d.uid) in
+      (match Hashtbl.find_opt memo key with
+       | Some r -> r
+       | None ->
+         let r =
+           match Act.get act f with
+           | Some v' -> if v' = v then go act tru else go act fls
+           | None -> cond (f, v) (go act tru) (go act fls)
+         in
+         Hashtbl.add memo key r;
+         r)
+  in
+  go
+
+(** Kleisli sequencing: run [a], feed every output packet to [b]. *)
+let seq a b =
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go a =
+    match Hashtbl.find_opt memo a.uid with
+    | Some r -> r
+    | None ->
+      let r =
+        match a.node with
+        | Leaf acts ->
+          if ActSet.is_empty acts then drop
+          else
+            ActSet.fold (fun act acc -> union acc (act_seq act b)) acts drop
+        | Branch (test, tru, fls) -> cond test (go tru) (go fls)
+      in
+      Hashtbl.add memo a.uid r;
+      r
+  in
+  if b == ident then a else if a == drop || b == drop then drop else go a
+
+(** Kleene star: least fixpoint of [x = ident ∪ seq d x].  Terminates
+    because the value space reachable from the policy's tests and
+    modifications is finite and hash-consing detects convergence. *)
+let star d =
+  let rec fix acc n =
+    if n > 10_000 then failwith "Fdd.star: fixpoint did not converge";
+    let next = union ident (seq d acc) in
+    if next == acc then acc else fix next (n + 1)
+  in
+  if d == ident || d == drop then ident else fix ident 0
+
+(** Map over leaves (e.g. predicate negation flips pass/drop leaves). *)
+let map_leaves f =
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go d =
+    match Hashtbl.find_opt memo d.uid with
+    | Some r -> r
+    | None ->
+      let r =
+        match d.node with
+        | Leaf acts -> leaf (f acts)
+        | Branch (test, tru, fls) -> branch test (go tru) (go fls)
+      in
+      Hashtbl.add memo d.uid r;
+      r
+  in
+  go
+
+(* ------------------------------------------------------------------ *)
+(* From policies *)
+
+let rec of_pred (p : Syntax.pred) =
+  match p with
+  | True -> ident
+  | False -> drop
+  | Test (f, v) -> branch (f, v) ident drop
+  | And (a, b) -> gate (of_pred a) (of_pred b)
+  | Or (a, b) -> union (of_pred a) (of_pred b)
+  | Not a ->
+    map_leaves
+      (fun acts ->
+        if ActSet.is_empty acts then ActSet.singleton Act.id else ActSet.empty)
+      (of_pred a)
+
+let rec of_policy (p : Syntax.pol) =
+  match p with
+  | Filter pred -> of_pred pred
+  | Mod (f, v) -> leaf (ActSet.singleton [ (f, v) ])
+  | Union (a, b) -> union (of_policy a) (of_policy b)
+  | Seq (a, b) -> seq (of_policy a) (of_policy b)
+  | Star a -> star (of_policy a)
+
+(* ------------------------------------------------------------------ *)
+(* Interpretation and inspection *)
+
+(** [eval d h] runs the diagram on headers [h], returning the output
+    packets (one per action in the reached leaf). *)
+let rec eval d (h : Headers.t) =
+  match d.node with
+  | Leaf acts -> List.map (fun act -> Act.apply act h) (ActSet.elements acts)
+  | Branch ((f, v), tru, fls) ->
+    if Headers.get h f = v then eval tru h else eval fls h
+
+(** [restrict (f, v) d] specializes the diagram to packets known to
+    satisfy [f = v], removing every test on [f]. *)
+let restrict (f, v) d =
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 16 in
+  let rec go d =
+    match Hashtbl.find_opt memo d.uid with
+    | Some r -> r
+    | None ->
+      let r =
+        match d.node with
+        | Leaf _ -> d
+        | Branch ((g, u), tru, fls) ->
+          if Fields.compare g f < 0 then branch (g, u) (go tru) (go fls)
+          else if Fields.equal g f then if u = v then go tru else go fls
+          else d
+      in
+      Hashtbl.add memo d.uid r;
+      r
+  in
+  go d
+
+(** Distinct nodes reachable from [d] — the diagram's size. *)
+let node_count d =
+  let seen = Hashtbl.create 64 in
+  let rec go d =
+    if not (Hashtbl.mem seen d.uid) then begin
+      Hashtbl.add seen d.uid ();
+      match d.node with
+      | Leaf _ -> ()
+      | Branch (_, tru, fls) -> go tru; go fls
+    end
+  in
+  go d;
+  Hashtbl.length seen
+
+(** [fold_paths d ~init ~f] visits every root-to-leaf path, true-branches
+    first (the order in which rules must be emitted for priorities to
+    encode the false-branch constraints).  [f] receives the positive
+    tests along the path, the leaf's action set, and the accumulator. *)
+let fold_paths d ~init ~f =
+  let rec go d tests acc =
+    match d.node with
+    | Leaf acts -> f (List.rev tests) acts acc
+    | Branch (test, tru, fls) ->
+      let acc = go tru (test :: tests) acc in
+      go fls tests acc
+  in
+  go d [] init
+
+(** Values appearing in tests of field [f] anywhere in the diagram. *)
+let values_of_field d f =
+  let seen = Hashtbl.create 16 in
+  let vals = Hashtbl.create 16 in
+  let rec go d =
+    if not (Hashtbl.mem seen d.uid) then begin
+      Hashtbl.add seen d.uid ();
+      match d.node with
+      | Leaf _ -> ()
+      | Branch ((g, v), tru, fls) ->
+        if Fields.equal g f then Hashtbl.replace vals v ();
+        go tru;
+        go fls
+    end
+  in
+  go d;
+  Hashtbl.fold (fun v () acc -> v :: acc) vals [] |> List.sort compare
+
+let rec pp fmt d =
+  match d.node with
+  | Leaf acts ->
+    if ActSet.is_empty acts then Format.pp_print_string fmt "drop"
+    else
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " | ")
+           Act.pp)
+        (ActSet.elements acts)
+  | Branch ((f, v), tru, fls) ->
+    Format.fprintf fmt "@[<hv 2>(%a=%a ?@ %a :@ %a)@]" Fields.pp f
+      Fields.pp_value (f, v) pp tru pp fls
+
+let to_string d = Format.asprintf "%a" pp d

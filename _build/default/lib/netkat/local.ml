@@ -1,0 +1,108 @@
+(** Local compilation: policy → FDD → per-switch flow table.
+
+    A policy is {e local} when it never moves packets between switches
+    (no [link]s, no writes to the [Switch] meta-field); such a policy
+    describes the behavior of every switch at once, and compiling it for
+    switch [sw] means specializing to [Switch = sw] and reading rules off
+    the diagram.
+
+    Rules are emitted along the diagram's root-to-leaf paths in
+    true-branch-first order with descending priorities; a path
+    contributes the conjunction of its positive tests as the match
+    pattern, and the shadowing of higher-priority rules encodes the
+    false-branch (negative) constraints exactly. *)
+
+open Packet
+
+exception Not_local of string
+
+type rule = {
+  priority : int;
+  pattern : Flow.Pattern.t;
+  actions : Flow.Action.group;
+}
+
+(* Convert one FDD action (a partial header update) to a flow action
+   sequence.  The final location of the packet is its [In_port] value:
+   an update that writes [In_port] outputs there; one that leaves it
+   alone sends the packet back where it came from. *)
+let seq_of_act (act : Fdd.Act.t) : Flow.Action.seq =
+  let mods, out =
+    List.fold_left
+      (fun (mods, out) (f, v) ->
+        match (f : Fields.t) with
+        | Switch -> raise (Not_local "policy modifies the switch field")
+        | In_port -> (mods, Some v)
+        | Eth_src | Eth_dst | Eth_type | Vlan | Ip_proto | Ip4_src | Ip4_dst
+        | Tp_src | Tp_dst ->
+          (Flow.Action.Set_field (f, v) :: mods, out))
+      ([], None) act
+  in
+  let output =
+    match out with
+    | Some p -> Flow.Action.Output (Physical p)
+    | None -> Flow.Action.Output In_port_out
+  in
+  List.rev mods @ [ output ]
+
+let group_of_actset (acts : Fdd.ActSet.t) : Flow.Action.group =
+  List.map seq_of_act (Fdd.ActSet.elements acts)
+
+let pattern_of_tests tests =
+  List.fold_left
+    (fun pat (f, v) ->
+      match (f : Fields.t) with
+      | Switch -> raise (Not_local "switch test survived specialization")
+      | In_port | Eth_src | Eth_dst | Eth_type | Vlan | Ip_proto | Ip4_src
+      | Ip4_dst | Tp_src | Tp_dst ->
+        (match Flow.Pattern.conj pat (Flow.Pattern.of_field f v) with
+         | Some p -> p
+         | None ->
+           (* ordered FDD paths carry at most one positive test per
+              field, so a contradiction is impossible *)
+           assert false))
+    Flow.Pattern.any tests
+
+(** [rules_of_fdd ~switch d] specializes [d] to the switch and extracts
+    the rule list, highest priority first.
+    @raise Not_local if the diagram moves packets between switches. *)
+let rules_of_fdd ~switch d =
+  let d = Fdd.restrict (Fields.Switch, switch) d in
+  let paths =
+    Fdd.fold_paths d ~init:[] ~f:(fun tests acts acc ->
+      (pattern_of_tests tests, group_of_actset acts) :: acc)
+  in
+  (* fold_paths accumulates in visit order, so [paths] is reversed:
+     the head is the last-visited (lowest-priority) path. *)
+  let n = List.length paths in
+  List.rev paths
+  |> List.mapi (fun i (pattern, actions) ->
+    { priority = n - i; pattern; actions })
+
+(** [compile ~switch pol] compiles a local policy to the flow table of
+    one switch.
+    @raise Not_local on link policies (switch tests are fine). *)
+let compile ~switch pol =
+  rules_of_fdd ~switch (Fdd.of_policy pol)
+
+(** As {!compile}, but loaded into a {!Flow.Table.t}. *)
+let compile_table ?capacity ~switch pol =
+  let table = Flow.Table.create ?capacity () in
+  List.iter
+    (fun r ->
+      Flow.Table.add table
+        (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+           ~actions:r.actions ()))
+    (compile ~switch pol);
+  table
+
+(** Total rules across all switches — the compiler's output size. *)
+let total_rules ~switches pol =
+  let d = Fdd.of_policy pol in
+  List.fold_left
+    (fun acc sw -> acc + List.length (rules_of_fdd ~switch:sw d))
+    0 switches
+
+let pp_rule fmt r =
+  Format.fprintf fmt "[%4d] %a -> %a" r.priority Flow.Pattern.pp r.pattern
+    Flow.Action.pp_group r.actions

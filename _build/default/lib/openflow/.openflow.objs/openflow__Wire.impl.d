@@ -1,0 +1,1 @@
+lib/openflow/wire.ml: Bits Buffer Bytes Char Flow Int64 List Message Option Packet Printf String Util

@@ -1,0 +1,154 @@
+(** Control-channel messages between the controller and switches, modeled
+    on OpenFlow 1.0.  Every message travels with a transaction id ([xid]);
+    {!Wire} provides the binary framing.
+
+    Packet payloads on the control channel (packet-in / packet-out) carry
+    the flat {!Packet.Headers.t} view plus the original size and an opaque
+    tag, which is exactly the state the simulated dataplane attaches to a
+    packet in flight. *)
+
+type payload = {
+  headers : Packet.Headers.t;
+  size : int;  (** original frame size in bytes *)
+  tag : int;   (** opaque correlation tag (e.g. ping id) *)
+}
+
+type packet_in_reason =
+  | No_match       (** table miss *)
+  | Explicit_send  (** an [Output Controller] action fired *)
+
+type packet_in = {
+  in_port : int;
+  reason : packet_in_reason;
+  packet : payload;
+}
+
+type packet_out = {
+  out_in_port : int;  (** ingress port context for [In_port_out]/[Flood] *)
+  out_actions : Flow.Action.seq;
+  out_packet : payload;
+}
+
+type flow_mod_command =
+  | Add_flow
+  | Modify_flow        (** replace actions of matching rules, add if absent *)
+  | Delete_flow        (** remove rules subsumed by the pattern *)
+  | Delete_strict_flow (** remove exactly the (priority, pattern) rule *)
+
+type flow_mod = {
+  command : flow_mod_command;
+  fm_priority : int;
+  fm_pattern : Flow.Pattern.t;
+  fm_actions : Flow.Action.group;
+  idle_timeout : float option;
+  hard_timeout : float option;
+  fm_cookie : int;
+  notify_when_removed : bool;
+}
+
+let add_flow ?(priority = 0) ?(idle_timeout = None) ?(hard_timeout = None)
+    ?(cookie = 0) ?(notify_when_removed = false) ~pattern ~actions () =
+  { command = Add_flow; fm_priority = priority; fm_pattern = pattern;
+    fm_actions = actions; idle_timeout; hard_timeout; fm_cookie = cookie;
+    notify_when_removed }
+
+let delete_flow ?(cookie = None) ~pattern () =
+  { command = Delete_flow; fm_priority = 0; fm_pattern = pattern;
+    fm_actions = []; idle_timeout = None; hard_timeout = None;
+    fm_cookie = (match cookie with None -> -1 | Some c -> c);
+    notify_when_removed = false }
+
+let delete_strict_flow ?(cookie = None) ~priority ~pattern () =
+  { command = Delete_strict_flow; fm_priority = priority;
+    fm_pattern = pattern; fm_actions = []; idle_timeout = None;
+    hard_timeout = None;
+    fm_cookie = (match cookie with None -> -1 | Some c -> c);
+    notify_when_removed = false }
+
+type port_status_reason =
+  | Port_up
+  | Port_down
+
+type port_status = { ps_port : int; ps_reason : port_status_reason }
+
+type flow_removed_reason =
+  | Idle_timeout_expired
+  | Hard_timeout_expired
+  | Deleted_by_controller
+
+type flow_removed = {
+  fr_pattern : Flow.Pattern.t;
+  fr_priority : int;
+  fr_cookie : int;
+  fr_reason : flow_removed_reason;
+  fr_packets : int;
+  fr_bytes : int;
+}
+
+type features_reply = {
+  datapath_id : int;
+  port_list : int list;  (** ports that carry links *)
+}
+
+type stats_request =
+  | Flow_stats_request of Flow.Pattern.t   (** stats of rules subsumed by the pattern *)
+  | Port_stats_request of int option       (** one port, or all when [None] *)
+  | Table_stats_request
+
+type flow_stat = {
+  fs_pattern : Flow.Pattern.t;
+  fs_priority : int;
+  fs_cookie : int;
+  fs_packets : int;
+  fs_bytes : int;
+}
+
+type port_stat = {
+  pstat_port : int;
+  mutable rx_packets : int;
+  mutable tx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_bytes : int;
+  mutable drops : int;
+}
+
+type table_stat = { active_rules : int; table_hits : int; table_misses : int }
+
+type stats_reply =
+  | Flow_stats_reply of flow_stat list
+  | Port_stats_reply of port_stat list
+  | Table_stats_reply of table_stat
+
+type t =
+  | Hello
+  | Echo_request of string
+  | Echo_reply of string
+  | Features_request
+  | Features_reply of features_reply
+  | Packet_in of packet_in
+  | Packet_out of packet_out
+  | Flow_mod of flow_mod
+  | Port_status of port_status
+  | Flow_removed of flow_removed
+  | Stats_request of stats_request
+  | Stats_reply of stats_reply
+  | Barrier_request
+  | Barrier_reply
+
+let type_name = function
+  | Hello -> "hello"
+  | Echo_request _ -> "echo_request"
+  | Echo_reply _ -> "echo_reply"
+  | Features_request -> "features_request"
+  | Features_reply _ -> "features_reply"
+  | Packet_in _ -> "packet_in"
+  | Packet_out _ -> "packet_out"
+  | Flow_mod _ -> "flow_mod"
+  | Port_status _ -> "port_status"
+  | Flow_removed _ -> "flow_removed"
+  | Stats_request _ -> "stats_request"
+  | Stats_reply _ -> "stats_reply"
+  | Barrier_request -> "barrier_request"
+  | Barrier_reply -> "barrier_reply"
+
+let pp fmt t = Format.pp_print_string fmt (type_name t)

@@ -1,0 +1,444 @@
+(** Binary wire codec for {!Message.t}.
+
+    Framing follows the OpenFlow convention: an 8-byte header
+    [version(1) | type(1) | length(2) | xid(4)] followed by a
+    type-specific body, all big-endian.  The controller runtime round-trips
+    every control message through this codec so that the protocol layer is
+    genuinely exercised, not just modeled. *)
+
+open Util
+open Message
+
+exception Wire_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Wire_error s)) fmt
+
+let version = 1
+
+let type_code = function
+  | Hello -> 0
+  | Echo_request _ -> 2
+  | Echo_reply _ -> 3
+  | Features_request -> 5
+  | Features_reply _ -> 6
+  | Packet_in _ -> 10
+  | Flow_removed _ -> 11
+  | Port_status _ -> 12
+  | Packet_out _ -> 13
+  | Flow_mod _ -> 14
+  | Stats_request _ -> 16
+  | Stats_reply _ -> 17
+  | Barrier_request -> 18
+  | Barrier_reply -> 19
+
+(* ------------------------------------------------------------------ *)
+(* Encoding: append to a Buffer via fixed-size scratch bytes *)
+
+let buf_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let buf_u16 b v =
+  buf_u8 b (v lsr 8);
+  buf_u8 b v
+
+let buf_u32 b v =
+  buf_u16 b ((v lsr 16) land 0xffff);
+  buf_u16 b (v land 0xffff)
+
+let buf_u48 b v =
+  buf_u16 b ((v lsr 32) land 0xffff);
+  buf_u32 b (v land 0xffffffff)
+
+let buf_u64 b (v : int64) =
+  buf_u32 b Int64.(to_int (logand (shift_right_logical v 32) 0xffffffffL));
+  buf_u32 b Int64.(to_int (logand v 0xffffffffL))
+
+let buf_string b s =
+  buf_u16 b (String.length s);
+  Buffer.add_string b s
+
+let no_timeout = 0xffffffff
+
+let buf_timeout b = function
+  | None -> buf_u32 b no_timeout
+  | Some secs ->
+    let ms = int_of_float (secs *. 1000.0) in
+    if ms < 0 || ms >= no_timeout then fail "timeout out of range";
+    buf_u32 b ms
+
+let buf_pattern b (p : Flow.Pattern.t) =
+  let bit i o = match o with None -> 0 | Some _ -> 1 lsl i in
+  let mask =
+    bit 0 p.in_port lor bit 1 p.eth_src lor bit 2 p.eth_dst
+    lor bit 3 p.eth_type lor bit 4 p.vlan lor bit 5 p.ip_proto
+    lor bit 6 p.ip4_src lor bit 7 p.ip4_dst lor bit 8 p.tp_src
+    lor bit 9 p.tp_dst
+  in
+  let dflt o = Option.value o ~default:0 in
+  buf_u16 b mask;
+  buf_u16 b (dflt p.in_port);
+  buf_u48 b (dflt p.eth_src);
+  buf_u48 b (dflt p.eth_dst);
+  buf_u16 b (dflt p.eth_type);
+  buf_u16 b (dflt p.vlan);
+  buf_u16 b (dflt p.ip_proto);
+  let pfx o =
+    match o with
+    | None -> (0, 0)
+    | Some p -> (Packet.Ipv4.Prefix.network p, Packet.Ipv4.Prefix.length p)
+  in
+  let src, src_len = pfx p.ip4_src and dst, dst_len = pfx p.ip4_dst in
+  buf_u32 b src;
+  buf_u8 b src_len;
+  buf_u32 b dst;
+  buf_u8 b dst_len;
+  buf_u16 b (dflt p.tp_src);
+  buf_u16 b (dflt p.tp_dst)
+
+let buf_atom b : Flow.Action.atom -> unit = function
+  | Output (Physical p) -> buf_u8 b 0; buf_u32 b p
+  | Output In_port_out -> buf_u8 b 1
+  | Output Flood -> buf_u8 b 2
+  | Output Controller -> buf_u8 b 3
+  | Set_field (f, v) ->
+    buf_u8 b 4;
+    buf_u8 b (Packet.Fields.index f);
+    buf_u64 b (Int64.of_int v)
+
+let buf_seq b (s : Flow.Action.seq) =
+  buf_u16 b (List.length s);
+  List.iter (buf_atom b) s
+
+let buf_group b (g : Flow.Action.group) =
+  buf_u16 b (List.length g);
+  List.iter (buf_seq b) g
+
+let buf_payload b (p : payload) =
+  let h = p.headers in
+  buf_u32 b h.switch;
+  buf_u16 b h.in_port;
+  buf_u48 b h.eth_src;
+  buf_u48 b h.eth_dst;
+  buf_u16 b h.eth_type;
+  buf_u16 b h.vlan;
+  buf_u8 b h.ip_proto;
+  buf_u32 b h.ip4_src;
+  buf_u32 b h.ip4_dst;
+  buf_u16 b h.tp_src;
+  buf_u16 b h.tp_dst;
+  buf_u16 b p.size;
+  buf_u32 b p.tag
+
+let buf_i32 b v = buf_u32 b (v land 0xffffffff)
+
+let buf_body b = function
+  | Hello | Features_request | Barrier_request | Barrier_reply -> ()
+  | Echo_request s | Echo_reply s -> buf_string b s
+  | Features_reply f ->
+    buf_u32 b f.datapath_id;
+    buf_u16 b (List.length f.port_list);
+    List.iter (buf_u16 b) f.port_list
+  | Packet_in pi ->
+    buf_u16 b pi.in_port;
+    buf_u8 b (match pi.reason with No_match -> 0 | Explicit_send -> 1);
+    buf_payload b pi.packet
+  | Packet_out po ->
+    buf_u16 b po.out_in_port;
+    buf_seq b po.out_actions;
+    buf_payload b po.out_packet
+  | Flow_mod fm ->
+    buf_u8 b
+      (match fm.command with
+       | Add_flow -> 0 | Modify_flow -> 1 | Delete_flow -> 2
+       | Delete_strict_flow -> 3);
+    buf_u32 b fm.fm_priority;
+    buf_pattern b fm.fm_pattern;
+    buf_i32 b fm.fm_cookie;
+    buf_u8 b (if fm.notify_when_removed then 1 else 0);
+    buf_timeout b fm.idle_timeout;
+    buf_timeout b fm.hard_timeout;
+    buf_group b fm.fm_actions
+  | Port_status ps ->
+    buf_u16 b ps.ps_port;
+    buf_u8 b (match ps.ps_reason with Port_up -> 0 | Port_down -> 1)
+  | Flow_removed fr ->
+    buf_pattern b fr.fr_pattern;
+    buf_u32 b fr.fr_priority;
+    buf_i32 b fr.fr_cookie;
+    buf_u8 b
+      (match fr.fr_reason with
+       | Idle_timeout_expired -> 0
+       | Hard_timeout_expired -> 1
+       | Deleted_by_controller -> 2);
+    buf_u64 b (Int64.of_int fr.fr_packets);
+    buf_u64 b (Int64.of_int fr.fr_bytes)
+  | Stats_request (Flow_stats_request p) -> buf_u8 b 0; buf_pattern b p
+  | Stats_request (Port_stats_request port) ->
+    buf_u8 b 1;
+    (match port with
+     | None -> buf_u8 b 0
+     | Some p -> buf_u8 b 1; buf_u16 b p)
+  | Stats_request Table_stats_request -> buf_u8 b 2
+  | Stats_reply (Flow_stats_reply stats) ->
+    buf_u8 b 0;
+    buf_u16 b (List.length stats);
+    List.iter
+      (fun fs ->
+        buf_pattern b fs.fs_pattern;
+        buf_u32 b fs.fs_priority;
+        buf_i32 b fs.fs_cookie;
+        buf_u64 b (Int64.of_int fs.fs_packets);
+        buf_u64 b (Int64.of_int fs.fs_bytes))
+      stats
+  | Stats_reply (Port_stats_reply stats) ->
+    buf_u8 b 1;
+    buf_u16 b (List.length stats);
+    List.iter
+      (fun ps ->
+        buf_u16 b ps.pstat_port;
+        buf_u64 b (Int64.of_int ps.rx_packets);
+        buf_u64 b (Int64.of_int ps.tx_packets);
+        buf_u64 b (Int64.of_int ps.rx_bytes);
+        buf_u64 b (Int64.of_int ps.tx_bytes);
+        buf_u64 b (Int64.of_int ps.drops))
+      stats
+  | Stats_reply (Table_stats_reply ts) ->
+    buf_u8 b 2;
+    buf_u64 b (Int64.of_int ts.active_rules);
+    buf_u64 b (Int64.of_int ts.table_hits);
+    buf_u64 b (Int64.of_int ts.table_misses)
+
+(** [encode ~xid msg] frames [msg] into wire bytes. *)
+let encode ~xid msg =
+  let body = Buffer.create 64 in
+  buf_body body msg;
+  let len = 8 + Buffer.length body in
+  if len > 0xffff then fail "message too long (%d bytes)" len;
+  let b = Buffer.create len in
+  buf_u8 b version;
+  buf_u8 b (type_code msg);
+  buf_u16 b len;
+  buf_u32 b xid;
+  Buffer.add_buffer b body;
+  Buffer.to_bytes b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: cursor over bytes *)
+
+type cursor = { data : bytes; mutable pos : int }
+
+let need c n =
+  if c.pos + n > Bytes.length c.data then
+    fail "truncated message at offset %d (want %d bytes)" c.pos n
+
+let r8 c = need c 1; let v = Bits.get_u8 c.data c.pos in c.pos <- c.pos + 1; v
+let r16 c = need c 2; let v = Bits.get_u16 c.data c.pos in c.pos <- c.pos + 2; v
+let r32 c = need c 4; let v = Bits.get_u32 c.data c.pos in c.pos <- c.pos + 4; v
+let r48 c = need c 6; let v = Bits.get_u48 c.data c.pos in c.pos <- c.pos + 6; v
+let r64 c = need c 8; let v = Bits.get_u64 c.data c.pos in c.pos <- c.pos + 8; v
+
+let r64i c =
+  let v = r64 c in
+  if Int64.compare v (Int64.of_int max_int) > 0 then fail "u64 overflows int";
+  Int64.to_int v
+
+let ri32 c =
+  let v = r32 c in
+  if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let rstring c =
+  let n = r16 c in
+  need c n;
+  let s = Bytes.sub_string c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let rtimeout c =
+  let v = r32 c in
+  if v = no_timeout then None else Some (float_of_int v /. 1000.0)
+
+let rpattern c : Flow.Pattern.t =
+  let mask = r16 c in
+  let has i = mask land (1 lsl i) <> 0 in
+  let opt i v = if has i then Some v else None in
+  let in_port = r16 c in
+  let eth_src = r48 c in
+  let eth_dst = r48 c in
+  let eth_type = r16 c in
+  let vlan = r16 c in
+  let ip_proto = r16 c in
+  let src = r32 c in
+  let src_len = r8 c in
+  let dst = r32 c in
+  let dst_len = r8 c in
+  let tp_src = r16 c in
+  let tp_dst = r16 c in
+  { in_port = opt 0 in_port;
+    eth_src = opt 1 eth_src;
+    eth_dst = opt 2 eth_dst;
+    eth_type = opt 3 eth_type;
+    vlan = opt 4 vlan;
+    ip_proto = opt 5 ip_proto;
+    ip4_src = (if has 6 then Some (Packet.Ipv4.Prefix.make src src_len) else None);
+    ip4_dst = (if has 7 then Some (Packet.Ipv4.Prefix.make dst dst_len) else None);
+    tp_src = opt 8 tp_src;
+    tp_dst = opt 9 tp_dst }
+
+let field_of_index i =
+  match List.find_opt (fun f -> Packet.Fields.index f = i) Packet.Fields.all with
+  | Some f -> f
+  | None -> fail "unknown field index %d" i
+
+let ratom c : Flow.Action.atom =
+  match r8 c with
+  | 0 -> Output (Physical (r32 c))
+  | 1 -> Output In_port_out
+  | 2 -> Output Flood
+  | 3 -> Output Controller
+  | 4 ->
+    let f = field_of_index (r8 c) in
+    let v = r64i c in
+    Set_field (f, v)
+  | n -> fail "unknown action tag %d" n
+
+let rseq c : Flow.Action.seq =
+  let n = r16 c in
+  List.init n (fun _ -> ratom c)
+
+let rgroup c : Flow.Action.group =
+  let n = r16 c in
+  List.init n (fun _ -> rseq c)
+
+let rpayload c : payload =
+  let switch = r32 c in
+  let in_port = r16 c in
+  let eth_src = r48 c in
+  let eth_dst = r48 c in
+  let eth_type = r16 c in
+  let vlan = r16 c in
+  let ip_proto = r8 c in
+  let ip4_src = r32 c in
+  let ip4_dst = r32 c in
+  let tp_src = r16 c in
+  let tp_dst = r16 c in
+  let size = r16 c in
+  let tag = r32 c in
+  { headers =
+      { switch; in_port; eth_src; eth_dst; eth_type; vlan; ip_proto;
+        ip4_src; ip4_dst; tp_src; tp_dst };
+    size; tag }
+
+let rbody code c =
+  match code with
+  | 0 -> Hello
+  | 2 -> Echo_request (rstring c)
+  | 3 -> Echo_reply (rstring c)
+  | 5 -> Features_request
+  | 6 ->
+    let datapath_id = r32 c in
+    let n = r16 c in
+    Features_reply { datapath_id; port_list = List.init n (fun _ -> r16 c) }
+  | 10 ->
+    let in_port = r16 c in
+    let reason = match r8 c with 0 -> No_match | _ -> Explicit_send in
+    Packet_in { in_port; reason; packet = rpayload c }
+  | 11 ->
+    let fr_pattern = rpattern c in
+    let fr_priority = r32 c in
+    let fr_cookie = ri32 c in
+    let fr_reason =
+      match r8 c with
+      | 0 -> Idle_timeout_expired
+      | 1 -> Hard_timeout_expired
+      | _ -> Deleted_by_controller
+    in
+    let fr_packets = r64i c in
+    let fr_bytes = r64i c in
+    Flow_removed
+      { fr_pattern; fr_priority; fr_cookie; fr_reason; fr_packets; fr_bytes }
+  | 12 ->
+    let ps_port = r16 c in
+    let ps_reason = match r8 c with 0 -> Port_up | _ -> Port_down in
+    Port_status { ps_port; ps_reason }
+  | 13 ->
+    let out_in_port = r16 c in
+    let out_actions = rseq c in
+    Packet_out { out_in_port; out_actions; out_packet = rpayload c }
+  | 14 ->
+    let command =
+      match r8 c with
+      | 0 -> Add_flow
+      | 1 -> Modify_flow
+      | 2 -> Delete_flow
+      | 3 -> Delete_strict_flow
+      | n -> fail "unknown flow_mod command %d" n
+    in
+    let fm_priority = r32 c in
+    let fm_pattern = rpattern c in
+    let fm_cookie = ri32 c in
+    let notify_when_removed = r8 c = 1 in
+    let idle_timeout = rtimeout c in
+    let hard_timeout = rtimeout c in
+    let fm_actions = rgroup c in
+    Flow_mod
+      { command; fm_priority; fm_pattern; fm_actions; idle_timeout;
+        hard_timeout; fm_cookie; notify_when_removed }
+  | 16 ->
+    (match r8 c with
+     | 0 -> Stats_request (Flow_stats_request (rpattern c))
+     | 1 ->
+       let has = r8 c in
+       Stats_request
+         (Port_stats_request (if has = 1 then Some (r16 c) else None))
+     | 2 -> Stats_request Table_stats_request
+     | n -> fail "unknown stats_request subtype %d" n)
+  | 17 ->
+    (match r8 c with
+     | 0 ->
+       let n = r16 c in
+       let stats =
+         List.init n (fun _ ->
+           let fs_pattern = rpattern c in
+           let fs_priority = r32 c in
+           let fs_cookie = ri32 c in
+           let fs_packets = r64i c in
+           let fs_bytes = r64i c in
+           { fs_pattern; fs_priority; fs_cookie; fs_packets; fs_bytes })
+       in
+       Stats_reply (Flow_stats_reply stats)
+     | 1 ->
+       let n = r16 c in
+       let stats =
+         List.init n (fun _ ->
+           let pstat_port = r16 c in
+           let rx_packets = r64i c in
+           let tx_packets = r64i c in
+           let rx_bytes = r64i c in
+           let tx_bytes = r64i c in
+           let drops = r64i c in
+           { pstat_port; rx_packets; tx_packets; rx_bytes; tx_bytes; drops })
+       in
+       Stats_reply (Port_stats_reply stats)
+     | 2 ->
+       let active_rules = r64i c in
+       let table_hits = r64i c in
+       let table_misses = r64i c in
+       Stats_reply (Table_stats_reply { active_rules; table_hits; table_misses })
+     | n -> fail "unknown stats_reply subtype %d" n)
+  | 18 -> Barrier_request
+  | 19 -> Barrier_reply
+  | n -> fail "unknown message type %d" n
+
+(** [decode bytes] parses one framed message, returning [(xid, msg)].
+    @raise Wire_error on malformed input or trailing garbage. *)
+let decode data =
+  let c = { data; pos = 0 } in
+  let v = r8 c in
+  if v <> version then fail "bad version %d" v;
+  let code = r8 c in
+  let len = r16 c in
+  if len <> Bytes.length data then
+    fail "length field %d does not match buffer %d" len (Bytes.length data);
+  let xid = r32 c in
+  let msg = rbody code c in
+  if c.pos <> Bytes.length data then fail "trailing bytes after message";
+  (xid, msg)

@@ -1,0 +1,1 @@
+lib/packet/codec.ml: Bits Bytes Frame Ipv4 Mac Printf Util

@@ -1,0 +1,1 @@
+lib/packet/fields.ml: Format Ipv4 Mac

@@ -1,0 +1,1 @@
+lib/packet/frame.ml: Bytes Fields Headers Ipv4 Mac

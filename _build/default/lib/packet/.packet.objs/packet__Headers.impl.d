@@ -1,0 +1,1 @@
+lib/packet/headers.ml: Fields Format Ipv4 Mac

@@ -1,0 +1,66 @@
+(** The flat header record: the view of a packet that policies and flow
+    tables operate on.  It corresponds to a "located packet" in NetKAT
+    terminology — the [switch] and [in_port] fields record where the
+    packet currently is. *)
+
+type t = {
+  switch : int;
+  in_port : int;
+  eth_src : Mac.t;
+  eth_dst : Mac.t;
+  eth_type : int;
+  vlan : int;  (** {!Fields.vlan_none} when untagged *)
+  ip_proto : int;
+  ip4_src : Ipv4.t;
+  ip4_dst : Ipv4.t;
+  tp_src : int;
+  tp_dst : int;
+}
+
+(** All-zero headers on switch 0 port 0, untagged. *)
+let default =
+  { switch = 0; in_port = 0; eth_src = 0; eth_dst = 0; eth_type = 0;
+    vlan = Fields.vlan_none; ip_proto = 0; ip4_src = 0; ip4_dst = 0;
+    tp_src = 0; tp_dst = 0 }
+
+let get t (f : Fields.t) =
+  match f with
+  | Switch -> t.switch | In_port -> t.in_port | Eth_src -> t.eth_src
+  | Eth_dst -> t.eth_dst | Eth_type -> t.eth_type | Vlan -> t.vlan
+  | Ip_proto -> t.ip_proto | Ip4_src -> t.ip4_src | Ip4_dst -> t.ip4_dst
+  | Tp_src -> t.tp_src | Tp_dst -> t.tp_dst
+
+let set t (f : Fields.t) v =
+  match f with
+  | Switch -> { t with switch = v }
+  | In_port -> { t with in_port = v }
+  | Eth_src -> { t with eth_src = v }
+  | Eth_dst -> { t with eth_dst = v }
+  | Eth_type -> { t with eth_type = v }
+  | Vlan -> { t with vlan = v }
+  | Ip_proto -> { t with ip_proto = v }
+  | Ip4_src -> { t with ip4_src = v }
+  | Ip4_dst -> { t with ip4_dst = v }
+  | Tp_src -> { t with tp_src = v }
+  | Tp_dst -> { t with tp_dst = v }
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = compare a b
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{sw=%d port=%d %a->%a type=0x%04x vlan=%s proto=%d %a:%d->%a:%d}"
+    t.switch t.in_port Mac.pp t.eth_src Mac.pp t.eth_dst t.eth_type
+    (if t.vlan = Fields.vlan_none then "-" else string_of_int t.vlan)
+    t.ip_proto Ipv4.pp t.ip4_src t.tp_src Ipv4.pp t.ip4_dst t.tp_dst
+
+let to_string t = Format.asprintf "%a" pp t
+
+(** A plausible TCP packet between two synthesized hosts, convenient for
+    tests and workload generators. *)
+let tcp ~switch ~in_port ~src_host ~dst_host ~tp_src ~tp_dst =
+  { switch; in_port;
+    eth_src = Mac.of_host_id src_host; eth_dst = Mac.of_host_id dst_host;
+    eth_type = 0x0800; vlan = Fields.vlan_none; ip_proto = 6;
+    ip4_src = Ipv4.of_host_id src_host; ip4_dst = Ipv4.of_host_id dst_host;
+    tp_src; tp_dst }

@@ -1,0 +1,1 @@
+lib/te/alloc.ml: Demand Hashtbl List Option Printf Topo Util

@@ -1,0 +1,1 @@
+lib/te/demand.ml: Array Format List Util

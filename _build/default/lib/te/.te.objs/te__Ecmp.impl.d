@@ -1,0 +1,1 @@
+lib/te/ecmp.ml: Alloc Demand Hashtbl List Option Topo

@@ -1,0 +1,1 @@
+lib/te/greedy_kpath.ml: Alloc Demand Hashtbl List Option Topo

@@ -1,0 +1,1 @@
+lib/te/maxmin.ml: Alloc Demand Hashtbl List Option Topo

@@ -1,0 +1,61 @@
+(** Traffic demands for the WAN experiments: a demand asks for [rate]
+    bits/s from one switch (site) to another, with a priority class as in
+    inter-datacenter TE systems (B4's copy/elastic/interactive split). *)
+
+type t = {
+  src : int;       (** source switch id *)
+  dst : int;       (** destination switch id *)
+  rate : float;    (** requested bits per second *)
+  priority : int;  (** lower = more important; 0 is highest *)
+}
+
+let make ?(priority = 0) ~src ~dst ~rate () =
+  if rate < 0.0 then invalid_arg "Demand.make: negative rate";
+  if src = dst then invalid_arg "Demand.make: src = dst";
+  { src; dst; rate; priority }
+
+let total demands = List.fold_left (fun acc d -> acc +. d.rate) 0.0 demands
+
+let scale factor demands =
+  List.map (fun d -> { d with rate = d.rate *. factor }) demands
+
+(** All-pairs uniform matrix at [rate] per pair. *)
+let uniform ~switches ~rate =
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst -> if src = dst then None else Some (make ~src ~dst ~rate ()))
+        switches)
+    switches
+
+(** Gravity model: demand between two sites is proportional to the
+    product of their (random) masses, scaled so the matrix totals
+    [total_rate].  Priorities are drawn uniformly from [0, priorities). *)
+let gravity ~prng ~switches ~total_rate ?(priorities = 1) () =
+  let sw = Array.of_list switches in
+  let n = Array.length sw in
+  if n < 2 then invalid_arg "Demand.gravity: need >= 2 switches";
+  let mass = Array.init n (fun _ -> 0.25 +. Util.Prng.float prng 1.0) in
+  let raw = ref [] in
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let w = mass.(i) *. mass.(j) in
+        sum := !sum +. w;
+        raw := (sw.(i), sw.(j), w) :: !raw
+      end
+    done
+  done;
+  List.rev_map
+    (fun (src, dst, w) ->
+      make
+        ~priority:(Util.Prng.int prng priorities)
+        ~src ~dst
+        ~rate:(total_rate *. w /. !sum)
+        ())
+    !raw
+
+let pp fmt d =
+  Format.fprintf fmt "%d->%d @ %.1f Mb/s (p%d)" d.src d.dst (d.rate /. 1e6)
+    d.priority

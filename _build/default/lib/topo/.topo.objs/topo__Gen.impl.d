@@ -1,0 +1,1 @@
+lib/topo/gen.ml: Array Float Hashtbl List Path String Topology Util

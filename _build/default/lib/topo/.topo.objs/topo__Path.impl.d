@@ -1,0 +1,1 @@
+lib/topo/path.ml: Format Hashtbl List Queue Topology Util

@@ -1,0 +1,1 @@
+lib/topo/topology.ml: Buffer Format Hashtbl List Printf

@@ -1,0 +1,69 @@
+(** Big-endian byte-level codecs used by the packet and OpenFlow wire
+    formats.  All offsets are in bytes; all multi-byte quantities are
+    network (big-endian) order.  Functions raise [Invalid_argument] when
+    the access falls outside the buffer, mirroring [Bytes] semantics. *)
+
+let get_u8 b off = Char.code (Bytes.get b off)
+
+let set_u8 b off v =
+  assert (v land 0xff = v);
+  Bytes.set b off (Char.chr (v land 0xff))
+
+let get_u16 b off = (get_u8 b off lsl 8) lor get_u8 b (off + 1)
+
+let set_u16 b off v =
+  set_u8 b off ((v lsr 8) land 0xff);
+  set_u8 b (off + 1) (v land 0xff)
+
+let get_u32 b off = (get_u16 b off lsl 16) lor get_u16 b (off + 2)
+
+let set_u32 b off v =
+  set_u16 b off ((v lsr 16) land 0xffff);
+  set_u16 b (off + 2) (v land 0xffff)
+
+(** 48-bit quantity (an Ethernet MAC address) as an OCaml [int]. *)
+let get_u48 b off = (get_u16 b off lsl 32) lor get_u32 b (off + 2)
+
+let set_u48 b off v =
+  set_u16 b off ((v lsr 32) land 0xffff);
+  set_u32 b (off + 2) (v land 0xffffffff)
+
+let get_u64 b off =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (get_u32 b off)) 32)
+    (Int64.of_int (get_u32 b (off + 4)))
+
+let set_u64 b off v =
+  set_u32 b off Int64.(to_int (logand (shift_right_logical v 32) 0xffffffffL));
+  set_u32 b (off + 4) Int64.(to_int (logand v 0xffffffffL))
+
+(** [hex_dump b] renders [b] as the conventional 16-bytes-per-line hex dump,
+    for diagnostics and golden tests. *)
+let hex_dump b =
+  let n = Bytes.length b in
+  let buf = Buffer.create (n * 4) in
+  let rec line off =
+    if off < n then begin
+      Buffer.add_string buf (Printf.sprintf "%04x: " off);
+      for i = off to min (off + 15) (n - 1) do
+        Buffer.add_string buf (Printf.sprintf "%02x " (get_u8 b i))
+      done;
+      Buffer.add_char buf '\n';
+      line (off + 16)
+    end
+  in
+  line 0;
+  Buffer.contents buf
+
+(** One's-complement 16-bit checksum over [len] bytes starting at [off],
+    as used by the IPv4 header checksum. *)
+let ones_complement_sum b off len =
+  let rec go i acc =
+    if i + 1 < len then go (i + 2) (acc + get_u16 b (off + i))
+    else if i < len then acc + (get_u8 b (off + i) lsl 8)
+    else acc
+  in
+  let s = go 0 0 in
+  let s = (s land 0xffff) + (s lsr 16) in
+  let s = (s land 0xffff) + (s lsr 16) in
+  lnot s land 0xffff

@@ -1,0 +1,1 @@
+lib/verify/hsa.ml: Fields Flow Format Headers Int Ipv4 List Packet Printf Set String

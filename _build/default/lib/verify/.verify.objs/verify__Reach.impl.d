@@ -1,0 +1,1 @@
+lib/verify/reach.ml: Fields Flow Hsa Ipv4 List Mac Packet Topo

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Fields List Netkat Packet QCheck QCheck_alcotest Semantics Syntax

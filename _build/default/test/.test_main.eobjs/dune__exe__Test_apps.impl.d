@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Controller Dataplane Fields Flow Hashtbl Ipv4 List Mac Netkat Packet Printf Topo Util Verify Zen

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Controller Dataplane Flow List Netkat Network Openflow Packet Printf Topo Traffic

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Dataplane Flow List Network Packet Sim Topo Traffic Util

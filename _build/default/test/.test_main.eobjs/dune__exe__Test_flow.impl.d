@@ -1,0 +1,1 @@
+test/test_flow.ml: Action Alcotest Fields Flow Headers Ipv4 List Option Packet Pattern QCheck QCheck_alcotest Table

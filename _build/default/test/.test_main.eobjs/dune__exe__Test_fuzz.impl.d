@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Char Flow List Netkat Openflow Packet QCheck QCheck_alcotest String Test_netkat Topo

@@ -1,0 +1,1 @@
+test/test_global.ml: Alcotest Controller Dataplane Fields Global Headers List Mac Netkat Packet Semantics Syntax Topo Verify Zen

@@ -1,0 +1,1 @@
+test/test_netkat.ml: Alcotest Builder Fdd Fields Flow Fmt Headers Ipv4 List Local Mac Naive Netkat Packet Parser Printf QCheck QCheck_alcotest Semantics Syntax Topo

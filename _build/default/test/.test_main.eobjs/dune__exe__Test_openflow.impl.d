@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Bytes Flow List Message Openflow Packet QCheck QCheck_alcotest Util Wire

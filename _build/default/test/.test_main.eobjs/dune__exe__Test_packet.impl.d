@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Char Codec Fields Format Frame Headers Ipv4 List Mac Packet Printf QCheck QCheck_alcotest

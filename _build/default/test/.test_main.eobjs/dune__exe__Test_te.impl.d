@@ -1,0 +1,1 @@
+test/test_te.ml: Alcotest List Node QCheck QCheck_alcotest Te Topo Util

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Gen Hashtbl List Option Path Printf QCheck QCheck_alcotest Topo Topology Util

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Dataplane Flow List Netkat Printf Topo

@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Controller Dataplane Fields Flow Headers List Mac Netkat Openflow Option Packet Printf QCheck QCheck_alcotest Topo Util Zen

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Bytes Gen Heap List Prng QCheck QCheck_alcotest Stats Util

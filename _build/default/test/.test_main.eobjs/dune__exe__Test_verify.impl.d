@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Dataplane Fields Flow Format Hashtbl Headers Hsa Ipv4 List Mac Netkat Packet Printf QCheck QCheck_alcotest Reach Topo Util Verify

@@ -1,0 +1,1 @@
+test/test_wan.ml: Alcotest List Printf Te Topo Util Zen

@@ -1,0 +1,1 @@
+test/test_zen.ml: Alcotest Controller Dataplane Flow List Netkat Packet Topo Verify Zen

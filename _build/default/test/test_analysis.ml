@@ -1,0 +1,139 @@
+(* Tests for policy analysis: equivalence, counterexamples, and the
+   NetKAT algebraic laws (checked semantically through the FDD). *)
+
+open Netkat
+open Packet
+
+let t80 = Syntax.test Fields.Tp_dst 80
+let p1 = Syntax.forward 1
+let p2 = Syntax.forward 2
+
+let test_equivalence_basic () =
+  Alcotest.(check bool) "id != drop" false
+    (Analysis.equivalent Syntax.id Syntax.drop);
+  Alcotest.(check bool) "self" true (Analysis.equivalent p1 p1);
+  Alcotest.(check bool) "union comm" true
+    (Analysis.equivalent (Syntax.union p1 p2) (Syntax.union p2 p1));
+  Alcotest.(check bool) "union idem" true
+    (Analysis.equivalent (Syntax.union p1 p1) p1);
+  Alcotest.(check bool) "filter;filter = filter-and" true
+    (Analysis.equivalent
+       (Syntax.seq (Syntax.filter t80) (Syntax.filter (Syntax.test Fields.In_port 2)))
+       (Syntax.filter (Syntax.conj t80 (Syntax.test Fields.In_port 2))))
+
+let test_kat_laws () =
+  let a = Syntax.filter t80 in
+  let checks =
+    [ ( "seq assoc",
+        Syntax.seq (Syntax.seq a p1) p2, Syntax.seq a (Syntax.seq p1 p2) );
+      ( "union assoc",
+        Syntax.union (Syntax.union a p1) p2, Syntax.union a (Syntax.union p1 p2) );
+      ( "distributivity",
+        Syntax.seq a (Syntax.union p1 p2),
+        Syntax.union (Syntax.seq a p1) (Syntax.seq a p2) );
+      ("star unfold", Syntax.star p1,
+       Syntax.union Syntax.id (Syntax.seq p1 (Syntax.star p1)));
+      ("mod-then-test", Syntax.seq (Syntax.modify Fields.Tp_dst 80) (Syntax.filter t80),
+       Syntax.modify Fields.Tp_dst 80);
+      ("test-then-mod", Syntax.seq (Syntax.filter t80) (Syntax.modify Fields.Tp_dst 80),
+       Syntax.filter t80) ]
+  in
+  List.iter
+    (fun (name, l, r) ->
+      Alcotest.(check bool) name true (Analysis.equivalent l r))
+    checks
+
+let test_is_drop_id () =
+  Alcotest.(check bool) "drop" true
+    (Analysis.is_drop (Syntax.seq (Syntax.filter t80) (Syntax.filter (Syntax.neg t80))));
+  Alcotest.(check bool) "id" true
+    (Analysis.is_id (Syntax.union Syntax.id (Syntax.filter t80)));
+  Alcotest.(check bool) "not id" false (Analysis.is_id p1)
+
+let test_counterexample_none_when_equal () =
+  Alcotest.(check bool) "none" true
+    (Analysis.counterexample (Syntax.union p1 p2) (Syntax.union p2 p1) = None)
+
+let test_counterexample_witness () =
+  (* differ exactly on tp_dst = 80 *)
+  let p = Syntax.ite t80 p1 p2 in
+  let q = p2 in
+  match Analysis.counterexample p q with
+  | None -> Alcotest.fail "should differ"
+  | Some h ->
+    Alcotest.(check int) "witness hits the difference" 80 h.tp_dst;
+    Alcotest.(check bool) "semantics differ on witness" false
+      (Semantics.equiv_on p q h)
+
+let test_counterexample_negative_constraints () =
+  (* policies equal on tp_dst=80 but differing elsewhere: witness must
+     avoid 80 *)
+  let p = Syntax.ite t80 p1 p2 in
+  let q = Syntax.ite t80 p1 (Syntax.forward 3) in
+  match Analysis.counterexample p q with
+  | None -> Alcotest.fail "should differ"
+  | Some h ->
+    Alcotest.(check bool) "avoids the agreeing region" true (h.tp_dst <> 80);
+    Alcotest.(check bool) "differs" false (Semantics.equiv_on p q h)
+
+let test_deciding_fields () =
+  let p = Syntax.ite t80 p1 p2 in
+  Alcotest.(check bool) "tp_dst decides" true
+    (List.exists (Fields.equal Fields.Tp_dst) (Analysis.deciding_fields p));
+  Alcotest.(check bool) "vlan does not" false
+    (List.exists (Fields.equal Fields.Vlan) (Analysis.deciding_fields p))
+
+let test_table_size () =
+  Alcotest.(check int) "two rules" 2
+    (Analysis.table_size ~switch:1 (Syntax.seq (Syntax.filter t80) p1))
+
+(* property: counterexample is sound (the witness truly distinguishes)
+   and complete w.r.t. equivalence on random policies *)
+let gen_small_pol =
+  let open QCheck.Gen in
+  let fields = [| Fields.In_port; Fields.Tp_dst; Fields.Vlan |] in
+  sized (fun n ->
+    fix
+      (fun self n ->
+        let leaf =
+          oneof
+            [ return Syntax.id; return Syntax.drop;
+              map2 (fun f v -> Syntax.filter (Syntax.test f v))
+                (oneofa fields) (int_bound 2);
+              map2 (fun f v -> Syntax.modify f v) (oneofa fields) (int_bound 2) ]
+        in
+        if n <= 1 then leaf
+        else
+          frequency
+            [ (2, leaf);
+              (2, map2 Syntax.union (self (n / 2)) (self (n / 2)));
+              (2, map2 Syntax.seq (self (n / 2)) (self (n / 2))) ])
+      (min n 10))
+
+let prop_counterexample_sound_complete =
+  QCheck.Test.make ~name:"counterexample iff inequivalent, witness valid"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (p, q) ->
+         Syntax.pol_to_string p ^ "  VS  " ^ Syntax.pol_to_string q)
+       (QCheck.Gen.pair gen_small_pol gen_small_pol))
+    (fun (p, q) ->
+      match Analysis.counterexample p q with
+      | None -> Analysis.equivalent p q
+      | Some h ->
+        (not (Analysis.equivalent p q)) && not (Semantics.equiv_on p q h))
+
+let suites =
+  [ ( "netkat.analysis",
+      [ Alcotest.test_case "equivalence basics" `Quick test_equivalence_basic;
+        Alcotest.test_case "KAT laws" `Quick test_kat_laws;
+        Alcotest.test_case "is_drop / is_id" `Quick test_is_drop_id;
+        Alcotest.test_case "no counterexample when equal" `Quick
+          test_counterexample_none_when_equal;
+        Alcotest.test_case "witness at the difference" `Quick
+          test_counterexample_witness;
+        Alcotest.test_case "witness avoids agreeing region" `Quick
+          test_counterexample_negative_constraints;
+        Alcotest.test_case "deciding fields" `Quick test_deciding_fields;
+        Alcotest.test_case "table size" `Quick test_table_size;
+        QCheck_alcotest.to_alcotest prop_counterexample_sound_complete ] ) ]

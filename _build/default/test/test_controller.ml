@@ -1,0 +1,342 @@
+(* Integration tests for the controller runtime and the app suite: the
+   control channel speaks the wire protocol end to end over the
+   simulated network. *)
+
+open Dataplane
+
+let ping_pair net ~src ~dst =
+  Traffic.install_responders net;
+  let result = Traffic.ping net ~src ~dst ~count:3 ~interval:0.02 in
+  ignore (Network.run ~until:(Network.now net +. 2.0) net ());
+  (List.length !(result.rtts), result.lost ())
+
+(* ------------------------------------------------------------------ *)
+(* Runtime *)
+
+let test_handshake () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let ups = ref [] in
+  let app =
+    { (Controller.Api.default_app "probe") with
+      switch_up =
+        (fun _ ~switch_id ~ports -> ups := (switch_id, List.length ports) :: !ups) }
+  in
+  let rt = Controller.Runtime.create_and_handshake net [ app ] in
+  Alcotest.(check int) "all switches up" 3 (Controller.Runtime.ready_switches rt);
+  Alcotest.(check int) "callbacks" 3 (List.length !ups);
+  (* middle switch has 3 ports (two neighbors + host) *)
+  Alcotest.(check bool) "port lists" true (List.mem (2, 3) !ups)
+
+let test_packet_in_dispatch () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create topo in
+  let seen = ref [] in
+  let app =
+    { (Controller.Api.default_app "probe") with
+      packet_in =
+        (fun _ ~switch_id ~port ~reason:_ payload ->
+          seen := (switch_id, port, payload.headers.tp_dst) :: !seen) }
+  in
+  let _rt = Controller.Runtime.create_and_handshake net [ app ] in
+  Network.send_from net ~host:1 (Network.make_pkt ~tp_dst:8080 ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  Alcotest.(check (list (triple int int int))) "packet-in" [ (1, 1, 8080) ] !seen
+
+let test_install_via_wire () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create topo in
+  let app =
+    { (Controller.Api.default_app "installer") with
+      switch_up =
+        (fun ctx ~switch_id ~ports:_ ->
+          Controller.Api.install ctx ~switch_id ~priority:5 Flow.Pattern.any
+            (Flow.Action.forward 2)) }
+  in
+  let _rt = Controller.Runtime.create_and_handshake net [ app ] in
+  Alcotest.(check int) "rule landed" 1
+    (Flow.Table.size (Network.switch net 1).table);
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  Alcotest.(check int) "forwards" 1 (Network.host net 2).received
+
+let test_packet_out_and_stats () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create topo in
+  let table_stats = ref None in
+  let app =
+    { (Controller.Api.default_app "stats") with
+      packet_in =
+        (fun ctx ~switch_id ~port ~reason:_ payload ->
+          (* bounce the packet out port 2 and poll table stats *)
+          Controller.Api.packet_out ctx ~switch_id ~in_port:port
+            [ Flow.Action.Output (Physical 2) ] payload;
+          Controller.Api.request_stats ctx ~switch_id
+            Openflow.Message.Table_stats_request (fun reply ->
+              match reply with
+              | Openflow.Message.Table_stats_reply ts -> table_stats := Some ts
+              | _ -> ())) }
+  in
+  let _rt = Controller.Runtime.create_and_handshake net [ app ] in
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  Alcotest.(check int) "packet-out delivered" 1 (Network.host net 2).received;
+  match !table_stats with
+  | Some ts ->
+    Alcotest.(check int) "misses counted" 1 ts.table_misses;
+    Alcotest.(check int) "no rules" 0 ts.active_rules
+  | None -> Alcotest.fail "no stats reply"
+
+let test_control_channel_counted () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:0 () in
+  let net = Network.create topo in
+  let _rt = Controller.Runtime.create_and_handshake net [] in
+  (* hello + features_request down, features_reply up, per switch >= 6 *)
+  Alcotest.(check bool) "control messages counted" true
+    ((Network.stats net).control_msgs >= 6);
+  Alcotest.(check bool) "control bytes counted" true
+    ((Network.stats net).control_bytes > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Learning switch *)
+
+let test_learning_connectivity () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let learning = Controller.Learning.create () in
+  let _rt =
+    Controller.Runtime.create_and_handshake net [ Controller.Learning.app learning ]
+  in
+  let got, lost = ping_pair net ~src:1 ~dst:3 in
+  Alcotest.(check int) "all pings answered" 3 got;
+  Alcotest.(check int) "none lost" 0 lost;
+  Alcotest.(check bool) "learned locations" true
+    (Controller.Learning.lookup learning ~switch_id:2 (Packet.Mac.of_host_id 1)
+     <> None)
+
+let test_learning_uses_rules_when_warm () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let learning = Controller.Learning.create () in
+  let _rt =
+    Controller.Runtime.create_and_handshake net [ Controller.Learning.app learning ]
+  in
+  ignore (ping_pair net ~src:1 ~dst:2);
+  let sw1 = Network.switch net 1 in
+  let before = sw1.packet_ins in
+  (* warm path: more traffic must not generate packet-ins *)
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+  Alcotest.(check int) "no new packet-ins" before sw1.packet_ins;
+  Alcotest.(check bool) "rules installed" true (Flow.Table.size sw1.table > 0)
+
+let test_learning_no_storm_in_ring () =
+  (* loops in the topology must not melt down thanks to spanning-tree
+     flood ports *)
+  let topo = Topo.Gen.ring ~switches:4 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let learning = Controller.Learning.create () in
+  let _rt =
+    Controller.Runtime.create_and_handshake net [ Controller.Learning.app learning ]
+  in
+  Network.send_from net ~host:1
+    (Network.make_pkt ~src:1 ~dst:3 ());
+  let events = Network.run ~until:(Network.now net +. 1.0) ~max_events:50_000 net () in
+  Alcotest.(check bool) "bounded event count (no storm)" true (events < 10_000)
+
+(* ------------------------------------------------------------------ *)
+(* Proactive routing + failover *)
+
+let test_routing_proactive_no_packet_ins () =
+  let topo, _ = Topo.Gen.fat_tree ~k:2 () in
+  let net = Network.create topo in
+  let routing = Controller.Routing.create () in
+  let _rt =
+    Controller.Runtime.create_and_handshake net [ Controller.Routing.app routing ]
+  in
+  let got, _ = ping_pair net ~src:1 ~dst:2 in
+  Alcotest.(check int) "pings ok" 3 got;
+  let total_packet_ins =
+    List.fold_left (fun acc (sw : Network.switch) -> acc + sw.packet_ins) 0
+      (Network.switch_list net)
+  in
+  Alcotest.(check int) "zero packet-ins" 0 total_packet_ins
+
+let test_routing_failover () =
+  (* ring gives an alternate path; kill the primary and ping again *)
+  let topo = Topo.Gen.ring ~switches:4 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let routing = Controller.Routing.create () in
+  let _rt =
+    Controller.Runtime.create_and_handshake net [ Controller.Routing.app routing ]
+  in
+  let got1, _ = ping_pair net ~src:1 ~dst:2 in
+  Alcotest.(check int) "before failure" 3 got1;
+  let reinstalls_before = Controller.Routing.reinstalls routing in
+  (* s1 port 1 is the s1-s2 link *)
+  Network.fail_link net (Topo.Topology.Node.Switch 1) 1;
+  ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+  Alcotest.(check int) "recomputed once" (reinstalls_before + 1)
+    (Controller.Routing.reinstalls routing);
+  let got2, lost2 = ping_pair net ~src:1 ~dst:2 in
+  Alcotest.(check int) "after failure" 3 got2;
+  Alcotest.(check int) "no loss after reroute" 0 lost2
+
+let test_routing_churn_counted () =
+  let topo = Topo.Gen.ring ~switches:4 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let routing = Controller.Routing.create () in
+  let _rt =
+    Controller.Runtime.create_and_handshake net [ Controller.Routing.app routing ]
+  in
+  let initial = Controller.Routing.last_churn routing in
+  Alcotest.(check bool) "initial rules pushed" true (initial > 0);
+  Network.fail_link net (Topo.Topology.Node.Switch 1) 1;
+  ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+  Alcotest.(check bool) "failover churn counted" true
+    (Controller.Routing.last_churn routing > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Firewall app *)
+
+let test_firewall_blocks () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let entries =
+    [ { Netkat.Builder.allow = false;
+        src_ip = Some (Packet.Ipv4.of_host_id 1);
+        dst_ip = Some (Packet.Ipv4.of_host_id 2);
+        proto = None; dst_port = Some 22 } ]
+  in
+  let fw = Controller.Firewall.create entries in
+  let _rt =
+    Controller.Runtime.create_and_handshake net [ Controller.Firewall.app fw ]
+  in
+  (* blocked: h1 -> h2 port 22 *)
+  Network.send_from net ~host:1 (Network.make_pkt ~tp_dst:22 ~src:1 ~dst:2 ());
+  (* allowed: h1 -> h2 port 80 *)
+  Network.send_from net ~host:1 (Network.make_pkt ~tp_dst:80 ~src:1 ~dst:2 ());
+  ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+  Alcotest.(check int) "only port 80 arrives" 1 (Network.host net 2).received;
+  Alcotest.(check int) "port 22 dropped by policy" 1
+    (Network.stats net).dropped_policy
+
+(* ------------------------------------------------------------------ *)
+(* Load balancer *)
+
+let test_lb_spreads_and_rewrites () =
+  (* hosts 1..4 on one switch; host 1 is the client, 2..4 the backends *)
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:4 () in
+  let net = Network.create topo in
+  let vip = Packet.Ipv4.of_string "10.99.0.1" in
+  let lb = Controller.Lb.create ~vip ~backends:[ 2; 3; 4 ] () in
+  let routing = Controller.Routing.create ~use_ip:true () in
+  let _rt =
+    Controller.Runtime.create_and_handshake net
+      [ Controller.Lb.app lb; Controller.Routing.app routing ]
+  in
+  (* 30 flows from distinct source ports toward the VIP *)
+  for i = 1 to 30 do
+    let pkt = Network.make_pkt ~tp_src:(20000 + i) ~src:1 ~dst:1 () in
+    let pkt =
+      { pkt with hdr = { pkt.hdr with ip4_dst = vip; eth_dst = 0xffffffffff } }
+    in
+    Network.send_from net ~host:1 pkt
+  done;
+  ignore (Network.run ~until:(Network.now net +. 2.0) net ());
+  Alcotest.(check int) "all flows balanced" 30 (Controller.Lb.flows lb);
+  let dist = Controller.Lb.distribution lb in
+  Alcotest.(check int) "three backends" 3 (List.length dist);
+  List.iter
+    (fun (b, n) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "backend %d got some (n=%d)" b n)
+        true (n > 0))
+    dist;
+  (* backends actually received the traffic *)
+  let total_rx =
+    List.fold_left (fun acc h -> acc + (Network.host net h).received) 0 [ 2; 3; 4 ]
+  in
+  Alcotest.(check int) "backends received" 30 total_rx
+
+let test_lb_flow_affinity () =
+  (* the same 5-tuple always lands on the same backend *)
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:3 () in
+  let vip = Packet.Ipv4.of_string "10.99.0.1" in
+  let lb = Controller.Lb.create ~vip ~backends:[ 2; 3 ] () in
+  let net = Network.create topo in
+  let _rt =
+    Controller.Runtime.create_and_handshake net [ Controller.Lb.app lb ]
+  in
+  let send () =
+    let pkt = Network.make_pkt ~tp_src:12345 ~src:1 ~dst:1 () in
+    Network.send_from net ~host:1
+      { pkt with hdr = { pkt.hdr with ip4_dst = vip } }
+  in
+  send ();
+  ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+  let first_rx = ((Network.host net 2).received, (Network.host net 3).received) in
+  send ();
+  send ();
+  ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+  let second_rx = ((Network.host net 2).received, (Network.host net 3).received) in
+  (* all packets went to whichever backend got the first one *)
+  let d2 = fst second_rx - fst first_rx and d3 = snd second_rx - snd first_rx in
+  Alcotest.(check bool) "affinity" true
+    ((d2 = 2 && d3 = 0 && fst first_rx = 1 && snd first_rx = 0)
+     || (d3 = 2 && d2 = 0 && snd first_rx = 1 && fst first_rx = 0))
+
+(* ------------------------------------------------------------------ *)
+(* Monitor *)
+
+let test_monitor_observes_traffic () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create topo in
+  let monitor = Controller.Monitor.create ~period:0.1 () in
+  let routing = Controller.Routing.create () in
+  let _rt =
+    Controller.Runtime.create_and_handshake net
+      [ Controller.Routing.app routing; Controller.Monitor.app monitor ]
+  in
+  ignore
+    (Traffic.cbr net
+       { (Traffic.default_flow ~src:1 ~dst:2) with
+         rate_pps = 1000.0; pkt_size = 1000; stop = 1.0 });
+  ignore (Network.run ~until:(Network.now net +. 1.5) net ());
+  Alcotest.(check bool) "polled" true (Controller.Monitor.polls monitor > 5);
+  (* 1000 pps * 1000 B = 8 Mb/s on a 1 Gb/s link toward h2 (port 2) *)
+  let u = Controller.Monitor.utilization monitor net ~switch_id:1 ~port:2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization plausible (%f)" u)
+    true
+    (u > 0.004 && u < 0.02)
+
+let suites =
+  [ ( "controller.runtime",
+      [ Alcotest.test_case "handshake" `Quick test_handshake;
+        Alcotest.test_case "packet-in dispatch" `Quick test_packet_in_dispatch;
+        Alcotest.test_case "install via wire" `Quick test_install_via_wire;
+        Alcotest.test_case "packet-out and stats" `Quick
+          test_packet_out_and_stats;
+        Alcotest.test_case "control channel counted" `Quick
+          test_control_channel_counted ] );
+    ( "controller.learning",
+      [ Alcotest.test_case "connectivity" `Quick test_learning_connectivity;
+        Alcotest.test_case "warm path uses rules" `Quick
+          test_learning_uses_rules_when_warm;
+        Alcotest.test_case "no broadcast storm in ring" `Quick
+          test_learning_no_storm_in_ring ] );
+    ( "controller.routing",
+      [ Alcotest.test_case "proactive, zero packet-ins" `Quick
+          test_routing_proactive_no_packet_ins;
+        Alcotest.test_case "failover" `Quick test_routing_failover;
+        Alcotest.test_case "churn counted" `Quick test_routing_churn_counted ] );
+    ( "controller.firewall",
+      [ Alcotest.test_case "blocks matching traffic" `Quick test_firewall_blocks ] );
+    ( "controller.lb",
+      [ Alcotest.test_case "spreads and rewrites" `Quick
+          test_lb_spreads_and_rewrites;
+        Alcotest.test_case "flow affinity" `Quick test_lb_flow_affinity ] );
+    ( "controller.monitor",
+      [ Alcotest.test_case "observes traffic" `Quick
+          test_monitor_observes_traffic ] ) ]

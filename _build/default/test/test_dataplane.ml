@@ -1,0 +1,316 @@
+(* Tests for the discrete-event engine and the simulated network. *)
+
+open Dataplane
+
+(* ------------------------------------------------------------------ *)
+(* Sim engine *)
+
+let test_sim_order () =
+  let s = Sim.create () in
+  let log = ref [] in
+  Sim.schedule s ~delay:0.3 (fun () -> log := 3 :: !log);
+  Sim.schedule s ~delay:0.1 (fun () -> log := 1 :: !log);
+  Sim.schedule s ~delay:0.2 (fun () -> log := 2 :: !log);
+  ignore (Sim.run s);
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 0.3 (Sim.now s)
+
+let test_sim_ties_fifo () =
+  let s = Sim.create () in
+  let log = ref [] in
+  List.iter
+    (fun i -> Sim.schedule s ~delay:1.0 (fun () -> log := i :: !log))
+    [ 1; 2; 3 ];
+  ignore (Sim.run s);
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3 ] (List.rev !log)
+
+let test_sim_until () =
+  let s = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule s ~delay:1.0 (fun () -> incr fired);
+  Sim.schedule s ~delay:2.0 (fun () -> incr fired);
+  ignore (Sim.run ~until:1.5 s);
+  Alcotest.(check int) "only first" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock clamped" 1.5 (Sim.now s);
+  Alcotest.(check int) "second still queued" 1 (Sim.pending s);
+  ignore (Sim.run s);
+  Alcotest.(check int) "resumable" 2 !fired
+
+let test_sim_nested_scheduling () =
+  let s = Sim.create () in
+  let times = ref [] in
+  Sim.schedule s ~delay:1.0 (fun () ->
+    times := Sim.now s :: !times;
+    Sim.schedule s ~delay:0.5 (fun () -> times := Sim.now s :: !times));
+  ignore (Sim.run s);
+  Alcotest.(check (list (float 1e-9))) "nested" [ 1.0; 1.5 ] (List.rev !times)
+
+let test_sim_negative_delay_rejected () =
+  let s = Sim.create () in
+  Alcotest.(check bool) "rejected" true
+    (match Sim.schedule s ~delay:(-1.0) (fun () -> ()) with
+     | exception Invalid_argument _ -> true
+     | () -> false)
+
+let test_sim_every () =
+  let s = Sim.create () in
+  let n = ref 0 in
+  Sim.every s ~every:1.0 (fun () ->
+    incr n;
+    !n < 5);
+  ignore (Sim.run s);
+  Alcotest.(check int) "five ticks" 5 !n
+
+let test_sim_max_events () =
+  let s = Sim.create () in
+  let rec forever () = Sim.schedule s ~delay:1.0 forever in
+  forever ();
+  let executed = Sim.run ~max_events:10 s in
+  Alcotest.(check int) "bounded" 10 executed
+
+(* ------------------------------------------------------------------ *)
+(* Network forwarding *)
+
+let wildcard_forward net sw_id port =
+  let sw = Network.switch net sw_id in
+  Flow.Table.add sw.table
+    (Flow.Table.make_rule ~pattern:Flow.Pattern.any
+       ~actions:(Flow.Action.forward port) ())
+
+let test_direct_delivery () =
+  (* h1 - s1 - h2: static rule forwards everything to h2's port *)
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create topo in
+  (* s1 ports: 1 -> h1, 2 -> h2 *)
+  wildcard_forward net 1 2;
+  let received = ref 0 in
+  (Network.host net 2).on_receive <- Some (fun _ -> incr received);
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  Alcotest.(check int) "delivered" 1 !received;
+  Alcotest.(check int) "stats delivered" 1 (Network.stats net).delivered;
+  Alcotest.(check int) "forwarded" 1 (Network.stats net).forwarded
+
+let test_latency_model () =
+  (* two hops of 10us propagation + serialization 1000B at 1Gb/s = 8us *)
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  (* s1: port1->s2, port2->h1; s2: port1->s1, port2->h2 *)
+  wildcard_forward net 1 1;
+  wildcard_forward net 2 2;
+  let arrival = ref 0.0 in
+  (Network.host net 2).on_receive <- Some (fun _ -> arrival := Network.now net);
+  Network.send_from net ~host:1 (Network.make_pkt ~size:1000 ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  (* 3 links, each 8us ser + 10us prop *)
+  Alcotest.(check (float 1e-9)) "latency" (3.0 *. (8e-6 +. 10e-6)) !arrival
+
+let test_serialization_queueing () =
+  (* two packets sent at the same instant share one link: the second is
+     delayed by one serialization time *)
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create topo in
+  wildcard_forward net 1 2;
+  let arrivals = ref [] in
+  (Network.host net 2).on_receive <-
+    Some (fun _ -> arrivals := Network.now net :: !arrivals);
+  Network.send_from net ~host:1 (Network.make_pkt ~size:1250 ~src:1 ~dst:2 ());
+  Network.send_from net ~host:1 (Network.make_pkt ~size:1250 ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  match List.rev !arrivals with
+  | [ t1; t2 ] ->
+    (* 1250B at 1Gb/s = 10us serialization *)
+    Alcotest.(check (float 1e-9)) "spacing = serialization" 10e-6 (t2 -. t1)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_queue_overflow_drops () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create ~queue_depth:4 topo in
+  wildcard_forward net 1 2;
+  for _ = 1 to 10 do
+    Network.send_from net ~host:1 (Network.make_pkt ~size:1000 ~src:1 ~dst:2 ())
+  done;
+  ignore (Network.run net ());
+  (* host's own access link also queues: depth 4 forgives 4 in flight *)
+  Alcotest.(check bool) "drops happened" true
+    ((Network.stats net).dropped_queue > 0);
+  Alcotest.(check int) "conservation" 10
+    ((Network.stats net).delivered + (Network.stats net).dropped_queue)
+
+let test_policy_drop () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create topo in
+  let sw = Network.switch net 1 in
+  Flow.Table.add sw.table
+    (Flow.Table.make_rule ~pattern:Flow.Pattern.any ~actions:Flow.Action.drop ());
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  Alcotest.(check int) "policy drop" 1 (Network.stats net).dropped_policy
+
+let test_miss_without_controller () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create topo in
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  Alcotest.(check int) "miss drop" 1 (Network.stats net).dropped_miss
+
+let test_link_failure_drops () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  wildcard_forward net 1 1;
+  Network.fail_link net (Topo.Topology.Node.Switch 1) 1;
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  Alcotest.(check int) "link drop" 1 (Network.stats net).dropped_link
+
+let test_in_flight_lost_on_failure () =
+  (* packet on the wire when the link dies is lost *)
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  wildcard_forward net 1 1;
+  wildcard_forward net 2 2;
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  (* the packet reaches the s1->s2 link around t=18us; kill it then *)
+  Dataplane.Sim.schedule (Network.sim net) ~delay:20e-6 (fun () ->
+    Network.fail_link net (Topo.Topology.Node.Switch 1) 1);
+  ignore (Network.run net ());
+  Alcotest.(check int) "nothing delivered" 0 (Network.stats net).delivered
+
+let test_flood_respects_ingress () =
+  let topo = Topo.Gen.star ~leaves:3 ~hosts_per_leaf:1 () in
+  let net = Network.create topo in
+  (* hub floods; leaves forward to their host *)
+  let hub = Network.switch net 1 in
+  Flow.Table.add hub.table
+    (Flow.Table.make_rule ~pattern:Flow.Pattern.any ~actions:Flow.Action.flood ());
+  List.iter (fun leaf -> wildcard_forward net leaf 2) [ 2; 3; 4 ];
+  (* leaf ports: port1 -> hub, port2 -> host. Host sends through leaf 2;
+     leaf 2 has a forward-to-host rule so the packet bounces... install
+     a flood rule on the source leaf instead. *)
+  Flow.Table.clear (Network.switch net 2).table;
+  Flow.Table.add (Network.switch net 2).table
+    (Flow.Table.make_rule ~pattern:Flow.Pattern.any ~actions:Flow.Action.flood ());
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  ignore (Network.run ~max_events:10000 net ());
+  (* host 1 (ingress leaf) must NOT get a copy; hosts 2 and 3 must *)
+  Alcotest.(check int) "h1 no echo" 0 (Network.host net 1).received;
+  Alcotest.(check int) "h2 got it" 1 (Network.host net 2).received;
+  Alcotest.(check int) "h3 got it" 1 (Network.host net 3).received
+
+let test_header_rewrite_applied () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create topo in
+  let sw = Network.switch net 1 in
+  Flow.Table.add sw.table
+    (Flow.Table.make_rule ~pattern:Flow.Pattern.any
+       ~actions:[ [ Set_field (Packet.Fields.Vlan, 77); Output (Physical 2) ] ]
+       ());
+  let seen_vlan = ref (-1) in
+  (Network.host net 2).on_receive <-
+    Some (fun pkt -> seen_vlan := pkt.hdr.vlan);
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  Alcotest.(check int) "rewritten" 77 !seen_vlan
+
+let test_port_counters () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create topo in
+  wildcard_forward net 1 2;
+  for _ = 1 to 3 do
+    Network.send_from net ~host:1 (Network.make_pkt ~size:500 ~src:1 ~dst:2 ())
+  done;
+  ignore (Network.run net ());
+  let sw = Network.switch net 1 in
+  let rx = Network.port_stat sw 1 and tx = Network.port_stat sw 2 in
+  Alcotest.(check int) "rx pkts" 3 rx.rx_packets;
+  Alcotest.(check int) "rx bytes" 1500 rx.rx_bytes;
+  Alcotest.(check int) "tx pkts" 3 tx.tx_packets
+
+(* ------------------------------------------------------------------ *)
+(* Traffic *)
+
+let setup_pair () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Network.create topo in
+  wildcard_forward net 1 2;
+  net
+
+let test_cbr_packet_count () =
+  let net = setup_pair () in
+  let sent =
+    Traffic.cbr net
+      { (Traffic.default_flow ~src:1 ~dst:2) with rate_pps = 100.0; stop = 0.5 }
+  in
+  ignore (Network.run net ());
+  (* t=0.0 .. t=0.5 at 10ms spacing: 50 or 51 depending on fp rounding
+     of the last tick landing exactly on the stop time *)
+  Alcotest.(check bool) "sent" true (!sent = 50 || !sent = 51);
+  Alcotest.(check int) "all delivered" !sent (Network.host net 2).received
+
+let test_poisson_reproducible () =
+  let run seed =
+    let net = setup_pair () in
+    let prng = Util.Prng.create seed in
+    let sent =
+      Traffic.poisson net ~prng
+        { (Traffic.default_flow ~src:1 ~dst:2) with rate_pps = 200.0; stop = 1.0 }
+    in
+    ignore (Network.run net ());
+    !sent
+  in
+  Alcotest.(check int) "same seed same count" (run 7) (run 7);
+  let a = run 7 in
+  Alcotest.(check bool) "roughly poisson volume" true (a > 120 && a < 300)
+
+let test_ping_rtt () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  (* symmetric routing by dst mac *)
+  List.iter
+    (fun (sw, dst, port) ->
+      Flow.Table.add (Network.switch net sw).table
+        (Flow.Table.make_rule
+           ~pattern:{ Flow.Pattern.any with eth_dst = Some (Packet.Mac.of_host_id dst) }
+           ~actions:(Flow.Action.forward port) ()))
+    [ (1, 1, 2); (1, 2, 1); (2, 2, 2); (2, 1, 1) ];
+  Traffic.install_responders net;
+  let result = Traffic.ping net ~src:1 ~dst:2 ~count:5 ~interval:0.01 in
+  ignore (Network.run net ());
+  Alcotest.(check int) "all answered" 5 (List.length !(result.rtts));
+  Alcotest.(check int) "none lost" 0 (result.lost ());
+  List.iter
+    (fun (_, rtt) ->
+      Alcotest.(check bool) "plausible rtt" true (rtt > 0.0 && rtt < 1e-3))
+    !(result.rtts)
+
+let suites =
+  [ ( "dataplane.sim",
+      [ Alcotest.test_case "time order" `Quick test_sim_order;
+        Alcotest.test_case "fifo ties" `Quick test_sim_ties_fifo;
+        Alcotest.test_case "run until" `Quick test_sim_until;
+        Alcotest.test_case "nested scheduling" `Quick test_sim_nested_scheduling;
+        Alcotest.test_case "negative delay" `Quick
+          test_sim_negative_delay_rejected;
+        Alcotest.test_case "periodic" `Quick test_sim_every;
+        Alcotest.test_case "max events" `Quick test_sim_max_events ] );
+    ( "dataplane.network",
+      [ Alcotest.test_case "direct delivery" `Quick test_direct_delivery;
+        Alcotest.test_case "latency model" `Quick test_latency_model;
+        Alcotest.test_case "serialization queueing" `Quick
+          test_serialization_queueing;
+        Alcotest.test_case "queue overflow" `Quick test_queue_overflow_drops;
+        Alcotest.test_case "policy drop" `Quick test_policy_drop;
+        Alcotest.test_case "miss without controller" `Quick
+          test_miss_without_controller;
+        Alcotest.test_case "link failure" `Quick test_link_failure_drops;
+        Alcotest.test_case "in-flight loss" `Quick
+          test_in_flight_lost_on_failure;
+        Alcotest.test_case "flood excludes ingress" `Quick
+          test_flood_respects_ingress;
+        Alcotest.test_case "header rewrite" `Quick test_header_rewrite_applied;
+        Alcotest.test_case "port counters" `Quick test_port_counters ] );
+    ( "dataplane.traffic",
+      [ Alcotest.test_case "cbr count" `Quick test_cbr_packet_count;
+        Alcotest.test_case "poisson reproducible" `Quick
+          test_poisson_reproducible;
+        Alcotest.test_case "ping rtt" `Quick test_ping_rtt ] ) ]

@@ -1,0 +1,312 @@
+(* Tests for match patterns, actions and the priority flow table. *)
+
+open Packet
+open Flow
+
+let hdr = Headers.tcp ~switch:1 ~in_port:2 ~src_host:5 ~dst_host:9
+    ~tp_src:1234 ~tp_dst:80
+
+(* ------------------------------------------------------------------ *)
+(* Pattern *)
+
+let test_any_matches () =
+  Alcotest.(check bool) "any" true (Pattern.matches Pattern.any hdr);
+  Alcotest.(check bool) "is_any" true (Pattern.is_any Pattern.any)
+
+let test_exact_fields () =
+  List.iter
+    (fun f ->
+      let v = Headers.get hdr f in
+      let p = Pattern.of_field f v in
+      Alcotest.(check bool) (Fields.to_string f ^ " matches") true
+        (Pattern.matches p hdr);
+      let p' = Pattern.of_field f (v + 1) in
+      Alcotest.(check bool) (Fields.to_string f ^ " mismatch") false
+        (Pattern.matches p' hdr))
+    [ Fields.In_port; Fields.Eth_src; Fields.Eth_dst; Fields.Eth_type;
+      Fields.Vlan; Fields.Ip_proto; Fields.Ip4_src; Fields.Ip4_dst;
+      Fields.Tp_src; Fields.Tp_dst ]
+
+let test_switch_not_matchable () =
+  Alcotest.(check bool) "switch rejected" true
+    (match Pattern.of_field Fields.Switch 1 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_prefix_pattern () =
+  let p =
+    { Pattern.any with ip4_dst = Some (Ipv4.Prefix.of_string "10.0.0.0/16") }
+  in
+  Alcotest.(check bool) "inside /16" true (Pattern.matches p hdr);
+  let p' =
+    { Pattern.any with ip4_dst = Some (Ipv4.Prefix.of_string "10.1.0.0/16") }
+  in
+  Alcotest.(check bool) "outside /16" false (Pattern.matches p' hdr)
+
+let test_conj () =
+  let a = Pattern.of_field Fields.Tp_dst 80 in
+  let b = Pattern.of_field Fields.In_port 2 in
+  (match Pattern.conj a b with
+   | None -> Alcotest.fail "conj should exist"
+   | Some c ->
+     Alcotest.(check bool) "conj matches" true (Pattern.matches c hdr);
+     Alcotest.(check int) "weight 2" 2 (Pattern.weight c));
+  Alcotest.(check bool) "contradiction" true
+    (Pattern.conj a (Pattern.of_field Fields.Tp_dst 81) = None)
+
+let test_conj_prefixes () =
+  let wide = { Pattern.any with ip4_src = Some (Ipv4.Prefix.of_string "10.0.0.0/8") } in
+  let narrow = { Pattern.any with ip4_src = Some (Ipv4.Prefix.of_string "10.1.0.0/16") } in
+  (match Pattern.conj wide narrow with
+   | Some c ->
+     Alcotest.(check bool) "narrower wins" true
+       (c.ip4_src = narrow.ip4_src)
+   | None -> Alcotest.fail "nested prefixes conj");
+  let disjoint = { Pattern.any with ip4_src = Some (Ipv4.Prefix.of_string "11.0.0.0/8") } in
+  Alcotest.(check bool) "disjoint prefixes" true
+    (Pattern.conj wide disjoint = None)
+
+let test_subsumes () =
+  let gen = Pattern.of_field Fields.Tp_dst 80 in
+  let spec = Option.get (Pattern.conj gen (Pattern.of_field Fields.In_port 2)) in
+  Alcotest.(check bool) "general subsumes specific" true
+    (Pattern.subsumes ~general:gen spec);
+  Alcotest.(check bool) "specific does not subsume general" false
+    (Pattern.subsumes ~general:spec gen);
+  Alcotest.(check bool) "any subsumes all" true
+    (Pattern.subsumes ~general:Pattern.any spec)
+
+let test_overlap () =
+  let a = Pattern.of_field Fields.Tp_dst 80 in
+  let b = Pattern.of_field Fields.In_port 2 in
+  Alcotest.(check bool) "cross fields overlap" true (Pattern.overlap a b);
+  Alcotest.(check bool) "same field differs" false
+    (Pattern.overlap a (Pattern.of_field Fields.Tp_dst 81))
+
+(* ------------------------------------------------------------------ *)
+(* Action *)
+
+let test_apply_seq () =
+  let s : Action.seq =
+    [ Set_field (Fields.Vlan, 100); Output (Physical 7) ]
+  in
+  let h, outs = Action.apply_seq hdr s in
+  Alcotest.(check int) "vlan set" 100 h.vlan;
+  Alcotest.(check bool) "one output" true (outs = [ Action.Physical 7 ])
+
+let test_apply_group_multicast () =
+  let g : Action.group =
+    [ [ Output (Physical 1) ];
+      [ Set_field (Fields.Vlan, 5); Output (Physical 2) ] ]
+  in
+  let outs = Action.apply_group hdr g in
+  Alcotest.(check int) "two copies" 2 (List.length outs);
+  (match outs with
+   | [ (h1, Action.Physical 1); (h2, Action.Physical 2) ] ->
+     Alcotest.(check int) "copy 1 untouched" hdr.vlan h1.vlan;
+     Alcotest.(check int) "copy 2 tagged" 5 h2.vlan
+   | _ -> Alcotest.fail "unexpected outputs")
+
+let test_mods_before_output_only () =
+  (* a Set_field after the Output must not affect the emitted copy *)
+  let g : Action.group =
+    [ [ Output (Physical 1); Set_field (Fields.Vlan, 9) ] ]
+  in
+  match Action.apply_group hdr g with
+  | [ (h, Action.Physical 1) ] ->
+    Alcotest.(check int) "late mod not visible" hdr.vlan h.vlan
+  | _ -> Alcotest.fail "unexpected"
+
+let test_drop_group () =
+  Alcotest.(check int) "drop emits nothing" 0
+    (List.length (Action.apply_group hdr Action.drop))
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let mk ?(priority = 0) ?(idle = None) ?(hard = None) pattern actions =
+  Table.make_rule ~priority ~idle_timeout:idle ~hard_timeout:hard ~pattern
+    ~actions ()
+
+let test_priority_order () =
+  let t = Table.create () in
+  Table.add t (mk ~priority:1 Pattern.any (Action.forward 1));
+  Table.add t
+    (mk ~priority:10 (Pattern.of_field Fields.Tp_dst 80) (Action.forward 2));
+  (match Table.lookup t hdr with
+   | Some r -> Alcotest.(check int) "high priority wins" 10 r.priority
+   | None -> Alcotest.fail "no match");
+  let other = Headers.set hdr Fields.Tp_dst 443 in
+  match Table.lookup t other with
+  | Some r -> Alcotest.(check int) "fallback" 1 r.priority
+  | None -> Alcotest.fail "no fallback match"
+
+let test_tie_break_first_installed () =
+  let t = Table.create () in
+  Table.add t (mk ~priority:5 (Pattern.of_field Fields.Tp_dst 80) (Action.forward 1));
+  Table.add t (mk ~priority:5 (Pattern.of_field Fields.In_port 2) (Action.forward 2));
+  match Table.lookup t hdr with
+  | Some r ->
+    Alcotest.(check bool) "first installed wins" true
+      (r.actions = Action.forward 1)
+  | None -> Alcotest.fail "no match"
+
+let test_modify_semantics () =
+  let t = Table.create () in
+  Table.add t (mk ~priority:5 Pattern.any (Action.forward 1));
+  Table.add t (mk ~priority:5 Pattern.any (Action.forward 9));
+  Alcotest.(check int) "replaced, not duplicated" 1 (Table.size t);
+  match Table.lookup t hdr with
+  | Some r -> Alcotest.(check bool) "new actions" true (r.actions = Action.forward 9)
+  | None -> Alcotest.fail "no match"
+
+let test_counters () =
+  let t = Table.create () in
+  Table.add t (mk Pattern.any (Action.forward 1));
+  ignore (Table.apply t ~now:0.0 ~size:100 hdr);
+  ignore (Table.apply t ~now:0.1 ~size:200 hdr);
+  Alcotest.(check int) "hits" 2 (Table.hits t);
+  Alcotest.(check int) "misses" 0 (Table.misses t);
+  match Table.rules t with
+  | [ r ] ->
+    Alcotest.(check int) "packets" 2 r.packets;
+    Alcotest.(check int) "bytes" 300 r.bytes
+  | _ -> Alcotest.fail "one rule expected"
+
+let test_miss_counted () =
+  let t = Table.create () in
+  Table.add t (mk (Pattern.of_field Fields.Tp_dst 443) (Action.forward 1));
+  Alcotest.(check bool) "miss" true (Table.apply t ~now:0.0 ~size:1 hdr = None);
+  Alcotest.(check int) "miss count" 1 (Table.misses t)
+
+let test_capacity () =
+  let t = Table.create ~capacity:2 () in
+  Table.add t (mk ~priority:1 (Pattern.of_field Fields.Tp_dst 1) (Action.forward 1));
+  Table.add t (mk ~priority:2 (Pattern.of_field Fields.Tp_dst 2) (Action.forward 1));
+  Alcotest.check_raises "full" Table.Table_full (fun () ->
+    Table.add t (mk ~priority:3 (Pattern.of_field Fields.Tp_dst 3) (Action.forward 1)))
+
+let test_remove_subsumed () =
+  let t = Table.create () in
+  Table.add t (mk ~priority:1 (Pattern.of_field Fields.Tp_dst 80) (Action.forward 1));
+  Table.add t (mk ~priority:2 (Pattern.of_field Fields.Tp_dst 443) (Action.forward 1));
+  Table.add t (mk ~priority:3 (Pattern.of_field Fields.In_port 9) (Action.forward 1));
+  (* delete everything matching tp_dst=80 only *)
+  Table.remove t ~pattern:(Pattern.of_field Fields.Tp_dst 80);
+  Alcotest.(check int) "one gone" 2 (Table.size t);
+  Table.remove t ~pattern:Pattern.any;
+  Alcotest.(check int) "all gone" 0 (Table.size t)
+
+let test_remove_by_cookie () =
+  let t = Table.create () in
+  Table.add t
+    (Table.make_rule ~priority:1 ~cookie:7 ~pattern:(Pattern.of_field Fields.Tp_dst 80)
+       ~actions:(Action.forward 1) ());
+  Table.add t
+    (Table.make_rule ~priority:2 ~cookie:8 ~pattern:(Pattern.of_field Fields.Tp_dst 443)
+       ~actions:(Action.forward 1) ());
+  Table.remove ~cookie:7 t ~pattern:Pattern.any;
+  Alcotest.(check int) "only cookie 7 gone" 1 (Table.size t);
+  match Table.rules t with
+  | [ r ] -> Alcotest.(check int) "survivor" 8 r.cookie
+  | _ -> Alcotest.fail "one rule"
+
+let test_idle_timeout () =
+  let t = Table.create () in
+  Table.add t (mk ~idle:(Some 1.0) Pattern.any (Action.forward 1));
+  ignore (Table.apply t ~now:0.5 ~size:1 hdr);
+  Alcotest.(check int) "kept while active" 0
+    (List.length (Table.expire t ~now:1.2));
+  Alcotest.(check int) "evicted when idle" 1
+    (List.length (Table.expire t ~now:1.6));
+  Alcotest.(check int) "table empty" 0 (Table.size t)
+
+let test_hard_timeout () =
+  let t = Table.create () in
+  Table.add t (mk ~hard:(Some 2.0) Pattern.any (Action.forward 1));
+  (* traffic does not save it *)
+  ignore (Table.apply t ~now:1.9 ~size:1 hdr);
+  Alcotest.(check int) "evicted at hard deadline" 1
+    (List.length (Table.expire t ~now:2.0))
+
+let test_overlaps_detection () =
+  let t = Table.create () in
+  Table.add t (mk ~priority:5 (Pattern.of_field Fields.Tp_dst 80) (Action.forward 1));
+  Table.add t (mk ~priority:5 (Pattern.of_field Fields.In_port 2) (Action.forward 2));
+  Table.add t (mk ~priority:4 (Pattern.of_field Fields.Tp_src 1) (Action.forward 3));
+  Alcotest.(check int) "one overlapping pair" 1 (List.length (Table.overlaps t))
+
+let test_shadowed_detection () =
+  let t = Table.create () in
+  Table.add t (mk ~priority:10 Pattern.any (Action.forward 1));
+  Table.add t (mk ~priority:5 (Pattern.of_field Fields.Tp_dst 80) (Action.forward 2));
+  Alcotest.(check int) "shadowed rule found" 1 (List.length (Table.shadowed t));
+  match Table.shadowed t with
+  | [ r ] -> Alcotest.(check int) "the low one" 5 r.priority
+  | _ -> Alcotest.fail "expected one"
+
+(* property: lookup returns the max-priority matching rule *)
+let prop_lookup_max_priority =
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 20)
+        (pair (int_bound 10)
+           (oneof [ return None; map Option.some (int_bound 3) ])))
+  in
+  QCheck.Test.make ~name:"lookup returns max-priority matching rule" ~count:200
+    (QCheck.make gen)
+    (fun specs ->
+      let t = Table.create () in
+      List.iteri
+        (fun i (prio, port_test) ->
+          let pattern =
+            match port_test with
+            | None -> Pattern.any
+            | Some p -> Pattern.of_field Fields.In_port p
+          in
+          Table.add t
+            (Table.make_rule ~priority:prio ~cookie:i ~pattern
+               ~actions:(Action.forward 1) ()))
+        specs;
+      let probe = Headers.set hdr Fields.In_port 1 in
+      let matching =
+        List.filter (fun (r : Table.rule) -> Pattern.matches r.pattern probe)
+          (Table.rules t)
+      in
+      match Table.lookup t probe with
+      | None -> matching = []
+      | Some r ->
+        List.for_all (fun (r' : Table.rule) -> r'.priority <= r.priority)
+          matching)
+
+let suites =
+  [ ( "flow.pattern",
+      [ Alcotest.test_case "any" `Quick test_any_matches;
+        Alcotest.test_case "exact fields" `Quick test_exact_fields;
+        Alcotest.test_case "switch not matchable" `Quick
+          test_switch_not_matchable;
+        Alcotest.test_case "prefix matching" `Quick test_prefix_pattern;
+        Alcotest.test_case "conjunction" `Quick test_conj;
+        Alcotest.test_case "prefix conjunction" `Quick test_conj_prefixes;
+        Alcotest.test_case "subsumption" `Quick test_subsumes;
+        Alcotest.test_case "overlap" `Quick test_overlap ] );
+    ( "flow.action",
+      [ Alcotest.test_case "sequence semantics" `Quick test_apply_seq;
+        Alcotest.test_case "multicast group" `Quick test_apply_group_multicast;
+        Alcotest.test_case "mods after output ignored" `Quick
+          test_mods_before_output_only;
+        Alcotest.test_case "drop" `Quick test_drop_group ] );
+    ( "flow.table",
+      [ Alcotest.test_case "priority order" `Quick test_priority_order;
+        Alcotest.test_case "tie break" `Quick test_tie_break_first_installed;
+        Alcotest.test_case "modify replaces" `Quick test_modify_semantics;
+        Alcotest.test_case "counters" `Quick test_counters;
+        Alcotest.test_case "miss counted" `Quick test_miss_counted;
+        Alcotest.test_case "capacity" `Quick test_capacity;
+        Alcotest.test_case "delete subsumed" `Quick test_remove_subsumed;
+        Alcotest.test_case "delete by cookie" `Quick test_remove_by_cookie;
+        Alcotest.test_case "idle timeout" `Quick test_idle_timeout;
+        Alcotest.test_case "hard timeout" `Quick test_hard_timeout;
+        Alcotest.test_case "overlap detection" `Quick test_overlaps_detection;
+        Alcotest.test_case "shadow detection" `Quick test_shadowed_detection;
+        QCheck_alcotest.to_alcotest prop_lookup_max_priority ] ) ]

@@ -1,0 +1,151 @@
+(* Robustness (fuzz) properties: parsers and decoders must never crash
+   with anything but their declared exceptions, and pretty-printed
+   policies must parse back to themselves. *)
+
+(* ------------------------------------------------------------------ *)
+(* Wire decoder on arbitrary bytes *)
+
+let prop_wire_decoder_total =
+  QCheck.Test.make ~name:"openflow decoder: error or value, never a crash"
+    ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.int_bound 120))
+    (fun s ->
+      match Openflow.Wire.decode (Bytes.of_string s) with
+      | _ -> true
+      | exception Openflow.Wire.Wire_error _ -> true)
+
+(* flipping bytes of a valid message must also be handled *)
+let prop_wire_decoder_mutation =
+  let base =
+    Openflow.Wire.encode ~xid:7
+      (Openflow.Message.Flow_mod
+         (Openflow.Message.add_flow ~priority:9
+            ~pattern:(Flow.Pattern.of_field Packet.Fields.Tp_dst 80)
+            ~actions:(Flow.Action.forward 1) ()))
+  in
+  QCheck.Test.make ~name:"openflow decoder survives bit flips" ~count:1000
+    QCheck.(pair (int_bound (Bytes.length base - 1)) (int_bound 255))
+    (fun (pos, v) ->
+      let b = Bytes.copy base in
+      Bytes.set b pos (Char.chr v);
+      match Openflow.Wire.decode b with
+      | _ -> true
+      | exception Openflow.Wire.Wire_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Packet decoder on arbitrary bytes *)
+
+let prop_packet_decoder_total =
+  QCheck.Test.make ~name:"packet decoder: error or value, never a crash"
+    ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.int_bound 100))
+    (fun s ->
+      match Packet.Codec.decode (Bytes.of_string s) with
+      | _ -> true
+      | exception Packet.Codec.Parse_error _ -> true)
+
+let prop_packet_decoder_mutation =
+  let base =
+    Packet.Codec.encode
+      (Packet.Frame.tcp_packet
+         ~eth_src:(Packet.Mac.of_host_id 1) ~eth_dst:(Packet.Mac.of_host_id 2)
+         ~ip_src:(Packet.Ipv4.of_host_id 1) ~ip_dst:(Packet.Ipv4.of_host_id 2)
+         ~tp_src:1 ~tp_dst:2 ~payload:(Bytes.make 32 'x') ())
+  in
+  QCheck.Test.make ~name:"packet decoder survives bit flips" ~count:1000
+    QCheck.(pair (int_bound (Bytes.length base - 1)) (int_bound 255))
+    (fun (pos, v) ->
+      let b = Bytes.copy base in
+      Bytes.set b pos (Char.chr v);
+      match Packet.Codec.decode b with
+      | _ -> true
+      | exception Packet.Codec.Parse_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Policy parser on arbitrary strings *)
+
+let printable =
+  QCheck.Gen.(map Char.chr (int_range 32 126))
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"policy parser: error or value, never a crash"
+    ~count:2000
+    (QCheck.make QCheck.Gen.(string_size ~gen:printable (0 -- 60)))
+    (fun s ->
+      match Netkat.Parser.pol_of_string s with
+      | _ -> true
+      | exception Netkat.Parser.Parse_error _ -> true
+      | exception Invalid_argument _ -> true (* bad literal values *))
+
+(* token-soup fuzz: well-formed tokens in random order *)
+let token_soup =
+  QCheck.Gen.(
+    map (String.concat " ")
+      (list_size (0 -- 15)
+         (oneofl
+            [ "id"; "drop"; "filter"; "port"; "tpDst"; ":="; "="; "+"; ";";
+              "*"; "("; ")"; "1"; "80"; "true"; "false"; "and"; "or"; "not";
+              "if"; "then"; "else"; "vlan"; "10.0.0.1"; "0x800" ])))
+
+let prop_parser_token_soup =
+  QCheck.Test.make ~name:"policy parser survives token soup" ~count:2000
+    (QCheck.make token_soup)
+    (fun s ->
+      match Netkat.Parser.pol_of_string s with
+      | _ -> true
+      | exception Netkat.Parser.Parse_error _ -> true)
+
+(* pretty-print / parse roundtrip on random policies (reuses the policy
+   generator from the compiler property tests) *)
+let prop_pp_parse_roundtrip =
+  QCheck.Test.make ~name:"pp/parse roundtrip on random policies" ~count:1000
+    (QCheck.make
+       ~print:(fun p -> Netkat.Syntax.pol_to_string p)
+       Test_netkat.gen_pol)
+    (fun p ->
+      Netkat.Parser.pol_of_string (Netkat.Syntax.pol_to_string p) = p)
+
+let prop_pp_parse_pred_roundtrip =
+  QCheck.Test.make ~name:"pp/parse roundtrip on random predicates" ~count:1000
+    (QCheck.make
+       ~print:(fun p -> Netkat.Syntax.pred_to_string p)
+       Test_netkat.gen_pred)
+    (fun p ->
+      Netkat.Parser.pred_of_string (Netkat.Syntax.pred_to_string p) = p)
+
+(* ------------------------------------------------------------------ *)
+(* DOT output is well-formed-ish *)
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_dot_output () =
+  let topo = Topo.Gen.ring ~switches:4 ~hosts_per_switch:1 () in
+  let dot = Topo.Topology.to_dot topo in
+  Alcotest.(check bool) "header" true
+    (String.length dot > 20 && String.sub dot 0 5 = "graph");
+  let edges =
+    String.split_on_char '\n' dot
+    |> List.filter (fun l -> contains_substring l " -- ")
+  in
+  Alcotest.(check int) "one edge per link" 8 (List.length edges);
+  Alcotest.(check bool) "nodes typed" true
+    (contains_substring dot "shape=box" && contains_substring dot "shape=ellipse");
+  (* failed links render dashed *)
+  Topo.Topology.fail_link topo (Topo.Topology.Node.Switch 1, 1);
+  Alcotest.(check bool) "dashed when down" true
+    (contains_substring (Topo.Topology.to_dot topo) "style=dashed")
+
+let suites =
+  [ ( "fuzz",
+      [ QCheck_alcotest.to_alcotest prop_wire_decoder_total;
+        QCheck_alcotest.to_alcotest prop_wire_decoder_mutation;
+        QCheck_alcotest.to_alcotest prop_packet_decoder_total;
+        QCheck_alcotest.to_alcotest prop_packet_decoder_mutation;
+        QCheck_alcotest.to_alcotest prop_parser_total;
+        QCheck_alcotest.to_alcotest prop_parser_token_soup;
+        QCheck_alcotest.to_alcotest prop_pp_parse_roundtrip;
+        QCheck_alcotest.to_alcotest prop_pp_parse_pred_roundtrip;
+        Alcotest.test_case "dot export" `Quick test_dot_output ] ) ]

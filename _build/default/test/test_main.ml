@@ -1,0 +1,10 @@
+(* Aggregates every library's suites into one alcotest binary. *)
+
+let () =
+  Alcotest.run "zen"
+    (Test_util.suites @ Test_packet.suites @ Test_topo.suites
+    @ Test_flow.suites @ Test_openflow.suites @ Test_netkat.suites
+    @ Test_dataplane.suites @ Test_controller.suites @ Test_verify.suites
+    @ Test_te.suites @ Test_zen.suites @ Test_update.suites
+    @ Test_analysis.suites @ Test_wan.suites @ Test_fuzz.suites
+    @ Test_apps.suites @ Test_global.suites @ Test_transport.suites)

@@ -1,0 +1,564 @@
+(* Tests for the policy language: syntax, semantics, parser, the FDD
+   compiler (including the central compiler-correctness properties) and
+   the naive baseline. *)
+
+open Netkat
+open Packet
+
+let h0 = Headers.tcp ~switch:1 ~in_port:2 ~src_host:5 ~dst_host:9
+    ~tp_src:1234 ~tp_dst:80
+
+let hset_to_list s = Semantics.HSet.elements s
+
+let headers_list = Alcotest.testable
+    (Fmt.Dump.list Headers.pp) (fun a b -> a = b)
+
+let eval_pol p h = hset_to_list (Semantics.eval p h)
+
+(* ------------------------------------------------------------------ *)
+(* Syntax smart constructors *)
+
+let test_smart_constructors () =
+  let open Syntax in
+  Alcotest.(check bool) "seq id" true (seq id (Mod (Fields.Vlan, 1)) = Mod (Fields.Vlan, 1));
+  Alcotest.(check bool) "seq drop" true (seq drop (Mod (Fields.Vlan, 1)) = drop);
+  Alcotest.(check bool) "union drop" true (union drop (Mod (Fields.Vlan, 1)) = Mod (Fields.Vlan, 1));
+  Alcotest.(check bool) "conj true" true (conj True (Test (Fields.Vlan, 1)) = Test (Fields.Vlan, 1));
+  Alcotest.(check bool) "conj false" true (conj False (Test (Fields.Vlan, 1)) = False);
+  Alcotest.(check bool) "neg neg" true (neg (neg (Test (Fields.Vlan, 1))) = Test (Fields.Vlan, 1));
+  Alcotest.(check bool) "star of id" true (star id = id);
+  Alcotest.(check bool) "big_union empty" true (big_union [] = drop);
+  Alcotest.(check bool) "big_seq empty" true (big_seq [] = id)
+
+let test_size () =
+  let open Syntax in
+  Alcotest.(check int) "size" 6
+    (size (Union (Seq (id, Mod (Fields.Vlan, 1)), Filter (Not True))))
+
+let test_uses_links () =
+  let open Syntax in
+  Alcotest.(check bool) "plain" false (uses_links (Filter True));
+  Alcotest.(check bool) "link" true (uses_links (link (1, 1) (2, 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Semantics *)
+
+let test_sem_filter () =
+  Alcotest.check headers_list "pass" [ h0 ]
+    (eval_pol (Syntax.filter (Syntax.test Fields.Tp_dst 80)) h0);
+  Alcotest.check headers_list "block" []
+    (eval_pol (Syntax.filter (Syntax.test Fields.Tp_dst 81)) h0)
+
+let test_sem_mod () =
+  Alcotest.check headers_list "mod" [ Headers.set h0 Fields.Vlan 7 ]
+    (eval_pol (Syntax.modify Fields.Vlan 7) h0)
+
+let test_sem_union_dedup () =
+  (* both branches produce the same packet: the output is a set *)
+  let p = Syntax.union Syntax.id Syntax.id in
+  Alcotest.check headers_list "set semantics" [ h0 ] (eval_pol p h0)
+
+let test_sem_seq () =
+  let p =
+    Syntax.seq (Syntax.modify Fields.Vlan 7)
+      (Syntax.filter (Syntax.test Fields.Vlan 7))
+  in
+  Alcotest.check headers_list "mod then test" [ Headers.set h0 Fields.Vlan 7 ]
+    (eval_pol p h0)
+
+let test_sem_star_fixpoint () =
+  (* (vlan=none; vlan:=1 + vlan=1; vlan:=2)* reaches 3 packets *)
+  let open Syntax in
+  let p =
+    star
+      (union
+         (seq (filter (test Fields.Vlan Fields.vlan_none)) (modify Fields.Vlan 1))
+         (seq (filter (test Fields.Vlan 1)) (modify Fields.Vlan 2)))
+  in
+  Alcotest.(check int) "closure size" 3 (List.length (eval_pol p h0))
+
+let test_sem_neg_demorgan () =
+  let open Syntax in
+  let a = test Fields.Tp_dst 80 and b = test Fields.In_port 3 in
+  let lhs = filter (neg (disj a b)) in
+  let rhs = filter (conj (neg a) (neg b)) in
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "de morgan" true (Semantics.equiv_on lhs rhs h))
+    [ h0; Headers.set h0 Fields.Tp_dst 81;
+      Headers.set (Headers.set h0 Fields.Tp_dst 81) Fields.In_port 3 ]
+
+let test_link_policy () =
+  let p = Syntax.link (1, 2) (7, 3) in
+  (match eval_pol p h0 with
+   | [ h ] ->
+     Alcotest.(check int) "moved switch" 7 h.switch;
+     Alcotest.(check int) "moved port" 3 h.in_port
+   | _ -> Alcotest.fail "link should produce one packet");
+  (* packet not at (1,2) is dropped by the link *)
+  Alcotest.check headers_list "elsewhere dropped" []
+    (eval_pol p (Headers.set h0 Fields.In_port 9))
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_basic () =
+  let cases =
+    [ ("id", Syntax.id); ("drop", Syntax.drop);
+      ("port := 2", Syntax.forward 2);
+      ("filter tpDst = 80", Syntax.filter (Syntax.test Fields.Tp_dst 80));
+      ("filter true", Syntax.id);
+      ("(id)", Syntax.id) ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      Alcotest.(check bool) s true (Parser.pol_of_string s = expected))
+    cases
+
+let test_parse_precedence () =
+  (* ; binds tighter than +, * tighter than ; *)
+  let p = Parser.pol_of_string "vlan := 1; vlan := 2 + vlan := 3" in
+  let expected =
+    Syntax.union
+      (Syntax.seq (Syntax.modify Fields.Vlan 1) (Syntax.modify Fields.Vlan 2))
+      (Syntax.modify Fields.Vlan 3)
+  in
+  Alcotest.(check bool) "seq over union" true (p = expected);
+  let q = Parser.pol_of_string "vlan := 1; vlan := 2*" in
+  let expected_q =
+    Syntax.seq (Syntax.modify Fields.Vlan 1)
+      (Syntax.star (Syntax.modify Fields.Vlan 2))
+  in
+  Alcotest.(check bool) "star over seq" true (q = expected_q)
+
+let test_parse_pred_precedence () =
+  let p = Parser.pred_of_string "vlan = 1 or vlan = 2 and port = 3" in
+  let expected =
+    Syntax.disj (Syntax.test Fields.Vlan 1)
+      (Syntax.conj (Syntax.test Fields.Vlan 2) (Syntax.test Fields.In_port 3))
+  in
+  Alcotest.(check bool) "and over or" true (p = expected)
+
+let test_parse_values () =
+  let p = Parser.pol_of_string "filter ip4Dst = 10.0.0.9; ethDst := 02:00:00:00:00:09" in
+  let expected =
+    Syntax.seq
+      (Syntax.filter (Syntax.test Fields.Ip4_dst (Ipv4.of_string "10.0.0.9")))
+      (Syntax.modify Fields.Eth_dst (Mac.of_string "02:00:00:00:00:09"))
+  in
+  Alcotest.(check bool) "ip and mac literals" true (p = expected);
+  Alcotest.(check bool) "hex" true
+    (Parser.pol_of_string "filter ethType = 0x800"
+     = Syntax.filter (Syntax.test Fields.Eth_type 0x800))
+
+let test_parse_if () =
+  let p = Parser.pol_of_string "if port = 1 then port := 2 else drop" in
+  let expected = Syntax.ite (Syntax.test Fields.In_port 1) (Syntax.forward 2) Syntax.drop in
+  Alcotest.(check bool) "if-then-else" true (p = expected)
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "reject %S" s) true
+        (match Parser.pol_of_string s with
+         | exception Parser.Parse_error _ -> true
+         | _ -> false))
+    [ ""; "filter"; "port ="; "port := "; "id id"; "(id"; "vlan = 1";
+      "filter port := 1"; "id +"; "@#!" ]
+
+let test_pp_parse_roundtrip_examples () =
+  List.iter
+    (fun s ->
+      let p = Parser.pol_of_string s in
+      let p' = Parser.pol_of_string (Syntax.pol_to_string p) in
+      Alcotest.(check bool) s true (p = p'))
+    [ "id + drop; vlan := 2*";
+      "filter (port = 1 and not vlan = 3); port := 9";
+      "if tpDst = 80 then port := 1 else (port := 2 + port := 3)";
+      "filter not (port = 1 or port = 2)" ]
+
+(* ------------------------------------------------------------------ *)
+(* FDD compiler: directed tests *)
+
+let eval_fdd_sorted p h =
+  Fdd.eval (Fdd.of_policy p) h |> List.sort_uniq Headers.compare
+
+let check_equiv name p h =
+  Alcotest.check headers_list name (eval_pol p h) (eval_fdd_sorted p h)
+
+let test_fdd_basics () =
+  let open Syntax in
+  List.iter
+    (fun (name, p) ->
+      check_equiv name p h0;
+      check_equiv (name ^ "/other") p (Headers.set h0 Fields.Tp_dst 443))
+    [ ("id", id); ("drop", drop);
+      ("test", filter (test Fields.Tp_dst 80));
+      ("neg", filter (neg (test Fields.Tp_dst 80)));
+      ("mod", modify Fields.Vlan 3);
+      ("union", union (forward 1) (forward 2));
+      ("seq", seq (modify Fields.Tp_dst 443) (filter (test Fields.Tp_dst 443)));
+      ("mod-shadow", seq (modify Fields.Vlan 1) (modify Fields.Vlan 2));
+      ("ite", ite (test Fields.Tp_dst 80) (forward 1) (forward 2)) ]
+
+let test_fdd_hash_consing () =
+  let open Syntax in
+  let p = union (forward 1) (forward 2) in
+  Alcotest.(check bool) "same policy, same node" true
+    (Fdd.equal (Fdd.of_policy p) (Fdd.of_policy p));
+  Alcotest.(check bool) "union commutes physically" true
+    (Fdd.equal
+       (Fdd.of_policy (union (forward 1) (forward 2)))
+       (Fdd.of_policy (union (forward 2) (forward 1))))
+
+let test_fdd_star_convergence () =
+  let open Syntax in
+  let p = star (union (modify Fields.Vlan 1) (modify Fields.Vlan 2)) in
+  check_equiv "star" p h0;
+  (* star of id is id *)
+  Alcotest.(check bool) "star id" true
+    (Fdd.equal (Fdd.of_policy (star id)) (Fdd.of_policy id))
+
+let test_fdd_node_count_sharing () =
+  let open Syntax in
+  (* a union of k disjoint dst tests with the same action shares leaves *)
+  let p =
+    big_union
+      (List.init 10 (fun i ->
+         seq (filter (test Fields.Tp_dst (i + 1))) (forward 9)))
+  in
+  let d = Fdd.of_policy p in
+  (* 10 branch nodes + 2 leaves (fwd 9, drop) *)
+  Alcotest.(check int) "shared structure" 12 (Fdd.node_count d)
+
+let test_fdd_restrict () =
+  let open Syntax in
+  let p =
+    union
+      (seq (at ~switch:1) (forward 1))
+      (seq (at ~switch:2) (forward 2))
+  in
+  let d = Fdd.restrict (Fields.Switch, 1) (Fdd.of_policy p) in
+  Alcotest.(check bool) "restricted to sw1" true
+    (Fdd.eval d h0 = [ Headers.set h0 Fields.In_port 1 ]);
+  (* the switch dimension is gone: evaluating with switch=2 behaves as 1 *)
+  let h2 = Headers.set h0 Fields.Switch 2 in
+  Alcotest.(check bool) "switch tests erased" true
+    (Fdd.eval d h2 = [ Headers.set h2 Fields.In_port 1 ])
+
+let test_act_compose () =
+  let a = Fdd.Act.of_list [ (Fields.Vlan, 1); (Fields.Tp_dst, 8) ] in
+  let b = Fdd.Act.of_list [ (Fields.Vlan, 2) ] in
+  let ab = Fdd.Act.compose a b in
+  Alcotest.(check bool) "b wins on vlan" true
+    (Fdd.Act.get ab Fields.Vlan = Some 2);
+  Alcotest.(check bool) "a kept on tp" true
+    (Fdd.Act.get ab Fields.Tp_dst = Some 8);
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Fdd.Act.of_list [ (Fields.Vlan, 1); (Fields.Vlan, 2) ] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* FDD compiler: the property — random policies, random packets *)
+
+let fields_for_gen =
+  [| Fields.Switch; Fields.In_port; Fields.Eth_dst; Fields.Vlan;
+     Fields.Tp_dst |]
+
+let gen_pred =
+  let open QCheck.Gen in
+  sized (fun n ->
+    fix
+      (fun self n ->
+        let leaf =
+          oneof
+            [ return Syntax.True; return Syntax.False;
+              map2 (fun f v -> Syntax.Test (f, v))
+                (oneofa fields_for_gen) (int_bound 3) ]
+        in
+        if n <= 1 then leaf
+        else
+          frequency
+            [ (2, leaf);
+              (2, map2 Syntax.conj (self (n / 2)) (self (n / 2)));
+              (2, map2 Syntax.disj (self (n / 2)) (self (n / 2)));
+              (1, map Syntax.neg (self (n - 1))) ])
+      (min n 12))
+
+let gen_pol =
+  let open QCheck.Gen in
+  sized (fun n ->
+    fix
+      (fun self n ->
+        let leaf =
+          oneof
+            [ map Syntax.filter gen_pred;
+              map2 (fun f v -> Syntax.Mod (f, v))
+                (oneofa fields_for_gen) (int_bound 3) ]
+        in
+        if n <= 1 then leaf
+        else
+          frequency
+            [ (3, leaf);
+              (3, map2 Syntax.union (self (n / 2)) (self (n / 2)));
+              (3, map2 Syntax.seq (self (n / 2)) (self (n / 2)));
+              (1, map Syntax.star (self (min 4 (n / 2)))) ])
+      (min n 20))
+
+let gen_headers =
+  let open QCheck.Gen in
+  let small = int_bound 3 in
+  map2
+    (fun (sw, pt) ((dst, vlan), tp) ->
+      { Headers.default with
+        switch = sw; in_port = pt; eth_dst = dst; vlan; tp_dst = tp })
+    (pair small small)
+    (pair (pair small small) small)
+
+let prop_fdd_equals_semantics =
+  QCheck.Test.make ~name:"FDD compilation preserves semantics" ~count:1500
+    (QCheck.make
+       ~print:(fun (p, _) -> Syntax.pol_to_string p)
+       (QCheck.Gen.pair gen_pol gen_headers))
+    (fun (p, h) ->
+      let sem = hset_to_list (Semantics.eval p h) in
+      let fdd = Fdd.eval (Fdd.of_policy p) h |> List.sort_uniq Headers.compare in
+      sem = fdd)
+
+(* table-level: compiled rules behave like the FDD restricted to a switch *)
+let table_eval rules (h : Headers.t) =
+  let winner =
+    List.fold_left
+      (fun best (r : Local.rule) ->
+        match best with
+        | Some (bp, _) when bp >= r.priority -> best
+        | _ ->
+          if Flow.Pattern.matches r.pattern h then Some (r.priority, r.actions)
+          else best)
+      None rules
+  in
+  match winner with
+  | None -> []
+  | Some (_, group) ->
+    Flow.Action.apply_group h group
+    |> List.filter_map (fun (h', port) ->
+      match (port : Flow.Action.port) with
+      | Physical p -> Some (Headers.set h' Fields.In_port p)
+      | In_port_out -> Some h'
+      | Flood | Controller -> None)
+    |> List.sort_uniq Headers.compare
+
+let local_pol_gen =
+  (* local policies: no Mod Switch (tests on Switch are fine) *)
+  let open QCheck.Gen in
+  let rec fix_mod p =
+    match (p : Syntax.pol) with
+    | Mod (f, v) ->
+      if Fields.equal f Fields.Switch then Syntax.Mod (Fields.Vlan, v) else p
+    | Filter _ -> p
+    | Union (a, b) -> Syntax.Union (fix_mod a, fix_mod b)
+    | Seq (a, b) -> Syntax.Seq (fix_mod a, fix_mod b)
+    | Star a -> Syntax.Star (fix_mod a)
+  in
+  map fix_mod gen_pol
+
+let prop_table_equals_semantics =
+  QCheck.Test.make
+    ~name:"compiled flow table behaves like the policy at its switch"
+    ~count:800
+    (QCheck.make
+       ~print:(fun (p, _) -> Syntax.pol_to_string p)
+       (QCheck.Gen.pair local_pol_gen gen_headers))
+    (fun (p, h) ->
+      let rules = Local.compile ~switch:h.switch p in
+      let sem =
+        hset_to_list (Semantics.eval p h)
+        (* keep only packets that stay at this switch: local policies
+           cannot move packets, so that is all of them *)
+      in
+      table_eval rules h = sem)
+
+(* ------------------------------------------------------------------ *)
+(* Local compilation: directed *)
+
+let test_local_routing_rules () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let pol = Builder.routing_policy topo in
+  let rules = Local.compile ~switch:2 pol in
+  (* 3 destinations + final drop *)
+  Alcotest.(check int) "rule count" 4 (List.length rules);
+  (* middle switch: h1 via port 1 (to s1), h3 via port 2? ports: s2 has
+     port1->s1, port2->s3, port3->h2 *)
+  let probe dst =
+    let h =
+      Headers.tcp ~switch:2 ~in_port:1 ~src_host:1 ~dst_host:dst ~tp_src:1
+        ~tp_dst:2
+    in
+    table_eval rules h
+  in
+  (match probe 3 with
+   | [ h ] -> Alcotest.(check int) "toward s3" 2 h.in_port
+   | _ -> Alcotest.fail "expected one output");
+  match probe 2 with
+  | [ h ] -> Alcotest.(check int) "local host" 3 h.in_port
+  | _ -> Alcotest.fail "expected one output"
+
+let test_local_rejects_links () =
+  Alcotest.(check bool) "link rejected" true
+    (match Local.compile ~switch:1 (Syntax.link (1, 1) (2, 2)) with
+     | exception Local.Not_local _ -> true
+     | _ -> false)
+
+let test_local_negation_via_shadowing () =
+  (* filter not tpDst=80; port:=9 — needs priority shadowing *)
+  let open Syntax in
+  let p = seq (filter (neg (test Fields.Tp_dst 80))) (forward 9) in
+  let rules = Local.compile ~switch:1 p in
+  Alcotest.(check bool) "80 dropped" true (table_eval rules h0 = []);
+  let h443 = Headers.set h0 Fields.Tp_dst 443 in
+  Alcotest.(check bool) "443 forwarded" true
+    (table_eval rules h443 = [ Headers.set h443 Fields.In_port 9 ])
+
+let test_local_table_loading () =
+  let open Syntax in
+  let table =
+    Local.compile_table ~switch:1 (seq (filter (test Fields.Tp_dst 80)) (forward 3))
+  in
+  Alcotest.(check bool) "loaded" true (Flow.Table.size table >= 1);
+  match Flow.Table.apply table ~now:0.0 ~size:10 h0 with
+  | Some actions ->
+    Alcotest.(check bool) "forwards" true (actions = Flow.Action.forward 3)
+  | None -> Alcotest.fail "should match"
+
+(* ------------------------------------------------------------------ *)
+(* Naive baseline *)
+
+let test_naive_agrees_on_routing () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:2 () in
+  let pol = Builder.routing_policy topo in
+  List.iter
+    (fun sw ->
+      let naive = Naive.compile ~switch:sw pol in
+      List.iter
+        (fun dst ->
+          let h =
+            Headers.tcp ~switch:sw ~in_port:1 ~src_host:1 ~dst_host:dst
+              ~tp_src:1 ~tp_dst:2
+          in
+          let fdd_rules = Local.compile ~switch:sw pol in
+          Alcotest.check headers_list
+            (Printf.sprintf "sw%d dst h%d" sw dst)
+            (table_eval fdd_rules h) (table_eval naive h))
+        [ 1; 2; 3; 4; 5; 6 ])
+    [ 1; 2; 3 ]
+
+let test_naive_redundancy () =
+  (* redundant union branches: the naive compiler keeps every duplicate
+     (shadowed dead rules), the FDD collapses them *)
+  let open Syntax in
+  let p =
+    big_union
+      (List.init 4 (fun _ ->
+         seq (filter (test Fields.Tp_dst 80)) (forward 1)))
+  in
+  let naive = Naive.compile ~switch:1 p in
+  let fdd = Local.compile ~switch:1 p in
+  Alcotest.(check int) "naive keeps duplicates" 4 (List.length naive);
+  Alcotest.(check int) "fdd collapses (match + fall-through drop)" 2
+    (List.length fdd);
+  (* load both into tables and count dead entries *)
+  let load rules =
+    let t = Flow.Table.create () in
+    List.iter
+      (fun (r : Local.rule) ->
+        Flow.Table.add t
+          (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+             ~actions:r.actions ()))
+      rules;
+    t
+  in
+  Alcotest.(check int) "naive has shadowed rules" 3
+    (List.length (Flow.Table.shadowed (load naive)));
+  Alcotest.(check int) "fdd has none" 0
+    (List.length (Flow.Table.shadowed (load fdd)))
+
+let test_fdd_negation_linear () =
+  (* a denylist firewall needs negation: the FDD compiles it to a linear
+     number of rules (k drops + default), which the naive baseline cannot
+     express at all *)
+  let open Syntax in
+  let deny k =
+    let bad =
+      List.fold_left
+        (fun acc i -> disj acc (test Fields.Tp_dst i))
+        False
+        (List.init k (fun i -> i + 1))
+    in
+    seq (filter (neg bad)) (forward 9)
+  in
+  List.iter
+    (fun k ->
+      let rules = Local.compile ~switch:1 (deny k) in
+      Alcotest.(check int)
+        (Printf.sprintf "denylist k=%d is linear" k)
+        (k + 1) (List.length rules))
+    [ 1; 4; 16 ]
+
+let test_naive_unsupported () =
+  Alcotest.(check bool) "negation" true
+    (match Naive.compile ~switch:1 (Syntax.Filter (Syntax.Not Syntax.True)) with
+     | exception Naive.Unsupported _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "star" true
+    (match Naive.compile ~switch:1 (Syntax.Star (Syntax.Mod (Fields.Vlan, 1))) with
+     | exception Naive.Unsupported _ -> true
+     | _ -> false)
+
+let suites =
+  [ ( "netkat.syntax",
+      [ Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+        Alcotest.test_case "size" `Quick test_size;
+        Alcotest.test_case "uses_links" `Quick test_uses_links ] );
+    ( "netkat.semantics",
+      [ Alcotest.test_case "filter" `Quick test_sem_filter;
+        Alcotest.test_case "mod" `Quick test_sem_mod;
+        Alcotest.test_case "union dedups" `Quick test_sem_union_dedup;
+        Alcotest.test_case "seq" `Quick test_sem_seq;
+        Alcotest.test_case "star fixpoint" `Quick test_sem_star_fixpoint;
+        Alcotest.test_case "de morgan" `Quick test_sem_neg_demorgan;
+        Alcotest.test_case "link" `Quick test_link_policy ] );
+    ( "netkat.parser",
+      [ Alcotest.test_case "basic" `Quick test_parse_basic;
+        Alcotest.test_case "policy precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "predicate precedence" `Quick
+          test_parse_pred_precedence;
+        Alcotest.test_case "value literals" `Quick test_parse_values;
+        Alcotest.test_case "if-then-else" `Quick test_parse_if;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "pp/parse roundtrip" `Quick
+          test_pp_parse_roundtrip_examples ] );
+    ( "netkat.fdd",
+      [ Alcotest.test_case "basic equivalences" `Quick test_fdd_basics;
+        Alcotest.test_case "hash consing" `Quick test_fdd_hash_consing;
+        Alcotest.test_case "star converges" `Quick test_fdd_star_convergence;
+        Alcotest.test_case "node sharing" `Quick test_fdd_node_count_sharing;
+        Alcotest.test_case "restrict" `Quick test_fdd_restrict;
+        Alcotest.test_case "action composition" `Quick test_act_compose;
+        QCheck_alcotest.to_alcotest prop_fdd_equals_semantics ] );
+    ( "netkat.local",
+      [ Alcotest.test_case "routing rules" `Quick test_local_routing_rules;
+        Alcotest.test_case "rejects links" `Quick test_local_rejects_links;
+        Alcotest.test_case "negation via shadowing" `Quick
+          test_local_negation_via_shadowing;
+        Alcotest.test_case "table loading" `Quick test_local_table_loading;
+        QCheck_alcotest.to_alcotest prop_table_equals_semantics ] );
+    ( "netkat.naive",
+      [ Alcotest.test_case "agrees on routing" `Quick
+          test_naive_agrees_on_routing;
+        Alcotest.test_case "keeps redundant rules" `Quick
+          test_naive_redundancy;
+        Alcotest.test_case "fdd compiles denylists linearly" `Quick
+          test_fdd_negation_linear;
+        Alcotest.test_case "unsupported fragments" `Quick
+          test_naive_unsupported ] ) ]

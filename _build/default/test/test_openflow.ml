@@ -1,0 +1,193 @@
+(* Tests for the control-protocol messages and their wire codec. *)
+
+open Openflow
+
+let payload : Message.payload =
+  { headers =
+      Packet.Headers.tcp ~switch:3 ~in_port:2 ~src_host:5 ~dst_host:9
+        ~tp_src:1234 ~tp_dst:80;
+    size = 1000; tag = 42 }
+
+let pattern =
+  { Flow.Pattern.any with
+    eth_dst = Some (Packet.Mac.of_host_id 9);
+    ip4_dst = Some (Packet.Ipv4.Prefix.of_string "10.0.0.0/8");
+    tp_dst = Some 80 }
+
+let group : Flow.Action.group =
+  [ [ Set_field (Packet.Fields.Vlan, 100); Output (Physical 4) ];
+    [ Output Flood ]; [ Output Controller ]; [ Output In_port_out ] ]
+
+let msg_eq = Alcotest.testable
+    (fun fmt (m : Message.t) -> Message.pp fmt m) ( = )
+
+let roundtrip ?(xid = 77) name msg =
+  let got_xid, got = Wire.decode (Wire.encode ~xid msg) in
+  Alcotest.(check int) (name ^ " xid") xid got_xid;
+  Alcotest.check msg_eq name msg got
+
+let test_simple_messages () =
+  List.iter
+    (fun (name, m) -> roundtrip name m)
+    [ ("hello", Message.Hello);
+      ("features_request", Message.Features_request);
+      ("barrier_request", Message.Barrier_request);
+      ("barrier_reply", Message.Barrier_reply);
+      ("echo_request", Message.Echo_request "ping!");
+      ("echo_reply", Message.Echo_reply "") ]
+
+let test_features_reply () =
+  roundtrip "features_reply"
+    (Message.Features_reply { datapath_id = 12; port_list = [ 1; 2; 5 ] })
+
+let test_packet_in_out () =
+  roundtrip "packet_in"
+    (Message.Packet_in { in_port = 2; reason = No_match; packet = payload });
+  roundtrip "packet_in explicit"
+    (Message.Packet_in { in_port = 7; reason = Explicit_send; packet = payload });
+  roundtrip "packet_out"
+    (Message.Packet_out
+       { out_in_port = 3;
+         out_actions = [ Set_field (Packet.Fields.Tp_dst, 443); Output Flood ];
+         out_packet = payload })
+
+let test_flow_mod () =
+  roundtrip "flow_mod add"
+    (Message.Flow_mod
+       (Message.add_flow ~priority:1000 ~idle_timeout:(Some 12.5)
+          ~hard_timeout:(Some 60.0) ~cookie:99 ~notify_when_removed:true
+          ~pattern ~actions:group ()));
+  roundtrip "flow_mod delete"
+    (Message.Flow_mod (Message.delete_flow ~pattern ()));
+  roundtrip "flow_mod delete by cookie"
+    (Message.Flow_mod (Message.delete_flow ~cookie:(Some 3) ~pattern ()))
+
+let test_port_status_flow_removed () =
+  roundtrip "port down"
+    (Message.Port_status { ps_port = 4; ps_reason = Port_down });
+  roundtrip "port up"
+    (Message.Port_status { ps_port = 4; ps_reason = Port_up });
+  roundtrip "flow_removed"
+    (Message.Flow_removed
+       { fr_pattern = pattern; fr_priority = 5; fr_cookie = -1;
+         fr_reason = Hard_timeout_expired; fr_packets = 1234567;
+         fr_bytes = 987654321 })
+
+let test_stats () =
+  roundtrip "flow stats request"
+    (Message.Stats_request (Flow_stats_request pattern));
+  roundtrip "port stats request all"
+    (Message.Stats_request (Port_stats_request None));
+  roundtrip "port stats request one"
+    (Message.Stats_request (Port_stats_request (Some 3)));
+  roundtrip "table stats request"
+    (Message.Stats_request Table_stats_request);
+  roundtrip "flow stats reply"
+    (Message.Stats_reply
+       (Flow_stats_reply
+          [ { fs_pattern = pattern; fs_priority = 10; fs_cookie = 1;
+              fs_packets = 5; fs_bytes = 5000 };
+            { fs_pattern = Flow.Pattern.any; fs_priority = 0; fs_cookie = 0;
+              fs_packets = 0; fs_bytes = 0 } ]));
+  roundtrip "port stats reply"
+    (Message.Stats_reply
+       (Port_stats_reply
+          [ { pstat_port = 1; rx_packets = 1; tx_packets = 2; rx_bytes = 3;
+              tx_bytes = 4; drops = 5 } ]));
+  roundtrip "table stats reply"
+    (Message.Stats_reply
+       (Table_stats_reply { active_rules = 7; table_hits = 8; table_misses = 9 }))
+
+let test_rejects_garbage () =
+  let check name b =
+    Alcotest.(check bool) name true
+      (match Wire.decode b with
+       | exception Wire.Wire_error _ -> true
+       | _ -> false)
+  in
+  check "empty" Bytes.empty;
+  check "short header" (Bytes.make 4 '\000');
+  let good = Wire.encode ~xid:1 Message.Hello in
+  let bad_version = Bytes.copy good in
+  Bytes.set bad_version 0 '\002';
+  check "bad version" bad_version;
+  let bad_len = Bytes.copy good in
+  Bytes.set bad_len 3 '\099';
+  check "bad length" bad_len;
+  let trailing = Bytes.cat good (Bytes.make 1 '\000') in
+  check "trailing bytes" trailing
+
+let test_length_field () =
+  let b = Wire.encode ~xid:5 (Message.Echo_request "abc") in
+  Alcotest.(check int) "length field equals buffer"
+    (Bytes.length b) (Util.Bits.get_u16 b 2)
+
+let test_timeout_encoding_precision () =
+  (* timeouts are carried in integer milliseconds *)
+  let fm =
+    Message.add_flow ~idle_timeout:(Some 0.0305) ~pattern:Flow.Pattern.any
+      ~actions:[] ()
+  in
+  match Wire.decode (Wire.encode ~xid:0 (Message.Flow_mod fm)) with
+  | _, Message.Flow_mod fm' ->
+    Alcotest.(check (option (float 1e-9))) "30ms survives" (Some 0.030)
+      fm'.idle_timeout
+  | _ -> Alcotest.fail "wrong message"
+
+(* property: random flow_mods roundtrip *)
+let gen_pattern =
+  let open QCheck.Gen in
+  let field =
+    oneofl
+      [ Packet.Fields.In_port; Packet.Fields.Eth_src; Packet.Fields.Eth_dst;
+        Packet.Fields.Eth_type; Packet.Fields.Vlan; Packet.Fields.Ip_proto;
+        Packet.Fields.Ip4_src; Packet.Fields.Ip4_dst; Packet.Fields.Tp_src;
+        Packet.Fields.Tp_dst ]
+  in
+  list_size (0 -- 4) (pair field (int_bound 0xffff)) >|= fun tests ->
+  List.fold_left
+    (fun pat (f, v) ->
+      match Flow.Pattern.conj pat (Flow.Pattern.of_field f v) with
+      | Some p -> p
+      | None -> pat)
+    Flow.Pattern.any tests
+
+let gen_group =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [ map (fun p -> Flow.Action.Output (Physical p)) (int_bound 100);
+        return (Flow.Action.Output Flood);
+        return (Flow.Action.Output In_port_out);
+        return (Flow.Action.Output Controller);
+        map (fun v -> Flow.Action.Set_field (Packet.Fields.Vlan, v))
+          (int_bound 4094) ]
+  in
+  list_size (0 -- 3) (list_size (0 -- 4) atom)
+
+let prop_flow_mod_roundtrip =
+  QCheck.Test.make ~name:"random flow_mods roundtrip" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         triple gen_pattern gen_group (pair (int_bound 0xffff) (int_bound 1000))))
+    (fun (pattern, actions, (priority, cookie)) ->
+      let m =
+        Message.Flow_mod
+          (Message.add_flow ~priority ~cookie ~pattern ~actions ())
+      in
+      snd (Wire.decode (Wire.encode ~xid:1 m)) = m)
+
+let suites =
+  [ ( "openflow.wire",
+      [ Alcotest.test_case "simple messages" `Quick test_simple_messages;
+        Alcotest.test_case "features reply" `Quick test_features_reply;
+        Alcotest.test_case "packet in/out" `Quick test_packet_in_out;
+        Alcotest.test_case "flow mod" `Quick test_flow_mod;
+        Alcotest.test_case "port status / flow removed" `Quick
+          test_port_status_flow_removed;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+        Alcotest.test_case "length field" `Quick test_length_field;
+        Alcotest.test_case "timeout precision" `Quick
+          test_timeout_encoding_precision;
+        QCheck_alcotest.to_alcotest prop_flow_mod_roundtrip ] ) ]

@@ -1,0 +1,233 @@
+(* Tests for traffic engineering: demands, metrics and the three
+   allocation schemes (feasibility, fairness, and the ordering claims
+   that E6 sweeps). *)
+
+let switches topo = Topo.Topology.switch_ids topo
+
+(* ------------------------------------------------------------------ *)
+(* Demands *)
+
+let test_demand_validation () =
+  Alcotest.(check bool) "self demand rejected" true
+    (match Te.Demand.make ~src:1 ~dst:1 ~rate:1.0 () with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "negative rate rejected" true
+    (match Te.Demand.make ~src:1 ~dst:2 ~rate:(-1.0) () with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_uniform_matrix () =
+  let d = Te.Demand.uniform ~switches:[ 1; 2; 3 ] ~rate:5.0 in
+  Alcotest.(check int) "pairs" 6 (List.length d);
+  Alcotest.(check (float 1e-9)) "total" 30.0 (Te.Demand.total d)
+
+let test_gravity_properties () =
+  let prng = Util.Prng.create 11 in
+  let d =
+    Te.Demand.gravity ~prng ~switches:[ 1; 2; 3; 4 ] ~total_rate:100.0
+      ~priorities:3 ()
+  in
+  Alcotest.(check int) "pairs" 12 (List.length d);
+  Alcotest.(check (float 1e-6)) "mass conserved" 100.0 (Te.Demand.total d);
+  List.iter
+    (fun (x : Te.Demand.t) ->
+      Alcotest.(check bool) "positive" true (x.rate > 0.0);
+      Alcotest.(check bool) "priority in range" true
+        (x.priority >= 0 && x.priority < 3))
+    d
+
+let test_scale () =
+  let d = Te.Demand.uniform ~switches:[ 1; 2 ] ~rate:10.0 in
+  Alcotest.(check (float 1e-9)) "scaled" 40.0
+    (Te.Demand.total (Te.Demand.scale 2.0 d))
+
+(* ------------------------------------------------------------------ *)
+(* Schemes: basic sanity on a trivial topology *)
+
+let two_switches_capacity cap =
+  let topo = Topo.Topology.create () in
+  Topo.Topology.add_link topo
+    (Topo.Topology.Node.Switch 1, 1) (Topo.Topology.Node.Switch 2, 1)
+    ~capacity:cap ~delay:1e-3;
+  topo
+
+let test_single_link_allocation () =
+  let topo = two_switches_capacity 10.0 in
+  let demands = [ Te.Demand.make ~src:1 ~dst:2 ~rate:4.0 () ] in
+  List.iter
+    (fun (name, solve) ->
+      let a = solve topo demands in
+      Alcotest.(check (float 1e-6)) (name ^ " carried") 4.0 (Te.Alloc.carried a);
+      Alcotest.(check bool) (name ^ " feasible") true (Te.Alloc.feasible a))
+    [ ("ecmp", Te.Ecmp.solve); ("maxmin", Te.Maxmin.solve);
+      ("greedy", fun t d -> Te.Greedy_kpath.solve t d) ]
+
+let test_single_link_saturation () =
+  let topo = two_switches_capacity 10.0 in
+  let demands =
+    [ Te.Demand.make ~src:1 ~dst:2 ~rate:8.0 ();
+      Te.Demand.make ~src:1 ~dst:2 ~rate:8.0 () ]
+  in
+  (* max-min: both get 5 *)
+  let a = Te.Maxmin.solve topo demands in
+  List.iter
+    (fun e ->
+      Alcotest.(check (float 1e-6)) "fair share" 5.0 (Te.Alloc.allocated_rate e))
+    a.entries;
+  Alcotest.(check (float 1e-6)) "fairness 1" 1.0 (Te.Alloc.fairness a);
+  Alcotest.(check bool) "feasible" true (Te.Alloc.feasible a)
+
+let test_maxmin_respects_demand_caps () =
+  let topo = two_switches_capacity 10.0 in
+  let demands =
+    [ Te.Demand.make ~src:1 ~dst:2 ~rate:2.0 ();
+      Te.Demand.make ~src:1 ~dst:2 ~rate:100.0 () ]
+  in
+  let a = Te.Maxmin.solve topo demands in
+  (match a.entries with
+   | [ small; big ] ->
+     Alcotest.(check (float 1e-6)) "small fully served" 2.0
+       (Te.Alloc.allocated_rate small);
+     Alcotest.(check (float 1e-6)) "big gets the rest" 8.0
+       (Te.Alloc.allocated_rate big)
+   | _ -> Alcotest.fail "two entries");
+  Alcotest.(check bool) "feasible" true (Te.Alloc.feasible a)
+
+let test_greedy_priorities () =
+  (* capacity 10; priority-0 demand of 8 and priority-1 demand of 8:
+     the important one is fully served, the other gets the remainder *)
+  let topo = two_switches_capacity 10.0 in
+  let demands =
+    [ Te.Demand.make ~priority:1 ~src:1 ~dst:2 ~rate:8.0 ();
+      Te.Demand.make ~priority:0 ~src:1 ~dst:2 ~rate:8.0 () ]
+  in
+  let a = Te.Greedy_kpath.solve topo demands in
+  let by_prio p =
+    List.find (fun (e : Te.Alloc.entry) -> e.demand.priority = p) a.entries
+  in
+  Alcotest.(check (float 1e-6)) "p0 full" 8.0 (Te.Alloc.allocated_rate (by_prio 0));
+  Alcotest.(check bool) "p1 remainder" true
+    (abs_float (Te.Alloc.allocated_rate (by_prio 1) -. 2.0) < 0.2);
+  Alcotest.(check bool) "feasible" true (Te.Alloc.feasible a)
+
+let test_greedy_uses_alternate_paths () =
+  (* two disjoint 2-hop paths of capacity 10 between 1 and 4; a single
+     demand of 16 needs both *)
+  let topo = Topo.Topology.create () in
+  let open Topo.Topology in
+  let c = 10.0 in
+  add_link topo (Node.Switch 1, 1) (Node.Switch 2, 1) ~capacity:c ~delay:1e-3;
+  add_link topo (Node.Switch 2, 2) (Node.Switch 4, 1) ~capacity:c ~delay:1e-3;
+  add_link topo (Node.Switch 1, 2) (Node.Switch 3, 1) ~capacity:c ~delay:2e-3;
+  add_link topo (Node.Switch 3, 2) (Node.Switch 4, 2) ~capacity:c ~delay:2e-3;
+  let demands = [ Te.Demand.make ~src:1 ~dst:4 ~rate:16.0 () ] in
+  let g = Te.Greedy_kpath.solve topo demands in
+  Alcotest.(check bool) "multipath carries > one path" true
+    (Te.Alloc.carried g > 10.0 +. 1e-6);
+  Alcotest.(check bool) "feasible" true (Te.Alloc.feasible g);
+  (* single-path max-min is stuck at one path's capacity *)
+  let m = Te.Maxmin.solve topo demands in
+  Alcotest.(check (float 1e-6)) "maxmin single path" 10.0 (Te.Alloc.carried m)
+
+let test_ecmp_sheds_overload () =
+  let topo = two_switches_capacity 10.0 in
+  let demands = [ Te.Demand.make ~src:1 ~dst:2 ~rate:25.0 () ] in
+  let a = Te.Ecmp.solve topo demands in
+  Alcotest.(check bool) "feasible after shedding" true (Te.Alloc.feasible a);
+  Alcotest.(check (float 1e-6)) "carried = capacity" 10.0 (Te.Alloc.carried a)
+
+(* ------------------------------------------------------------------ *)
+(* The E6 ordering claims on the B4-like WAN *)
+
+let test_wan_ordering () =
+  let topo = Topo.Gen.b4 ~hosts_per_switch:0 () in
+  let prng = Util.Prng.create 42 in
+  let demands =
+    Te.Demand.gravity ~prng ~switches:(switches topo) ~total_rate:300e9
+      ~priorities:2 ()
+  in
+  let e = Te.Ecmp.solve topo demands in
+  let m = Te.Maxmin.solve topo demands in
+  let g = Te.Greedy_kpath.solve topo demands in
+  List.iter
+    (fun (name, (a : Te.Alloc.t)) ->
+      Alcotest.(check bool) (name ^ " feasible") true (Te.Alloc.feasible a))
+    [ ("ecmp", e); ("maxmin", m); ("greedy", g) ];
+  (* at heavy load: multipath > single-path shortest > oblivious ECMP *)
+  Alcotest.(check bool) "greedy > ecmp" true
+    (Te.Alloc.carried g > Te.Alloc.carried e);
+  Alcotest.(check bool) "maxmin > ecmp" true
+    (Te.Alloc.carried m > Te.Alloc.carried e)
+
+let test_light_load_all_equal () =
+  (* far below capacity every scheme satisfies all demands *)
+  let topo = Topo.Gen.b4 ~hosts_per_switch:0 () in
+  let prng = Util.Prng.create 7 in
+  let demands =
+    Te.Demand.gravity ~prng ~switches:(switches topo) ~total_rate:1e9 ()
+  in
+  let total = Te.Demand.total demands in
+  List.iter
+    (fun (name, solve) ->
+      let a = solve topo demands in
+      Alcotest.(check bool)
+        (name ^ " carries everything")
+        true
+        (abs_float (Te.Alloc.carried a -. total) < total *. 0.01))
+    [ ("ecmp", Te.Ecmp.solve); ("maxmin", Te.Maxmin.solve);
+      ("greedy", fun t d -> Te.Greedy_kpath.solve t d) ]
+
+(* properties *)
+
+let prop_feasibility =
+  QCheck.Test.make ~name:"all schemes produce feasible allocations" ~count:30
+    (QCheck.make QCheck.Gen.(pair (int_bound 10000) (float_range 1e9 500e9)))
+    (fun (seed, total_rate) ->
+      let topo = Topo.Gen.abilene ~hosts_per_switch:0 () in
+      let prng = Util.Prng.create seed in
+      let demands =
+        Te.Demand.gravity ~prng ~switches:(switches topo) ~total_rate
+          ~priorities:3 ()
+      in
+      Te.Alloc.feasible (Te.Ecmp.solve topo demands)
+      && Te.Alloc.feasible (Te.Maxmin.solve topo demands)
+      && Te.Alloc.feasible (Te.Greedy_kpath.solve topo demands))
+
+let prop_no_overservice =
+  QCheck.Test.make ~name:"no demand receives more than it asked" ~count:20
+    (QCheck.make (QCheck.Gen.int_bound 10000))
+    (fun seed ->
+      let topo = Topo.Gen.abilene ~hosts_per_switch:0 () in
+      let prng = Util.Prng.create seed in
+      let demands =
+        Te.Demand.gravity ~prng ~switches:(switches topo) ~total_rate:200e9 ()
+      in
+      List.for_all
+        (fun (a : Te.Alloc.t) ->
+          List.for_all
+            (fun (e : Te.Alloc.entry) ->
+              Te.Alloc.allocated_rate e <= e.demand.rate +. 1.0 (* 1 bit/s slack *))
+            a.entries)
+        [ Te.Maxmin.solve topo demands; Te.Greedy_kpath.solve topo demands ])
+
+let suites =
+  [ ( "te.demand",
+      [ Alcotest.test_case "validation" `Quick test_demand_validation;
+        Alcotest.test_case "uniform matrix" `Quick test_uniform_matrix;
+        Alcotest.test_case "gravity model" `Quick test_gravity_properties;
+        Alcotest.test_case "scaling" `Quick test_scale ] );
+    ( "te.schemes",
+      [ Alcotest.test_case "single link" `Quick test_single_link_allocation;
+        Alcotest.test_case "saturation fair share" `Quick
+          test_single_link_saturation;
+        Alcotest.test_case "maxmin demand caps" `Quick
+          test_maxmin_respects_demand_caps;
+        Alcotest.test_case "greedy priorities" `Quick test_greedy_priorities;
+        Alcotest.test_case "greedy multipath" `Quick
+          test_greedy_uses_alternate_paths;
+        Alcotest.test_case "ecmp sheds overload" `Quick test_ecmp_sheds_overload;
+        Alcotest.test_case "WAN ordering at load" `Quick test_wan_ordering;
+        Alcotest.test_case "light load ties" `Quick test_light_load_all_equal;
+        QCheck_alcotest.to_alcotest prop_feasibility;
+        QCheck_alcotest.to_alcotest prop_no_overservice ] ) ]

@@ -1,0 +1,105 @@
+(* Tests for the reliable transport over the lossy dataplane. *)
+
+let routed_pair ?(queue_depth = 64) () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Dataplane.Network.create ~queue_depth topo in
+  let fdd = Netkat.Fdd.of_policy (Netkat.Builder.routing_policy topo) in
+  List.iter
+    (fun sw ->
+      let id = Topo.Topology.Node.id sw in
+      let table = (Dataplane.Network.switch net id).table in
+      List.iter
+        (fun (r : Netkat.Local.rule) ->
+          Flow.Table.add table
+            (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+               ~actions:r.actions ()))
+        (Netkat.Local.rules_of_fdd ~switch:id fdd))
+    (Topo.Topology.switches topo);
+  net
+
+let test_lossless_transfer () =
+  let net = routed_pair () in
+  let c = Dataplane.Transport.start net ~src:1 ~dst:2 ~total:200 ~window:8 () in
+  ignore (Dataplane.Network.run ~until:20.0 net ());
+  Alcotest.(check bool) "complete" true (Dataplane.Transport.is_complete c);
+  Alcotest.(check int) "all delivered in order" 200
+    (Dataplane.Transport.delivered c);
+  Alcotest.(check int) "no retransmissions on a clean path" 0
+    (Dataplane.Transport.stats c).retransmissions;
+  Alcotest.(check bool) "positive goodput" true
+    (Dataplane.Transport.goodput c > 0.0)
+
+let test_recovers_from_queue_loss () =
+  (* a window far larger than the queue forces drop-tail loss; the
+     transfer must still complete, with retransmissions *)
+  let net = routed_pair ~queue_depth:8 () in
+  let c =
+    Dataplane.Transport.start net ~src:1 ~dst:2 ~total:300 ~window:32
+      ~rto:0.02 ~max_retx:500 ()
+  in
+  ignore (Dataplane.Network.run ~until:120.0 net ());
+  Alcotest.(check bool) "queue actually dropped" true
+    ((Dataplane.Network.stats net).dropped_queue > 0);
+  Alcotest.(check bool) "complete despite loss" true
+    (Dataplane.Transport.is_complete c);
+  Alcotest.(check int) "all delivered exactly once, in order" 300
+    (Dataplane.Transport.delivered c);
+  Alcotest.(check bool) "retransmissions happened" true
+    ((Dataplane.Transport.stats c).retransmissions > 0)
+
+let test_recovers_from_outage () =
+  (* kill the path mid-transfer, restore it: ARQ rides through *)
+  let net = routed_pair () in
+  let c =
+    Dataplane.Transport.start net ~src:1 ~dst:2 ~total:500 ~window:4
+      ~rto:0.02 ()
+  in
+  Dataplane.Sim.schedule (Dataplane.Network.sim net) ~delay:0.05 (fun () ->
+    Topo.Topology.fail_link (Dataplane.Network.topology net)
+      (Topo.Topology.Node.Switch 1, 1));
+  Dataplane.Sim.schedule (Dataplane.Network.sim net) ~delay:0.3 (fun () ->
+    Topo.Topology.restore_link (Dataplane.Network.topology net)
+      (Topo.Topology.Node.Switch 1, 1));
+  ignore (Dataplane.Network.run ~until:60.0 net ());
+  Alcotest.(check bool) "complete across the outage" true
+    (Dataplane.Transport.is_complete c);
+  Alcotest.(check int) "nothing lost at the application" 500
+    (Dataplane.Transport.delivered c)
+
+let test_aborts_when_unreachable () =
+  let net = routed_pair () in
+  Topo.Topology.fail_link (Dataplane.Network.topology net)
+    (Topo.Topology.Node.Switch 1, 1);
+  let c =
+    Dataplane.Transport.start net ~src:1 ~dst:2 ~total:10 ~window:2 ~rto:0.01
+      ~max_retx:5 ()
+  in
+  ignore (Dataplane.Network.run ~until:10.0 net ());
+  Alcotest.(check bool) "aborted" true (Dataplane.Transport.is_aborted c);
+  Alcotest.(check bool) "not complete" false (Dataplane.Transport.is_complete c)
+
+let test_window_increases_goodput () =
+  let goodput_for window =
+    let net = routed_pair () in
+    let c = Dataplane.Transport.start net ~src:1 ~dst:2 ~total:400 ~window () in
+    ignore (Dataplane.Network.run ~until:120.0 net ());
+    Alcotest.(check bool) "complete" true (Dataplane.Transport.is_complete c);
+    Dataplane.Transport.goodput c
+  in
+  let g1 = goodput_for 1 and g8 = goodput_for 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "window 8 (%.0f bps) beats stop-and-wait (%.0f bps)" g8 g1)
+    true
+    (g8 > g1 *. 2.0)
+
+let suites =
+  [ ( "dataplane.transport",
+      [ Alcotest.test_case "lossless transfer" `Quick test_lossless_transfer;
+        Alcotest.test_case "recovers from queue loss" `Quick
+          test_recovers_from_queue_loss;
+        Alcotest.test_case "recovers from an outage" `Quick
+          test_recovers_from_outage;
+        Alcotest.test_case "aborts when unreachable" `Quick
+          test_aborts_when_unreachable;
+        Alcotest.test_case "window scales goodput" `Quick
+          test_window_increases_goodput ] ) ]

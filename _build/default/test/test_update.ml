@@ -1,0 +1,377 @@
+(* Tests for consistent updates (two-phase versioning), incremental
+   routing deltas, strict deletes and the flow-table optimizer. *)
+
+open Packet
+
+(* ------------------------------------------------------------------ *)
+(* Strict delete (table + wire) *)
+
+let test_strict_delete_table () =
+  let t = Flow.Table.create () in
+  let gen = Flow.Pattern.of_field Fields.Tp_dst 80 in
+  let spec =
+    Option.get (Flow.Pattern.conj gen (Flow.Pattern.of_field Fields.In_port 2))
+  in
+  Flow.Table.add t
+    (Flow.Table.make_rule ~priority:5 ~pattern:gen ~actions:(Flow.Action.forward 1) ());
+  Flow.Table.add t
+    (Flow.Table.make_rule ~priority:3 ~pattern:spec ~actions:(Flow.Action.forward 2) ());
+  (* non-strict delete by the general pattern would remove both *)
+  Flow.Table.remove_strict t ~priority:5 ~pattern:gen;
+  Alcotest.(check int) "only the exact rule gone" 1 (Flow.Table.size t);
+  (* wrong priority: no-op *)
+  Flow.Table.remove_strict t ~priority:99 ~pattern:spec;
+  Alcotest.(check int) "priority must match" 1 (Flow.Table.size t)
+
+let test_strict_delete_wire () =
+  let pattern = Flow.Pattern.of_field Fields.Tp_dst 80 in
+  let m =
+    Openflow.Message.Flow_mod
+      (Openflow.Message.delete_strict_flow ~priority:7 ~pattern ())
+  in
+  Alcotest.(check bool) "roundtrips" true
+    (snd (Openflow.Wire.decode (Openflow.Wire.encode ~xid:3 m)) = m)
+
+(* ------------------------------------------------------------------ *)
+(* Versioned policies *)
+
+let ring_with_policies () =
+  let topo = Topo.Gen.ring ~switches:4 ~hosts_per_switch:1 () in
+  let port_toward sw nbr =
+    Topo.Topology.ports topo (Topo.Topology.Node.Switch sw)
+    |> List.find (fun p ->
+      match Topo.Topology.link_via topo (Topo.Topology.Node.Switch sw) p with
+      | Some l -> l.dst = Topo.Topology.Node.Switch nbr
+      | None -> false)
+  in
+  let path_policy () =
+    let path =
+      Option.get
+        (Topo.Path.shortest_path topo ~src:(Topo.Topology.Node.Host 1)
+           ~dst:(Topo.Topology.Node.Host 3))
+    in
+    Netkat.Syntax.big_union
+      (List.filter_map
+         (fun (h : Topo.Path.hop) ->
+           match h.node with
+           | Topo.Topology.Node.Host _ -> None
+           | Topo.Topology.Node.Switch sw ->
+             Some
+               (Netkat.Syntax.big_seq
+                  [ Netkat.Syntax.at ~switch:sw;
+                    Netkat.Syntax.filter
+                      (Netkat.Syntax.test Fields.Eth_dst (Mac.of_host_id 3));
+                    Netkat.Syntax.forward h.Topo.Path.out_port ]))
+         path)
+  in
+  let block sw nbr f =
+    let p = port_toward sw nbr in
+    Topo.Topology.fail_link topo (Topo.Topology.Node.Switch sw, p);
+    let r = f () in
+    Topo.Topology.restore_link topo (Topo.Topology.Node.Switch sw, p);
+    r
+  in
+  let old_pol = block 1 4 path_policy in
+  let new_pol = block 1 2 path_policy in
+  (topo, old_pol, new_pol)
+
+let test_versioned_install_forwards () =
+  let topo, old_pol, _ = ring_with_policies () in
+  let net = Zen.create topo in
+  let rt = Zen.with_controller net [] in
+  let updater = Controller.Update.create () in
+  Controller.Update.install updater (Controller.Runtime.ctx rt) old_pol;
+  ignore (Zen.run ~until:(Zen.now net +. 0.1) net);
+  Dataplane.Network.send_from (Zen.network net) ~host:1
+    (Dataplane.Network.make_pkt ~src:1 ~dst:3 ());
+  ignore (Zen.run ~until:(Zen.now net +. 0.5) net);
+  Alcotest.(check int) "delivered through versioned tables" 1
+    (Dataplane.Network.host (Zen.network net) 3).received
+
+let test_versioned_pops_tag () =
+  (* the host must never see the version tag *)
+  let topo, old_pol, _ = ring_with_policies () in
+  let net = Zen.create topo in
+  let rt = Zen.with_controller net [] in
+  let updater = Controller.Update.create () in
+  Controller.Update.install updater (Controller.Runtime.ctx rt) old_pol;
+  ignore (Zen.run ~until:(Zen.now net +. 0.1) net);
+  let seen_vlan = ref (-1) in
+  (Dataplane.Network.host (Zen.network net) 3).on_receive <-
+    Some (fun pkt -> seen_vlan := pkt.hdr.vlan);
+  Dataplane.Network.send_from (Zen.network net) ~host:1
+    (Dataplane.Network.make_pkt ~src:1 ~dst:3 ());
+  ignore (Zen.run ~until:(Zen.now net +. 0.5) net);
+  Alcotest.(check int) "untagged at delivery" Fields.vlan_none !seen_vlan
+
+let count_received_during net ~host f =
+  let before = (Dataplane.Network.host net host).received in
+  f ();
+  (Dataplane.Network.host net host).received - before
+
+let run_update_scenario ?(naive_seed = 123) ~strategy () =
+  let topo, old_pol, new_pol = ring_with_policies () in
+  let net = Zen.create topo in
+  let rt = Zen.with_controller net [] in
+  let ctx = Controller.Runtime.ctx rt in
+  let updater = Controller.Update.create ~drain:0.2 () in
+  (match strategy with
+   | `Two_phase -> Controller.Update.install updater ctx old_pol
+   | `Naive -> Controller.Update.install_plain updater ctx old_pol);
+  ignore (Zen.run ~until:(Zen.now net +. 0.2) net);
+  let sent =
+    Dataplane.Traffic.cbr (Zen.network net)
+      { (Dataplane.Traffic.default_flow ~src:1 ~dst:3) with
+        rate_pps = 1000.0; start = Zen.now net; stop = Zen.now net +. 1.5 }
+  in
+  Dataplane.Sim.schedule (Dataplane.Network.sim (Zen.network net)) ~delay:0.7
+    (fun () ->
+      match strategy with
+      | `Two_phase -> Controller.Update.two_phase updater ctx new_pol
+      | `Naive ->
+        Controller.Update.naive updater ctx ~prng:(Util.Prng.create naive_seed)
+          ~max_jitter:0.05 new_pol);
+  ignore (Zen.run ~until:(Zen.now net +. 3.0) net);
+  let received = (Dataplane.Network.host (Zen.network net) 3).received in
+  (!sent, received, updater, net)
+
+let test_two_phase_no_loss () =
+  let sent, received, updater, _ = run_update_scenario ~strategy:`Two_phase () in
+  Alcotest.(check int) "zero loss" sent received;
+  Alcotest.(check int) "one update completed" 1
+    (Controller.Update.updates_done updater);
+  Alcotest.(check int) "now at version 2" 2 (Controller.Update.version updater)
+
+let test_naive_loses_packets () =
+  (* whether a given jitter draw loses packets depends on the order the
+     switches happen to apply the update; over several seeds the
+     inconsistency must show (two-phase loses zero for EVERY seed — see
+     test_two_phase_no_loss) *)
+  let total_lost =
+    List.fold_left
+      (fun acc seed ->
+        let sent, received, _, _ =
+          run_update_scenario ~naive_seed:seed ~strategy:`Naive ()
+        in
+        acc + (sent - received))
+      0 [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "transient loss across seeds (%d)" total_lost)
+    true (total_lost > 0)
+
+let test_two_phase_table_occupancy () =
+  let _, _, updater, net = run_update_scenario ~strategy:`Two_phase () in
+  (* during the transition both versions were installed *)
+  let final =
+    List.fold_left
+      (fun acc (sw : Dataplane.Network.switch) -> acc + Flow.Table.size sw.table)
+      0
+      (Dataplane.Network.switch_list (Zen.network net))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d > final %d" (Controller.Update.peak_rules updater) final)
+    true
+    (Controller.Update.peak_rules updater > final);
+  (* old version's rules are gone after the drain *)
+  let stale =
+    List.exists
+      (fun (sw : Dataplane.Network.switch) ->
+        List.exists
+          (fun (r : Flow.Table.rule) -> r.cookie = 1)
+          (Flow.Table.rules sw.table))
+      (Dataplane.Network.switch_list (Zen.network net))
+  in
+  Alcotest.(check bool) "old version garbage-collected" false stale
+
+let test_vlan_policy_rejected () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Zen.create topo in
+  let rt = Zen.with_controller net [] in
+  let updater = Controller.Update.create () in
+  Alcotest.(check bool) "vlan-using policy rejected" true
+    (match
+       Controller.Update.install updater (Controller.Runtime.ctx rt)
+         (Netkat.Syntax.modify Fields.Vlan 5)
+     with
+     | exception Controller.Update.Policy_uses_vlan -> true
+     | () -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental routing *)
+
+let test_incremental_routing_equivalent () =
+  let run incremental =
+    let topo, info = Topo.Gen.fat_tree ~k:4 () in
+    let net = Zen.create topo in
+    let routing = Controller.Routing.create ~incremental () in
+    let _rt = Zen.with_controller net [ Controller.Routing.app routing ] in
+    let core = List.hd info.core in
+    Dataplane.Network.fail_link (Zen.network net)
+      (Topo.Topology.Node.Switch core) 1;
+    ignore (Zen.run ~until:(Zen.now net +. 0.5) net);
+    let tables =
+      List.map
+        (fun (sw : Dataplane.Network.switch) ->
+          ( sw.sw_id,
+            List.map
+              (fun (r : Flow.Table.rule) -> (r.priority, r.pattern, r.actions))
+              (Flow.Table.rules sw.table)
+            |> List.sort compare ))
+        (Dataplane.Network.switch_list (Zen.network net))
+    in
+    (Controller.Routing.last_churn routing, tables)
+  in
+  let full_churn, full_tables = run false in
+  let inc_churn, inc_tables = run true in
+  Alcotest.(check bool)
+    (Printf.sprintf "delta churn %d << full %d" inc_churn full_churn)
+    true
+    (inc_churn * 3 < full_churn);
+  Alcotest.(check bool) "identical resulting tables" true
+    (full_tables = inc_tables)
+
+let test_incremental_noop_on_no_change () =
+  let topo = Topo.Gen.ring ~switches:4 ~hosts_per_switch:1 () in
+  let net = Zen.create topo in
+  let routing = Controller.Routing.create ~incremental:true () in
+  let _rt = Zen.with_controller net [ Controller.Routing.app routing ] in
+  (* failing and restoring a link the routing never used (host links are
+     used; pick a ring link, routes change, restore brings them back) *)
+  Dataplane.Network.fail_link (Zen.network net) (Topo.Topology.Node.Switch 1) 1;
+  ignore (Zen.run ~until:(Zen.now net +. 0.5) net);
+  let churn_fail = Controller.Routing.last_churn routing in
+  Dataplane.Network.restore_link (Zen.network net) (Topo.Topology.Node.Switch 1) 1;
+  ignore (Zen.run ~until:(Zen.now net +. 0.5) net);
+  let churn_restore = Controller.Routing.last_churn routing in
+  Alcotest.(check bool) "some churn on failure" true (churn_fail > 0);
+  (* restoring reverts to the original routes: same magnitude of churn *)
+  Alcotest.(check bool) "restore churn bounded by fail churn" true
+    (churn_restore <= churn_fail + 2)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer *)
+
+let opt_rule priority pattern actions =
+  { Flow.Optimize.priority; pattern; actions }
+
+let test_optimize_removes_shadowed () =
+  let rules =
+    [ opt_rule 10 Flow.Pattern.any (Flow.Action.forward 1);
+      opt_rule 5 (Flow.Pattern.of_field Fields.Tp_dst 80) (Flow.Action.forward 2) ]
+  in
+  let out = Flow.Optimize.minimize rules in
+  Alcotest.(check int) "shadowed removed" 1 (List.length out);
+  Alcotest.(check bool) "the any rule survives" true
+    ((List.hd out).pattern = Flow.Pattern.any)
+
+let test_optimize_removes_redundant () =
+  (* specific rule with same action as the catch-all below it *)
+  let rules =
+    [ opt_rule 10 (Flow.Pattern.of_field Fields.Tp_dst 80) (Flow.Action.forward 1);
+      opt_rule 1 Flow.Pattern.any (Flow.Action.forward 1) ]
+  in
+  Alcotest.(check int) "redundant removed" 1
+    (List.length (Flow.Optimize.minimize rules))
+
+let test_optimize_keeps_blocked_redundancy () =
+  (* same-action pair separated by a conflicting overlapping rule: the
+     top rule is NOT redundant (removing it would expose tp80+port1
+     packets to the drop rule) *)
+  let rules =
+    [ opt_rule 10 (Flow.Pattern.of_field Fields.Tp_dst 80) (Flow.Action.forward 1);
+      opt_rule 5 (Flow.Pattern.of_field Fields.In_port 1) Flow.Action.drop;
+      opt_rule 1 Flow.Pattern.any (Flow.Action.forward 1) ]
+  in
+  Alcotest.(check int) "nothing removed" 3
+    (List.length (Flow.Optimize.minimize rules))
+
+let probe_headers =
+  List.concat_map
+    (fun port ->
+      List.map
+        (fun tp ->
+          { Headers.default with in_port = port; tp_dst = tp; eth_type = 1 })
+        [ 0; 1; 2; 3; 80 ])
+    [ 0; 1; 2; 3 ]
+
+let prop_optimize_preserves_semantics =
+  QCheck.Test.make ~name:"minimize preserves lookup semantics" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (0 -- 25)
+           (triple (int_bound 10)
+              (oneof
+                 [ return Flow.Pattern.any;
+                   map (Flow.Pattern.of_field Fields.Tp_dst) (int_bound 3);
+                   map (Flow.Pattern.of_field Fields.In_port) (int_bound 3);
+                   map2
+                     (fun a b ->
+                       match
+                         Flow.Pattern.conj
+                           (Flow.Pattern.of_field Fields.Tp_dst a)
+                           (Flow.Pattern.of_field Fields.In_port b)
+                       with
+                       | Some p -> p
+                       | None -> Flow.Pattern.any)
+                     (int_bound 3) (int_bound 3) ])
+              (int_bound 2))))
+    (fun specs ->
+      let rules =
+        List.map
+          (fun (priority, pattern, act) ->
+            opt_rule priority pattern
+              (if act = 0 then Flow.Action.drop else Flow.Action.forward act))
+          specs
+      in
+      let out = Flow.Optimize.minimize rules in
+      List.length out <= List.length rules
+      && List.for_all
+           (fun h ->
+             Flow.Optimize.lookup rules h = Flow.Optimize.lookup out h)
+           probe_headers)
+
+let test_optimize_table_in_place () =
+  let table = Flow.Table.create () in
+  for i = 1 to 10 do
+    Flow.Table.add table
+      (Flow.Table.make_rule ~priority:i
+         ~pattern:(Flow.Pattern.of_field Fields.Tp_dst 80)
+         ~actions:(Flow.Action.forward 1) ())
+  done;
+  let before, after = Flow.Optimize.minimize_table table in
+  Alcotest.(check int) "before" 10 before;
+  Alcotest.(check int) "after" 1 after;
+  Alcotest.(check int) "table shrunk" 1 (Flow.Table.size table)
+
+let suites =
+  [ ( "flow.strict_delete",
+      [ Alcotest.test_case "table semantics" `Quick test_strict_delete_table;
+        Alcotest.test_case "wire roundtrip" `Quick test_strict_delete_wire ] );
+    ( "controller.update",
+      [ Alcotest.test_case "versioned install forwards" `Quick
+          test_versioned_install_forwards;
+        Alcotest.test_case "version tag popped at egress" `Quick
+          test_versioned_pops_tag;
+        Alcotest.test_case "two-phase: zero loss" `Quick test_two_phase_no_loss;
+        Alcotest.test_case "naive: transient loss" `Quick
+          test_naive_loses_packets;
+        Alcotest.test_case "occupancy peak and GC" `Quick
+          test_two_phase_table_occupancy;
+        Alcotest.test_case "vlan policies rejected" `Quick
+          test_vlan_policy_rejected ] );
+    ( "controller.incremental",
+      [ Alcotest.test_case "delta equals full result" `Quick
+          test_incremental_routing_equivalent;
+        Alcotest.test_case "restore churn bounded" `Quick
+          test_incremental_noop_on_no_change ] );
+    ( "flow.optimize",
+      [ Alcotest.test_case "removes shadowed" `Quick
+          test_optimize_removes_shadowed;
+        Alcotest.test_case "removes redundant" `Quick
+          test_optimize_removes_redundant;
+        Alcotest.test_case "keeps blocked redundancy" `Quick
+          test_optimize_keeps_blocked_redundancy;
+        Alcotest.test_case "minimize_table in place" `Quick
+          test_optimize_table_in_place;
+        QCheck_alcotest.to_alcotest prop_optimize_preserves_semantics ] ) ]

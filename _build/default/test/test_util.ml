@@ -1,0 +1,274 @@
+(* Unit and property tests for the util substrate: byte codecs, heap,
+   PRNG, statistics. *)
+
+open Util
+
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Bits *)
+
+let test_bits_roundtrip () =
+  let b = Bytes.make 16 '\000' in
+  Bits.set_u8 b 0 0xab;
+  check "u8" 0xab (Bits.get_u8 b 0);
+  Bits.set_u16 b 1 0xbeef;
+  check "u16" 0xbeef (Bits.get_u16 b 1);
+  Bits.set_u32 b 3 0xdeadbeef;
+  check "u32" 0xdeadbeef (Bits.get_u32 b 3);
+  Bits.set_u48 b 7 0xaabbccddeeff;
+  check "u48" 0xaabbccddeeff (Bits.get_u48 b 7)
+
+let test_bits_u64 () =
+  let b = Bytes.make 8 '\000' in
+  Bits.set_u64 b 0 0x0123456789abcdefL;
+  Alcotest.(check int64) "u64" 0x0123456789abcdefL (Bits.get_u64 b 0)
+
+let test_bits_big_endian () =
+  let b = Bytes.make 4 '\000' in
+  Bits.set_u32 b 0 0x01020304;
+  check "msb first" 1 (Bits.get_u8 b 0);
+  check "lsb last" 4 (Bits.get_u8 b 3)
+
+let test_bits_checksum () =
+  (* RFC 1071 example: checksum of the header with checksum zero, then
+     verifying over the full header yields zero *)
+  let b = Bytes.make 8 '\000' in
+  Bits.set_u16 b 0 0x4500;
+  Bits.set_u16 b 2 0x0073;
+  Bits.set_u16 b 4 0x0000;
+  Bits.set_u16 b 6 0x4011;
+  let ck = Bits.ones_complement_sum b 0 8 in
+  Bits.set_u16 b 4 ck;
+  check "verifies to zero" 0 (Bits.ones_complement_sum b 0 8)
+
+let test_bits_checksum_odd_length () =
+  let b = Bytes.of_string "\x12\x34\x56" in
+  (* odd trailing byte is padded on the right *)
+  let expected = lnot (0x1234 + 0x5600) land 0xffff in
+  check "odd" expected (Bits.ones_complement_sum b 0 3)
+
+let test_hex_dump () =
+  let b = Bytes.of_string "\x00\x01\x02" in
+  Alcotest.(check string) "dump" "0000: 00 01 02 \n" (Bits.hex_dump b)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k (int_of_float k)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = List.map snd (Heap.to_sorted_list h) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] order;
+  check "length preserved" 5 (Heap.length h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "a";
+  Heap.push h 1.0 "b";
+  Heap.push h 1.0 "c";
+  let _, x = Heap.pop h in
+  let _, y = Heap.pop h in
+  let _, z = Heap.pop h in
+  Alcotest.(check (list string)) "insertion order on ties" [ "a"; "b"; "c" ]
+    [ x; y; z ]
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.check_raises "pop raises" Not_found (fun () ->
+    ignore (Heap.pop (Heap.create () : int Heap.t)))
+
+let test_heap_interleaved () =
+  let h = Heap.create () in
+  Heap.push h 3.0 3;
+  Heap.push h 1.0 1;
+  let _, a = Heap.pop h in
+  Heap.push h 2.0 2;
+  Heap.push h 0.5 0;
+  let _, b = Heap.pop h in
+  let _, c = Heap.pop h in
+  let _, d = Heap.pop h in
+  Alcotest.(check (list int)) "interleaved" [ 1; 0; 2; 3 ] [ a; b; c; d ]
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted key order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h k k) keys;
+      let drained = List.map fst (Heap.to_sorted_list h) in
+      drained = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  let xs = List.init 10 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_prng_bounds () =
+  let p = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_float_bounds () =
+  let p = Prng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Prng.float p 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_prng_split_independent () =
+  let p = Prng.create 3 in
+  let q = Prng.split p in
+  let xs = List.init 5 (fun _ -> Prng.int p 1000) in
+  let ys = List.init 5 (fun _ -> Prng.int q 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_prng_exponential_positive () =
+  let p = Prng.create 4 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "positive" true (Prng.exponential p ~mean:2.0 > 0.0)
+  done
+
+let test_prng_exponential_mean () =
+  let p = Prng.create 5 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential p ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean close to 2" true (abs_float (mean -. 2.0) < 0.1)
+
+let test_prng_shuffle_permutation () =
+  let p = Prng.create 6 in
+  let arr = Array.init 20 (fun i -> i) in
+  Prng.shuffle p arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_online_mean_var () =
+  let o = Stats.Online.create () in
+  List.iter (Stats.Online.add o) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  checkf "mean" 5.0 (Stats.Online.mean o);
+  Alcotest.(check (float 1e-6)) "sample variance" (32.0 /. 7.0)
+    (Stats.Online.variance o);
+  checkf "min" 2.0 (Stats.Online.min_value o);
+  checkf "max" 9.0 (Stats.Online.max_value o)
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  checkf "p0" 1.0 (Stats.percentile xs 0.0);
+  checkf "p50" 3.0 (Stats.percentile xs 50.0);
+  checkf "p100" 5.0 (Stats.percentile xs 100.0);
+  checkf "p25" 2.0 (Stats.percentile xs 25.0);
+  checkf "interp" 3.5 (Stats.percentile xs 62.5)
+
+let test_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile [] 50.0));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [ 1.0 ] 101.0))
+
+let test_jain () =
+  checkf "equal is 1" 1.0 (Stats.jain_fairness [ 5.0; 5.0; 5.0 ]);
+  checkf "one hog" (1.0 /. 3.0) (Stats.jain_fairness [ 9.0; 0.0; 0.0 ]);
+  checkf "all zero" 1.0 (Stats.jain_fairness [ 0.0; 0.0 ])
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 9.5; 11.0 (* clamped *) ];
+  check "total" 5 (Stats.Histogram.count h);
+  check "bucket 1" 2 (Stats.Histogram.bucket_count h 1);
+  check "clamped into last" 2 (Stats.Histogram.bucket_count h 9)
+
+let test_histogram_quantile () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:100.0 ~buckets:100 in
+  for i = 1 to 100 do
+    Stats.Histogram.add h (float_of_int i -. 0.5)
+  done;
+  let q = Stats.Histogram.quantile h 0.9 in
+  Alcotest.(check bool) "p90 near 90" true (abs_float (q -. 90.0) < 2.0)
+
+let test_ewma () =
+  let e = Stats.Ewma.create ~alpha:0.5 in
+  Alcotest.(check (option (float 1e-9))) "empty" None (Stats.Ewma.value e);
+  Stats.Ewma.add e 10.0;
+  Stats.Ewma.add e 20.0;
+  Alcotest.(check (option (float 1e-9))) "smoothed" (Some 15.0)
+    (Stats.Ewma.value e)
+
+let test_series_rate () =
+  let s = Stats.Series.create () in
+  Stats.Series.add s ~time:0.0 ~value:0.0;
+  Stats.Series.add s ~time:2.0 ~value:10.0;
+  checkf "rate" 5.0 (Stats.Series.rate s);
+  check "length" 2 (Stats.Series.length s)
+
+let prop_jain_bounds =
+  QCheck.Test.make ~name:"jain fairness lies in [1/n, 1]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 20) (float_bound_exclusive 100.0))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let j = Stats.jain_fairness xs in
+      let n = float_of_int (List.length xs) in
+      j >= (1.0 /. n) -. 1e-9 && j <= 1.0 +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 30) (float_bound_exclusive 100.0))
+              (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p1, p2)) ->
+      QCheck.assume (xs <> []);
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let suites =
+  [ ( "util.bits",
+      [ Alcotest.test_case "roundtrip widths" `Quick test_bits_roundtrip;
+        Alcotest.test_case "u64 roundtrip" `Quick test_bits_u64;
+        Alcotest.test_case "big endian layout" `Quick test_bits_big_endian;
+        Alcotest.test_case "internet checksum" `Quick test_bits_checksum;
+        Alcotest.test_case "checksum odd length" `Quick
+          test_bits_checksum_odd_length;
+        Alcotest.test_case "hex dump" `Quick test_hex_dump ] );
+    ( "util.heap",
+      [ Alcotest.test_case "sorted drain" `Quick test_heap_order;
+        Alcotest.test_case "FIFO on equal keys" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "empty behavior" `Quick test_heap_empty;
+        Alcotest.test_case "interleaved push/pop" `Quick test_heap_interleaved;
+        QCheck_alcotest.to_alcotest prop_heap_sorts ] );
+    ( "util.prng",
+      [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "int bounds" `Quick test_prng_bounds;
+        Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+        Alcotest.test_case "split independence" `Quick
+          test_prng_split_independent;
+        Alcotest.test_case "exponential positive" `Quick
+          test_prng_exponential_positive;
+        Alcotest.test_case "exponential mean" `Slow test_prng_exponential_mean;
+        Alcotest.test_case "shuffle is a permutation" `Quick
+          test_prng_shuffle_permutation ] );
+    ( "util.stats",
+      [ Alcotest.test_case "online mean/variance" `Quick test_online_mean_var;
+        Alcotest.test_case "percentiles" `Quick test_percentile;
+        Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+        Alcotest.test_case "jain fairness" `Quick test_jain;
+        Alcotest.test_case "histogram buckets" `Quick test_histogram;
+        Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+        Alcotest.test_case "ewma" `Quick test_ewma;
+        Alcotest.test_case "series rate" `Quick test_series_rate;
+        QCheck_alcotest.to_alcotest prop_jain_bounds;
+        QCheck_alcotest.to_alcotest prop_percentile_monotone ] ) ]

@@ -1,0 +1,126 @@
+(* Tests for Zen.Wan: realizing TE allocations as forwarding state and
+   validating them with packet-level traffic. *)
+
+module Node = Topo.Topology.Node
+
+(* a small WAN with scaled-down capacities so a 2-second simulation at
+   packet granularity covers the rates: 1 Mb/s links *)
+let small_wan () =
+  let topo = Topo.Topology.create () in
+  let cap = 1e6 and delay = 1e-3 in
+  (* two disjoint 2-hop paths 1 -> 4 (via 2 and via 3) *)
+  Topo.Topology.add_link topo (Node.Switch 1, 1) (Node.Switch 2, 1) ~capacity:cap ~delay;
+  Topo.Topology.add_link topo (Node.Switch 2, 2) (Node.Switch 4, 1) ~capacity:cap ~delay;
+  Topo.Topology.add_link topo (Node.Switch 1, 2) (Node.Switch 3, 1) ~capacity:cap ~delay:(2.0 *. delay);
+  Topo.Topology.add_link topo (Node.Switch 3, 2) (Node.Switch 4, 2) ~capacity:cap ~delay:(2.0 *. delay);
+  (* hosts (access links are fat so they never bottleneck) *)
+  List.iter
+    (fun sw ->
+      Topo.Topology.add_link topo (Node.Switch sw, 5) (Node.Host sw, 1)
+        ~capacity:1e8 ~delay:1e-5)
+    [ 1; 2; 3; 4 ];
+  topo
+
+let test_apportion () =
+  Alcotest.(check (list int)) "even" [ 4; 4 ]
+    (Zen.Wan.apportion ~total:8 [ 1.0; 1.0 ]);
+  Alcotest.(check (list int)) "weighted" [ 6; 2 ]
+    (Zen.Wan.apportion ~total:8 [ 3.0; 1.0 ]);
+  Alcotest.(check (list int)) "rounding" [ 3; 3; 2 ]
+    (Zen.Wan.apportion ~total:8 [ 1.0; 1.0; 0.9 ]);
+  Alcotest.(check int) "conserves total" 7
+    (List.fold_left ( + ) 0 (Zen.Wan.apportion ~total:7 [ 0.2; 0.5; 0.1 ]));
+  Alcotest.(check (list int)) "zero weights" [ 0; 0 ]
+    (Zen.Wan.apportion ~total:5 [ 0.0; 0.0 ])
+
+let test_subflows_cover_allocation () =
+  let topo = small_wan () in
+  let demands = [ Te.Demand.make ~src:1 ~dst:4 ~rate:1.6e6 () ] in
+  let alloc = Te.Greedy_kpath.solve topo demands in
+  let flows = Zen.Wan.subflows_of_alloc topo alloc ~subflows:8 in
+  Alcotest.(check int) "eight subflows" 8 (List.length flows);
+  let total = List.fold_left (fun a (f : Zen.Wan.subflow) -> a +. f.rate) 0.0 flows in
+  Alcotest.(check bool) "rates sum to the allocation" true
+    (abs_float (total -. Te.Alloc.carried alloc) < 1.0);
+  (* distinct tp_src per subflow *)
+  let ports = List.map (fun (f : Zen.Wan.subflow) -> f.tp_src) flows in
+  Alcotest.(check int) "distinct ports" 8
+    (List.length (List.sort_uniq compare ports))
+
+let test_validate_multipath_demand () =
+  (* a 1.6 Mb/s demand over two 1 Mb/s paths: single-path TE can deliver
+     only 1 Mb/s; greedy k-path delivers ~1.6 — and the packet-level
+     simulation must confirm both *)
+  let topo = small_wan () in
+  let demands = [ Te.Demand.make ~src:1 ~dst:4 ~rate:1.6e6 () ] in
+  let greedy = Te.Greedy_kpath.solve topo demands in
+  Alcotest.(check bool) "greedy allocates > one path" true
+    (Te.Alloc.carried greedy > 1.05e6);
+  let m = Zen.Wan.validate ~subflows:8 ~pkt_size:500 ~duration:2.0 topo greedy in
+  let acc = Zen.Wan.accuracy m in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated matches allocated (accuracy %.2f)" acc)
+    true
+    (acc > 0.85 && acc < 1.1);
+  let maxmin = Te.Maxmin.solve topo demands in
+  let m2 = Zen.Wan.validate ~subflows:8 ~pkt_size:500 ~duration:2.0 topo maxmin in
+  (match m2 with
+   | [ single ] ->
+     Alcotest.(check bool) "single path capped at link rate" true
+       (single.measured < 1.1e6)
+   | _ -> Alcotest.fail "one demand expected");
+  (* and the multipath realization really beats the single-path one *)
+  match m with
+  | [ multi ] ->
+    Alcotest.(check bool) "multipath measured > single measured" true
+      (multi.measured > 1.3e6)
+  | _ -> Alcotest.fail "one demand expected"
+
+let test_validate_respects_contention () =
+  (* two demands share one path under maxmin: each gets ~half, and the
+     dataplane shows it *)
+  let topo = small_wan () in
+  let demands =
+    [ Te.Demand.make ~src:1 ~dst:2 ~rate:2e6 ();
+      Te.Demand.make ~src:1 ~dst:2 ~rate:2e6 ~priority:1 () ]
+  in
+  let alloc = Te.Maxmin.solve topo demands in
+  let m = Zen.Wan.validate ~subflows:4 ~pkt_size:500 ~duration:2.0 topo alloc in
+  Alcotest.(check int) "two measurements" 2 (List.length m);
+  List.iter
+    (fun (r : Zen.Wan.measurement) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "allocated %.0f measured %.0f" r.allocated r.measured)
+        true
+        (abs_float (r.measured -. r.allocated) < 0.2 *. r.allocated))
+    m
+
+let test_validate_b4_smoke () =
+  (* the full B4 shape at miniature capacities *)
+  let topo = Topo.Gen.b4 ~capacity:1e6 () in
+  let prng = Util.Prng.create 12 in
+  let demands =
+    Te.Demand.gravity ~prng
+      ~switches:(Topo.Topology.switch_ids topo)
+      ~total_rate:6e6 ()
+  in
+  let alloc = Te.Greedy_kpath.solve topo demands in
+  let m = Zen.Wan.validate ~subflows:4 ~pkt_size:250 ~duration:2.0 topo alloc in
+  let acc = Zen.Wan.accuracy m in
+  (* per-subflow rates here are a handful of packets per second, so CBR
+     quantization dominates: allow ~15% *)
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate accuracy %.2f" acc)
+    true
+    (acc > 0.85 && acc < 1.15)
+
+let suites =
+  [ ( "zen.wan",
+      [ Alcotest.test_case "apportionment" `Quick test_apportion;
+        Alcotest.test_case "subflows cover allocation" `Quick
+          test_subflows_cover_allocation;
+        Alcotest.test_case "multipath validated in dataplane" `Slow
+          test_validate_multipath_demand;
+        Alcotest.test_case "contention validated" `Slow
+          test_validate_respects_contention;
+        Alcotest.test_case "B4 smoke" `Slow test_validate_b4_smoke ] ) ]

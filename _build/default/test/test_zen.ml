@@ -1,0 +1,130 @@
+(* End-to-end integration tests through the public Zen facade: compile,
+   install, simulate, verify — the four pillars together. *)
+
+let test_install_and_ping () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:2 () in
+  let net = Zen.create topo in
+  let rules = Zen.install_policy net (Netkat.Builder.routing_policy topo) in
+  Alcotest.(check bool) "rules installed" true (rules > 0);
+  let rtts = Zen.ping net ~src:1 ~dst:6 in
+  Alcotest.(check int) "three replies" 3 (List.length rtts);
+  List.iter
+    (fun r -> Alcotest.(check bool) "sane rtt" true (r > 0.0 && r < 0.01))
+    rtts
+
+let test_install_policy_string () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:2 () in
+  let net = Zen.create topo in
+  (* forward everything for h2's MAC out port 2 and vice versa *)
+  let n =
+    Zen.install_policy_string net
+      "filter (switch = 1 and ethDst = 02:00:00:00:00:02); port := 2 + \
+       filter (switch = 1 and ethDst = 02:00:00:00:00:01); port := 1"
+  in
+  Alcotest.(check bool) "rules" true (n > 0);
+  let rtts = Zen.ping net ~src:1 ~dst:2 in
+  Alcotest.(check int) "pings work" 3 (List.length rtts)
+
+let test_verification_matches_dataplane () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Zen.create topo in
+  ignore (Zen.install_policy net (Netkat.Builder.routing_policy topo));
+  Alcotest.(check bool) "verifier says reachable" true
+    (Zen.reachable net ~src:1 ~dst:2);
+  let rtts = Zen.ping net ~src:1 ~dst:2 in
+  Alcotest.(check bool) "dataplane agrees" true (rtts <> [])
+
+let test_empty_network_unreachable () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Zen.create topo in
+  Alcotest.(check bool) "no rules, no reachability" false
+    (Zen.reachable net ~src:1 ~dst:2);
+  Alcotest.(check (list (float 1.0))) "no pings" [] (Zen.ping net ~src:1 ~dst:2)
+
+let test_slices_end_to_end () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:2 () in
+  let net = Zen.create topo in
+  let red = Zen.Slice.make ~name:"red" ~hosts:[ 1; 3; 5 ] in
+  let blue = Zen.Slice.make ~name:"blue" ~hosts:[ 2; 4; 6 ] in
+  ignore (Zen.install_policy net (Zen.Slice.policy topo [ red; blue ]));
+  let snap = Zen.snapshot net in
+  (* verified isolated, verified internally connected *)
+  Alcotest.(check (list (triple string string (list (pair int int)))))
+    "no violations" []
+    (Zen.Slice.verify_all snap [ red; blue ]);
+  Alcotest.(check (list (pair int int))) "red connected" []
+    (Zen.Slice.verify_connectivity snap red);
+  (* and the dataplane agrees: intra-slice ping works, cross-slice fails *)
+  Alcotest.(check bool) "intra-slice ping" true
+    (Zen.ping net ~src:1 ~dst:5 <> []);
+  Alcotest.(check (list (float 1.0))) "cross-slice silent" []
+    (Zen.ping net ~src:1 ~dst:2)
+
+let test_slice_validation () =
+  Alcotest.(check bool) "empty slice rejected" true
+    (match Zen.Slice.make ~name:"x" ~hosts:[] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_controller_mode_and_failover_timing () =
+  (* fat-tree k=4 has redundant core links: failover must restore
+     connectivity and the verifier must agree before/after *)
+  let topo, info = Topo.Gen.fat_tree ~k:4 () in
+  let net = Zen.create topo in
+  let routing = Controller.Routing.create () in
+  let _rt = Zen.with_controller net [ Controller.Routing.app routing ] in
+  (* hosts in different pods so the path crosses the core *)
+  let h1 = List.nth info.host_ids 0
+  and h2 = List.hd (List.rev info.host_ids) in
+  Alcotest.(check bool) "verified reachable" true (Zen.reachable net ~src:h1 ~dst:h2);
+  (* kill one core-agg link *)
+  let core = List.hd info.core in
+  Dataplane.Network.fail_link (Zen.network net)
+    (Topo.Topology.Node.Switch core) 1;
+  ignore (Zen.run ~until:(Zen.now net +. 1.0) net);
+  Alcotest.(check bool) "recomputed" true (Controller.Routing.reinstalls routing >= 2);
+  Alcotest.(check bool) "still reachable (verified)" true
+    (Zen.reachable net ~src:h1 ~dst:h2);
+  Alcotest.(check bool) "still reachable (measured)" true
+    (Zen.ping net ~src:h1 ~dst:h2 <> [])
+
+let test_firewall_policy_and_verify () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:2 () in
+  let net = Zen.create topo in
+  let entries =
+    [ { Netkat.Builder.allow = false;
+        src_ip = Some (Packet.Ipv4.of_host_id 1);
+        dst_ip = Some (Packet.Ipv4.of_host_id 4);
+        proto = None; dst_port = None } ]
+  in
+  ignore (Zen.install_policy net (Netkat.Builder.firewall topo entries));
+  let snap = Zen.snapshot net in
+  Alcotest.(check bool) "1->4 blocked" false (Verify.Reach.reachable snap ~src:1 ~dst:4);
+  Alcotest.(check bool) "1->3 open" true (Verify.Reach.reachable snap ~src:1 ~dst:3);
+  Alcotest.(check bool) "4->1 open" true (Verify.Reach.reachable snap ~src:4 ~dst:1)
+
+let test_reinstall_replaces () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Zen.create topo in
+  ignore (Zen.install_policy net (Netkat.Builder.routing_policy topo));
+  let n1 = Flow.Table.size (Dataplane.Network.switch (Zen.network net) 1).table in
+  ignore (Zen.install_policy net (Netkat.Builder.routing_policy topo));
+  let n2 = Flow.Table.size (Dataplane.Network.switch (Zen.network net) 1).table in
+  Alcotest.(check int) "idempotent reinstall" n1 n2
+
+let suites =
+  [ ( "zen.integration",
+      [ Alcotest.test_case "install and ping" `Quick test_install_and_ping;
+        Alcotest.test_case "policy from string" `Quick
+          test_install_policy_string;
+        Alcotest.test_case "verify matches dataplane" `Quick
+          test_verification_matches_dataplane;
+        Alcotest.test_case "empty network" `Quick
+          test_empty_network_unreachable;
+        Alcotest.test_case "slices end to end" `Quick test_slices_end_to_end;
+        Alcotest.test_case "slice validation" `Quick test_slice_validation;
+        Alcotest.test_case "controller mode failover" `Quick
+          test_controller_mode_and_failover_timing;
+        Alcotest.test_case "firewall verified" `Quick
+          test_firewall_policy_and_verify;
+        Alcotest.test_case "reinstall idempotent" `Quick test_reinstall_replaces ] ) ]
