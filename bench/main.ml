@@ -14,6 +14,31 @@ let pf = Format.printf
 let header title =
   pf "@.%s@.%s@." title (String.make (String.length title) '=')
 
+(* Machine-readable results: [record] accumulates (experiment, metric,
+   value) rows; [--json FILE] writes them out so the repo can keep
+   BENCH_*.json perf-trajectory files across PRs. *)
+let recorded : (string * string * float) list ref = ref []
+
+let record ~experiment ~metric value =
+  recorded := (experiment, metric, value) :: !recorded
+
+let write_json file =
+  let oc = open_out file in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (experiment, metric, value) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"experiment\": %S, \"metric\": %S, \"value\": %.6g}" experiment
+           metric value))
+    (List.rev !recorded);
+  Buffer.add_string buf "\n]\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pf "wrote %d metrics to %s@." (List.length !recorded) file
+
 let wall f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -91,6 +116,9 @@ let e1 () =
       | exception Netkat.Naive.Unsupported _ ->
         Printf.sprintf "%10s %10s %8s" "--" "--" "--"
     in
+    record ~experiment:"e1"
+      ~metric:(Printf.sprintf "%s/%s/fdd-ms" topo_name pol_name)
+      (ms fdd_t);
     pf "%-12s %-16s | %8d %8d %8.1f | %s@." topo_name pol_name fdd_rules
       fdd_nodes (ms fdd_t) naive_cell
   in
@@ -111,11 +139,13 @@ let e1 () =
 
 let e2 () =
   header "E2 — flow-table lookup cost vs table size";
-  pf "expected shape: linear search cost grows with table size; hits near@.";
-  pf "the top are cheap, misses scan the whole table.@.@.";
+  pf "expected shape: linear search cost grows with table size (hits near@.";
+  pf "the top are cheap, misses scan the whole table); the exact-match@.";
+  pf "flow cache makes repeated headers O(1) regardless of table size.@.@.";
   let prng = Util.Prng.create 5 in
-  pf "%-10s | %12s %12s %12s@." "rules" "hit-hi(ns)" "hit-lo(ns)" "miss(ns)";
-  pf "%s@." (String.make 52 '-');
+  pf "%-10s | %12s %12s %12s | %12s %12s@." "rules" "hit-hi(ns)" "hit-lo(ns)"
+    "miss(ns)" "cached-lo(ns)" "cached-miss";
+  pf "%s@." (String.make 80 '-');
   List.iter
     (fun n ->
       let table = Flow.Table.create () in
@@ -131,21 +161,36 @@ let e2 () =
         Packet.Headers.tcp ~switch:1 ~in_port:1 ~src_host:1 ~dst_host:dst
           ~tp_src:(Util.Prng.int prng 1000) ~tp_dst:80
       in
-      let time_lookups mk =
+      let time_lookups lookup mk =
         let iters = 200_000 / (1 + (n / 100)) in
         let hs = Array.init 64 (fun _ -> mk ()) in
         let (), t =
           wall (fun () ->
             for i = 0 to iters - 1 do
-              ignore (Flow.Table.lookup table hs.(i land 63))
+              ignore (lookup table hs.(i land 63))
             done)
         in
         t /. float_of_int iters *. 1e9
       in
-      let hit_hi = time_lookups (fun () -> probe (1 + Util.Prng.int prng (max 1 (n / 10)))) in
-      let hit_lo = time_lookups (fun () -> probe (max 1 (n - Util.Prng.int prng (max 1 (n / 10))))) in
-      let miss = time_lookups (fun () -> probe (n + 1 + Util.Prng.int prng 1000)) in
-      pf "%-10d | %12.0f %12.0f %12.0f@." n hit_hi hit_lo miss)
+      let linear = time_lookups Flow.Table.lookup_linear in
+      let cached = time_lookups Flow.Table.lookup in
+      let hi () = probe (1 + Util.Prng.int prng (max 1 (n / 10))) in
+      let lo () = probe (max 1 (n - Util.Prng.int prng (max 1 (n / 10)))) in
+      let nohit () = probe (n + 1 + Util.Prng.int prng 1000) in
+      let hit_hi = linear hi in
+      let hit_lo = linear lo in
+      let miss = linear nohit in
+      (* same worst-case workloads through the cache: after the first 64
+         probes every lookup is an exact-match hit *)
+      let c_lo = cached lo in
+      let c_miss = cached nohit in
+      let m = Printf.sprintf "%d-rules" n in
+      record ~experiment:"e2" ~metric:(m ^ "/linear-hit-lo-ns") hit_lo;
+      record ~experiment:"e2" ~metric:(m ^ "/linear-miss-ns") miss;
+      record ~experiment:"e2" ~metric:(m ^ "/cached-hit-lo-ns") c_lo;
+      record ~experiment:"e2" ~metric:(m ^ "/cached-miss-ns") c_miss;
+      pf "%-10d | %12.0f %12.0f %12.0f | %12.0f %12.0f@." n hit_hi hit_lo miss
+        c_lo c_miss)
     [ 10; 100; 1000; 4000 ]
 
 (* ------------------------------------------------------------------ *)
@@ -795,6 +840,8 @@ let micro () =
            ignore (Netkat.Fdd.of_policy routing2)));
       Test.make ~name:"table-lookup-17rules"
         (Staged.stage (fun () -> ignore (Flow.Table.lookup table hdr)));
+      Test.make ~name:"table-lookup-17rules-linear"
+        (Staged.stage (fun () -> ignore (Flow.Table.lookup_linear table hdr)));
       Test.make ~name:"dijkstra-b4"
         (Staged.stage (fun () ->
            ignore
@@ -833,7 +880,9 @@ let micro () =
   |> List.sort compare
   |> List.iter (fun (name, ols) ->
     match Analyze.OLS.estimates ols with
-    | Some (t :: _) -> pf "%-28s | %14.1f@." name t
+    | Some (t :: _) ->
+      record ~experiment:"micro" ~metric:(name ^ "/ns-per-run") t;
+      pf "%-28s | %14.1f@." name t
     | Some [] | None -> pf "%-28s | %14s@." name "?")
 
 (* ------------------------------------------------------------------ *)
@@ -844,10 +893,22 @@ let experiments =
     ("e12", e12); ("e13", e13); ("e14", e14); ("micro", micro) ]
 
 let () =
+  (* pull out a --json FILE pair; remaining args name experiments *)
+  let json_file = ref None in
+  let rec parse = function
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse rest
+    | "--json" :: [] ->
+      prerr_endline "usage: --json FILE";
+      exit 2
+    | arg :: rest -> arg :: parse rest
+    | [] -> []
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse (List.tl (Array.to_list Sys.argv)) with
+    | _ :: _ as names -> names
+    | [] -> List.map fst experiments
   in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -858,4 +919,5 @@ let () =
         pf "unknown experiment %S (have: %s)@." name
           (String.concat ", " (List.map fst experiments)))
     requested;
-  pf "@.total bench wall time: %.1f s@." (Unix.gettimeofday () -. t0)
+  pf "@.total bench wall time: %.1f s@." (Unix.gettimeofday () -. t0);
+  Option.iter write_json !json_file

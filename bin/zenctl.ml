@@ -173,6 +173,21 @@ let simulate_cmd =
       sent flows duration;
     Format.printf "%a@." Dataplane.Network.pp_stats
       (Dataplane.Network.stats net.network);
+    let ch, cm, inv =
+      List.fold_left
+        (fun (h, m, i) (sw : Dataplane.Network.switch) ->
+          (h + Flow.Table.cache_hits sw.table,
+           m + Flow.Table.cache_misses sw.table,
+           i + Flow.Table.invalidations sw.table))
+        (0, 0, 0)
+        (Dataplane.Network.switch_list net.network)
+    in
+    let probes = ch + cm in
+    Format.printf
+      "flow cache: %d hits, %d misses (%.1f%% hit rate), %d invalidations@."
+      ch cm
+      (if probes = 0 then 0.0 else 100.0 *. float_of_int ch /. float_of_int probes)
+      inv;
     Format.printf "events executed: %d@."
       (Dataplane.Sim.executed (Dataplane.Network.sim net.network))
   in

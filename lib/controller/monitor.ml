@@ -1,7 +1,8 @@
-(** Monitoring app: periodically polls port counters from every switch
-    and maintains per-port time series, from which link utilization and
-    loss are derived.  The poll loop runs on simulated time via the
-    controller context. *)
+(** Monitoring app: periodically polls port and table counters from
+    every switch, maintaining per-port time series (from which link
+    utilization and loss are derived) and the latest table statistics —
+    including the dataplane flow-cache hit/miss/invalidation counters.
+    The poll loop runs on simulated time via the controller context. *)
 
 type port_key = { m_switch : int; m_port : int }
 
@@ -11,6 +12,8 @@ type t = {
   (* (switch, port) -> cumulative tx-bytes series *)
   tx_series : (port_key, Util.Stats.Series.t) Hashtbl.t;
   drops : (port_key, int) Hashtbl.t;
+  (* switch -> latest table stats (incl. flow-cache counters) *)
+  tables : (int, Openflow.Message.table_stat) Hashtbl.t;
   mutable polls : int;
 }
 
@@ -41,6 +44,13 @@ let create ?(period = 0.5) () =
           List.iter (record t ~time:(Api.time ctx) ~switch_id) stats
         | Openflow.Message.Flow_stats_reply _
         | Openflow.Message.Table_stats_reply _ -> ());
+    Api.request_stats ctx ~switch_id Openflow.Message.Table_stats_request
+      (fun reply ->
+        match reply with
+        | Openflow.Message.Table_stats_reply ts ->
+          Hashtbl.replace t.tables switch_id ts
+        | Openflow.Message.Port_stats_reply _
+        | Openflow.Message.Flow_stats_reply _ -> ());
     Api.schedule ctx ~delay:t.period (fun () -> poll ctx ~switch_id)
   in
   let switch_up ctx ~switch_id ~ports:_ =
@@ -49,13 +59,24 @@ let create ?(period = 0.5) () =
   let app = { (Api.default_app "monitor") with switch_up } in
   let t =
     { app; period; tx_series = Hashtbl.create 64; drops = Hashtbl.create 64;
-      polls = 0 }
+      tables = Hashtbl.create 16; polls = 0 }
   in
   t_ref := Some t;
   t
 
 let app t = t.app
 let polls t = t.polls
+
+(** Latest table statistics seen for [switch_id], if any poll completed. *)
+let table_stat t ~switch_id = Hashtbl.find_opt t.tables switch_id
+
+(** Network-wide flow-cache totals across every polled switch:
+    [(cache hits, cache misses, invalidations)]. *)
+let cache_summary t =
+  Hashtbl.fold
+    (fun _ (ts : Openflow.Message.table_stat) (h, m, i) ->
+      (h + ts.cache_hits, m + ts.cache_misses, i + ts.cache_invalidations))
+    t.tables (0, 0, 0)
 
 (** Average transmit rate (bytes/s) observed on a port over the whole
     monitoring window; 0 when unobserved. *)

@@ -379,7 +379,10 @@ let handle_at_switch t sw (msg : Openflow.Message.t) =
          (Table_stats_reply
             { active_rules = Flow.Table.size sw.table;
               table_hits = Flow.Table.hits sw.table;
-              table_misses = Flow.Table.misses sw.table }))
+              table_misses = Flow.Table.misses sw.table;
+              cache_hits = Flow.Table.cache_hits sw.table;
+              cache_misses = Flow.Table.cache_misses sw.table;
+              cache_invalidations = Flow.Table.invalidations sw.table }))
   | Echo_reply _ | Features_reply _ | Packet_in _ | Port_status _
   | Flow_removed _ | Stats_reply _ | Barrier_reply ->
     ()  (* controller-bound messages are meaningless at a switch *)

@@ -4,7 +4,16 @@
     rule; among equal priorities the earliest-installed rule wins (as in
     OpenFlow, equal-priority overlaps are discouraged — {!overlaps}
     detects them).  Rules carry packet/byte counters and optional idle
-    and hard timeouts evicted by {!expire}. *)
+    and hard timeouts evicted by {!expire}.
+
+    {b Fast path.}  In front of the linear rule scan sits an OVS-style
+    exact-match flow cache: a hashtable keyed on the full header tuple
+    that remembers the winning rule (or the absence of one) for every
+    header value seen since the last table mutation.  Mutations —
+    {!add}, {!remove}, {!remove_strict}, {!clear} and any eviction by
+    {!expire} — invalidate the cache in O(1) by bumping a generation
+    counter; stale entries are skipped on probe and overwritten.  Cache
+    hit/miss/invalidation counters are exposed for monitoring. *)
 
 open Packet
 
@@ -21,19 +30,50 @@ type rule = {
   cookie : int;                 (** opaque tag chosen by the controller *)
 }
 
+module Cache = Hashtbl.Make (struct
+  type t = Headers.t
+
+  let equal = Headers.equal
+  let hash = Headers.hash
+end)
+
+(* Bound on resident cache entries (live + stale); reaching it resets
+   the whole cache rather than evicting per-entry. *)
+let max_cache_entries = 8192
+
 type t = {
   mutable rules : rule list;  (* descending priority, stable within ties *)
+  mutable n_rules : int;
   mutable capacity : int option;  (* max rules, None = unbounded *)
   mutable misses : int;
   mutable hits : int;
+  (* exact-match fast path: header tuple -> (generation, winning rule) *)
+  cache : (int * rule option) Cache.t;
+  mutable generation : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable invalidations : int;
 }
 
-let create ?capacity () = { rules = []; capacity; misses = 0; hits = 0 }
+let create ?capacity () =
+  { rules = []; n_rules = 0; capacity; misses = 0; hits = 0;
+    cache = Cache.create 256; generation = 0; cache_hits = 0;
+    cache_misses = 0; invalidations = 0 }
 
-let size t = List.length t.rules
+let size t = t.n_rules
 let rules t = t.rules
 let hits t = t.hits
 let misses t = t.misses
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
+let invalidations t = t.invalidations
+let generation t = t.generation
+let cache_size t = Cache.length t.cache
+
+(* O(1) invalidation: entries stamped with an older generation are dead. *)
+let invalidate t =
+  t.generation <- t.generation + 1;
+  t.invalidations <- t.invalidations + 1
 
 exception Table_full
 
@@ -61,15 +101,17 @@ let add t rule =
   if !replaced then t.rules <- rules
   else begin
     (match t.capacity with
-     | Some cap when List.length t.rules >= cap -> raise Table_full
+     | Some cap when t.n_rules >= cap -> raise Table_full
      | Some _ | None -> ());
     let rec insert = function
       | [] -> [ rule ]
       | r :: rest when r.priority < rule.priority -> rule :: r :: rest
       | r :: rest -> r :: insert rest
     in
-    t.rules <- insert t.rules
-  end
+    t.rules <- insert t.rules;
+    t.n_rules <- t.n_rules + 1
+  end;
+  invalidate t
 
 (** Removes every rule whose pattern is subsumed by [pattern] (OpenFlow
     delete semantics); [cookie] restricts deletion to matching cookies. *)
@@ -81,7 +123,9 @@ let remove ?cookie t ~pattern =
           match cookie with None -> true | Some c -> r.cookie = c
         in
         not (cookie_match && Pattern.subsumes ~general:pattern r.pattern))
-      t.rules
+      t.rules;
+  t.n_rules <- List.length t.rules;
+  invalidate t
 
 (** [remove_strict t ~priority ~pattern] removes exactly the rule with
     this priority and pattern, if present (OpenFlow strict-delete). *)
@@ -93,14 +137,35 @@ let remove_strict ?cookie t ~priority ~pattern =
           match cookie with None -> true | Some c -> r.cookie = c
         in
         not (cookie_match && r.priority = priority && r.pattern = pattern))
-      t.rules
+      t.rules;
+  t.n_rules <- List.length t.rules;
+  invalidate t
 
-let clear t = t.rules <- []
+let clear t =
+  t.rules <- [];
+  t.n_rules <- 0;
+  invalidate t
+
+(** [lookup_linear t h] is the slow path: a linear scan over the rule
+    list, bypassing (and not populating) the flow cache. *)
+let lookup_linear t (h : Headers.t) =
+  List.find_opt (fun r -> Pattern.matches r.pattern h) t.rules
 
 (** [lookup t h] returns the winning rule for headers [h], if any,
-    without touching counters. *)
+    without touching hit/miss or per-rule counters.  Consults the
+    exact-match cache first and falls back to the linear scan, caching
+    the verdict (including "no match"). *)
 let lookup t (h : Headers.t) =
-  List.find_opt (fun r -> Pattern.matches r.pattern h) t.rules
+  match Cache.find_opt t.cache h with
+  | Some (gen, res) when gen = t.generation ->
+    t.cache_hits <- t.cache_hits + 1;
+    res
+  | Some _ | None ->
+    t.cache_misses <- t.cache_misses + 1;
+    let res = lookup_linear t h in
+    if Cache.length t.cache >= max_cache_entries then Cache.reset t.cache;
+    Cache.replace t.cache h (t.generation, res);
+    res
 
 (** [apply t ~now ~size h] performs a dataplane lookup: updates hit/miss
     and per-rule counters and returns the winning rule's action group, or
@@ -134,7 +199,11 @@ let expire t ~now =
     idle || hard
   in
   let gone, kept = List.partition expired t.rules in
-  t.rules <- kept;
+  if gone <> [] then begin
+    t.rules <- kept;
+    t.n_rules <- List.length kept;
+    invalidate t
+  end;
   gone
 
 (** Pairs of distinct same-priority rules whose patterns overlap — the
@@ -173,8 +242,9 @@ let shadowed t =
   go [] [] t.rules
 
 let pp fmt t =
-  Format.fprintf fmt "flow table (%d rules, %d hits, %d misses)@." (size t)
-    t.hits t.misses;
+  Format.fprintf fmt
+    "flow table (%d rules, %d hits, %d misses; cache %d hits, %d misses, %d invalidations)@."
+    (size t) t.hits t.misses t.cache_hits t.cache_misses t.invalidations;
   List.iter
     (fun r ->
       Format.fprintf fmt "  [%4d] %a -> %a (pkts=%d)@." r.priority Pattern.pp

@@ -11,17 +11,63 @@
     true-branch, and equal fields appear with increasing values along
     false-branches — and hash-consed, so semantic construction is
     maximally shared and physical equality [==] coincides with diagram
-    equality.  All construction goes through {!leaf} and {!branch}. *)
+    equality.  All construction goes through {!leaf} and {!branch}.
+
+    {b Fast path.}  Actions are {e interned}: structurally equal updates
+    share one record carrying a unique id, so action equality and
+    hashing are O(1) and leaf hash-consing never re-traverses action
+    structure.  Every node carries a precomputed hash.  The binary
+    operations ({!union}, {!gate}, {!seq}, [act_seq], {!restrict})
+    memoize through persistent global caches keyed on [(op, uid, uid)]
+    that survive across calls — repeated compilation of overlapping
+    policies (the common controller workload) hits warm entries —
+    and are reset by {!clear_cache}. *)
 
 open Packet
 
 (** A single action: a partial header update, sorted by field, at most
-    one binding per field.  Applying it to a packet yields one packet. *)
+    one binding per field.  Applying it to a packet yields one packet.
+
+    Values are interned: [of_list] (and every operation producing an
+    action) returns the unique record for the update, so [equal] is an
+    id comparison and [hash] a field read.  The intern table is never
+    reset — ids stay canonical for the lifetime of the process. *)
 module Act = struct
-  type t = (Fields.t * int) list
+  type t = {
+    aid : int;  (* unique id: structural equality <=> id equality *)
+    binds : (Fields.t * int) list;
+    ikey : (int * int) list;  (* (field index, value), the intern key *)
+  }
+
+  module Intern = Hashtbl.Make (struct
+    type t = (int * int) list
+
+    let equal (a : t) b = a = b
+    let hash = Hashtbl.hash
+  end)
+
+  let intern_tbl : t Intern.t = Intern.create 256
+  let next_aid = ref 0
+
+  (* [binds] must be sorted by field with one binding per field. *)
+  let intern binds =
+    let ikey = List.map (fun (f, v) -> (Fields.index f, v)) binds in
+    match Intern.find_opt intern_tbl ikey with
+    | Some t -> t
+    | None ->
+      let t = { aid = !next_aid; binds; ikey } in
+      incr next_aid;
+      Intern.add intern_tbl ikey t;
+      t
 
   (** The identity update. *)
-  let id : t = []
+  let id : t = intern []
+
+  (** Unique id of the interned update. *)
+  let uid (t : t) = t.aid
+
+  (** The update as an association list, sorted by field. *)
+  let bindings (t : t) = t.binds
 
   let field_cmp (f, _) (g, _) = Fields.compare f g
 
@@ -37,40 +83,52 @@ module Act = struct
       | [ _ ] | [] -> ()
     in
     check sorted;
-    sorted
+    intern sorted
+
+  (** [single f v] is the one-binding update [f := v]. *)
+  let single f v = intern [ (f, v) ]
 
   let get (t : t) f =
-    List.find_map (fun (g, v) -> if Fields.equal f g then Some v else None) t
+    List.find_map (fun (g, v) -> if Fields.equal f g then Some v else None)
+      t.binds
 
   (** [compose a b] is the update "do [a], then [b]" ([b] wins). *)
   let compose (a : t) (b : t) : t =
-    let keep_a = List.filter (fun (f, _) -> get b f = None) a in
-    List.sort field_cmp (keep_a @ b)
+    if a.aid = id.aid then b
+    else if b.aid = id.aid then a
+    else begin
+      let keep_a = List.filter (fun (f, _) -> get b f = None) a.binds in
+      intern (List.sort field_cmp (keep_a @ b.binds))
+    end
 
   let apply (t : t) (h : Headers.t) =
-    List.fold_left (fun h (f, v) -> Headers.set h f v) h t
+    List.fold_left (fun h (f, v) -> Headers.set h f v) h t.binds
 
+  (* Interning makes equal updates share an id; ordering stays
+     structural (on the int-encoded key) so set iteration order is
+     deterministic and independent of interning history. *)
   let compare (a : t) (b : t) =
-    compare
-      (List.map (fun (f, v) -> (Fields.index f, v)) a)
-      (List.map (fun (f, v) -> (Fields.index f, v)) b)
+    if a.aid = b.aid then 0 else compare a.ikey b.ikey
+
+  let equal (a : t) (b : t) = a.aid = b.aid
+  let hash (t : t) = t.aid
 
   let pp fmt (t : t) =
-    match t with
+    match t.binds with
     | [] -> Format.pp_print_string fmt "id"
-    | _ ->
+    | binds ->
       Format.pp_print_list
         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
         (fun fmt (f, v) ->
           Format.fprintf fmt "%a:=%a" Fields.pp f Fields.pp_value (f, v))
-        fmt t
+        fmt binds
 end
 
 module ActSet = Set.Make (Act)
 
 type test = Fields.t * int
 
-type t = { uid : int; node : node }
+type t = { uid : int; hash : int; node : node }
 
 and node =
   | Leaf of ActSet.t
@@ -78,17 +136,23 @@ and node =
 
 let uid t = t.uid
 
+(** Precomputed structural hash (leaves hash their action-set ids,
+    branches mix the test with the children's uids). *)
+let hash t = t.hash
+
 let test_compare (f, v) (g, u) =
   match Fields.compare f g with 0 -> compare v u | c -> c
 
 (* ------------------------------------------------------------------ *)
 (* Hash-consing *)
 
+let hash_acts acts = Hashtbl.hash (List.map Act.uid (ActSet.elements acts))
+
 module Leaf_key = struct
   type t = ActSet.t
 
   let equal = ActSet.equal
-  let hash s = Hashtbl.hash (List.map (List.map (fun (f, v) -> (Fields.index f, v))) (ActSet.elements s))
+  let hash = hash_acts
 end
 
 module Leaf_tbl = Hashtbl.Make (Leaf_key)
@@ -97,8 +161,8 @@ let leaf_tbl : t Leaf_tbl.t = Leaf_tbl.create 256
 let branch_tbl : (int * int * int * int, t) Hashtbl.t = Hashtbl.create 256
 let next_uid = ref 0
 
-let fresh node =
-  let t = { uid = !next_uid; node } in
+let fresh ~hash node =
+  let t = { uid = !next_uid; hash; node } in
   incr next_uid;
   t
 
@@ -106,7 +170,7 @@ let leaf acts =
   match Leaf_tbl.find_opt leaf_tbl acts with
   | Some t -> t
   | None ->
-    let t = fresh (Leaf acts) in
+    let t = fresh ~hash:(hash_acts acts) (Leaf acts) in
     Leaf_tbl.add leaf_tbl acts t;
     t
 
@@ -118,7 +182,7 @@ let branch ((f, v) as test) tru fls =
     match Hashtbl.find_opt branch_tbl key with
     | Some t -> t
     | None ->
-      let t = fresh (Branch (test, tru, fls)) in
+      let t = fresh ~hash:(Hashtbl.hash key) (Branch (test, tru, fls)) in
       Hashtbl.add branch_tbl key t;
       t
   end
@@ -126,14 +190,40 @@ let branch ((f, v) as test) tru fls =
 let drop = leaf ActSet.empty
 let ident = leaf (ActSet.singleton Act.id)
 
-(** Resets the hash-cons tables (used between benchmark runs to measure
-    cold construction).  Existing diagrams remain usable but will no
-    longer share with new ones. *)
+(* ------------------------------------------------------------------ *)
+(* Global operation caches.
+
+   Binary operations memoize on (op tag, uid, uid) in one shared table
+   that persists across calls; uids are never reused, so entries stay
+   valid until explicitly cleared.  [restrict] keys on (field, value,
+   uid) in its own table. *)
+
+let op_union = 0
+let op_gate = 1
+let op_seq = 2
+let op_act_seq = 3
+
+let binop_cache : (int * int * int, t) Hashtbl.t = Hashtbl.create 4096
+let restrict_cache : (int * int * int, t) Hashtbl.t = Hashtbl.create 256
+
+(** Sizes of the internal tables:
+    [(leaves, branches, binop cache, restrict cache)]. *)
+let cache_stats () =
+  (Leaf_tbl.length leaf_tbl, Hashtbl.length branch_tbl,
+   Hashtbl.length binop_cache, Hashtbl.length restrict_cache)
+
+(** Resets the hash-cons tables and the operation caches (used between
+    benchmark runs to measure cold construction).  Existing diagrams
+    remain usable but will no longer share with new ones; [drop] and
+    [ident] stay canonical.  Interned actions are kept — their ids are
+    canonical for the whole process. *)
 let clear_cache () =
   Leaf_tbl.reset leaf_tbl;
   Hashtbl.reset branch_tbl;
-  ignore (leaf ActSet.empty);
-  ignore (leaf (ActSet.singleton Act.id))
+  Hashtbl.reset binop_cache;
+  Hashtbl.reset restrict_cache;
+  Leaf_tbl.add leaf_tbl ActSet.empty drop;
+  Leaf_tbl.add leaf_tbl (ActSet.singleton Act.id) ident
 
 let equal a b = a == b
 
@@ -163,15 +253,16 @@ let min_root a b =
   | Leaf _, Leaf _ -> assert false
 
 (* Shannon-expansion apply of a leaf-level binary operation.  [op] must
-   be deterministic; results are memoized per call on (uid, uid). *)
-let apply op =
-  let memo : (int * int, t) Hashtbl.t = Hashtbl.create 64 in
+   be deterministic; results are memoized in the global cache under
+   [tag], normalizing the operand order when [commutative]. *)
+let apply ~tag ~commutative op =
   let rec go a b =
     match (a.node, b.node) with
     | Leaf x, Leaf y -> leaf (op x y)
     | _ ->
-      let key = (a.uid, b.uid) in
-      (match Hashtbl.find_opt memo key with
+      let a, b = if commutative && a.uid > b.uid then (b, a) else (a, b) in
+      let key = (tag, a.uid, b.uid) in
+      (match Hashtbl.find_opt binop_cache key with
        | Some r -> r
        | None ->
          let test = min_root a b in
@@ -179,18 +270,29 @@ let apply op =
            branch test (go (pos test a) (pos test b))
              (go (neg test a) (neg test b))
          in
-         Hashtbl.add memo key r;
+         Hashtbl.add binop_cache key r;
          r)
   in
   go
 
+let union_op = apply ~tag:op_union ~commutative:true ActSet.union
+
 (** Pointwise union of the two diagrams' action sets. *)
-let union a b = if a == b then a else apply ActSet.union a b
+let union a b =
+  if a == b then a
+  else if a == drop then b
+  else if b == drop then a
+  else union_op a b
+
+let gate_op =
+  apply ~tag:op_gate ~commutative:false (fun pass acts ->
+    if ActSet.is_empty pass then ActSet.empty else acts)
 
 (* Gate: where the predicate diagram [p] passes, behave as [d]. *)
 let gate p d =
-  apply (fun pass acts -> if ActSet.is_empty pass then ActSet.empty else acts)
-    p d
+  if p == ident then d
+  else if p == drop || d == drop then drop
+  else gate_op p d
 
 (** [cond test t e]: if [test] then [t] else [e], restoring diagram order
     regardless of the orders of [t] and [e]. *)
@@ -207,32 +309,35 @@ let cond test t e =
 
 (* [act_seq act d]: the diagram "apply [act], then run [d]", expressed
    over the *input* packet.  Tests in [d] on fields written by [act] are
-   resolved; leaves are pre-composed with [act]. *)
-let act_seq =
-  let memo : (Act.t * int, t) Hashtbl.t = Hashtbl.create 64 in
-  let rec go act d =
-    match d.node with
-    | Leaf acts -> leaf (ActSet.map (fun a2 -> Act.compose act a2) acts)
-    | Branch ((f, v), tru, fls) ->
-      let key = (act, d.uid) in
-      (match Hashtbl.find_opt memo key with
-       | Some r -> r
-       | None ->
-         let r =
-           match Act.get act f with
-           | Some v' -> if v' = v then go act tru else go act fls
-           | None -> cond (f, v) (go act tru) (go act fls)
-         in
-         Hashtbl.add memo key r;
-         r)
-  in
-  go
+   resolved; leaves are pre-composed with [act].  Memoized globally on
+   (act id, node uid). *)
+let rec act_seq act d =
+  if Act.equal act Act.id then d
+  else begin
+    let key = (op_act_seq, Act.uid act, d.uid) in
+    match Hashtbl.find_opt binop_cache key with
+    | Some r -> r
+    | None ->
+      let r =
+        match d.node with
+        | Leaf acts -> leaf (ActSet.map (fun a2 -> Act.compose act a2) acts)
+        | Branch ((f, v), tru, fls) ->
+          (match Act.get act f with
+           | Some v' -> if v' = v then act_seq act tru else act_seq act fls
+           | None -> cond (f, v) (act_seq act tru) (act_seq act fls))
+      in
+      Hashtbl.add binop_cache key r;
+      r
+  end
 
 (** Kleisli sequencing: run [a], feed every output packet to [b]. *)
-let seq a b =
-  let memo : (int, t) Hashtbl.t = Hashtbl.create 64 in
-  let rec go a =
-    match Hashtbl.find_opt memo a.uid with
+let rec seq a b =
+  if b == ident then a
+  else if a == ident then b
+  else if a == drop || b == drop then drop
+  else begin
+    let key = (op_seq, a.uid, b.uid) in
+    match Hashtbl.find_opt binop_cache key with
     | Some r -> r
     | None ->
       let r =
@@ -241,12 +346,11 @@ let seq a b =
           if ActSet.is_empty acts then drop
           else
             ActSet.fold (fun act acc -> union acc (act_seq act b)) acts drop
-        | Branch (test, tru, fls) -> cond test (go tru) (go fls)
+        | Branch (test, tru, fls) -> cond test (seq tru b) (seq fls b)
       in
-      Hashtbl.add memo a.uid r;
+      Hashtbl.add binop_cache key r;
       r
-  in
-  if b == ident then a else if a == drop || b == drop then drop else go a
+  end
 
 (** Kleene star: least fixpoint of [x = ident ∪ seq d x].  Terminates
     because the value space reachable from the policy's tests and
@@ -259,7 +363,8 @@ let star d =
   in
   if d == ident || d == drop then ident else fix ident 0
 
-(** Map over leaves (e.g. predicate negation flips pass/drop leaves). *)
+(** Map over leaves (e.g. predicate negation flips pass/drop leaves).
+    Memoized per call — the mapped function has no global identity. *)
 let map_leaves f =
   let memo : (int, t) Hashtbl.t = Hashtbl.create 64 in
   let rec go d =
@@ -295,7 +400,7 @@ let rec of_pred (p : Syntax.pred) =
 let rec of_policy (p : Syntax.pol) =
   match p with
   | Filter pred -> of_pred pred
-  | Mod (f, v) -> leaf (ActSet.singleton [ (f, v) ])
+  | Mod (f, v) -> leaf (ActSet.singleton (Act.single f v))
   | Union (a, b) -> union (of_policy a) (of_policy b)
   | Seq (a, b) -> seq (of_policy a) (of_policy b)
   | Star a -> star (of_policy a)
@@ -314,21 +419,24 @@ let rec eval d (h : Headers.t) =
 (** [restrict (f, v) d] specializes the diagram to packets known to
     satisfy [f = v], removing every test on [f]. *)
 let restrict (f, v) d =
-  let memo : (int, t) Hashtbl.t = Hashtbl.create 16 in
+  let fi = Fields.index f in
   let rec go d =
-    match Hashtbl.find_opt memo d.uid with
-    | Some r -> r
-    | None ->
-      let r =
-        match d.node with
-        | Leaf _ -> d
-        | Branch ((g, u), tru, fls) ->
-          if Fields.compare g f < 0 then branch (g, u) (go tru) (go fls)
-          else if Fields.equal g f then if u = v then go tru else go fls
-          else d
-      in
-      Hashtbl.add memo d.uid r;
-      r
+    match d.node with
+    | Leaf _ -> d
+    | Branch ((g, u), tru, fls) ->
+      if Fields.compare g f > 0 then d
+      else begin
+        let key = (fi, v, d.uid) in
+        match Hashtbl.find_opt restrict_cache key with
+        | Some r -> r
+        | None ->
+          let r =
+            if Fields.equal g f then if u = v then go tru else go fls
+            else branch (g, u) (go tru) (go fls)
+          in
+          Hashtbl.add restrict_cache key r;
+          r
+      end
   in
   go d
 

@@ -36,7 +36,7 @@ let seq_of_act (act : Fdd.Act.t) : Flow.Action.seq =
         | Eth_src | Eth_dst | Eth_type | Vlan | Ip_proto | Ip4_src | Ip4_dst
         | Tp_src | Tp_dst ->
           (Flow.Action.Set_field (f, v) :: mods, out))
-      ([], None) act
+      ([], None) (Fdd.Act.bindings act)
   in
   let output =
     match out with

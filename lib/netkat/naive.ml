@@ -73,7 +73,7 @@ let rec translate (p : Syntax.pol) : arule list =
   | Mod (f, v) ->
     if Fields.equal f Fields.Switch then
       raise (Unsupported "switch modification");
-    [ { tests = []; update = [ (f, v) ] } ]
+    [ { tests = []; update = Fdd.Act.single f v } ]
   | Union (a, b) -> translate a @ translate b
   | Seq (a, b) ->
     let ra = translate a and rb = translate b in

@@ -112,7 +112,14 @@ type port_stat = {
   mutable drops : int;
 }
 
-type table_stat = { active_rules : int; table_hits : int; table_misses : int }
+type table_stat = {
+  active_rules : int;
+  table_hits : int;
+  table_misses : int;
+  cache_hits : int;          (** exact-match flow-cache hits *)
+  cache_misses : int;        (** flow-cache misses (fell through to scan) *)
+  cache_invalidations : int; (** generation bumps from table mutations *)
+}
 
 type stats_reply =
   | Flow_stats_reply of flow_stat list

@@ -205,7 +205,10 @@ let buf_body b = function
     buf_u8 b 2;
     buf_u64 b (Int64.of_int ts.active_rules);
     buf_u64 b (Int64.of_int ts.table_hits);
-    buf_u64 b (Int64.of_int ts.table_misses)
+    buf_u64 b (Int64.of_int ts.table_misses);
+    buf_u64 b (Int64.of_int ts.cache_hits);
+    buf_u64 b (Int64.of_int ts.cache_misses);
+    buf_u64 b (Int64.of_int ts.cache_invalidations)
 
 (** [encode ~xid msg] frames [msg] into wire bytes. *)
 let encode ~xid msg =
@@ -422,7 +425,13 @@ let rbody code c =
        let active_rules = r64i c in
        let table_hits = r64i c in
        let table_misses = r64i c in
-       Stats_reply (Table_stats_reply { active_rules; table_hits; table_misses })
+       let cache_hits = r64i c in
+       let cache_misses = r64i c in
+       let cache_invalidations = r64i c in
+       Stats_reply
+         (Table_stats_reply
+            { active_rules; table_hits; table_misses; cache_hits;
+              cache_misses; cache_invalidations })
      | n -> fail "unknown stats_reply subtype %d" n)
   | 18 -> Barrier_request
   | 19 -> Barrier_reply

@@ -47,6 +47,28 @@ let set t (f : Fields.t) v =
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = compare a b
 
+(** Cheap deterministic hash over the full header tuple, suitable as an
+    exact-match flow-cache key (avoids the generic [Hashtbl.hash]
+    traversal). *)
+let hash (t : t) =
+  let mix h v = (h * 31) + v in
+  mix
+    (mix
+       (mix
+          (mix
+             (mix
+                (mix
+                   (mix
+                      (mix (mix (mix t.switch t.in_port) t.eth_src) t.eth_dst)
+                      t.eth_type)
+                   t.vlan)
+                t.ip_proto)
+             t.ip4_src)
+          t.ip4_dst)
+       t.tp_src)
+    t.tp_dst
+  land max_int
+
 let pp fmt t =
   Format.fprintf fmt
     "{sw=%d port=%d %a->%a type=0x%04x vlan=%s proto=%d %a:%d->%a:%d}"

@@ -279,6 +279,89 @@ let prop_lookup_max_priority =
         List.for_all (fun (r' : Table.rule) -> r'.priority <= r.priority)
           matching)
 
+(* directed checks of the exact-match cache counters *)
+let test_cache_counters () =
+  let t = Table.create () in
+  Table.add t (mk ~priority:1 Pattern.any (Action.forward 1));
+  Alcotest.(check bool) "add invalidates" true (Table.invalidations t > 0);
+  ignore (Table.lookup t hdr);
+  Alcotest.(check int) "first probe misses" 1 (Table.cache_misses t);
+  ignore (Table.lookup t hdr);
+  Alcotest.(check int) "second probe hits" 1 (Table.cache_hits t);
+  Table.add t
+    (mk ~priority:2 (Pattern.of_field Fields.Tp_dst 80) (Action.forward 2));
+  ignore (Table.lookup t hdr);
+  Alcotest.(check int) "stale after add -> miss" 2 (Table.cache_misses t);
+  (match Table.lookup t hdr with
+   | Some r -> Alcotest.(check int) "refresh sees new winner" 2 r.priority
+   | None -> Alcotest.fail "expected a match");
+  Alcotest.(check int) "hit after refresh" 2 (Table.cache_hits t)
+
+(* property: the flow cache never changes lookup results — after every
+   mutating operation (add / remove / remove_strict / expire / apply /
+   clear, each of which must invalidate), cached lookup agrees with a
+   raw linear scan on a battery of probe headers *)
+let prop_cache_consistent =
+  let gen_op =
+    QCheck.Gen.(
+      let port = oneof [ return None; map Option.some (int_bound 3) ] in
+      oneof
+        [ map3
+            (fun prio p idle -> `Add (prio, p, idle))
+            (int_bound 10) port
+            (oneof [ return None; map Option.some (1 -- 3) ]);
+          map (fun p -> `Remove p) port;
+          map2 (fun prio p -> `Remove_strict (prio, p)) (int_bound 10) port;
+          return `Expire;
+          map2 (fun p dst -> `Apply (p, dst)) (int_bound 4) (int_bound 4);
+          return `Clear ])
+  in
+  QCheck.Test.make ~name:"flow cache: cached lookup == linear under churn"
+    ~count:1200
+    (QCheck.make QCheck.Gen.(list_size (5 -- 40) gen_op))
+    (fun ops ->
+      let t = Table.create () in
+      let cookie = ref 0 in
+      let now = ref 0.0 in
+      let pat = function
+        | None -> Pattern.any
+        | Some p -> Pattern.of_field Fields.In_port p
+      in
+      let probes =
+        List.map (fun port -> Headers.set hdr Fields.In_port port)
+          [ 0; 1; 2; 3; 4 ]
+      in
+      (* compare winners by cookie: every added rule gets a fresh one *)
+      let agree () =
+        List.for_all
+          (fun h ->
+            let key = Option.map (fun (r : Table.rule) -> r.cookie) in
+            key (Table.lookup t h) = key (Table.lookup_linear t h))
+          probes
+      in
+      List.for_all
+        (fun op ->
+          now := !now +. 1.0;
+          (match op with
+           | `Add (priority, p, idle) ->
+             incr cookie;
+             Table.add t
+               (Table.make_rule ~priority ~cookie:!cookie ~pattern:(pat p)
+                  ~idle_timeout:(Option.map float_of_int idle) ~now:!now
+                  ~actions:(Action.forward 1) ())
+           | `Remove p -> Table.remove t ~pattern:(pat p)
+           | `Remove_strict (priority, p) ->
+             Table.remove_strict t ~priority ~pattern:(pat p)
+           | `Expire -> ignore (Table.expire t ~now:!now)
+           | `Apply (p, dst) ->
+             let h =
+               Headers.set (Headers.set hdr Fields.In_port p) Fields.Tp_dst dst
+             in
+             ignore (Table.apply t ~now:!now ~size:100 h)
+           | `Clear -> Table.clear t);
+          agree ())
+        ops)
+
 let suites =
   [ ( "flow.pattern",
       [ Alcotest.test_case "any" `Quick test_any_matches;
@@ -309,4 +392,6 @@ let suites =
         Alcotest.test_case "hard timeout" `Quick test_hard_timeout;
         Alcotest.test_case "overlap detection" `Quick test_overlaps_detection;
         Alcotest.test_case "shadow detection" `Quick test_shadowed_detection;
-        QCheck_alcotest.to_alcotest prop_lookup_max_priority ] ) ]
+        Alcotest.test_case "cache counters" `Quick test_cache_counters;
+        QCheck_alcotest.to_alcotest prop_lookup_max_priority;
+        QCheck_alcotest.to_alcotest prop_cache_consistent ] ) ]

@@ -114,6 +114,35 @@ let prop_pp_parse_pred_roundtrip =
       Netkat.Parser.pred_of_string (Netkat.Syntax.pred_to_string p) = p)
 
 (* ------------------------------------------------------------------ *)
+(* Interned FDD compiler vs the reference semantics, with the global
+   operation caches cleared at random points between compilations — a
+   stale or wrongly-keyed cache entry (or a broken action-intern table)
+   would show up as a semantics divergence here. *)
+
+let prop_fdd_semantics_across_cache_clears =
+  QCheck.Test.make
+    ~name:"interned FDD == reference semantics across cache clears"
+    ~count:1200
+    (QCheck.make
+       ~print:(fun ((p, _), _) -> Netkat.Syntax.pol_to_string p)
+       QCheck.Gen.(pair (pair Test_netkat.gen_pol Test_netkat.gen_headers) bool))
+    (fun ((p, h), clear) ->
+      if clear then Netkat.Fdd.clear_cache ();
+      let sem =
+        Netkat.Semantics.HSet.elements (Netkat.Semantics.eval p h)
+      in
+      let fdd =
+        Netkat.Fdd.eval (Netkat.Fdd.of_policy p) h
+        |> List.sort_uniq Packet.Headers.compare
+      in
+      (* recompiling the same policy against warm caches must agree too *)
+      let fdd2 =
+        Netkat.Fdd.eval (Netkat.Fdd.of_policy p) h
+        |> List.sort_uniq Packet.Headers.compare
+      in
+      sem = fdd && sem = fdd2)
+
+(* ------------------------------------------------------------------ *)
 (* DOT output is well-formed-ish *)
 
 let contains_substring haystack needle =
@@ -148,4 +177,5 @@ let suites =
         QCheck_alcotest.to_alcotest prop_parser_token_soup;
         QCheck_alcotest.to_alcotest prop_pp_parse_roundtrip;
         QCheck_alcotest.to_alcotest prop_pp_parse_pred_roundtrip;
+        QCheck_alcotest.to_alcotest prop_fdd_semantics_across_cache_clears;
         Alcotest.test_case "dot export" `Quick test_dot_output ] ) ]

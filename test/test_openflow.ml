@@ -96,7 +96,9 @@ let test_stats () =
               tx_bytes = 4; drops = 5 } ]));
   roundtrip "table stats reply"
     (Message.Stats_reply
-       (Table_stats_reply { active_rules = 7; table_hits = 8; table_misses = 9 }))
+       (Table_stats_reply
+          { active_rules = 7; table_hits = 8; table_misses = 9;
+            cache_hits = 10; cache_misses = 11; cache_invalidations = 12 }))
 
 let test_rejects_garbage () =
   let check name b =
