@@ -137,15 +137,30 @@ let e1 () =
 (* ------------------------------------------------------------------ *)
 (* E2 — flow-table lookup cost vs table size *)
 
-let e2 () =
+let e2_sizes ?(smoke = false) sizes () =
   header "E2 — flow-table lookup cost vs table size";
   pf "expected shape: linear search cost grows with table size (hits near@.";
-  pf "the top are cheap, misses scan the whole table); the exact-match@.";
-  pf "flow cache makes repeated headers O(1) regardless of table size.@.@.";
+  pf "the top are cheap, misses scan the whole table); the tuple-space@.";
+  pf "classifier makes cold lookups O(shapes), and the exact-match flow@.";
+  pf "cache makes repeated headers O(1), regardless of table size.@.@.";
   let prng = Util.Prng.create 5 in
-  pf "%-10s | %12s %12s %12s | %12s %12s@." "rules" "hit-hi(ns)" "hit-lo(ns)"
-    "miss(ns)" "cached-lo(ns)" "cached-miss";
-  pf "%s@." (String.make 80 '-');
+  (* tuple-miss at the largest size, vs the linear scan: the smoke mode
+     asserts the staged classifier keeps its advantage *)
+  let final_linear_miss = ref nan and final_tuple_miss = ref nan in
+  let time_lookups n table lookup mk =
+    let iters = 200_000 / (1 + (n / 100)) in
+    let hs = Array.init 64 (fun _ -> mk ()) in
+    let (), t =
+      wall (fun () ->
+        for i = 0 to iters - 1 do
+          ignore (lookup table hs.(i land 63))
+        done)
+    in
+    t /. float_of_int iters *. 1e9
+  in
+  pf "%-10s | %12s %12s %12s | %11s %11s | %11s %11s@." "rules" "hit-hi(ns)"
+    "hit-lo(ns)" "miss(ns)" "tuple-lo" "tuple-miss" "cached-lo" "cached-miss";
+  pf "%s@." (String.make 104 '-');
   List.iter
     (fun n ->
       let table = Flow.Table.create () in
@@ -161,25 +176,18 @@ let e2 () =
         Packet.Headers.tcp ~switch:1 ~in_port:1 ~src_host:1 ~dst_host:dst
           ~tp_src:(Util.Prng.int prng 1000) ~tp_dst:80
       in
-      let time_lookups lookup mk =
-        let iters = 200_000 / (1 + (n / 100)) in
-        let hs = Array.init 64 (fun _ -> mk ()) in
-        let (), t =
-          wall (fun () ->
-            for i = 0 to iters - 1 do
-              ignore (lookup table hs.(i land 63))
-            done)
-        in
-        t /. float_of_int iters *. 1e9
-      in
-      let linear = time_lookups Flow.Table.lookup_linear in
-      let cached = time_lookups Flow.Table.lookup in
+      let linear = time_lookups n table Flow.Table.lookup_linear in
+      let tuple = time_lookups n table Flow.Table.lookup_tuple in
+      let cached = time_lookups n table Flow.Table.lookup in
       let hi () = probe (1 + Util.Prng.int prng (max 1 (n / 10))) in
       let lo () = probe (max 1 (n - Util.Prng.int prng (max 1 (n / 10)))) in
       let nohit () = probe (n + 1 + Util.Prng.int prng 1000) in
       let hit_hi = linear hi in
       let hit_lo = linear lo in
       let miss = linear nohit in
+      (* the cold path through the classifier: one probe per shape *)
+      let t_lo = tuple lo in
+      let t_miss = tuple nohit in
       (* same worst-case workloads through the cache: after the first 64
          probes every lookup is an exact-match hit *)
       let c_lo = cached lo in
@@ -187,11 +195,68 @@ let e2 () =
       let m = Printf.sprintf "%d-rules" n in
       record ~experiment:"e2" ~metric:(m ^ "/linear-hit-lo-ns") hit_lo;
       record ~experiment:"e2" ~metric:(m ^ "/linear-miss-ns") miss;
+      record ~experiment:"e2" ~metric:(m ^ "/tuple-hit-lo-ns") t_lo;
+      record ~experiment:"e2" ~metric:(m ^ "/tuple-miss-ns") t_miss;
       record ~experiment:"e2" ~metric:(m ^ "/cached-hit-lo-ns") c_lo;
       record ~experiment:"e2" ~metric:(m ^ "/cached-miss-ns") c_miss;
-      pf "%-10d | %12.0f %12.0f %12.0f | %12.0f %12.0f@." n hit_hi hit_lo miss
-        c_lo c_miss)
-    [ 10; 100; 1000; 4000 ]
+      final_linear_miss := miss;
+      final_tuple_miss := t_miss;
+      pf "%-10d | %12.0f %12.0f %12.0f | %11.0f %11.0f | %11.0f %11.0f@." n
+        hit_hi hit_lo miss t_lo t_miss c_lo c_miss)
+    sizes;
+  (* worst case for tuple-space search: many shapes.  Prefix rules over
+     five CIDR lengths; a cold miss probes every shape's hashtable. *)
+  pf "@.mixed-shape table (ip4_dst prefixes over 5 CIDR lengths):@.@.";
+  pf "%-10s | %8s | %12s %12s@." "rules" "shapes" "miss(ns)" "tuple-miss";
+  pf "%s@." (String.make 50 '-');
+  let lens = [| 16; 20; 24; 28; 32 |] in
+  List.iter
+    (fun n ->
+      let table = Flow.Table.create () in
+      for i = 1 to n do
+        let len = lens.(i mod Array.length lens) in
+        Flow.Table.add table
+          (Flow.Table.make_rule ~priority:(n - i)
+             ~pattern:
+               { Flow.Pattern.any with
+                 ip4_dst =
+                   Some
+                     (Packet.Ipv4.Prefix.make (Packet.Ipv4.of_host_id i) len) }
+             ~actions:(Flow.Action.forward 1) ())
+      done;
+      (* true miss: destinations outside every 10/8 prefix *)
+      let nohit () =
+        Packet.Headers.set
+          (Packet.Headers.tcp ~switch:1 ~in_port:1 ~src_host:1 ~dst_host:1
+             ~tp_src:0 ~tp_dst:80)
+          Packet.Fields.Ip4_dst
+          (Packet.Ipv4.of_octets 11 (Util.Prng.int prng 256)
+             (Util.Prng.int prng 256) 0)
+      in
+      let miss = time_lookups n table Flow.Table.lookup_linear nohit in
+      let t_miss = time_lookups n table Flow.Table.lookup_tuple nohit in
+      let m = Printf.sprintf "%d-rules" n in
+      record ~experiment:"e2" ~metric:(m ^ "/mixed-linear-miss-ns") miss;
+      record ~experiment:"e2" ~metric:(m ^ "/mixed-tuple-miss-ns") t_miss;
+      pf "%-10d | %8d | %12.0f %12.0f@." n (Flow.Table.shape_count table) miss
+        t_miss)
+    sizes;
+  if smoke then
+    if !final_tuple_miss *. 2.0 >= !final_linear_miss then begin
+      pf
+        "SMOKE FAILURE: tuple-space miss %.0f ns is not at least 2x faster \
+         than the linear scan's %.0f ns@."
+        !final_tuple_miss !final_linear_miss;
+      exit 1
+    end
+    else
+      pf "@.smoke ok: tuple-space miss %.0f ns vs linear %.0f ns@."
+        !final_tuple_miss !final_linear_miss
+
+let e2 () = e2_sizes [ 10; 100; 1000; 4000 ] ()
+
+(* small sizes + a hard pass/fail bound, cheap enough for CI *)
+let e2_smoke () = e2_sizes ~smoke:true [ 10; 100 ] ()
 
 (* ------------------------------------------------------------------ *)
 (* E3 — simulator throughput vs topology size *)
@@ -890,7 +955,8 @@ let micro () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("micro", micro) ]
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e2-smoke", e2_smoke);
+    ("micro", micro) ]
 
 let () =
   (* pull out a --json FILE pair; remaining args name experiments *)

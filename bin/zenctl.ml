@@ -173,13 +173,15 @@ let simulate_cmd =
       sent flows duration;
     Format.printf "%a@." Dataplane.Network.pp_stats
       (Dataplane.Network.stats net.network);
-    let ch, cm, inv =
+    let ch, cm, inv, cp, cs =
       List.fold_left
-        (fun (h, m, i) (sw : Dataplane.Network.switch) ->
+        (fun (h, m, i, p, s) (sw : Dataplane.Network.switch) ->
           (h + Flow.Table.cache_hits sw.table,
            m + Flow.Table.cache_misses sw.table,
-           i + Flow.Table.invalidations sw.table))
-        (0, 0, 0)
+           i + Flow.Table.invalidations sw.table,
+           p + Flow.Table.classifier_probes sw.table,
+           s + Flow.Table.shape_count sw.table))
+        (0, 0, 0, 0, 0)
         (Dataplane.Network.switch_list net.network)
     in
     let probes = ch + cm in
@@ -188,6 +190,10 @@ let simulate_cmd =
       ch cm
       (if probes = 0 then 0.0 else 100.0 *. float_of_int ch /. float_of_int probes)
       inv;
+    Format.printf
+      "classifier: %d shape probes over %d shapes (%.1f probes/miss)@."
+      cp cs
+      (if cm = 0 then 0.0 else float_of_int cp /. float_of_int cm);
     Format.printf "events executed: %d@."
       (Dataplane.Sim.executed (Dataplane.Network.sim net.network))
   in

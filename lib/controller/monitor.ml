@@ -78,6 +78,15 @@ let cache_summary t =
       (h + ts.cache_hits, m + ts.cache_misses, i + ts.cache_invalidations))
     t.tables (0, 0, 0)
 
+(** Network-wide tuple-space classifier totals across every polled
+    switch: [(shape-table probes, distinct shapes)].  Probes per cache
+    miss ≈ probes / cache misses; shapes bound that cost per switch. *)
+let classifier_summary t =
+  Hashtbl.fold
+    (fun _ (ts : Openflow.Message.table_stat) (p, s) ->
+      (p + ts.classifier_probes, s + ts.classifier_shapes))
+    t.tables (0, 0)
+
 (** Average transmit rate (bytes/s) observed on a port over the whole
     monitoring window; 0 when unobserved. *)
 let tx_rate t ~switch_id ~port =

@@ -382,7 +382,9 @@ let handle_at_switch t sw (msg : Openflow.Message.t) =
               table_misses = Flow.Table.misses sw.table;
               cache_hits = Flow.Table.cache_hits sw.table;
               cache_misses = Flow.Table.cache_misses sw.table;
-              cache_invalidations = Flow.Table.invalidations sw.table }))
+              cache_invalidations = Flow.Table.invalidations sw.table;
+              classifier_probes = Flow.Table.classifier_probes sw.table;
+              classifier_shapes = Flow.Table.shape_count sw.table }))
   | Echo_reply _ | Features_reply _ | Packet_in _ | Port_status _
   | Flow_removed _ | Stats_reply _ | Barrier_reply ->
     ()  (* controller-bound messages are meaningless at a switch *)

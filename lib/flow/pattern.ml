@@ -125,6 +125,80 @@ let subsumes ~general t =
 (** Two patterns overlap when some packet matches both. *)
 let overlap a b = conj a b <> None
 
+(* ------------------------------------------------------------------ *)
+(* Pattern shapes: the basis of tuple-space search.
+
+   The {i shape} of a pattern is the set of fields it constrains, with
+   CIDR prefixes bucketed by length.  Every pattern of a given shape
+   matches headers by comparing the same masked field tuple, so a flow
+   table can keep one exact-match hashtable per shape and answer a
+   lookup with one probe per distinct shape instead of one comparison
+   per rule (tuple-space search, as in Open vSwitch). *)
+
+(** A shape packed into an int: bits 0-7 flag the exact-match fields
+    (in_port, eth_src, eth_dst, eth_type, vlan, ip_proto, tp_src,
+    tp_dst); bits 8-13 and 14-19 hold [prefix length + 1] for ip4_src
+    and ip4_dst, or 0 when the field is unconstrained. *)
+type shape = int
+
+let shape_src_shift = 8
+let shape_dst_shift = 14
+
+let shape_of t : shape =
+  let flag b o = match o with None -> 0 | Some _ -> 1 lsl b in
+  let plen shift o =
+    match o with
+    | None -> 0
+    | Some p -> (Ipv4.Prefix.length p + 1) lsl shift
+  in
+  flag 0 t.in_port lor flag 1 t.eth_src lor flag 2 t.eth_dst
+  lor flag 3 t.eth_type lor flag 4 t.vlan lor flag 5 t.ip_proto
+  lor flag 6 t.tp_src lor flag 7 t.tp_dst
+  lor plen shape_src_shift t.ip4_src
+  lor plen shape_dst_shift t.ip4_dst
+
+(* The per-shape prefix masks (0 when the field is unconstrained, so
+   unconstrained addresses project to 0 like every other field). *)
+let shape_prefix_mask shape shift =
+  match (shape lsr shift) land 0x3f with
+  | 0 -> 0
+  | n -> Ipv4.Prefix.mask_of_length (n - 1)
+
+(** [shape_project shape h] masks headers down to the fields [shape]
+    constrains (everything else, including [switch], becomes 0).  A
+    pattern [p] matches [h] iff
+    [shape_project (shape_of p) h = shape_key p]. *)
+let shape_project (shape : shape) (h : Headers.t) : Headers.t =
+  let f b v = if shape land (1 lsl b) <> 0 then v else 0 in
+  { switch = 0;
+    in_port = f 0 h.in_port;
+    eth_src = f 1 h.eth_src;
+    eth_dst = f 2 h.eth_dst;
+    eth_type = f 3 h.eth_type;
+    vlan = f 4 h.vlan;
+    ip_proto = f 5 h.ip_proto;
+    ip4_src = h.ip4_src land shape_prefix_mask shape shape_src_shift;
+    ip4_dst = h.ip4_dst land shape_prefix_mask shape shape_dst_shift;
+    tp_src = f 6 h.tp_src;
+    tp_dst = f 7 h.tp_dst }
+
+(** [shape_key t] is the masked-tuple key under which a rule with this
+    pattern lives in its shape's hashtable. *)
+let shape_key t : Headers.t =
+  let v o = Option.value o ~default:0 in
+  let net o = match o with None -> 0 | Some p -> Ipv4.Prefix.network p in
+  { switch = 0;
+    in_port = v t.in_port;
+    eth_src = v t.eth_src;
+    eth_dst = v t.eth_dst;
+    eth_type = v t.eth_type;
+    vlan = v t.vlan;
+    ip_proto = v t.ip_proto;
+    ip4_src = net t.ip4_src;
+    ip4_dst = net t.ip4_dst;
+    tp_src = v t.tp_src;
+    tp_dst = v t.tp_dst }
+
 (** Number of constrained fields — a rough specificity measure. *)
 let weight t =
   let count o = match o with None -> 0 | Some _ -> 1 in

@@ -4,16 +4,29 @@
     rule; among equal priorities the earliest-installed rule wins (as in
     OpenFlow, equal-priority overlaps are discouraged — {!overlaps}
     detects them).  Rules carry packet/byte counters and optional idle
-    and hard timeouts evicted by {!expire}.
+    and hard timeouts evicted by {!expire}.  Re-adding a rule with the
+    same priority and pattern replaces its actions and timeouts but
+    preserves its counters and install time (OpenFlow modify semantics).
 
-    {b Fast path.}  In front of the linear rule scan sits an OVS-style
+    {b Fast path.}  Lookup is staged.  In front sits an OVS-style
     exact-match flow cache: a hashtable keyed on the full header tuple
     that remembers the winning rule (or the absence of one) for every
-    header value seen since the last table mutation.  Mutations —
-    {!add}, {!remove}, {!remove_strict}, {!clear} and any eviction by
-    {!expire} — invalidate the cache in O(1) by bumping a generation
-    counter; stale entries are skipped on probe and overwritten.  Cache
-    hit/miss/invalidation counters are exposed for monitoring. *)
+    header value seen since the last table mutation.  Mutations that
+    actually change the rule list — {!add}, a deleting {!remove} /
+    {!remove_strict} / {!clear}, and any eviction by {!expire} —
+    invalidate the cache in O(1) by bumping a generation counter; stale
+    entries are skipped on probe and overwritten.  No-op deletes leave
+    the cache warm.
+
+    {b Cold path.}  A cache miss does not scan the rule list; it runs a
+    tuple-space-search classifier: rules are grouped by pattern
+    {!Pattern.shape} (the set of constrained fields, CIDR prefixes
+    bucketed per length), one hashtable per shape keyed on the masked
+    header tuple, and a lookup probes each shape's table once and takes
+    the highest-priority winner.  Cost is O(distinct shapes), not
+    O(rules); the shape tables are maintained incrementally on
+    add/remove/expire, never rebuilt.  Cache hit/miss/invalidation and
+    classifier probe/shape counters are exposed for monitoring. *)
 
 open Packet
 
@@ -28,6 +41,9 @@ type rule = {
   idle_timeout : float option;  (** seconds of inactivity before eviction *)
   hard_timeout : float option;  (** absolute lifetime in seconds *)
   cookie : int;                 (** opaque tag chosen by the controller *)
+  mutable seq : int;
+      (** installation order, the equal-priority tie-breaker; assigned by
+          {!add} (a modify keeps the replaced rule's slot) *)
 }
 
 module Cache = Hashtbl.Make (struct
@@ -36,6 +52,16 @@ module Cache = Hashtbl.Make (struct
   let equal = Headers.equal
   let hash = Headers.hash
 end)
+
+(* One tuple-space stage: every rule whose pattern has this shape, in a
+   hashtable keyed on the pattern's masked field tuple.  Rules in a
+   bucket (same priority-relevant key) stay sorted like the main list:
+   descending priority, ascending seq. *)
+type shape_entry = {
+  se_shape : Pattern.shape;
+  buckets : rule list Cache.t;
+  mutable se_rules : int;  (* rules currently filed under this shape *)
+}
 
 (* Bound on resident cache entries (live + stale); reaching it resets
    the whole cache rather than evicting per-entry. *)
@@ -53,12 +79,17 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable invalidations : int;
+  (* tuple-space classifier: pattern shape -> per-shape hashtable *)
+  shapes : (Pattern.shape, shape_entry) Hashtbl.t;
+  mutable probes : int;  (* shape-table probes performed by the classifier *)
+  mutable next_seq : int;
 }
 
 let create ?capacity () =
   { rules = []; n_rules = 0; capacity; misses = 0; hits = 0;
     cache = Cache.create 256; generation = 0; cache_hits = 0;
-    cache_misses = 0; invalidations = 0 }
+    cache_misses = 0; invalidations = 0; shapes = Hashtbl.create 16;
+    probes = 0; next_seq = 0 }
 
 let size t = t.n_rules
 let rules t = t.rules
@@ -70,91 +101,189 @@ let invalidations t = t.invalidations
 let generation t = t.generation
 let cache_size t = Cache.length t.cache
 
+(** Number of distinct pattern shapes in the table — the probe count a
+    single cold lookup pays. *)
+let shape_count t = Hashtbl.length t.shapes
+
+(** Cumulative shape-table probes performed by the classifier. *)
+let classifier_probes t = t.probes
+
 (* O(1) invalidation: entries stamped with an older generation are dead. *)
 let invalidate t =
   t.generation <- t.generation + 1;
   t.invalidations <- t.invalidations + 1
+
+(* ------------------------------------------------------------------ *)
+(* Tuple-space maintenance: every rule in [t.rules] is also filed in
+   its shape's hashtable, under the key [Pattern.shape_key r.pattern]. *)
+
+(* higher priority first; earlier installation first within a tie *)
+let rule_before a b =
+  a.priority > b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let classifier_insert t r =
+  let shape = Pattern.shape_of r.pattern in
+  let se =
+    match Hashtbl.find_opt t.shapes shape with
+    | Some se -> se
+    | None ->
+      let se = { se_shape = shape; buckets = Cache.create 16; se_rules = 0 } in
+      Hashtbl.replace t.shapes shape se;
+      se
+  in
+  let key = Pattern.shape_key r.pattern in
+  let bucket =
+    match Cache.find_opt se.buckets key with Some l -> l | None -> []
+  in
+  let rec ins = function
+    | [] -> [ r ]
+    | x :: rest when rule_before r x -> r :: x :: rest
+    | x :: rest -> x :: ins rest
+  in
+  Cache.replace se.buckets key (ins bucket);
+  se.se_rules <- se.se_rules + 1
+
+let classifier_remove t r =
+  let shape = Pattern.shape_of r.pattern in
+  match Hashtbl.find_opt t.shapes shape with
+  | None -> ()
+  | Some se ->
+    let key = Pattern.shape_key r.pattern in
+    (match Cache.find_opt se.buckets key with
+     | None -> ()
+     | Some bucket ->
+       (match List.filter (fun x -> x != r) bucket with
+        | [] -> Cache.remove se.buckets key
+        | rest -> Cache.replace se.buckets key rest);
+       se.se_rules <- se.se_rules - 1;
+       if se.se_rules = 0 then Hashtbl.remove t.shapes shape)
+
+(** [lookup_tuple t h] is the cold path: one probe per distinct pattern
+    shape, highest-priority (then earliest-installed) winner.  Agrees
+    with {!lookup_linear} on every header; bypasses (and does not
+    populate) the flow cache. *)
+let lookup_tuple t (h : Headers.t) =
+  let best = ref None in
+  Hashtbl.iter
+    (fun shape se ->
+      t.probes <- t.probes + 1;
+      match Cache.find_opt se.buckets (Pattern.shape_project shape h) with
+      | Some (r :: _) ->
+        (match !best with
+         | Some b when rule_before b r -> ()
+         | Some _ | None -> best := Some r)
+      | Some [] | None -> ())
+    t.shapes;
+  !best
 
 exception Table_full
 
 let make_rule ?(priority = 0) ?(idle_timeout = None) ?(hard_timeout = None)
     ?(cookie = 0) ?(now = 0.0) ~pattern ~actions () =
   { priority; pattern; actions; packets = 0; bytes = 0; installed_at = now;
-    last_hit = now; idle_timeout; hard_timeout; cookie }
+    last_hit = now; idle_timeout; hard_timeout; cookie; seq = 0 }
 
 (** [add t rule] inserts keeping the descending-priority order; a rule
     with the same priority and pattern as an existing one replaces it
-    (OpenFlow modify semantics).
+    (OpenFlow modify semantics: new actions, timeouts and cookie, but
+    the old rule's counters and timestamps are preserved).
     @raise Table_full when the table is at capacity. *)
 let add t rule =
-  let replaced = ref false in
+  let replaced = ref None in
   let rules =
     List.map
       (fun r ->
         if r.priority = rule.priority && r.pattern = rule.pattern then begin
-          replaced := true;
-          rule
+          let fresh = { rule with installed_at = r.installed_at } in
+          fresh.packets <- r.packets;
+          fresh.bytes <- r.bytes;
+          fresh.last_hit <- r.last_hit;
+          fresh.seq <- r.seq;
+          replaced := Some (r, fresh);
+          fresh
         end
         else r)
       t.rules
   in
-  if !replaced then t.rules <- rules
-  else begin
-    (match t.capacity with
-     | Some cap when t.n_rules >= cap -> raise Table_full
-     | Some _ | None -> ());
-    let rec insert = function
-      | [] -> [ rule ]
-      | r :: rest when r.priority < rule.priority -> rule :: r :: rest
-      | r :: rest -> r :: insert rest
-    in
-    t.rules <- insert t.rules;
-    t.n_rules <- t.n_rules + 1
-  end;
+  (match !replaced with
+   | Some (old_rule, fresh) ->
+     t.rules <- rules;
+     classifier_remove t old_rule;
+     classifier_insert t fresh
+   | None ->
+     (match t.capacity with
+      | Some cap when t.n_rules >= cap -> raise Table_full
+      | Some _ | None -> ());
+     rule.seq <- t.next_seq;
+     t.next_seq <- t.next_seq + 1;
+     let rec insert = function
+       | [] -> [ rule ]
+       | r :: rest when r.priority < rule.priority -> rule :: r :: rest
+       | r :: rest -> r :: insert rest
+     in
+     t.rules <- insert t.rules;
+     t.n_rules <- t.n_rules + 1;
+     classifier_insert t rule);
   invalidate t
+
+(* Shared delete plumbing: filter [t.rules] with [victim], unfile the
+   removed rules, and only invalidate when something was actually
+   deleted — a no-op delete must keep the flow cache warm. *)
+let delete_matching t victim =
+  let gone = ref [] in
+  let kept =
+    List.filter
+      (fun r ->
+        if victim r then begin
+          gone := r :: !gone;
+          false
+        end
+        else true)
+      t.rules
+  in
+  match !gone with
+  | [] -> ()
+  | gone ->
+    t.rules <- kept;
+    t.n_rules <- t.n_rules - List.length gone;
+    List.iter (classifier_remove t) gone;
+    invalidate t
 
 (** Removes every rule whose pattern is subsumed by [pattern] (OpenFlow
     delete semantics); [cookie] restricts deletion to matching cookies. *)
 let remove ?cookie t ~pattern =
-  t.rules <-
-    List.filter
-      (fun r ->
-        let cookie_match =
-          match cookie with None -> true | Some c -> r.cookie = c
-        in
-        not (cookie_match && Pattern.subsumes ~general:pattern r.pattern))
-      t.rules;
-  t.n_rules <- List.length t.rules;
-  invalidate t
+  delete_matching t (fun r ->
+    let cookie_match =
+      match cookie with None -> true | Some c -> r.cookie = c
+    in
+    cookie_match && Pattern.subsumes ~general:pattern r.pattern)
 
 (** [remove_strict t ~priority ~pattern] removes exactly the rule with
     this priority and pattern, if present (OpenFlow strict-delete). *)
 let remove_strict ?cookie t ~priority ~pattern =
-  t.rules <-
-    List.filter
-      (fun r ->
-        let cookie_match =
-          match cookie with None -> true | Some c -> r.cookie = c
-        in
-        not (cookie_match && r.priority = priority && r.pattern = pattern))
-      t.rules;
-  t.n_rules <- List.length t.rules;
-  invalidate t
+  delete_matching t (fun r ->
+    let cookie_match =
+      match cookie with None -> true | Some c -> r.cookie = c
+    in
+    cookie_match && r.priority = priority && r.pattern = pattern)
 
 let clear t =
-  t.rules <- [];
-  t.n_rules <- 0;
-  invalidate t
+  if t.rules <> [] then begin
+    t.rules <- [];
+    t.n_rules <- 0;
+    Hashtbl.reset t.shapes;
+    invalidate t
+  end
 
-(** [lookup_linear t h] is the slow path: a linear scan over the rule
-    list, bypassing (and not populating) the flow cache. *)
+(** [lookup_linear t h] is the reference path: a linear scan over the
+    rule list, bypassing (and not populating) both fast paths. *)
 let lookup_linear t (h : Headers.t) =
   List.find_opt (fun r -> Pattern.matches r.pattern h) t.rules
 
 (** [lookup t h] returns the winning rule for headers [h], if any,
     without touching hit/miss or per-rule counters.  Consults the
-    exact-match cache first and falls back to the linear scan, caching
-    the verdict (including "no match"). *)
+    exact-match cache first and falls back to the tuple-space
+    classifier, caching the verdict (including "no match"). *)
 let lookup t (h : Headers.t) =
   match Cache.find_opt t.cache h with
   | Some (gen, res) when gen = t.generation ->
@@ -162,7 +291,7 @@ let lookup t (h : Headers.t) =
     res
   | Some _ | None ->
     t.cache_misses <- t.cache_misses + 1;
-    let res = lookup_linear t h in
+    let res = lookup_tuple t h in
     if Cache.length t.cache >= max_cache_entries then Cache.reset t.cache;
     Cache.replace t.cache h (t.generation, res);
     res
@@ -202,6 +331,7 @@ let expire t ~now =
   if gone <> [] then begin
     t.rules <- kept;
     t.n_rules <- List.length kept;
+    List.iter (classifier_remove t) gone;
     invalidate t
   end;
   gone
@@ -243,8 +373,9 @@ let shadowed t =
 
 let pp fmt t =
   Format.fprintf fmt
-    "flow table (%d rules, %d hits, %d misses; cache %d hits, %d misses, %d invalidations)@."
-    (size t) t.hits t.misses t.cache_hits t.cache_misses t.invalidations;
+    "flow table (%d rules, %d hits, %d misses; cache %d hits, %d misses, %d invalidations; %d shapes, %d probes)@."
+    (size t) t.hits t.misses t.cache_hits t.cache_misses t.invalidations
+    (shape_count t) t.probes;
   List.iter
     (fun r ->
       Format.fprintf fmt "  [%4d] %a -> %a (pkts=%d)@." r.priority Pattern.pp

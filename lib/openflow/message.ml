@@ -117,8 +117,10 @@ type table_stat = {
   table_hits : int;
   table_misses : int;
   cache_hits : int;          (** exact-match flow-cache hits *)
-  cache_misses : int;        (** flow-cache misses (fell through to scan) *)
+  cache_misses : int;        (** flow-cache misses (fell to the classifier) *)
   cache_invalidations : int; (** generation bumps from table mutations *)
+  classifier_probes : int;   (** tuple-space shape-table probes *)
+  classifier_shapes : int;   (** distinct pattern shapes in the table *)
 }
 
 type stats_reply =

@@ -37,6 +37,7 @@ let type_code = function
 let buf_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
 
 let buf_u16 b v =
+  if v < 0 || v > 0xffff then fail "u16 out of range (%d)" v;
   buf_u8 b (v lsr 8);
   buf_u8 b v
 
@@ -53,6 +54,8 @@ let buf_u64 b (v : int64) =
   buf_u32 b Int64.(to_int (logand v 0xffffffffL))
 
 let buf_string b s =
+  if String.length s > 0xffff then
+    fail "string too long for u16 length prefix (%d bytes)" (String.length s);
   buf_u16 b (String.length s);
   Buffer.add_string b s
 
@@ -208,7 +211,9 @@ let buf_body b = function
     buf_u64 b (Int64.of_int ts.table_misses);
     buf_u64 b (Int64.of_int ts.cache_hits);
     buf_u64 b (Int64.of_int ts.cache_misses);
-    buf_u64 b (Int64.of_int ts.cache_invalidations)
+    buf_u64 b (Int64.of_int ts.cache_invalidations);
+    buf_u64 b (Int64.of_int ts.classifier_probes);
+    buf_u64 b (Int64.of_int ts.classifier_shapes)
 
 (** [encode ~xid msg] frames [msg] into wire bytes. *)
 let encode ~xid msg =
@@ -428,10 +433,13 @@ let rbody code c =
        let cache_hits = r64i c in
        let cache_misses = r64i c in
        let cache_invalidations = r64i c in
+       let classifier_probes = r64i c in
+       let classifier_shapes = r64i c in
        Stats_reply
          (Table_stats_reply
             { active_rules; table_hits; table_misses; cache_hits;
-              cache_misses; cache_invalidations })
+              cache_misses; cache_invalidations; classifier_probes;
+              classifier_shapes })
      | n -> fail "unknown stats_reply subtype %d" n)
   | 18 -> Barrier_request
   | 19 -> Barrier_reply

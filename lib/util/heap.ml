@@ -2,12 +2,17 @@
     discrete-event simulator and Dijkstra's algorithm.
 
     Elements are ordered by a float key supplied at insertion; ties are
-    broken by insertion order so that the simulator is deterministic. *)
+    broken by insertion order so that the simulator is deterministic.
+
+    Slots above [size] are kept at [None]: {!pop} and {!clear} null out
+    vacated entries, so the heap never retains popped payloads (a
+    long-running simulator would otherwise pin every executed event
+    closure until the backing array happened to be overwritten). *)
 
 type 'a entry = { key : float; seq : int; value : 'a }
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a entry option array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -19,6 +24,10 @@ let is_empty h = h.size = 0
 
 let entry_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
+(* slots below [size] are always [Some] *)
+let get h i =
+  match h.data.(i) with Some e -> e | None -> assert false
+
 let swap h i j =
   let tmp = h.data.(i) in
   h.data.(i) <- h.data.(j);
@@ -27,7 +36,7 @@ let swap h i j =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_lt h.data.(i) h.data.(parent) then begin
+    if entry_lt (get h i) (get h parent) then begin
       swap h i parent;
       sift_up h parent
     end
@@ -35,9 +44,11 @@ let rec sift_up h i =
 
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = if l < h.size && entry_lt h.data.(l) h.data.(i) then l else i in
   let smallest =
-    if r < h.size && entry_lt h.data.(r) h.data.(smallest) then r else smallest
+    if l < h.size && entry_lt (get h l) (get h i) then l else i
+  in
+  let smallest =
+    if r < h.size && entry_lt (get h r) (get h smallest) then r else smallest
   in
   if smallest <> i then begin
     swap h i smallest;
@@ -45,12 +56,12 @@ let rec sift_down h i =
   end
 
 let push h key value =
-  let e = { key; seq = h.next_seq; value } in
+  let e = Some { key; seq = h.next_seq; value } in
   h.next_seq <- h.next_seq + 1;
   let cap = Array.length h.data in
   if h.size = cap then begin
     let ncap = max 16 (2 * cap) in
-    let ndata = Array.make ncap e in
+    let ndata = Array.make ncap None in
     Array.blit h.data 0 ndata 0 h.size;
     h.data <- ndata
   end;
@@ -60,21 +71,29 @@ let push h key value =
 
 (** [peek h] returns [Some (key, value)] for the minimum element without
     removing it, or [None] when the heap is empty. *)
-let peek h = if h.size = 0 then None else Some (h.data.(0).key, h.data.(0).value)
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = get h 0 in
+    Some (e.key, e.value)
 
 (** [pop h] removes and returns the minimum element.
     @raise Not_found when the heap is empty. *)
 let pop h =
   if h.size = 0 then raise Not_found;
-  let top = h.data.(0) in
+  let top = get h 0 in
   h.size <- h.size - 1;
   if h.size > 0 then begin
     h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- None;
     sift_down h 0
-  end;
+  end
+  else h.data.(0) <- None;
   (top.key, top.value)
 
-let clear h = h.size <- 0
+let clear h =
+  Array.fill h.data 0 h.size None;
+  h.size <- 0
 
 (** [to_sorted_list h] drains a copy of the heap in key order (the heap
     itself is not modified). *)

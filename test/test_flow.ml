@@ -160,6 +160,57 @@ let test_modify_semantics () =
   | Some r -> Alcotest.(check bool) "new actions" true (r.actions = Action.forward 9)
   | None -> Alcotest.fail "no match"
 
+(* regression: modify used to install the replacement with zeroed
+   counters and a fresh install time, losing the flow's history *)
+let test_modify_preserves_counters () =
+  let t = Table.create () in
+  Table.add t
+    (Table.make_rule ~priority:5 ~now:1.0 ~pattern:Pattern.any
+       ~actions:(Action.forward 1) ());
+  ignore (Table.apply t ~now:2.0 ~size:100 hdr);
+  ignore (Table.apply t ~now:3.0 ~size:150 hdr);
+  Table.add t
+    (Table.make_rule ~priority:5 ~now:9.0 ~pattern:Pattern.any
+       ~actions:(Action.forward 7) ());
+  match Table.rules t with
+  | [ r ] ->
+    Alcotest.(check bool) "actions updated" true (r.actions = Action.forward 7);
+    Alcotest.(check int) "packets survive modify" 2 r.packets;
+    Alcotest.(check int) "bytes survive modify" 250 r.bytes;
+    Alcotest.(check (float 1e-9)) "install time survives modify" 1.0
+      r.installed_at;
+    Alcotest.(check (float 1e-9)) "last hit survives modify" 3.0 r.last_hit
+  | _ -> Alcotest.fail "one rule expected"
+
+(* regression: deletes that removed nothing used to flush the whole
+   exact-match cache anyway *)
+let test_noop_delete_keeps_cache () =
+  let t = Table.create () in
+  Table.add t (mk ~priority:5 (Pattern.of_field Fields.Tp_dst 80) (Action.forward 1));
+  Table.add t
+    (Table.make_rule ~priority:1 ~cookie:7 ~pattern:Pattern.any
+       ~actions:(Action.forward 2) ());
+  ignore (Table.lookup t hdr);  (* populate *)
+  ignore (Table.lookup t hdr);  (* warm *)
+  Alcotest.(check int) "cache warm" 1 (Table.cache_hits t);
+  let inv = Table.invalidations t in
+  (* nothing is subsumed by tp_dst=9999; nothing carries cookie 99;
+     no strict (priority, pattern) rule matches; nothing is expired *)
+  Table.remove t ~pattern:(Pattern.of_field Fields.Tp_dst 9999);
+  Table.remove ~cookie:99 t ~pattern:Pattern.any;
+  Table.remove_strict t ~priority:3 ~pattern:Pattern.any;
+  ignore (Table.expire t ~now:100.0);
+  Alcotest.(check int) "no-op deletes do not invalidate" inv
+    (Table.invalidations t);
+  ignore (Table.lookup t hdr);
+  Alcotest.(check int) "cache still warm" 2 (Table.cache_hits t);
+  (* a delete that really removes must still invalidate *)
+  Table.remove ~cookie:7 t ~pattern:Pattern.any;
+  Alcotest.(check int) "real delete invalidates" (inv + 1)
+    (Table.invalidations t);
+  ignore (Table.lookup t hdr);
+  Alcotest.(check int) "cache cold after real delete" 2 (Table.cache_hits t)
+
 let test_counters () =
   let t = Table.create () in
   Table.add t (mk Pattern.any (Action.forward 1));
@@ -336,7 +387,9 @@ let prop_cache_consistent =
         List.for_all
           (fun h ->
             let key = Option.map (fun (r : Table.rule) -> r.cookie) in
-            key (Table.lookup t h) = key (Table.lookup_linear t h))
+            let reference = key (Table.lookup_linear t h) in
+            key (Table.lookup t h) = reference
+            && key (Table.lookup_tuple t h) = reference)
           probes
       in
       List.for_all
@@ -356,6 +409,170 @@ let prop_cache_consistent =
            | `Apply (p, dst) ->
              let h =
                Headers.set (Headers.set hdr Fields.In_port p) Fields.Tp_dst dst
+             in
+             ignore (Table.apply t ~now:!now ~size:100 h)
+           | `Clear -> Table.clear t);
+          agree ())
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Tuple-space classifier *)
+
+(* shape tables must track add/remove/expire incrementally *)
+let test_shape_table_maintenance () =
+  let t = Table.create () in
+  let dst len s =
+    { Pattern.any with
+      ip4_dst = Some (Ipv4.Prefix.make (Ipv4.of_string s) len) }
+  in
+  Table.add t (mk ~priority:1 Pattern.any (Action.forward 1));
+  Table.add t (mk ~priority:2 (Pattern.of_field Fields.Tp_dst 80) (Action.forward 2));
+  Table.add t (mk ~priority:3 (dst 8 "10.0.0.0") (Action.forward 3));
+  Table.add t (mk ~priority:4 (dst 24 "10.0.0.0") (Action.forward 4));
+  (* a second rule of an existing shape must not add a shape *)
+  Table.add t (mk ~priority:5 (dst 24 "11.2.3.0") (Action.forward 5));
+  Alcotest.(check int) "four distinct shapes" 4 (Table.shape_count t);
+  Alcotest.(check int) "five rules" 5 (Table.size t);
+  (* the /24 shape survives while one of its two rules remains *)
+  Table.remove_strict t ~priority:5 ~pattern:(dst 24 "11.2.3.0");
+  Alcotest.(check int) "shape kept while populated" 4 (Table.shape_count t);
+  Table.remove_strict t ~priority:4 ~pattern:(dst 24 "10.0.0.0");
+  Alcotest.(check int) "empty shape dropped" 3 (Table.shape_count t);
+  (* expire-driven eviction unfiles rules too *)
+  Table.add t (mk ~priority:9 ~hard:(Some 1.0) (Pattern.of_field Fields.In_port 7)
+                 (Action.forward 6));
+  Alcotest.(check int) "new shape on add" 4 (Table.shape_count t);
+  ignore (Table.expire t ~now:5.0);
+  Alcotest.(check int) "shape dropped on expiry" 3 (Table.shape_count t);
+  Table.clear t;
+  Alcotest.(check int) "clear empties shapes" 0 (Table.shape_count t)
+
+(* the classifier probes once per shape, independent of rule count *)
+let test_classifier_probe_cost () =
+  let t = Table.create () in
+  for i = 1 to 100 do
+    Table.add t
+      (mk ~priority:i
+         { Pattern.any with eth_dst = Some (Mac.of_host_id i) }
+         (Action.forward 1))
+  done;
+  Table.add t (mk ~priority:0 Pattern.any (Action.forward 2));
+  Alcotest.(check int) "two shapes for 101 rules" 2 (Table.shape_count t);
+  let before = Table.classifier_probes t in
+  (match Table.lookup_tuple t hdr with
+   | Some r -> Alcotest.(check int) "winner found" 9 r.priority
+   | None -> Alcotest.fail "expected a match");
+  Alcotest.(check int) "one probe per shape" 2
+    (Table.classifier_probes t - before)
+
+(* longest-prefix-style stacks resolve by priority across shapes *)
+let test_classifier_prefix_priorities () =
+  let t = Table.create () in
+  let dst len s prio out =
+    Table.add t
+      (mk ~priority:prio
+         { Pattern.any with
+           ip4_dst = Some (Ipv4.Prefix.make (Ipv4.of_string s) len) }
+         (Action.forward out))
+  in
+  dst 8 "10.0.0.0" 8 1;
+  dst 16 "10.0.0.0" 16 2;
+  dst 24 "10.0.9.0" 24 3;
+  let probe dst_ip =
+    let h = Headers.set hdr Fields.Ip4_dst (Ipv4.of_string dst_ip) in
+    match Table.lookup_tuple t h with
+    | Some r -> r.priority
+    | None -> -1
+  in
+  Alcotest.(check int) "/24 wins" 24 (probe "10.0.9.7");
+  Alcotest.(check int) "/16 wins" 16 (probe "10.0.77.1");
+  Alcotest.(check int) "/8 wins" 8 (probe "10.200.0.1");
+  Alcotest.(check int) "no match" (-1) (probe "11.0.0.1")
+
+(* property: the staged classifier is indistinguishable from the linear
+   scan under randomized rules (incl. CIDR prefixes of mixed length),
+   headers and churn — same harness as the PR 1 cache test *)
+let prop_tuple_space_consistent =
+  let gen_pat =
+    QCheck.Gen.(
+      oneof
+        [ return `Any;
+          map (fun p -> `Port p) (int_bound 3);
+          map (fun d -> `Tp d) (int_bound 3);
+          map2 (fun h len -> `Dst (h, len)) (1 -- 4) (oneofl [ 8; 16; 24; 32 ]);
+          map2 (fun p h -> `PortDst (p, h)) (int_bound 3) (1 -- 4) ])
+  in
+  let gen_op =
+    QCheck.Gen.(
+      oneof
+        [ map3
+            (fun prio p idle -> `Add (prio, p, idle))
+            (int_bound 10) gen_pat
+            (oneof [ return None; map Option.some (1 -- 3) ]);
+          map (fun p -> `Remove p) gen_pat;
+          map2 (fun prio p -> `Remove_strict (prio, p)) (int_bound 10) gen_pat;
+          return `Expire;
+          map2 (fun p dst -> `Apply (p, dst)) (int_bound 4) (1 -- 5);
+          return `Clear ])
+  in
+  let pat = function
+    | `Any -> Pattern.any
+    | `Port p -> Pattern.of_field Fields.In_port p
+    | `Tp d -> Pattern.of_field Fields.Tp_dst d
+    | `Dst (h, len) ->
+      { Pattern.any with
+        ip4_dst = Some (Ipv4.Prefix.make (Ipv4.of_host_id h) len) }
+    | `PortDst (p, h) ->
+      { Pattern.any with
+        in_port = Some p;
+        ip4_dst = Some (Ipv4.Prefix.host (Ipv4.of_host_id h)) }
+  in
+  QCheck.Test.make ~name:"tuple-space lookup == linear scan under churn"
+    ~count:1200
+    (QCheck.make QCheck.Gen.(list_size (5 -- 40) gen_op))
+    (fun ops ->
+      let t = Table.create () in
+      let cookie = ref 0 in
+      let now = ref 0.0 in
+      let probes =
+        List.concat_map
+          (fun port ->
+            List.map
+              (fun dst ->
+                Headers.set
+                  (Headers.set hdr Fields.In_port port)
+                  Fields.Ip4_dst (Ipv4.of_host_id dst))
+              [ 1; 2; 3; 4; 5 ])
+          [ 0; 1; 2 ]
+      in
+      let agree () =
+        List.for_all
+          (fun h ->
+            let key = Option.map (fun (r : Table.rule) -> r.cookie) in
+            let reference = key (Table.lookup_linear t h) in
+            key (Table.lookup_tuple t h) = reference
+            && key (Table.lookup t h) = reference)
+          probes
+      in
+      List.for_all
+        (fun op ->
+          now := !now +. 1.0;
+          (match op with
+           | `Add (priority, p, idle) ->
+             incr cookie;
+             Table.add t
+               (Table.make_rule ~priority ~cookie:!cookie ~pattern:(pat p)
+                  ~idle_timeout:(Option.map float_of_int idle) ~now:!now
+                  ~actions:(Action.forward 1) ())
+           | `Remove p -> Table.remove t ~pattern:(pat p)
+           | `Remove_strict (priority, p) ->
+             Table.remove_strict t ~priority ~pattern:(pat p)
+           | `Expire -> ignore (Table.expire t ~now:!now)
+           | `Apply (p, dst) ->
+             let h =
+               Headers.set
+                 (Headers.set hdr Fields.In_port p)
+                 Fields.Ip4_dst (Ipv4.of_host_id dst)
              in
              ignore (Table.apply t ~now:!now ~size:100 h)
            | `Clear -> Table.clear t);
@@ -383,6 +600,10 @@ let suites =
       [ Alcotest.test_case "priority order" `Quick test_priority_order;
         Alcotest.test_case "tie break" `Quick test_tie_break_first_installed;
         Alcotest.test_case "modify replaces" `Quick test_modify_semantics;
+        Alcotest.test_case "modify preserves counters" `Quick
+          test_modify_preserves_counters;
+        Alcotest.test_case "no-op delete keeps cache" `Quick
+          test_noop_delete_keeps_cache;
         Alcotest.test_case "counters" `Quick test_counters;
         Alcotest.test_case "miss counted" `Quick test_miss_counted;
         Alcotest.test_case "capacity" `Quick test_capacity;
@@ -394,4 +615,12 @@ let suites =
         Alcotest.test_case "shadow detection" `Quick test_shadowed_detection;
         Alcotest.test_case "cache counters" `Quick test_cache_counters;
         QCheck_alcotest.to_alcotest prop_lookup_max_priority;
-        QCheck_alcotest.to_alcotest prop_cache_consistent ] ) ]
+        QCheck_alcotest.to_alcotest prop_cache_consistent ] );
+    ( "flow.classifier",
+      [ Alcotest.test_case "shape table maintenance" `Quick
+          test_shape_table_maintenance;
+        Alcotest.test_case "probe cost is per-shape" `Quick
+          test_classifier_probe_cost;
+        Alcotest.test_case "prefix stacks resolve by priority" `Quick
+          test_classifier_prefix_priorities;
+        QCheck_alcotest.to_alcotest prop_tuple_space_consistent ] ) ]

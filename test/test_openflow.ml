@@ -98,7 +98,32 @@ let test_stats () =
     (Message.Stats_reply
        (Table_stats_reply
           { active_rules = 7; table_hits = 8; table_misses = 9;
-            cache_hits = 10; cache_misses = 11; cache_invalidations = 12 }))
+            cache_hits = 10; cache_misses = 11; cache_invalidations = 12;
+            classifier_probes = 13; classifier_shapes = 14 }))
+
+(* regression: values that do not fit their wire field must raise
+   Wire_error instead of silently truncating the frame (a >64 KiB echo
+   body used to encode a corrupt length prefix) *)
+let test_encode_rejects_oversize () =
+  let rejects name msg =
+    Alcotest.(check bool) name true
+      (match Wire.encode ~xid:1 msg with
+       | exception Wire.Wire_error _ -> true
+       | _ -> false)
+  in
+  rejects "echo body over 64 KiB"
+    (Message.Echo_request (String.make 0x10000 'x'));
+  rejects "payload size over u16"
+    (Message.Packet_in
+       { in_port = 1; reason = No_match;
+         packet = { payload with size = 0x10000 } });
+  rejects "negative u16" (Message.Port_status { ps_port = -1; ps_reason = Port_up });
+  (* a 64 KiB - 1 body still exceeds the 16-bit *frame* length with the
+     header; the largest encodable echo is 0xffff - 8 - 2 bytes *)
+  let fits = Message.Echo_request (String.make (0xffff - 10) 'x') in
+  Alcotest.(check bool) "largest frame still encodes" true
+    (match Wire.encode ~xid:1 fits with _ -> true
+     | exception Wire.Wire_error _ -> false)
 
 let test_rejects_garbage () =
   let check name b =
@@ -189,6 +214,8 @@ let suites =
           test_port_status_flow_removed;
         Alcotest.test_case "stats" `Quick test_stats;
         Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+        Alcotest.test_case "rejects oversize values" `Quick
+          test_encode_rejects_oversize;
         Alcotest.test_case "length field" `Quick test_length_field;
         Alcotest.test_case "timeout precision" `Quick
           test_timeout_encoding_precision;

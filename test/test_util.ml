@@ -92,6 +92,41 @@ let test_heap_interleaved () =
   let _, d = Heap.pop h in
   Alcotest.(check (list int)) "interleaved" [ 1; 0; 2; 3 ] [ a; b; c; d ]
 
+(* regression: pop and clear must null out vacated slots — the heap
+   used to keep popped entries alive in its backing array, retaining
+   every executed simulator event for the heap's lifetime *)
+let test_heap_releases_popped () =
+  let h = Heap.create () in
+  let live = Weak.create 4 in
+  List.iteri
+    (fun i k ->
+      let payload = ref (k, String.make 64 'p') in
+      Weak.set live i (Some payload);
+      Heap.push h k payload)
+    [ 4.0; 2.0; 1.0; 3.0 ];
+  (* pop two, clear the rest; no payload may survive a full GC *)
+  ignore (Heap.pop h);
+  ignore (Heap.pop h);
+  Heap.clear h;
+  Gc.full_major ();
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d collected" i)
+      false (Weak.check live i)
+  done;
+  (* draining via pop alone must release too *)
+  Heap.push h 1.0 (ref (1.0, "x"));
+  Heap.push h 2.0 (ref (2.0, "y"));
+  ignore (Heap.pop h);
+  ignore (Heap.pop h);
+  let w = Weak.create 1 in
+  let p = ref (9.0, "z") in
+  Weak.set w 0 (Some p);
+  Heap.push h 9.0 p;
+  ignore (Heap.pop h);
+  Gc.full_major ();
+  Alcotest.(check bool) "fully popped payload collected" false (Weak.check w 0)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap drains in sorted key order" ~count:200
     QCheck.(list (float_bound_exclusive 1000.0))
@@ -249,6 +284,8 @@ let suites =
         Alcotest.test_case "FIFO on equal keys" `Quick test_heap_fifo_ties;
         Alcotest.test_case "empty behavior" `Quick test_heap_empty;
         Alcotest.test_case "interleaved push/pop" `Quick test_heap_interleaved;
+        Alcotest.test_case "releases popped payloads" `Quick
+          test_heap_releases_popped;
         QCheck_alcotest.to_alcotest prop_heap_sorts ] );
     ( "util.prng",
       [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
