@@ -132,7 +132,67 @@ let e1 () =
       row name topo "routing" (Netkat.Builder.routing_policy topo);
       row name topo "acl8-allowlist" (allowlist_policy topo 8);
       row name topo "fw8-denylist" (denylist_policy topo 8))
-    topos
+    topos;
+  (* multicore per-switch compilation: the FDD is built once, then
+     restrict + path extraction fan out over a domain pool.  Output is
+     asserted identical across pool sizes. *)
+  let n_rec = Domain.recommended_domain_count () in
+  pf "@.parallel compile_all on fattree:4 (%d recommended domains on this host):@.@."
+    n_rec;
+  let domain_counts = List.sort_uniq compare [ 1; 2; 4; n_rec ] in
+  pf "%-16s |" "policy";
+  List.iter (fun n -> pf " %9s" (Printf.sprintf "%dd-ms" n)) domain_counts;
+  pf " | %8s@." "rules";
+  pf "%s@." (String.make (29 + (10 * List.length domain_counts)) '-');
+  let topo = fst (Topo.Gen.fat_tree ~k:4 ()) in
+  let switches = Topo.Topology.switch_ids topo in
+  List.iter
+    (fun (pol_name, pol) ->
+      let baseline = ref None in
+      pf "%-16s |" pol_name;
+      List.iter
+        (fun domains ->
+          let pool = Util.Pool.create ~domains () in
+          (* best of 3: domain scheduling on oversubscribed hosts is noisy *)
+          let compiled = ref [] and t = ref infinity in
+          for _ = 1 to 3 do
+            Netkat.Fdd.clear_cache ();
+            let c, ti =
+              wall (fun () -> Netkat.Local.compile_all ~pool ~switches pol)
+            in
+            compiled := c;
+            if ti < !t then t := ti
+          done;
+          let compiled = !compiled and t = !t in
+          Util.Pool.shutdown pool;
+          (match !baseline with
+           | None ->
+             baseline :=
+               Some
+                 ( compiled,
+                   List.fold_left
+                     (fun a (_, rs) -> a + List.length rs)
+                     0 compiled )
+           | Some (reference, _) ->
+             if compiled <> reference then begin
+               pf
+                 "@.E1 FAILURE: compile_all at %d domains diverges from 1 \
+                  domain@."
+                 domains;
+               exit 1
+             end);
+          record ~experiment:"e1"
+            ~metric:
+              (Printf.sprintf "fattree:4/%s/compile-all-ms/domains-%d"
+                 pol_name domains)
+            (ms t);
+          pf " %9.1f" (ms t))
+        domain_counts;
+      pf " | %8d@."
+        (match !baseline with Some (_, r) -> r | None -> 0))
+    [ ("routing", Netkat.Builder.routing_policy topo);
+      ("acl8-allowlist", allowlist_policy topo 8);
+      ("fw8-denylist", denylist_policy topo 8) ]
 
 (* ------------------------------------------------------------------ *)
 (* E2 — flow-table lookup cost vs table size *)
@@ -258,16 +318,66 @@ let e2 () = e2_sizes [ 10; 100; 1000; 4000 ] ()
 (* small sizes + a hard pass/fail bound, cheap enough for CI *)
 let e2_smoke () = e2_sizes ~smoke:true [ 10; 100 ] ()
 
+(* CI gate for the parallel compiler: compile_all on 2 domains must
+   produce exactly the sequential output, and must not be slower than
+   sequential beyond a headroom that absorbs lock overhead and
+   single-CPU hosts (where two domains time-share one core) *)
+let e1_smoke () =
+  header "E1 smoke — parallel compile_all: equality + no-slower gate";
+  let topo = fst (Topo.Gen.fat_tree ~k:4 ()) in
+  let switches = Topo.Topology.switch_ids topo in
+  let pol = allowlist_policy topo 8 in
+  let time_with ~domains =
+    let pool = Util.Pool.create ~domains () in
+    let best = ref infinity in
+    let result = ref [] in
+    (* best of 3 so a GC pause or scheduler hiccup cannot fail CI *)
+    for _ = 1 to 3 do
+      Netkat.Fdd.clear_cache ();
+      let compiled, t =
+        wall (fun () -> Netkat.Local.compile_all ~pool ~switches pol)
+      in
+      result := compiled;
+      if t < !best then best := t
+    done;
+    Util.Pool.shutdown pool;
+    (!result, !best)
+  in
+  let seq, seq_t = time_with ~domains:1 in
+  let par, par_t = time_with ~domains:2 in
+  let count rs = List.fold_left (fun a (_, r) -> a + List.length r) 0 rs in
+  pf "sequential: %d rules in %.2f ms; 2 domains: %d rules in %.2f ms@."
+    (count seq) (ms seq_t) (count par) (ms par_t);
+  record ~experiment:"e1-smoke" ~metric:"fattree:4/acl8/sequential-ms"
+    (ms seq_t);
+  record ~experiment:"e1-smoke" ~metric:"fattree:4/acl8/domains-2-ms"
+    (ms par_t);
+  if par <> seq then begin
+    pf "SMOKE FAILURE: 2-domain compile_all diverges from sequential@.";
+    exit 1
+  end;
+  if par_t > (seq_t *. 1.25) +. 2e-3 then begin
+    pf "SMOKE FAILURE: 2 domains took %.2f ms vs sequential %.2f ms \
+        (> 1.25x + 2 ms)@."
+      (ms par_t) (ms seq_t);
+    exit 1
+  end
+  else
+    pf "smoke ok: identical rules; 2-domain time within the gate \
+        (<= 1.25x + 2 ms)@."
+
 (* ------------------------------------------------------------------ *)
 (* E3 — simulator throughput vs topology size *)
 
 let e3 () =
   header "E3 — simulator packet throughput vs topology size";
   pf "expected shape: events/sec roughly constant (heap-bound), so pkts/sec@.";
-  pf "falls with path length; larger topologies cost more per delivered packet.@.@.";
-  pf "%-12s %8s %8s | %10s %10s %12s %12s@." "topology" "switches" "hosts"
-    "delivered" "events" "events/s" "pkt-hops/s";
-  pf "%s@." (String.make 80 '-');
+  pf "falls with path length; larger topologies cost more per delivered packet.@.";
+  pf "Long-lived flows should drive the per-switch exact-match cache hit rate@.";
+  pf "toward 100%% (one miss per flow per switch).@.@.";
+  pf "%-12s %8s %8s | %10s %10s %12s %12s | %9s@." "topology" "switches"
+    "hosts" "delivered" "events" "events/s" "pkt-hops/s" "cache-hit";
+  pf "%s@." (String.make 92 '-');
   List.iter
     (fun spec ->
       let topo = Topo.Gen.of_spec spec in
@@ -275,17 +385,33 @@ let e3 () =
       ignore (Zen.install_policy net (Netkat.Builder.routing_policy topo));
       let prng = Util.Prng.create 9 in
       let _ =
-        Dataplane.Traffic.random_pairs (Zen.network net) ~prng ~flows:32
-          ~rate_pps:500.0 ~pkt_size:1000 ~stop:1.0
+        (* fixed per-flow ports: long-lived 5-tuples, so the exact-match
+           cache can do its job (one miss per flow per switch) *)
+        Dataplane.Traffic.random_pairs ~fixed_ports:true (Zen.network net)
+          ~prng ~flows:32 ~rate_pps:500.0 ~pkt_size:1000 ~stop:1.0
       in
       let events, t = wall (fun () -> Zen.run net) in
       let stats = Dataplane.Network.stats (Zen.network net) in
-      pf "%-12s %8d %8d | %10d %10d %12.0f %12.0f@." spec
+      (* flow-cache hit rate aggregated over every switch's table *)
+      let hits, misses =
+        List.fold_left
+          (fun (h, m) (sw : Dataplane.Network.switch) ->
+            (h + Flow.Table.cache_hits sw.table,
+             m + Flow.Table.cache_misses sw.table))
+          (0, 0)
+          (Dataplane.Network.switch_list (Zen.network net))
+      in
+      let hit_pct =
+        100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses))
+      in
+      record ~experiment:"e3" ~metric:(spec ^ "/cache-hit-pct") hit_pct;
+      pf "%-12s %8d %8d | %10d %10d %12.0f %12.0f | %8.1f%%@." spec
         (Topo.Topology.switch_count topo)
         (Topo.Topology.host_count topo)
         stats.delivered events
         (float_of_int events /. t)
-        (float_of_int stats.forwarded /. t))
+        (float_of_int stats.forwarded /. t)
+        hit_pct)
     [ "ring:4"; "ring:16"; "ring:64"; "fattree:4"; "grid:6x6" ]
 
 (* ------------------------------------------------------------------ *)
@@ -295,14 +421,19 @@ let e4 () =
   header "E4 — reactive (learning) vs proactive (routing) control";
   pf "expected shape: reactive pays control-channel latency on first packets@.";
   pf "(~ms flow setup) and keeps punting; proactive pre-installs everything@.";
-  pf "and sees zero packet-ins, at the cost of pushing all rules up front.@.@.";
-  pf "%-10s | %12s %12s %10s %10s %10s %10s@." "mode" "first(us)"
-    "steady(us)" "pkt-ins" "ctl-msgs" "ctl-KB" "rules";
-  pf "%s@." (String.make 84 '-');
+  pf "and sees zero packet-ins, at the cost of pushing all rules up front.@.";
+  pf "Either way the dataplane flow cache absorbs repeated headers (hit rate@.";
+  pf "polled from the switches by the monitoring app).@.@.";
+  pf "%-10s | %12s %12s %10s %10s %10s %10s %10s@." "mode" "first(us)"
+    "steady(us)" "pkt-ins" "ctl-msgs" "ctl-KB" "rules" "cache-hit";
+  pf "%s@." (String.make 95 '-');
   let run_mode name apps get_rules =
     let topo = Topo.Gen.linear ~switches:4 ~hosts_per_switch:2 () in
     let net = Zen.create topo in
-    let _rt = Zen.with_controller net (apps ()) in
+    let monitor = Controller.Monitor.create ~period:0.5 () in
+    let _rt =
+      Zen.with_controller net (apps () @ [ Controller.Monitor.app monitor ])
+    in
     Dataplane.Traffic.install_responders (Zen.network net) ;
     (* 20 pings between far hosts; first is the cold path *)
     let result =
@@ -329,10 +460,17 @@ let e4 () =
         0
         (Dataplane.Network.switch_list (Zen.network net))
     in
-    pf "%-10s | %12.0f %12.0f %10d %10d %10.1f %10d@." name (first *. 1e6)
-      (steady *. 1e6) pkt_ins stats.control_msgs
+    let hits, misses, _invalidations =
+      Controller.Monitor.cache_summary monitor
+    in
+    let hit_pct =
+      100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses))
+    in
+    record ~experiment:"e4" ~metric:(name ^ "/cache-hit-pct") hit_pct;
+    pf "%-10s | %12.0f %12.0f %10d %10d %10.1f %10d %9.1f%%@." name
+      (first *. 1e6) (steady *. 1e6) pkt_ins stats.control_msgs
       (float_of_int stats.control_bytes /. 1024.0)
-      (get_rules rules)
+      (get_rules rules) hit_pct
   in
   run_mode "reactive"
     (fun () -> [ Controller.Learning.app (Controller.Learning.create ()) ])
@@ -955,8 +1093,8 @@ let micro () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e2-smoke", e2_smoke);
-    ("micro", micro) ]
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e1-smoke", e1_smoke);
+    ("e2-smoke", e2_smoke); ("micro", micro) ]
 
 let () =
   (* pull out a --json FILE pair; remaining args name experiments *)

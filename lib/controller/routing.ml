@@ -52,10 +52,14 @@ let push_tables t ctx =
   let fdd = Netkat.Fdd.of_policy pol in
   let churn = ref 0 in
   let per_switch = ref [] in
+  (* per-switch compilation fans out over the domain pool; the installs
+     below stay on this domain (the control channel is not thread-safe) *)
+  let compiled =
+    Netkat.Local.rules_of_fdd_all ~switches:(Topo.Topology.switch_ids topo)
+      fdd
+  in
   List.iter
-    (fun sw ->
-      let switch_id = Topo.Topology.Node.id sw in
-      let rules = Netkat.Local.rules_of_fdd ~switch:switch_id fdd in
+    (fun (switch_id, rules) ->
       let previous = Hashtbl.find_opt t.installed switch_id in
       (match (t.incremental, previous) with
        | true, Some old_rules ->
@@ -82,7 +86,7 @@ let push_tables t ctx =
            rules);
       Hashtbl.replace t.installed switch_id rules;
       per_switch := (switch_id, List.length rules) :: !per_switch)
-    (Topo.Topology.switches topo);
+    compiled;
   t.installs <- t.installs + !churn;
   t.last_churn <- !churn;
   t.reinstalls <- t.reinstalls + 1;

@@ -122,16 +122,17 @@ let observe_occupancy t ctx =
 let install_part t ctx part ~only_vlan ~cookie ~base =
   let topo = Api.topology ctx in
   let fdd = Fdd.restrict (Packet.Fields.Vlan, only_vlan) (Fdd.of_policy part) in
-  List.iter
-    (fun sw ->
-      let switch_id = Topo.Topology.Node.id sw in
-      Local.rules_of_fdd ~switch:switch_id fdd
-      |> List.iter (fun (r : Local.rule) ->
+  (* compile every switch on the domain pool, then issue the installs
+     sequentially — the control channel is not thread-safe *)
+  Local.rules_of_fdd_all ~switches:(Topo.Topology.switch_ids topo) fdd
+  |> List.iter (fun (switch_id, rules) ->
+    List.iter
+      (fun (r : Local.rule) ->
         let pattern = { r.pattern with vlan = Some only_vlan } in
         t.installs <- t.installs + 1;
         Api.install ctx ~switch_id ~priority:(base + r.priority) ~cookie
-          pattern r.actions))
-    (Topo.Topology.switches topo)
+          pattern r.actions)
+      rules)
 
 let delete_version ctx ~cookie =
   List.iter
@@ -190,17 +191,16 @@ let naive t ctx ~prng ~max_jitter pol =
   let topo = Api.topology ctx in
   let fdd = Fdd.of_policy pol in
   t.updates_done <- t.updates_done + 1;
-  List.iter
-    (fun sw ->
-      let switch_id = Topo.Topology.Node.id sw in
-      let delay = Util.Prng.float prng max_jitter in
-      Api.schedule ctx ~delay (fun () ->
-        Api.uninstall ctx ~switch_id Flow.Pattern.any;
-        Local.rules_of_fdd ~switch:switch_id fdd
-        |> List.iter (fun (r : Local.rule) ->
+  Local.rules_of_fdd_all ~switches:(Topo.Topology.switch_ids topo) fdd
+  |> List.iter (fun (switch_id, rules) ->
+    let delay = Util.Prng.float prng max_jitter in
+    Api.schedule ctx ~delay (fun () ->
+      Api.uninstall ctx ~switch_id Flow.Pattern.any;
+      List.iter
+        (fun (r : Local.rule) ->
           t.installs <- t.installs + 1;
-          Api.install ctx ~switch_id ~priority:r.priority r.pattern r.actions)))
-    (Topo.Topology.switches topo)
+          Api.install ctx ~switch_id ~priority:r.priority r.pattern r.actions)
+        rules))
 
 (* ------------------------------------------------------------------ *)
 (* Consistent updates of globally-compiled programs.
@@ -220,17 +220,21 @@ let naive t ctx ~prng ~max_jitter pol =
    drops), which is what makes interleaving the two programs' rule sets
    safe. *)
 
-let split_global_rules fdd ~switch =
-  Local.rules_of_fdd ~switch fdd
+let split_global_rules rules =
+  rules
   |> List.filter (fun (r : Local.rule) -> r.actions <> [])
   |> List.partition (fun (r : Local.rule) ->
     r.pattern.vlan = Some Packet.Fields.vlan_none)
 
+(* (switch, (ingress, internal)) for every switch, compiled on the pool *)
+let split_global_all ctx fdd =
+  Local.rules_of_fdd_all
+    ~switches:(Topo.Topology.switch_ids (Api.topology ctx)) fdd
+  |> List.map (fun (switch_id, rules) -> (switch_id, split_global_rules rules))
+
 let install_global_rules t ctx ~cookie ~base ~ingress_bump fdd =
   List.iter
-    (fun sw ->
-      let switch_id = Topo.Topology.Node.id sw in
-      let ingress, internal = split_global_rules fdd ~switch:switch_id in
+    (fun (switch_id, (ingress, internal)) ->
       List.iter
         (fun (r : Local.rule) ->
           t.installs <- t.installs + 1;
@@ -244,7 +248,7 @@ let install_global_rules t ctx ~cookie ~base ~ingress_bump fdd =
           Api.install ctx ~switch_id ~priority:(base + r.priority) ~cookie
             r.pattern r.actions)
         internal)
-    (Topo.Topology.switches (Api.topology ctx))
+    (split_global_all ctx fdd)
 
 (** [global_install t ctx pol] — initial installation of a
     {!Netkat.Global.compile}d program (or any policy obeying the vlan
@@ -264,31 +268,29 @@ let global_two_phase t ctx pol =
   t.version <- new_version;
   let fdd = Fdd.of_policy pol in
   let base = new_version * 10000 in
+  (* compile every switch once, up front; both phases install from it *)
+  let per_switch = split_global_all ctx fdd in
   (* phase 1: tagged (internal) rules only — invisible to live traffic *)
   List.iter
-    (fun sw ->
-      let switch_id = Topo.Topology.Node.id sw in
-      let _, internal = split_global_rules fdd ~switch:switch_id in
+    (fun (switch_id, (_, internal)) ->
       List.iter
         (fun (r : Local.rule) ->
           t.installs <- t.installs + 1;
           Api.install ctx ~switch_id ~priority:(base + r.priority)
             ~cookie:new_version r.pattern r.actions)
         internal)
-    (Topo.Topology.switches (Api.topology ctx));
+    per_switch;
   (* phase 2: flip ingress; phase 3: drain the old program *)
   Api.schedule ctx ~delay:0.01 (fun () ->
     List.iter
-      (fun sw ->
-        let switch_id = Topo.Topology.Node.id sw in
-        let ingress, _ = split_global_rules fdd ~switch:switch_id in
+      (fun (switch_id, (ingress, _)) ->
         List.iter
           (fun (r : Local.rule) ->
             t.installs <- t.installs + 1;
             Api.install ctx ~switch_id ~priority:(base + 1000 + r.priority)
               ~cookie:new_version r.pattern r.actions)
           ingress)
-      (Topo.Topology.switches (Api.topology ctx));
+      per_switch;
     Api.schedule ctx ~delay:0.01 (fun () -> observe_occupancy t ctx);
     Api.schedule ctx ~delay:t.drain (fun () ->
       delete_version ctx ~cookie:old_version;
@@ -297,12 +299,12 @@ let global_two_phase t ctx pol =
 (** Plain (unversioned) initial install, for the naive baseline runs. *)
 let install_plain t ctx pol =
   let fdd = Fdd.of_policy pol in
-  List.iter
-    (fun sw ->
-      let switch_id = Topo.Topology.Node.id sw in
-      Local.rules_of_fdd ~switch:switch_id fdd
-      |> List.iter (fun (r : Local.rule) ->
+  Local.rules_of_fdd_all
+    ~switches:(Topo.Topology.switch_ids (Api.topology ctx)) fdd
+  |> List.iter (fun (switch_id, rules) ->
+    List.iter
+      (fun (r : Local.rule) ->
         t.installs <- t.installs + 1;
-        Api.install ctx ~switch_id ~priority:r.priority r.pattern r.actions))
-    (Topo.Topology.switches (Api.topology ctx));
+        Api.install ctx ~switch_id ~priority:r.priority r.pattern r.actions)
+      rules);
   Api.schedule ctx ~delay:0.05 (fun () -> observe_occupancy t ctx)

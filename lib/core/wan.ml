@@ -191,18 +191,16 @@ let validate ?(subflows = 8) ?(pkt_size = 1000) ?(duration = 2.0) topo alloc =
   let flows = subflows_of_alloc topo alloc ~subflows in
   let pol = policy_of_subflows topo flows in
   let network = Dataplane.Network.create topo in
-  let fdd = Netkat.Fdd.of_policy pol in
-  List.iter
-    (fun sw ->
-      let switch_id = Topo.Topology.Node.id sw in
-      let table = (Dataplane.Network.switch network switch_id).table in
-      List.iter
-        (fun (r : Netkat.Local.rule) ->
-          Flow.Table.add table
-            (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
-               ~actions:r.actions ()))
-        (Netkat.Local.rules_of_fdd ~switch:switch_id fdd))
-    (Topo.Topology.switches topo);
+  (* compile all switches on the domain pool, then load the tables *)
+  Netkat.Local.compile_all ~switches:(Topo.Topology.switch_ids topo) pol
+  |> List.iter (fun (switch_id, rules) ->
+    let table = (Dataplane.Network.switch network switch_id).table in
+    List.iter
+      (fun (r : Netkat.Local.rule) ->
+        Flow.Table.add table
+          (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+             ~actions:r.actions ()))
+      rules);
   drive network flows ~pkt_size ~duration
 
 (** Aggregate deviation: total measured / total allocated. *)

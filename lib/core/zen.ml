@@ -40,22 +40,22 @@ let now t = Dataplane.Network.now t.network
     proactive, no controller" mode).  Returns total rules installed.
     @raise Netkat.Local.Not_local on policies with links. *)
 let install_policy t pol =
-  let fdd = Netkat.Fdd.of_policy pol in
-  List.fold_left
-    (fun acc sw ->
-      let switch_id = Topo.Topology.Node.id sw in
-      let rules = Netkat.Local.rules_of_fdd ~switch:switch_id fdd in
-      let table = (Dataplane.Network.switch t.network switch_id).table in
-      Flow.Table.clear table;
-      List.iter
-        (fun (r : Netkat.Local.rule) ->
-          Flow.Table.add table
-            (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
-               ~actions:r.actions ()))
-        rules;
-      acc + List.length rules)
-    0
-    (Topo.Topology.switches (topology t))
+  (* per-switch compilation runs on the shared domain pool; the tables
+     are loaded sequentially here (they belong to the simulator) *)
+  Netkat.Local.compile_all
+    ~switches:(Topo.Topology.switch_ids (topology t)) pol
+  |> List.fold_left
+       (fun acc (switch_id, rules) ->
+         let table = (Dataplane.Network.switch t.network switch_id).table in
+         Flow.Table.clear table;
+         List.iter
+           (fun (r : Netkat.Local.rule) ->
+             Flow.Table.add table
+               (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+                  ~actions:r.actions ()))
+           rules;
+         acc + List.length rules)
+       0
 
 (** [install_policy_string t s] — as {!install_policy}, from concrete
     syntax.  @raise Netkat.Parser.Parse_error on bad syntax. *)

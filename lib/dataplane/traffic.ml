@@ -129,19 +129,24 @@ let ping net ~src ~dst ~count ~interval =
 
 (** [random_pairs net ~prng ~flows ~rate_pps ~stop] starts [flows] CBR
     flows between uniformly chosen distinct host pairs; returns the
-    per-flow sent counters. *)
-let random_pairs net ~prng ~flows ~rate_pps ~pkt_size ~stop =
+    per-flow sent counters.  By default every packet carries a fresh
+    [tp_src] (an adversarial workload for exact-match caches);
+    [~fixed_ports:true] pins one [tp_src] per flow instead, modelling
+    long-lived 5-tuple flows. *)
+let random_pairs ?(fixed_ports = false) net ~prng ~flows ~rate_pps ~pkt_size
+    ~stop =
   let ids = Array.of_list (List.map (fun (h : Network.host) -> h.host_id)
                              (Network.host_list net)) in
   if Array.length ids < 2 then invalid_arg "Traffic.random_pairs: < 2 hosts";
-  List.init flows (fun _ ->
+  List.init flows (fun i ->
     let src = Util.Prng.pick prng ids in
     let rec pick_dst () =
       let d = Util.Prng.pick prng ids in
       if d = src then pick_dst () else d
     in
     let dst = pick_dst () in
-    cbr net { (default_flow ~src ~dst) with rate_pps; pkt_size; stop })
+    let tp_src = if fixed_ports then Some (20000 + i) else None in
+    cbr net { (default_flow ~src ~dst) with rate_pps; pkt_size; stop; tp_src })
 
 (** Total packets received across all hosts. *)
 let total_received net =

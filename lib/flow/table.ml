@@ -22,11 +22,13 @@
     tuple-space-search classifier: rules are grouped by pattern
     {!Pattern.shape} (the set of constrained fields, CIDR prefixes
     bucketed per length), one hashtable per shape keyed on the masked
-    header tuple, and a lookup probes each shape's table once and takes
-    the highest-priority winner.  Cost is O(distinct shapes), not
-    O(rules); the shape tables are maintained incrementally on
-    add/remove/expire, never rebuilt.  Cache hit/miss/invalidation and
-    classifier probe/shape counters are exposed for monitoring. *)
+    header tuple.  Shapes are probed in descending max-priority order,
+    and probing stops early once the best match so far strictly beats
+    the next shape's ceiling, so a lookup costs at most one probe per
+    distinct shape and often just one probe total.  The shape tables and
+    their probe order are maintained incrementally on add/remove/expire,
+    never rebuilt.  Cache hit/miss/invalidation and classifier
+    probe/shape counters are exposed for monitoring. *)
 
 open Packet
 
@@ -61,6 +63,11 @@ type shape_entry = {
   se_shape : Pattern.shape;
   buckets : rule list Cache.t;
   mutable se_rules : int;  (* rules currently filed under this shape *)
+  mutable se_max_prio : int;
+      (* ceiling: the highest priority filed under this shape.  The
+         classifier probes shapes in descending ceiling order and stops
+         as soon as the best match so far strictly beats the next
+         ceiling. *)
 }
 
 (* Bound on resident cache entries (live + stale); reaching it resets
@@ -81,6 +88,9 @@ type t = {
   mutable invalidations : int;
   (* tuple-space classifier: pattern shape -> per-shape hashtable *)
   shapes : (Pattern.shape, shape_entry) Hashtbl.t;
+  (* the same entries sorted by descending [se_max_prio] — the probe
+     order; maintained incrementally on add/remove/expire *)
+  mutable shape_order : shape_entry list;
   mutable probes : int;  (* shape-table probes performed by the classifier *)
   mutable next_seq : int;
 }
@@ -89,7 +99,7 @@ let create ?capacity () =
   { rules = []; n_rules = 0; capacity; misses = 0; hits = 0;
     cache = Cache.create 256; generation = 0; cache_hits = 0;
     cache_misses = 0; invalidations = 0; shapes = Hashtbl.create 16;
-    probes = 0; next_seq = 0 }
+    shape_order = []; probes = 0; next_seq = 0 }
 
 let size t = t.n_rules
 let rules t = t.rules
@@ -121,13 +131,31 @@ let invalidate t =
 let rule_before a b =
   a.priority > b.priority || (a.priority = b.priority && a.seq < b.seq)
 
+(* Probe-order maintenance: [t.shape_order] holds every live entry in
+   descending [se_max_prio] order.  Shapes are few (E2: single digits on
+   realistic tables), so remove-and-reinsert on a ceiling change is
+   cheap. *)
+let order_remove t se = t.shape_order <- List.filter (fun e -> e != se) t.shape_order
+
+let order_insert t se =
+  let rec ins = function
+    | [] -> [ se ]
+    | e :: rest when se.se_max_prio > e.se_max_prio -> se :: e :: rest
+    | e :: rest -> e :: ins rest
+  in
+  t.shape_order <- ins t.shape_order
+
 let classifier_insert t r =
   let shape = Pattern.shape_of r.pattern in
   let se =
     match Hashtbl.find_opt t.shapes shape with
     | Some se -> se
     | None ->
-      let se = { se_shape = shape; buckets = Cache.create 16; se_rules = 0 } in
+      (* filed into [shape_order] by the ceiling update below *)
+      let se =
+        { se_shape = shape; buckets = Cache.create 16; se_rules = 0;
+          se_max_prio = min_int }
+      in
       Hashtbl.replace t.shapes shape se;
       se
   in
@@ -141,7 +169,12 @@ let classifier_insert t r =
     | x :: rest -> x :: ins rest
   in
   Cache.replace se.buckets key (ins bucket);
-  se.se_rules <- se.se_rules + 1
+  se.se_rules <- se.se_rules + 1;
+  if r.priority > se.se_max_prio then begin
+    order_remove t se;
+    se.se_max_prio <- r.priority;
+    order_insert t se
+  end
 
 let classifier_remove t r =
   let shape = Pattern.shape_of r.pattern in
@@ -156,25 +189,59 @@ let classifier_remove t r =
         | [] -> Cache.remove se.buckets key
         | rest -> Cache.replace se.buckets key rest);
        se.se_rules <- se.se_rules - 1;
-       if se.se_rules = 0 then Hashtbl.remove t.shapes shape)
+       if se.se_rules = 0 then begin
+         Hashtbl.remove t.shapes shape;
+         order_remove t se
+       end
+       else if r.priority = se.se_max_prio then begin
+         (* the ceiling may have dropped: every bucket is sorted with
+            its highest priority first, so the new ceiling is the max
+            over bucket heads *)
+         let m =
+           Cache.fold
+             (fun _ bucket acc ->
+               match bucket with
+               | x :: _ when x.priority > acc -> x.priority
+               | _ -> acc)
+             se.buckets min_int
+         in
+         if m <> se.se_max_prio then begin
+           order_remove t se;
+           se.se_max_prio <- m;
+           order_insert t se
+         end
+       end)
 
-(** [lookup_tuple t h] is the cold path: one probe per distinct pattern
-    shape, highest-priority (then earliest-installed) winner.  Agrees
-    with {!lookup_linear} on every header; bypasses (and does not
+(** [lookup_tuple t h] is the cold path: shapes are probed in descending
+    max-priority (ceiling) order, and probing stops as soon as the best
+    match so far strictly beats the next shape's ceiling — equal
+    ceilings are still probed, because an equal-priority rule installed
+    earlier wins the tie.  At most one probe per distinct pattern shape;
+    agrees with {!lookup_linear} on every header; bypasses (and does not
     populate) the flow cache. *)
 let lookup_tuple t (h : Headers.t) =
-  let best = ref None in
-  Hashtbl.iter
-    (fun shape se ->
-      t.probes <- t.probes + 1;
-      match Cache.find_opt se.buckets (Pattern.shape_project shape h) with
-      | Some (r :: _) ->
-        (match !best with
-         | Some b when rule_before b r -> ()
-         | Some _ | None -> best := Some r)
-      | Some [] | None -> ())
-    t.shapes;
-  !best
+  let rec go best = function
+    | [] -> best
+    | se :: rest ->
+      (match best with
+       | Some (b : rule) when b.priority > se.se_max_prio ->
+         (* every remaining shape has a ceiling <= this one: done *)
+         best
+       | _ ->
+         t.probes <- t.probes + 1;
+         let best =
+           match
+             Cache.find_opt se.buckets (Pattern.shape_project se.se_shape h)
+           with
+           | Some (r :: _) ->
+             (match best with
+              | Some b when rule_before b r -> best
+              | Some _ | None -> Some r)
+           | Some [] | None -> best
+         in
+         go best rest)
+  in
+  go None t.shape_order
 
 exception Table_full
 
@@ -272,6 +339,7 @@ let clear t =
     t.rules <- [];
     t.n_rules <- 0;
     Hashtbl.reset t.shapes;
+    t.shape_order <- [];
     invalidate t
   end
 

@@ -21,9 +21,53 @@
     memoize through persistent global caches keyed on [(op, uid, uid)]
     that survive across calls — repeated compilation of overlapping
     policies (the common controller workload) hits warm entries —
-    and are reset by {!clear_cache}. *)
+    and are reset by {!clear_cache}.
+
+    {b Domain safety.}  The intern, hash-cons and memo tables are global
+    mutable state, so multi-domain use (the parallel per-switch compiler
+    in {!Local}) must be wrapped in {!parallel_region}: inside a region
+    every table access takes that table's mutex, with uids drawn from
+    [Atomic] counters, so concurrent construction stays canonical
+    (physical equality still coincides with diagram equality).  Outside
+    any region the locks are skipped entirely — the single-domain fast
+    path pays one atomic load per table access — which is sound because
+    the region is entered {e before} worker domains touch the tables and
+    left {e after} they are joined.  Memo-cache fills race benignly: two
+    domains may compute the same entry, but hash-consing makes both
+    results the same physical node.  {!clear_cache} must not run
+    concurrently with a region. *)
 
 open Packet
+
+(* ------------------------------------------------------------------ *)
+(* Domain safety: per-table mutexes, engaged only inside a region *)
+
+module Shared = struct
+  (* count of live parallel regions; 0 = single-domain, locks skipped *)
+  let regions = Atomic.make 0
+
+  let locking () = Atomic.get regions > 0
+
+  (* [critical m f] runs [f] under [m] when a parallel region is open.
+     The critical sections below never nest on one mutex: memo lookups
+     and memo fills are separate sections, and recursive construction
+     happens between them. *)
+  let critical m f =
+    if locking () then begin
+      Mutex.lock m;
+      match f () with
+      | r -> Mutex.unlock m; r
+      | exception e -> Mutex.unlock m; raise e
+    end
+    else f ()
+end
+
+(** [parallel_region f] runs [f] with the global tables in locked mode;
+    any code that touches this module from more than one domain must do
+    so inside [f].  Regions nest and may overlap across domains. *)
+let parallel_region f =
+  Atomic.incr Shared.regions;
+  Fun.protect ~finally:(fun () -> Atomic.decr Shared.regions) f
 
 (** A single action: a partial header update, sorted by field, at most
     one binding per field.  Applying it to a packet yields one packet.
@@ -47,18 +91,21 @@ module Act = struct
   end)
 
   let intern_tbl : t Intern.t = Intern.create 256
-  let next_aid = ref 0
+  let intern_mutex = Mutex.create ()
+  let next_aid = Atomic.make 0
 
-  (* [binds] must be sorted by field with one binding per field. *)
+  (* [binds] must be sorted by field with one binding per field.  The
+     find-or-add is one critical section, so concurrent interning of the
+     same update yields one record. *)
   let intern binds =
     let ikey = List.map (fun (f, v) -> (Fields.index f, v)) binds in
-    match Intern.find_opt intern_tbl ikey with
-    | Some t -> t
-    | None ->
-      let t = { aid = !next_aid; binds; ikey } in
-      incr next_aid;
-      Intern.add intern_tbl ikey t;
-      t
+    Shared.critical intern_mutex (fun () ->
+      match Intern.find_opt intern_tbl ikey with
+      | Some t -> t
+      | None ->
+        let t = { aid = Atomic.fetch_and_add next_aid 1; binds; ikey } in
+        Intern.add intern_tbl ikey t;
+        t)
 
   (** The identity update. *)
   let id : t = intern []
@@ -159,32 +206,36 @@ module Leaf_tbl = Hashtbl.Make (Leaf_key)
 
 let leaf_tbl : t Leaf_tbl.t = Leaf_tbl.create 256
 let branch_tbl : (int * int * int * int, t) Hashtbl.t = Hashtbl.create 256
-let next_uid = ref 0
+let leaf_mutex = Mutex.create ()
+let branch_mutex = Mutex.create ()
+let next_uid = Atomic.make 0
 
 let fresh ~hash node =
-  let t = { uid = !next_uid; hash; node } in
-  incr next_uid;
-  t
+  { uid = Atomic.fetch_and_add next_uid 1; hash; node }
 
+(* Find-or-add under the table's mutex: hash-consing stays canonical
+   when several domains build the same node. *)
 let leaf acts =
-  match Leaf_tbl.find_opt leaf_tbl acts with
-  | Some t -> t
-  | None ->
-    let t = fresh ~hash:(hash_acts acts) (Leaf acts) in
-    Leaf_tbl.add leaf_tbl acts t;
-    t
+  Shared.critical leaf_mutex (fun () ->
+    match Leaf_tbl.find_opt leaf_tbl acts with
+    | Some t -> t
+    | None ->
+      let t = fresh ~hash:(hash_acts acts) (Leaf acts) in
+      Leaf_tbl.add leaf_tbl acts t;
+      t)
 
 (** [branch test tru fls] hash-conses, collapsing redundant tests. *)
 let branch ((f, v) as test) tru fls =
   if tru == fls then tru
   else begin
     let key = (Fields.index f, v, tru.uid, fls.uid) in
-    match Hashtbl.find_opt branch_tbl key with
-    | Some t -> t
-    | None ->
-      let t = fresh ~hash:(Hashtbl.hash key) (Branch (test, tru, fls)) in
-      Hashtbl.add branch_tbl key t;
-      t
+    Shared.critical branch_mutex (fun () ->
+      match Hashtbl.find_opt branch_tbl key with
+      | Some t -> t
+      | None ->
+        let t = fresh ~hash:(Hashtbl.hash key) (Branch (test, tru, fls)) in
+        Hashtbl.add branch_tbl key t;
+        t)
   end
 
 let drop = leaf ActSet.empty
@@ -205,6 +256,16 @@ let op_act_seq = 3
 
 let binop_cache : (int * int * int, t) Hashtbl.t = Hashtbl.create 4096
 let restrict_cache : (int * int * int, t) Hashtbl.t = Hashtbl.create 256
+let binop_mutex = Mutex.create ()
+let restrict_mutex = Mutex.create ()
+
+(* Memo probe/fill as separate critical sections; the recursive
+   construction between them runs unlocked.  Concurrent fills of one key
+   race benignly (deterministic ops + canonical nodes), and [replace]
+   keeps the table duplicate-free. *)
+let memo_find m tbl key = Shared.critical m (fun () -> Hashtbl.find_opt tbl key)
+let memo_fill m tbl key v =
+  Shared.critical m (fun () -> Hashtbl.replace tbl key v)
 
 (** Sizes of the internal tables:
     [(leaves, branches, binop cache, restrict cache)]. *)
@@ -216,7 +277,8 @@ let cache_stats () =
     benchmark runs to measure cold construction).  Existing diagrams
     remain usable but will no longer share with new ones; [drop] and
     [ident] stay canonical.  Interned actions are kept — their ids are
-    canonical for the whole process. *)
+    canonical for the whole process.  Must not run concurrently with a
+    {!parallel_region}. *)
 let clear_cache () =
   Leaf_tbl.reset leaf_tbl;
   Hashtbl.reset branch_tbl;
@@ -262,7 +324,7 @@ let apply ~tag ~commutative op =
     | _ ->
       let a, b = if commutative && a.uid > b.uid then (b, a) else (a, b) in
       let key = (tag, a.uid, b.uid) in
-      (match Hashtbl.find_opt binop_cache key with
+      (match memo_find binop_mutex binop_cache key with
        | Some r -> r
        | None ->
          let test = min_root a b in
@@ -270,7 +332,7 @@ let apply ~tag ~commutative op =
            branch test (go (pos test a) (pos test b))
              (go (neg test a) (neg test b))
          in
-         Hashtbl.add binop_cache key r;
+         memo_fill binop_mutex binop_cache key r;
          r)
   in
   go
@@ -315,7 +377,7 @@ let rec act_seq act d =
   if Act.equal act Act.id then d
   else begin
     let key = (op_act_seq, Act.uid act, d.uid) in
-    match Hashtbl.find_opt binop_cache key with
+    match memo_find binop_mutex binop_cache key with
     | Some r -> r
     | None ->
       let r =
@@ -326,7 +388,7 @@ let rec act_seq act d =
            | Some v' -> if v' = v then act_seq act tru else act_seq act fls
            | None -> cond (f, v) (act_seq act tru) (act_seq act fls))
       in
-      Hashtbl.add binop_cache key r;
+      memo_fill binop_mutex binop_cache key r;
       r
   end
 
@@ -337,7 +399,7 @@ let rec seq a b =
   else if a == drop || b == drop then drop
   else begin
     let key = (op_seq, a.uid, b.uid) in
-    match Hashtbl.find_opt binop_cache key with
+    match memo_find binop_mutex binop_cache key with
     | Some r -> r
     | None ->
       let r =
@@ -348,7 +410,7 @@ let rec seq a b =
             ActSet.fold (fun act acc -> union acc (act_seq act b)) acts drop
         | Branch (test, tru, fls) -> cond test (seq tru b) (seq fls b)
       in
-      Hashtbl.add binop_cache key r;
+      memo_fill binop_mutex binop_cache key r;
       r
   end
 
@@ -427,14 +489,14 @@ let restrict (f, v) d =
       if Fields.compare g f > 0 then d
       else begin
         let key = (fi, v, d.uid) in
-        match Hashtbl.find_opt restrict_cache key with
+        match memo_find restrict_mutex restrict_cache key with
         | Some r -> r
         | None ->
           let r =
             if Fields.equal g f then if u = v then go tru else go fls
             else branch (g, u) (go tru) (go fls)
           in
-          Hashtbl.add restrict_cache key r;
+          memo_fill restrict_mutex restrict_cache key r;
           r
       end
   in

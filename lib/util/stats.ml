@@ -32,13 +32,18 @@ module Online = struct
 end
 
 (** [percentile xs p] returns the [p]-th percentile (0..100) of [xs] using
-    linear interpolation between closest ranks.
-    @raise Invalid_argument on an empty list or out-of-range [p]. *)
+    linear interpolation between closest ranks.  Sorting uses
+    {!Float.compare}, so [-0.] and [0.] order deterministically; a nan
+    sample has no defined rank and is rejected rather than silently
+    landing wherever the sort left it.
+    @raise Invalid_argument on an empty list, out-of-range [p], or a nan
+    sample. *)
 let percentile xs p =
   if xs = [] then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  if List.exists Float.is_nan xs then invalid_arg "Stats.percentile: nan";
   let arr = Array.of_list xs in
-  Array.sort compare arr;
+  Array.sort Float.compare arr;
   let n = Array.length arr in
   if n = 1 then arr.(0)
   else begin

@@ -447,7 +447,9 @@ let test_shape_table_maintenance () =
   Table.clear t;
   Alcotest.(check int) "clear empties shapes" 0 (Table.shape_count t)
 
-(* the classifier probes once per shape, independent of rule count *)
+(* shapes are probed in descending max-priority order with early exit:
+   a hit in the top shape costs one probe regardless of rule or shape
+   count; only a miss there falls through to lower-ceiling shapes *)
 let test_classifier_probe_cost () =
   let t = Table.create () in
   for i = 1 to 100 do
@@ -458,12 +460,31 @@ let test_classifier_probe_cost () =
   done;
   Table.add t (mk ~priority:0 Pattern.any (Action.forward 2));
   Alcotest.(check int) "two shapes for 101 rules" 2 (Table.shape_count t);
+  (* hdr's dst_host is 9, matching the eth_dst shape (ceiling 100): that
+     shape is probed first and prio 9 > ceiling 0 of the catch-all, so
+     the search stops after a single probe *)
   let before = Table.classifier_probes t in
   (match Table.lookup_tuple t hdr with
    | Some r -> Alcotest.(check int) "winner found" 9 r.priority
    | None -> Alcotest.fail "expected a match");
-  Alcotest.(check int) "one probe per shape" 2
-    (Table.classifier_probes t - before)
+  Alcotest.(check int) "early exit after top shape" 1
+    (Table.classifier_probes t - before);
+  (* a header outside the eth_dst rules misses the top shape and falls
+     through to the catch-all: two probes *)
+  let stranger = Headers.set hdr Fields.Eth_dst (Mac.of_host_id 999) in
+  let before = Table.classifier_probes t in
+  (match Table.lookup_tuple t stranger with
+   | Some r -> Alcotest.(check int) "catch-all wins" 0 r.priority
+   | None -> Alcotest.fail "expected the catch-all to match");
+  Alcotest.(check int) "fallthrough probes both shapes" 2
+    (Table.classifier_probes t - before);
+  (* removing the ceiling rule of the top shape recomputes its ceiling
+     (100 -> 99) without disturbing lookups *)
+  Table.remove_strict t ~priority:100
+    ~pattern:{ Pattern.any with eth_dst = Some (Mac.of_host_id 100) };
+  (match Table.lookup_tuple t hdr with
+   | Some r -> Alcotest.(check int) "winner after ceiling removal" 9 r.priority
+   | None -> Alcotest.fail "expected a match after removal")
 
 (* longest-prefix-style stacks resolve by priority across shapes *)
 let test_classifier_prefix_priorities () =

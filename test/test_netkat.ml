@@ -515,6 +515,79 @@ let test_naive_unsupported () =
      | exception Naive.Unsupported _ -> true
      | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel compilation *)
+
+(* compile_all must be bit-for-bit the sequential per-switch result —
+   same switches in the same order, same rules, same priorities — for
+   every pool size, including the inline size-1 path *)
+let test_compile_all_equals_sequential () =
+  let switches = [ 1; 2; 3; 4 ] in
+  let rand = Random.State.make [| 0xC0FFEE |] in
+  let pols = QCheck.Gen.generate ~n:60 ~rand local_pol_gen in
+  List.iter
+    (fun domains ->
+      let pool = Util.Pool.create ~domains () in
+      Fun.protect ~finally:(fun () -> Util.Pool.shutdown pool) @@ fun () ->
+      List.iter
+        (fun pol ->
+          let sequential =
+            List.map (fun sw -> (sw, Local.compile ~switch:sw pol)) switches
+          in
+          let parallel = Local.compile_all ~pool ~switches pol in
+          if parallel <> sequential then
+            Alcotest.failf "compile_all diverges at %d domains on %s" domains
+              (Syntax.pol_to_string pol);
+          let expected_total =
+            List.fold_left
+              (fun acc (_, rules) -> acc + List.length rules)
+              0 sequential
+          in
+          Alcotest.(check int) "total_rules agrees" expected_total
+            (Local.total_rules ~pool ~switches pol))
+        pols)
+    [ 1; 2; 4 ]
+
+(* hammer the shared intern / hash-cons / memo tables from four domains
+   at once inside a parallel_region: every domain compiles the same
+   policies concurrently and must come back with the canonical
+   (physically equal) diagrams, and evaluation must match the
+   single-domain compile *)
+let test_fdd_multidomain_stress () =
+  let rand = Random.State.make [| 17 |] in
+  let pols = QCheck.Gen.generate ~n:30 ~rand local_pol_gen in
+  let preds = QCheck.Gen.generate ~n:30 ~rand gen_pred in
+  let work () =
+    List.map2
+      (fun pol pred ->
+        let d = Fdd.of_policy pol in
+        let p = Fdd.of_pred pred in
+        let combined = Fdd.seq p (Fdd.union d (Fdd.restrict (Fields.Switch, 1) d)) in
+        (d, combined))
+      pols preds
+  in
+  let results =
+    Fdd.parallel_region (fun () ->
+      List.init 4 (fun _ -> Domain.spawn work) |> List.map Domain.join)
+  in
+  let reference = work () in
+  List.iteri
+    (fun i per_domain ->
+      List.iter2
+        (fun (d, c) (d', c') ->
+          if not (d == d' && c == c') then
+            Alcotest.failf "domain %d produced a non-canonical FDD" i)
+        reference per_domain)
+    results;
+  (* spot-check semantics survived the concurrent construction *)
+  let h = Headers.default in
+  List.iter2
+    (fun pol (d, _) ->
+      Alcotest.check headers_list "eval matches semantics"
+        (hset_to_list (Semantics.eval pol h))
+        (Fdd.eval d h |> List.sort_uniq Headers.compare))
+    pols reference
+
 let suites =
   [ ( "netkat.syntax",
       [ Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
@@ -553,6 +626,11 @@ let suites =
           test_local_negation_via_shadowing;
         Alcotest.test_case "table loading" `Quick test_local_table_loading;
         QCheck_alcotest.to_alcotest prop_table_equals_semantics ] );
+    ( "netkat.parallel",
+      [ Alcotest.test_case "compile_all = sequential (1/2/4 domains)" `Quick
+          test_compile_all_equals_sequential;
+        Alcotest.test_case "multi-domain fdd stress" `Quick
+          test_fdd_multidomain_stress ] );
     ( "netkat.naive",
       [ Alcotest.test_case "agrees on routing" `Quick
           test_naive_agrees_on_routing;

@@ -215,7 +215,19 @@ let test_percentile_errors () =
     (fun () -> ignore (Stats.percentile [] 50.0));
   Alcotest.check_raises "range"
     (Invalid_argument "Stats.percentile: p out of range") (fun () ->
-      ignore (Stats.percentile [ 1.0 ] 101.0))
+      ignore (Stats.percentile [ 1.0 ] 101.0));
+  (* nan has no rank: reject it rather than letting the sort scatter it *)
+  Alcotest.check_raises "nan" (Invalid_argument "Stats.percentile: nan")
+    (fun () -> ignore (Stats.percentile [ 1.0; Float.nan; 2.0 ] 50.0))
+
+let test_percentile_float_order () =
+  (* Float.compare (not polymorphic compare) must drive the sort: -0. and
+     0. compare equal polymorphically but order deterministically here,
+     and negatives sort before positives *)
+  let xs = [ 0.0; -0.0; -1.0; 1.0 ] in
+  checkf "min is -1" (-1.0) (Stats.percentile xs 0.0);
+  checkf "max is 1" 1.0 (Stats.percentile xs 100.0);
+  checkf "median straddles zero" 0.0 (Stats.percentile xs 50.0)
 
 let test_jain () =
   checkf "equal is 1" 1.0 (Stats.jain_fairness [ 5.0; 5.0; 5.0 ]);
@@ -251,6 +263,50 @@ let test_series_rate () =
   Stats.Series.add s ~time:2.0 ~value:10.0;
   checkf "rate" 5.0 (Stats.Series.rate s);
   check "length" 2 (Stats.Series.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_map_order () =
+  let p = Pool.create ~domains:4 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  check "size" 4 (Pool.size p);
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "order preserved"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map p xs ~f:(fun x -> x * x));
+  Alcotest.(check (list int)) "empty" [] (Pool.map p [] ~f:(fun x -> x));
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map p [ 7 ] ~f:succ)
+
+let test_pool_single_domain_inline () =
+  (* a size-1 pool spawns no workers and runs f on the caller *)
+  let p = Pool.create ~domains:1 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let caller = Domain.self () in
+  let seen = Pool.map p [ 1; 2; 3 ] ~f:(fun _ -> Domain.self ()) in
+  Alcotest.(check bool) "inline on caller" true
+    (List.for_all (fun d -> d = caller) seen)
+
+let test_pool_exception () =
+  let p = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  Alcotest.check_raises "propagates" (Failure "boom") (fun () ->
+      ignore (Pool.map p [ 1; 2; 3 ] ~f:(fun x ->
+          if x = 2 then failwith "boom" else x)));
+  (* the pool survives a failed batch *)
+  Alcotest.(check (list int)) "usable after failure" [ 2; 4 ]
+    (Pool.map p [ 1; 2 ] ~f:(fun x -> x * 2))
+
+let test_pool_reuse () =
+  let p = Pool.create ~domains:3 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  for round = 1 to 5 do
+    let xs = List.init (10 * round) Fun.id in
+    check
+      (Printf.sprintf "round %d" round)
+      (List.fold_left ( + ) 0 (List.map succ xs))
+      (List.fold_left ( + ) 0 (Pool.map p xs ~f:succ))
+  done
 
 let prop_jain_bounds =
   QCheck.Test.make ~name:"jain fairness lies in [1/n, 1]" ~count:200
@@ -302,10 +358,19 @@ let suites =
       [ Alcotest.test_case "online mean/variance" `Quick test_online_mean_var;
         Alcotest.test_case "percentiles" `Quick test_percentile;
         Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+        Alcotest.test_case "percentile float order" `Quick
+          test_percentile_float_order;
         Alcotest.test_case "jain fairness" `Quick test_jain;
         Alcotest.test_case "histogram buckets" `Quick test_histogram;
         Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
         Alcotest.test_case "ewma" `Quick test_ewma;
         Alcotest.test_case "series rate" `Quick test_series_rate;
         QCheck_alcotest.to_alcotest prop_jain_bounds;
-        QCheck_alcotest.to_alcotest prop_percentile_monotone ] ) ]
+        QCheck_alcotest.to_alcotest prop_percentile_monotone ] );
+    ( "util.pool",
+      [ Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+        Alcotest.test_case "size-1 runs inline" `Quick
+          test_pool_single_domain_inline;
+        Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+        Alcotest.test_case "pool reuse across batches" `Quick
+          test_pool_reuse ] ) ]
