@@ -313,7 +313,48 @@ let e2_sizes ?(smoke = false) sizes () =
       pf "@.smoke ok: tuple-space miss %.0f ns vs linear %.0f ns@."
         !final_tuple_miss !final_linear_miss
 
-let e2 () = e2_sizes [ 10; 100; 1000; 4000 ] ()
+(* cache-overflow policy: once the working set exceeds the exact-match
+   cache, CLOCK second-chance eviction should keep the hot headers
+   resident while a wholesale reset forgets them on every overflow *)
+let e2_overflow () =
+  pf "@.cache overflow policy (hot set + cold stream > cache capacity):@.@.";
+  pf "%-8s | %9s | %10s %10s@." "policy" "hit-pct" "evictions" "resets";
+  pf "%s@." (String.make 46 '-');
+  let run policy name =
+    let table = Flow.Table.create ~cache_policy:policy ~cache_entries:1024 () in
+    Flow.Table.add table
+      (Flow.Table.make_rule ~priority:1 ~pattern:Flow.Pattern.any
+         ~actions:(Flow.Action.forward 1) ());
+    let probe dst tp_src =
+      Packet.Headers.tcp ~switch:1 ~in_port:1 ~src_host:1 ~dst_host:dst
+        ~tp_src ~tp_dst:80
+    in
+    (* 512 hot headers take 3/4 of lookups; the cold quarter streams
+       through 8192 distinct headers, repeatedly overflowing the cache *)
+    let hot = Array.init 512 (fun i -> probe (1 + (i / 64)) (i mod 64)) in
+    let prng = Util.Prng.create 77 in
+    for _ = 1 to 200_000 do
+      let h =
+        if Util.Prng.int prng 4 < 3 then hot.(Util.Prng.int prng 512)
+        else probe (100 + Util.Prng.int prng 128) (1000 + Util.Prng.int prng 64)
+      in
+      ignore (Flow.Table.lookup table h)
+    done;
+    let hits = Flow.Table.cache_hits table
+    and misses = Flow.Table.cache_misses table in
+    let hit_pct = 100.0 *. float_of_int hits /. float_of_int (hits + misses) in
+    record ~experiment:"e2" ~metric:("overflow-" ^ name ^ "/cache-hit-pct")
+      hit_pct;
+    pf "%-8s | %8.1f%% | %10d %10d@." name hit_pct
+      (Flow.Table.cache_evictions table)
+      (Flow.Table.cache_resets table)
+  in
+  run Flow.Table.Clock "clock";
+  run Flow.Table.Reset "reset"
+
+let e2 () =
+  e2_sizes [ 10; 100; 1000; 4000 ] ();
+  e2_overflow ()
 
 (* small sizes + a hard pass/fail bound, cheap enough for CI *)
 let e2_smoke () = e2_sizes ~smoke:true [ 10; 100 ] ()
@@ -369,28 +410,60 @@ let e1_smoke () =
 (* ------------------------------------------------------------------ *)
 (* E3 — simulator throughput vs topology size *)
 
+(* one E3 run: route the topology, generate 32 long-lived flows, drain
+   the simulation, return the network and the run wall time *)
+let e3_run ~engine spec =
+  let topo = Topo.Gen.of_spec spec in
+  let net = Zen.create ~sim_engine:engine topo in
+  ignore (Zen.install_policy net (Netkat.Builder.routing_policy topo));
+  let prng = Util.Prng.create 9 in
+  let _ =
+    (* fixed per-flow ports: long-lived 5-tuples, so the exact-match
+       cache can do its job (one miss per flow per switch) *)
+    Dataplane.Traffic.random_pairs ~fixed_ports:true (Zen.network net) ~prng
+      ~flows:32 ~rate_pps:500.0 ~pkt_size:1000 ~stop:1.0
+  in
+  let events, t = wall (fun () -> Zen.run net) in
+  (net, events, t)
+
+(* everything observable about a finished E3 run — the two queue
+   engines must agree on all of it *)
+let e3_signature net events =
+  let stats = Dataplane.Network.stats (Zen.network net) in
+  ( events, stats.delivered, stats.forwarded, stats.dropped_queue,
+    stats.dropped_ttl, stats.dropped_policy )
+
 let e3 () =
   header "E3 — simulator packet throughput vs topology size";
-  pf "expected shape: events/sec roughly constant (heap-bound), so pkts/sec@.";
+  pf "expected shape: events/sec roughly constant (queue-bound), so pkts/sec@.";
   pf "falls with path length; larger topologies cost more per delivered packet.@.";
+  pf "The timing-wheel engine files dense near-future events in O(1) and should@.";
+  pf "beat the binary heap; both engines produce the identical simulation.@.";
   pf "Long-lived flows should drive the per-switch exact-match cache hit rate@.";
   pf "toward 100%% (one miss per flow per switch).@.@.";
-  pf "%-12s %8s %8s | %10s %10s %12s %12s | %9s@." "topology" "switches"
-    "hosts" "delivered" "events" "events/s" "pkt-hops/s" "cache-hit";
-  pf "%s@." (String.make 92 '-');
+  pf "%-12s %8s %8s | %10s %10s | %12s %12s %7s | %9s@." "topology" "switches"
+    "hosts" "delivered" "events" "wheel-ev/s" "heap-ev/s" "speedup" "cache-hit";
+  pf "%s@." (String.make 106 '-');
+  (* best of 5: one simulation run is short enough that GC pauses and
+     scheduler noise dominate a single-shot measurement *)
+  let best_run ~engine spec =
+    let best = ref None in
+    for _ = 1 to 5 do
+      let (_, _, t) as r = e3_run ~engine spec in
+      match !best with
+      | Some (_, _, t') when t' <= t -> ()
+      | _ -> best := Some r
+    done;
+    Option.get !best
+  in
   List.iter
     (fun spec ->
-      let topo = Topo.Gen.of_spec spec in
-      let net = Zen.create topo in
-      ignore (Zen.install_policy net (Netkat.Builder.routing_policy topo));
-      let prng = Util.Prng.create 9 in
-      let _ =
-        (* fixed per-flow ports: long-lived 5-tuples, so the exact-match
-           cache can do its job (one miss per flow per switch) *)
-        Dataplane.Traffic.random_pairs ~fixed_ports:true (Zen.network net)
-          ~prng ~flows:32 ~rate_pps:500.0 ~pkt_size:1000 ~stop:1.0
-      in
-      let events, t = wall (fun () -> Zen.run net) in
+      let net, events, wheel_t = best_run ~engine:`Wheel spec in
+      let net_h, events_h, heap_t = best_run ~engine:`Heap spec in
+      if e3_signature net events <> e3_signature net_h events_h then begin
+        pf "E3 FAILURE: %s differs between wheel and heap engines@." spec;
+        exit 1
+      end;
       let stats = Dataplane.Network.stats (Zen.network net) in
       (* flow-cache hit rate aggregated over every switch's table *)
       let hits, misses =
@@ -404,15 +477,58 @@ let e3 () =
       let hit_pct =
         100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses))
       in
+      let wheel_eps = float_of_int events /. wheel_t in
+      let heap_eps = float_of_int events_h /. heap_t in
+      record ~experiment:"e3" ~metric:(spec ^ "/events-per-sec") wheel_eps;
+      record ~experiment:"e3" ~metric:(spec ^ "/heap-events-per-sec") heap_eps;
       record ~experiment:"e3" ~metric:(spec ^ "/cache-hit-pct") hit_pct;
-      pf "%-12s %8d %8d | %10d %10d %12.0f %12.0f | %8.1f%%@." spec
-        (Topo.Topology.switch_count topo)
-        (Topo.Topology.host_count topo)
-        stats.delivered events
-        (float_of_int events /. t)
-        (float_of_int stats.forwarded /. t)
+      pf "%-12s %8d %8d | %10d %10d | %12.0f %12.0f %6.2fx | %8.1f%%@." spec
+        (Topo.Topology.switch_count (Zen.topology net))
+        (Topo.Topology.host_count (Zen.topology net))
+        stats.delivered events wheel_eps heap_eps (wheel_eps /. heap_eps)
         hit_pct)
     [ "ring:4"; "ring:16"; "ring:64"; "fattree:4"; "grid:6x6" ]
+
+(* CI gate for the event-queue engines: the timing wheel must produce
+   the exact simulation the heap does (event count, deliveries, drops)
+   and must not be slower beyond scheduling noise *)
+let e3_smoke () =
+  header "E3 smoke — timing wheel vs heap: identical simulation + no-slower gate";
+  let spec = "ring:16" in
+  let time_engine engine =
+    (* best of 3 so a GC pause or scheduler hiccup cannot fail CI *)
+    let best = ref infinity and sig_ = ref None in
+    for _ = 1 to 3 do
+      let net, events, t = e3_run ~engine spec in
+      let s = e3_signature net events in
+      (match !sig_ with
+       | None -> sig_ := Some s
+       | Some prev when prev <> s ->
+         pf "SMOKE FAILURE: %s not reproducible across repeats@." spec;
+         exit 1
+       | Some _ -> ());
+      if t < !best then best := t
+    done;
+    (Option.get !sig_, !best)
+  in
+  let wheel_sig, wheel_t = time_engine `Wheel in
+  let heap_sig, heap_t = time_engine `Heap in
+  let events, delivered, _, _, _, _ = wheel_sig in
+  pf "%s: %d events, %d delivered; wheel %.2f ms, heap %.2f ms@." spec events
+    delivered (ms wheel_t) (ms heap_t);
+  record ~experiment:"e3-smoke" ~metric:(spec ^ "/wheel-ms") (ms wheel_t);
+  record ~experiment:"e3-smoke" ~metric:(spec ^ "/heap-ms") (ms heap_t);
+  if wheel_sig <> heap_sig then begin
+    pf "SMOKE FAILURE: wheel simulation diverges from heap simulation@.";
+    exit 1
+  end;
+  if wheel_t > (heap_t *. 1.25) +. 2e-3 then begin
+    pf "SMOKE FAILURE: wheel took %.2f ms vs heap %.2f ms (> 1.25x + 2 ms)@."
+      (ms wheel_t) (ms heap_t);
+    exit 1
+  end
+  else
+    pf "smoke ok: identical simulations; wheel within the gate (<= 1.25x + 2 ms)@."
 
 (* ------------------------------------------------------------------ *)
 (* E4 — reactive vs proactive control *)
@@ -640,23 +756,39 @@ let e7 () =
 (* ------------------------------------------------------------------ *)
 (* E8 — codec throughput *)
 
+(* the deterministic frame set shared by e8 and e8-smoke *)
+let e8_frames () =
+  let mac i = Packet.Mac.of_host_id i and ip i = Packet.Ipv4.of_host_id i in
+  Array.init 256 (fun i ->
+    Packet.Frame.tcp_packet ~eth_src:(mac (i + 1)) ~eth_dst:(mac (i + 2))
+      ~ip_src:(ip (i + 1)) ~ip_dst:(ip (i + 2)) ~tp_src:i ~tp_dst:80
+      ~payload:(Bytes.make (64 + (i land 63)) 'x') ())
+
 let e8 () =
   header "E8 — wire codec throughput (packets and control messages)";
-  pf "expected shape: encoding costs more than decoding (it allocates one@.";
-  pf "buffer per protocol layer); control messages reach millions of msg/s.@.@.";
-  let mac i = Packet.Mac.of_host_id i and ip i = Packet.Ipv4.of_host_id i in
-  let frames =
-    Array.init 256 (fun i ->
-      Packet.Frame.tcp_packet ~eth_src:(mac (i + 1)) ~eth_dst:(mac (i + 2))
-        ~ip_src:(ip (i + 1)) ~ip_dst:(ip (i + 2)) ~tp_src:i ~tp_dst:80
-        ~payload:(Bytes.make (64 + (i land 63)) 'x') ())
-  in
+  pf "expected shape: the single-pass encoder writes each frame in one walk@.";
+  pf "over the layers; encoding into a pooled buffer also skips the result@.";
+  pf "allocation and should be the fastest row.  Control messages reach@.";
+  pf "millions of msg/s (the wire writer reuses one per-domain buffer).@.@.";
+  let mac i = Packet.Mac.of_host_id i in
+  let frames = e8_frames () in
   let encoded = Array.map Packet.Codec.encode frames in
   let iters = 200_000 in
   let (), enc_t =
     wall (fun () ->
       for i = 0 to iters - 1 do
         ignore (Packet.Codec.encode frames.(i land 255))
+      done)
+  in
+  (* pooled variant: one scratch buffer reused across every frame *)
+  let scratch =
+    Bytes.create
+      (Array.fold_left (fun a f -> max a (Packet.Frame.size f)) 0 frames)
+  in
+  let (), encp_t =
+    wall (fun () ->
+      for i = 0 to iters - 1 do
+        ignore (Packet.Codec.encode_into frames.(i land 255) scratch 0)
       done)
   in
   let (), dec_t =
@@ -671,10 +803,14 @@ let e8 () =
   pf "%-22s | %12s %12s@." "codec" "ops/s" "MB/s";
   pf "%s@." (String.make 50 '-');
   let rate t = float_of_int iters /. t in
-  pf "%-22s | %12.0f %12.1f@." "frame encode" (rate enc_t)
-    (float_of_int bytes /. enc_t /. 1e6);
-  pf "%-22s | %12.0f %12.1f@." "frame decode" (rate dec_t)
-    (float_of_int bytes /. dec_t /. 1e6);
+  let row name t =
+    record ~experiment:"e8" ~metric:(name ^ "/ops-per-sec") (rate t);
+    pf "%-22s | %12.0f %12.1f@." name (rate t)
+      (float_of_int bytes /. t /. 1e6)
+  in
+  row "frame encode" enc_t;
+  row "frame encode pooled" encp_t;
+  row "frame decode" dec_t;
   (* control messages *)
   let fm =
     Openflow.Message.Flow_mod
@@ -695,10 +831,87 @@ let e8 () =
         ignore (Openflow.Wire.decode fm_b)
       done)
   in
-  pf "%-22s | %12.0f %12.1f@." "flow_mod encode" (rate ofe_t)
-    (float_of_int (Bytes.length fm_b * iters) /. ofe_t /. 1e6);
-  pf "%-22s | %12.0f %12.1f@." "flow_mod decode" (rate ofd_t)
-    (float_of_int (Bytes.length fm_b * iters) /. ofd_t /. 1e6)
+  (* a 16-message batch amortizes the wire writer's per-send cost *)
+  let batch = List.init 16 (fun i -> (i + 1, fm)) in
+  let (), ofb_t =
+    wall (fun () ->
+      for _ = 1 to iters / 16 do
+        ignore (Openflow.Wire.encode_batch batch)
+      done)
+  in
+  let of_row name t iters_done len =
+    let r = float_of_int iters_done /. t in
+    record ~experiment:"e8" ~metric:(name ^ "/ops-per-sec") r;
+    pf "%-22s | %12.0f %12.1f@." name r
+      (float_of_int (len * iters_done) /. t /. 1e6)
+  in
+  of_row "flow_mod encode" ofe_t iters (Bytes.length fm_b);
+  of_row "flow_mod decode" ofd_t iters (Bytes.length fm_b);
+  of_row "flow_mod batch16" ofb_t (iters / 16 * 16) (Bytes.length fm_b)
+
+(* CI gate for the pooled single-pass codecs: pooled output must be
+   byte-identical to the allocating path and no slower *)
+let e8_smoke () =
+  header "E8 smoke — pooled encode: byte-equality + no-slower gate";
+  let frames = e8_frames () in
+  let scratch =
+    Bytes.create
+      (Array.fold_left (fun a f -> max a (Packet.Frame.size f)) 0 frames)
+  in
+  Array.iter
+    (fun f ->
+      let reference = Packet.Codec.encode f in
+      let n = Packet.Codec.encode_into f scratch 0 in
+      if n <> Bytes.length reference
+         || not (Bytes.equal (Bytes.sub scratch 0 n) reference)
+      then begin
+        pf "SMOKE FAILURE: encode_into output differs from encode@.";
+        exit 1
+      end)
+    frames;
+  let fm =
+    Openflow.Message.Flow_mod
+      (Openflow.Message.add_flow ~priority:7 ~pattern:Flow.Pattern.any
+         ~actions:(Flow.Action.forward 1) ())
+  in
+  let single = Openflow.Wire.encode ~xid:42 fm in
+  if not (Bytes.equal (Openflow.Wire.encode_batch [ (42, fm) ]) single)
+  then begin
+    pf "SMOKE FAILURE: encode_batch singleton differs from encode@.";
+    exit 1
+  end;
+  pf "byte-equality ok: 256 frames + wire batch match the allocating path@.";
+  let iters = 100_000 in
+  let best f =
+    (* best of 3 so a GC pause cannot fail CI *)
+    let b = ref infinity in
+    for _ = 1 to 3 do
+      let (), t = wall f in
+      if t < !b then b := t
+    done;
+    !b
+  in
+  let alloc_t =
+    best (fun () ->
+      for i = 0 to iters - 1 do
+        ignore (Packet.Codec.encode frames.(i land 255))
+      done)
+  in
+  let pooled_t =
+    best (fun () ->
+      for i = 0 to iters - 1 do
+        ignore (Packet.Codec.encode_into frames.(i land 255) scratch 0)
+      done)
+  in
+  record ~experiment:"e8-smoke" ~metric:"alloc-ms" (ms alloc_t);
+  record ~experiment:"e8-smoke" ~metric:"pooled-ms" (ms pooled_t);
+  pf "allocating %.2f ms, pooled %.2f ms for %d encodes@." (ms alloc_t)
+    (ms pooled_t) iters;
+  if pooled_t > (alloc_t *. 1.25) +. 2e-3 then begin
+    pf "SMOKE FAILURE: pooled encode slower than allocating (> 1.25x + 2 ms)@.";
+    exit 1
+  end
+  else pf "smoke ok: pooled encode within the gate (<= 1.25x + 2 ms)@."
 
 (* ------------------------------------------------------------------ *)
 (* E9 — consistent updates: naive vs two-phase *)
@@ -1035,6 +1248,9 @@ let micro () =
       ~payload:(Bytes.make 512 'x') ()
   in
   let frame_bytes = Packet.Codec.encode frame in
+  let frame_scratch = Bytes.create (Packet.Frame.size frame) in
+  let wheel = Util.Timing_wheel.create () in
+  let wheel_now = ref 0.0 in
   let prng = Util.Prng.create 3 in
   let tests =
     [ Test.make ~name:"fdd-compile-fattree2"
@@ -1060,8 +1276,23 @@ let micro () =
            while not (Util.Heap.is_empty h) do
              ignore (Util.Heap.pop h)
            done));
+      Test.make ~name:"wheel-push-pop-64"
+        (* one long-lived wheel with monotonically advancing keys — the
+           simulator's usage pattern (a fresh wheel per batch would be
+           dominated by the slot-array allocation) *)
+        (Staged.stage (fun () ->
+           for i = 1 to 64 do
+             wheel_now := !wheel_now +. Util.Prng.float prng 1e-4;
+             Util.Timing_wheel.push wheel !wheel_now i
+           done;
+           while not (Util.Timing_wheel.is_empty wheel) do
+             ignore (Util.Timing_wheel.pop wheel)
+           done));
       Test.make ~name:"frame-encode-566B"
         (Staged.stage (fun () -> ignore (Packet.Codec.encode frame)));
+      Test.make ~name:"frame-encode-pooled-566B"
+        (Staged.stage (fun () ->
+           ignore (Packet.Codec.encode_into frame frame_scratch 0)));
       Test.make ~name:"frame-decode-566B"
         (Staged.stage (fun () -> ignore (Packet.Codec.decode frame_bytes))) ]
   in
@@ -1094,7 +1325,8 @@ let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e1-smoke", e1_smoke);
-    ("e2-smoke", e2_smoke); ("micro", micro) ]
+    ("e2-smoke", e2_smoke); ("e3-smoke", e3_smoke); ("e8-smoke", e8_smoke);
+    ("micro", micro) ]
 
 let () =
   (* pull out a --json FILE pair; remaining args name experiments *)

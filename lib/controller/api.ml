@@ -12,6 +12,9 @@ type ctx = {
   net : Dataplane.Network.t;
   send : switch_id:int -> Openflow.Message.t -> unit;
       (** low-level: send any message to a switch *)
+  send_batch : switch_id:int -> Openflow.Message.t list -> unit;
+      (** low-level: send several messages to a switch as one wire batch
+          (one transmission, applied in order at delivery) *)
   await_stats :
     switch_id:int -> (Openflow.Message.stats_reply -> unit) -> unit;
       (** enqueue a one-shot continuation for the switch's next stats
@@ -38,6 +41,35 @@ let install ctx ~switch_id ?(priority = 0) ?idle_timeout ?hard_timeout
     (Openflow.Message.Flow_mod
        (Openflow.Message.add_flow ~priority ~idle_timeout ~hard_timeout
           ~cookie ~notify_when_removed ~pattern ~actions ()))
+
+(** [install_rules ctx ~switch_id ?cookie rules] installs all of
+    [rules] — [(priority, pattern, actions)] triples — as {e one}
+    batched transmission (see {!Openflow.Wire.encode_batch}) terminated
+    by a barrier request, so install cost on the control channel is
+    per-batch, not per-rule.  [replace] prepends a delete of every rule
+    the cookie owns, making the batch a full-table replacement.  A
+    no-op on an empty rule list with [replace] off. *)
+let install_rules ctx ~switch_id ?idle_timeout ?hard_timeout ?(cookie = 0)
+    ?(notify_when_removed = false) ?(replace = false) rules =
+  if rules <> [] || replace then begin
+    let adds =
+      List.map
+        (fun (priority, pattern, actions) ->
+          Openflow.Message.Flow_mod
+            (Openflow.Message.add_flow ~priority ~idle_timeout ~hard_timeout
+               ~cookie ~notify_when_removed ~pattern ~actions ()))
+        rules
+    in
+    let msgs =
+      if replace then
+        Openflow.Message.Flow_mod
+          (Openflow.Message.delete_flow ~cookie:(Some cookie)
+             ~pattern:Flow.Pattern.any ())
+        :: adds
+      else adds
+    in
+    ctx.send_batch ~switch_id (msgs @ [ Openflow.Message.Barrier_request ])
+  end
 
 (** [uninstall ctx ~switch_id ?cookie pattern] deletes all rules subsumed
     by [pattern] (restricted to [cookie] when given). *)

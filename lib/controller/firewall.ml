@@ -17,16 +17,15 @@ let push t ctx =
     Netkat.Builder.firewall ~default_allow:t.default_allow topo t.entries
   in
   let fdd = Netkat.Fdd.of_policy pol in
-  (* compile on the domain pool, install sequentially *)
+  (* compile on the domain pool, then one batched replacement per switch *)
   Netkat.Local.rules_of_fdd_all ~switches:(Topo.Topology.switch_ids topo) fdd
   |> List.iter (fun (switch_id, rules) ->
-    Api.uninstall ctx ~switch_id ~cookie:t.cookie Flow.Pattern.any;
-    List.iter
-      (fun (r : Netkat.Local.rule) ->
-        t.rules_installed <- t.rules_installed + 1;
-        Api.install ctx ~switch_id ~priority:r.priority ~cookie:t.cookie
-          r.pattern r.actions)
-      rules)
+    Api.install_rules ctx ~switch_id ~cookie:t.cookie ~replace:true
+      (List.map
+         (fun (r : Netkat.Local.rule) ->
+           t.rules_installed <- t.rules_installed + 1;
+           (r.priority, r.pattern, r.actions))
+         rules))
 
 let create ?(default_allow = true) ?(cookie = 0x0f) entries =
   let t_ref = ref None in

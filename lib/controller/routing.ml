@@ -63,27 +63,35 @@ let push_tables t ctx =
       let previous = Hashtbl.find_opt t.installed switch_id in
       (match (t.incremental, previous) with
        | true, Some old_rules ->
+         (* the delta — adds then strict deletes — rides as one batch *)
          let adds, deletes = diff_rules old_rules rules in
-         List.iter
-           (fun (r : Netkat.Local.rule) ->
-             incr churn;
-             Api.install ctx ~switch_id ~priority:r.priority ~cookie:t.cookie
-               r.pattern r.actions)
-           adds;
-         List.iter
-           (fun (r : Netkat.Local.rule) ->
-             incr churn;
-             Api.uninstall_strict ctx ~switch_id ~cookie:t.cookie
-               ~priority:r.priority r.pattern)
-           deletes
+         let msgs =
+           List.map
+             (fun (r : Netkat.Local.rule) ->
+               incr churn;
+               Openflow.Message.Flow_mod
+                 (Openflow.Message.add_flow ~priority:r.priority
+                    ~cookie:t.cookie ~pattern:r.pattern ~actions:r.actions ()))
+             adds
+           @ List.map
+               (fun (r : Netkat.Local.rule) ->
+                 incr churn;
+                 Openflow.Message.Flow_mod
+                   (Openflow.Message.delete_strict_flow
+                      ~cookie:(Some t.cookie) ~priority:r.priority
+                      ~pattern:r.pattern ()))
+               deletes
+         in
+         if msgs <> [] then
+           ctx.Api.send_batch ~switch_id
+             (msgs @ [ Openflow.Message.Barrier_request ])
        | _ ->
-         Api.uninstall ctx ~switch_id ~cookie:t.cookie Flow.Pattern.any;
-         List.iter
-           (fun (r : Netkat.Local.rule) ->
-             incr churn;
-             Api.install ctx ~switch_id ~priority:r.priority ~cookie:t.cookie
-               r.pattern r.actions)
-           rules);
+         Api.install_rules ctx ~switch_id ~cookie:t.cookie ~replace:true
+           (List.map
+              (fun (r : Netkat.Local.rule) ->
+                incr churn;
+                (r.priority, r.pattern, r.actions))
+              rules));
       Hashtbl.replace t.installed switch_id rules;
       per_switch := (switch_id, List.length rules) :: !per_switch)
     compiled;

@@ -30,8 +30,11 @@ let create ?(latency = 1e-3) net apps =
     | None -> ()
     | Some t -> handle t ~switch_id data
   and handle t ~switch_id data =
-    let _xid, msg = Openflow.Wire.decode data in
-    dispatch t ~switch_id msg
+    (* switches send single frames today, but decode as a batch so the
+       channel is symmetric *)
+    List.iter
+      (fun (_xid, msg) -> dispatch t ~switch_id msg)
+      (Openflow.Wire.decode_all data)
   and dispatch t ~switch_id (msg : Openflow.Message.t) =
     match msg with
     | Hello -> ()
@@ -76,6 +79,19 @@ let create ?(latency = 1e-3) net apps =
             (fun ~switch_id msg ->
               t.next_xid <- t.next_xid + 1;
               send_raw net ~switch_id ~xid:t.next_xid msg);
+          send_batch =
+            (fun ~switch_id msgs ->
+              if msgs <> [] then begin
+                let framed =
+                  List.map
+                    (fun msg ->
+                      t.next_xid <- t.next_xid + 1;
+                      (t.next_xid, msg))
+                    msgs
+                in
+                Dataplane.Network.controller_send net ~switch_id
+                  (Openflow.Wire.encode_batch framed)
+              end);
           await_stats =
             (fun ~switch_id k ->
               let q =
@@ -94,11 +110,12 @@ let create ?(latency = 1e-3) net apps =
   in
   t_ref := Some t;
   Dataplane.Network.attach_controller net ~latency handler;
-  (* handshake with every switch *)
+  (* handshake with every switch: hello + features request ride in one
+     batched transmission per switch *)
   List.iter
     (fun (sw : Dataplane.Network.switch) ->
-      t.ctx.send ~switch_id:sw.sw_id Openflow.Message.Hello;
-      t.ctx.send ~switch_id:sw.sw_id Openflow.Message.Features_request)
+      t.ctx.send_batch ~switch_id:sw.sw_id
+        [ Openflow.Message.Hello; Openflow.Message.Features_request ])
     (Dataplane.Network.switch_list net);
   t
 

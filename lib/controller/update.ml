@@ -122,17 +122,17 @@ let observe_occupancy t ctx =
 let install_part t ctx part ~only_vlan ~cookie ~base =
   let topo = Api.topology ctx in
   let fdd = Fdd.restrict (Packet.Fields.Vlan, only_vlan) (Fdd.of_policy part) in
-  (* compile every switch on the domain pool, then issue the installs
-     sequentially — the control channel is not thread-safe *)
+  (* compile every switch on the domain pool, then issue one batched
+     transmission per switch (the control channel is not thread-safe) *)
   Local.rules_of_fdd_all ~switches:(Topo.Topology.switch_ids topo) fdd
   |> List.iter (fun (switch_id, rules) ->
-    List.iter
-      (fun (r : Local.rule) ->
-        let pattern = { r.pattern with vlan = Some only_vlan } in
-        t.installs <- t.installs + 1;
-        Api.install ctx ~switch_id ~priority:(base + r.priority) ~cookie
-          pattern r.actions)
-      rules)
+    Api.install_rules ctx ~switch_id ~cookie
+      (List.map
+         (fun (r : Local.rule) ->
+           t.installs <- t.installs + 1;
+           (base + r.priority, { r.pattern with vlan = Some only_vlan },
+            r.actions))
+         rules))
 
 let delete_version ctx ~cookie =
   List.iter
@@ -195,12 +195,20 @@ let naive t ctx ~prng ~max_jitter pol =
   |> List.iter (fun (switch_id, rules) ->
     let delay = Util.Prng.float prng max_jitter in
     Api.schedule ctx ~delay (fun () ->
-      Api.uninstall ctx ~switch_id Flow.Pattern.any;
-      List.iter
-        (fun (r : Local.rule) ->
-          t.installs <- t.installs + 1;
-          Api.install ctx ~switch_id ~priority:r.priority r.pattern r.actions)
-        rules))
+      (* unscoped delete + replacement rules, one batch per switch *)
+      let msgs =
+        Openflow.Message.Flow_mod
+          (Openflow.Message.delete_flow ~pattern:Flow.Pattern.any ())
+        :: List.map
+             (fun (r : Local.rule) ->
+               t.installs <- t.installs + 1;
+               Openflow.Message.Flow_mod
+                 (Openflow.Message.add_flow ~priority:r.priority
+                    ~pattern:r.pattern ~actions:r.actions ()))
+             rules
+        @ [ Openflow.Message.Barrier_request ]
+      in
+      ctx.Api.send_batch ~switch_id msgs))
 
 (* ------------------------------------------------------------------ *)
 (* Consistent updates of globally-compiled programs.
@@ -235,19 +243,12 @@ let split_global_all ctx fdd =
 let install_global_rules t ctx ~cookie ~base ~ingress_bump fdd =
   List.iter
     (fun (switch_id, (ingress, internal)) ->
-      List.iter
-        (fun (r : Local.rule) ->
-          t.installs <- t.installs + 1;
-          Api.install ctx ~switch_id
-            ~priority:(base + ingress_bump + r.priority) ~cookie r.pattern
-            r.actions)
-        ingress;
-      List.iter
-        (fun (r : Local.rule) ->
-          t.installs <- t.installs + 1;
-          Api.install ctx ~switch_id ~priority:(base + r.priority) ~cookie
-            r.pattern r.actions)
-        internal)
+      let rule bump (r : Local.rule) =
+        t.installs <- t.installs + 1;
+        (base + bump + r.priority, r.pattern, r.actions)
+      in
+      Api.install_rules ctx ~switch_id ~cookie
+        (List.map (rule ingress_bump) ingress @ List.map (rule 0) internal))
     (split_global_all ctx fdd)
 
 (** [global_install t ctx pol] — initial installation of a
@@ -273,23 +274,23 @@ let global_two_phase t ctx pol =
   (* phase 1: tagged (internal) rules only — invisible to live traffic *)
   List.iter
     (fun (switch_id, (_, internal)) ->
-      List.iter
-        (fun (r : Local.rule) ->
-          t.installs <- t.installs + 1;
-          Api.install ctx ~switch_id ~priority:(base + r.priority)
-            ~cookie:new_version r.pattern r.actions)
-        internal)
+      Api.install_rules ctx ~switch_id ~cookie:new_version
+        (List.map
+           (fun (r : Local.rule) ->
+             t.installs <- t.installs + 1;
+             (base + r.priority, r.pattern, r.actions))
+           internal))
     per_switch;
   (* phase 2: flip ingress; phase 3: drain the old program *)
   Api.schedule ctx ~delay:0.01 (fun () ->
     List.iter
       (fun (switch_id, (ingress, _)) ->
-        List.iter
-          (fun (r : Local.rule) ->
-            t.installs <- t.installs + 1;
-            Api.install ctx ~switch_id ~priority:(base + 1000 + r.priority)
-              ~cookie:new_version r.pattern r.actions)
-          ingress)
+        Api.install_rules ctx ~switch_id ~cookie:new_version
+          (List.map
+             (fun (r : Local.rule) ->
+               t.installs <- t.installs + 1;
+               (base + 1000 + r.priority, r.pattern, r.actions))
+             ingress))
       per_switch;
     Api.schedule ctx ~delay:0.01 (fun () -> observe_occupancy t ctx);
     Api.schedule ctx ~delay:t.drain (fun () ->
@@ -302,9 +303,10 @@ let install_plain t ctx pol =
   Local.rules_of_fdd_all
     ~switches:(Topo.Topology.switch_ids (Api.topology ctx)) fdd
   |> List.iter (fun (switch_id, rules) ->
-    List.iter
-      (fun (r : Local.rule) ->
-        t.installs <- t.installs + 1;
-        Api.install ctx ~switch_id ~priority:r.priority r.pattern r.actions)
-      rules);
+    Api.install_rules ctx ~switch_id
+      (List.map
+         (fun (r : Local.rule) ->
+           t.installs <- t.installs + 1;
+           (r.priority, r.pattern, r.actions))
+         rules));
   Api.schedule ctx ~delay:0.05 (fun () -> observe_occupancy t ctx)

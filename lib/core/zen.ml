@@ -27,9 +27,12 @@ type net = {
   mutable runtime : Controller.Runtime.t option;
 }
 
-(** [create topo] instantiates the simulated network (empty tables). *)
-let create ?queue_depth topo =
-  { network = Dataplane.Network.create ?queue_depth topo; runtime = None }
+(** [create topo] instantiates the simulated network (empty tables).
+    [sim_engine] selects the event-queue backend (see {!Dataplane.Sim});
+    both engines produce identical simulations. *)
+let create ?queue_depth ?sim_engine topo =
+  { network = Dataplane.Network.create ?queue_depth ?sim_engine topo;
+    runtime = None }
 
 let topology t = Dataplane.Network.topology t.network
 let network t = t.network

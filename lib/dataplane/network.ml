@@ -9,7 +9,15 @@
 
     Links model serialization (size / capacity), propagation delay and a
     drop-tail queue of configurable depth per direction.  A packet in
-    flight is a flat header record plus size and an opaque tag. *)
+    flight is a flat header record plus size and an opaque tag.
+
+    Per-hop forwarding is allocation- and lookup-light: the per-direction
+    {!link_state} caches the resolved topology link, the egress port's
+    tx counters and the {e destination} object (switch or host record),
+    so a hop touches no hashtable — switch egress states live in a
+    per-switch array indexed by port, hosts cache their access link.
+    The topology's [up] flag is mutated in place by the failure API, so
+    the cached link record always reflects live link status. *)
 
 module Node = Topo.Topology.Node
 
@@ -29,19 +37,30 @@ type switch = {
   port_stats : (int, Openflow.Message.port_stat) Hashtbl.t;
   mutable packet_ins : int;
   mutable has_timeouts : bool;  (* whether an expiry sweep is scheduled *)
+  mutable out_ports : link_state option array;
+      (* lazily resolved egress state, indexed by port *)
 }
 
-type host = {
+and host = {
   host_id : int;
   mac : Packet.Mac.t;
   ip : Packet.Ipv4.t;
   mutable received : int;
   mutable rx_bytes : int;
   mutable on_receive : (pkt -> unit) option;
+  mutable uplink : link_state option;  (* cached access-link egress *)
 }
 
-(* per-direction link state for queueing *)
-type link_state = {
+and dest = To_switch of switch | To_host of host
+
+(* per-direction link state: queueing plus the resolved endpoints *)
+and link_state = {
+  ls_link : Topo.Topology.link;
+      (* shares the topology's mutable [up] flag *)
+  ls_tx : Openflow.Message.port_stat option;  (* switch-side tx counters *)
+  ls_rx : Openflow.Message.port_stat option;  (* switch-side rx counters *)
+  ls_dst : dest;
+  ls_dst_port : int;
   mutable busy_until : float;
   mutable queued : int;     (* packets scheduled but not yet on the wire *)
   mutable tx_drops : int;
@@ -64,7 +83,6 @@ type t = {
   topo : Topo.Topology.t;
   switches : (int, switch) Hashtbl.t;
   host_tbl : (int, host) Hashtbl.t;
-  links : (Node.t * int, link_state) Hashtbl.t;
   queue_depth : int;  (** drop-tail queue depth, packets per direction *)
   stats : counters;
   mutable controller :
@@ -79,12 +97,12 @@ let default_queue_depth = 64
 (** Default hop budget of injected packets. *)
 let default_ttl = 64
 
-let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0) topo =
+let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
+    ?sim_engine topo =
   let t =
-    { sim = Sim.create (); topo;
+    { sim = Sim.create ?engine:sim_engine (); topo;
       switches = Hashtbl.create 16;
       host_tbl = Hashtbl.create 16;
-      links = Hashtbl.create 64;
       queue_depth;
       stats =
         { delivered = 0; dropped_policy = 0; dropped_miss = 0;
@@ -100,12 +118,12 @@ let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0) topo =
         Hashtbl.replace t.switches id
           { sw_id = id; table = Flow.Table.create ();
             flood_ports = None; port_stats = Hashtbl.create 8;
-            packet_ins = 0; has_timeouts = false }
+            packet_ins = 0; has_timeouts = false; out_ports = [||] }
       | Node.Host id ->
         Hashtbl.replace t.host_tbl id
           { host_id = id; mac = Packet.Mac.of_host_id id;
             ip = Packet.Ipv4.of_host_id id; received = 0; rx_bytes = 0;
-            on_receive = None })
+            on_receive = None; uplink = None })
     (Topo.Topology.nodes topo);
   t
 
@@ -132,10 +150,12 @@ let host_list t =
   Hashtbl.fold (fun _ h acc -> h :: acc) t.host_tbl []
   |> List.sort (fun a b -> compare a.host_id b.host_id)
 
+(* formatting is skipped entirely when no tracer is attached — trace
+   calls sit on the per-hop hot path *)
 let trace t fmt =
-  Printf.ksprintf
-    (fun s -> match t.tracer with Some f -> f (now t) s | None -> ())
-    fmt
+  match t.tracer with
+  | None -> Printf.ikfprintf ignore () fmt
+  | Some f -> Printf.ksprintf (fun s -> f (now t) s) fmt
 
 let set_tracer t f = t.tracer <- Some f
 
@@ -150,54 +170,133 @@ let port_stat sw port =
     Hashtbl.replace sw.port_stats port ps;
     ps
 
-let link_state t node port =
-  match Hashtbl.find_opt t.links (node, port) with
-  | Some ls -> ls
-  | None ->
-    let ls = { busy_until = 0.0; queued = 0; tx_drops = 0 } in
-    Hashtbl.replace t.links (node, port) ls;
-    ls
+(* ------------------------------------------------------------------ *)
+(* Egress resolution *)
+
+(* Build the cached egress state for [(node, port)].  Returns [None]
+   when the topology has no link there (not cached, so links added to
+   the topology later are still found). *)
+let resolve_egress t node port =
+  match Topo.Topology.link_via t.topo node port with
+  | None -> None
+  | Some l ->
+    let ls_dst, ls_rx =
+      match l.dst with
+      | Node.Switch id ->
+        let sw = switch t id in
+        (To_switch sw, Some (port_stat sw l.dst_port))
+      | Node.Host id -> (To_host (host t id), None)
+    in
+    let ls_tx =
+      match node with
+      | Node.Switch id -> Some (port_stat (switch t id) port)
+      | Node.Host _ -> None
+    in
+    Some
+      { ls_link = l; ls_tx; ls_rx; ls_dst; ls_dst_port = l.dst_port;
+        busy_until = 0.0; queued = 0; tx_drops = 0 }
+
+let switch_egress_slow t sw port =
+  match resolve_egress t (Node.Switch sw.sw_id) port with
+  | None -> None
+  | Some ls as r ->
+    let n = Array.length sw.out_ports in
+    if port >= n then begin
+      let arr = Array.make (max (port + 1) (max 8 (2 * n))) None in
+      Array.blit sw.out_ports 0 arr 0 n;
+      sw.out_ports <- arr
+    end;
+    sw.out_ports.(port) <- Some ls;
+    r
+
+let switch_egress t sw port =
+  if port >= 0 && port < Array.length sw.out_ports then
+    match Array.unsafe_get sw.out_ports port with
+    | Some _ as r -> r
+    | None -> switch_egress_slow t sw port
+  else if port < 0 then None
+  else switch_egress_slow t sw port
+
+let host_egress t h port =
+  if port = 1 then
+    match h.uplink with
+    | Some _ as r -> r
+    | None ->
+      let r = resolve_egress t (Node.Host h.host_id) 1 in
+      h.uplink <- r;
+      r
+  else resolve_egress t (Node.Host h.host_id) port
 
 (* ------------------------------------------------------------------ *)
 (* Forwarding *)
 
-let rec transmit t node port pkt =
-  match Topo.Topology.link_via t.topo node port with
+(* schedule [pkt] onto a resolved, up egress link (queue check done) *)
+let rec enqueue t ls pkt =
+  let nowt = now t in
+  let l = ls.ls_link in
+  let ser = float_of_int (pkt.size * 8) /. l.capacity in
+  let start = if nowt > ls.busy_until then nowt else ls.busy_until in
+  ls.busy_until <- start +. ser;
+  ls.queued <- ls.queued + 1;
+  (match ls.ls_tx with
+   | Some ps ->
+     ps.tx_packets <- ps.tx_packets + 1;
+     ps.tx_bytes <- ps.tx_bytes + pkt.size
+   | None -> ());
+  let arrival = start +. ser +. l.delay in
+  Sim.schedule_at t.sim ~time:arrival (fun () ->
+    ls.queued <- ls.queued - 1;
+    (* the link may have failed while the packet was in flight *)
+    if l.up then deliver_ls t ls pkt)
+
+and transmit_switch t sw port pkt =
+  match switch_egress t sw port with
   | None ->
     t.stats.dropped_link <- t.stats.dropped_link + 1;
-    trace t "drop(no-link) %s port %d" (Node.to_string node) port
-  | Some l when not l.up ->
+    trace t "drop(no-link) s%d port %d" sw.sw_id port
+  | Some ls when not ls.ls_link.up ->
     t.stats.dropped_link <- t.stats.dropped_link + 1;
-    (match node with
-     | Node.Switch id -> (port_stat (switch t id) port).drops <-
-         (port_stat (switch t id) port).drops + 1
-     | Node.Host _ -> ());
-    trace t "drop(link-down) %s port %d" (Node.to_string node) port
-  | Some l ->
-    let ls = link_state t node port in
+    (match ls.ls_tx with Some ps -> ps.drops <- ps.drops + 1 | None -> ());
+    trace t "drop(link-down) s%d port %d" sw.sw_id port
+  | Some ls ->
     if ls.queued >= t.queue_depth then begin
       t.stats.dropped_queue <- t.stats.dropped_queue + 1;
       ls.tx_drops <- ls.tx_drops + 1;
-      trace t "drop(queue) %s port %d" (Node.to_string node) port
+      trace t "drop(queue) s%d port %d" sw.sw_id port
     end
-    else begin
-      let nowt = now t in
-      let ser = float_of_int (pkt.size * 8) /. l.capacity in
-      let start = max nowt ls.busy_until in
-      ls.busy_until <- start +. ser;
-      ls.queued <- ls.queued + 1;
-      (match node with
-       | Node.Switch id ->
-         let ps = port_stat (switch t id) port in
-         ps.tx_packets <- ps.tx_packets + 1;
-         ps.tx_bytes <- ps.tx_bytes + pkt.size
-       | Node.Host _ -> ());
-      let arrival = start +. ser +. l.delay in
-      Sim.schedule_at t.sim ~time:arrival (fun () ->
-        ls.queued <- ls.queued - 1;
-        (* the link may have failed while the packet was in flight *)
-        if l.up then deliver t l.dst l.dst_port pkt)
+    else enqueue t ls pkt
+
+and transmit_host t h port pkt =
+  match host_egress t h port with
+  | None ->
+    t.stats.dropped_link <- t.stats.dropped_link + 1;
+    trace t "drop(no-link) h%d port %d" h.host_id port
+  | Some ls when not ls.ls_link.up ->
+    t.stats.dropped_link <- t.stats.dropped_link + 1;
+    trace t "drop(link-down) h%d port %d" h.host_id port
+  | Some ls ->
+    if ls.queued >= t.queue_depth then begin
+      t.stats.dropped_queue <- t.stats.dropped_queue + 1;
+      ls.tx_drops <- ls.tx_drops + 1;
+      trace t "drop(queue) h%d port %d" h.host_id port
     end
+    else enqueue t ls pkt
+
+and transmit t node port pkt =
+  match node with
+  | Node.Switch id -> transmit_switch t (switch t id) port pkt
+  | Node.Host id -> transmit_host t (host t id) port pkt
+
+and deliver_ls t ls pkt =
+  match ls.ls_dst with
+  | To_host h ->
+    h.received <- h.received + 1;
+    h.rx_bytes <- h.rx_bytes + pkt.size;
+    t.stats.delivered <- t.stats.delivered + 1;
+    trace t "h%d rx tag=%d" h.host_id pkt.tag;
+    (match h.on_receive with Some f -> f pkt | None -> ())
+  | To_switch sw ->
+    switch_process t sw ~in_port:ls.ls_dst_port ~rx:ls.ls_rx pkt
 
 and deliver t node port pkt =
   match node with
@@ -208,19 +307,20 @@ and deliver t node port pkt =
     t.stats.delivered <- t.stats.delivered + 1;
     trace t "h%d rx tag=%d" id pkt.tag;
     (match h.on_receive with Some f -> f pkt | None -> ())
-  | Node.Switch id -> switch_process t (switch t id) ~in_port:port pkt
+  | Node.Switch id ->
+    switch_process t (switch t id) ~in_port:port ~rx:None pkt
 
-and switch_process t sw ~in_port pkt =
+and switch_process t sw ~in_port ~rx pkt =
   if pkt.ttl <= 0 then begin
     t.stats.dropped_ttl <- t.stats.dropped_ttl + 1;
     trace t "s%d drop(ttl)" sw.sw_id
   end
-  else switch_process_live t sw ~in_port pkt
+  else switch_process_live t sw ~in_port ~rx pkt
 
-and switch_process_live t sw ~in_port pkt =
+and switch_process_live t sw ~in_port ~rx pkt =
   let hdr = { pkt.hdr with switch = sw.sw_id; in_port } in
   let pkt = { pkt with hdr; ttl = pkt.ttl - 1 } in
-  let ps = port_stat sw in_port in
+  let ps = match rx with Some ps -> ps | None -> port_stat sw in_port in
   ps.rx_packets <- ps.rx_packets + 1;
   ps.rx_bytes <- ps.rx_bytes + pkt.size;
   match Flow.Table.apply sw.table ~now:(now t) ~size:pkt.size hdr with
@@ -240,8 +340,8 @@ and execute_outputs t sw ~in_port outputs pkt =
     (fun ((hdr : Packet.Headers.t), (port : Flow.Action.port)) ->
       let out = { pkt with hdr } in
       match port with
-      | Physical p -> transmit t (Node.Switch sw.sw_id) p out
-      | In_port_out -> transmit t (Node.Switch sw.sw_id) in_port out
+      | Physical p -> transmit_switch t sw p out
+      | In_port_out -> transmit_switch t sw in_port out
       | Controller ->
         packet_in t sw ~in_port ~reason:Openflow.Message.Explicit_send out
       | Flood ->
@@ -251,8 +351,7 @@ and execute_outputs t sw ~in_port outputs pkt =
           | None -> Topo.Topology.ports t.topo (Node.Switch sw.sw_id)
         in
         List.iter
-          (fun p ->
-            if p <> in_port then transmit t (Node.Switch sw.sw_id) p out)
+          (fun p -> if p <> in_port then transmit_switch t sw p out)
           candidates)
     outputs
 
@@ -390,14 +489,20 @@ let handle_at_switch t sw (msg : Openflow.Message.t) =
     ()  (* controller-bound messages are meaningless at a switch *)
 
 (** Controller → switch: delivers wire-encoded [data] to [switch_id]
-    after the control-channel latency.
+    after the control-channel latency.  [data] may carry one message or
+    a whole batch (concatenated frames, see {!Openflow.Wire.encode_batch});
+    stats count the logical messages, and a batch is decoded and applied
+    in frame order as one delivery event.
     @raise Openflow.Wire.Wire_error on undecodable bytes (at delivery). *)
 let controller_send t ~switch_id data =
-  t.stats.control_msgs <- t.stats.control_msgs + 1;
+  t.stats.control_msgs <-
+    t.stats.control_msgs + Openflow.Wire.frame_count data;
   t.stats.control_bytes <- t.stats.control_bytes + Bytes.length data;
   Sim.schedule t.sim ~delay:t.control_latency (fun () ->
-    let _xid, msg = Openflow.Wire.decode data in
-    handle_at_switch t (switch t switch_id) msg)
+    let sw = switch t switch_id in
+    List.iter
+      (fun (_xid, msg) -> handle_at_switch t sw msg)
+      (Openflow.Wire.decode_all data))
 
 (* ------------------------------------------------------------------ *)
 (* Failures *)
@@ -444,9 +549,7 @@ let restore_link t node port =
 (** [send_from t ~host pkt] puts [pkt] on the host's access link at the
     current simulated time (headers should carry the intended addressing;
     location fields are set by the receiving switch). *)
-let send_from t ~host:id pkt =
-  let _h = host t id in
-  transmit t (Node.Host id) 1 pkt
+let send_from t ~host:id pkt = transmit_host t (host t id) 1 pkt
 
 (** Builds a TCP-shaped packet from one synthesized host to another. *)
 let make_pkt ?(size = 1000) ?(tag = 0) ?(tp_src = 10000) ?(tp_dst = 80)

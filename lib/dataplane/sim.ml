@@ -2,17 +2,53 @@
     Everything in the simulated network — packet transmission, link
     propagation, controller latency, traffic generation, timeouts — is
     expressed as scheduled events.  Ties execute in scheduling order, so
-    runs are deterministic. *)
+    runs are deterministic.
+
+    Two interchangeable queue engines back the clock:
+
+    - [`Wheel] (the default): {!Util.Timing_wheel} — O(1) slot filing
+      for the dense near-future events every packet hop schedules, with
+      a heap fallback for far timers (retransmits, expiry sweeps).
+    - [`Heap]: the original {!Util.Heap} binary heap.
+
+    Both produce the exact same execution order (property-tested in
+    [test/util.wheel]; the [e3-smoke] bench gate checks full simulation
+    results are identical), so the engine is purely a performance
+    choice.  Select per-instance with [create ?engine] or globally with
+    [ZEN_SIM_ENGINE=heap|wheel]. *)
+
+type engine = [ `Heap | `Wheel ]
+
+type queue =
+  | Wheel of (unit -> unit) Util.Timing_wheel.t
+  | Heap of (unit -> unit) Util.Heap.t
 
 type t = {
   mutable now : float;
-  events : (unit -> unit) Util.Heap.t;
+  queue : queue;
   mutable executed : int;
   mutable running : bool;
 }
 
-let create () =
-  { now = 0.0; events = Util.Heap.create (); executed = 0; running = false }
+let default_engine () : engine =
+  match Sys.getenv_opt "ZEN_SIM_ENGINE" with
+  | Some s ->
+    (match String.lowercase_ascii (String.trim s) with
+     | "heap" -> `Heap
+     | _ -> `Wheel)
+  | None -> `Wheel
+
+let create ?engine () =
+  let engine = match engine with Some e -> e | None -> default_engine () in
+  let queue =
+    match engine with
+    | `Wheel -> Wheel (Util.Timing_wheel.create ())
+    | `Heap -> Heap (Util.Heap.create ())
+  in
+  { now = 0.0; queue; executed = 0; running = false }
+
+let engine t : engine =
+  match t.queue with Wheel _ -> `Wheel | Heap _ -> `Heap
 
 (** Current simulated time in seconds. *)
 let now t = t.now
@@ -20,27 +56,60 @@ let now t = t.now
 (** Number of events executed so far. *)
 let executed t = t.executed
 
+let push t time f =
+  match t.queue with
+  | Wheel w -> Util.Timing_wheel.push w time f
+  | Heap h -> Util.Heap.push h time f
+
 (** [schedule t ~delay f] runs [f] at [now + delay].
     @raise Invalid_argument on negative delay. *)
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
-  Util.Heap.push t.events (t.now +. delay) f
+  push t (t.now +. delay) f
 
 (** [schedule_at t ~time f] runs [f] at the absolute [time] (clamped to
     the present if already past). *)
-let schedule_at t ~time f = Util.Heap.push t.events (max time t.now) f
+let schedule_at t ~time f = push t (max time t.now) f
 
-let pending t = Util.Heap.length t.events
+let pending t =
+  match t.queue with
+  | Wheel w -> Util.Timing_wheel.length w
+  | Heap h -> Util.Heap.length h
+
+let peek t =
+  match t.queue with
+  | Wheel w -> Util.Timing_wheel.peek w
+  | Heap h -> Util.Heap.peek h
+
+let pop t =
+  match t.queue with
+  | Wheel w -> Util.Timing_wheel.pop w
+  | Heap h -> Util.Heap.pop h
+
+let exec t time f =
+  t.now <- (if time > t.now then time else t.now);
+  t.executed <- t.executed + 1;
+  f ()
 
 (** Executes the next event; returns [false] when none remain. *)
 let step t =
-  match Util.Heap.pop t.events with
+  match pop t with
   | exception Not_found -> false
   | time, f ->
-    t.now <- max t.now time;
-    t.executed <- t.executed + 1;
-    f ();
+    exec t time f;
     true
+
+(* fused peek-and-pop against an absolute stop time *)
+let pop_until t ~stop =
+  match t.queue with
+  | Wheel w -> Util.Timing_wheel.pop_until w ~stop
+  | Heap h ->
+    (match Util.Heap.peek h with
+     | None -> `Empty
+     | Some (time, _) when time > stop -> `Beyond
+     | Some _ ->
+       let time, f = Util.Heap.pop h in
+       `Event (time, f))
 
 (** [run ?until ?max_events t] drains the event queue.  [until] stops the
     clock at an absolute time (events beyond it stay queued); [max_events]
@@ -51,21 +120,47 @@ let run ?until ?max_events t =
   t.running <- true;
   let start = t.executed in
   let budget = match max_events with None -> max_int | Some m -> m in
+  let stop = match until with Some s -> s | None -> infinity in
   let rec loop n =
-    if n >= budget then ()
-    else begin
-      match Util.Heap.peek t.events with
-      | None -> ()
-      | Some (time, _) ->
-        (match until with
-         | Some stop when time > stop -> t.now <- stop
-         | Some _ | None ->
-           if step t then loop (n + 1))
+    if n < budget then begin
+      match pop_until t ~stop with
+      | `Empty -> ()
+      | `Beyond -> (match until with Some s -> t.now <- s | None -> ())
+      | `Event (time, f) ->
+        exec t time f;
+        loop (n + 1)
     end
   in
   loop 0;
   t.running <- false;
   t.executed - start
+
+(** [run_batch t] executes the next pending event and then drains every
+    event sharing its timestamp — including ones scheduled by the batch
+    itself at that same instant — without re-peeking the full queue
+    between events (same-tick drains stay inside the wheel's near heap).
+    Returns the number of events executed; [0] means the queue was
+    empty.  Equivalent to repeated {!step} while the head timestamp is
+    unchanged. *)
+let run_batch t =
+  if t.running then invalid_arg "Sim.run_batch: already running";
+  t.running <- true;
+  let n =
+    match pop t with
+    | exception Not_found -> 0
+    | time, f ->
+      exec t time f;
+      let rec drain n =
+        match pop_until t ~stop:time with
+        | `Event (time', f) ->
+          exec t time' f;
+          drain (n + 1)
+        | `Empty | `Beyond -> n
+      in
+      drain 1
+  in
+  t.running <- false;
+  n
 
 (** Periodic task: runs [f] every [every] seconds starting after [every],
     until [f] returns [false] or the optional [stop] time passes. *)

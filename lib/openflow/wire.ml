@@ -4,7 +4,17 @@
     [version(1) | type(1) | length(2) | xid(4)] followed by a
     type-specific body, all big-endian.  The controller runtime round-trips
     every control message through this codec so that the protocol layer is
-    genuinely exercised, not just modeled. *)
+    genuinely exercised, not just modeled.
+
+    Encoding writes single-pass into a pooled scratch buffer (one
+    {!Util.Bufpool} writer per domain): the 8-byte header is reserved,
+    the body written, the header patched with the measured length, and
+    the exact frame copied out — no intermediate [Buffer], no per-field
+    allocation.  {!encode_batch} extends this to several messages in one
+    transmission: frames are simply concatenated, and {!decode_all}
+    walks them back out by their length fields.  Every length that must
+    fit a wire field is range-checked — a frame that cannot be encoded
+    faithfully raises {!Wire_error} rather than truncating. *)
 
 open Util
 open Message
@@ -32,43 +42,75 @@ let type_code = function
   | Barrier_reply -> 19
 
 (* ------------------------------------------------------------------ *)
-(* Encoding: append to a Buffer via fixed-size scratch bytes *)
+(* Encoding: single-pass writes into a pooled scratch buffer *)
 
-let buf_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+type writer = {
+  pool : Bufpool.t;
+  mutable buf : bytes;   (* pooled scratch; dirty on acquisition *)
+  mutable pos : int;
+}
 
-let buf_u16 b v =
+(* one writer per domain: encode is not reentrant, so the scratch can
+   persist across calls and steady-state encoding never allocates
+   beyond the final exact-size copy *)
+let writer_key =
+  Domain.DLS.new_key (fun () ->
+    let pool = Bufpool.create () in
+    { pool; buf = Bufpool.acquire pool 256; pos = 0 })
+
+let ensure w n =
+  if w.pos + n > Bytes.length w.buf then
+    w.buf <- Bufpool.grow w.pool w.buf (w.pos + n)
+
+let w_u8 w v =
+  ensure w 1;
+  Bytes.unsafe_set w.buf w.pos (Char.unsafe_chr (v land 0xff));
+  w.pos <- w.pos + 1
+
+let w_u16 w v =
   if v < 0 || v > 0xffff then fail "u16 out of range (%d)" v;
-  buf_u8 b (v lsr 8);
-  buf_u8 b v
+  ensure w 2;
+  let b = w.buf and p = w.pos in
+  Bytes.unsafe_set b p (Char.unsafe_chr (v lsr 8));
+  Bytes.unsafe_set b (p + 1) (Char.unsafe_chr (v land 0xff));
+  w.pos <- p + 2
 
-let buf_u32 b v =
-  buf_u16 b ((v lsr 16) land 0xffff);
-  buf_u16 b (v land 0xffff)
+let w_u32 w v =
+  ensure w 4;
+  let b = w.buf and p = w.pos in
+  Bytes.unsafe_set b p (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Bytes.unsafe_set b (p + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (p + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (p + 3) (Char.unsafe_chr (v land 0xff));
+  w.pos <- p + 4
 
-let buf_u48 b v =
-  buf_u16 b ((v lsr 32) land 0xffff);
-  buf_u32 b (v land 0xffffffff)
+let w_u48 w v =
+  w_u16 w ((v lsr 32) land 0xffff);
+  w_u32 w (v land 0xffffffff)
 
-let buf_u64 b (v : int64) =
-  buf_u32 b Int64.(to_int (logand (shift_right_logical v 32) 0xffffffffL));
-  buf_u32 b Int64.(to_int (logand v 0xffffffffL))
+let w_u64 w (v : int64) =
+  w_u32 w Int64.(to_int (logand (shift_right_logical v 32) 0xffffffffL));
+  w_u32 w Int64.(to_int (logand v 0xffffffffL))
 
-let buf_string b s =
+let w_string w s =
   if String.length s > 0xffff then
     fail "string too long for u16 length prefix (%d bytes)" (String.length s);
-  buf_u16 b (String.length s);
-  Buffer.add_string b s
+  w_u16 w (String.length s);
+  let n = String.length s in
+  ensure w n;
+  Bytes.blit_string s 0 w.buf w.pos n;
+  w.pos <- w.pos + n
 
 let no_timeout = 0xffffffff
 
-let buf_timeout b = function
-  | None -> buf_u32 b no_timeout
+let w_timeout w = function
+  | None -> w_u32 w no_timeout
   | Some secs ->
     let ms = int_of_float (secs *. 1000.0) in
     if ms < 0 || ms >= no_timeout then fail "timeout out of range";
-    buf_u32 b ms
+    w_u32 w ms
 
-let buf_pattern b (p : Flow.Pattern.t) =
+let w_pattern w (p : Flow.Pattern.t) =
   let bit i o = match o with None -> 0 | Some _ -> 1 lsl i in
   let mask =
     bit 0 p.in_port lor bit 1 p.eth_src lor bit 2 p.eth_dst
@@ -77,165 +119,199 @@ let buf_pattern b (p : Flow.Pattern.t) =
     lor bit 9 p.tp_dst
   in
   let dflt o = Option.value o ~default:0 in
-  buf_u16 b mask;
-  buf_u16 b (dflt p.in_port);
-  buf_u48 b (dflt p.eth_src);
-  buf_u48 b (dflt p.eth_dst);
-  buf_u16 b (dflt p.eth_type);
-  buf_u16 b (dflt p.vlan);
-  buf_u16 b (dflt p.ip_proto);
+  w_u16 w mask;
+  w_u16 w (dflt p.in_port);
+  w_u48 w (dflt p.eth_src);
+  w_u48 w (dflt p.eth_dst);
+  w_u16 w (dflt p.eth_type);
+  w_u16 w (dflt p.vlan);
+  w_u16 w (dflt p.ip_proto);
   let pfx o =
     match o with
     | None -> (0, 0)
     | Some p -> (Packet.Ipv4.Prefix.network p, Packet.Ipv4.Prefix.length p)
   in
   let src, src_len = pfx p.ip4_src and dst, dst_len = pfx p.ip4_dst in
-  buf_u32 b src;
-  buf_u8 b src_len;
-  buf_u32 b dst;
-  buf_u8 b dst_len;
-  buf_u16 b (dflt p.tp_src);
-  buf_u16 b (dflt p.tp_dst)
+  w_u32 w src;
+  w_u8 w src_len;
+  w_u32 w dst;
+  w_u8 w dst_len;
+  w_u16 w (dflt p.tp_src);
+  w_u16 w (dflt p.tp_dst)
 
-let buf_atom b : Flow.Action.atom -> unit = function
-  | Output (Physical p) -> buf_u8 b 0; buf_u32 b p
-  | Output In_port_out -> buf_u8 b 1
-  | Output Flood -> buf_u8 b 2
-  | Output Controller -> buf_u8 b 3
+let w_atom w : Flow.Action.atom -> unit = function
+  | Output (Physical p) -> w_u8 w 0; w_u32 w p
+  | Output In_port_out -> w_u8 w 1
+  | Output Flood -> w_u8 w 2
+  | Output Controller -> w_u8 w 3
   | Set_field (f, v) ->
-    buf_u8 b 4;
-    buf_u8 b (Packet.Fields.index f);
-    buf_u64 b (Int64.of_int v)
+    w_u8 w 4;
+    w_u8 w (Packet.Fields.index f);
+    w_u64 w (Int64.of_int v)
 
-let buf_seq b (s : Flow.Action.seq) =
-  buf_u16 b (List.length s);
-  List.iter (buf_atom b) s
+let w_seq w (s : Flow.Action.seq) =
+  w_u16 w (List.length s);
+  List.iter (w_atom w) s
 
-let buf_group b (g : Flow.Action.group) =
-  buf_u16 b (List.length g);
-  List.iter (buf_seq b) g
+let w_group w (g : Flow.Action.group) =
+  w_u16 w (List.length g);
+  List.iter (w_seq w) g
 
-let buf_payload b (p : payload) =
+let w_payload w (p : payload) =
   let h = p.headers in
-  buf_u32 b h.switch;
-  buf_u16 b h.in_port;
-  buf_u48 b h.eth_src;
-  buf_u48 b h.eth_dst;
-  buf_u16 b h.eth_type;
-  buf_u16 b h.vlan;
-  buf_u8 b h.ip_proto;
-  buf_u32 b h.ip4_src;
-  buf_u32 b h.ip4_dst;
-  buf_u16 b h.tp_src;
-  buf_u16 b h.tp_dst;
-  buf_u16 b p.size;
-  buf_u32 b p.tag
+  w_u32 w h.switch;
+  w_u16 w h.in_port;
+  w_u48 w h.eth_src;
+  w_u48 w h.eth_dst;
+  w_u16 w h.eth_type;
+  w_u16 w h.vlan;
+  w_u8 w h.ip_proto;
+  w_u32 w h.ip4_src;
+  w_u32 w h.ip4_dst;
+  w_u16 w h.tp_src;
+  w_u16 w h.tp_dst;
+  w_u16 w p.size;
+  w_u32 w p.tag
 
-let buf_i32 b v = buf_u32 b (v land 0xffffffff)
+let w_i32 w v = w_u32 w (v land 0xffffffff)
 
-let buf_body b = function
+let w_body w = function
   | Hello | Features_request | Barrier_request | Barrier_reply -> ()
-  | Echo_request s | Echo_reply s -> buf_string b s
+  | Echo_request s | Echo_reply s -> w_string w s
   | Features_reply f ->
-    buf_u32 b f.datapath_id;
-    buf_u16 b (List.length f.port_list);
-    List.iter (buf_u16 b) f.port_list
+    w_u32 w f.datapath_id;
+    w_u16 w (List.length f.port_list);
+    List.iter (w_u16 w) f.port_list
   | Packet_in pi ->
-    buf_u16 b pi.in_port;
-    buf_u8 b (match pi.reason with No_match -> 0 | Explicit_send -> 1);
-    buf_payload b pi.packet
+    w_u16 w pi.in_port;
+    w_u8 w (match pi.reason with No_match -> 0 | Explicit_send -> 1);
+    w_payload w pi.packet
   | Packet_out po ->
-    buf_u16 b po.out_in_port;
-    buf_seq b po.out_actions;
-    buf_payload b po.out_packet
+    w_u16 w po.out_in_port;
+    w_seq w po.out_actions;
+    w_payload w po.out_packet
   | Flow_mod fm ->
-    buf_u8 b
+    w_u8 w
       (match fm.command with
        | Add_flow -> 0 | Modify_flow -> 1 | Delete_flow -> 2
        | Delete_strict_flow -> 3);
-    buf_u32 b fm.fm_priority;
-    buf_pattern b fm.fm_pattern;
-    buf_i32 b fm.fm_cookie;
-    buf_u8 b (if fm.notify_when_removed then 1 else 0);
-    buf_timeout b fm.idle_timeout;
-    buf_timeout b fm.hard_timeout;
-    buf_group b fm.fm_actions
+    w_u32 w fm.fm_priority;
+    w_pattern w fm.fm_pattern;
+    w_i32 w fm.fm_cookie;
+    w_u8 w (if fm.notify_when_removed then 1 else 0);
+    w_timeout w fm.idle_timeout;
+    w_timeout w fm.hard_timeout;
+    w_group w fm.fm_actions
   | Port_status ps ->
-    buf_u16 b ps.ps_port;
-    buf_u8 b (match ps.ps_reason with Port_up -> 0 | Port_down -> 1)
+    w_u16 w ps.ps_port;
+    w_u8 w (match ps.ps_reason with Port_up -> 0 | Port_down -> 1)
   | Flow_removed fr ->
-    buf_pattern b fr.fr_pattern;
-    buf_u32 b fr.fr_priority;
-    buf_i32 b fr.fr_cookie;
-    buf_u8 b
+    w_pattern w fr.fr_pattern;
+    w_u32 w fr.fr_priority;
+    w_i32 w fr.fr_cookie;
+    w_u8 w
       (match fr.fr_reason with
        | Idle_timeout_expired -> 0
        | Hard_timeout_expired -> 1
        | Deleted_by_controller -> 2);
-    buf_u64 b (Int64.of_int fr.fr_packets);
-    buf_u64 b (Int64.of_int fr.fr_bytes)
-  | Stats_request (Flow_stats_request p) -> buf_u8 b 0; buf_pattern b p
+    w_u64 w (Int64.of_int fr.fr_packets);
+    w_u64 w (Int64.of_int fr.fr_bytes)
+  | Stats_request (Flow_stats_request p) -> w_u8 w 0; w_pattern w p
   | Stats_request (Port_stats_request port) ->
-    buf_u8 b 1;
+    w_u8 w 1;
     (match port with
-     | None -> buf_u8 b 0
-     | Some p -> buf_u8 b 1; buf_u16 b p)
-  | Stats_request Table_stats_request -> buf_u8 b 2
+     | None -> w_u8 w 0
+     | Some p -> w_u8 w 1; w_u16 w p)
+  | Stats_request Table_stats_request -> w_u8 w 2
   | Stats_reply (Flow_stats_reply stats) ->
-    buf_u8 b 0;
-    buf_u16 b (List.length stats);
+    w_u8 w 0;
+    w_u16 w (List.length stats);
     List.iter
       (fun fs ->
-        buf_pattern b fs.fs_pattern;
-        buf_u32 b fs.fs_priority;
-        buf_i32 b fs.fs_cookie;
-        buf_u64 b (Int64.of_int fs.fs_packets);
-        buf_u64 b (Int64.of_int fs.fs_bytes))
+        w_pattern w fs.fs_pattern;
+        w_u32 w fs.fs_priority;
+        w_i32 w fs.fs_cookie;
+        w_u64 w (Int64.of_int fs.fs_packets);
+        w_u64 w (Int64.of_int fs.fs_bytes))
       stats
   | Stats_reply (Port_stats_reply stats) ->
-    buf_u8 b 1;
-    buf_u16 b (List.length stats);
+    w_u8 w 1;
+    w_u16 w (List.length stats);
     List.iter
       (fun ps ->
-        buf_u16 b ps.pstat_port;
-        buf_u64 b (Int64.of_int ps.rx_packets);
-        buf_u64 b (Int64.of_int ps.tx_packets);
-        buf_u64 b (Int64.of_int ps.rx_bytes);
-        buf_u64 b (Int64.of_int ps.tx_bytes);
-        buf_u64 b (Int64.of_int ps.drops))
+        w_u16 w ps.pstat_port;
+        w_u64 w (Int64.of_int ps.rx_packets);
+        w_u64 w (Int64.of_int ps.tx_packets);
+        w_u64 w (Int64.of_int ps.rx_bytes);
+        w_u64 w (Int64.of_int ps.tx_bytes);
+        w_u64 w (Int64.of_int ps.drops))
       stats
   | Stats_reply (Table_stats_reply ts) ->
-    buf_u8 b 2;
-    buf_u64 b (Int64.of_int ts.active_rules);
-    buf_u64 b (Int64.of_int ts.table_hits);
-    buf_u64 b (Int64.of_int ts.table_misses);
-    buf_u64 b (Int64.of_int ts.cache_hits);
-    buf_u64 b (Int64.of_int ts.cache_misses);
-    buf_u64 b (Int64.of_int ts.cache_invalidations);
-    buf_u64 b (Int64.of_int ts.classifier_probes);
-    buf_u64 b (Int64.of_int ts.classifier_shapes)
+    w_u8 w 2;
+    w_u64 w (Int64.of_int ts.active_rules);
+    w_u64 w (Int64.of_int ts.table_hits);
+    w_u64 w (Int64.of_int ts.table_misses);
+    w_u64 w (Int64.of_int ts.cache_hits);
+    w_u64 w (Int64.of_int ts.cache_misses);
+    w_u64 w (Int64.of_int ts.cache_invalidations);
+    w_u64 w (Int64.of_int ts.classifier_probes);
+    w_u64 w (Int64.of_int ts.classifier_shapes)
+
+(* reserve the 8-byte header, write the body, patch the header with the
+   measured length *)
+let write_frame w ~xid msg =
+  let start = w.pos in
+  ensure w 8;
+  w.pos <- start + 8;
+  w_body w msg;
+  let len = w.pos - start in
+  if len > 0xffff then fail "message too long (%d bytes)" len;
+  let b = w.buf in
+  Bytes.unsafe_set b start (Char.unsafe_chr version);
+  Bytes.unsafe_set b (start + 1) (Char.unsafe_chr (type_code msg));
+  Bytes.unsafe_set b (start + 2) (Char.unsafe_chr (len lsr 8));
+  Bytes.unsafe_set b (start + 3) (Char.unsafe_chr (len land 0xff));
+  Bytes.unsafe_set b (start + 4) (Char.unsafe_chr ((xid lsr 24) land 0xff));
+  Bytes.unsafe_set b (start + 5) (Char.unsafe_chr ((xid lsr 16) land 0xff));
+  Bytes.unsafe_set b (start + 6) (Char.unsafe_chr ((xid lsr 8) land 0xff));
+  Bytes.unsafe_set b (start + 7) (Char.unsafe_chr (xid land 0xff))
 
 (** [encode ~xid msg] frames [msg] into wire bytes. *)
 let encode ~xid msg =
-  let body = Buffer.create 64 in
-  buf_body body msg;
-  let len = 8 + Buffer.length body in
-  if len > 0xffff then fail "message too long (%d bytes)" len;
-  let b = Buffer.create len in
-  buf_u8 b version;
-  buf_u8 b (type_code msg);
-  buf_u16 b len;
-  buf_u32 b xid;
-  Buffer.add_buffer b body;
-  Buffer.to_bytes b
+  let w = Domain.DLS.get writer_key in
+  w.pos <- 0;
+  write_frame w ~xid msg;
+  Bytes.sub w.buf 0 w.pos
+
+(** [encode_batch msgs] frames each [(xid, msg)] and concatenates the
+    frames into one transmission; {!decode_all} is the inverse.  A batch
+    of one is byte-identical to {!encode}. *)
+let encode_batch msgs =
+  let w = Domain.DLS.get writer_key in
+  w.pos <- 0;
+  List.iter (fun (xid, msg) -> write_frame w ~xid msg) msgs;
+  Bytes.sub w.buf 0 w.pos
+
+(** Number of framed messages in [data], by walking the length fields
+    (malformed tails count as one frame; {!decode_all} reports them). *)
+let frame_count data =
+  let n = Bytes.length data in
+  let rec go pos count =
+    if pos + 8 > n then if pos < n then count + 1 else count
+    else
+      let len = Bits.get_u16 data (pos + 2) in
+      if len < 8 then count + 1
+      else go (pos + len) (count + 1)
+  in
+  go 0 0
 
 (* ------------------------------------------------------------------ *)
-(* Decoding: cursor over bytes *)
+(* Decoding: cursor over bytes; [limit] bounds the current frame *)
 
-type cursor = { data : bytes; mutable pos : int }
+type cursor = { data : bytes; mutable pos : int; mutable limit : int }
 
 let need c n =
-  if c.pos + n > Bytes.length c.data then
+  if c.pos + n > c.limit then
     fail "truncated message at offset %d (want %d bytes)" c.pos n
 
 let r8 c = need c 1; let v = Bits.get_u8 c.data c.pos in c.pos <- c.pos + 1; v
@@ -448,7 +524,7 @@ let rbody code c =
 (** [decode bytes] parses one framed message, returning [(xid, msg)].
     @raise Wire_error on malformed input or trailing garbage. *)
 let decode data =
-  let c = { data; pos = 0 } in
+  let c = { data; pos = 0; limit = Bytes.length data } in
   let v = r8 c in
   if v <> version then fail "bad version %d" v;
   let code = r8 c in
@@ -459,3 +535,31 @@ let decode data =
   let msg = rbody code c in
   if c.pos <> Bytes.length data then fail "trailing bytes after message";
   (xid, msg)
+
+(** [decode_all bytes] parses a batch of concatenated frames (see
+    {!encode_batch}) in order; a single frame decodes as a one-element
+    list.  Each frame is bounded by its own length field, so a message
+    body can never read into the next frame.
+    @raise Wire_error on malformed input. *)
+let decode_all data =
+  let total = Bytes.length data in
+  let c = { data; pos = 0; limit = total } in
+  let rec go acc =
+    if c.pos = total then List.rev acc
+    else begin
+      let start = c.pos in
+      c.limit <- total;
+      let v = r8 c in
+      if v <> version then fail "bad version %d" v;
+      let code = r8 c in
+      let len = r16 c in
+      if len < 8 || start + len > total then
+        fail "length field %d does not match buffer %d" len (total - start);
+      c.limit <- start + len;
+      let xid = r32 c in
+      let msg = rbody code c in
+      if c.pos <> c.limit then fail "trailing bytes after message";
+      go ((xid, msg) :: acc)
+    end
+  in
+  go []

@@ -1,7 +1,17 @@
 (** Binary wire codec for {!Frame.t}: big-endian serialization following
     the standard header layouts (Ethernet II, 802.1Q, ARP over Ethernet,
     IPv4 without options, TCP without options, UDP, ICMP).  The IPv4
-    header checksum is computed on encode and validated on decode. *)
+    header checksum is computed on encode and validated on decode.
+
+    Encoding is single-pass: the total size is computed up front
+    ({!Frame.size}) and every layer writes directly into its slice of
+    one output buffer — no per-layer allocation or blitting.
+    {!encode_into} exposes the same path for callers that reuse a
+    buffer (e.g. one acquired from {!Util.Bufpool}); it writes every
+    byte of the frame explicitly, checksum and reserved fields
+    included, so dirty pooled buffers are safe.  Lengths that must fit
+    a wire field (IPv4 total length, TCP/UDP payload sizes) are
+    range-checked and raise {!Parse_error} instead of truncating. *)
 
 open Util
 
@@ -10,93 +20,119 @@ exception Parse_error of string
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
 (* ------------------------------------------------------------------ *)
-(* Encoding *)
+(* Encoding: each writer fills [b] starting at [off] and returns the
+   number of bytes written *)
 
-let encode_tcp (t : Frame.tcp) =
-  let b = Bytes.make (20 + Bytes.length t.tcp_payload) '\000' in
-  Bits.set_u16 b 0 t.tcp_src;
-  Bits.set_u16 b 2 t.tcp_dst;
-  Bits.set_u32 b 4 t.seq;
-  Bits.set_u32 b 8 t.ack;
+let write_tcp b off (t : Frame.tcp) =
+  let plen = Bytes.length t.tcp_payload in
+  (* no length field of its own, but the segment must fit an IPv4
+     datagram's 16-bit total *)
+  if 20 + plen > 0xffff then fail "tcp: payload too large";
+  Bits.set_u16 b off t.tcp_src;
+  Bits.set_u16 b (off + 2) t.tcp_dst;
+  Bits.set_u32 b (off + 4) t.seq;
+  Bits.set_u32 b (off + 8) t.ack;
   (* data offset 5 words, then flags *)
-  Bits.set_u16 b 12 ((5 lsl 12) lor (t.flags land 0x1ff));
-  Bits.set_u16 b 14 t.window;
-  Bytes.blit t.tcp_payload 0 b 20 (Bytes.length t.tcp_payload);
-  b
+  Bits.set_u16 b (off + 12) ((5 lsl 12) lor (t.flags land 0x1ff));
+  Bits.set_u16 b (off + 14) t.window;
+  Bits.set_u16 b (off + 16) 0 (* checksum *);
+  Bits.set_u16 b (off + 18) 0 (* urgent pointer *);
+  Bytes.blit t.tcp_payload 0 b (off + 20) plen;
+  20 + plen
 
-let encode_udp (u : Frame.udp) =
+let write_udp b off (u : Frame.udp) =
   let len = 8 + Bytes.length u.udp_payload in
-  let b = Bytes.make len '\000' in
-  Bits.set_u16 b 0 u.udp_src;
-  Bits.set_u16 b 2 u.udp_dst;
-  Bits.set_u16 b 4 len;
-  Bytes.blit u.udp_payload 0 b 8 (Bytes.length u.udp_payload);
-  b
+  if len > 0xffff then fail "udp: payload too large";
+  Bits.set_u16 b off u.udp_src;
+  Bits.set_u16 b (off + 2) u.udp_dst;
+  Bits.set_u16 b (off + 4) len;
+  Bits.set_u16 b (off + 6) 0 (* checksum *);
+  Bytes.blit u.udp_payload 0 b (off + 8) (len - 8);
+  len
 
-let encode_icmp (i : Frame.icmp) =
-  let b = Bytes.make (4 + Bytes.length i.icmp_payload) '\000' in
-  Bits.set_u8 b 0 i.icmp_type;
-  Bits.set_u8 b 1 i.icmp_code;
-  Bytes.blit i.icmp_payload 0 b 4 (Bytes.length i.icmp_payload);
-  b
+let write_icmp b off (i : Frame.icmp) =
+  let plen = Bytes.length i.icmp_payload in
+  Bits.set_u8 b off i.icmp_type;
+  Bits.set_u8 b (off + 1) i.icmp_code;
+  Bits.set_u16 b (off + 2) 0 (* checksum *);
+  Bytes.blit i.icmp_payload 0 b (off + 4) plen;
+  4 + plen
 
-let encode_ipv4 (ip : Frame.ipv4) =
-  let body =
-    match ip.ip_payload with
-    | Tcp t -> encode_tcp t
-    | Udp u -> encode_udp u
-    | Icmp i -> encode_icmp i
-    | Ip_raw (_, b) -> b
-  in
-  let total = 20 + Bytes.length body in
+let ip_payload_size : Frame.ip_payload -> int = function
+  | Tcp t -> 20 + Bytes.length t.tcp_payload
+  | Udp u -> 8 + Bytes.length u.udp_payload
+  | Icmp i -> 4 + Bytes.length i.icmp_payload
+  | Ip_raw (_, raw) -> Bytes.length raw
+
+let write_ipv4 b off (ip : Frame.ipv4) =
+  let total = 20 + ip_payload_size ip.ip_payload in
   if total > 0xffff then fail "ipv4: payload too large";
-  let b = Bytes.make total '\000' in
-  Bits.set_u8 b 0 0x45 (* version 4, IHL 5 *);
-  Bits.set_u8 b 1 (ip.dscp lsl 2);
-  Bits.set_u16 b 2 total;
-  Bits.set_u16 b 4 ip.ident;
-  Bits.set_u16 b 6 0 (* flags/fragment *);
-  Bits.set_u8 b 8 ip.ttl;
-  Bits.set_u8 b 9 (Frame.ip_proto_of_payload ip.ip_payload);
-  Bits.set_u32 b 12 (Ipv4.to_int ip.ip_src);
-  Bits.set_u32 b 16 (Ipv4.to_int ip.ip_dst);
-  Bits.set_u16 b 10 (Bits.ones_complement_sum b 0 20);
-  Bytes.blit body 0 b 20 (Bytes.length body);
-  b
+  Bits.set_u8 b off 0x45 (* version 4, IHL 5 *);
+  Bits.set_u8 b (off + 1) (ip.dscp lsl 2);
+  Bits.set_u16 b (off + 2) total;
+  Bits.set_u16 b (off + 4) ip.ident;
+  Bits.set_u16 b (off + 6) 0 (* flags/fragment *);
+  Bits.set_u8 b (off + 8) ip.ttl;
+  Bits.set_u8 b (off + 9) (Frame.ip_proto_of_payload ip.ip_payload);
+  Bits.set_u16 b (off + 10) 0 (* checksum, patched below *);
+  Bits.set_u32 b (off + 12) (Ipv4.to_int ip.ip_src);
+  Bits.set_u32 b (off + 16) (Ipv4.to_int ip.ip_dst);
+  Bits.set_u16 b (off + 10) (Bits.ones_complement_sum b off 20);
+  let body = off + 20 in
+  (match ip.ip_payload with
+   | Tcp t -> ignore (write_tcp b body t)
+   | Udp u -> ignore (write_udp b body u)
+   | Icmp i -> ignore (write_icmp b body i)
+   | Ip_raw (_, raw) -> Bytes.blit raw 0 b body (Bytes.length raw));
+  total
 
-let encode_arp (a : Frame.arp) =
-  let b = Bytes.make 28 '\000' in
-  Bits.set_u16 b 0 1 (* htype ethernet *);
-  Bits.set_u16 b 2 Frame.ethertype_ip;
-  Bits.set_u8 b 4 6 (* hlen *);
-  Bits.set_u8 b 5 4 (* plen *);
-  Bits.set_u16 b 6 (match a.op with Arp_request -> 1 | Arp_reply -> 2);
-  Bits.set_u48 b 8 (Mac.to_int a.sha);
-  Bits.set_u32 b 14 (Ipv4.to_int a.spa);
-  Bits.set_u48 b 18 (Mac.to_int a.tha);
-  Bits.set_u32 b 24 (Ipv4.to_int a.tpa);
-  b
+let write_arp b off (a : Frame.arp) =
+  Bits.set_u16 b off 1 (* htype ethernet *);
+  Bits.set_u16 b (off + 2) Frame.ethertype_ip;
+  Bits.set_u8 b (off + 4) 6 (* hlen *);
+  Bits.set_u8 b (off + 5) 4 (* plen *);
+  Bits.set_u16 b (off + 6) (match a.op with Arp_request -> 1 | Arp_reply -> 2);
+  Bits.set_u48 b (off + 8) (Mac.to_int a.sha);
+  Bits.set_u32 b (off + 14) (Ipv4.to_int a.spa);
+  Bits.set_u48 b (off + 18) (Mac.to_int a.tha);
+  Bits.set_u32 b (off + 24) (Ipv4.to_int a.tpa);
+  28
 
-(** [encode frame] serializes to freshly-allocated bytes. *)
-let encode (t : Frame.t) =
-  let body =
-    match t.eth_payload with
-    | Ip ip -> encode_ipv4 ip
-    | Arp a -> encode_arp a
-    | Eth_raw (_, b) -> b
-  in
+(** [encode_into frame buf off] serializes [frame] into [buf] at [off]
+    in one pass, returning the number of bytes written
+    (= [Frame.size frame]).  Every byte of the frame is written, so
+    [buf] may hold arbitrary prior contents (e.g. a pooled buffer).
+    @raise Invalid_argument when [buf] is too small.
+    @raise Parse_error when a length exceeds its wire field. *)
+let encode_into (t : Frame.t) b off =
+  let size = Frame.size t in
+  if off < 0 || off + size > Bytes.length b then
+    invalid_arg "Codec.encode_into: buffer too small";
+  Bits.set_u48 b off (Mac.to_int t.eth_dst);
+  Bits.set_u48 b (off + 6) (Mac.to_int t.eth_src);
   let ethertype = Frame.ethertype_of_payload t.eth_payload in
-  let vlan_bytes = match t.vlan with None -> 0 | Some _ -> 4 in
-  let b = Bytes.make (14 + vlan_bytes + Bytes.length body) '\000' in
-  Bits.set_u48 b 0 (Mac.to_int t.eth_dst);
-  Bits.set_u48 b 6 (Mac.to_int t.eth_src);
-  (match t.vlan with
-   | None -> Bits.set_u16 b 12 ethertype
-   | Some vid ->
-     Bits.set_u16 b 12 Frame.ethertype_vlan;
-     Bits.set_u16 b 14 (vid land 0xfff);
-     Bits.set_u16 b 16 ethertype);
-  Bytes.blit body 0 b (14 + vlan_bytes) (Bytes.length body);
+  let body =
+    match t.vlan with
+    | None ->
+      Bits.set_u16 b (off + 12) ethertype;
+      off + 14
+    | Some vid ->
+      Bits.set_u16 b (off + 12) Frame.ethertype_vlan;
+      Bits.set_u16 b (off + 14) (vid land 0xfff);
+      Bits.set_u16 b (off + 16) ethertype;
+      off + 18
+  in
+  (match t.eth_payload with
+   | Ip ip -> ignore (write_ipv4 b body ip)
+   | Arp a -> ignore (write_arp b body a)
+   | Eth_raw (_, raw) -> Bytes.blit raw 0 b body (Bytes.length raw));
+  size
+
+(** [encode frame] serializes to freshly-allocated bytes of exactly
+    [Frame.size frame] bytes. *)
+let encode (t : Frame.t) =
+  let b = Bytes.create (Frame.size t) in
+  ignore (encode_into t b 0);
   b
 
 (* ------------------------------------------------------------------ *)

@@ -3,23 +3,19 @@
     network (big-endian) order.  Functions raise [Invalid_argument] when
     the access falls outside the buffer, mirroring [Bytes] semantics. *)
 
-let get_u8 b off = Char.code (Bytes.get b off)
+(* The accessors lower to the stdlib's fixed-width big-endian
+   primitives (one bounds check + one load/store each) rather than
+   per-byte [Bytes.get]/[Bytes.set] chains — these sit on the packet
+   and control-message encode hot paths.  Values wider than the field
+   are truncated to the field width; wire formats that must reject
+   oversized values range-check before writing (see {!Packet.Codec}). *)
 
-let set_u8 b off v =
-  assert (v land 0xff = v);
-  Bytes.set b off (Char.chr (v land 0xff))
-
-let get_u16 b off = (get_u8 b off lsl 8) lor get_u8 b (off + 1)
-
-let set_u16 b off v =
-  set_u8 b off ((v lsr 8) land 0xff);
-  set_u8 b (off + 1) (v land 0xff)
-
-let get_u32 b off = (get_u16 b off lsl 16) lor get_u16 b (off + 2)
-
-let set_u32 b off v =
-  set_u16 b off ((v lsr 16) land 0xffff);
-  set_u16 b (off + 2) (v land 0xffff)
+let get_u8 b off = Bytes.get_uint8 b off
+let set_u8 b off v = Bytes.set_uint8 b off (v land 0xff)
+let get_u16 b off = Bytes.get_uint16_be b off
+let set_u16 b off v = Bytes.set_uint16_be b off (v land 0xffff)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xffffffff
+let set_u32 b off v = Bytes.set_int32_be b off (Int32.of_int v)
 
 (** 48-bit quantity (an Ethernet MAC address) as an OCaml [int]. *)
 let get_u48 b off = (get_u16 b off lsl 32) lor get_u32 b (off + 2)
@@ -28,14 +24,8 @@ let set_u48 b off v =
   set_u16 b off ((v lsr 32) land 0xffff);
   set_u32 b (off + 2) (v land 0xffffffff)
 
-let get_u64 b off =
-  Int64.logor
-    (Int64.shift_left (Int64.of_int (get_u32 b off)) 32)
-    (Int64.of_int (get_u32 b (off + 4)))
-
-let set_u64 b off v =
-  set_u32 b off Int64.(to_int (logand (shift_right_logical v 32) 0xffffffffL));
-  set_u32 b (off + 4) Int64.(to_int (logand v 0xffffffffL))
+let get_u64 b off = Bytes.get_int64_be b off
+let set_u64 b off v = Bytes.set_int64_be b off v
 
 (** [hex_dump b] renders [b] as the conventional 16-bytes-per-line hex dump,
     for diagnostics and golden tests. *)

@@ -55,9 +55,14 @@ let rec sift_down h i =
     sift_down h smallest
   end
 
-let push h key value =
-  let e = Some { key; seq = h.next_seq; value } in
-  h.next_seq <- h.next_seq + 1;
+(** [push_seq h key ~seq value] inserts with an explicit tie-break
+    sequence number.  {!Timing_wheel} uses this to preserve the global
+    insertion order of entries that migrate between its stages; the
+    internal counter advances past [seq] so later plain {!push}es still
+    sort after it. *)
+let push_seq h key ~seq value =
+  let e = Some { key; seq; value } in
+  if seq >= h.next_seq then h.next_seq <- seq + 1;
   let cap = Array.length h.data in
   if h.size = cap then begin
     let ncap = max 16 (2 * cap) in
@@ -69,6 +74,8 @@ let push h key value =
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
+let push h key value = push_seq h key ~seq:h.next_seq value
+
 (** [peek h] returns [Some (key, value)] for the minimum element without
     removing it, or [None] when the heap is empty. *)
 let peek h =
@@ -77,9 +84,10 @@ let peek h =
     let e = get h 0 in
     Some (e.key, e.value)
 
-(** [pop h] removes and returns the minimum element.
+(** [pop_seq h] removes the minimum element, returning its tie-break
+    sequence number as well (see {!push_seq}).
     @raise Not_found when the heap is empty. *)
-let pop h =
+let pop_seq h =
   if h.size = 0 then raise Not_found;
   let top = get h 0 in
   h.size <- h.size - 1;
@@ -89,7 +97,13 @@ let pop h =
     sift_down h 0
   end
   else h.data.(0) <- None;
-  (top.key, top.value)
+  (top.key, top.seq, top.value)
+
+(** [pop h] removes and returns the minimum element.
+    @raise Not_found when the heap is empty. *)
+let pop h =
+  let key, _seq, value = pop_seq h in
+  (key, value)
 
 let clear h =
   Array.fill h.data 0 h.size None;

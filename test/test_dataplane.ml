@@ -68,6 +68,48 @@ let test_sim_max_events () =
   let executed = Sim.run ~max_events:10 s in
   Alcotest.(check int) "bounded" 10 executed
 
+(* wheel and heap engines must produce identical execution traces —
+   same handlers, same clock readings, ties in the same order — for a
+   schedule mixing near events, exact duplicates, and nested
+   rescheduling *)
+let test_sim_engine_equivalence () =
+  let trace engine =
+    let s = Sim.create ~engine () in
+    let log = ref [] in
+    let prng = Util.Prng.create 42 in
+    let delays = List.init 150 (fun _ -> Util.Prng.float prng 0.03) in
+    List.iteri
+      (fun i d ->
+        Sim.schedule s ~delay:d (fun () ->
+          log := (i, Sim.now s) :: !log;
+          if i mod 7 = 0 then
+            Sim.schedule s ~delay:(d /. 3.0) (fun () ->
+              log := (1000 + i, Sim.now s) :: !log)))
+      (delays @ delays) (* duplicates force key ties *);
+    ignore (Sim.run s);
+    List.rev !log
+  in
+  let w = trace `Wheel and h = trace `Heap in
+  Alcotest.(check int) "same event count" (List.length h) (List.length w);
+  Alcotest.(check bool) "identical execution traces" true (w = h)
+
+let test_sim_run_batch () =
+  let s = Sim.create () in
+  let log = ref [] in
+  Sim.schedule s ~delay:1.0 (fun () ->
+    log := "a" :: !log;
+    (* same-instant event scheduled from inside the batch joins it *)
+    Sim.schedule s ~delay:0.0 (fun () -> log := "a2" :: !log));
+  Sim.schedule s ~delay:1.0 (fun () -> log := "b" :: !log);
+  Sim.schedule s ~delay:2.0 (fun () -> log := "c" :: !log);
+  Alcotest.(check int) "first batch drains t=1" 3 (Sim.run_batch s);
+  Alcotest.(check (float 1e-9)) "clock at batch time" 1.0 (Sim.now s);
+  Alcotest.(check (list string)) "ties in schedule order, nested last"
+    [ "a"; "b"; "a2" ] (List.rev !log);
+  Alcotest.(check int) "later event stays queued" 1 (Sim.pending s);
+  Alcotest.(check int) "second batch" 1 (Sim.run_batch s);
+  Alcotest.(check int) "empty queue" 0 (Sim.run_batch s)
+
 (* ------------------------------------------------------------------ *)
 (* Network forwarding *)
 
@@ -292,7 +334,11 @@ let suites =
         Alcotest.test_case "negative delay" `Quick
           test_sim_negative_delay_rejected;
         Alcotest.test_case "periodic" `Quick test_sim_every;
-        Alcotest.test_case "max events" `Quick test_sim_max_events ] );
+        Alcotest.test_case "max events" `Quick test_sim_max_events;
+        Alcotest.test_case "wheel == heap traces" `Quick
+          test_sim_engine_equivalence;
+        Alcotest.test_case "run_batch drains one instant" `Quick
+          test_sim_run_batch ] );
     ( "dataplane.network",
       [ Alcotest.test_case "direct delivery" `Quick test_direct_delivery;
         Alcotest.test_case "latency model" `Quick test_latency_model;

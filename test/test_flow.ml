@@ -600,6 +600,73 @@ let prop_tuple_space_consistent =
           agree ())
         ops)
 
+(* ------------------------------------------------------------------ *)
+(* cache overflow policies *)
+
+(* one hot header re-probed between a stream of cold ones — the access
+   pattern where wholesale reset loses and per-entry eviction wins *)
+let churn_cache policy =
+  let t = Table.create ~cache_policy:policy ~cache_entries:8 () in
+  Table.add t (mk Pattern.any (Action.forward 1));
+  let h i = Headers.set hdr Fields.Tp_dst i in
+  let hot = h 1 in
+  ignore (Table.lookup t hot);
+  for i = 2 to 200 do
+    ignore (Table.lookup t (h i));
+    ignore (Table.lookup t hot)
+  done;
+  t
+
+let test_clock_eviction_bounds () =
+  let t = churn_cache Table.Clock in
+  Alcotest.(check bool) "cache bounded" true (Table.cache_size t <= 8);
+  Alcotest.(check bool) "evicts per entry" true (Table.cache_evictions t > 0);
+  Alcotest.(check int) "never resets" 0 (Table.cache_resets t);
+  (* the hot entry must be resident after all that churn *)
+  let hits = Table.cache_hits t in
+  (match Table.lookup t (Headers.set hdr Fields.Tp_dst 1) with
+   | Some r -> Alcotest.(check int) "still correct" 0 r.priority
+   | None -> Alcotest.fail "hot header must match");
+  Alcotest.(check int) "hot entry survives churn" (hits + 1)
+    (Table.cache_hits t)
+
+let test_reset_policy_still_available () =
+  let t = churn_cache Table.Reset in
+  Alcotest.(check bool) "cache bounded" true (Table.cache_size t <= 8);
+  Alcotest.(check bool) "resets wholesale" true (Table.cache_resets t > 0);
+  Alcotest.(check int) "no per-entry evictions" 0 (Table.cache_evictions t)
+
+let test_clock_beats_reset_hit_rate () =
+  (* E2's overflow row in miniature: same access pattern, second-chance
+     keeps the hot entry where reset relearns it after every drop *)
+  let clock = churn_cache Table.Clock and reset = churn_cache Table.Reset in
+  Alcotest.(check bool) "clock hit rate > reset hit rate" true
+    (Table.cache_hits clock > Table.cache_hits reset)
+
+let test_clock_consistent_under_eviction () =
+  (* a tiny cache forces constant eviction; verdicts must still agree
+     with the linear reference, mutations included *)
+  let t = Table.create ~cache_entries:2 () in
+  let h i = Headers.set hdr Fields.Tp_dst i in
+  Table.add t (mk ~priority:1 Pattern.any (Action.forward 1));
+  Table.add t
+    (mk ~priority:5 (Pattern.of_field Fields.Tp_dst 3) (Action.forward 2));
+  for round = 0 to 2 do
+    if round = 1 then
+      Table.add t
+        (mk ~priority:9 (Pattern.of_field Fields.Tp_dst 5) (Action.forward 3));
+    if round = 2 then
+      Table.remove t ~pattern:(Pattern.of_field Fields.Tp_dst 3);
+    for i = 0 to 40 do
+      let probe = h (i mod 7) in
+      let key = Option.map (fun (r : Table.rule) -> r.priority) in
+      Alcotest.(check (option int))
+        (Printf.sprintf "round %d probe %d" round i)
+        (key (Table.lookup_linear t probe))
+        (key (Table.lookup t probe))
+    done
+  done
+
 let suites =
   [ ( "flow.pattern",
       [ Alcotest.test_case "any" `Quick test_any_matches;
@@ -635,6 +702,14 @@ let suites =
         Alcotest.test_case "overlap detection" `Quick test_overlaps_detection;
         Alcotest.test_case "shadow detection" `Quick test_shadowed_detection;
         Alcotest.test_case "cache counters" `Quick test_cache_counters;
+        Alcotest.test_case "clock eviction bounds cache" `Quick
+          test_clock_eviction_bounds;
+        Alcotest.test_case "reset policy still available" `Quick
+          test_reset_policy_still_available;
+        Alcotest.test_case "clock beats reset hit rate" `Quick
+          test_clock_beats_reset_hit_rate;
+        Alcotest.test_case "consistent under eviction" `Quick
+          test_clock_consistent_under_eviction;
         QCheck_alcotest.to_alcotest prop_lookup_max_priority;
         QCheck_alcotest.to_alcotest prop_cache_consistent ] );
     ( "flow.classifier",

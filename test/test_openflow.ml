@@ -204,6 +204,72 @@ let prop_flow_mod_roundtrip =
       in
       snd (Wire.decode (Wire.encode ~xid:1 m)) = m)
 
+(* ------------------------------------------------------------------ *)
+(* batched framing *)
+
+let test_batch_roundtrip () =
+  let msgs =
+    [ (1, Message.Hello);
+      (2,
+       Message.Flow_mod
+         (Message.add_flow ~priority:7 ~cookie:3 ~pattern ~actions:group ()));
+      (3, Message.Echo_request "ping");
+      (4, Message.Barrier_request) ]
+  in
+  let b = Wire.encode_batch msgs in
+  Alcotest.(check int) "frame_count" 4 (Wire.frame_count b);
+  Alcotest.(check bool) "decode_all roundtrips" true (Wire.decode_all b = msgs);
+  (* a batch is one transmission but not one frame: the single-frame
+     decoder must reject it rather than drop the tail *)
+  Alcotest.(check bool) "single decode rejects batch" true
+    (match Wire.decode b with
+     | exception Wire.Wire_error _ -> true
+     | _ -> false)
+
+let test_batch_singleton_equals_encode () =
+  let m =
+    Message.Flow_mod (Message.add_flow ~priority:1 ~pattern ~actions:group ())
+  in
+  Alcotest.(check bytes) "one-message batch == encode"
+    (Wire.encode ~xid:9 m)
+    (Wire.encode_batch [ (9, m) ]);
+  Alcotest.(check bytes) "empty batch is empty" Bytes.empty
+    (Wire.encode_batch []);
+  Alcotest.(check int) "empty frame_count" 0 (Wire.frame_count Bytes.empty)
+
+let test_batch_rejects_bad_length () =
+  let b = Wire.encode_batch [ (1, Message.Hello); (2, Message.Hello) ] in
+  (* corrupt the second frame's length so it claims bytes past the end *)
+  Util.Bits.set_u16 b 10 64;
+  Alcotest.(check bool) "bad inner length rejected" true
+    (match Wire.decode_all b with
+     | exception Wire.Wire_error _ -> true
+     | _ -> false);
+  let truncated = Bytes.sub b 0 12 in
+  Alcotest.(check bool) "truncated tail rejected" true
+    (match Wire.decode_all truncated with
+     | exception Wire.Wire_error _ -> true
+     | _ -> false)
+
+let prop_batch_roundtrip =
+  QCheck.Test.make ~name:"random message batches roundtrip" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (0 -- 12)
+           (oneof
+              [ return Message.Hello;
+                return Message.Barrier_request;
+                map (fun s -> Message.Echo_request s) (string_size (0 -- 64));
+                map2
+                  (fun pattern (actions, priority) ->
+                    Message.Flow_mod
+                      (Message.add_flow ~priority ~pattern ~actions ()))
+                  gen_pattern (pair gen_group (int_bound 0xffff)) ])))
+    (fun msgs ->
+      let framed = List.mapi (fun i m -> (i + 1, m)) msgs in
+      let b = Wire.encode_batch framed in
+      Wire.frame_count b = List.length msgs && Wire.decode_all b = framed)
+
 let suites =
   [ ( "openflow.wire",
       [ Alcotest.test_case "simple messages" `Quick test_simple_messages;
@@ -219,4 +285,10 @@ let suites =
         Alcotest.test_case "length field" `Quick test_length_field;
         Alcotest.test_case "timeout precision" `Quick
           test_timeout_encoding_precision;
-        QCheck_alcotest.to_alcotest prop_flow_mod_roundtrip ] ) ]
+        Alcotest.test_case "batch roundtrip" `Quick test_batch_roundtrip;
+        Alcotest.test_case "batch singleton/empty" `Quick
+          test_batch_singleton_equals_encode;
+        Alcotest.test_case "batch rejects bad lengths" `Quick
+          test_batch_rejects_bad_length;
+        QCheck_alcotest.to_alcotest prop_flow_mod_roundtrip;
+        QCheck_alcotest.to_alcotest prop_batch_roundtrip ] ) ]

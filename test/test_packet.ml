@@ -253,6 +253,70 @@ let prop_codec_roundtrip =
     (QCheck.make gen_frame)
     (fun f -> Codec.decode (Codec.encode f) = f)
 
+(* the same property through the pooled single-pass path: encode_into a
+   dirty reused buffer, decode the exact slice back *)
+let prop_codec_roundtrip_pooled =
+  QCheck.Test.make ~name:"pooled encode_into roundtrips random frames"
+    ~count:500 (QCheck.make gen_frame)
+    (fun f ->
+      let pool = Util.Bufpool.create () in
+      Util.Bufpool.with_buf pool (Frame.size f + 7) (fun buf ->
+        (* poison so any byte encode_into fails to write is caught *)
+        Bytes.fill buf 0 (Bytes.length buf) '\xff';
+        let n = Codec.encode_into f buf 7 in
+        n = Frame.size f
+        && Bytes.equal (Bytes.sub buf 7 n) (Codec.encode f)
+        && Codec.decode (Bytes.sub buf 7 n) = f))
+
+(* regression: payloads that overflow a 16-bit wire length must raise
+   instead of truncating silently (corrupt frames used to decode as a
+   different packet) *)
+let test_encode_rejects_oversize () =
+  let rejects name f =
+    Alcotest.(check bool) name true
+      (match Codec.encode f with
+       | exception Codec.Parse_error _ -> true
+       | _ -> false)
+  in
+  let huge = Bytes.create 0x10000 in
+  rejects "tcp payload over ipv4 total"
+    (Frame.tcp_packet ~eth_src:mac1 ~eth_dst:mac2 ~ip_src:ip1 ~ip_dst:ip2
+       ~tp_src:1 ~tp_dst:2 ~payload:(Bytes.create (0x10000 - 20)) ());
+  rejects "udp length over u16"
+    (Frame.udp_packet ~eth_src:mac1 ~eth_dst:mac2 ~ip_src:ip1 ~ip_dst:ip2
+       ~tp_src:1 ~tp_dst:2 ~payload:(Bytes.create (0x10000 - 8)) ());
+  rejects "raw ip payload over ipv4 total"
+    { eth_src = mac1; eth_dst = mac2; vlan = None;
+      eth_payload =
+        Ip
+          { ip_src = ip1; ip_dst = ip2; ttl = 64; ident = 0; dscp = 0;
+            ip_payload = Ip_raw (99, huge) } };
+  (* the largest encodable payloads still encode *)
+  let fits =
+    Frame.udp_packet ~eth_src:mac1 ~eth_dst:mac2 ~ip_src:ip1 ~ip_dst:ip2
+      ~tp_src:1 ~tp_dst:2 ~payload:(Bytes.create (0xffff - 20 - 8)) ()
+  in
+  Alcotest.(check bool) "max udp payload encodes" true
+    (Codec.decode (Codec.encode fits) = fits)
+
+let test_encode_into_bounds () =
+  let f =
+    Frame.udp_packet ~eth_src:mac1 ~eth_dst:mac2 ~ip_src:ip1 ~ip_dst:ip2
+      ~tp_src:1 ~tp_dst:2 ()
+  in
+  let small = Bytes.create (Frame.size f - 1) in
+  Alcotest.(check bool) "short buffer rejected" true
+    (match Codec.encode_into f small 0 with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  let exact = Bytes.create (Frame.size f) in
+  Alcotest.(check bool) "negative offset rejected" true
+    (match Codec.encode_into f exact (-1) with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Alcotest.(check int) "exact fit writes size" (Frame.size f)
+    (Codec.encode_into f exact 0)
+
 let suites =
   [ ( "packet.mac",
       [ Alcotest.test_case "string roundtrip" `Quick test_mac_string_roundtrip;
@@ -289,4 +353,8 @@ let suites =
           test_codec_rejects_corrupt;
         Alcotest.test_case "to_headers projection" `Quick test_to_headers;
         Alcotest.test_case "to_headers for arp" `Quick test_to_headers_arp;
-        QCheck_alcotest.to_alcotest prop_codec_roundtrip ] ) ]
+        Alcotest.test_case "rejects oversize payloads" `Quick
+          test_encode_rejects_oversize;
+        Alcotest.test_case "encode_into bounds" `Quick test_encode_into_bounds;
+        QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+        QCheck_alcotest.to_alcotest prop_codec_roundtrip_pooled ] ) ]

@@ -137,6 +137,136 @@ let prop_heap_sorts =
       drained = List.sort compare keys)
 
 (* ------------------------------------------------------------------ *)
+(* Timing wheel *)
+
+let test_wheel_order () =
+  let w = Timing_wheel.create ~tick:1e-3 ~slots:16 () in
+  List.iter
+    (fun k -> Timing_wheel.push w k (int_of_float (k *. 10.0)))
+    [ 0.5; 0.1; 0.3; 0.2; 0.4 ];
+  check "length" 5 (Timing_wheel.length w);
+  let order = List.map snd (Timing_wheel.drain_to_list w) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] order
+
+let test_wheel_fifo_ties () =
+  let w = Timing_wheel.create ~tick:1e-3 ~slots:16 () in
+  Timing_wheel.push w 1.0 "a";
+  Timing_wheel.push w 1.0 "b";
+  Timing_wheel.push w 1.0 "c";
+  Alcotest.(check (list string)) "insertion order on ties" [ "a"; "b"; "c" ]
+    (List.map snd (Timing_wheel.drain_to_list w))
+
+let test_wheel_overflow_migrates () =
+  (* horizon is 16 ms; events at 1 s land in the overflow heap and must
+     still come out in order, ties included *)
+  let w = Timing_wheel.create ~tick:1e-3 ~slots:16 () in
+  Timing_wheel.push w 1.0 "far-a";
+  Timing_wheel.push w 0.001 "near";
+  Timing_wheel.push w 1.0 "far-b";
+  Timing_wheel.push w 0.5 "mid";
+  Alcotest.(check (list string)) "overflow drains in order"
+    [ "near"; "mid"; "far-a"; "far-b" ]
+    (List.map snd (Timing_wheel.drain_to_list w))
+
+let test_wheel_pop_until () =
+  let w = Timing_wheel.create ~tick:1e-3 ~slots:16 () in
+  (match Timing_wheel.pop_until w ~stop:1.0 with
+   | `Empty -> ()
+   | _ -> Alcotest.fail "expected `Empty");
+  Timing_wheel.push w 2.0 "late";
+  (match Timing_wheel.pop_until w ~stop:1.0 with
+   | `Beyond -> ()
+   | _ -> Alcotest.fail "expected `Beyond");
+  (match Timing_wheel.pop_until w ~stop:3.0 with
+   | `Event (k, "late") -> checkf "key" 2.0 k
+   | _ -> Alcotest.fail "expected `Event");
+  match Timing_wheel.pop_until w ~stop:3.0 with
+  | `Empty -> ()
+  | _ -> Alcotest.fail "expected `Empty after drain"
+
+(* the tentpole property: wheel and heap agree on execution order for
+   any push/pop interleaving — ties (identical keys) resolved by
+   insertion order in both.  Keys mix sub-tick, in-horizon and
+   over-horizon values so every wheel stage is exercised. *)
+let prop_wheel_heap_equivalent =
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 120)
+        (oneof
+           [ (* push with key from a deliberately collision-happy set *)
+             map
+               (fun k -> `Push (float_of_int k *. 0.004))
+               (oneof [ int_bound 8; int_bound 64; int_bound 5000 ]);
+             return `Pop ]))
+  in
+  QCheck.Test.make
+    ~name:"timing wheel == heap on any interleaving (ties included)"
+    ~count:300 (QCheck.make gen)
+    (fun ops ->
+      let w = Timing_wheel.create ~tick:1e-3 ~slots:16 () in
+      let h = Heap.create () in
+      let id = ref 0 in
+      let trace_w = ref [] and trace_h = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push k ->
+            incr id;
+            Timing_wheel.push w k !id;
+            Heap.push h k !id
+          | `Pop ->
+            (match Timing_wheel.pop w with
+             | exception Not_found -> ()
+             | k, v -> trace_w := (k, v) :: !trace_w);
+            (match Heap.pop h with
+             | exception Not_found -> ()
+             | k, v -> trace_h := (k, v) :: !trace_h))
+        ops;
+      List.iter (fun e -> trace_w := e :: !trace_w) (Timing_wheel.drain_to_list w);
+      List.iter (fun e -> trace_h := e :: !trace_h) (Heap.to_sorted_list h);
+      !trace_w = !trace_h)
+
+(* ------------------------------------------------------------------ *)
+(* Bufpool *)
+
+let test_bufpool_reuse () =
+  let p = Bufpool.create ~retain:4 () in
+  let b = Bufpool.acquire p 100 in
+  Alcotest.(check bool) "rounded up" true (Bytes.length b >= 100);
+  Bufpool.release p b;
+  check "retained" 1 (Bufpool.retained p);
+  let b' = Bufpool.acquire p 50 in
+  Alcotest.(check bool) "same storage reused" true (b == b');
+  check "free list drained" 0 (Bufpool.retained p)
+
+let test_bufpool_retain_bound () =
+  let p = Bufpool.create ~retain:2 () in
+  List.iter (fun b -> Bufpool.release p b)
+    [ Bytes.create 64; Bytes.create 64; Bytes.create 64 ];
+  check "drops past retain" 2 (Bufpool.retained p)
+
+let test_bufpool_grow_preserves () =
+  let p = Bufpool.create ~retain:4 () in
+  let b = Bufpool.acquire p 64 in
+  Bytes.fill b 0 (Bytes.length b) 'x';
+  let g = Bufpool.grow p b 1000 in
+  Alcotest.(check bool) "grew" true (Bytes.length g >= 1000);
+  Alcotest.(check string) "prefix preserved" (String.make 64 'x')
+    (Bytes.sub_string g 0 64);
+  Alcotest.(check bool) "old buffer pooled" true (Bufpool.retained p >= 1);
+  let same = Bufpool.grow p g 10 in
+  Alcotest.(check bool) "no-op when big enough" true (same == g)
+
+let test_bufpool_with_buf_releases () =
+  let p = Bufpool.create ~retain:4 () in
+  ignore (Bufpool.with_buf p 32 (fun _ -> 42));
+  check "released on return" 1 (Bufpool.retained p);
+  (try Bufpool.with_buf p 32 (fun _ -> failwith "boom")
+   with Failure _ -> ());
+  (* the exceptional call reacquired and re-released the same buffer *)
+  check "released on exception" 1 (Bufpool.retained p)
+
+(* ------------------------------------------------------------------ *)
 (* Prng *)
 
 let test_prng_deterministic () =
@@ -343,6 +473,20 @@ let suites =
         Alcotest.test_case "releases popped payloads" `Quick
           test_heap_releases_popped;
         QCheck_alcotest.to_alcotest prop_heap_sorts ] );
+    ( "util.wheel",
+      [ Alcotest.test_case "sorted drain" `Quick test_wheel_order;
+        Alcotest.test_case "FIFO on equal keys" `Quick test_wheel_fifo_ties;
+        Alcotest.test_case "overflow migrates in order" `Quick
+          test_wheel_overflow_migrates;
+        Alcotest.test_case "pop_until states" `Quick test_wheel_pop_until;
+        QCheck_alcotest.to_alcotest prop_wheel_heap_equivalent ] );
+    ( "util.bufpool",
+      [ Alcotest.test_case "acquire/release reuse" `Quick test_bufpool_reuse;
+        Alcotest.test_case "retain bound" `Quick test_bufpool_retain_bound;
+        Alcotest.test_case "grow preserves prefix" `Quick
+          test_bufpool_grow_preserves;
+        Alcotest.test_case "with_buf releases" `Quick
+          test_bufpool_with_buf_releases ] );
     ( "util.prng",
       [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
         Alcotest.test_case "int bounds" `Quick test_prng_bounds;
