@@ -1320,13 +1320,156 @@ let micro () =
     | Some [] | None -> pf "%-28s | %14s@." name "?")
 
 (* ------------------------------------------------------------------ *)
+(* E9-chaos — delivery and recovery under control-plane chaos *)
+
+(* tight keepalive/retransmit timers so outages are detected and
+   recovered within the 5 s scenario horizon *)
+let e9c_resilience =
+  { Controller.Runtime.echo_period = 0.05; echo_miss_limit = 3;
+    retx_timeout = 0.01; retx_backoff = 2.0; retx_cap = 0.1 }
+
+type e9c_result = {
+  c_trace : string list;
+  c_diverged : int list;
+  c_sent : int;
+  c_delivered : int;
+  c_retransmits : int;
+  c_resyncs : int;
+  c_recoveries : float list;
+}
+
+(* the ISSUE acceptance scenario: a 6-ring under configurable
+   control-channel chaos, one switch crash/restart and two link flaps,
+   with CBR cross-traffic throughout *)
+let e9c_run ~seed ~drop ~dup ~jitter () =
+  let topo = Topo.Gen.ring ~switches:6 ~hosts_per_switch:1 () in
+  let fault = Dataplane.Fault.create ~seed ~drop ~dup ~jitter () in
+  let net = Dataplane.Network.create ~fault topo in
+  let routing = Controller.Routing.create () in
+  let rt =
+    Controller.Runtime.create ~resilience:e9c_resilience net
+      [ Controller.Routing.app routing ]
+  in
+  Dataplane.Network.inject net
+    [ Dataplane.Fault.Switch_outage { switch_id = 3; at = 0.6; duration = 0.8 };
+      Dataplane.Fault.Link_flap
+        { node = Topo.Topology.Node.Switch 1; port = 1; at = 0.9;
+          duration = 0.5 };
+      Dataplane.Fault.Link_flap
+        { node = Topo.Topology.Node.Switch 4; port = 2; at = 1.2;
+          duration = 0.4 } ];
+  let senders =
+    List.map
+      (fun (src, dst) ->
+        Dataplane.Traffic.cbr net
+          { (Dataplane.Traffic.default_flow ~src ~dst) with
+            rate_pps = 200.0; pkt_size = 200; start = 0.1; stop = 2.5;
+            tp_src = Some 9000 })
+      [ (1, 4); (2, 5); (6, 3) ]
+  in
+  ignore (Dataplane.Network.run ~until:5.0 net ());
+  let rs = Controller.Runtime.resilience_stats rt in
+  let key (r : Flow.Table.rule) = (r.priority, r.pattern, r.actions, r.cookie) in
+  let keys rules = List.sort compare (List.map key rules) in
+  let diverged =
+    Dataplane.Network.switch_list net
+    |> List.filter (fun (sw : Dataplane.Network.switch) ->
+      keys (Flow.Table.rules sw.table)
+      <> keys (Controller.Runtime.intended_rules rt ~switch_id:sw.sw_id))
+    |> List.map (fun (sw : Dataplane.Network.switch) -> sw.sw_id)
+  in
+  { c_trace = Dataplane.Fault.events fault;
+    c_diverged = diverged;
+    c_sent = List.fold_left (fun acc s -> acc + !s) 0 senders;
+    c_delivered = (Dataplane.Network.stats net).delivered;
+    c_retransmits = rs.retransmits;
+    c_resyncs = rs.resyncs;
+    c_recoveries = Controller.Runtime.recovery_times rt }
+
+let e9_chaos () =
+  header "E9-chaos — delivery and recovery under control-plane chaos";
+  pf "expected shape: with a clean control channel the crash/flap scenario@.";
+  pf "still reconverges (keepalives detect the outage, resync repushes the@.";
+  pf "intended table) with zero retransmits; as loss/duplication grow, the@.";
+  pf "reliable stream retransmits until acked and every table still ends@.";
+  pf "equal to intended state, at a bounded recovery-time cost.@.@.";
+  pf "%-22s | %7s %9s %7s %6s %8s %8s %6s@." "config" "sent" "delivered"
+    "ratio" "retx" "resyncs" "p50-rec" "conv";
+  pf "%s@." (String.make 86 '-');
+  List.iter
+    (fun (name, drop, dup, jitter) ->
+      let r = e9c_run ~seed:1005 ~drop ~dup ~jitter () in
+      let ratio =
+        if r.c_sent = 0 then 0.0
+        else float_of_int r.c_delivered /. float_of_int r.c_sent
+      in
+      let p50 =
+        match r.c_recoveries with
+        | [] -> 0.0
+        | ts -> Util.Stats.percentile ts 50.0
+      in
+      pf "%-22s | %7d %9d %6.1f%% %6d %8d %7.3fs %6s@." name r.c_sent
+        r.c_delivered (100.0 *. ratio) r.c_retransmits r.c_resyncs p50
+        (if r.c_diverged = [] then "yes" else "NO");
+      record ~experiment:"e9-chaos" ~metric:(name ^ "/delivery-pct")
+        (100.0 *. ratio);
+      record ~experiment:"e9-chaos" ~metric:(name ^ "/retransmits")
+        (float_of_int r.c_retransmits);
+      record ~experiment:"e9-chaos" ~metric:(name ^ "/recovery-p50-ms")
+        (p50 *. 1e3))
+    [ ("zero-chaos", 0.0, 0.0, 0.0);
+      ("drop-10", 0.1, 0.0, 0.0);
+      ("drop-20-dup-5-jit-1ms", 0.2, 0.05, 1e-3) ]
+
+let e9_smoke () =
+  header "E9 smoke — chaos determinism + reconvergence + delivery floor";
+  let run () = e9c_run ~seed:1005 ~drop:0.2 ~dup:0.05 ~jitter:1e-3 () in
+  let a = run () in
+  let b = run () in
+  let ratio =
+    if a.c_sent = 0 then 0.0
+    else float_of_int a.c_delivered /. float_of_int a.c_sent
+  in
+  pf "seed 1005: sent %d, delivered %d (%.1f%%), %d retx, %d resyncs, \
+      %d recoveries, trace %d events@."
+    a.c_sent a.c_delivered (100.0 *. ratio) a.c_retransmits a.c_resyncs
+    (List.length a.c_recoveries) (List.length a.c_trace);
+  record ~experiment:"e9-smoke" ~metric:"delivery-pct" (100.0 *. ratio);
+  record ~experiment:"e9-smoke" ~metric:"retransmits"
+    (float_of_int a.c_retransmits);
+  if
+    a.c_trace <> b.c_trace || a.c_sent <> b.c_sent
+    || a.c_delivered <> b.c_delivered || a.c_retransmits <> b.c_retransmits
+    || a.c_resyncs <> b.c_resyncs
+  then begin
+    pf "SMOKE FAILURE: same seed produced different runs@.";
+    exit 1
+  end;
+  if a.c_diverged <> [] then begin
+    pf "SMOKE FAILURE: switches %s diverged from intended state@."
+      (String.concat ", " (List.map string_of_int a.c_diverged));
+    exit 1
+  end;
+  if a.c_retransmits < 1 || a.c_resyncs < 1 || a.c_recoveries = [] then begin
+    pf "SMOKE FAILURE: chaos did not exercise the resilience path@.";
+    exit 1
+  end;
+  if ratio <= 0.5 then begin
+    pf "SMOKE FAILURE: delivery ratio %.2f below the 0.5 floor@." ratio;
+    exit 1
+  end;
+  pf "smoke ok: byte-identical trace across runs, reconverged, \
+      delivery %.1f%% above the floor@."
+    (100.0 *. ratio)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e1-smoke", e1_smoke);
-    ("e2-smoke", e2_smoke); ("e3-smoke", e3_smoke); ("e8-smoke", e8_smoke);
-    ("micro", micro) ]
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e9-chaos", e9_chaos);
+    ("e1-smoke", e1_smoke); ("e2-smoke", e2_smoke); ("e3-smoke", e3_smoke);
+    ("e8-smoke", e8_smoke); ("e9-smoke", e9_smoke); ("micro", micro) ]
 
 let () =
   (* pull out a --json FILE pair; remaining args name experiments *)

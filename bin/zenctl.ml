@@ -5,6 +5,7 @@
      compile   compile a policy and print per-switch flow tables
      verify    check reachability / loops / isolation of a policy
      simulate  run traffic through the simulated network
+     chaos     seeded chaos run against the resilient control plane
      ping      end-to-end ping between two hosts under a policy
      te        compare traffic-engineering schemes on a WAN
 
@@ -194,6 +195,9 @@ let simulate_cmd =
       "classifier: %d shape probes over %d shapes (%.1f probes/miss)@."
       cp cs
       (if cm = 0 then 0.0 else float_of_int cp /. float_of_int cm);
+    (match Dataplane.Network.fault net.network with
+     | Some f -> Format.printf "%a@." Dataplane.Fault.pp_stats f
+     | None -> ());
     Format.printf "events executed: %d@."
       (Dataplane.Sim.executed (Dataplane.Network.sim net.network))
   in
@@ -201,6 +205,140 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run random traffic through the network")
     Term.(const run $ topo_arg $ policy_arg $ flows_arg $ rate_arg
           $ duration_arg $ seed_arg $ mode_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chaos *)
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(value & opt int Dataplane.Fault.default_seed
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Chaos seed; the same seed reproduces the same run.")
+  in
+  let drop_arg =
+    Arg.(value & opt float 0.2 & info [ "drop" ] ~docv:"P"
+             ~doc:"Per-transmission control-channel drop probability.")
+  in
+  let dup_arg =
+    Arg.(value & opt float 0.05 & info [ "dup" ] ~docv:"P"
+             ~doc:"Per-transmission duplicate probability.")
+  in
+  let jitter_arg =
+    Arg.(value & opt float 1e-3 & info [ "jitter" ] ~docv:"SECS"
+             ~doc:"Max extra one-way control latency (uniform).")
+  in
+  let flaps_arg =
+    Arg.(value & opt int 2 & info [ "flaps" ] ~docv:"N"
+             ~doc:"Random inter-switch links to flap during the run.")
+  in
+  let crash_arg =
+    Arg.(value & opt (some int) None & info [ "crash" ] ~docv:"SWITCH"
+             ~doc:"Crash this switch mid-run (it restarts and resyncs).")
+  in
+  let flows_arg =
+    Arg.(value & opt int 6 & info [ "flows" ] ~docv:"N" ~doc:"Random CBR flows.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 200.0 & info [ "rate" ] ~docv:"PPS" ~doc:"Per-flow rate.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 2.0
+         & info [ "duration" ] ~docv:"SECS" ~doc:"Traffic duration.")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the chaos event trace.")
+  in
+  let run spec seed drop dup jitter flaps crash flows rate duration trace =
+    let topo = or_die (load_topo spec) in
+    let fault = Dataplane.Fault.create ~seed ~drop ~dup ~jitter () in
+    let net = Zen.create ~fault topo in
+    let routing = Controller.Routing.create () in
+    let rt =
+      Zen.with_controller ~resilience:Controller.Runtime.default_resilience net
+        [ Controller.Routing.app routing ]
+    in
+    (* the whole scenario — flap targets, times, traffic — derives from
+       the one chaos seed, so a run is reproducible end to end *)
+    let scenario = Dataplane.Fault.derive_prng fault in
+    let sw_links =
+      Topo.Topology.links topo
+      |> List.filter (fun (l : Topo.Topology.link) ->
+        Topo.Topology.Node.is_switch l.src && Topo.Topology.Node.is_switch l.dst)
+      |> Array.of_list
+    in
+    let incidents =
+      List.init (min flaps (Array.length sw_links)) (fun _ ->
+        let l = Util.Prng.pick scenario sw_links in
+        Dataplane.Fault.Link_flap
+          { node = l.src; port = l.src_port;
+            at = 0.2 *. duration +. Util.Prng.float scenario (0.4 *. duration);
+            duration = 0.2 *. duration })
+      @
+      match crash with
+      | None -> []
+      | Some switch_id ->
+        [ Dataplane.Fault.Switch_outage
+            { switch_id; at = 0.3 *. duration; duration = 0.3 *. duration } ]
+    in
+    Dataplane.Network.inject net.network incidents;
+    let senders =
+      Dataplane.Traffic.random_pairs net.network ~prng:scenario ~flows
+        ~rate_pps:rate ~pkt_size:500 ~stop:duration
+    in
+    ignore (Zen.run ~until:(duration +. 2.0) net);
+    let sent = List.fold_left (fun acc s -> acc + !s) 0 senders in
+    let delivered = (Dataplane.Network.stats net.network).delivered in
+    Format.printf "sent %d, delivered %d (%.1f%% delivery) over %d flows@."
+      sent delivered
+      (if sent = 0 then 0.0
+       else 100.0 *. float_of_int delivered /. float_of_int sent)
+      flows;
+    Format.printf "%a@." Dataplane.Fault.pp_stats fault;
+    let rs = Controller.Runtime.resilience_stats rt in
+    Format.printf
+      "control plane: %d retransmits, %d echo misses, %d switch-down events, \
+       %d resyncs, %d batches acked, %d dropped@."
+      rs.retransmits rs.echo_misses rs.switch_downs rs.resyncs
+      rs.acked_batches rs.dropped_batches;
+    (match Controller.Runtime.recovery_times rt with
+     | [] -> Format.printf "recoveries: none@."
+     | ts ->
+       Format.printf
+         "recoveries: %d, time p50=%.3fs p95=%.3fs p99=%.3fs@."
+         (List.length ts)
+         (Util.Stats.percentile ts 50.0)
+         (Util.Stats.percentile ts 95.0)
+         (Util.Stats.percentile ts 99.0));
+    let diverged =
+      List.filter
+        (fun (sw : Dataplane.Network.switch) ->
+          let key (r : Flow.Table.rule) =
+            (r.priority, r.pattern, r.actions, r.cookie)
+          in
+          let keys rules = List.sort compare (List.map key rules) in
+          keys (Flow.Table.rules sw.table)
+          <> keys (Controller.Runtime.intended_rules rt ~switch_id:sw.sw_id))
+        (Dataplane.Network.switch_list net.network)
+    in
+    (match diverged with
+     | [] -> Format.printf "convergence: all tables equal intended state@."
+     | sws ->
+       Format.printf "convergence: DIVERGED on switches %s@."
+         (String.concat ", "
+            (List.map
+               (fun (sw : Dataplane.Network.switch) -> string_of_int sw.sw_id)
+               sws)));
+    if trace then
+      List.iter print_endline (Dataplane.Fault.events fault);
+    if diverged <> [] then exit 4
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run seeded chaos (loss, dup, jitter, flaps, crashes) against \
+             the resilient control plane")
+    Term.(const run $ topo_arg $ seed_arg $ drop_arg $ dup_arg $ jitter_arg
+          $ flaps_arg $ crash_arg $ flows_arg $ rate_arg $ duration_arg
+          $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ping *)
@@ -297,5 +435,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topo_cmd; compile_cmd; verify_cmd; simulate_cmd; ping_cmd;
-            analyze_cmd; te_cmd ]))
+          [ topo_cmd; compile_cmd; verify_cmd; simulate_cmd; chaos_cmd;
+            ping_cmd; analyze_cmd; te_cmd ]))

@@ -114,6 +114,10 @@ let set_flood_ports ctx ~switch_id ports =
 type app = {
   name : string;
   switch_up : ctx -> switch_id:int -> ports:int list -> unit;
+  switch_down : ctx -> switch_id:int -> unit;
+      (** fired by the runtime's keepalive loop when a switch misses the
+          echo threshold (or greets mid-session, betraying a restart);
+          a later re-handshake fires [switch_up] again *)
   packet_in :
     ctx -> switch_id:int -> port:int ->
     reason:Openflow.Message.packet_in_reason ->
@@ -126,6 +130,7 @@ type app = {
 let default_app name =
   { name;
     switch_up = (fun _ ~switch_id:_ ~ports:_ -> ());
+    switch_down = (fun _ ~switch_id:_ -> ());
     packet_in = (fun _ ~switch_id:_ ~port:_ ~reason:_ _ -> ());
     port_status = (fun _ ~switch_id:_ ~port:_ ~up:_ -> ());
     flow_removed = (fun _ ~switch_id:_ _ -> ()) }

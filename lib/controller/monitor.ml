@@ -15,6 +15,13 @@ type t = {
   (* switch -> latest table stats (incl. flow-cache counters) *)
   tables : (int, Openflow.Message.table_stat) Hashtbl.t;
   mutable polls : int;
+  (* liveness observations (populated when the runtime runs with
+     resilience): switches currently believed down, and the recovery
+     durations seen when they came back *)
+  polling : (int, unit) Hashtbl.t;
+  down_at : (int, float) Hashtbl.t;
+  mutable down_events : int;
+  mutable recoveries : float list;
 }
 
 let series t key =
@@ -54,18 +61,54 @@ let create ?(period = 0.5) () =
     Api.schedule ctx ~delay:t.period (fun () -> poll ctx ~switch_id)
   in
   let switch_up ctx ~switch_id ~ports:_ =
-    Api.schedule ctx ~delay:(get ()).period (fun () -> poll ctx ~switch_id)
+    let t = get () in
+    (match Hashtbl.find_opt t.down_at switch_id with
+     | Some since ->
+       (* the switch re-handshook: record how long it was out *)
+       t.recoveries <- (Api.time ctx -. since) :: t.recoveries;
+       Hashtbl.remove t.down_at switch_id
+     | None -> ());
+    (* one poll loop per switch, however many times it re-handshakes *)
+    if not (Hashtbl.mem t.polling switch_id) then begin
+      Hashtbl.replace t.polling switch_id ();
+      Api.schedule ctx ~delay:t.period (fun () -> poll ctx ~switch_id)
+    end
   in
-  let app = { (Api.default_app "monitor") with switch_up } in
+  let switch_down ctx ~switch_id =
+    let t = get () in
+    t.down_events <- t.down_events + 1;
+    if not (Hashtbl.mem t.down_at switch_id) then
+      Hashtbl.replace t.down_at switch_id (Api.time ctx)
+  in
+  let app = { (Api.default_app "monitor") with switch_up; switch_down } in
   let t =
     { app; period; tx_series = Hashtbl.create 64; drops = Hashtbl.create 64;
-      tables = Hashtbl.create 16; polls = 0 }
+      tables = Hashtbl.create 16; polls = 0;
+      polling = Hashtbl.create 16; down_at = Hashtbl.create 16;
+      down_events = 0; recoveries = [] }
   in
   t_ref := Some t;
   t
 
 let app t = t.app
 let polls t = t.polls
+
+(** Switch-down declarations observed (via the runtime's keepalive
+    loop; always 0 without resilience). *)
+let down_events t = t.down_events
+
+(** Observed down → re-handshake durations, newest first. *)
+let recoveries t = t.recoveries
+
+(** Recovery-time percentiles [(p50, p95, p99)] over every observed
+    switch outage; [None] before the first recovery. *)
+let recovery_percentiles t =
+  match t.recoveries with
+  | [] -> None
+  | rs ->
+    Some
+      (Util.Stats.percentile rs 50.0, Util.Stats.percentile rs 95.0,
+       Util.Stats.percentile rs 99.0)
 
 (** Latest table statistics seen for [switch_id], if any poll completed. *)
 let table_stat t ~switch_id = Hashtbl.find_opt t.tables switch_id

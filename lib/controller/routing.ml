@@ -15,9 +15,15 @@ type t = {
   mutable reinstalls : int;      (* recomputation rounds *)
   mutable last_churn : int;      (* flow-mods issued by the last round *)
   mutable last_recompute : float;
+  mutable recompute_pending : bool;  (* a coalesced recompute is scheduled *)
+  mutable repushes : int;            (* single-switch re-pushes on repeat
+                                        switch_up (post-crash re-handshake) *)
   mutable rules_per_switch : (int * int) list;
   (* what we believe each switch's table holds (for diffing) *)
   installed : (int, Netkat.Local.rule list) Hashtbl.t;
+  (* switches that have announced themselves at least once — a second
+     announcement is a re-handshake *)
+  seen : (int, unit) Hashtbl.t;
   use_ip : bool;
 }
 
@@ -105,27 +111,51 @@ let create ?(use_ip = false) ?(incremental = false) ?(cookie = 0x0e) () =
   let t_ref = ref None in
   let get () = Option.get !t_ref in
   let installed = ref false in
-  let switch_up ctx ~switch_id:_ ~ports:_ =
-    (* push all tables once, when the first switch comes up; later
-       switch_up events see tables already present *)
+  let switch_up ctx ~switch_id ~ports:_ =
+    (* push all tables once, when the first switch comes up; a {e
+       repeat} switch_up for a known switch is a re-handshake after a
+       crash — its table is empty, so re-push that switch's rules as a
+       full replacement *)
+    let t = get () in
+    let repeat = Hashtbl.mem t.seen switch_id in
+    Hashtbl.replace t.seen switch_id ();
     if not !installed then begin
       installed := true;
-      push_tables (get ()) ctx
+      push_tables t ctx
     end
+    else if repeat then
+      match Hashtbl.find_opt t.installed switch_id with
+      | None -> ()  (* never compiled for it; the next recompute will *)
+      | Some rules ->
+        t.repushes <- t.repushes + 1;
+        Api.install_rules ctx ~switch_id ~cookie:t.cookie ~replace:true
+          (List.map
+             (fun (r : Netkat.Local.rule) -> (r.priority, r.pattern, r.actions))
+             rules)
   in
   let port_status ctx ~switch_id:_ ~port:_ ~up:_ =
     (* link state changed: recompute routes over the surviving graph.
-       Both endpoints of a link report at the same instant — debounce so
-       one failure triggers one recomputation. *)
+       Port-status events cluster — both endpoints of a link report at
+       the same instant, and several links can fail together — so
+       coalesce per instant: schedule one zero-delay recompute that runs
+       after the instant's remaining events and sees the final
+       topology.  (Comparing times instead would drop a second distinct
+       failure landing at the same instant and recompute over a stale
+       graph.) *)
     let t = get () in
-    if t.reinstalls = 0 || Api.time ctx > t.last_recompute then
-      push_tables t ctx
+    if not t.recompute_pending then begin
+      t.recompute_pending <- true;
+      Api.schedule ctx ~delay:0.0 (fun () ->
+        t.recompute_pending <- false;
+        push_tables t ctx)
+    end
   in
   let app = { (Api.default_app "routing") with switch_up; port_status } in
   let t =
     { app; cookie; incremental; installs = 0; reinstalls = 0; last_churn = 0;
-      last_recompute = 0.0; rules_per_switch = [];
-      installed = Hashtbl.create 16; use_ip }
+      last_recompute = 0.0; recompute_pending = false; repushes = 0;
+      rules_per_switch = []; installed = Hashtbl.create 16;
+      seen = Hashtbl.create 16; use_ip }
   in
   t_ref := Some t;
   t
@@ -133,5 +163,6 @@ let create ?(use_ip = false) ?(incremental = false) ?(cookie = 0x0e) () =
 let app t = t.app
 let installs t = t.installs
 let reinstalls t = t.reinstalls
+let repushes t = t.repushes
 let last_churn t = t.last_churn
 let rules_per_switch t = t.rules_per_switch

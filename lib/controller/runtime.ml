@@ -4,7 +4,81 @@
 
     Every outgoing operation is wire-encoded before entering the channel
     and decoded at the switch, so the protocol layer is exercised
-    end-to-end in every simulation. *)
+    end-to-end in every simulation.
+
+    The runtime also keeps a per-switch {e intended-state} shadow table:
+    every flow-mod it sends is applied to the shadow as well, so the
+    rules each switch {e should} hold are always known — introspection
+    ({!intended_rules}) and crash resync both read it.
+
+    With [?resilience] the runtime additionally survives a lossy control
+    channel and switch crashes (see {!Dataplane.Fault}):
+
+    - a per-switch Echo keepalive loop declares the switch down after a
+      configurable number of consecutive misses and fires the apps'
+      [switch_down] callback;
+    - flow-mod batches become reliable: each batch is terminated by a
+      [Barrier_request], tracked by the barrier's xid, and retransmitted
+      with capped exponential backoff until the matching [Barrier_reply]
+      arrives.  Batches to one switch go stop-and-wait (at most one
+      unacked batch in flight), which together with the switch-side
+      last-seen-xid dedup makes replays idempotent and order-safe;
+    - a switch that re-handshakes after a crash (its restart [Hello], or
+      the probe loop, triggers a fresh features exchange) is resynced:
+      the runtime re-pushes the full intended table as one
+      delete-all-plus-adds batch.
+
+    Resilience is off by default: without it the runtime's observable
+    behavior (message sequence, timing, counters) is exactly the
+    classic lossless-channel behavior, and simulations that drain the
+    event queue terminate (the keepalive loop schedules forever — run
+    resilient simulations with [~until], or call {!shutdown}). *)
+
+(** Knobs for the keepalive / retransmission machinery. *)
+type resilience = {
+  echo_period : float;     (** seconds between keepalive ticks per switch *)
+  echo_miss_limit : int;   (** consecutive unanswered echos ⇒ switch down *)
+  retx_timeout : float;    (** initial retransmission timeout (RTO) *)
+  retx_backoff : float;    (** RTO multiplier per retransmission *)
+  retx_cap : float;        (** RTO ceiling *)
+}
+
+let default_resilience =
+  { echo_period = 0.25; echo_miss_limit = 3;
+    retx_timeout = 0.02; retx_backoff = 2.0; retx_cap = 0.5 }
+
+(* a reliable batch: pre-assigned xids so retransmissions are replays *)
+type batch = {
+  frames : (int * Openflow.Message.t) list;
+  barrier_xid : int;
+  mutable attempts : int;
+}
+
+type sw_status = Handshaking | Sw_up | Sw_down
+
+type sw_state = {
+  st_id : int;
+  shadow : Flow.Table.t;  (* the rules this switch is intended to hold *)
+  pending : batch Queue.t;
+  mutable inflight : batch option;
+  mutable rto : float;
+  mutable status : sw_status;
+  mutable echo_outstanding : int;  (* keepalives sent and not yet answered *)
+  mutable down_since : float;
+  mutable handshaked : bool;  (* completed at least one features exchange *)
+}
+
+(** Resilience counters (all zero when resilience is off). *)
+type resilience_stats = {
+  mutable retransmits : int;      (** batch retransmissions *)
+  mutable echo_misses : int;      (** keepalive ticks with an unanswered echo *)
+  mutable switch_downs : int;     (** switch-down declarations *)
+  mutable resyncs : int;          (** full-table re-pushes after re-handshake *)
+  mutable acked_batches : int;    (** reliable batches confirmed by barrier *)
+  mutable dropped_batches : int;  (** un-acked batches discarded at switch-down *)
+  mutable recovery_samples : float list;
+      (** down → re-handshake durations, newest first *)
+}
 
 type t = {
   ctx : Api.ctx;
@@ -12,18 +86,213 @@ type t = {
   mutable next_xid : int;
   stats_waiters : (int, (Openflow.Message.stats_reply -> unit) Queue.t) Hashtbl.t;
   mutable handshakes : int;  (* switches that completed features exchange *)
+  resilience : resilience option;
+  states : (int, sw_state) Hashtbl.t;
+  rstats : resilience_stats;
+  mutable stopped : bool;  (* shuts periodic loops down (see shutdown) *)
 }
 
 let send_raw net ~switch_id ~xid msg =
   Dataplane.Network.controller_send net ~switch_id
     (Openflow.Wire.encode ~xid msg)
 
-(** [create ?latency net apps] attaches a controller speaking the wire
-    protocol to [net] and registers [apps] (dispatched in list order).
-    The handshake (hello + features request) with every switch is
-    scheduled immediately; apps receive [switch_up] once the features
-    reply returns. *)
-let create ?(latency = 1e-3) net apps =
+let state t switch_id =
+  match Hashtbl.find_opt t.states switch_id with
+  | Some st -> st
+  | None ->
+    let st =
+      { st_id = switch_id; shadow = Flow.Table.create ();
+        pending = Queue.create (); inflight = None;
+        rto =
+          (match t.resilience with
+           | Some r -> r.retx_timeout
+           | None -> 0.0);
+        status = Handshaking; echo_outstanding = 0; down_since = 0.0;
+        handshaked = false }
+    in
+    Hashtbl.replace t.states switch_id st;
+    st
+
+(* ------------------------------------------------------------------ *)
+(* Intended-state shadow *)
+
+(* Mirror one outgoing flow-mod into the intended-state table.  The
+   notify bit rides in the cookie exactly as on the real switch so
+   deletes scoped by cookie hit the same rules. *)
+let shadow_flow_mod st (fm : Openflow.Message.flow_mod) =
+  match fm.command with
+  | Add_flow | Modify_flow ->
+    let cookie =
+      if fm.notify_when_removed then fm.fm_cookie lor 0x40000000
+      else fm.fm_cookie
+    in
+    Flow.Table.add st.shadow
+      (Flow.Table.make_rule ~priority:fm.fm_priority ~pattern:fm.fm_pattern
+         ~actions:fm.fm_actions ~idle_timeout:fm.idle_timeout
+         ~hard_timeout:fm.hard_timeout ~cookie ())
+  | Delete_flow ->
+    let cookie = if fm.fm_cookie = -1 then None else Some fm.fm_cookie in
+    Flow.Table.remove ?cookie st.shadow ~pattern:fm.fm_pattern
+  | Delete_strict_flow ->
+    let cookie = if fm.fm_cookie = -1 then None else Some fm.fm_cookie in
+    Flow.Table.remove_strict ?cookie st.shadow ~priority:fm.fm_priority
+      ~pattern:fm.fm_pattern
+
+let shadow_msg st (msg : Openflow.Message.t) =
+  match msg with Flow_mod fm -> shadow_flow_mod st fm | _ -> ()
+
+(** The rules the runtime believes [switch_id] should hold (every
+    flow-mod ever sent, applied to a shadow table). *)
+let intended_rules t ~switch_id = Flow.Table.rules (state t switch_id).shadow
+
+(* ------------------------------------------------------------------ *)
+(* Reliable batches (resilience only) *)
+
+let sim_of t = Dataplane.Network.sim t.ctx.Api.net
+
+let transmit_batch t st b =
+  b.attempts <- b.attempts + 1;
+  Dataplane.Network.controller_send t.ctx.Api.net ~switch_id:st.st_id
+    (Openflow.Wire.encode_batch b.frames)
+
+(* arm the retransmission timer for the batch currently in flight; the
+   timer is disarmed implicitly when the batch is acked or discarded
+   (physical equality against [inflight]) *)
+let rec arm_retx t st b r =
+  Dataplane.Sim.schedule (sim_of t) ~delay:st.rto (fun () ->
+    if not t.stopped then
+      match st.inflight with
+      | Some cur when cur == b ->
+        t.rstats.retransmits <- t.rstats.retransmits + 1;
+        st.rto <- Float.min (st.rto *. r.retx_backoff) r.retx_cap;
+        transmit_batch t st b;
+        arm_retx t st b r
+      | _ -> ())
+
+(* start the next queued batch if the line is idle and the switch is up *)
+let pump t st r =
+  match st.inflight with
+  | Some _ -> ()
+  | None ->
+    if st.status = Sw_up && not (Queue.is_empty st.pending) then begin
+      let b = Queue.pop st.pending in
+      st.inflight <- Some b;
+      transmit_batch t st b;
+      arm_retx t st b r
+    end
+
+(* enqueue [msgs] as one reliable batch (trailing barrier appended when
+   missing); xids are assigned now so any retransmission is a replay *)
+let enqueue_reliable t st r msgs =
+  let msgs =
+    match List.rev msgs with
+    | Openflow.Message.Barrier_request :: _ -> msgs
+    | _ -> msgs @ [ Openflow.Message.Barrier_request ]
+  in
+  let frames =
+    List.map
+      (fun msg ->
+        t.next_xid <- t.next_xid + 1;
+        (t.next_xid, msg))
+      msgs
+  in
+  let barrier_xid =
+    (* the batch ends with the barrier by construction *)
+    match List.rev frames with (xid, _) :: _ -> xid | [] -> assert false
+  in
+  Queue.push { frames; barrier_xid; attempts = 0 } st.pending;
+  pump t st r
+
+let contains_flow_mod msgs =
+  List.exists
+    (fun (m : Openflow.Message.t) ->
+      match m with Flow_mod _ -> true | _ -> false)
+    msgs
+
+(* ------------------------------------------------------------------ *)
+(* Liveness (resilience only) *)
+
+let mark_down t st =
+  if st.status = Sw_up then begin
+    st.status <- Sw_down;
+    st.down_since <- Api.time t.ctx;
+    st.echo_outstanding <- 0;
+    t.rstats.switch_downs <- t.rstats.switch_downs + 1;
+    (* discard the reliable stream: the resync at re-handshake
+       re-derives everything from the intended-state shadow *)
+    let dropped =
+      Queue.length st.pending
+      + (match st.inflight with Some _ -> 1 | None -> 0)
+    in
+    t.rstats.dropped_batches <- t.rstats.dropped_batches + dropped;
+    st.inflight <- None;
+    Queue.clear st.pending;
+    List.iter
+      (fun (app : Api.app) -> app.switch_down t.ctx ~switch_id:st.st_id)
+      t.apps
+  end
+
+let send_handshake t ~switch_id =
+  t.ctx.Api.send_batch ~switch_id
+    [ Openflow.Message.Hello; Openflow.Message.Features_request ]
+
+(* per-switch keepalive / probe loop: echo while up, re-handshake probes
+   while down or never handshaked *)
+let rec keepalive_tick t st r =
+  if not t.stopped then begin
+    (match st.status with
+     | Sw_up ->
+       if st.echo_outstanding > 0 then
+         t.rstats.echo_misses <- t.rstats.echo_misses + 1;
+       if st.echo_outstanding >= r.echo_miss_limit then mark_down t st
+       else begin
+         st.echo_outstanding <- st.echo_outstanding + 1;
+         t.ctx.Api.send ~switch_id:st.st_id
+           (Openflow.Message.Echo_request "keepalive")
+       end
+     | Handshaking | Sw_down -> send_handshake t ~switch_id:st.st_id);
+    Api.schedule t.ctx ~delay:r.echo_period (fun () -> keepalive_tick t st r)
+  end
+
+(* full-table re-push after a re-handshake: one delete-all plus an add
+   per intended rule, as a single reliable batch *)
+let resync_switch t st r =
+  t.rstats.resyncs <- t.rstats.resyncs + 1;
+  let adds =
+    List.map
+      (fun (ru : Flow.Table.rule) ->
+        Openflow.Message.Flow_mod
+          (Openflow.Message.add_flow ~priority:ru.priority
+             ~idle_timeout:ru.idle_timeout ~hard_timeout:ru.hard_timeout
+             ~cookie:(ru.cookie land lnot 0x40000000)
+             ~notify_when_removed:(ru.cookie land 0x40000000 <> 0)
+             ~pattern:ru.pattern ~actions:ru.actions ()))
+      (Flow.Table.rules st.shadow)
+  in
+  let msgs =
+    Openflow.Message.Flow_mod
+      (Openflow.Message.delete_flow ~pattern:Flow.Pattern.any ())
+    :: adds
+  in
+  enqueue_reliable t st r msgs
+
+(** Resilience counters (zeros when resilience is off). *)
+let resilience_stats t = t.rstats
+
+(** Down → re-handshake durations observed so far, in seconds (newest
+    first); feeds the recovery-time percentiles in E9. *)
+let recovery_times t = t.rstats.recovery_samples
+
+(** Stops the keepalive loops and disarms retransmission timers, so a
+    resilient simulation can drain its event queue. *)
+let shutdown t = t.stopped <- true
+
+(** [create ?latency ?resilience net apps] attaches a controller
+    speaking the wire protocol to [net] and registers [apps]
+    (dispatched in list order).  The handshake (hello + features
+    request) with every switch is scheduled immediately; apps receive
+    [switch_up] once the features reply returns. *)
+let create ?(latency = 1e-3) ?resilience net apps =
   let t_ref = ref None in
   let rec handler ~switch_id data =
     match !t_ref with
@@ -33,18 +302,75 @@ let create ?(latency = 1e-3) net apps =
     (* switches send single frames today, but decode as a batch so the
        channel is symmetric *)
     List.iter
-      (fun (_xid, msg) -> dispatch t ~switch_id msg)
+      (fun (xid, msg) -> dispatch t ~switch_id ~xid msg)
       (Openflow.Wire.decode_all data)
-  and dispatch t ~switch_id (msg : Openflow.Message.t) =
+  and dispatch t ~switch_id ~xid (msg : Openflow.Message.t) =
     match msg with
-    | Hello -> ()
-    | Echo_reply _ | Barrier_reply -> ()
+    | Hello ->
+      (* The only switch-originated Hello is the spontaneous restart
+         announcement.  From a switch believed up, declare it down and
+         open a fresh handshake; from one already marked down, just
+         handshake (the probe loop would get there anyway, this
+         shortens the outage).  During the initial handshake it is
+         ignored — a features exchange is already in flight. *)
+      (match t.resilience with
+       | Some _ ->
+         let st = state t switch_id in
+         (match st.status with
+          | Sw_up ->
+            mark_down t st;
+            send_handshake t ~switch_id
+          | Sw_down -> send_handshake t ~switch_id
+          | Handshaking -> ())
+       | None -> ())
+    | Echo_reply _ ->
+      (match t.resilience with
+       | Some _ ->
+         let st = state t switch_id in
+         if st.status = Sw_up then st.echo_outstanding <- 0
+       | None -> ())
+    | Barrier_reply ->
+      (match t.resilience with
+       | Some r ->
+         let st = state t switch_id in
+         (match st.inflight with
+          | Some b when b.barrier_xid = xid ->
+            st.inflight <- None;
+            st.rto <- r.retx_timeout;
+            t.rstats.acked_batches <- t.rstats.acked_batches + 1;
+            pump t st r
+          | _ -> ())  (* stale or duplicate ack *)
+       | None -> ())
     | Features_reply f ->
-      t.handshakes <- t.handshakes + 1;
-      List.iter
-        (fun (app : Api.app) ->
-          app.switch_up t.ctx ~switch_id:f.datapath_id ~ports:f.port_list)
-        t.apps
+      let fire_up () =
+        List.iter
+          (fun (app : Api.app) ->
+            app.switch_up t.ctx ~switch_id:f.datapath_id ~ports:f.port_list)
+          t.apps
+      in
+      (match t.resilience with
+       | None ->
+         t.handshakes <- t.handshakes + 1;
+         fire_up ()
+       | Some r ->
+         let st = state t f.datapath_id in
+         (match st.status with
+          | Sw_up -> ()  (* duplicate features reply: already up *)
+          | prev ->
+            st.status <- Sw_up;
+            st.echo_outstanding <- 0;
+            st.rto <- r.retx_timeout;
+            t.handshakes <- t.handshakes + 1;
+            if prev = Sw_down then
+              t.rstats.recovery_samples <-
+                (Api.time t.ctx -. st.down_since) :: t.rstats.recovery_samples;
+            let resync = st.handshaked in
+            st.handshaked <- true;
+            (* re-handshake after a crash: restore intended state before
+               apps react, then let their switch_up pushes layer on top *)
+            if resync then resync_switch t st r;
+            fire_up ();
+            pump t st r))
     | Packet_in pi ->
       List.iter
         (fun (app : Api.app) ->
@@ -77,20 +403,33 @@ let create ?(latency = 1e-3) net apps =
         { net;
           send =
             (fun ~switch_id msg ->
-              t.next_xid <- t.next_xid + 1;
-              send_raw net ~switch_id ~xid:t.next_xid msg);
+              shadow_msg (state t switch_id) msg;
+              match (t.resilience, msg) with
+              | Some r, Openflow.Message.Flow_mod _ ->
+                (* single flow-mods join the reliable stream so the
+                   switch-side xid dedup sees one ordered sequence *)
+                enqueue_reliable t (state t switch_id) r [ msg ]
+              | _ ->
+                t.next_xid <- t.next_xid + 1;
+                send_raw net ~switch_id ~xid:t.next_xid msg);
           send_batch =
             (fun ~switch_id msgs ->
               if msgs <> [] then begin
-                let framed =
-                  List.map
-                    (fun msg ->
-                      t.next_xid <- t.next_xid + 1;
-                      (t.next_xid, msg))
-                    msgs
-                in
-                Dataplane.Network.controller_send net ~switch_id
-                  (Openflow.Wire.encode_batch framed)
+                let st = state t switch_id in
+                List.iter (shadow_msg st) msgs;
+                match t.resilience with
+                | Some r when contains_flow_mod msgs ->
+                  enqueue_reliable t st r msgs
+                | _ ->
+                  let framed =
+                    List.map
+                      (fun msg ->
+                        t.next_xid <- t.next_xid + 1;
+                        (t.next_xid, msg))
+                      msgs
+                  in
+                  Dataplane.Network.controller_send net ~switch_id
+                    (Openflow.Wire.encode_batch framed)
               end);
           await_stats =
             (fun ~switch_id k ->
@@ -106,7 +445,13 @@ let create ?(latency = 1e-3) net apps =
       apps;
       next_xid = 0;
       stats_waiters = Hashtbl.create 16;
-      handshakes = 0 }
+      handshakes = 0;
+      resilience;
+      states = Hashtbl.create 16;
+      rstats =
+        { retransmits = 0; echo_misses = 0; switch_downs = 0; resyncs = 0;
+          acked_batches = 0; dropped_batches = 0; recovery_samples = [] };
+      stopped = false }
   in
   t_ref := Some t;
   Dataplane.Network.attach_controller net ~latency handler;
@@ -114,22 +459,36 @@ let create ?(latency = 1e-3) net apps =
      batched transmission per switch *)
   List.iter
     (fun (sw : Dataplane.Network.switch) ->
+      ignore (state t sw.sw_id);
       t.ctx.send_batch ~switch_id:sw.sw_id
-        [ Openflow.Message.Hello; Openflow.Message.Features_request ])
+        [ Openflow.Message.Hello; Openflow.Message.Features_request ];
+      match t.resilience with
+      | Some r ->
+        Api.schedule t.ctx ~delay:r.echo_period (fun () ->
+          keepalive_tick t (state t sw.sw_id) r)
+      | None -> ())
     (Dataplane.Network.switch_list net);
   t
 
 let ctx t = t.ctx
 
-(** Switches that have completed the feature handshake. *)
+(** Switches that have completed the feature handshake (with resilience,
+    re-handshakes after a crash count again). *)
 let ready_switches t = t.handshakes
+
+(** Whether [switch_id] is currently believed up (always true without
+    resilience, where liveness is not tracked). *)
+let switch_up t ~switch_id =
+  match t.resilience with
+  | None -> true
+  | Some _ -> (state t switch_id).status = Sw_up
 
 (** Convenience: create the runtime and run the simulation just long
     enough (10 control RTTs) for the handshake and any proactive rule
     pushes to land.  Apps with periodic loops (e.g. {!Monitor}) schedule
     beyond this horizon and are unaffected. *)
-let create_and_handshake ?(latency = 1e-3) net apps =
-  let t = create ~latency net apps in
+let create_and_handshake ?(latency = 1e-3) ?resilience net apps =
+  let t = create ~latency ?resilience net apps in
   let horizon = Dataplane.Network.now net +. (20.0 *. latency) in
   ignore (Dataplane.Network.run ~until:horizon net ());
   t

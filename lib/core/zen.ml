@@ -29,9 +29,11 @@ type net = {
 
 (** [create topo] instantiates the simulated network (empty tables).
     [sim_engine] selects the event-queue backend (see {!Dataplane.Sim});
-    both engines produce identical simulations. *)
-let create ?queue_depth ?sim_engine topo =
-  { network = Dataplane.Network.create ?queue_depth ?sim_engine topo;
+    both engines produce identical simulations.  [fault] attaches a
+    chaos layer to the control channel (see {!Dataplane.Fault}; defaults
+    to the [ZEN_CHAOS_*] environment knobs, usually absent). *)
+let create ?queue_depth ?sim_engine ?fault topo =
+  { network = Dataplane.Network.create ?queue_depth ?sim_engine ?fault topo;
     runtime = None }
 
 let topology t = Dataplane.Network.topology t.network
@@ -66,9 +68,13 @@ let install_policy_string t s =
   install_policy t (Netkat.Parser.pol_of_string s)
 
 (** [with_controller t apps] attaches a controller running [apps] and
-    completes the handshake (the "controller-driven" mode). *)
-let with_controller ?latency t apps =
-  let rt = Controller.Runtime.create_and_handshake ?latency t.network apps in
+    completes the handshake (the "controller-driven" mode).
+    [resilience] turns on keepalives, reliable flow-mod delivery and
+    crash resync (see {!Controller.Runtime}). *)
+let with_controller ?latency ?resilience t apps =
+  let rt =
+    Controller.Runtime.create_and_handshake ?latency ?resilience t.network apps
+  in
   t.runtime <- Some rt;
   rt
 

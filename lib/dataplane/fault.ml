@@ -1,0 +1,167 @@
+(** Deterministic fault injection for the control channel and the
+    substrate.
+
+    A [Fault.t] is a seeded source of adversity: every control-channel
+    transmission consults it once and may be dropped, duplicated or
+    delayed (latency jitter); scheduled {!incident}s flap links and
+    crash/restart switches through the failure API of {!Network}.  All
+    randomness flows from one {!Util.Prng} stream drawn in simulation
+    order, so a given seed + configuration reproduces the exact same
+    event trace — chaos runs are experiments, not flakes.
+
+    The module itself is pure bookkeeping; {!Network} owns the hooks
+    (see [Network.create ?fault], [Network.crash_switch],
+    [Network.inject]). *)
+
+type config = {
+  seed : int;
+  drop : float;    (** per-transmission drop probability, [0, 1] *)
+  dup : float;     (** per-transmission duplicate probability, [0, 1] *)
+  jitter : float;  (** max extra one-way latency, uniform in [0, jitter) s *)
+}
+
+(** A scheduled substrate incident (interpreted by [Network.inject]). *)
+type incident =
+  | Link_flap of {
+      node : Topo.Topology.Node.t;
+      port : int;
+      at : float;        (** absolute sim time of the failure *)
+      duration : float;  (** seconds until [restore_link] *)
+    }
+  | Switch_outage of {
+      switch_id : int;
+      at : float;
+      duration : float;  (** seconds until restart (fresh handshake) *)
+    }
+
+type t = {
+  config : config;
+  prng : Util.Prng.t;
+  mutable drops : int;
+  mutable dups : int;
+  mutable jitters : int;   (* transmissions that drew a non-zero delay *)
+  mutable decisions : int; (* transmissions consulted *)
+  mutable trace_rev : string list;
+  mutable trace_len : int;
+}
+
+let trace_cap = 50_000
+
+let default_seed = 0xC4A05
+
+let make_config ?(seed = default_seed) ?(drop = 0.0) ?(dup = 0.0)
+    ?(jitter = 0.0) () =
+  let check name p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Fault.create: %s out of [0,1]" name)
+  in
+  check "drop" drop;
+  check "dup" dup;
+  if jitter < 0.0 then invalid_arg "Fault.create: negative jitter";
+  { seed; drop; dup; jitter }
+
+let of_config config =
+  { config; prng = Util.Prng.create config.seed;
+    drops = 0; dups = 0; jitters = 0; decisions = 0;
+    trace_rev = []; trace_len = 0 }
+
+let create ?seed ?drop ?dup ?jitter () =
+  of_config (make_config ?seed ?drop ?dup ?jitter ())
+
+let config t = t.config
+
+(** An independent chaos PRNG derived from the fault's stream — use it
+    for scenario generation (random flap targets, crash times) so the
+    whole run stays a function of one seed. *)
+let derive_prng t = Util.Prng.split t.prng
+
+(* ------------------------------------------------------------------ *)
+(* Event trace *)
+
+let note t ~time fmt =
+  Printf.ksprintf
+    (fun s ->
+      if t.trace_len < trace_cap then begin
+        t.trace_rev <- Printf.sprintf "%.9f %s" time s :: t.trace_rev;
+        t.trace_len <- t.trace_len + 1
+      end)
+    fmt
+
+(** The chaos event trace, oldest first ("<time> <event>" lines; capped
+    at an internal bound).  Byte-equal across runs with the same seed,
+    configuration and workload — the determinism tests diff this. *)
+let events t = List.rev t.trace_rev
+
+(* ------------------------------------------------------------------ *)
+(* Per-transmission verdicts *)
+
+type verdict = {
+  v_drop : bool;
+  v_dup : bool;
+  v_delay : float;       (** extra latency for the first copy *)
+  v_dup_delay : float;   (** extra latency for the duplicate, if any *)
+}
+
+(** One verdict per control-channel transmission.  Draws a fixed number
+    of samples per call (given the configuration), so the random stream
+    — and therefore the trace — is a deterministic function of the
+    sequence of transmissions. *)
+let decide t =
+  t.decisions <- t.decisions + 1;
+  let c = t.config in
+  let drop = c.drop > 0.0 && Util.Prng.float t.prng 1.0 < c.drop in
+  let dup = c.dup > 0.0 && Util.Prng.float t.prng 1.0 < c.dup in
+  let jit () = if c.jitter > 0.0 then Util.Prng.float t.prng c.jitter else 0.0 in
+  let d1 = jit () in
+  let d2 = jit () in
+  if drop then begin
+    t.drops <- t.drops + 1;
+    { v_drop = true; v_dup = false; v_delay = 0.0; v_dup_delay = 0.0 }
+  end
+  else begin
+    if dup then t.dups <- t.dups + 1;
+    if d1 > 0.0 then t.jitters <- t.jitters + 1;
+    { v_drop = false; v_dup = dup; v_delay = d1; v_dup_delay = d2 }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let drops t = t.drops
+let dups t = t.dups
+let jitters t = t.jitters
+let decisions t = t.decisions
+
+let pp_stats fmt t =
+  Format.fprintf fmt "chaos(seed=%#x drop=%d dup=%d jitter=%d of %d sends)"
+    t.config.seed t.drops t.dups t.jitters t.decisions
+
+(* ------------------------------------------------------------------ *)
+(* Environment knobs *)
+
+let env_float name =
+  match Sys.getenv_opt name with
+  | None | Some "" -> None
+  | Some s -> float_of_string_opt s
+
+let env_int name =
+  match Sys.getenv_opt name with
+  | None | Some "" -> None
+  | Some s -> int_of_string_opt s
+
+(** Reads the [ZEN_CHAOS_*] family: [ZEN_CHAOS_DROP], [ZEN_CHAOS_DUP],
+    [ZEN_CHAOS_JITTER] (floats) and [ZEN_CHAOS_SEED] (int).  Returns
+    [None] unless at least one perturbation knob is set — a seed alone
+    enables nothing. *)
+let from_env () =
+  let drop = env_float "ZEN_CHAOS_DROP" in
+  let dup = env_float "ZEN_CHAOS_DUP" in
+  let jitter = env_float "ZEN_CHAOS_JITTER" in
+  match (drop, dup, jitter) with
+  | None, None, None -> None
+  | _ ->
+    let seed =
+      match env_int "ZEN_CHAOS_SEED" with Some s -> s | None -> default_seed
+    in
+    Some
+      (create ~seed ?drop ?dup ?jitter ())

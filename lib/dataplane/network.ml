@@ -39,6 +39,16 @@ type switch = {
   mutable has_timeouts : bool;  (* whether an expiry sweep is scheduled *)
   mutable out_ports : link_state option array;
       (* lazily resolved egress state, indexed by port *)
+  mutable alive : bool;
+      (** false while crashed: drops packets and control messages *)
+  mutable last_fm_xid : int;
+      (* highest flow-mod xid applied; retransmitted batches replay with
+         their original xids and are skipped here (reset on crash — a
+         reboot is a fresh control connection) *)
+  mutable ctl_down_arrival : float;
+      (* latest controller→switch delivery time: chaos jitter must not
+         reorder the (in reality TCP-ordered) control channel *)
+  mutable ctl_up_arrival : float;  (* same, switch→controller *)
 }
 
 and host = {
@@ -73,6 +83,8 @@ type counters = {
   mutable dropped_queue : int;   (* drop-tail queue overflow *)
   mutable dropped_link : int;    (* transmission into a down/absent link *)
   mutable dropped_ttl : int;     (* hop budget exhausted (loops) *)
+  mutable dropped_down : int;    (* packets / control frames arriving at a
+                                    crashed switch *)
   mutable forwarded : int;       (* switch forwarding operations *)
   mutable control_msgs : int;    (* messages on the control channel *)
   mutable control_bytes : int;
@@ -90,6 +102,7 @@ type t = {
   mutable control_latency : float;
   mutable tracer : (float -> string -> unit) option;
   expiry_period : float;
+  fault : Fault.t option;  (** chaos injection on the control channel *)
 }
 
 let default_queue_depth = 64
@@ -98,7 +111,9 @@ let default_queue_depth = 64
 let default_ttl = 64
 
 let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
-    ?sim_engine topo =
+    ?sim_engine ?fault topo =
+  (* explicit [?fault] wins; otherwise the ZEN_CHAOS_* knobs apply *)
+  let fault = match fault with Some _ -> fault | None -> Fault.from_env () in
   let t =
     { sim = Sim.create ?engine:sim_engine (); topo;
       switches = Hashtbl.create 16;
@@ -107,9 +122,10 @@ let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
       stats =
         { delivered = 0; dropped_policy = 0; dropped_miss = 0;
           dropped_queue = 0; dropped_link = 0; dropped_ttl = 0;
+          dropped_down = 0;
           forwarded = 0; control_msgs = 0; control_bytes = 0 };
       controller = None; control_latency = 1e-3; tracer = None;
-      expiry_period }
+      expiry_period; fault }
   in
   List.iter
     (fun n ->
@@ -118,7 +134,9 @@ let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
         Hashtbl.replace t.switches id
           { sw_id = id; table = Flow.Table.create ();
             flood_ports = None; port_stats = Hashtbl.create 8;
-            packet_ins = 0; has_timeouts = false; out_ports = [||] }
+            packet_ins = 0; has_timeouts = false; out_ports = [||];
+            alive = true; last_fm_xid = 0;
+            ctl_down_arrival = 0.0; ctl_up_arrival = 0.0 }
       | Node.Host id ->
         Hashtbl.replace t.host_tbl id
           { host_id = id; mac = Packet.Mac.of_host_id id;
@@ -131,6 +149,7 @@ let sim t = t.sim
 let topology t = t.topo
 let stats t = t.stats
 let now t = Sim.now t.sim
+let fault t = t.fault
 
 let switch t id =
   match Hashtbl.find_opt t.switches id with
@@ -228,6 +247,50 @@ let host_egress t h port =
   else resolve_egress t (Node.Host h.host_id) port
 
 (* ------------------------------------------------------------------ *)
+(* Control-channel scheduling under chaos *)
+
+(* Schedules one control-channel transmission toward/from [sw].  With no
+   fault attached this is exactly a [control_latency]-delayed event.
+   Under chaos the transmission may be dropped, duplicated or delayed —
+   but never reordered: per switch and direction, delivery times are
+   clamped to be monotone in send order (the channel models an ordered
+   transport; reordering would break the switch-side xid dedup). *)
+let schedule_ctrl t sw ~to_switch deliver =
+  match t.fault with
+  | None -> Sim.schedule t.sim ~delay:t.control_latency deliver
+  | Some f ->
+    let v = Fault.decide f in
+    let nowt = now t in
+    let dir = if to_switch then "ctl->s" else "ctl<-s" in
+    if v.v_drop then
+      Fault.note f ~time:nowt "drop %s%d" dir sw.sw_id
+    else begin
+      let sched extra =
+        let arr = nowt +. t.control_latency +. extra in
+        let arr =
+          if to_switch then begin
+            let arr = if arr < sw.ctl_down_arrival then sw.ctl_down_arrival else arr in
+            sw.ctl_down_arrival <- arr;
+            arr
+          end
+          else begin
+            let arr = if arr < sw.ctl_up_arrival then sw.ctl_up_arrival else arr in
+            sw.ctl_up_arrival <- arr;
+            arr
+          end
+        in
+        Sim.schedule_at t.sim ~time:arr deliver
+      in
+      if v.v_delay > 0.0 then
+        Fault.note f ~time:nowt "jitter %s%d +%.6f" dir sw.sw_id v.v_delay;
+      sched v.v_delay;
+      if v.v_dup then begin
+        Fault.note f ~time:nowt "dup %s%d" dir sw.sw_id;
+        sched v.v_dup_delay
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Forwarding *)
 
 (* schedule [pkt] onto a resolved, up egress link (queue check done) *)
@@ -247,7 +310,14 @@ let rec enqueue t ls pkt =
   Sim.schedule_at t.sim ~time:arrival (fun () ->
     ls.queued <- ls.queued - 1;
     (* the link may have failed while the packet was in flight *)
-    if l.up then deliver_ls t ls pkt)
+    if l.up then deliver_ls t ls pkt
+    else begin
+      t.stats.dropped_link <- t.stats.dropped_link + 1;
+      trace t "drop(in-flight, link-down) -> %s"
+        (match ls.ls_dst with
+         | To_switch sw -> Printf.sprintf "s%d" sw.sw_id
+         | To_host h -> Printf.sprintf "h%d" h.host_id)
+    end)
 
 and transmit_switch t sw port pkt =
   match switch_egress t sw port with
@@ -311,7 +381,11 @@ and deliver t node port pkt =
     switch_process t (switch t id) ~in_port:port ~rx:None pkt
 
 and switch_process t sw ~in_port ~rx pkt =
-  if pkt.ttl <= 0 then begin
+  if not sw.alive then begin
+    t.stats.dropped_down <- t.stats.dropped_down + 1;
+    trace t "s%d drop(switch-down)" sw.sw_id
+  end
+  else if pkt.ttl <= 0 then begin
     t.stats.dropped_ttl <- t.stats.dropped_ttl + 1;
     trace t "s%d drop(ttl)" sw.sw_id
   end
@@ -358,15 +432,15 @@ and execute_outputs t sw ~in_port outputs pkt =
 (* ------------------------------------------------------------------ *)
 (* Control channel *)
 
-and control_send t sw msg =
+and control_send t ?(xid = 0) sw msg =
   match t.controller with
   | None -> ()
   | Some handler ->
-    let data = Openflow.Wire.encode ~xid:0 msg in
+    let data = Openflow.Wire.encode ~xid msg in
     t.stats.control_msgs <- t.stats.control_msgs + 1;
     t.stats.control_bytes <- t.stats.control_bytes + Bytes.length data;
-    Sim.schedule t.sim ~delay:t.control_latency (fun () ->
-      handler ~switch_id:sw.sw_id data)
+    let switch_id = sw.sw_id in
+    schedule_ctrl t sw ~to_switch:false (fun () -> handler ~switch_id data)
 
 and packet_in t sw ~in_port ~reason pkt =
   match t.controller with
@@ -438,16 +512,32 @@ let flow_stats_of_table table pattern =
     { Openflow.Message.fs_pattern = r.pattern; fs_priority = r.priority;
       fs_cookie = r.cookie; fs_packets = r.packets; fs_bytes = r.bytes })
 
-let handle_at_switch t sw (msg : Openflow.Message.t) =
+let handle_at_switch t sw ~xid (msg : Openflow.Message.t) =
   match msg with
-  | Hello -> control_send t sw Openflow.Message.Hello
-  | Echo_request s -> control_send t sw (Openflow.Message.Echo_reply s)
+  | Hello ->
+    (* No echo: the handshake is confirmed by [Features_reply], and the
+       only switch-originated Hello is the spontaneous restart
+       announcement ([restart_switch]).  Echoing here would let a
+       duplicated echo masquerade as a restart at the controller — a
+       positive feedback loop under chaos duplication. *)
+    ()
+  | Echo_request s -> control_send t ~xid sw (Openflow.Message.Echo_reply s)
   | Features_request ->
     control_send t sw
       (Openflow.Message.Features_reply
          { datapath_id = sw.sw_id;
            port_list = Topo.Topology.ports t.topo (Node.Switch sw.sw_id) })
-  | Flow_mod fm -> apply_flow_mod t sw fm
+  | Flow_mod fm ->
+    (* last-seen-xid dedup: a retransmitted batch replays with its
+       original xids, so re-applying is skipped — replays are idempotent
+       even for delete/modify commands.  xid 0 (untracked senders)
+       bypasses the check. *)
+    if xid > 0 && xid <= sw.last_fm_xid then
+      trace t "s%d dedup flow-mod xid=%d" sw.sw_id xid
+    else begin
+      if xid > 0 then sw.last_fm_xid <- xid;
+      apply_flow_mod t sw fm
+    end
   | Packet_out po ->
     let pkt =
       { hdr = po.out_packet.headers; size = po.out_packet.size;
@@ -458,7 +548,10 @@ let handle_at_switch t sw (msg : Openflow.Message.t) =
       Flow.Action.apply_group hdr [ po.out_actions ]
     in
     execute_outputs t sw ~in_port:po.out_in_port outputs pkt
-  | Barrier_request -> control_send t sw Openflow.Message.Barrier_reply
+  | Barrier_request ->
+    (* the reply echoes the request xid so the controller can match the
+       ack to the batch it terminates (retransmit tracking) *)
+    control_send t ~xid sw Openflow.Message.Barrier_reply
   | Stats_request (Flow_stats_request pattern) ->
     control_send t sw
       (Openflow.Message.Stats_reply
@@ -498,11 +591,17 @@ let controller_send t ~switch_id data =
   t.stats.control_msgs <-
     t.stats.control_msgs + Openflow.Wire.frame_count data;
   t.stats.control_bytes <- t.stats.control_bytes + Bytes.length data;
-  Sim.schedule t.sim ~delay:t.control_latency (fun () ->
-    let sw = switch t switch_id in
-    List.iter
-      (fun (_xid, msg) -> handle_at_switch t sw msg)
-      (Openflow.Wire.decode_all data))
+  let sw = switch t switch_id in
+  schedule_ctrl t sw ~to_switch:true (fun () ->
+    if sw.alive then
+      List.iter
+        (fun (xid, msg) -> handle_at_switch t sw ~xid msg)
+        (Openflow.Wire.decode_all data)
+    else begin
+      let n = Openflow.Wire.frame_count data in
+      t.stats.dropped_down <- t.stats.dropped_down + n;
+      trace t "s%d drop(ctl, switch-down) %d frame(s)" switch_id n
+    end)
 
 (* ------------------------------------------------------------------ *)
 (* Failures *)
@@ -515,6 +614,10 @@ let fail_link t node port =
    | Some l ->
      Topo.Topology.set_link_up t.topo (node, port) false;
      trace t "link %s[%d] down" (Node.to_string node) port;
+     (match t.fault with
+      | Some f ->
+        Fault.note f ~time:(now t) "link-down %s[%d]" (Node.to_string node) port
+      | None -> ());
      let notify n p =
        match n with
        | Node.Switch id ->
@@ -532,6 +635,10 @@ let restore_link t node port =
   | Some l ->
     Topo.Topology.set_link_up t.topo (node, port) true;
     trace t "link %s[%d] up" (Node.to_string node) port;
+    (match t.fault with
+     | Some f ->
+       Fault.note f ~time:(now t) "link-up %s[%d]" (Node.to_string node) port
+     | None -> ());
     let notify n p =
       match n with
       | Node.Switch id ->
@@ -542,6 +649,62 @@ let restore_link t node port =
     in
     notify node port;
     notify l.dst l.dst_port
+
+(** [crash_switch t id] models a switch reboot's first half: forwarding
+    stops, the flow table and its caches are wiped (a restarted switch
+    has an empty table), flood configuration and the control-connection
+    xid memory are reset.  Packets and control frames addressed to the
+    switch are counted in [dropped_down] until {!restart_switch}. *)
+let crash_switch t id =
+  let sw = switch t id in
+  if sw.alive then begin
+    sw.alive <- false;
+    Flow.Table.clear sw.table;
+    sw.flood_ports <- None;
+    sw.has_timeouts <- false;  (* stops the expiry sweep from rescheduling *)
+    sw.last_fm_xid <- 0;       (* a reboot is a fresh control connection *)
+    trace t "s%d crash" id;
+    match t.fault with
+    | Some f -> Fault.note f ~time:(now t) "crash s%d" id
+    | None -> ()
+  end
+
+(** [restart_switch t id] brings a crashed switch back with an empty
+    table and announces it to the controller with a [Hello] — the
+    runtime answers with a fresh feature handshake (and, with resilience
+    enabled, resyncs the intended rules). *)
+let restart_switch t id =
+  let sw = switch t id in
+  if not sw.alive then begin
+    sw.alive <- true;
+    trace t "s%d restart" id;
+    (match t.fault with
+     | Some f -> Fault.note f ~time:(now t) "restart s%d" id
+     | None -> ());
+    control_send t sw Openflow.Message.Hello
+  end
+
+let switch_alive t id = (switch t id).alive
+
+(** [inject t incidents] schedules a chaos scenario: each incident's
+    failure and recovery ride the simulator at their configured absolute
+    times, through {!fail_link}/{!restore_link}/{!crash_switch}/
+    {!restart_switch} — so port-status notifications, controller
+    reaction and the fault trace all happen exactly as for a manual
+    failure. *)
+let inject t incidents =
+  List.iter
+    (fun (i : Fault.incident) ->
+      match i with
+      | Fault.Link_flap { node; port; at; duration } ->
+        Sim.schedule_at t.sim ~time:at (fun () -> fail_link t node port);
+        Sim.schedule_at t.sim ~time:(at +. duration) (fun () ->
+          restore_link t node port)
+      | Fault.Switch_outage { switch_id; at; duration } ->
+        Sim.schedule_at t.sim ~time:at (fun () -> crash_switch t switch_id);
+        Sim.schedule_at t.sim ~time:(at +. duration) (fun () ->
+          restart_switch t switch_id))
+    incidents
 
 (* ------------------------------------------------------------------ *)
 (* Host sending *)
@@ -564,6 +727,6 @@ let run ?until ?max_events t () = Sim.run ?until ?max_events t.sim
 
 let pp_stats fmt (c : counters) =
   Format.fprintf fmt
-    "delivered=%d forwarded=%d dropped(policy=%d miss=%d queue=%d link=%d ttl=%d) control(msgs=%d bytes=%d)"
+    "delivered=%d forwarded=%d dropped(policy=%d miss=%d queue=%d link=%d ttl=%d down=%d) control(msgs=%d bytes=%d)"
     c.delivered c.forwarded c.dropped_policy c.dropped_miss c.dropped_queue
-    c.dropped_link c.dropped_ttl c.control_msgs c.control_bytes
+    c.dropped_link c.dropped_ttl c.dropped_down c.control_msgs c.control_bytes

@@ -1,0 +1,262 @@
+(* The chaos layer and the resilient control plane, end to end: seeded
+   fault determinism, keepalive liveness, reliable (retransmitted,
+   deduplicated) flow-mod delivery, crash resync, and the ISSUE 5
+   acceptance scenario — 20% control-channel loss plus a switch
+   crash/restart plus two link flaps reconverging to intended state with
+   a byte-identical event trace per seed. *)
+
+open Dataplane
+
+let fast_resilience =
+  { Controller.Runtime.echo_period = 0.05; echo_miss_limit = 3;
+    retx_timeout = 0.01; retx_backoff = 2.0; retx_cap = 0.1 }
+
+let rule_key (r : Flow.Table.rule) = (r.priority, r.pattern, r.actions, r.cookie)
+
+let keys rules = List.sort compare (List.map rule_key rules)
+
+(* every switch's installed table equals the runtime's intended state *)
+let diverged_switches net rt =
+  List.filter
+    (fun (sw : Network.switch) ->
+      keys (Flow.Table.rules sw.table)
+      <> keys (Controller.Runtime.intended_rules rt ~switch_id:sw.sw_id))
+    (Network.switch_list net)
+  |> List.map (fun (sw : Network.switch) -> sw.sw_id)
+
+let check_converged net rt =
+  Alcotest.(check (list int)) "tables equal intended state" []
+    (diverged_switches net rt)
+
+(* ------------------------------------------------------------------ *)
+(* Fault module *)
+
+let verdicts seed n =
+  let f = Fault.create ~seed ~drop:0.2 ~dup:0.1 ~jitter:1e-3 () in
+  List.init n (fun _ ->
+    let v = Fault.decide f in
+    (v.v_drop, v.v_dup, v.v_delay, v.v_dup_delay))
+
+let test_fault_deterministic () =
+  Alcotest.(check bool) "same seed, same verdicts" true
+    (verdicts 42 500 = verdicts 42 500);
+  Alcotest.(check bool) "different seed, different verdicts" false
+    (verdicts 42 500 = verdicts 43 500)
+
+let test_fault_env () =
+  Alcotest.(check bool) "no knobs, no fault" true (Fault.from_env () = None)
+
+(* ------------------------------------------------------------------ *)
+(* Liveness: crash detection and recovery *)
+
+let test_crash_detection_and_resync () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let downs = ref [] and ups = ref [] in
+  let probe =
+    { (Controller.Api.default_app "probe") with
+      switch_down = (fun _ ~switch_id -> downs := switch_id :: !downs);
+      switch_up = (fun _ ~switch_id ~ports:_ -> ups := switch_id :: !ups) }
+  in
+  let routing = Controller.Routing.create () in
+  let monitor = Controller.Monitor.create ~period:0.1 () in
+  let rt =
+    Controller.Runtime.create_and_handshake ~resilience:fast_resilience net
+      [ Controller.Routing.app routing; Controller.Monitor.app monitor; probe ]
+  in
+  check_converged net rt;
+  let rules_before = Flow.Table.size (Network.switch net 2).table in
+  Alcotest.(check bool) "switch 2 has rules" true (rules_before > 0);
+  (* crash switch 2 at 0.5 s; the keepalive loop must notice *)
+  Sim.schedule_at (Network.sim net) ~time:0.5 (fun () ->
+    Network.crash_switch net 2);
+  ignore (Network.run ~until:1.0 net ());
+  Alcotest.(check (list int)) "switch_down fired for s2" [ 2 ] !downs;
+  Alcotest.(check bool) "runtime sees s2 down" false
+    (Controller.Runtime.switch_up rt ~switch_id:2);
+  Alcotest.(check int) "table wiped by the crash" 0
+    (Flow.Table.size (Network.switch net 2).table);
+  (* restart: fresh handshake, switch_up again, intended rules resynced *)
+  Network.restart_switch net 2;
+  ignore (Network.run ~until:2.0 net ());
+  Alcotest.(check bool) "switch_up re-fired for s2" true (List.mem 2 !ups);
+  Alcotest.(check bool) "runtime sees s2 up" true
+    (Controller.Runtime.switch_up rt ~switch_id:2);
+  let rs = Controller.Runtime.resilience_stats rt in
+  Alcotest.(check bool) "resync counted" true (rs.resyncs >= 1);
+  Alcotest.(check bool) "recovery time sampled" true
+    (Controller.Runtime.recovery_times rt <> []);
+  Alcotest.(check bool) "monitor observed the outage" true
+    (Controller.Monitor.down_events monitor >= 1
+     && Controller.Monitor.recoveries monitor <> []);
+  check_converged net rt;
+  Alcotest.(check int) "rules restored" rules_before
+    (Flow.Table.size (Network.switch net 2).table);
+  (* connectivity is back through s2 *)
+  Traffic.install_responders net;
+  let result = Traffic.ping net ~src:1 ~dst:3 ~count:3 ~interval:0.02 in
+  ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+  Alcotest.(check int) "pings answered" 3 (List.length !(result.rtts))
+
+(* ------------------------------------------------------------------ *)
+(* Reliable delivery: loss and duplication *)
+
+let test_retransmit_under_loss () =
+  let topo = Topo.Gen.linear ~switches:4 ~hosts_per_switch:1 () in
+  let fault = Fault.create ~seed:7 ~drop:0.3 () in
+  let net = Network.create ~fault topo in
+  let routing = Controller.Routing.create () in
+  let rt =
+    Controller.Runtime.create ~resilience:fast_resilience net
+      [ Controller.Routing.app routing ]
+  in
+  ignore (Network.run ~until:3.0 net ());
+  let rs = Controller.Runtime.resilience_stats rt in
+  Alcotest.(check bool)
+    (Printf.sprintf "channel lossy (%d drops)" (Fault.drops fault))
+    true (Fault.drops fault > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "batches retransmitted (%d)" rs.retransmits)
+    true (rs.retransmits > 0);
+  check_converged net rt;
+  Traffic.install_responders net;
+  let result = Traffic.ping net ~src:1 ~dst:4 ~count:3 ~interval:0.02 in
+  ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+  Alcotest.(check int) "pings answered over converged tables" 3
+    (List.length !(result.rtts))
+
+let test_duplicates_idempotent () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let fault = Fault.create ~seed:11 ~dup:0.5 ~jitter:2e-3 () in
+  let net = Network.create ~fault topo in
+  let routing = Controller.Routing.create () in
+  let rt =
+    Controller.Runtime.create ~resilience:fast_resilience net
+      [ Controller.Routing.app routing ]
+  in
+  ignore (Network.run ~until:2.0 net ());
+  Alcotest.(check bool) "duplicates injected" true (Fault.dups fault > 0);
+  check_converged net rt
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: loss + crash + flaps, deterministic per seed *)
+
+type scenario_result = {
+  sr_trace : string list;
+  sr_diverged : int list;
+  sr_sent : int;
+  sr_delivered : int;
+  sr_retransmits : int;
+  sr_resyncs : int;
+  sr_recoveries : int;
+}
+
+(* ring of 6 switches, one host each; 20% control-channel loss with
+   jitter, switch 3 crashes and restarts, two distinct links flap; CBR
+   flows cross the ring throughout *)
+let run_acceptance_scenario seed =
+  let topo = Topo.Gen.ring ~switches:6 ~hosts_per_switch:1 () in
+  let fault = Fault.create ~seed ~drop:0.2 ~dup:0.05 ~jitter:1e-3 () in
+  let net = Network.create ~fault topo in
+  let routing = Controller.Routing.create () in
+  let rt =
+    Controller.Runtime.create ~resilience:fast_resilience net
+      [ Controller.Routing.app routing ]
+  in
+  Network.inject net
+    [ Fault.Switch_outage { switch_id = 3; at = 0.6; duration = 0.8 };
+      Fault.Link_flap
+        { node = Topo.Topology.Node.Switch 1; port = 1; at = 0.9;
+          duration = 0.5 };
+      Fault.Link_flap
+        { node = Topo.Topology.Node.Switch 4; port = 2; at = 1.2;
+          duration = 0.4 } ];
+  let senders =
+    List.map
+      (fun (src, dst) ->
+        Traffic.cbr net
+          { (Traffic.default_flow ~src ~dst) with
+            rate_pps = 200.0; pkt_size = 200; start = 0.1; stop = 2.5;
+            tp_src = Some 9000 })
+      [ (1, 4); (2, 5); (6, 3) ]
+  in
+  ignore (Network.run ~until:5.0 net ());
+  let rs = Controller.Runtime.resilience_stats rt in
+  { sr_trace = Fault.events fault;
+    sr_diverged = diverged_switches net rt;
+    sr_sent = List.fold_left (fun acc s -> acc + !s) 0 senders;
+    sr_delivered = (Network.stats net).delivered;
+    sr_retransmits = rs.retransmits;
+    sr_resyncs = rs.resyncs;
+    sr_recoveries = List.length (Controller.Runtime.recovery_times rt) }
+
+let test_acceptance_reconverges () =
+  let r = run_acceptance_scenario 1005 in
+  Alcotest.(check (list int)) "all tables equal intended state" []
+    r.sr_diverged;
+  Alcotest.(check bool) "chaos actually hit the run" true
+    (r.sr_retransmits > 0 && r.sr_resyncs >= 1 && r.sr_recoveries >= 1);
+  let ratio = float_of_int r.sr_delivered /. float_of_int r.sr_sent in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery ratio %.3f within (0.5, 1.0]" ratio)
+    true
+    (ratio > 0.5 && ratio <= 1.0)
+
+let test_acceptance_deterministic () =
+  let a = run_acceptance_scenario 1005 in
+  let b = run_acceptance_scenario 1005 in
+  Alcotest.(check (list string)) "identical chaos event traces" a.sr_trace
+    b.sr_trace;
+  Alcotest.(check bool) "trace non-trivial" true (List.length a.sr_trace > 10);
+  Alcotest.(check (pair int int)) "identical delivery counts"
+    (a.sr_sent, a.sr_delivered) (b.sr_sent, b.sr_delivered);
+  Alcotest.(check (pair int int)) "identical protocol counters"
+    (a.sr_retransmits, a.sr_resyncs) (b.sr_retransmits, b.sr_resyncs);
+  let c = run_acceptance_scenario 1006 in
+  Alcotest.(check bool) "different seed, different trace" false
+    (a.sr_trace = c.sr_trace)
+
+(* zero-chaos sanity: attaching a fault record with all knobs at zero
+   changes nothing observable vs no fault at all *)
+let test_zero_chaos_transparent () =
+  let run fault =
+    let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+    let net = Network.create ?fault topo in
+    let routing = Controller.Routing.create () in
+    let _rt =
+      Controller.Runtime.create_and_handshake net
+        [ Controller.Routing.app routing ]
+    in
+    Traffic.install_responders net;
+    let result = Traffic.ping net ~src:1 ~dst:3 ~count:3 ~interval:0.02 in
+    ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+    let s = Network.stats net in
+    (List.length !(result.rtts), s.delivered, s.control_msgs, s.control_bytes)
+  in
+  Alcotest.(check (pair (pair int int) (pair int int)))
+    "identical runs"
+    (let a, b, c, d = run None in
+     ((a, b), (c, d)))
+    (let a, b, c, d = run (Some (Fault.create ~seed:1 ())) in
+     ((a, b), (c, d)))
+
+let suites =
+  [ ( "chaos.fault",
+      [ Alcotest.test_case "seeded verdicts deterministic" `Quick
+          test_fault_deterministic;
+        Alcotest.test_case "env knobs absent -> no fault" `Quick
+          test_fault_env;
+        Alcotest.test_case "zero chaos transparent" `Quick
+          test_zero_chaos_transparent ] );
+    ( "chaos.resilience",
+      [ Alcotest.test_case "crash detection and resync" `Quick
+          test_crash_detection_and_resync;
+        Alcotest.test_case "retransmit under loss" `Quick
+          test_retransmit_under_loss;
+        Alcotest.test_case "duplicates idempotent" `Quick
+          test_duplicates_idempotent ] );
+    ( "chaos.acceptance",
+      [ Alcotest.test_case "loss+crash+flaps reconverges" `Quick
+          test_acceptance_reconverges;
+        Alcotest.test_case "same seed, same trace" `Quick
+          test_acceptance_deterministic ] ) ]

@@ -196,6 +196,94 @@ let test_routing_churn_counted () =
   Alcotest.(check bool) "failover churn counted" true
     (Controller.Routing.last_churn routing > 0)
 
+(* Two distinct links failing at the same simulated instant must yield
+   tables computed over the final topology (both links gone), not a
+   stale graph that still contains the second link.  The old debounce
+   compared event time against the last recompute time, which dropped
+   the second failure when it landed after a recompute within the same
+   instant — the nested scheduling below reproduces exactly that
+   interleaving (a zero-latency control channel makes port-status
+   delivery and link mutation share the instant). *)
+let test_routing_same_instant_failures () =
+  let tables_for fail_scenario =
+    let topo = Topo.Gen.ring ~switches:5 ~hosts_per_switch:1 () in
+    let net = Network.create topo in
+    let routing = Controller.Routing.create () in
+    let _rt =
+      Controller.Runtime.create ~latency:0.0 net
+        [ Controller.Routing.app routing ]
+    in
+    ignore (Network.run ~until:0.2 net ());
+    fail_scenario net;
+    ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+    ( routing,
+      List.map
+        (fun (sw : Network.switch) ->
+          ( sw.sw_id,
+            List.sort compare
+              (List.map
+                 (fun (r : Flow.Table.rule) -> (r.priority, r.pattern, r.actions))
+                 (Flow.Table.rules sw.table)) ))
+        (Network.switch_list net) )
+  in
+  (* reference: the same two failures, well separated in time *)
+  let _, reference =
+    tables_for (fun net ->
+      Network.fail_link net (Topo.Topology.Node.Switch 1) 1;
+      ignore (Network.run ~until:(Network.now net +. 0.5) net ());
+      Network.fail_link net (Topo.Topology.Node.Switch 3) 2)
+  in
+  (* same-instant: s3-s4 fails between s1-s2's port-status delivery and
+     any recompute scheduled for the instant *)
+  let routing, same_instant =
+    tables_for (fun net ->
+      let sim = Network.sim net in
+      let at = Network.now net +. 0.1 in
+      Sim.schedule_at sim ~time:at (fun () ->
+        Network.fail_link net (Topo.Topology.Node.Switch 1) 1;
+        Sim.schedule sim ~delay:0.0 (fun () ->
+          Sim.schedule sim ~delay:0.0 (fun () ->
+            Network.fail_link net (Topo.Topology.Node.Switch 3) 2))))
+  in
+  Alcotest.(check bool) "recomputed at least once" true
+    (Controller.Routing.reinstalls routing >= 2);
+  List.iter2
+    (fun (sw_a, rules_a) (sw_b, rules_b) ->
+      Alcotest.(check int) "same switch" sw_a sw_b;
+      Alcotest.(check bool)
+        (Printf.sprintf "s%d tables reflect both failures" sw_a)
+        true (rules_a = rules_b))
+    reference same_instant
+
+(* After a crash and re-handshake, routing re-pushes the crashed
+   switch's rules from its [installed] shadow (repeat switch_up),
+   instead of leaving the fresh table empty until the next topology
+   change. *)
+let test_routing_repush_on_rehandshake () =
+  let resilience =
+    { Controller.Runtime.default_resilience with
+      echo_period = 0.05; retx_timeout = 0.01 }
+  in
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let routing = Controller.Routing.create () in
+  let _rt =
+    Controller.Runtime.create_and_handshake ~resilience net
+      [ Controller.Routing.app routing ]
+  in
+  let before = Flow.Table.size (Network.switch net 2).table in
+  Alcotest.(check bool) "rules installed" true (before > 0);
+  Alcotest.(check int) "no repush yet" 0 (Controller.Routing.repushes routing);
+  Network.crash_switch net 2;
+  ignore (Network.run ~until:(Network.now net +. 0.5) net ());
+  Network.restart_switch net 2;
+  ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+  Alcotest.(check int) "one repush" 1 (Controller.Routing.repushes routing);
+  Alcotest.(check int) "rules restored" before
+    (Flow.Table.size (Network.switch net 2).table);
+  let got, _ = ping_pair net ~src:1 ~dst:3 in
+  Alcotest.(check int) "connectivity through the restarted switch" 3 got
+
 (* ------------------------------------------------------------------ *)
 (* Firewall app *)
 
@@ -330,7 +418,11 @@ let suites =
       [ Alcotest.test_case "proactive, zero packet-ins" `Quick
           test_routing_proactive_no_packet_ins;
         Alcotest.test_case "failover" `Quick test_routing_failover;
-        Alcotest.test_case "churn counted" `Quick test_routing_churn_counted ] );
+        Alcotest.test_case "churn counted" `Quick test_routing_churn_counted;
+        Alcotest.test_case "same-instant failures coalesce" `Quick
+          test_routing_same_instant_failures;
+        Alcotest.test_case "repush on re-handshake" `Quick
+          test_routing_repush_on_rehandshake ] );
     ( "controller.firewall",
       [ Alcotest.test_case "blocks matching traffic" `Quick test_firewall_blocks ] );
     ( "controller.lb",

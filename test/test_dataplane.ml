@@ -206,7 +206,9 @@ let test_link_failure_drops () =
   Alcotest.(check int) "link drop" 1 (Network.stats net).dropped_link
 
 let test_in_flight_lost_on_failure () =
-  (* packet on the wire when the link dies is lost *)
+  (* a packet on the wire when the link dies is lost — and accounted
+     for as a link drop, not silently vanished; delivery resumes once
+     the link is restored *)
   let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
   let net = Network.create topo in
   wildcard_forward net 1 1;
@@ -216,7 +218,20 @@ let test_in_flight_lost_on_failure () =
   Dataplane.Sim.schedule (Network.sim net) ~delay:20e-6 (fun () ->
     Network.fail_link net (Topo.Topology.Node.Switch 1) 1);
   ignore (Network.run net ());
-  Alcotest.(check int) "nothing delivered" 0 (Network.stats net).delivered
+  Alcotest.(check int) "nothing delivered" 0 (Network.stats net).delivered;
+  Alcotest.(check int) "in-flight loss counted as link drop" 1
+    (Network.stats net).dropped_link;
+  (* nothing leaks through while the link stays down *)
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  Alcotest.(check int) "still nothing delivered" 0 (Network.stats net).delivered;
+  Alcotest.(check int) "second drop counted" 2 (Network.stats net).dropped_link;
+  (* restore and retransmit: the path works again *)
+  Network.restore_link net (Topo.Topology.Node.Switch 1) 1;
+  Network.send_from net ~host:1 (Network.make_pkt ~src:1 ~dst:2 ());
+  ignore (Network.run net ());
+  Alcotest.(check int) "delivered after restore" 1 (Network.stats net).delivered;
+  Alcotest.(check int) "no further drops" 2 (Network.stats net).dropped_link
 
 let test_flood_respects_ingress () =
   let topo = Topo.Gen.star ~leaves:3 ~hosts_per_leaf:1 () in

@@ -62,6 +62,52 @@ let prop_packet_decoder_mutation =
       | exception Packet.Codec.Parse_error _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Liveness messages inside batched transmissions.  The resilient
+   runtime rides keepalives and port events in [encode_batch] frames;
+   round-trip must be exact, and a truncated transmission must either
+   decode to an unmodified prefix of complete frames or raise — never
+   crash, never deliver a mangled message. *)
+
+let gen_ctl_msg =
+  QCheck.Gen.(
+    oneof
+      [ map (fun s -> Openflow.Message.Echo_request s) (string_size (0 -- 12));
+        map (fun s -> Openflow.Message.Echo_reply s) (string_size (0 -- 12));
+        map2
+          (fun port up ->
+            Openflow.Message.Port_status
+              { ps_port = port;
+                ps_reason = (if up then Openflow.Message.Port_up
+                             else Openflow.Message.Port_down) })
+          (0 -- 48) bool;
+        return Openflow.Message.Hello;
+        return Openflow.Message.Barrier_request;
+        return Openflow.Message.Barrier_reply ])
+
+let gen_ctl_batch =
+  QCheck.Gen.(list_size (1 -- 8) (pair (1 -- 0xFFFF) gen_ctl_msg))
+
+let prop_batch_roundtrip_liveness =
+  QCheck.Test.make
+    ~name:"encode_batch/decode_all roundtrip (echo, port-status)" ~count:1000
+    (QCheck.make gen_ctl_batch)
+    (fun batch ->
+      Openflow.Wire.decode_all (Openflow.Wire.encode_batch batch) = batch)
+
+let prop_batch_truncation =
+  QCheck.Test.make ~name:"decode_all on truncated batches: prefix or error"
+    ~count:1000
+    (QCheck.make QCheck.Gen.(pair gen_ctl_batch (0 -- 200)))
+    (fun (batch, cut) ->
+      let full = Openflow.Wire.encode_batch batch in
+      let cut = min cut (Bytes.length full) in
+      match Openflow.Wire.decode_all (Bytes.sub full 0 cut) with
+      | msgs ->
+        List.length msgs <= List.length batch
+        && msgs = List.filteri (fun i _ -> i < List.length msgs) batch
+      | exception Openflow.Wire.Wire_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Policy parser on arbitrary strings *)
 
 let printable =
@@ -173,6 +219,8 @@ let suites =
         QCheck_alcotest.to_alcotest prop_wire_decoder_mutation;
         QCheck_alcotest.to_alcotest prop_packet_decoder_total;
         QCheck_alcotest.to_alcotest prop_packet_decoder_mutation;
+        QCheck_alcotest.to_alcotest prop_batch_roundtrip_liveness;
+        QCheck_alcotest.to_alcotest prop_batch_truncation;
         QCheck_alcotest.to_alcotest prop_parser_total;
         QCheck_alcotest.to_alcotest prop_parser_token_soup;
         QCheck_alcotest.to_alcotest prop_pp_parse_roundtrip;

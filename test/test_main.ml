@@ -7,4 +7,5 @@ let () =
     @ Test_dataplane.suites @ Test_controller.suites @ Test_verify.suites
     @ Test_te.suites @ Test_zen.suites @ Test_update.suites
     @ Test_analysis.suites @ Test_wan.suites @ Test_fuzz.suites
-    @ Test_apps.suites @ Test_global.suites @ Test_transport.suites)
+    @ Test_apps.suites @ Test_global.suites @ Test_transport.suites
+    @ Test_chaos.suites)
