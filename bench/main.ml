@@ -1463,13 +1463,195 @@ let e9_smoke () =
     (100.0 *. ratio)
 
 (* ------------------------------------------------------------------ *)
+(* E15 — sharded parallel simulation: throughput + pinned equivalence *)
+
+(* Fill flow tables by BFS next-hop toward every host, bypassing the
+   NetKAT compiler: E15 measures the {e simulator}, and FDD compilation
+   of full fat-tree routing dominates setup at k >= 8.  [table_of sw]
+   supplies the table owning switch [sw] (plain or sharded). *)
+let e15_install_routes topo table_of =
+  List.iter
+    (fun dst ->
+      let pred = Topo.Path.bfs topo ~src:(Topo.Topology.Node.Host dst) in
+      let pattern =
+        Flow.Pattern.of_field Packet.Fields.Ip4_dst
+          (Packet.Ipv4.of_host_id dst)
+      in
+      Hashtbl.iter
+        (fun n (h : Topo.Path.hop) ->
+          match n with
+          | Topo.Topology.Node.Switch sw ->
+            (* [h] is the hop that first reached [sw] from the
+               destination side, so [h.in_port] points back toward
+               [dst] *)
+            Flow.Table.add (table_of sw)
+              (Flow.Table.make_rule ~priority:100 ~pattern
+                 ~actions:(Flow.Action.forward h.in_port) ())
+          | _ -> ())
+        pred)
+    (Topo.Topology.host_ids topo)
+
+(* staggered long-lived CBR pairs: tie-free (see Dataplane.Shard), so
+   sharded and single-domain runs are byte-equivalent *)
+let e15_specs topo ~flows ~rate_pps ~stop =
+  let prng = Util.Prng.create 77 in
+  let host_ids = Array.of_list (Topo.Topology.host_ids topo) in
+  Dataplane.Traffic.random_pair_specs ~fixed_ports:true
+    ~stagger:(stop /. 4.0) ~prng ~host_ids ~flows ~rate_pps ~pkt_size:500
+    ~stop ()
+
+let e15_until stop = stop +. 0.1
+
+(* single-domain reference run: same topo, routes and specs *)
+let e15_run_single spec ~flows ~rate_pps ~stop =
+  let topo = Topo.Gen.of_spec spec in
+  let net = Dataplane.Network.create topo in
+  e15_install_routes topo (fun sw -> (Dataplane.Network.switch net sw).table);
+  List.iter
+    (fun s -> ignore (Dataplane.Traffic.cbr net s))
+    (e15_specs topo ~flows ~rate_pps ~stop);
+  let events, t =
+    wall (fun () -> Dataplane.Network.run ~until:(e15_until stop) net ())
+  in
+  (Dataplane.Shard.net_signature topo [ net ], events, t)
+
+let e15_run_sharded spec ~shards ~flows ~rate_pps ~stop =
+  let topo = Topo.Gen.of_spec spec in
+  let t = Dataplane.Shard.create ~shards topo in
+  e15_install_routes topo (fun sw ->
+    (Dataplane.Network.switch (Dataplane.Shard.net_of_switch t sw) sw).table);
+  List.iter
+    (fun (s : Dataplane.Traffic.flow_spec) ->
+      ignore (Dataplane.Traffic.cbr (Dataplane.Shard.net_of_host t s.src) s))
+    (e15_specs topo ~flows ~rate_pps ~stop);
+  let pool = Util.Pool.create ~domains:shards () in
+  let events, wall_t =
+    wall (fun () -> Dataplane.Shard.run ~until:(e15_until stop) ~pool t)
+  in
+  Util.Pool.shutdown pool;
+  (Dataplane.Shard.signature t, events, wall_t, t)
+
+let e15 () =
+  header "E15 — sharded parallel simulation: events/s vs shard count";
+  pf "expected shape: observable results (delivery counters, tables, port@.";
+  pf "stats) byte-equal at every shard count; events/s scales with shards on@.";
+  pf "a multicore host.  Cross-shard handoffs add bookkeeping events, so the@.";
+  pf "sharded event count exceeds the single-domain count by exactly the@.";
+  pf "handoff overhead.  On a single-CPU host the shards time-share one core@.";
+  pf "and events/s stays roughly flat — scaling rows need >= `shards` cores.@.@.";
+  let full = Sys.getenv_opt "ZEN_E15_FULL" = Some "1" in
+  let rows =
+    [ ("fattree:4", 200, 500.0, 0.2, [ 1; 2; 4 ]);
+      ("fattree:8", 1000, 200.0, 0.2, [ 1; 2; 4 ]) ]
+    @ (if full then [ ("fattree:16", 1_000_000, 2.0, 0.5, [ 1; 2; 4; 8 ]) ]
+       else [])
+  in
+  if not full then
+    pf "(set ZEN_E15_FULL=1 for the fattree:16 / 1M-flow row)@.@.";
+  pf "%-12s %8s %7s | %10s %12s %9s %8s %7s@." "topology" "flows" "shards"
+    "events" "events/s" "handoffs" "windows" "equal";
+  pf "%s@." (String.make 84 '-');
+  List.iter
+    (fun (spec, flows, rate_pps, stop, shard_counts) ->
+      let ref_sig, ref_events, ref_t =
+        e15_run_single spec ~flows ~rate_pps ~stop
+      in
+      pf "%-12s %8d %7s | %10d %12.0f %9s %8s %7s@." spec flows "-" ref_events
+        (float_of_int ref_events /. ref_t) "-" "-" "-";
+      record ~experiment:"e15" ~metric:(spec ^ "/single-events-per-sec")
+        (float_of_int ref_events /. ref_t);
+      List.iter
+        (fun shards ->
+          let s, events, wall_t, t =
+            e15_run_sharded spec ~shards ~flows ~rate_pps ~stop
+          in
+          let equal = s = ref_sig in
+          pf "%-12s %8d %7d | %10d %12.0f %9d %8d %7s@." spec flows shards
+            events
+            (float_of_int events /. wall_t)
+            (Dataplane.Shard.handoffs t)
+            (Dataplane.Shard.rounds t)
+            (if equal then "yes" else "NO");
+          record ~experiment:"e15"
+            ~metric:(Printf.sprintf "%s/shards-%d/events-per-sec" spec shards)
+            (float_of_int events /. wall_t);
+          if not equal then begin
+            pf "E15 FAILURE: %s at %d shards diverges from single-domain@."
+              spec shards;
+            exit 1
+          end)
+        shard_counts)
+    rows
+
+(* CI gate for the sharded simulator: a 2-shard run must produce the
+   byte-identical observable signature of the single-domain engine, and
+   the 1-shard sharded path must not be slower than the plain engine
+   beyond scheduling headroom (the acceptance bound is 1.1x on a quiet
+   multicore host; the gate allows 1.25x + 2 ms so CI noise and
+   single-CPU runners cannot flake it) *)
+let e15_smoke () =
+  header "E15 smoke — sharded simulation: equality + no-slower gate";
+  let spec = "fattree:4" and flows = 50 and rate_pps = 500.0 and stop = 0.2 in
+  let best_single () =
+    let best = ref None in
+    for _ = 1 to 3 do
+      let (_, _, t) as r = e15_run_single spec ~flows ~rate_pps ~stop in
+      match !best with
+      | Some (_, _, t') when t' <= t -> ()
+      | _ -> best := Some r
+    done;
+    Option.get !best
+  in
+  let best_sharded ~shards =
+    let best = ref None in
+    for _ = 1 to 3 do
+      let s, e, t, _ = e15_run_sharded spec ~shards ~flows ~rate_pps ~stop in
+      match !best with
+      | Some (_, _, t') when t' <= t -> ()
+      | _ -> best := Some (s, e, t)
+    done;
+    Option.get !best
+  in
+  let ref_sig, ref_events, single_t = best_single () in
+  let one_sig, _, one_t = best_sharded ~shards:1 in
+  let two_sig, two_events, two_t = best_sharded ~shards:2 in
+  pf "%s: single %d events in %.2f ms; 1-shard %.2f ms; 2-shard %d events \
+      in %.2f ms@."
+    spec ref_events (ms single_t) (ms one_t) two_events (ms two_t);
+  record ~experiment:"e15-smoke" ~metric:(spec ^ "/single-ms") (ms single_t);
+  record ~experiment:"e15-smoke" ~metric:(spec ^ "/shard-1-ms") (ms one_t);
+  record ~experiment:"e15-smoke" ~metric:(spec ^ "/shard-2-ms") (ms two_t);
+  record ~experiment:"e15-smoke" ~metric:(spec ^ "/shard-1-overhead-x")
+    (one_t /. single_t);
+  if two_sig <> ref_sig then begin
+    pf "SMOKE FAILURE: 2-shard signature diverges from single-domain@.";
+    exit 1
+  end;
+  if one_sig <> ref_sig then begin
+    pf "SMOKE FAILURE: 1-shard signature diverges from single-domain@.";
+    exit 1
+  end;
+  if one_t > (single_t *. 1.25) +. 2e-3 then begin
+    pf "SMOKE FAILURE: 1-shard path took %.2f ms vs single-domain %.2f ms \
+        (> 1.25x + 2 ms)@."
+      (ms one_t) (ms single_t);
+    exit 1
+  end
+  else
+    pf "smoke ok: byte-identical signatures at 1 and 2 shards; 1-shard \
+        overhead %.2fx within the gate (<= 1.25x + 2 ms)@."
+      (one_t /. single_t)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e9-chaos", e9_chaos);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("e9-chaos", e9_chaos);
     ("e1-smoke", e1_smoke); ("e2-smoke", e2_smoke); ("e3-smoke", e3_smoke);
-    ("e8-smoke", e8_smoke); ("e9-smoke", e9_smoke); ("micro", micro) ]
+    ("e8-smoke", e8_smoke); ("e9-smoke", e9_smoke);
+    ("e15-shard-smoke", e15_smoke); ("micro", micro) ]
 
 let () =
   (* pull out a --json FILE pair; remaining args name experiments *)

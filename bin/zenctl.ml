@@ -149,8 +149,100 @@ let simulate_cmd =
              ~doc:"compiled (tables pushed directly), learning (reactive \
                    controller) or routing (proactive controller).")
   in
-  let run spec pol_str flows rate duration seed mode =
+  let shards_arg =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Partition the simulation over N domains (conservative \
+                   parallel DES; compiled mode only).  Default: the \
+                   ZEN_SIM_SHARDS environment knob, else 1.")
+  in
+  let partition_arg =
+    Arg.(value & opt (some string) None
+         & info [ "partition" ] ~docv:"SCHEME"
+             ~doc:"Shard partition scheme: 'block' (contiguous switch-id \
+                   blocks) or 'pod:K' (fat-tree pod affinity).  Default: \
+                   block.")
+  in
+  let run_sharded topo pol_str flows rate duration seed shards partition =
+    let partition =
+      Option.map
+        (fun s ->
+          match Dataplane.Shard.partition_of_string s with
+          | Some p -> p
+          | None ->
+            prerr_endline
+              ("zenctl: unknown partition " ^ s ^ " (have: block, pod:K)");
+            exit 1)
+        partition
+    in
+    let pol = or_die (load_policy topo pol_str) in
+    let t = Zen.create_sharded ~shards ?partition topo in
+    let n = Zen.install_policy_sharded t pol in
+    Format.printf "installed %d rules over %d shards (lookahead %.1f us)@." n
+      (Dataplane.Shard.shards t)
+      (Dataplane.Shard.lookahead t *. 1e6);
+    let prng = Util.Prng.create seed in
+    let host_ids = Array.of_list (Topo.Topology.host_ids topo) in
+    let specs =
+      Dataplane.Traffic.random_pair_specs ~prng ~host_ids ~flows
+        ~rate_pps:rate ~pkt_size:1000 ~stop:duration ()
+    in
+    let senders =
+      List.map
+        (fun (s : Dataplane.Traffic.flow_spec) ->
+          Dataplane.Traffic.cbr (Dataplane.Shard.net_of_host t s.src) s)
+        specs
+    in
+    let t0 = Unix.gettimeofday () in
+    let executed = Zen.run_sharded ~until:(duration +. 1.0) t in
+    let wall = Unix.gettimeofday () -. t0 in
+    let sent = List.fold_left (fun acc s -> acc + !s) 0 senders in
+    Format.printf "sent %d packets over %d flows in %.1fs of simulated time@."
+      sent flows duration;
+    Format.printf "%a@." Dataplane.Network.pp_stats (Dataplane.Shard.stats t);
+    Format.printf
+      "events executed: %d (%.0f events/s wall) in %d windows, %d \
+       cross-shard handoffs, %d backpressure waits (mailbox high-water %d)@."
+      executed
+      (if wall > 0.0 then float_of_int executed /. wall else 0.0)
+      (Dataplane.Shard.rounds t)
+      (Dataplane.Shard.handoffs t)
+      (Dataplane.Shard.backpressure t)
+      (Dataplane.Shard.high_water t);
+    for i = 0 to Dataplane.Shard.shards t - 1 do
+      let ev = Dataplane.Shard.executed_of t i in
+      Format.printf
+        "  shard %d: %d events (%.0f events/s wall), %d handoffs in, %d \
+         horizon stalls@."
+        i ev
+        (if wall > 0.0 then float_of_int ev /. wall else 0.0)
+        (Dataplane.Shard.handoffs_of t i)
+        (Dataplane.Shard.stalls_of t i)
+    done
+  in
+  let run spec pol_str flows rate duration seed mode shards partition =
     let topo = or_die (load_topo spec) in
+    let sharded =
+      match shards with
+      | Some n -> n > 1 || partition <> None
+      | None -> Dataplane.Shard.default_shards () > 1 || partition <> None
+    in
+    if sharded then begin
+      (match mode with
+       | `Compiled -> ()
+       | `Learning | `Routing ->
+         prerr_endline
+           "zenctl: --shards requires --mode compiled (sharded runs have \
+            no controller)";
+         exit 1);
+      let shards =
+        match shards with
+        | Some n -> n
+        | None -> Dataplane.Shard.default_shards ()
+      in
+      run_sharded topo pol_str flows rate duration seed shards partition
+    end
+    else
     let net = Zen.create topo in
     (match mode with
      | `Compiled ->
@@ -204,7 +296,7 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run random traffic through the network")
     Term.(const run $ topo_arg $ policy_arg $ flows_arg $ rate_arg
-          $ duration_arg $ seed_arg $ mode_arg)
+          $ duration_arg $ seed_arg $ mode_arg $ shards_arg $ partition_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos *)

@@ -82,6 +82,48 @@ let with_controller ?latency ?resilience t apps =
 let run ?until ?max_events t =
   Dataplane.Network.run ?until ?max_events t.network ()
 
+(* ------------------------------------------------------------------ *)
+(* Sharded simulation (see {!Dataplane.Shard}) *)
+
+(** [create_sharded topo] partitions the network over [shards] OCaml
+    domains (default: the [ZEN_SIM_SHARDS] environment knob, else 1)
+    and runs them under conservative lookahead.  Sharded mode is
+    compiled/proactive only — install tables with
+    {!install_policy_sharded} (or directly per shard); there is no
+    controller.  Observable results are pinned equal to {!create} +
+    {!run} on the same seed and workload. *)
+let create_sharded ?queue_depth ?sim_engine ?fault_config ?shards ?partition
+    topo =
+  let shards =
+    match shards with Some n -> n | None -> Dataplane.Shard.default_shards ()
+  in
+  Dataplane.Shard.create ?queue_depth ?sim_engine ?fault_config ?partition
+    ~shards topo
+
+(** [install_policy_sharded t pol] — {!install_policy} for a sharded
+    network: one FDD compilation over the whole policy, each switch's
+    table loaded into the shard that owns it. *)
+let install_policy_sharded t pol =
+  Netkat.Local.compile_all
+    ~switches:(Topo.Topology.switch_ids (Dataplane.Shard.topology t)) pol
+  |> List.fold_left
+       (fun acc (switch_id, rules) ->
+         let net = Dataplane.Shard.net_of_switch t switch_id in
+         let table = (Dataplane.Network.switch net switch_id).table in
+         Flow.Table.clear table;
+         List.iter
+           (fun (r : Netkat.Local.rule) ->
+             Flow.Table.add table
+               (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+                  ~actions:r.actions ()))
+           rules;
+         acc + List.length rules)
+       0
+
+(** [run_sharded t ~until] advances all shards in parallel; returns
+    events executed (including cross-shard queue-release events). *)
+let run_sharded ?until t = Dataplane.Shard.run ?until t
+
 (** [snapshot t] captures topology + installed tables for verification. *)
 let snapshot t : Verify.Reach.snapshot =
   { topo = topology t;

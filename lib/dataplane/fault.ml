@@ -60,6 +60,14 @@ let make_config ?(seed = default_seed) ?(drop = 0.0) ?(dup = 0.0)
   if jitter < 0.0 then invalid_arg "Fault.create: negative jitter";
   { seed; drop; dup; jitter }
 
+(** [shard_config c ~shard] derives shard [shard]'s chaos configuration
+    in a sharded run: shard 0 keeps the base seed (so a 1-shard run is
+    byte-identical to single-domain), other shards mix the shard index
+    into the seed so their verdict streams are independent instead of
+    accidentally correlated. *)
+let shard_config c ~shard =
+  if shard = 0 then c else { c with seed = c.seed + (0x9E3779B9 * shard) }
+
 let of_config config =
   { config; prng = Util.Prng.create config.seed;
     drops = 0; dups = 0; jitters = 0; decisions = 0;

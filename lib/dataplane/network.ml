@@ -61,7 +61,13 @@ and host = {
   mutable uplink : link_state option;  (* cached access-link egress *)
 }
 
-and dest = To_switch of switch | To_host of host
+and dest =
+  | To_switch of switch
+  | To_host of host
+  | To_remote of { rem_src : Node.t; rem_src_port : int; rem_shard : int }
+      (** the link's far end lives on another shard; [rem_src]/[rem_src_port]
+          identify the link so the destination shard can resolve its own
+          view of it at arrival *)
 
 (* per-direction link state: queueing plus the resolved endpoints *)
 and link_state = {
@@ -74,6 +80,17 @@ and link_state = {
   mutable busy_until : float;
   mutable queued : int;     (* packets scheduled but not yet on the wire *)
   mutable tx_drops : int;
+}
+
+(** How a shard-local network reaches the rest of a sharded simulation
+    (see {!Shard}).  [ri_shard_of] is the partition function;
+    [ri_post] hands a packet crossing a shard boundary to the
+    destination shard as a timestamped envelope. *)
+type remote_iface = {
+  ri_self : int;  (** this network's shard index *)
+  ri_shard_of : Node.t -> int;
+  ri_post :
+    rem_shard:int -> time:float -> src:Node.t -> src_port:int -> pkt -> unit;
 }
 
 type counters = {
@@ -103,6 +120,10 @@ type t = {
   mutable tracer : (float -> string -> unit) option;
   expiry_period : float;
   fault : Fault.t option;  (** chaos injection on the control channel *)
+  mutable remote : remote_iface option;  (** set when part of a sharded run *)
+  (* resolved ingress state for links whose source is on another shard,
+     keyed by the remote (node, port) *)
+  ingress_tbl : (Node.t * int, link_state) Hashtbl.t;
 }
 
 let default_queue_depth = 64
@@ -110,8 +131,11 @@ let default_queue_depth = 64
 (** Default hop budget of injected packets. *)
 let default_ttl = 64
 
+(** [create ?only topo] instantiates the network.  [only] restricts which
+    topology nodes get switch/host state — a shard populates just the
+    nodes it owns and reaches the rest through its {!remote_iface}. *)
 let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
-    ?sim_engine ?fault topo =
+    ?sim_engine ?fault ?only topo =
   (* explicit [?fault] wins; otherwise the ZEN_CHAOS_* knobs apply *)
   let fault = match fault with Some _ -> fault | None -> Fault.from_env () in
   let t =
@@ -125,25 +149,30 @@ let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
           dropped_down = 0;
           forwarded = 0; control_msgs = 0; control_bytes = 0 };
       controller = None; control_latency = 1e-3; tracer = None;
-      expiry_period; fault }
+      expiry_period; fault; remote = None; ingress_tbl = Hashtbl.create 8 }
   in
+  let owned n = match only with Some f -> f n | None -> true in
   List.iter
     (fun n ->
-      match n with
-      | Node.Switch id ->
-        Hashtbl.replace t.switches id
-          { sw_id = id; table = Flow.Table.create ();
-            flood_ports = None; port_stats = Hashtbl.create 8;
-            packet_ins = 0; has_timeouts = false; out_ports = [||];
-            alive = true; last_fm_xid = 0;
-            ctl_down_arrival = 0.0; ctl_up_arrival = 0.0 }
-      | Node.Host id ->
-        Hashtbl.replace t.host_tbl id
-          { host_id = id; mac = Packet.Mac.of_host_id id;
-            ip = Packet.Ipv4.of_host_id id; received = 0; rx_bytes = 0;
-            on_receive = None; uplink = None })
+      if owned n then
+        match n with
+        | Node.Switch id ->
+          Hashtbl.replace t.switches id
+            { sw_id = id; table = Flow.Table.create ();
+              flood_ports = None; port_stats = Hashtbl.create 8;
+              packet_ins = 0; has_timeouts = false; out_ports = [||];
+              alive = true; last_fm_xid = 0;
+              ctl_down_arrival = 0.0; ctl_up_arrival = 0.0 }
+        | Node.Host id ->
+          Hashtbl.replace t.host_tbl id
+            { host_id = id; mac = Packet.Mac.of_host_id id;
+              ip = Packet.Ipv4.of_host_id id; received = 0; rx_bytes = 0;
+              on_receive = None; uplink = None })
     (Topo.Topology.nodes topo);
   t
+
+(** Attaches the cross-shard interface (before any traffic flows). *)
+let set_remote t ri = t.remote <- Some ri
 
 let sim t = t.sim
 let topology t = t.topo
@@ -200,11 +229,20 @@ let resolve_egress t node port =
   | None -> None
   | Some l ->
     let ls_dst, ls_rx =
-      match l.dst with
-      | Node.Switch id ->
-        let sw = switch t id in
-        (To_switch sw, Some (port_stat sw l.dst_port))
-      | Node.Host id -> (To_host (host t id), None)
+      match t.remote with
+      | Some ri when ri.ri_shard_of l.dst <> ri.ri_self ->
+        (* the far end is another shard's: rx counters and delivery
+           happen over there (see [receive_remote]) *)
+        ( To_remote
+            { rem_src = node; rem_src_port = port;
+              rem_shard = ri.ri_shard_of l.dst },
+          None )
+      | Some _ | None ->
+        (match l.dst with
+         | Node.Switch id ->
+           let sw = switch t id in
+           (To_switch sw, Some (port_stat sw l.dst_port))
+         | Node.Host id -> (To_host (host t id), None))
     in
     let ls_tx =
       match node with
@@ -307,17 +345,32 @@ let rec enqueue t ls pkt =
      ps.tx_bytes <- ps.tx_bytes + pkt.size
    | None -> ());
   let arrival = start +. ser +. l.delay in
-  Sim.schedule_at t.sim ~time:arrival (fun () ->
-    ls.queued <- ls.queued - 1;
-    (* the link may have failed while the packet was in flight *)
-    if l.up then deliver_ls t ls pkt
-    else begin
-      t.stats.dropped_link <- t.stats.dropped_link + 1;
-      trace t "drop(in-flight, link-down) -> %s"
-        (match ls.ls_dst with
-         | To_switch sw -> Printf.sprintf "s%d" sw.sw_id
-         | To_host h -> Printf.sprintf "h%d" h.host_id)
-    end)
+  match ls.ls_dst with
+  | To_remote { rem_src; rem_src_port; rem_shard } ->
+    (* cross-shard handoff, posted at {e enqueue} time so the envelope's
+       timestamp is >= now + link delay >= now + lookahead — the local
+       half only releases the queue slot at arrival; the destination
+       shard checks its own clone's [up] flag (see [receive_remote]) *)
+    Sim.schedule_at t.sim ~time:arrival (fun () ->
+      ls.queued <- ls.queued - 1);
+    (match t.remote with
+     | Some ri ->
+       ri.ri_post ~rem_shard ~time:arrival ~src:rem_src
+         ~src_port:rem_src_port pkt
+     | None -> assert false (* To_remote only resolved with an iface *))
+  | To_switch _ | To_host _ ->
+    Sim.schedule_at t.sim ~time:arrival (fun () ->
+      ls.queued <- ls.queued - 1;
+      (* the link may have failed while the packet was in flight *)
+      if l.up then deliver_ls t ls pkt
+      else begin
+        t.stats.dropped_link <- t.stats.dropped_link + 1;
+        trace t "drop(in-flight, link-down) -> %s"
+          (match ls.ls_dst with
+           | To_switch sw -> Printf.sprintf "s%d" sw.sw_id
+           | To_host h -> Printf.sprintf "h%d" h.host_id
+           | To_remote _ -> assert false)
+      end)
 
 and transmit_switch t sw port pkt =
   match switch_egress t sw port with
@@ -367,6 +420,7 @@ and deliver_ls t ls pkt =
     (match h.on_receive with Some f -> f pkt | None -> ())
   | To_switch sw ->
     switch_process t sw ~in_port:ls.ls_dst_port ~rx:ls.ls_rx pkt
+  | To_remote _ -> assert false (* remote hops never reach deliver_ls *)
 
 and deliver t node port pkt =
   match node with
@@ -454,6 +508,54 @@ and packet_in t sw ~in_port ~reason pkt =
       (Openflow.Message.Packet_in
          { in_port; reason;
            packet = { headers = pkt.hdr; size = pkt.size; tag = pkt.tag } })
+
+(* Resolved ingress state for a link arriving from another shard: same
+   shape as an egress [link_state], but tx counters live on the remote
+   side ([ls_tx = None]) and only the local rx/destination half is
+   populated.  Cached per remote (node, port). *)
+let remote_ingress t src src_port =
+  match Hashtbl.find_opt t.ingress_tbl (src, src_port) with
+  | Some _ as r -> r
+  | None ->
+    (match Topo.Topology.link_via t.topo src src_port with
+     | None -> None
+     | Some l ->
+       let ls_dst, ls_rx =
+         match l.dst with
+         | Node.Switch id ->
+           let sw = switch t id in
+           (To_switch sw, Some (port_stat sw l.dst_port))
+         | Node.Host id -> (To_host (host t id), None)
+       in
+       let ls =
+         { ls_link = l; ls_tx = None; ls_rx; ls_dst;
+           ls_dst_port = l.dst_port; busy_until = 0.0; queued = 0;
+           tx_drops = 0 }
+       in
+       Hashtbl.replace t.ingress_tbl (src, src_port) ls;
+       Some ls)
+
+(** [receive_remote t ~src ~src_port pkt] completes a cross-shard hop:
+    the packet left the remote shard through link [(src, src_port)] and
+    arrives here (simulated time must already be the arrival time).  The
+    in-flight link-down check runs against {e this} shard's topology
+    clone — incidents are broadcast to every shard's clone at identical
+    times, so the verdict matches the single-domain run exactly. *)
+let receive_remote t ~src ~src_port pkt =
+  match remote_ingress t src src_port with
+  | None ->
+    t.stats.dropped_link <- t.stats.dropped_link + 1;
+    trace t "drop(no-link) %s port %d" (Node.to_string src) src_port
+  | Some ls ->
+    if ls.ls_link.up then deliver_ls t ls pkt
+    else begin
+      t.stats.dropped_link <- t.stats.dropped_link + 1;
+      trace t "drop(in-flight, link-down) -> %s"
+        (match ls.ls_dst with
+         | To_switch sw -> Printf.sprintf "s%d" sw.sw_id
+         | To_host h -> Printf.sprintf "h%d" h.host_id
+         | To_remote _ -> assert false)
+    end
 
 (** Registers the controller side of the control channel.  [handler]
     receives wire-encoded messages from switches; {!controller_send}
@@ -618,12 +720,17 @@ let fail_link t node port =
       | Some f ->
         Fault.note f ~time:(now t) "link-down %s[%d]" (Node.to_string node) port
       | None -> ());
+     (* find_opt: in a sharded run the far endpoint may belong to
+        another shard (whose own clone flips at the same time) *)
      let notify n p =
        match n with
        | Node.Switch id ->
-         control_send t (switch t id)
-           (Openflow.Message.Port_status
-              { ps_port = p; ps_reason = Openflow.Message.Port_down })
+         (match Hashtbl.find_opt t.switches id with
+          | Some sw ->
+            control_send t sw
+              (Openflow.Message.Port_status
+                 { ps_port = p; ps_reason = Openflow.Message.Port_down })
+          | None -> ())
        | Node.Host _ -> ()
      in
      notify node port;
@@ -642,9 +749,12 @@ let restore_link t node port =
     let notify n p =
       match n with
       | Node.Switch id ->
-        control_send t (switch t id)
-          (Openflow.Message.Port_status
-             { ps_port = p; ps_reason = Openflow.Message.Port_up })
+        (match Hashtbl.find_opt t.switches id with
+         | Some sw ->
+           control_send t sw
+             (Openflow.Message.Port_status
+                { ps_port = p; ps_reason = Openflow.Message.Port_up })
+         | None -> ())
       | Node.Host _ -> ()
     in
     notify node port;
@@ -723,7 +833,8 @@ let make_pkt ?(size = 1000) ?(tag = 0) ?(tp_src = 10000) ?(tp_dst = 80)
     size; tag; ttl }
 
 (** [run t ?until ()] advances the simulation (see {!Sim.run}). *)
-let run ?until ?max_events t () = Sim.run ?until ?max_events t.sim
+let run ?until ?strict ?max_events t () =
+  Sim.run ?until ?strict ?max_events t.sim
 
 let pp_stats fmt (c : counters) =
   Format.fprintf fmt

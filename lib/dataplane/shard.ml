@@ -1,0 +1,408 @@
+(** Sharded parallel simulation driver: one {!Network} per shard, run
+    under conservative lookahead (see {!Util.Shard_sync}).
+
+    The topology is partitioned by a pluggable function mapping every
+    node to a shard.  Each shard owns the switch/host state of its
+    nodes, a {e clone} of the topology (so the mutable link [up] flags
+    are never shared across domains), its own {!Sim} clock + timing
+    wheel, and — when chaos is configured — its own {!Fault} stream
+    seeded per shard.  Packets crossing a shard boundary become
+    timestamped envelopes posted through {!Util.Shard_sync}; the minimum
+    delay over boundary-crossing links is the lookahead that makes the
+    conservative window non-trivial.
+
+    Determinism: a sharded run is a pure function of its inputs — shard
+    count and {!Util.Pool} size never change results (envelopes carry a
+    (time, source shard, sequence) total order).  Against the
+    {e single-domain} engine the equivalence is exact whenever no two
+    causally-independent events share a timestamp: the sequential engine
+    breaks such ties by global scheduling order, which no partitioned
+    execution can reproduce (the classic conservative-PDES caveat), so
+    simultaneous packets contending for one queue may serialize in a
+    different — still deterministic — order.  Tie-free workloads (e.g.
+    {!Traffic.random_pair_specs} with [~stagger]) give byte-equal
+    delivery traces, tables, counters and port stats for any shard
+    count.  Raw executed-event counts always differ: a cross-shard hop
+    costs one extra local event (the source-side queue release), so
+    [logical events = executed - handoffs].
+
+    Sharded mode is {e compiled/proactive only}: there is no controller
+    (a control channel spanning shards would serialize every window);
+    install tables directly or via [Zen.install_policy_sharded]. *)
+
+module Node = Topo.Topology.Node
+
+(* a cross-shard envelope payload: the link (identified by its sending
+   endpoint) the packet left through, and the packet itself *)
+type load = { ld_src : Node.t; ld_src_port : int; ld_pkt : Network.pkt }
+
+type shard = {
+  sh_index : int;
+  sh_net : Network.t;
+  mutable sh_executed : int;
+}
+
+type t = {
+  topo : Topo.Topology.t;  (* the original; shards run on clones *)
+  nshards : int;
+  shard_of : Node.t -> int;
+  shards : shard array;
+  sync : load Util.Shard_sync.t;
+  lookahead : float;  (* min delay over cross-shard links; +inf if none *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Partition functions *)
+
+(** A partition maps every topology node to a shard in [0, shards). *)
+type partition = Topo.Topology.t -> shards:int -> Node.t -> int
+
+(** Contiguous switch-id blocks; hosts follow their uplink switch.  The
+    topology-agnostic default: id-adjacent switches are usually
+    topologically adjacent for the generators in {!Topo.Gen}. *)
+let block_partition : partition =
+ fun topo ~shards ->
+  let sw = Array.of_list (Topo.Topology.switch_ids topo) in
+  Array.sort compare sw;
+  let n = Array.length sw in
+  let tbl = Hashtbl.create (2 * (n + 1)) in
+  Array.iteri
+    (fun i id -> Hashtbl.replace tbl (Node.Switch id) (i * shards / max n 1))
+    sw;
+  List.iter
+    (fun h ->
+      let s =
+        match Topo.Topology.attachment topo h with
+        | Some (sw_id, _) ->
+          (match Hashtbl.find_opt tbl (Node.Switch sw_id) with
+           | Some s -> s
+           | None -> 0)
+        | None -> 0
+      in
+      Hashtbl.replace tbl (Node.Host h) s)
+    (Topo.Topology.host_ids topo);
+  fun node -> match Hashtbl.find_opt tbl node with Some s -> s | None -> 0
+
+(** Fat-tree pod partition (for topologies built by {!Topo.Gen.fat_tree}
+    with the same [k]): pods map to contiguous shard blocks, the pod's
+    hosts follow their edge switch, and the core layer is spread evenly.
+    Pod-local traffic then never crosses a shard boundary. *)
+let pod_partition ~k : partition =
+ fun topo ~shards ->
+  let half = k / 2 in
+  let n_core = half * half in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      let s =
+        if id <= n_core then (id - 1) * shards / n_core
+        else (id - n_core - 1) / k * shards / k
+      in
+      Hashtbl.replace tbl (Node.Switch id) s)
+    (Topo.Topology.switch_ids topo);
+  List.iter
+    (fun h ->
+      let s =
+        match Topo.Topology.attachment topo h with
+        | Some (sw_id, _) ->
+          (match Hashtbl.find_opt tbl (Node.Switch sw_id) with
+           | Some s -> s
+           | None -> 0)
+        | None -> 0
+      in
+      Hashtbl.replace tbl (Node.Host h) s)
+    (Topo.Topology.host_ids topo);
+  fun node -> match Hashtbl.find_opt tbl node with Some s -> s | None -> 0
+
+(** Parses a partition name: ["block"], or ["pod:K"] for the fat-tree
+    pod partition.  Returns [None] on anything else. *)
+let partition_of_string s =
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "block" ] -> Some block_partition
+  | [ "pod"; k ] ->
+    (match int_of_string_opt k with
+     | Some k when k >= 2 -> Some (pod_partition ~k)
+     | Some _ | None -> None)
+  | _ -> None
+
+(** Shard count used when none is requested: [ZEN_SIM_SHARDS] if set to
+    a positive integer, else 1. *)
+let default_shards () =
+  match Sys.getenv_opt "ZEN_SIM_SHARDS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> 1)
+  | None -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let lookahead_of topo shard_of =
+  List.fold_left
+    (fun acc (l : Topo.Topology.link) ->
+      if shard_of l.src <> shard_of l.dst then Float.min acc l.delay else acc)
+    infinity (Topo.Topology.links topo)
+
+(** [create ~shards topo] partitions [topo] and instantiates one network
+    per shard.  [partition] defaults to {!block_partition};
+    [fault_config] attaches a chaos layer with per-shard derived seeds
+    (see {!Fault.shard_config}; defaults to the [ZEN_CHAOS_*] knobs).
+    @raise Invalid_argument when a cross-shard link has zero delay (the
+    conservative lookahead would vanish). *)
+let create ?queue_depth ?sim_engine ?fault_config
+    ?(partition = block_partition) ~shards topo =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  let shard_of =
+    let f = partition topo ~shards in
+    fun node ->
+      let s = f node in
+      if s < 0 || s >= shards then
+        invalid_arg "Shard.create: partition out of range"
+      else s
+  in
+  let lookahead = lookahead_of topo shard_of in
+  if lookahead <= 0.0 then
+    invalid_arg "Shard.create: cross-shard links must have positive delay";
+  let fault_config =
+    match fault_config with
+    | Some _ -> fault_config
+    | None -> Option.map Fault.config (Fault.from_env ())
+  in
+  let sync = Util.Shard_sync.create ~shards () in
+  let t =
+    { topo; nshards = shards; shard_of;
+      shards =
+        Array.init shards (fun i ->
+          let clone = Topo.Topology.copy topo in
+          let fault =
+            Option.map
+              (fun c -> Fault.of_config (Fault.shard_config c ~shard:i))
+              fault_config
+          in
+          let net =
+            Network.create ?queue_depth ?sim_engine ?fault
+              ~only:(fun n -> shard_of n = i)
+              clone
+          in
+          { sh_index = i; sh_net = net; sh_executed = 0 });
+      sync; lookahead }
+  in
+  Array.iter
+    (fun sh ->
+      Network.set_remote sh.sh_net
+        { ri_self = sh.sh_index; ri_shard_of = shard_of;
+          ri_post =
+            (fun ~rem_shard ~time ~src ~src_port pkt ->
+              Util.Shard_sync.post t.sync ~src:sh.sh_index ~dst:rem_shard
+                ~time
+                { ld_src = src; ld_src_port = src_port; ld_pkt = pkt }) })
+    t.shards;
+  t
+
+let shards t = t.nshards
+let topology t = t.topo
+let lookahead t = t.lookahead
+let shard_of t node = t.shard_of node
+
+(** The shard-local networks, indexed by shard. *)
+let nets t = Array.map (fun sh -> sh.sh_net) t.shards
+
+let net t i = t.shards.(i).sh_net
+let net_of_switch t id = t.shards.(t.shard_of (Node.Switch id)).sh_net
+let net_of_host t id = t.shards.(t.shard_of (Node.Host id)).sh_net
+
+(* ------------------------------------------------------------------ *)
+(* Incidents *)
+
+(** [inject t incidents] broadcasts a chaos scenario to every shard: the
+    shard owning the incident's node runs the full failure path (trace,
+    fault note, controller notification if any); every {e other} shard
+    silently flips its own topology clone at the same instants, so the
+    in-flight link-down verdicts every shard makes match the
+    single-domain run exactly.  Switch outages only touch the owner. *)
+let inject t incidents =
+  Array.iter
+    (fun sh ->
+      let sim = Network.sim sh.sh_net in
+      let clone = Network.topology sh.sh_net in
+      List.iter
+        (fun (i : Fault.incident) ->
+          match i with
+          | Fault.Link_flap { node; port; at; duration } ->
+            if t.shard_of node = sh.sh_index then
+              Network.inject sh.sh_net [ i ]
+            else begin
+              Sim.schedule_at sim ~time:at (fun () ->
+                Topo.Topology.set_link_up clone (node, port) false);
+              Sim.schedule_at sim ~time:(at +. duration) (fun () ->
+                Topo.Topology.set_link_up clone (node, port) true)
+            end
+          | Fault.Switch_outage { switch_id; _ } ->
+            if t.shard_of (Node.Switch switch_id) = sh.sh_index then
+              Network.inject sh.sh_net [ i ])
+        incidents)
+    t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Running *)
+
+(** [run ?until ?pool t] advances every shard under the conservative
+    window loop, fanning windows over [pool] (default: the process-wide
+    {!Util.Pool}).  Returns the total number of events executed.  Safe
+    to call repeatedly; like {!Sim.run}, [until] is inclusive. *)
+let run ?until ?pool t =
+  let pool = match pool with Some p -> p | None -> Util.Pool.get_default () in
+  let before = Array.fold_left (fun a sh -> a + sh.sh_executed) 0 t.shards in
+  let next_time i =
+    match Sim.peek (Network.sim t.shards.(i).sh_net) with
+    | Some (time, _) -> time
+    | None -> infinity
+  in
+  let run_window i ~stop ~strict =
+    let sh = t.shards.(i) in
+    let sim = Network.sim sh.sh_net in
+    List.iter
+      (fun (e : load Util.Shard_sync.envelope) ->
+        let { ld_src; ld_src_port; ld_pkt } = e.env_load in
+        Sim.schedule_at sim ~time:e.env_time (fun () ->
+          Network.receive_remote sh.sh_net ~src:ld_src ~src_port:ld_src_port
+            ld_pkt))
+      (Util.Shard_sync.drain t.sync i);
+    sh.sh_executed <-
+      sh.sh_executed + Network.run ~until:stop ~strict sh.sh_net ()
+  in
+  Util.Shard_sync.drive t.sync ~pool ~lookahead:t.lookahead ?until ~next_time
+    ~run_window ();
+  Array.fold_left (fun a sh -> a + sh.sh_executed) 0 t.shards - before
+
+(* ------------------------------------------------------------------ *)
+(* Merged observables *)
+
+let executed t = Array.fold_left (fun a sh -> a + sh.sh_executed) 0 t.shards
+let executed_of t i = t.shards.(i).sh_executed
+let rounds t = Util.Shard_sync.rounds t.sync
+let handoffs t = Util.Shard_sync.handoffs t.sync
+let handoffs_of t i = Util.Shard_sync.handoffs_of t.sync i
+let stalls_of t i = Util.Shard_sync.stalls_of t.sync i
+let backpressure t = Util.Shard_sync.backpressure t.sync
+let high_water t = Util.Shard_sync.high_water t.sync
+
+(** Merged counters, summed across shards (each packet event is counted
+    by exactly one shard, so the sums match a single-domain run). *)
+let stats t =
+  let m =
+    { Network.delivered = 0; dropped_policy = 0; dropped_miss = 0;
+      dropped_queue = 0; dropped_link = 0; dropped_ttl = 0; dropped_down = 0;
+      forwarded = 0; control_msgs = 0; control_bytes = 0 }
+  in
+  Array.iter
+    (fun sh ->
+      let c = Network.stats sh.sh_net in
+      m.delivered <- m.delivered + c.delivered;
+      m.dropped_policy <- m.dropped_policy + c.dropped_policy;
+      m.dropped_miss <- m.dropped_miss + c.dropped_miss;
+      m.dropped_queue <- m.dropped_queue + c.dropped_queue;
+      m.dropped_link <- m.dropped_link + c.dropped_link;
+      m.dropped_ttl <- m.dropped_ttl + c.dropped_ttl;
+      m.dropped_down <- m.dropped_down + c.dropped_down;
+      m.forwarded <- m.forwarded + c.forwarded;
+      m.control_msgs <- m.control_msgs + c.control_msgs;
+      m.control_bytes <- m.control_bytes + c.control_bytes)
+    t.shards;
+  m
+
+(** Merged chaos event traces of all shards, sorted by (time, text). *)
+let chaos_events t =
+  let key line =
+    match String.index_opt line ' ' with
+    | Some i ->
+      (Option.value ~default:0.0
+         (float_of_string_opt (String.sub line 0 i)),
+       line)
+    | None -> (0.0, line)
+  in
+  Array.to_list t.shards
+  |> List.concat_map (fun sh ->
+    match Network.fault sh.sh_net with Some f -> Fault.events f | None -> [])
+  |> List.map key |> List.sort compare |> List.map snd
+
+(* ------------------------------------------------------------------ *)
+(* Observable signature *)
+
+(* The canonical rendering of everything a simulation is supposed to
+   compute: merged counters, per-host delivery, per-switch tables with
+   match counters, and per-port stats.  Ports are enumerated from the
+   topology (not from lazily-materialized stat records) so zero-valued
+   entries render identically however the run was sharded. *)
+let net_signature topo nets =
+  let buf = Buffer.create 4096 in
+  let merged =
+    { Network.delivered = 0; dropped_policy = 0; dropped_miss = 0;
+      dropped_queue = 0; dropped_link = 0; dropped_ttl = 0; dropped_down = 0;
+      forwarded = 0; control_msgs = 0; control_bytes = 0 }
+  in
+  List.iter
+    (fun net ->
+      let c = Network.stats net in
+      merged.delivered <- merged.delivered + c.delivered;
+      merged.dropped_policy <- merged.dropped_policy + c.dropped_policy;
+      merged.dropped_miss <- merged.dropped_miss + c.dropped_miss;
+      merged.dropped_queue <- merged.dropped_queue + c.dropped_queue;
+      merged.dropped_link <- merged.dropped_link + c.dropped_link;
+      merged.dropped_ttl <- merged.dropped_ttl + c.dropped_ttl;
+      merged.dropped_down <- merged.dropped_down + c.dropped_down;
+      merged.forwarded <- merged.forwarded + c.forwarded;
+      merged.control_msgs <- merged.control_msgs + c.control_msgs;
+      merged.control_bytes <- merged.control_bytes + c.control_bytes)
+    nets;
+  Buffer.add_string buf (Format.asprintf "%a@." Network.pp_stats merged);
+  let hosts =
+    List.concat_map Network.host_list nets
+    |> List.sort (fun (a : Network.host) b -> compare a.host_id b.host_id)
+  in
+  List.iter
+    (fun (h : Network.host) ->
+      Buffer.add_string buf
+        (Printf.sprintf "h%d received=%d rx_bytes=%d\n" h.host_id h.received
+           h.rx_bytes))
+    hosts;
+  let switches =
+    List.concat_map
+      (fun net -> List.map (fun sw -> (net, sw)) (Network.switch_list net))
+      nets
+    |> List.sort (fun (_, (a : Network.switch)) (_, b) ->
+      compare a.sw_id b.sw_id)
+  in
+  List.iter
+    (fun ((_ : Network.t), (sw : Network.switch)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "s%d rules=%d\n" sw.sw_id (Flow.Table.size sw.table));
+      List.iter
+        (fun (r : Flow.Table.rule) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %d %s => %s packets=%d bytes=%d\n" r.priority
+               (Flow.Pattern.to_string r.pattern)
+               (Flow.Action.group_to_string r.actions)
+               r.packets r.bytes))
+        (Flow.Table.rules sw.table);
+      List.iter
+        (fun port ->
+          match Hashtbl.find_opt sw.port_stats port with
+          | Some ps ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  p%d rx=%d/%d tx=%d/%d drops=%d\n" port ps.rx_packets
+                 ps.rx_bytes ps.tx_packets ps.tx_bytes ps.drops)
+          | None ->
+            Buffer.add_string buf
+              (Printf.sprintf "  p%d rx=0/0 tx=0/0 drops=0\n" port))
+        (Topo.Topology.ports topo (Node.Switch sw.sw_id)))
+    switches;
+  Buffer.contents buf
+
+(** The sharded run's observable signature — byte-equal to
+    [net_signature topo [single_domain_net]] on the same seed/workload
+    for any shard count. *)
+let signature t =
+  net_signature t.topo (Array.to_list (nets t))

@@ -99,23 +99,27 @@ let step t =
     exec t time f;
     true
 
-(* fused peek-and-pop against an absolute stop time *)
-let pop_until t ~stop =
+(* fused peek-and-pop against an absolute stop time; [strict] makes the
+   bound exclusive (events at exactly [stop] stay queued) *)
+let pop_until ?(strict = false) t ~stop =
   match t.queue with
-  | Wheel w -> Util.Timing_wheel.pop_until w ~stop
+  | Wheel w -> Util.Timing_wheel.pop_until ~strict w ~stop
   | Heap h ->
     (match Util.Heap.peek h with
      | None -> `Empty
-     | Some (time, _) when time > stop -> `Beyond
+     | Some (time, _) when (if strict then time >= stop else time > stop) ->
+       `Beyond
      | Some _ ->
        let time, f = Util.Heap.pop h in
        `Event (time, f))
 
-(** [run ?until ?max_events t] drains the event queue.  [until] stops the
-    clock at an absolute time (events beyond it stay queued); [max_events]
-    bounds work as a runaway guard.  Returns the number of events
-    executed by this call. *)
-let run ?until ?max_events t =
+(** [run ?until ?strict ?max_events t] drains the event queue.  [until]
+    stops the clock at an absolute time (events beyond it stay queued;
+    with [~strict:true] events at exactly [until] stay queued too — the
+    sharded simulator's conservative windows are half-open intervals);
+    [max_events] bounds work as a runaway guard.  Returns the number of
+    events executed by this call. *)
+let run ?until ?(strict = false) ?max_events t =
   if t.running then invalid_arg "Sim.run: already running";
   t.running <- true;
   let start = t.executed in
@@ -123,9 +127,9 @@ let run ?until ?max_events t =
   let stop = match until with Some s -> s | None -> infinity in
   let rec loop n =
     if n < budget then begin
-      match pop_until t ~stop with
+      match pop_until ~strict t ~stop with
       | `Empty -> ()
-      | `Beyond -> (match until with Some s -> t.now <- s | None -> ())
+      | `Beyond -> (match until with Some s -> t.now <- max t.now s | None -> ())
       | `Event (time, f) ->
         exec t time f;
         loop (n + 1)

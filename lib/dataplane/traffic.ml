@@ -127,26 +127,51 @@ let ping net ~src ~dst ~count ~interval =
   done;
   { rtts; lost = (fun () -> Hashtbl.length sent_at) }
 
+(** [random_pair_specs ~prng ~host_ids ...] draws [flows] CBR flow specs
+    between uniformly chosen distinct host pairs — the spec-drawing half
+    of {!random_pairs}, split out so a sharded run can draw the exact
+    same PRNG stream and then install each flow on the shard owning its
+    source host.
+
+    [stagger] draws each flow's start uniformly from [0, stagger)
+    instead of starting every flow at 0.  Synchronized starts make
+    causally-independent packets contend for the same link at the {e same
+    instant}; the sequential engine breaks such ties by global scheduling
+    order, which a sharded run cannot reproduce (see {!Shard}).  A
+    staggered workload has no cross-flow timestamp ties, so sharded and
+    single-domain traces stay byte-equal. *)
+let random_pair_specs ?(fixed_ports = false) ?stagger ~prng ~host_ids ~flows
+    ~rate_pps ~pkt_size ~stop () =
+  if Array.length host_ids < 2 then
+    invalid_arg "Traffic.random_pair_specs: < 2 hosts";
+  List.init flows (fun i ->
+    let src = Util.Prng.pick prng host_ids in
+    let rec pick_dst () =
+      let d = Util.Prng.pick prng host_ids in
+      if d = src then pick_dst () else d
+    in
+    let dst = pick_dst () in
+    let tp_src = if fixed_ports then Some (20000 + i) else None in
+    let start =
+      match stagger with
+      | Some s when s > 0.0 -> Util.Prng.float prng s
+      | Some _ | None -> 0.0
+    in
+    { (default_flow ~src ~dst) with rate_pps; pkt_size; start; stop; tp_src })
+
 (** [random_pairs net ~prng ~flows ~rate_pps ~stop] starts [flows] CBR
     flows between uniformly chosen distinct host pairs; returns the
     per-flow sent counters.  By default every packet carries a fresh
     [tp_src] (an adversarial workload for exact-match caches);
     [~fixed_ports:true] pins one [tp_src] per flow instead, modelling
     long-lived 5-tuple flows. *)
-let random_pairs ?(fixed_ports = false) net ~prng ~flows ~rate_pps ~pkt_size
-    ~stop =
+let random_pairs ?fixed_ports net ~prng ~flows ~rate_pps ~pkt_size ~stop =
   let ids = Array.of_list (List.map (fun (h : Network.host) -> h.host_id)
                              (Network.host_list net)) in
   if Array.length ids < 2 then invalid_arg "Traffic.random_pairs: < 2 hosts";
-  List.init flows (fun i ->
-    let src = Util.Prng.pick prng ids in
-    let rec pick_dst () =
-      let d = Util.Prng.pick prng ids in
-      if d = src then pick_dst () else d
-    in
-    let dst = pick_dst () in
-    let tp_src = if fixed_ports then Some (20000 + i) else None in
-    cbr net { (default_flow ~src ~dst) with rate_pps; pkt_size; stop; tp_src })
+  random_pair_specs ?fixed_ports ~prng ~host_ids:ids ~flows ~rate_pps
+    ~pkt_size ~stop ()
+  |> List.map (cbr net)
 
 (** Total packets received across all hosts. *)
 let total_received net =

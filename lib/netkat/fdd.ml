@@ -256,16 +256,49 @@ let op_act_seq = 3
 
 let binop_cache : (int * int * int, t) Hashtbl.t = Hashtbl.create 4096
 let restrict_cache : (int * int * int, t) Hashtbl.t = Hashtbl.create 256
-let binop_mutex = Mutex.create ()
-let restrict_mutex = Mutex.create ()
+(* Memo probe/fill.  Sequentially these hit the global tables directly
+   (Shared.critical skips the mutex outside a region).  Inside a
+   {!parallel_region} every probe/fill would contend on one mutex per
+   operation — with the sharded simulator fanning per-switch
+   compilations over a domain pool, that pair of locks serializes the
+   whole compiler.  So in locked mode the {e memo} tables are per-domain
+   instead, in domain-local storage: misses recompute (results are
+   canonical via the hash-cons tables, which stay global — canonicity
+   cannot be sharded), and no lock is taken at all.  [clear_cache]
+   bumps a generation counter; stale domain tables are dropped lazily on
+   first use. *)
+let memo_generation = Atomic.make 0
 
-(* Memo probe/fill as separate critical sections; the recursive
-   construction between them runs unlocked.  Concurrent fills of one key
-   race benignly (deterministic ops + canonical nodes), and [replace]
-   keeps the table duplicate-free. *)
-let memo_find m tbl key = Shared.critical m (fun () -> Hashtbl.find_opt tbl key)
-let memo_fill m tbl key v =
-  Shared.critical m (fun () -> Hashtbl.replace tbl key v)
+type domain_memo = {
+  dm_gen : int;
+  dm_binop : (int * int * int, t) Hashtbl.t;
+  dm_restrict : (int * int * int, t) Hashtbl.t;
+}
+
+let dls_memo : domain_memo option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let domain_memo () =
+  let cell = Domain.DLS.get dls_memo in
+  let gen = Atomic.get memo_generation in
+  match !cell with
+  | Some dm when dm.dm_gen = gen -> dm
+  | Some _ | None ->
+    let dm =
+      { dm_gen = gen; dm_binop = Hashtbl.create 1024;
+        dm_restrict = Hashtbl.create 64 }
+    in
+    cell := Some dm;
+    dm
+
+(* [sel] picks the per-domain counterpart of the global [tbl] *)
+let memo_find tbl sel key =
+  if Shared.locking () then Hashtbl.find_opt (sel (domain_memo ())) key
+  else Hashtbl.find_opt tbl key
+
+let memo_fill tbl sel key v =
+  if Shared.locking () then Hashtbl.replace (sel (domain_memo ())) key v
+  else Hashtbl.replace tbl key v
 
 (** Sizes of the internal tables:
     [(leaves, branches, binop cache, restrict cache)]. *)
@@ -284,6 +317,7 @@ let clear_cache () =
   Hashtbl.reset branch_tbl;
   Hashtbl.reset binop_cache;
   Hashtbl.reset restrict_cache;
+  Atomic.incr memo_generation;
   Leaf_tbl.add leaf_tbl ActSet.empty drop;
   Leaf_tbl.add leaf_tbl (ActSet.singleton Act.id) ident
 
@@ -324,7 +358,7 @@ let apply ~tag ~commutative op =
     | _ ->
       let a, b = if commutative && a.uid > b.uid then (b, a) else (a, b) in
       let key = (tag, a.uid, b.uid) in
-      (match memo_find binop_mutex binop_cache key with
+      (match memo_find binop_cache (fun dm -> dm.dm_binop) key with
        | Some r -> r
        | None ->
          let test = min_root a b in
@@ -332,7 +366,7 @@ let apply ~tag ~commutative op =
            branch test (go (pos test a) (pos test b))
              (go (neg test a) (neg test b))
          in
-         memo_fill binop_mutex binop_cache key r;
+         memo_fill binop_cache (fun dm -> dm.dm_binop) key r;
          r)
   in
   go
@@ -377,7 +411,7 @@ let rec act_seq act d =
   if Act.equal act Act.id then d
   else begin
     let key = (op_act_seq, Act.uid act, d.uid) in
-    match memo_find binop_mutex binop_cache key with
+    match memo_find binop_cache (fun dm -> dm.dm_binop) key with
     | Some r -> r
     | None ->
       let r =
@@ -388,7 +422,7 @@ let rec act_seq act d =
            | Some v' -> if v' = v then act_seq act tru else act_seq act fls
            | None -> cond (f, v) (act_seq act tru) (act_seq act fls))
       in
-      memo_fill binop_mutex binop_cache key r;
+      memo_fill binop_cache (fun dm -> dm.dm_binop) key r;
       r
   end
 
@@ -399,7 +433,7 @@ let rec seq a b =
   else if a == drop || b == drop then drop
   else begin
     let key = (op_seq, a.uid, b.uid) in
-    match memo_find binop_mutex binop_cache key with
+    match memo_find binop_cache (fun dm -> dm.dm_binop) key with
     | Some r -> r
     | None ->
       let r =
@@ -410,7 +444,7 @@ let rec seq a b =
             ActSet.fold (fun act acc -> union acc (act_seq act b)) acts drop
         | Branch (test, tru, fls) -> cond test (seq tru b) (seq fls b)
       in
-      memo_fill binop_mutex binop_cache key r;
+      memo_fill binop_cache (fun dm -> dm.dm_binop) key r;
       r
   end
 
@@ -489,14 +523,14 @@ let restrict (f, v) d =
       if Fields.compare g f > 0 then d
       else begin
         let key = (fi, v, d.uid) in
-        match memo_find restrict_mutex restrict_cache key with
+        match memo_find restrict_cache (fun dm -> dm.dm_restrict) key with
         | Some r -> r
         | None ->
           let r =
             if Fields.equal g f then if u = v then go tru else go fls
             else branch (g, u) (go tru) (go fls)
           in
-          memo_fill restrict_mutex restrict_cache key r;
+          memo_fill restrict_cache (fun dm -> dm.dm_restrict) key r;
           r
       end
   in

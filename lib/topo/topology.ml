@@ -51,6 +51,25 @@ let create () =
   { node_tbl = Hashtbl.create 64; port_tbl = Hashtbl.create 64;
     node_order = [] }
 
+(** [copy t] is a structural clone: same nodes, ports and link
+    attributes, but with {e fresh} link records so [set_link_up] on the
+    copy never touches the original (and vice versa).  The sharded
+    simulator gives each shard its own clone so the mutable [up] flags
+    are never shared across domains. *)
+let copy t =
+  let c =
+    { node_tbl = Hashtbl.copy t.node_tbl;
+      port_tbl = Hashtbl.create (Hashtbl.length t.port_tbl);
+      node_order = t.node_order }
+  in
+  (* clone each bidirectional link once so the two half-link records of
+     the copy are rebuilt together (they don't share state, but cloning
+     per half keeps the table exactly parallel to the original) *)
+  Hashtbl.iter
+    (fun key l -> Hashtbl.replace c.port_tbl key { l with up = l.up })
+    t.port_tbl;
+  c
+
 let mem t n = Hashtbl.mem t.node_tbl n
 
 let add_node t n =

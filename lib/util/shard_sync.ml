@@ -1,0 +1,189 @@
+(** Conservative synchronization for a sharded discrete-event simulator.
+
+    A simulation partitioned over [n] shards (each with its own clock and
+    event queue) stays correct as long as no shard executes an event
+    before every event that could still be sent to it with an earlier
+    timestamp has arrived.  With a positive {e lookahead} [L] — here, the
+    minimum delay of any link crossing a shard boundary — an event
+    executing at time [t] can only generate cross-shard work at
+    [t + L] or later, so the classic conservative window holds:
+
+    {v
+      every shard may safely run all events with time <  min_pending + L
+      where min_pending = min over shards of (local queue, inbound mail)
+    v}
+
+    This module owns the machinery around that invariant:
+
+    - one {e mailbox} per shard: a mutex-protected buffer of timestamped
+      envelopes posted by other shards while a window executes.  Posting
+      is the {e horizon exchange}: because every envelope produced in a
+      window lands at or beyond the next window boundary, draining the
+      mailbox at a barrier is equivalent to a null-message protocol with
+      one message per shard pair per window — without the deadlock risk
+      of per-link channel blocking (no shard ever waits on a channel; the
+      barrier is the only wait).
+    - {!drive}: the windowed barrier loop.  Each round computes the
+      global minimum pending timestamp, fans [run_window] out over a
+      {!Pool}, and barriers (the [Pool.map] return).  Rounds where a
+      shard has nothing below the window bound are counted as
+      {e horizon stalls} — the per-shard idleness a too-small lookahead
+      or an unbalanced partition produces.
+    - determinism: envelopes carry [(time, source shard, per-source
+      sequence)] and are filed in that order at every drain, so the
+      result of a sharded run is a function of the inputs only, not of
+      domain scheduling or pool size.
+
+    Capacity is a soft bound: mailboxes grow past it (a hard bound would
+    deadlock the barrier), but posts beyond capacity are counted in
+    [backpressure] and the high-water mark is kept, so an undersized
+    window shows up in the stats instead of in a hang. *)
+
+type 'a envelope = {
+  env_time : float;
+  env_src : int;   (* posting shard *)
+  env_seq : int;   (* per-source post counter: deterministic tie order *)
+  env_load : 'a;
+}
+
+type 'a mailbox = {
+  mb_mutex : Mutex.t;
+  mutable mb_buf : 'a envelope list;  (* newest first *)
+  mutable mb_count : int;
+  mutable mb_min : float;             (* infinity when empty *)
+  mutable mb_high_water : int;
+}
+
+type 'a t = {
+  nshards : int;
+  capacity : int;
+  boxes : 'a mailbox array;
+  seqs : int array;       (* next per-source sequence; owner-written only *)
+  handoffs : int array;   (* envelopes posted by shard i *)
+  stalls : int array;     (* windows where shard i had nothing to run *)
+  mutable rounds : int;
+  mutable backpressure : int;
+}
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) ~shards () =
+  if shards < 1 then invalid_arg "Shard_sync.create: shards must be >= 1";
+  { nshards = shards; capacity;
+    boxes =
+      Array.init shards (fun _ ->
+        { mb_mutex = Mutex.create (); mb_buf = []; mb_count = 0;
+          mb_min = infinity; mb_high_water = 0 });
+    seqs = Array.make shards 0;
+    handoffs = Array.make shards 0;
+    stalls = Array.make shards 0;
+    rounds = 0; backpressure = 0 }
+
+let shards t = t.nshards
+
+(** [post t ~src ~dst ~time load] hands [load] to shard [dst] as an
+    event at absolute [time].  Must be called from the domain currently
+    running shard [src]'s window; the conservative invariant requires
+    [time >= now_of_src + lookahead]. *)
+let post t ~src ~dst ~time load =
+  let seq = t.seqs.(src) in
+  t.seqs.(src) <- seq + 1;
+  t.handoffs.(src) <- t.handoffs.(src) + 1;
+  let e = { env_time = time; env_src = src; env_seq = seq; env_load = load } in
+  let box = t.boxes.(dst) in
+  Mutex.lock box.mb_mutex;
+  box.mb_buf <- e :: box.mb_buf;
+  box.mb_count <- box.mb_count + 1;
+  if time < box.mb_min then box.mb_min <- time;
+  if box.mb_count > box.mb_high_water then box.mb_high_water <- box.mb_count;
+  if box.mb_count > t.capacity then t.backpressure <- t.backpressure + 1;
+  Mutex.unlock box.mb_mutex
+
+let envelope_cmp a b =
+  match Float.compare a.env_time b.env_time with
+  | 0 ->
+    (match compare a.env_src b.env_src with
+     | 0 -> compare a.env_seq b.env_seq
+     | c -> c)
+  | c -> c
+
+(** [drain t shard] empties [shard]'s mailbox, returning the envelopes
+    sorted by (time, source shard, source sequence) — file them into the
+    local queue in list order and tie-breaking stays deterministic. *)
+let drain t shard =
+  let box = t.boxes.(shard) in
+  Mutex.lock box.mb_mutex;
+  let buf = box.mb_buf in
+  box.mb_buf <- [];
+  box.mb_count <- 0;
+  box.mb_min <- infinity;
+  Mutex.unlock box.mb_mutex;
+  List.sort envelope_cmp buf
+
+let mailbox_min t shard =
+  let box = t.boxes.(shard) in
+  Mutex.lock box.mb_mutex;
+  let m = box.mb_min in
+  Mutex.unlock box.mb_mutex;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let rounds t = t.rounds
+let handoffs t = Array.fold_left ( + ) 0 t.handoffs
+let handoffs_of t shard = t.handoffs.(shard)
+let stalls_of t shard = t.stalls.(shard)
+let backpressure t = t.backpressure
+let high_water t =
+  Array.fold_left (fun acc b -> max acc b.mb_high_water) 0 t.boxes
+
+(* ------------------------------------------------------------------ *)
+(* The windowed barrier loop *)
+
+(** [drive t ~pool ~lookahead ?until ~next_time ~run_window ()] runs the
+    conservative window loop to completion (or to [until], inclusive —
+    matching the single-domain [Sim.run ?until] contract).
+
+    [next_time i] must return shard [i]'s earliest queued local event
+    time ([infinity] when idle); [run_window i ~stop ~strict] must drain
+    [i]'s mailbox and execute its events up to [stop] ([strict] = stop
+    is exclusive, the interior-window case; inclusive only for the final
+    [until] window).  Both callbacks run between barriers, so they may
+    touch shard state without locks; [run_window] is fanned over [pool]
+    and must only touch shard [i]. *)
+let drive t ~pool ~lookahead ?until ~next_time ~run_window () =
+  if lookahead <= 0.0 then
+    invalid_arg "Shard_sync.drive: lookahead must be positive";
+  let idx = List.init t.nshards Fun.id in
+  let pending i = Float.min (next_time i) (mailbox_min t i) in
+  let rec round () =
+    let m = List.fold_left (fun acc i -> Float.min acc (pending i)) infinity idx in
+    let live = match until with Some u -> m <= u | None -> m < infinity in
+    if live then begin
+      (* the safe window is [m, m + lookahead); cap the last one at
+         [until] and make it inclusive, as the single-domain run is *)
+      let stop, strict =
+        let s = m +. lookahead in
+        match until with
+        | Some u when s >= u -> (u, false)
+        | _ -> (s, true)
+      in
+      List.iter
+        (fun i ->
+          let p = pending i in
+          if (if strict then p >= stop else p > stop) then
+            t.stalls.(i) <- t.stalls.(i) + 1)
+        idx;
+      ignore (Pool.map pool idx ~f:(fun i -> run_window i ~stop ~strict));
+      t.rounds <- t.rounds + 1;
+      round ()
+    end
+  in
+  round ();
+  (* final pass so shards whose remaining events all lie beyond [until]
+     still advance their clocks to it, exactly as Sim.run does *)
+  match until with
+  | Some u ->
+    ignore (Pool.map pool idx ~f:(fun i -> run_window i ~stop:u ~strict:false))
+  | None -> ()

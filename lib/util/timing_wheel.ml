@@ -99,7 +99,21 @@ let push t key value =
   t.next_seq <- seq + 1;
   file t { key; seq; value }
 
-(* pull every overflow entry that now fits under the horizon *)
+(* Pull every overflow entry that now fits under the horizon.
+
+   Boundary audit (PR 6): an entry whose tick is {e exactly} at the
+   horizon ([tick - base = nslots]) must stay in the overflow heap —
+   its slot index aliases the current base slot ([tick land mask =
+   base land mask]), so filing it would let the next drain of that slot
+   surface it a full revolution early, ahead of every entry in the
+   intervening slots.  Both guards agree on strict [<]: [file]
+   sends [tick - base >= nslots] to the overflow, and this migration
+   only pulls [tick - base < nslots], so the boundary entry migrates on
+   the next base advance, never before.  Same-instant FIFO order across
+   the migration is preserved because entries carry their global [seq]
+   through [pop_seq]/[push_seq] and slot drains sort by [(key, seq)].
+   Both properties are pinned by the [test/util.wheel] horizon-boundary
+   regression tests. *)
 let migrate_overflow t =
   let rec go () =
     match Heap.peek t.overflow with
@@ -166,13 +180,15 @@ let pop t =
 (** [pop_until t ~stop] is the simulator's fused peek-and-pop: [`Event]
     with the earliest entry when its key is <= [stop], [`Beyond] when
     entries remain but the earliest is past [stop], [`Empty] otherwise.
-    Same-tick drains stay inside the [near] heap — no wheel advance, no
-    global re-peek per event. *)
-let pop_until t ~stop =
+    With [~strict:true] the bound is exclusive (entries at exactly
+    [stop] stay queued) — the sharded simulator's conservative windows
+    are half-open intervals.  Same-tick drains stay inside the [near]
+    heap — no wheel advance, no global re-peek per event. *)
+let pop_until ?(strict = false) t ~stop =
   ensure_near t;
   match Heap.peek t.near with
   | None -> `Empty
-  | Some (key, _) when key > stop -> `Beyond
+  | Some (key, _) when (if strict then key >= stop else key > stop) -> `Beyond
   | Some _ ->
     let key, value = Heap.pop t.near in
     `Event (key, value)

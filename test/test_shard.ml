@@ -1,0 +1,313 @@
+(* The sharded simulator (ISSUE 6): conservative-lookahead parallel
+   runs must be observably indistinguishable from the single-domain
+   engine — same delivery counters, flow tables, port stats, event
+   traces and chaos traces on a fixed seed, for 1, 2 and 4 shards,
+   with and without injected incidents. *)
+
+open Dataplane
+
+(* sort "<time> <text>" lines by (parsed time, text) so tie order and
+   magnitude-crossing float formatting don't leak into comparisons *)
+let sort_trace lines =
+  let key line =
+    match String.index_opt line ' ' with
+    | Some i ->
+      ( Option.value ~default:0.0
+          (float_of_string_opt (String.sub line 0 i)),
+        line )
+    | None -> (0.0, line)
+  in
+  List.sort compare (List.map key lines) |> List.map snd
+
+type obs = {
+  o_signature : string;
+  o_trace : string list;    (* sorted dataplane trace *)
+  o_chaos : string list;    (* sorted chaos notes *)
+  o_delivered : int;
+  o_logical : int;          (* executed events minus sharding overhead *)
+}
+
+let mk_topo = function
+  | 0 -> Topo.Gen.linear ~switches:4 ~hosts_per_switch:2 ()
+  | 1 -> fst (Topo.Gen.fat_tree ~k:4 ())
+  | _ -> Topo.Gen.ring ~switches:5 ~hosts_per_switch:1 ()
+
+(* a deterministic little scenario: flap the first switch-switch link,
+   crash the highest-id switch *)
+let incidents_for topo =
+  let flap =
+    List.find_map
+      (fun (l : Topo.Topology.link) ->
+        if Topo.Topology.Node.is_switch l.src
+           && Topo.Topology.Node.is_switch l.dst
+        then
+          Some
+            (Fault.Link_flap
+               { node = l.src; port = l.src_port; at = 0.002;
+                 duration = 0.003 })
+        else None)
+      (Topo.Topology.links topo)
+  in
+  let crash =
+    match List.rev (Topo.Topology.switch_ids topo) with
+    | id :: _ ->
+      [ Fault.Switch_outage { switch_id = id; at = 0.004; duration = 0.002 } ]
+    | [] -> []
+  in
+  (match flap with Some f -> [ f ] | None -> []) @ crash
+
+let chaos_cfg seed = Fault.make_config ~seed:(seed + 7) ~drop:0.2 ~jitter:1e-3 ()
+
+(* staggered starts keep the workload free of cross-flow timestamp
+   ties — the precondition for exact trace equivalence (see Shard's
+   header on the conservative-PDES tie caveat) *)
+let specs_for topo ~seed ~flows =
+  let prng = Util.Prng.create seed in
+  let host_ids = Array.of_list (Topo.Topology.host_ids topo) in
+  Traffic.random_pair_specs ~stagger:0.0004 ~prng ~host_ids ~flows
+    ~rate_pps:2000.0 ~pkt_size:400 ~stop:0.008 ()
+
+let until = 0.02
+
+let run_single ~topo_id ~seed ~flows ~chaos ~with_incidents =
+  let topo = mk_topo topo_id in
+  let fault = if chaos then Some (Fault.of_config (chaos_cfg seed)) else None in
+  let net = Network.create ?fault topo in
+  let lines = ref [] in
+  Network.set_tracer net (fun time s ->
+    lines := Printf.sprintf "%.9f %s" time s :: !lines);
+  let rules =
+    Netkat.Local.compile_all
+      ~switches:(Topo.Topology.switch_ids topo)
+      (Netkat.Builder.routing_policy topo)
+  in
+  List.iter
+    (fun (switch_id, rs) ->
+      let table = (Network.switch net switch_id).table in
+      List.iter
+        (fun (r : Netkat.Local.rule) ->
+          Flow.Table.add table
+            (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+               ~actions:r.actions ()))
+        rs)
+    rules;
+  List.iter
+    (fun (s : Traffic.flow_spec) -> ignore (Traffic.cbr net s))
+    (specs_for topo ~seed ~flows);
+  if with_incidents then Network.inject net (incidents_for topo);
+  let executed = Network.run ~until net () in
+  { o_signature = Shard.net_signature topo [ net ];
+    o_trace = sort_trace !lines;
+    o_chaos =
+      (match Network.fault net with
+       | Some f -> sort_trace (Fault.events f)
+       | None -> []);
+    o_delivered = (Network.stats net).delivered;
+    o_logical = executed }
+
+let run_sharded ~topo_id ~seed ~flows ~chaos ~with_incidents ~shards =
+  let topo = mk_topo topo_id in
+  let fault_config = if chaos then Some (chaos_cfg seed) else None in
+  let t = Shard.create ?fault_config ~shards topo in
+  let per_shard = Array.map (fun _ -> ref []) (Shard.nets t) in
+  Array.iteri
+    (fun i net ->
+      let r = per_shard.(i) in
+      Network.set_tracer net (fun time s ->
+        r := Printf.sprintf "%.9f %s" time s :: !r))
+    (Shard.nets t);
+  let rules =
+    Netkat.Local.compile_all
+      ~switches:(Topo.Topology.switch_ids topo)
+      (Netkat.Builder.routing_policy topo)
+  in
+  List.iter
+    (fun (switch_id, rs) ->
+      let net = Shard.net_of_switch t switch_id in
+      let table = (Network.switch net switch_id).table in
+      List.iter
+        (fun (r : Netkat.Local.rule) ->
+          Flow.Table.add table
+            (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+               ~actions:r.actions ()))
+        rs)
+    rules;
+  List.iter
+    (fun (s : Traffic.flow_spec) ->
+      ignore (Traffic.cbr (Shard.net_of_host t s.src) s))
+    (specs_for topo ~seed ~flows);
+  let incidents = if with_incidents then incidents_for topo else [] in
+  if with_incidents then Shard.inject t incidents;
+  let executed = Shard.run ~until t in
+  (* sharding overhead events: one queue-release per cross-shard handoff,
+     plus the silent clone link flips on every non-owning shard *)
+  let flaps =
+    List.length
+      (List.filter
+         (function Fault.Link_flap _ -> true | _ -> false)
+         incidents)
+  in
+  let overhead = Shard.handoffs t + (2 * flaps * (shards - 1)) in
+  { o_signature = Shard.signature t;
+    o_trace =
+      sort_trace
+        (Array.to_list per_shard |> List.concat_map (fun r -> !r));
+    o_chaos = sort_trace (Shard.chaos_events t);
+    o_delivered = (Shard.stats t).delivered;
+    o_logical = executed - overhead }
+
+let check_equiv ~topo_id ~seed ~flows ~chaos ~with_incidents ~shards =
+  let s = run_single ~topo_id ~seed ~flows ~chaos ~with_incidents in
+  let p = run_sharded ~topo_id ~seed ~flows ~chaos ~with_incidents ~shards in
+  let label what =
+    Printf.sprintf "%s (topo=%d seed=%d flows=%d chaos=%b inc=%b shards=%d)"
+      what topo_id seed flows chaos with_incidents shards
+  in
+  Alcotest.(check string) (label "signature") s.o_signature p.o_signature;
+  Alcotest.(check (list string)) (label "trace") s.o_trace p.o_trace;
+  Alcotest.(check (list string)) (label "chaos trace") s.o_chaos p.o_chaos;
+  Alcotest.(check int) (label "logical events") s.o_logical p.o_logical;
+  s.o_delivered
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic unit tests *)
+
+let test_two_shard_fattree () =
+  let delivered =
+    check_equiv ~topo_id:1 ~seed:42 ~flows:30 ~chaos:false
+      ~with_incidents:false ~shards:2
+  in
+  Alcotest.(check bool) "traffic actually flowed" true (delivered > 0)
+
+let test_four_shard_fattree_chaos () =
+  ignore
+    (check_equiv ~topo_id:1 ~seed:7 ~flows:20 ~chaos:true ~with_incidents:true
+       ~shards:4)
+
+let test_one_shard_linear () =
+  ignore
+    (check_equiv ~topo_id:0 ~seed:3 ~flows:10 ~chaos:true ~with_incidents:true
+       ~shards:1)
+
+let test_handoffs_counted () =
+  let topo_id = 1 and seed = 42 and flows = 30 in
+  let topo = mk_topo topo_id in
+  let t = Shard.create ~shards:2 topo in
+  let rules =
+    Netkat.Local.compile_all
+      ~switches:(Topo.Topology.switch_ids topo)
+      (Netkat.Builder.routing_policy topo)
+  in
+  List.iter
+    (fun (switch_id, rs) ->
+      let net = Shard.net_of_switch t switch_id in
+      let table = (Network.switch net switch_id).table in
+      List.iter
+        (fun (r : Netkat.Local.rule) ->
+          Flow.Table.add table
+            (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+               ~actions:r.actions ()))
+        rs)
+    rules;
+  List.iter
+    (fun (s : Traffic.flow_spec) ->
+      ignore (Traffic.cbr (Shard.net_of_host t s.src) s))
+    (specs_for topo ~seed ~flows);
+  ignore (Shard.run ~until t);
+  Alcotest.(check bool) "cross-shard handoffs happened" true
+    (Shard.handoffs t > 0);
+  Alcotest.(check int) "per-shard handoffs sum to total" (Shard.handoffs t)
+    (Shard.handoffs_of t 0 + Shard.handoffs_of t 1);
+  Alcotest.(check bool) "rounds advanced" true (Shard.rounds t > 0);
+  Alcotest.(check bool) "no backpressure on this workload" true
+    (Shard.backpressure t = 0)
+
+let test_lookahead_is_min_cross_delay () =
+  let topo = fst (Topo.Gen.fat_tree ~k:4 ()) in
+  let t = Shard.create ~shards:2 topo in
+  Alcotest.(check bool) "lookahead equals the generator default delay" true
+    (Shard.lookahead t = Topo.Gen.default_delay);
+  let one = Shard.create ~shards:1 topo in
+  Alcotest.(check bool) "1 shard has no cross links: infinite lookahead" true
+    (Shard.lookahead one = infinity)
+
+let test_partition_of_string () =
+  Alcotest.(check bool) "block parses" true
+    (Shard.partition_of_string "block" <> None);
+  Alcotest.(check bool) "pod:4 parses" true
+    (Shard.partition_of_string "pod:4" <> None);
+  Alcotest.(check bool) "garbage rejected" true
+    (Shard.partition_of_string "hash" = None)
+
+let test_pod_partition_no_intra_pod_crossing () =
+  let topo, info = Topo.Gen.fat_tree ~k:4 () in
+  let t = Shard.create ~partition:(Shard.pod_partition ~k:4) ~shards:4 topo in
+  (* every agg<->edge link stays inside one shard *)
+  List.iter
+    (fun (l : Topo.Topology.link) ->
+      match (l.src, l.dst) with
+      | Topo.Topology.Node.Switch a, Topo.Topology.Node.Switch b
+        when List.mem a info.aggregation && List.mem b info.edge ->
+        Alcotest.(check int)
+          (Printf.sprintf "s%d-s%d same shard" a b)
+          (Shard.shard_of t l.src) (Shard.shard_of t l.dst)
+      | _ -> ())
+    (Topo.Topology.links topo)
+
+(* ------------------------------------------------------------------ *)
+(* Shard_sync determinism *)
+
+let test_sync_drain_order () =
+  let sync : int Util.Shard_sync.t = Util.Shard_sync.create ~shards:3 () in
+  Util.Shard_sync.post sync ~src:2 ~dst:0 ~time:2.0 20;
+  Util.Shard_sync.post sync ~src:1 ~dst:0 ~time:1.0 10;
+  Util.Shard_sync.post sync ~src:1 ~dst:0 ~time:1.0 11;
+  Util.Shard_sync.post sync ~src:0 ~dst:0 ~time:1.0 0;
+  let order =
+    List.map
+      (fun (e : int Util.Shard_sync.envelope) -> e.env_load)
+      (Util.Shard_sync.drain sync 0)
+  in
+  (* (time, src shard, per-source seq) ordering *)
+  Alcotest.(check (list int)) "deterministic envelope order" [ 0; 10; 11; 20 ]
+    order;
+  Alcotest.(check bool) "drain empties the box" true
+    (Util.Shard_sync.drain sync 0 = []);
+  Alcotest.(check int) "handoffs counted at the source" 2
+    (Util.Shard_sync.handoffs_of sync 1)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: sharded == single-domain over random scenarios *)
+
+let equiv_prop =
+  QCheck.Test.make ~count:12 ~name:"sharded run == single-domain run"
+    QCheck.(
+      quad (int_range 0 2) (int_range 1 1000) (int_range 2 25)
+        (pair bool bool))
+    (fun (topo_id, seed, flows, (chaos, with_incidents)) ->
+      List.for_all
+        (fun shards ->
+          ignore
+            (check_equiv ~topo_id ~seed ~flows ~chaos ~with_incidents ~shards);
+          true)
+        [ 1; 2; 4 ])
+
+let suites =
+  [ ( "shard",
+      [ Alcotest.test_case "2-shard fat-tree == single" `Quick
+          test_two_shard_fattree;
+        Alcotest.test_case "4-shard fat-tree + chaos == single" `Quick
+          test_four_shard_fattree_chaos;
+        Alcotest.test_case "1-shard linear + chaos == single" `Quick
+          test_one_shard_linear;
+        Alcotest.test_case "handoff/round/stall counters" `Quick
+          test_handoffs_counted;
+        Alcotest.test_case "lookahead = min cross-shard delay" `Quick
+          test_lookahead_is_min_cross_delay;
+        Alcotest.test_case "partition_of_string" `Quick
+          test_partition_of_string;
+        Alcotest.test_case "pod partition keeps pods whole" `Quick
+          test_pod_partition_no_intra_pod_crossing;
+        Alcotest.test_case "Shard_sync drain order" `Quick
+          test_sync_drain_order;
+        QCheck_alcotest.to_alcotest equiv_prop ] ) ]

@@ -184,6 +184,56 @@ let test_wheel_pop_until () =
   | `Empty -> ()
   | _ -> Alcotest.fail "expected `Empty after drain"
 
+(* ISSUE 6 boundary audit regressions.  An entry whose tick is exactly
+   at the horizon ([tick - base = nslots]) aliases the current base slot
+   under the power-of-two mask; filing it into the wheel would let the
+   next drain of that slot surface it a full revolution early.  [file]
+   and [migrate_overflow] agree on strict [<], so it must stay in the
+   overflow until the base advances — these tests pin that, and the
+   same-instant FIFO order across the overflow->slot migration. *)
+
+let test_wheel_horizon_boundary () =
+  (* whole-second ticks make tick_of exact: no float-quantization noise *)
+  let w = Timing_wheel.create ~tick:1.0 ~slots:16 () in
+  (* 16.0 is exactly nslots ticks ahead of base 0: the aliasing case *)
+  Timing_wheel.push w 16.0 "boundary";
+  Timing_wheel.push w 5.0 "mid";
+  Timing_wheel.push w 15.0 "edge";
+  Alcotest.(check (list string))
+    "boundary entry never jumps the intervening slots"
+    [ "mid"; "edge"; "boundary" ]
+    (List.map snd (Timing_wheel.drain_to_list w))
+
+let test_wheel_horizon_boundary_fifo () =
+  (* three same-instant entries beyond the horizon must keep insertion
+     order through migration, and interleave correctly with an entry
+     pushed directly once the base has advanced to their tick *)
+  let w = Timing_wheel.create ~tick:1.0 ~slots:16 () in
+  Timing_wheel.push w 20.0 "a";
+  Timing_wheel.push w 20.0 "b";
+  Timing_wheel.push w 1.0 "near";
+  Timing_wheel.push w 20.0 "c";
+  (match Timing_wheel.pop w with
+   | _, "near" -> ()
+   | _ -> Alcotest.fail "expected near first");
+  (* base has jumped to tick 20 and a/b/c migrated; a fresh push at the
+     same instant must come after them (global seq order) *)
+  Timing_wheel.push w 20.0 "d";
+  Alcotest.(check (list string)) "FIFO preserved across migration"
+    [ "a"; "b"; "c"; "d" ]
+    (List.map snd (Timing_wheel.drain_to_list w))
+
+let test_wheel_pop_until_strict () =
+  let w = Timing_wheel.create ~tick:1e-3 ~slots:16 () in
+  Timing_wheel.push w 1.0 "at-stop";
+  (match Timing_wheel.pop_until ~strict:true w ~stop:1.0 with
+   | `Beyond -> ()
+   | _ -> Alcotest.fail "strict: entry at stop stays queued");
+  (match Timing_wheel.pop_until w ~stop:1.0 with
+   | `Event (_, "at-stop") -> ()
+   | _ -> Alcotest.fail "inclusive: entry at stop pops");
+  check "nothing left" 0 (Timing_wheel.length w)
+
 (* the tentpole property: wheel and heap agree on execution order for
    any push/pop interleaving — ties (identical keys) resolved by
    insertion order in both.  Keys mix sub-tick, in-horizon and
@@ -479,6 +529,12 @@ let suites =
         Alcotest.test_case "overflow migrates in order" `Quick
           test_wheel_overflow_migrates;
         Alcotest.test_case "pop_until states" `Quick test_wheel_pop_until;
+        Alcotest.test_case "horizon boundary stays in overflow" `Quick
+          test_wheel_horizon_boundary;
+        Alcotest.test_case "FIFO across overflow migration" `Quick
+          test_wheel_horizon_boundary_fifo;
+        Alcotest.test_case "pop_until strict bound" `Quick
+          test_wheel_pop_until_strict;
         QCheck_alcotest.to_alcotest prop_wheel_heap_equivalent ] );
     ( "util.bufpool",
       [ Alcotest.test_case "acquire/release reuse" `Quick test_bufpool_reuse;
