@@ -319,6 +319,20 @@ let chaos_cmd =
     Arg.(value & opt float 1e-3 & info [ "jitter" ] ~docv:"SECS"
              ~doc:"Max extra one-way control latency (uniform).")
   in
+  let link_drop_arg =
+    Arg.(value & opt float 0.0 & info [ "link-drop" ] ~docv:"P"
+             ~doc:"Per-transmission data-packet drop probability, per link.")
+  in
+  let corrupt_arg =
+    Arg.(value & opt float 0.0 & info [ "corrupt" ] ~docv:"P"
+             ~doc:"Per-transmission data-packet corruption probability, per \
+                   link; corrupted frames are counted and discarded.")
+  in
+  let reorder_arg =
+    Arg.(value & opt float 0.0 & info [ "reorder" ] ~docv:"P"
+             ~doc:"Per-transmission data-packet reorder probability, per \
+                   link (extra uniform delay past in-flight packets).")
+  in
   let flaps_arg =
     Arg.(value & opt int 2 & info [ "flaps" ] ~docv:"N"
              ~doc:"Random inter-switch links to flap during the run.")
@@ -340,9 +354,13 @@ let chaos_cmd =
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the chaos event trace.")
   in
-  let run spec seed drop dup jitter flaps crash flows rate duration trace =
+  let run spec seed drop dup jitter link_drop link_corrupt link_reorder flaps
+      crash flows rate duration trace =
     let topo = or_die (load_topo spec) in
-    let fault = Dataplane.Fault.create ~seed ~drop ~dup ~jitter () in
+    let fault =
+      Dataplane.Fault.create ~seed ~drop ~dup ~jitter ~link_drop ~link_corrupt
+        ~link_reorder ()
+    in
     let net = Zen.create ~fault topo in
     let routing = Controller.Routing.create () in
     let rt =
@@ -426,9 +444,11 @@ let chaos_cmd =
   in
   Cmd.v
     (Cmd.info "chaos"
-       ~doc:"Run seeded chaos (loss, dup, jitter, flaps, crashes) against \
-             the resilient control plane")
+       ~doc:"Run seeded chaos (control loss/dup/jitter, per-link data \
+             drop/corrupt/reorder, flaps, crashes) against the resilient \
+             control plane")
     Term.(const run $ topo_arg $ seed_arg $ drop_arg $ dup_arg $ jitter_arg
+          $ link_drop_arg $ corrupt_arg $ reorder_arg
           $ flaps_arg $ crash_arg $ flows_arg $ rate_arg $ duration_arg
           $ trace_arg)
 

@@ -5,7 +5,14 @@
     routing policy ({!Netkat.Builder.routing_policy}) and pushes every
     switch's table.  On a port-status change it recomputes the policy
     over the surviving topology and replaces the tables, counting the
-    rule churn (E5 measures convergence from these numbers). *)
+    rule churn (E5 measures convergence from these numbers).
+
+    A [switch_down] report (the resilient runtime's keepalive verdict)
+    is treated as a topology event too: the dead switch's links are
+    excluded from the next compile, so traffic reroutes around the
+    crash instead of blackholing until an unrelated link flap forces a
+    recompute.  When the switch re-handshakes it rejoins the topology
+    and a fresh recompute restores its table. *)
 
 type t = {
   app : Api.app;
@@ -24,6 +31,10 @@ type t = {
   (* switches that have announced themselves at least once — a second
      announcement is a re-handshake *)
   seen : (int, unit) Hashtbl.t;
+  (* switches reported down by the runtime's keepalive: compiled around
+     (their links are failed on a topology copy) until they re-handshake *)
+  dead : (int, unit) Hashtbl.t;
+  mutable reroutes : int;  (* recomputes triggered by switch_down *)
   use_ip : bool;
 }
 
@@ -50,7 +61,20 @@ let diff_rules old_rules new_rules =
   (adds, deletes)
 
 let push_tables t ctx =
-  let topo = Api.topology ctx in
+  let live_topo = Api.topology ctx in
+  (* a dead switch is compiled around: fail its links on a copy so BFS
+     routes avoid it (the live topology keeps ground truth — the switch
+     may still be forwarding, e.g. under a control-channel partition) *)
+  let topo =
+    if Hashtbl.length t.dead = 0 then live_topo
+    else begin
+      let c = Topo.Topology.copy live_topo in
+      Hashtbl.iter
+        (fun id () -> Topo.Topology.fail_node c (Topo.Topology.Node.Switch id))
+        t.dead;
+      c
+    end
+  in
   let pol =
     if t.use_ip then Netkat.Builder.ip_routing_policy topo
     else Netkat.Builder.routing_policy topo
@@ -59,11 +83,16 @@ let push_tables t ctx =
   let churn = ref 0 in
   let per_switch = ref [] in
   (* per-switch compilation fans out over the domain pool; the installs
-     below stay on this domain (the control channel is not thread-safe) *)
-  let compiled =
-    Netkat.Local.rules_of_fdd_all ~switches:(Topo.Topology.switch_ids topo)
-      fdd
+     below stay on this domain (the control channel is not thread-safe).
+     Dead switches get no push: unreachable over their dead channel, and
+     their [installed] entry deliberately goes stale — recovery runs a
+     fresh recompute, not a stale repush. *)
+  let switches =
+    List.filter
+      (fun id -> not (Hashtbl.mem t.dead id))
+      (Topo.Topology.switch_ids topo)
   in
+  let compiled = Netkat.Local.rules_of_fdd_all ~switches fdd in
   List.iter
     (fun (switch_id, rules) ->
       let previous = Hashtbl.find_opt t.installed switch_id in
@@ -111,6 +140,19 @@ let create ?(use_ip = false) ?(incremental = false) ?(cookie = 0x0e) () =
   let t_ref = ref None in
   let get () = Option.get !t_ref in
   let installed = ref false in
+  (* coalesced per instant: schedule one zero-delay recompute that runs
+     after the instant's remaining events and sees the final topology +
+     dead set.  (Comparing times instead would drop a second distinct
+     failure landing at the same instant and recompute over a stale
+     graph.) *)
+  let schedule_recompute t ctx =
+    if not t.recompute_pending then begin
+      t.recompute_pending <- true;
+      Api.schedule ctx ~delay:0.0 (fun () ->
+        t.recompute_pending <- false;
+        push_tables t ctx)
+    end
+  in
   let switch_up ctx ~switch_id ~ports:_ =
     (* push all tables once, when the first switch comes up; a {e
        repeat} switch_up for a known switch is a re-handshake after a
@@ -119,11 +161,20 @@ let create ?(use_ip = false) ?(incremental = false) ?(cookie = 0x0e) () =
     let t = get () in
     let repeat = Hashtbl.mem t.seen switch_id in
     Hashtbl.replace t.seen switch_id ();
+    let was_dead = Hashtbl.mem t.dead switch_id in
+    if was_dead then begin
+      (* the switch rejoins the topology: routes were computed around it,
+         so its [installed] entry is stale — recompute everything (the
+         runtime's resync already reconciled its table to the shadow; the
+         recompute's mods ride the same ordered stream after it) *)
+      Hashtbl.remove t.dead switch_id;
+      schedule_recompute t ctx
+    end;
     if not !installed then begin
       installed := true;
       push_tables t ctx
     end
-    else if repeat then
+    else if repeat && not was_dead then
       match Hashtbl.find_opt t.installed switch_id with
       | None -> ()  (* never compiled for it; the next recompute will *)
       | Some rules ->
@@ -133,29 +184,30 @@ let create ?(use_ip = false) ?(incremental = false) ?(cookie = 0x0e) () =
              (fun (r : Netkat.Local.rule) -> (r.priority, r.pattern, r.actions))
              rules)
   in
-  let port_status ctx ~switch_id:_ ~port:_ ~up:_ =
-    (* link state changed: recompute routes over the surviving graph.
-       Port-status events cluster — both endpoints of a link report at
-       the same instant, and several links can fail together — so
-       coalesce per instant: schedule one zero-delay recompute that runs
-       after the instant's remaining events and sees the final
-       topology.  (Comparing times instead would drop a second distinct
-       failure landing at the same instant and recompute over a stale
-       graph.) *)
+  let switch_down ctx ~switch_id =
+    (* keepalive verdict from the resilient runtime: treat the switch as
+       a failed node and reroute the surviving traffic around it *)
     let t = get () in
-    if not t.recompute_pending then begin
-      t.recompute_pending <- true;
-      Api.schedule ctx ~delay:0.0 (fun () ->
-        t.recompute_pending <- false;
-        push_tables t ctx)
+    if not (Hashtbl.mem t.dead switch_id) then begin
+      Hashtbl.replace t.dead switch_id ();
+      t.reroutes <- t.reroutes + 1;
+      schedule_recompute t ctx
     end
   in
-  let app = { (Api.default_app "routing") with switch_up; port_status } in
+  let port_status ctx ~switch_id:_ ~port:_ ~up:_ =
+    (* link state changed: recompute routes over the surviving graph *)
+    let t = get () in
+    schedule_recompute t ctx
+  in
+  let app =
+    { (Api.default_app "routing") with switch_up; switch_down; port_status }
+  in
   let t =
     { app; cookie; incremental; installs = 0; reinstalls = 0; last_churn = 0;
       last_recompute = 0.0; recompute_pending = false; repushes = 0;
       rules_per_switch = []; installed = Hashtbl.create 16;
-      seen = Hashtbl.create 16; use_ip }
+      seen = Hashtbl.create 16; dead = Hashtbl.create 4; reroutes = 0;
+      use_ip }
   in
   t_ref := Some t;
   t
@@ -164,5 +216,7 @@ let app t = t.app
 let installs t = t.installs
 let reinstalls t = t.reinstalls
 let repushes t = t.repushes
+let reroutes t = t.reroutes
+let dead_switches t = Hashtbl.fold (fun id () acc -> id :: acc) t.dead []
 let last_churn t = t.last_churn
 let rules_per_switch t = t.rules_per_switch

@@ -25,8 +25,14 @@
       last-seen-xid dedup makes replays idempotent and order-safe;
     - a switch that re-handshakes after a crash (its restart [Hello], or
       the probe loop, triggers a fresh features exchange) is resynced:
-      the runtime re-pushes the full intended table as one
-      delete-all-plus-adds batch.
+      by default the runtime re-pushes the full intended table as one
+      delete-all-plus-adds batch; with [selective_resync] it instead
+      snapshots the switch's surviving table (a flow-stats request),
+      diffs it against the intended-state shadow and pushes only the
+      delta — a warm table (e.g. after a control-channel partition,
+      {!Dataplane.Fault.Ctl_outage}) costs almost nothing to reconcile.
+      A generation counter voids stale snapshots, and an unanswered
+      snapshot falls back to the full re-push after a timeout.
 
     Resilience is off by default: without it the runtime's observable
     behavior (message sequence, timing, counters) is exactly the
@@ -41,11 +47,15 @@ type resilience = {
   retx_timeout : float;    (** initial retransmission timeout (RTO) *)
   retx_backoff : float;    (** RTO multiplier per retransmission *)
   retx_cap : float;        (** RTO ceiling *)
+  selective_resync : bool;
+      (** diff a table-stats snapshot against the shadow on re-handshake
+          and push only the delta (default: delete-all + full re-push) *)
 }
 
 let default_resilience =
   { echo_period = 0.25; echo_miss_limit = 3;
-    retx_timeout = 0.02; retx_backoff = 2.0; retx_cap = 0.5 }
+    retx_timeout = 0.02; retx_backoff = 2.0; retx_cap = 0.5;
+    selective_resync = false }
 
 (* a reliable batch: pre-assigned xids so retransmissions are replays *)
 type batch = {
@@ -66,6 +76,9 @@ type sw_state = {
   mutable echo_outstanding : int;  (* keepalives sent and not yet answered *)
   mutable down_since : float;
   mutable handshaked : bool;  (* completed at least one features exchange *)
+  mutable resync_gen : int;
+      (* voids in-flight selective-resync snapshots: bumped by every
+         resync attempt and by mark_down, checked by the continuation *)
 }
 
 (** Resilience counters (all zero when resilience is off). *)
@@ -74,8 +87,17 @@ type resilience_stats = {
   mutable echo_misses : int;      (** keepalive ticks with an unanswered echo *)
   mutable switch_downs : int;     (** switch-down declarations *)
   mutable resyncs : int;          (** full-table re-pushes after re-handshake *)
+  mutable selective_resyncs : int;
+      (** snapshot-diff resyncs initiated (a timed-out one also counts a
+          full resync when it falls back) *)
   mutable acked_batches : int;    (** reliable batches confirmed by barrier *)
   mutable dropped_batches : int;  (** un-acked batches discarded at switch-down *)
+  mutable resync_bytes_selective : int;
+      (** control bytes a selective resync actually cost: stats request +
+          snapshot reply + delta batch (first transmission) *)
+  mutable resync_bytes_full : int;
+      (** what the same resyncs would have cost as delete-all + full
+          re-push (encoded for length, not sent) — the savings baseline *)
   mutable recovery_samples : float list;
       (** down → re-handshake durations, newest first *)
 }
@@ -108,7 +130,7 @@ let state t switch_id =
            | Some r -> r.retx_timeout
            | None -> 0.0);
         status = Handshaking; echo_outstanding = 0; down_since = 0.0;
-        handshaked = false }
+        handshaked = false; resync_gen = 0 }
     in
     Hashtbl.replace t.states switch_id st;
     st
@@ -227,6 +249,9 @@ let mark_down t st =
     t.rstats.dropped_batches <- t.rstats.dropped_batches + dropped;
     st.inflight <- None;
     Queue.clear st.pending;
+    (* a table snapshot requested before this down is now meaningless:
+       the table it described may be gone by the next re-handshake *)
+    st.resync_gen <- st.resync_gen + 1;
     List.iter
       (fun (app : Api.app) -> app.switch_down t.ctx ~switch_id:st.st_id)
       t.apps
@@ -254,27 +279,130 @@ let rec keepalive_tick t st r =
     Api.schedule t.ctx ~delay:r.echo_period (fun () -> keepalive_tick t st r)
   end
 
-(* full-table re-push after a re-handshake: one delete-all plus an add
-   per intended rule, as a single reliable batch *)
-let resync_switch t st r =
+(* a flow-mod add reconstructing one intended (shadow) rule; the notify
+   bit rides in the shadow cookie and must be split back out *)
+let add_of_rule (ru : Flow.Table.rule) =
+  Openflow.Message.Flow_mod
+    (Openflow.Message.add_flow ~priority:ru.priority
+       ~idle_timeout:ru.idle_timeout ~hard_timeout:ru.hard_timeout
+       ~cookie:(ru.cookie land lnot 0x40000000)
+       ~notify_when_removed:(ru.cookie land 0x40000000 <> 0)
+       ~pattern:ru.pattern ~actions:ru.actions ())
+
+(* the delete-all-plus-adds batch restoring the full intended table *)
+let full_resync_msgs st =
+  Openflow.Message.Flow_mod
+    (Openflow.Message.delete_flow ~pattern:Flow.Pattern.any ())
+  :: List.map add_of_rule (Flow.Table.rules st.shadow)
+
+(* full-table re-push after a re-handshake, as a single reliable batch.
+   The batch is NOT shadowed: it reconstructs the shadow, it does not
+   extend it. *)
+let full_resync t st r =
   t.rstats.resyncs <- t.rstats.resyncs + 1;
+  enqueue_reliable t st r (full_resync_msgs st)
+
+(* wire size of [msgs] as one batch — the unit both resync byte counters
+   are measured in (xids do not affect encoded length) *)
+let encoded_len msgs =
+  Bytes.length
+    (Openflow.Wire.encode_batch (List.map (fun m -> (0, m)) msgs))
+
+(* diff the snapshot the switch just reported against the intended
+   shadow and push only the delta: adds/modifies for missing or changed
+   (priority, pattern) keys, strict deletes for rules the switch holds
+   but the shadow does not.  Cookies are compared directly — the shadow
+   and the switch both store the notify bit inside the cookie. *)
+let apply_selective t st r snapshot =
+  t.rstats.resync_bytes_selective <-
+    t.rstats.resync_bytes_selective
+    + encoded_len
+        [ Openflow.Message.Stats_reply
+            (Openflow.Message.Flow_stats_reply snapshot) ];
+  let have = Hashtbl.create 32 in
+  List.iter
+    (fun (fs : Openflow.Message.flow_stat) ->
+      Hashtbl.replace have (fs.fs_priority, fs.fs_pattern) fs)
+    snapshot;
+  let wanted = Flow.Table.rules st.shadow in
   let adds =
-    List.map
+    List.filter_map
       (fun (ru : Flow.Table.rule) ->
-        Openflow.Message.Flow_mod
-          (Openflow.Message.add_flow ~priority:ru.priority
-             ~idle_timeout:ru.idle_timeout ~hard_timeout:ru.hard_timeout
-             ~cookie:(ru.cookie land lnot 0x40000000)
-             ~notify_when_removed:(ru.cookie land 0x40000000 <> 0)
-             ~pattern:ru.pattern ~actions:ru.actions ()))
-      (Flow.Table.rules st.shadow)
+        let intact =
+          match Hashtbl.find_opt have (ru.priority, ru.pattern) with
+          | Some fs -> fs.fs_actions = ru.actions && fs.fs_cookie = ru.cookie
+          | None -> false
+        in
+        if intact then None else Some (add_of_rule ru))
+      wanted
   in
-  let msgs =
-    Openflow.Message.Flow_mod
-      (Openflow.Message.delete_flow ~pattern:Flow.Pattern.any ())
-    :: adds
+  let want_keys = Hashtbl.create 32 in
+  List.iter
+    (fun (ru : Flow.Table.rule) ->
+      Hashtbl.replace want_keys (ru.priority, ru.pattern) ())
+    wanted;
+  let deletes =
+    List.filter_map
+      (fun (fs : Openflow.Message.flow_stat) ->
+        if Hashtbl.mem want_keys (fs.fs_priority, fs.fs_pattern) then None
+        else
+          Some
+            (Openflow.Message.Flow_mod
+               (Openflow.Message.delete_strict_flow ~priority:fs.fs_priority
+                  ~pattern:fs.fs_pattern ())))
+      snapshot
   in
-  enqueue_reliable t st r msgs
+  let delta = adds @ deletes in
+  (* the savings baseline: what a delete-all + full re-push of this
+     resync would have cost on the wire (encoded for length, not sent) *)
+  t.rstats.resync_bytes_full <-
+    t.rstats.resync_bytes_full
+    + encoded_len (full_resync_msgs st @ [ Openflow.Message.Barrier_request ]);
+  if delta <> [] then begin
+    t.rstats.resync_bytes_selective <-
+      t.rstats.resync_bytes_selective
+      + encoded_len (delta @ [ Openflow.Message.Barrier_request ]);
+    enqueue_reliable t st r delta
+  end
+
+(* selective resync: snapshot the surviving table, then diff.  The
+   stats request rides unreliably — if it or its reply is lost, the
+   timeout falls back to the full re-push (which is itself reliable).
+   A generation check voids the continuation if the switch went down
+   again (mark_down bumps the generation) or a newer resync started. *)
+let selective_resync t st r =
+  t.rstats.selective_resyncs <- t.rstats.selective_resyncs + 1;
+  st.resync_gen <- st.resync_gen + 1;
+  let gen = st.resync_gen in
+  let req =
+    Openflow.Message.Stats_request
+      (Openflow.Message.Flow_stats_request Flow.Pattern.any)
+  in
+  t.rstats.resync_bytes_selective <-
+    t.rstats.resync_bytes_selective + encoded_len [ req ];
+  let done_ = ref false in
+  let live () = (not !done_) && gen = st.resync_gen && not t.stopped in
+  t.ctx.Api.await_stats ~switch_id:st.st_id (fun reply ->
+    if live () then begin
+      done_ := true;
+      match reply with
+      | Openflow.Message.Flow_stats_reply snapshot ->
+        apply_selective t st r snapshot
+      | _ ->
+        (* a concurrent stats consumer stole our slot in the per-switch
+           FIFO; reconcile conservatively *)
+        full_resync t st r
+    end);
+  t.ctx.Api.send ~switch_id:st.st_id req;
+  Api.schedule t.ctx ~delay:(Float.max r.retx_cap (4.0 *. r.retx_timeout))
+    (fun () ->
+      if live () && st.status = Sw_up then begin
+        done_ := true;
+        full_resync t st r
+      end)
+
+let resync_switch t st r =
+  if r.selective_resync then selective_resync t st r else full_resync t st r
 
 (** Resilience counters (zeros when resilience is off). *)
 let resilience_stats t = t.rstats
@@ -450,7 +578,9 @@ let create ?(latency = 1e-3) ?resilience net apps =
       states = Hashtbl.create 16;
       rstats =
         { retransmits = 0; echo_misses = 0; switch_downs = 0; resyncs = 0;
-          acked_batches = 0; dropped_batches = 0; recovery_samples = [] };
+          selective_resyncs = 0; acked_batches = 0; dropped_batches = 0;
+          resync_bytes_selective = 0; resync_bytes_full = 0;
+          recovery_samples = [] };
       stopped = false }
   in
   t_ref := Some t;

@@ -18,6 +18,15 @@ type config = {
   drop : float;    (** per-transmission drop probability, [0, 1] *)
   dup : float;     (** per-transmission duplicate probability, [0, 1] *)
   jitter : float;  (** max extra one-way latency, uniform in [0, jitter) s *)
+  link_drop : float;     (** per-packet data-link drop probability, [0, 1] *)
+  link_corrupt : float;  (** per-packet corruption (CRC-fail) probability *)
+  link_reorder : float;  (** per-packet reorder probability, [0, 1] *)
+  link_seed : int;
+  (** seed of the per-link verdict streams.  Unlike [seed] it is NOT
+      perturbed by {!shard_config}: each link's stream is keyed on
+      [(link_seed, egress node, port)] and consumed only by the shard
+      owning that egress, so sharded runs replay the single-domain
+      verdicts byte-identically at any shard count. *)
 }
 
 (** A scheduled substrate incident (interpreted by [Network.inject]). *)
@@ -33,6 +42,15 @@ type incident =
       at : float;
       duration : float;  (** seconds until restart (fresh handshake) *)
     }
+  | Ctl_outage of {
+      switch_id : int;
+      at : float;
+      duration : float;
+      (** seconds of control-channel partition: the switch stays alive
+          and keeps its (warm) table, but every control frame in either
+          direction is dropped — the resilient runtime declares it down
+          and must reconcile the surviving state on re-handshake. *)
+    }
 
 type t = {
   config : config;
@@ -41,6 +59,10 @@ type t = {
   mutable dups : int;
   mutable jitters : int;   (* transmissions that drew a non-zero delay *)
   mutable decisions : int; (* transmissions consulted *)
+  mutable link_drops : int;
+  mutable link_corrupts : int;
+  mutable link_reorders : int;
+  mutable link_decisions : int; (* data-packet transmissions consulted *)
   mutable trace_rev : string list;
   mutable trace_len : int;
 }
@@ -50,15 +72,20 @@ let trace_cap = 50_000
 let default_seed = 0xC4A05
 
 let make_config ?(seed = default_seed) ?(drop = 0.0) ?(dup = 0.0)
-    ?(jitter = 0.0) () =
+    ?(jitter = 0.0) ?(link_drop = 0.0) ?(link_corrupt = 0.0)
+    ?(link_reorder = 0.0) ?link_seed () =
   let check name p =
     if p < 0.0 || p > 1.0 then
       invalid_arg (Printf.sprintf "Fault.create: %s out of [0,1]" name)
   in
   check "drop" drop;
   check "dup" dup;
+  check "link_drop" link_drop;
+  check "link_corrupt" link_corrupt;
+  check "link_reorder" link_reorder;
   if jitter < 0.0 then invalid_arg "Fault.create: negative jitter";
-  { seed; drop; dup; jitter }
+  let link_seed = match link_seed with Some s -> s | None -> seed in
+  { seed; drop; dup; jitter; link_drop; link_corrupt; link_reorder; link_seed }
 
 (** [shard_config c ~shard] derives shard [shard]'s chaos configuration
     in a sharded run: shard 0 keeps the base seed (so a 1-shard run is
@@ -71,10 +98,14 @@ let shard_config c ~shard =
 let of_config config =
   { config; prng = Util.Prng.create config.seed;
     drops = 0; dups = 0; jitters = 0; decisions = 0;
+    link_drops = 0; link_corrupts = 0; link_reorders = 0; link_decisions = 0;
     trace_rev = []; trace_len = 0 }
 
-let create ?seed ?drop ?dup ?jitter () =
-  of_config (make_config ?seed ?drop ?dup ?jitter ())
+let create ?seed ?drop ?dup ?jitter ?link_drop ?link_corrupt ?link_reorder
+    ?link_seed () =
+  of_config
+    (make_config ?seed ?drop ?dup ?jitter ?link_drop ?link_corrupt
+       ?link_reorder ?link_seed ())
 
 let config t = t.config
 
@@ -133,16 +164,93 @@ let decide t =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Per-link data-packet verdicts *)
+
+(** [has_link_chaos t] — does any link-level rate fire?  [Network]
+    caches this so the zero-rate transmit path stays byte-identical to
+    a run with no fault attached. *)
+let has_link_chaos t =
+  let c = t.config in
+  c.link_drop > 0.0 || c.link_corrupt > 0.0 || c.link_reorder > 0.0
+
+type link_verdict = {
+  lv_drop : bool;     (** packet vanishes on the wire *)
+  lv_corrupt : bool;  (** payload mangled: receiver fails the CRC *)
+  lv_extra : float;   (** extra delivery latency (reorder), >= 0 *)
+}
+
+let clean_verdict = { lv_drop = false; lv_corrupt = false; lv_extra = 0.0 }
+
+(* Per-link stream key: the egress (node, port) pair.  Hosts and
+   switches share an id space, so spread them onto distinct odd-mixed
+   residues before folding in the seed. *)
+let link_stream_seed t ~(node : Topo.Topology.Node.t) ~port =
+  let node_key =
+    match node with
+    | Topo.Topology.Node.Switch i -> (2 * i) + 1
+    | Topo.Topology.Node.Host i -> 2 * i
+  in
+  (t.config.link_seed * 0x9E3779B9)
+  lxor (node_key * 0x85EBCA6B)
+  lxor (port * 0xC2B2AE3D)
+
+(** A fresh verdict stream for the link leaving [node] via [port].
+    Keyed on [link_seed] (not the shard-perturbed [seed]), so the same
+    link replays the same stream at any shard count. *)
+let link_prng t ~node ~port =
+  Util.Prng.create (link_stream_seed t ~node ~port)
+
+(** One verdict per data-packet transmission on a link, drawn from that
+    link's own stream.  Fixed number of samples per call given the
+    configuration; precedence drop > corrupt > reorder.  The reorder
+    delay is uniform in [0, 4x the link's propagation [delay]) so a
+    reordered packet genuinely lands behind its successors. *)
+let decide_link t prng ~delay =
+  t.link_decisions <- t.link_decisions + 1;
+  let c = t.config in
+  let drop = c.link_drop > 0.0 && Util.Prng.float prng 1.0 < c.link_drop in
+  let corrupt =
+    c.link_corrupt > 0.0 && Util.Prng.float prng 1.0 < c.link_corrupt
+  in
+  let reorder =
+    c.link_reorder > 0.0 && Util.Prng.float prng 1.0 < c.link_reorder
+  in
+  let extra =
+    if c.link_reorder > 0.0 then Util.Prng.float prng (4.0 *. delay) else 0.0
+  in
+  if drop then begin
+    t.link_drops <- t.link_drops + 1;
+    { clean_verdict with lv_drop = true }
+  end
+  else if corrupt then begin
+    t.link_corrupts <- t.link_corrupts + 1;
+    { clean_verdict with lv_corrupt = true }
+  end
+  else if reorder then begin
+    t.link_reorders <- t.link_reorders + 1;
+    { clean_verdict with lv_extra = extra }
+  end
+  else clean_verdict
+
+(* ------------------------------------------------------------------ *)
 (* Counters *)
 
 let drops t = t.drops
 let dups t = t.dups
 let jitters t = t.jitters
 let decisions t = t.decisions
+let link_drops t = t.link_drops
+let link_corrupts t = t.link_corrupts
+let link_reorders t = t.link_reorders
+let link_decisions t = t.link_decisions
 
 let pp_stats fmt t =
   Format.fprintf fmt "chaos(seed=%#x drop=%d dup=%d jitter=%d of %d sends)"
-    t.config.seed t.drops t.dups t.jitters t.decisions
+    t.config.seed t.drops t.dups t.jitters t.decisions;
+  if has_link_chaos t || t.link_decisions > 0 then
+    Format.fprintf fmt
+      " link(drop=%d corrupt=%d reorder=%d of %d packets)"
+      t.link_drops t.link_corrupts t.link_reorders t.link_decisions
 
 (* ------------------------------------------------------------------ *)
 (* Environment knobs *)
@@ -158,18 +266,24 @@ let env_int name =
   | Some s -> int_of_string_opt s
 
 (** Reads the [ZEN_CHAOS_*] family: [ZEN_CHAOS_DROP], [ZEN_CHAOS_DUP],
-    [ZEN_CHAOS_JITTER] (floats) and [ZEN_CHAOS_SEED] (int).  Returns
-    [None] unless at least one perturbation knob is set — a seed alone
-    enables nothing. *)
+    [ZEN_CHAOS_JITTER], [ZEN_CHAOS_LINK_DROP], [ZEN_CHAOS_LINK_CORRUPT],
+    [ZEN_CHAOS_LINK_REORDER] (floats) and [ZEN_CHAOS_SEED] (int).
+    Returns [None] only when no knob at all is set.  A seed alone yields
+    a zero-rate fault: per-transmission verdicts are all clean (and cost
+    no PRNG draws), but scenario generation via {!derive_prng} and
+    incident scheduling stay deterministic under that seed. *)
 let from_env () =
   let drop = env_float "ZEN_CHAOS_DROP" in
   let dup = env_float "ZEN_CHAOS_DUP" in
   let jitter = env_float "ZEN_CHAOS_JITTER" in
-  match (drop, dup, jitter) with
-  | None, None, None -> None
+  let link_drop = env_float "ZEN_CHAOS_LINK_DROP" in
+  let link_corrupt = env_float "ZEN_CHAOS_LINK_CORRUPT" in
+  let link_reorder = env_float "ZEN_CHAOS_LINK_REORDER" in
+  let seed = env_int "ZEN_CHAOS_SEED" in
+  match (drop, dup, jitter, link_drop, link_corrupt, link_reorder, seed) with
+  | None, None, None, None, None, None, None -> None
   | _ ->
-    let seed =
-      match env_int "ZEN_CHAOS_SEED" with Some s -> s | None -> default_seed
-    in
+    let seed = match seed with Some s -> s | None -> default_seed in
     Some
-      (create ~seed ?drop ?dup ?jitter ())
+      (create ~seed ?drop ?dup ?jitter ?link_drop ?link_corrupt ?link_reorder
+         ())

@@ -49,6 +49,10 @@ type switch = {
       (* latest controller→switch delivery time: chaos jitter must not
          reorder the (in reality TCP-ordered) control channel *)
   mutable ctl_up_arrival : float;  (* same, switch→controller *)
+  mutable ctl_blocked : bool;
+      (** control channel partitioned ({!cut_control}): the switch stays
+          alive and keeps forwarding, but control frames in either
+          direction are dropped *)
 }
 
 and host = {
@@ -80,6 +84,10 @@ and link_state = {
   mutable busy_until : float;
   mutable queued : int;     (* packets scheduled but not yet on the wire *)
   mutable tx_drops : int;
+  mutable ls_chaos : Util.Prng.t option;
+      (* this link's chaos verdict stream, created on first use; keyed
+         on the fault's [link_seed] and the egress (node, port), so it
+         replays identically at any shard count *)
 }
 
 (** How a shard-local network reaches the rest of a sharded simulation
@@ -101,7 +109,12 @@ type counters = {
   mutable dropped_link : int;    (* transmission into a down/absent link *)
   mutable dropped_ttl : int;     (* hop budget exhausted (loops) *)
   mutable dropped_down : int;    (* packets / control frames arriving at a
-                                    crashed switch *)
+                                    crashed switch (or dropped by a
+                                    control-channel partition) *)
+  mutable dropped_chaos : int;   (* data packets lost to link chaos *)
+  mutable corrupted : int;       (* data packets mangled on the wire
+                                    (modeled as a receiver CRC discard) *)
+  mutable reordered : int;       (* data packets delivered late by chaos *)
   mutable forwarded : int;       (* switch forwarding operations *)
   mutable control_msgs : int;    (* messages on the control channel *)
   mutable control_bytes : int;
@@ -119,8 +132,17 @@ type t = {
   mutable control_latency : float;
   mutable tracer : (float -> string -> unit) option;
   expiry_period : float;
-  fault : Fault.t option;  (** chaos injection on the control channel *)
+  fault : Fault.t option;  (** chaos injection on control channel + links *)
+  link_chaos : bool;
+      (* cached [Fault.has_link_chaos]: the data transmit path consults
+         the fault only when a link-level rate is actually set, so the
+         zero-chaos path is byte-identical to having no fault at all *)
   mutable remote : remote_iface option;  (** set when part of a sharded run *)
+  mutable remote_reorders : int;
+      (* reorder verdicts on cross-shard links: their late delivery is a
+         distinct event in the single-domain run too, so (unlike a clean
+         handoff) the envelope is not sharding overhead — the shard
+         equivalence accounting subtracts these from the handoff count *)
   (* resolved ingress state for links whose source is on another shard,
      keyed by the remote (node, port) *)
   ingress_tbl : (Node.t * int, link_state) Hashtbl.t;
@@ -146,10 +168,13 @@ let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
       stats =
         { delivered = 0; dropped_policy = 0; dropped_miss = 0;
           dropped_queue = 0; dropped_link = 0; dropped_ttl = 0;
-          dropped_down = 0;
+          dropped_down = 0; dropped_chaos = 0; corrupted = 0; reordered = 0;
           forwarded = 0; control_msgs = 0; control_bytes = 0 };
       controller = None; control_latency = 1e-3; tracer = None;
-      expiry_period; fault; remote = None; ingress_tbl = Hashtbl.create 8 }
+      expiry_period; fault;
+      link_chaos =
+        (match fault with Some f -> Fault.has_link_chaos f | None -> false);
+      remote = None; remote_reorders = 0; ingress_tbl = Hashtbl.create 8 }
   in
   let owned n = match only with Some f -> f n | None -> true in
   List.iter
@@ -162,7 +187,8 @@ let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
               flood_ports = None; port_stats = Hashtbl.create 8;
               packet_ins = 0; has_timeouts = false; out_ports = [||];
               alive = true; last_fm_xid = 0;
-              ctl_down_arrival = 0.0; ctl_up_arrival = 0.0 }
+              ctl_down_arrival = 0.0; ctl_up_arrival = 0.0;
+              ctl_blocked = false }
         | Node.Host id ->
           Hashtbl.replace t.host_tbl id
             { host_id = id; mac = Packet.Mac.of_host_id id;
@@ -179,6 +205,7 @@ let topology t = t.topo
 let stats t = t.stats
 let now t = Sim.now t.sim
 let fault t = t.fault
+let remote_reorders t = t.remote_reorders
 
 let switch t id =
   match Hashtbl.find_opt t.switches id with
@@ -251,7 +278,7 @@ let resolve_egress t node port =
     in
     Some
       { ls_link = l; ls_tx; ls_rx; ls_dst; ls_dst_port = l.dst_port;
-        busy_until = 0.0; queued = 0; tx_drops = 0 }
+        busy_until = 0.0; queued = 0; tx_drops = 0; ls_chaos = None }
 
 let switch_egress_slow t sw port =
   match resolve_egress t (Node.Switch sw.sw_id) port with
@@ -294,6 +321,13 @@ let host_egress t h port =
    clamped to be monotone in send order (the channel models an ordered
    transport; reordering would break the switch-side xid dedup). *)
 let schedule_ctrl t sw ~to_switch deliver =
+  if sw.ctl_blocked then begin
+    (* control-channel partition (see [cut_control]): the transmission
+       vanishes in either direction; the switch keeps forwarding *)
+    t.stats.dropped_down <- t.stats.dropped_down + 1;
+    trace t "s%d drop(ctl-cut)" sw.sw_id
+  end
+  else
   match t.fault with
   | None -> Sim.schedule t.sim ~delay:t.control_latency deliver
   | Some f ->
@@ -345,32 +379,83 @@ let rec enqueue t ls pkt =
      ps.tx_bytes <- ps.tx_bytes + pkt.size
    | None -> ());
   let arrival = start +. ser +. l.delay in
-  match ls.ls_dst with
-  | To_remote { rem_src; rem_src_port; rem_shard } ->
-    (* cross-shard handoff, posted at {e enqueue} time so the envelope's
-       timestamp is >= now + link delay >= now + lookahead — the local
-       half only releases the queue slot at arrival; the destination
-       shard checks its own clone's [up] flag (see [receive_remote]) *)
-    Sim.schedule_at t.sim ~time:arrival (fun () ->
-      ls.queued <- ls.queued - 1);
-    (match t.remote with
-     | Some ri ->
-       ri.ri_post ~rem_shard ~time:arrival ~src:rem_src
-         ~src_port:rem_src_port pkt
-     | None -> assert false (* To_remote only resolved with an iface *))
-  | To_switch _ | To_host _ ->
-    Sim.schedule_at t.sim ~time:arrival (fun () ->
-      ls.queued <- ls.queued - 1;
-      (* the link may have failed while the packet was in flight *)
-      if l.up then deliver_ls t ls pkt
-      else begin
-        t.stats.dropped_link <- t.stats.dropped_link + 1;
-        trace t "drop(in-flight, link-down) -> %s"
-          (match ls.ls_dst with
-           | To_switch sw -> Printf.sprintf "s%d" sw.sw_id
-           | To_host h -> Printf.sprintf "h%d" h.host_id
-           | To_remote _ -> assert false)
-      end)
+  (* link-level chaos verdict, drawn from this link's own seeded stream
+     at egress (verdicts happen where the link is owned, so sharded runs
+     replay them identically).  Serialization already happened: the
+     queue slot and tx counters are spent whatever the verdict. *)
+  let v =
+    if not t.link_chaos then Fault.clean_verdict
+    else begin
+      let f = Option.get t.fault in
+      let prng =
+        match ls.ls_chaos with
+        | Some p -> p
+        | None ->
+          let p = Fault.link_prng f ~node:l.src ~port:l.src_port in
+          ls.ls_chaos <- Some p;
+          p
+      in
+      let v = Fault.decide_link f prng ~delay:l.delay in
+      if v.lv_drop then begin
+        t.stats.dropped_chaos <- t.stats.dropped_chaos + 1;
+        Fault.note f ~time:nowt "link-drop %s[%d]" (Node.to_string l.src)
+          l.src_port
+      end
+      else if v.lv_corrupt then begin
+        t.stats.corrupted <- t.stats.corrupted + 1;
+        Fault.note f ~time:nowt "link-corrupt %s[%d]" (Node.to_string l.src)
+          l.src_port
+      end
+      else if v.lv_extra > 0.0 then begin
+        t.stats.reordered <- t.stats.reordered + 1;
+        Fault.note f ~time:nowt "link-reorder %s[%d] +%.9f"
+          (Node.to_string l.src) l.src_port v.lv_extra
+      end;
+      v
+    end
+  in
+  if v.lv_drop || v.lv_corrupt then
+    (* lost on the wire (or discarded by the receiver's CRC): the slot
+       is released when the transmission would have arrived *)
+    Sim.schedule_at t.sim ~time:arrival (fun () -> ls.queued <- ls.queued - 1)
+  else
+    match ls.ls_dst with
+    | To_remote { rem_src; rem_src_port; rem_shard } ->
+      (* cross-shard handoff, posted at {e enqueue} time so the envelope's
+         timestamp is >= now + link delay >= now + lookahead — the local
+         half only releases the queue slot at arrival; the destination
+         shard checks its own clone's [up] flag (see [receive_remote]) *)
+      Sim.schedule_at t.sim ~time:arrival (fun () ->
+        ls.queued <- ls.queued - 1);
+      if v.lv_extra > 0.0 then t.remote_reorders <- t.remote_reorders + 1;
+      (match t.remote with
+       | Some ri ->
+         ri.ri_post ~rem_shard ~time:(arrival +. v.lv_extra) ~src:rem_src
+           ~src_port:rem_src_port pkt
+       | None -> assert false (* To_remote only resolved with an iface *))
+    | To_switch _ | To_host _ ->
+      let deliver () =
+        (* the link may have failed while the packet was in flight *)
+        if l.up then deliver_ls t ls pkt
+        else begin
+          t.stats.dropped_link <- t.stats.dropped_link + 1;
+          trace t "drop(in-flight, link-down) -> %s"
+            (match ls.ls_dst with
+             | To_switch sw -> Printf.sprintf "s%d" sw.sw_id
+             | To_host h -> Printf.sprintf "h%d" h.host_id
+             | To_remote _ -> assert false)
+        end
+      in
+      if v.lv_extra > 0.0 then begin
+        (* reordered: the slot frees on time, delivery lands late *)
+        Sim.schedule_at t.sim ~time:arrival (fun () ->
+          ls.queued <- ls.queued - 1);
+        Sim.schedule_at t.sim ~time:(arrival +. v.lv_extra) deliver
+      end
+      else
+        Sim.schedule_at t.sim ~time:arrival (fun () ->
+          ls.queued <- ls.queued - 1;
+          deliver ())
 
 and transmit_switch t sw port pkt =
   match switch_egress t sw port with
@@ -530,7 +615,7 @@ let remote_ingress t src src_port =
        let ls =
          { ls_link = l; ls_tx = None; ls_rx; ls_dst;
            ls_dst_port = l.dst_port; busy_until = 0.0; queued = 0;
-           tx_drops = 0 }
+           tx_drops = 0; ls_chaos = None }
        in
        Hashtbl.replace t.ingress_tbl (src, src_port) ls;
        Some ls)
@@ -612,7 +697,8 @@ let flow_stats_of_table table pattern =
     Flow.Pattern.subsumes ~general:pattern r.pattern)
   |> List.map (fun (r : Flow.Table.rule) ->
     { Openflow.Message.fs_pattern = r.pattern; fs_priority = r.priority;
-      fs_cookie = r.cookie; fs_packets = r.packets; fs_bytes = r.bytes })
+      fs_cookie = r.cookie; fs_actions = r.actions;
+      fs_packets = r.packets; fs_bytes = r.bytes })
 
 let handle_at_switch t sw ~xid (msg : Openflow.Message.t) =
   match msg with
@@ -796,6 +882,35 @@ let restart_switch t id =
 
 let switch_alive t id = (switch t id).alive
 
+(** [cut_control t id] partitions the control channel of a live switch:
+    every control transmission in either direction is dropped (counted in
+    [dropped_down]) until {!heal_control}.  The switch keeps forwarding
+    with its current table — the scenario where re-handshake resync meets
+    a {e warm} table instead of a rebooted empty one. *)
+let cut_control t id =
+  let sw = switch t id in
+  if not sw.ctl_blocked then begin
+    sw.ctl_blocked <- true;
+    trace t "s%d ctl-cut" id;
+    match t.fault with
+    | Some f -> Fault.note f ~time:(now t) "ctl-cut s%d" id
+    | None -> ()
+  end
+
+(** [heal_control t id] ends a control partition.  The switch reconnects
+    with a spontaneous [Hello] (as after a restart) so the controller
+    runs a fresh handshake — but unlike a restart the table survived. *)
+let heal_control t id =
+  let sw = switch t id in
+  if sw.ctl_blocked then begin
+    sw.ctl_blocked <- false;
+    trace t "s%d ctl-heal" id;
+    (match t.fault with
+     | Some f -> Fault.note f ~time:(now t) "ctl-heal s%d" id
+     | None -> ());
+    control_send t sw Openflow.Message.Hello
+  end
+
 (** [inject t incidents] schedules a chaos scenario: each incident's
     failure and recovery ride the simulator at their configured absolute
     times, through {!fail_link}/{!restore_link}/{!crash_switch}/
@@ -813,7 +928,11 @@ let inject t incidents =
       | Fault.Switch_outage { switch_id; at; duration } ->
         Sim.schedule_at t.sim ~time:at (fun () -> crash_switch t switch_id);
         Sim.schedule_at t.sim ~time:(at +. duration) (fun () ->
-          restart_switch t switch_id))
+          restart_switch t switch_id)
+      | Fault.Ctl_outage { switch_id; at; duration } ->
+        Sim.schedule_at t.sim ~time:at (fun () -> cut_control t switch_id);
+        Sim.schedule_at t.sim ~time:(at +. duration) (fun () ->
+          heal_control t switch_id))
     incidents
 
 (* ------------------------------------------------------------------ *)
@@ -838,6 +957,7 @@ let run ?until ?strict ?max_events t () =
 
 let pp_stats fmt (c : counters) =
   Format.fprintf fmt
-    "delivered=%d forwarded=%d dropped(policy=%d miss=%d queue=%d link=%d ttl=%d down=%d) control(msgs=%d bytes=%d)"
+    "delivered=%d forwarded=%d dropped(policy=%d miss=%d queue=%d link=%d ttl=%d down=%d chaos=%d corrupt=%d) reordered=%d control(msgs=%d bytes=%d)"
     c.delivered c.forwarded c.dropped_policy c.dropped_miss c.dropped_queue
-    c.dropped_link c.dropped_ttl c.dropped_down c.control_msgs c.control_bytes
+    c.dropped_link c.dropped_ttl c.dropped_down c.dropped_chaos c.corrupted
+    c.reordered c.control_msgs c.control_bytes

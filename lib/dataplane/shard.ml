@@ -238,7 +238,8 @@ let inject t incidents =
               Sim.schedule_at sim ~time:(at +. duration) (fun () ->
                 Topo.Topology.set_link_up clone (node, port) true)
             end
-          | Fault.Switch_outage { switch_id; _ } ->
+          | Fault.Switch_outage { switch_id; _ }
+          | Fault.Ctl_outage { switch_id; _ } ->
             if t.shard_of (Node.Switch switch_id) = sh.sh_index then
               Network.inject sh.sh_net [ i ])
         incidents)
@@ -294,6 +295,7 @@ let stats t =
   let m =
     { Network.delivered = 0; dropped_policy = 0; dropped_miss = 0;
       dropped_queue = 0; dropped_link = 0; dropped_ttl = 0; dropped_down = 0;
+      dropped_chaos = 0; corrupted = 0; reordered = 0;
       forwarded = 0; control_msgs = 0; control_bytes = 0 }
   in
   Array.iter
@@ -306,6 +308,9 @@ let stats t =
       m.dropped_link <- m.dropped_link + c.dropped_link;
       m.dropped_ttl <- m.dropped_ttl + c.dropped_ttl;
       m.dropped_down <- m.dropped_down + c.dropped_down;
+      m.dropped_chaos <- m.dropped_chaos + c.dropped_chaos;
+      m.corrupted <- m.corrupted + c.corrupted;
+      m.reordered <- m.reordered + c.reordered;
       m.forwarded <- m.forwarded + c.forwarded;
       m.control_msgs <- m.control_msgs + c.control_msgs;
       m.control_bytes <- m.control_bytes + c.control_bytes)
@@ -340,6 +345,7 @@ let net_signature topo nets =
   let merged =
     { Network.delivered = 0; dropped_policy = 0; dropped_miss = 0;
       dropped_queue = 0; dropped_link = 0; dropped_ttl = 0; dropped_down = 0;
+      dropped_chaos = 0; corrupted = 0; reordered = 0;
       forwarded = 0; control_msgs = 0; control_bytes = 0 }
   in
   List.iter
@@ -352,6 +358,9 @@ let net_signature topo nets =
       merged.dropped_link <- merged.dropped_link + c.dropped_link;
       merged.dropped_ttl <- merged.dropped_ttl + c.dropped_ttl;
       merged.dropped_down <- merged.dropped_down + c.dropped_down;
+      merged.dropped_chaos <- merged.dropped_chaos + c.dropped_chaos;
+      merged.corrupted <- merged.corrupted + c.corrupted;
+      merged.reordered <- merged.reordered + c.reordered;
       merged.forwarded <- merged.forwarded + c.forwarded;
       merged.control_msgs <- merged.control_msgs + c.control_msgs;
       merged.control_bytes <- merged.control_bytes + c.control_bytes)

@@ -6,10 +6,15 @@
     Sequence numbers and ACKs ride in the packet's [tag] field (data:
     [seq], ACK: [ack_bit lor highest_in_order]).  The receiver delivers
     in order and acknowledges cumulatively; the sender keeps up to
-    [window] packets in flight and retransmits on a fixed RTO.  Loss
-    comes from the network itself (drop-tail queues, failures), so the
-    transfer exercises exactly the queueing behavior the simulator
-    models.  Used by experiment E14 (goodput vs window vs queue depth). *)
+    [window] packets in flight and retransmits on timeout, with capped
+    exponential backoff: each expiry multiplies the RTO by [backoff] up
+    to [max_rto], and any base-advancing ACK resets it to the initial
+    value.  (A fixed RTO hammers a lossy or congested path with
+    back-to-back window retransmissions — exactly the collapse the
+    backoff avoids.)  Loss comes from the network itself (drop-tail
+    queues, failures, link chaos), so the transfer exercises exactly the
+    queueing behavior the simulator models.  Used by experiment E14
+    (goodput vs window vs queue depth). *)
 
 let ack_bit = 0x400000
 
@@ -26,7 +31,10 @@ type t = {
   dst : int;
   total : int;        (** packets to deliver *)
   window : int;
-  rto : float;
+  rto : float;        (** initial retransmission timeout *)
+  backoff : float;    (** RTO multiplier per timer expiry *)
+  max_rto : float;    (** RTO ceiling *)
+  mutable cur_rto : float;  (* current (possibly backed-off) RTO *)
   max_retx : int;     (** per-packet retransmission budget before abort *)
   pkt_size : int;
   tp_dst : int;
@@ -82,7 +90,7 @@ let rec pump t =
 and arm_timer t =
   t.timer_gen <- t.timer_gen + 1;
   let gen = t.timer_gen in
-  Sim.schedule (Network.sim t.net) ~delay:t.rto (fun () ->
+  Sim.schedule (Network.sim t.net) ~delay:t.cur_rto (fun () ->
     if (not t.done_) && (not t.aborted) && gen = t.timer_gen
        && t.base < t.next_seq
     then begin
@@ -95,6 +103,9 @@ and arm_timer t =
         for seq = t.base to t.next_seq - 1 do
           send_data t seq ~retransmit:true
         done;
+        (* back off: the path just ate a whole window, don't re-offer it
+           at the same rate *)
+        t.cur_rto <- Float.min (t.cur_rto *. t.backoff) t.max_rto;
         arm_timer t
       end
     end
@@ -115,7 +126,9 @@ let on_sender_receive t (pkt : Network.pkt) =
       end
       else begin
         pump t;
-        (* fresh RTT credit for the new base *)
+        (* the path is moving again: fresh RTT credit for the new base,
+           back at the initial RTO *)
+        t.cur_rto <- t.rto;
         arm_timer t
       end
     end
@@ -142,13 +155,21 @@ let on_receiver_receive t (pkt : Network.pkt) =
 
 (** [start net ~src ~dst ~total ()] — begins a reliable transfer of
     [total] packets; composes with existing host receive handlers.  Run
-    the simulation, then inspect {!stats} / {!is_complete}. *)
+    the simulation, then inspect {!stats} / {!is_complete}.  [backoff]
+    multiplies the RTO on every timer expiry (capped at [max_rto],
+    default [8 *. rto]; pass [~backoff:1.0] for the legacy fixed RTO);
+    a loss-free path never fires the timer, so the defaults change
+    nothing there. *)
 let start net ~src ~dst ~total ?(window = 8) ?(rto = 0.05)
-    ?(max_retx = 50) ?(pkt_size = 1000) ?(tp_dst = 9000) () =
+    ?(backoff = 2.0) ?max_rto ?(max_retx = 50) ?(pkt_size = 1000)
+    ?(tp_dst = 9000) () =
   if total <= 0 then invalid_arg "Transport.start: total";
   if window <= 0 then invalid_arg "Transport.start: window";
+  if backoff < 1.0 then invalid_arg "Transport.start: backoff";
+  let max_rto = Option.value max_rto ~default:(8.0 *. rto) in
   let t =
-    { net; src; dst; total; window; rto; max_retx; pkt_size; tp_dst;
+    { net; src; dst; total; window; rto; backoff; max_rto; cur_rto = rto;
+      max_retx; pkt_size; tp_dst;
       start_time = Network.now net;
       stats = { sent = 0; retransmissions = 0; acks_received = 0;
                 completed_at = nan };

@@ -99,6 +99,10 @@ type flow_stat = {
   fs_pattern : Flow.Pattern.t;
   fs_priority : int;
   fs_cookie : int;
+  fs_actions : Flow.Action.group;
+      (** the rule's installed actions — a stats snapshot must let the
+          controller detect action drift, not just missing/extra rules
+          (selective resync diffs on it) *)
   fs_packets : int;
   fs_bytes : int;
 }

@@ -231,6 +231,7 @@ let w_body w = function
         w_pattern w fs.fs_pattern;
         w_u32 w fs.fs_priority;
         w_i32 w fs.fs_cookie;
+        w_group w fs.fs_actions;
         w_u64 w (Int64.of_int fs.fs_packets);
         w_u64 w (Int64.of_int fs.fs_bytes))
       stats
@@ -362,8 +363,18 @@ let rpattern c : Flow.Pattern.t =
     eth_type = opt 3 eth_type;
     vlan = opt 4 vlan;
     ip_proto = opt 5 ip_proto;
-    ip4_src = (if has 6 then Some (Packet.Ipv4.Prefix.make src src_len) else None);
-    ip4_dst = (if has 7 then Some (Packet.Ipv4.Prefix.make dst dst_len) else None);
+    (* a corrupted frame must surface as [Wire_error], not as
+       [Prefix.make]'s own [Invalid_argument] *)
+    ip4_src =
+      (if has 6 then
+         if src_len > 32 then fail "ip4_src prefix length %d" src_len
+         else Some (Packet.Ipv4.Prefix.make src src_len)
+       else None);
+    ip4_dst =
+      (if has 7 then
+         if dst_len > 32 then fail "ip4_dst prefix length %d" dst_len
+         else Some (Packet.Ipv4.Prefix.make dst dst_len)
+       else None);
     tp_src = opt 8 tp_src;
     tp_dst = opt 9 tp_dst }
 
@@ -484,9 +495,11 @@ let rbody code c =
            let fs_pattern = rpattern c in
            let fs_priority = r32 c in
            let fs_cookie = ri32 c in
+           let fs_actions = rgroup c in
            let fs_packets = r64i c in
            let fs_bytes = r64i c in
-           { fs_pattern; fs_priority; fs_cookie; fs_packets; fs_bytes })
+           { fs_pattern; fs_priority; fs_cookie; fs_actions; fs_packets;
+             fs_bytes })
        in
        Stats_reply (Flow_stats_reply stats)
      | 1 ->

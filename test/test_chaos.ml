@@ -9,7 +9,8 @@ open Dataplane
 
 let fast_resilience =
   { Controller.Runtime.echo_period = 0.05; echo_miss_limit = 3;
-    retx_timeout = 0.01; retx_backoff = 2.0; retx_cap = 0.1 }
+    retx_timeout = 0.01; retx_backoff = 2.0; retx_cap = 0.1;
+    selective_resync = false }
 
 let rule_key (r : Flow.Table.rule) = (r.priority, r.pattern, r.actions, r.cookie)
 
@@ -45,6 +46,195 @@ let test_fault_deterministic () =
 
 let test_fault_env () =
   Alcotest.(check bool) "no knobs, no fault" true (Fault.from_env () = None)
+
+(* the ZEN_CHAOS_* matrix: any knob alone activates the fault — a bare
+   seed included (zero-rate, for deterministic scenario generation) *)
+let test_fault_env_matrix () =
+  let knobs =
+    [ "ZEN_CHAOS_DROP"; "ZEN_CHAOS_DUP"; "ZEN_CHAOS_JITTER";
+      "ZEN_CHAOS_LINK_DROP"; "ZEN_CHAOS_LINK_CORRUPT";
+      "ZEN_CHAOS_LINK_REORDER"; "ZEN_CHAOS_SEED" ]
+  in
+  let clear () = List.iter (fun k -> Unix.putenv k "") knobs in
+  Fun.protect ~finally:clear (fun () ->
+    clear ();
+    Alcotest.(check bool) "all empty -> no fault" true
+      (Fault.from_env () = None);
+    (* each rate knob alone activates exactly its own rate *)
+    List.iter
+      (fun (knob, rate_of) ->
+        clear ();
+        Unix.putenv knob "0.25";
+        (match Fault.from_env () with
+         | None -> Alcotest.failf "%s alone did not activate chaos" knob
+         | Some f ->
+           Alcotest.(check (float 0.0))
+             (knob ^ " rate honored") 0.25 (rate_of (Fault.config f))))
+      [ ("ZEN_CHAOS_DROP", fun (c : Fault.config) -> c.drop);
+        ("ZEN_CHAOS_DUP", fun c -> c.dup);
+        ("ZEN_CHAOS_JITTER", fun c -> c.jitter);
+        ("ZEN_CHAOS_LINK_DROP", fun c -> c.link_drop);
+        ("ZEN_CHAOS_LINK_CORRUPT", fun c -> c.link_corrupt);
+        ("ZEN_CHAOS_LINK_REORDER", fun c -> c.link_reorder) ];
+    (* a seed alone yields a zero-rate fault under that seed *)
+    clear ();
+    Unix.putenv "ZEN_CHAOS_SEED" "99";
+    (match Fault.from_env () with
+     | None -> Alcotest.fail "ZEN_CHAOS_SEED alone did not activate chaos"
+     | Some f ->
+       let c = Fault.config f in
+       Alcotest.(check int) "seed honored" 99 c.seed;
+       Alcotest.(check (float 0.0)) "zero drop" 0.0 c.drop;
+       Alcotest.(check (float 0.0)) "zero link drop" 0.0 c.link_drop;
+       Alcotest.(check (float 0.0)) "zero link corrupt" 0.0 c.link_corrupt;
+       Alcotest.(check (float 0.0)) "zero link reorder" 0.0 c.link_reorder);
+    (* seed + rate compose *)
+    Unix.putenv "ZEN_CHAOS_LINK_DROP" "0.1";
+    match Fault.from_env () with
+    | None -> Alcotest.fail "seed+rate did not activate chaos"
+    | Some f ->
+      let c = Fault.config f in
+      Alcotest.(check (pair int (float 0.0))) "seed and rate both honored"
+        (99, 0.1) (c.seed, c.link_drop))
+
+(* ------------------------------------------------------------------ *)
+(* Link-level data chaos *)
+
+(* a routed linear network with CBR crossing every hop *)
+let link_chaos_run ?(link_drop = 0.0) ?(link_corrupt = 0.0)
+    ?(link_reorder = 0.0) ~seed () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let fault = Fault.create ~seed ~link_drop ~link_corrupt ~link_reorder () in
+  let net = Network.create ~fault topo in
+  let routing = Controller.Routing.create () in
+  let _rt =
+    Controller.Runtime.create_and_handshake net
+      [ Controller.Routing.app routing ]
+  in
+  List.iter
+    (fun (src, dst) ->
+      ignore
+        (Traffic.cbr net
+           { (Traffic.default_flow ~src ~dst) with
+             rate_pps = 400.0; pkt_size = 200; start = 0.05; stop = 1.0 }))
+    [ (1, 3); (3, 1) ];
+  ignore (Network.run ~until:2.0 net ());
+  let s = Network.stats net in
+  ( Fault.events fault,
+    (s.delivered, s.dropped_chaos, s.corrupted, s.reordered),
+    Fault.link_decisions fault )
+
+let test_link_chaos_deterministic () =
+  let run () =
+    link_chaos_run ~link_drop:0.1 ~link_corrupt:0.05 ~link_reorder:0.1
+      ~seed:21 ()
+  in
+  let trace_a, counts_a, decisions_a = run () in
+  let trace_b, counts_b, _ = run () in
+  Alcotest.(check (list string)) "identical link-chaos traces" trace_a trace_b;
+  Alcotest.(check bool) "trace non-trivial" true (List.length trace_a > 10);
+  let delivered, drops, corrupts, reorders = counts_a in
+  Alcotest.(check bool) "every verdict kind fired" true
+    (drops > 0 && corrupts > 0 && reorders > 0);
+  Alcotest.(check bool) "loss actually bites" true
+    (delivered > 0 && drops + corrupts > 0);
+  Alcotest.(check bool) "every data transmission consulted" true
+    (decisions_a >= delivered + drops + corrupts);
+  let split (a, b, c, d) = ((a, b), (c, d)) in
+  Alcotest.(check (pair (pair int int) (pair int int)))
+    "identical counters" (split counts_a) (split counts_b);
+  let trace_c, _, _ =
+    link_chaos_run ~link_drop:0.1 ~link_corrupt:0.05 ~link_reorder:0.1
+      ~seed:22 ()
+  in
+  Alcotest.(check bool) "different seed, different trace" false
+    (trace_a = trace_c)
+
+let test_link_chaos_zero_rate_transparent () =
+  let _, clean, decisions = link_chaos_run ~seed:21 () in
+  let delivered, drops, corrupts, reorders = clean in
+  Alcotest.(check int) "no chaos drops" 0 drops;
+  Alcotest.(check int) "no corruption" 0 corrupts;
+  Alcotest.(check int) "no reorders" 0 reorders;
+  Alcotest.(check int) "transmit path never consults the fault" 0 decisions;
+  Alcotest.(check bool) "traffic flowed" true (delivered > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Selective resync (control-channel partition keeps the table warm) *)
+
+let test_selective_resync_warm_table () =
+  let run selective =
+    let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+    let net = Network.create topo in
+    let routing = Controller.Routing.create () in
+    let rt =
+      Controller.Runtime.create_and_handshake
+        ~resilience:{ fast_resilience with selective_resync = selective } net
+        [ Controller.Routing.app routing ]
+    in
+    (* bulk up switch 2's table so the full-repush baseline is heavy *)
+    let ctx = Controller.Runtime.ctx rt in
+    for i = 0 to 199 do
+      ctx.Controller.Api.send ~switch_id:2
+        (Openflow.Message.Flow_mod
+           (Openflow.Message.add_flow ~priority:(10 + i)
+              ~pattern:(Flow.Pattern.of_field Packet.Fields.Tp_dst (1000 + i))
+              ~actions:(Flow.Action.forward 1) ()))
+    done;
+    ignore (Network.run ~until:(Network.now net +. 0.5) net ());
+    check_converged net rt;
+    (* partition s2's control channel: the switch stays alive, keeps its
+       table, gets declared down, then heals and re-handshakes *)
+    Network.inject net
+      [ Fault.Ctl_outage { switch_id = 2; at = 1.0; duration = 0.8 } ];
+    ignore (Network.run ~until:4.0 net ());
+    let rs = Controller.Runtime.resilience_stats rt in
+    Alcotest.(check bool) "outage was detected" true (rs.switch_downs >= 1);
+    check_converged net rt;
+    rt
+  in
+  (* default path: full delete-all + re-push *)
+  let rt_full = run false in
+  let full = Controller.Runtime.resilience_stats rt_full in
+  Alcotest.(check bool) "full resync ran" true (full.resyncs >= 1);
+  Alcotest.(check int) "no selective resync by default" 0
+    full.selective_resyncs;
+  (* selective path: snapshot-diff finds the warm table intact *)
+  let rt_sel = run true in
+  let sel = Controller.Runtime.resilience_stats rt_sel in
+  Alcotest.(check bool) "selective resync ran" true
+    (sel.selective_resyncs >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "selective bytes (%d) < full-repush baseline (%d)"
+       sel.resync_bytes_selective sel.resync_bytes_full)
+    true
+    (sel.resync_bytes_selective > 0
+     && sel.resync_bytes_selective < sel.resync_bytes_full)
+
+(* a cold table (crash wipes it) must still reconverge under selective
+   resync: the diff degenerates to the full add set *)
+let test_selective_resync_cold_table () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let routing = Controller.Routing.create () in
+  let rt =
+    Controller.Runtime.create_and_handshake
+      ~resilience:{ fast_resilience with selective_resync = true } net
+      [ Controller.Routing.app routing ]
+  in
+  check_converged net rt;
+  Network.crash_switch net 2;
+  ignore (Network.run ~until:(Network.now net +. 0.5) net ());
+  Network.restart_switch net 2;
+  ignore (Network.run ~until:(Network.now net +. 2.0) net ());
+  let rs = Controller.Runtime.resilience_stats rt in
+  Alcotest.(check bool) "selective resync ran" true
+    (rs.selective_resyncs >= 1);
+  check_converged net rt;
+  Traffic.install_responders net;
+  let result = Traffic.ping net ~src:1 ~dst:3 ~count:3 ~interval:0.02 in
+  ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+  Alcotest.(check int) "pings answered" 3 (List.length !(result.rtts))
 
 (* ------------------------------------------------------------------ *)
 (* Liveness: crash detection and recovery *)
@@ -240,21 +430,100 @@ let test_zero_chaos_transparent () =
     (let a, b, c, d = run (Some (Fault.create ~seed:1 ())) in
      ((a, b), (c, d)))
 
+(* ------------------------------------------------------------------ *)
+(* QCheck: routing routes around a crashed agg/core switch *)
+
+(* Crash a random aggregation or core switch of a k=4 fat-tree; after
+   the keepalive verdict and the reroute convergence, fresh traffic
+   between random host pairs must avoid the dead switch entirely
+   ([dropped_down] stays flat once the keepalive probes are silenced)
+   and be fully delivered over the surviving paths. *)
+let prop_fattree_routes_around_crash =
+  QCheck.Test.make ~count:6
+    ~name:"fat-tree reroutes around a crashed agg/core switch"
+    QCheck.(pair (int_range 0 1000) (int_range 1 1000))
+    (fun (victim_ix, seed) ->
+      let topo, info = Topo.Gen.fat_tree ~k:4 () in
+      let candidates = info.aggregation @ info.core in
+      let victim = List.nth candidates (victim_ix mod List.length candidates) in
+      let net = Network.create topo in
+      let routing = Controller.Routing.create () in
+      let rt =
+        Controller.Runtime.create_and_handshake ~resilience:fast_resilience net
+          [ Controller.Routing.app routing ]
+      in
+      ignore (Network.run ~until:0.3 net ());
+      Network.crash_switch net victim;
+      ignore (Network.run ~until:(Network.now net +. 1.0) net ());
+      let rerouted =
+        Controller.Routing.dead_switches routing = [ victim ]
+        && Controller.Routing.reroutes routing >= 1
+      in
+      (* silence the keepalive probes (they count against [dropped_down]
+         while the switch is dead) so the delta below sees only data *)
+      Controller.Runtime.shutdown rt;
+      let down_before = (Network.stats net).dropped_down in
+      Traffic.install_responders net;
+      let hosts = Array.of_list (Topo.Topology.host_ids topo) in
+      let prng = Util.Prng.create seed in
+      let pairs =
+        List.init 6 (fun _ ->
+          let a = Util.Prng.pick prng hosts in
+          let rec other () =
+            let b = Util.Prng.pick prng hosts in
+            if b = a then other () else b
+          in
+          (a, other ()))
+      in
+      let results =
+        List.map
+          (fun (src, dst) ->
+            Traffic.ping net ~src ~dst ~count:2 ~interval:0.03)
+          pairs
+      in
+      ignore (Network.run ~until:(Network.now net +. 2.0) net ());
+      let answered =
+        List.fold_left (fun acc r -> acc + List.length !(r.Traffic.rtts)) 0
+          results
+      in
+      let down_delta = (Network.stats net).dropped_down - down_before in
+      if not rerouted then
+        QCheck.Test.fail_reportf "s%d not rerouted around" victim
+      else if down_delta <> 0 then
+        QCheck.Test.fail_reportf
+          "%d packets hit the dead switch s%d post-convergence" down_delta
+          victim
+      else if answered <> 2 * List.length pairs then
+        QCheck.Test.fail_reportf
+          "delivery did not recover: %d/%d pings answered" answered
+          (2 * List.length pairs)
+      else true)
+
 let suites =
   [ ( "chaos.fault",
       [ Alcotest.test_case "seeded verdicts deterministic" `Quick
           test_fault_deterministic;
         Alcotest.test_case "env knobs absent -> no fault" `Quick
           test_fault_env;
+        Alcotest.test_case "env knob matrix" `Quick test_fault_env_matrix;
         Alcotest.test_case "zero chaos transparent" `Quick
-          test_zero_chaos_transparent ] );
+          test_zero_chaos_transparent;
+        Alcotest.test_case "link chaos deterministic per seed" `Quick
+          test_link_chaos_deterministic;
+        Alcotest.test_case "zero-rate link chaos transparent" `Quick
+          test_link_chaos_zero_rate_transparent ] );
     ( "chaos.resilience",
       [ Alcotest.test_case "crash detection and resync" `Quick
           test_crash_detection_and_resync;
         Alcotest.test_case "retransmit under loss" `Quick
           test_retransmit_under_loss;
         Alcotest.test_case "duplicates idempotent" `Quick
-          test_duplicates_idempotent ] );
+          test_duplicates_idempotent;
+        Alcotest.test_case "selective resync on a warm table" `Quick
+          test_selective_resync_warm_table;
+        Alcotest.test_case "selective resync on a cold table" `Quick
+          test_selective_resync_cold_table;
+        QCheck_alcotest.to_alcotest prop_fattree_routes_around_crash ] );
     ( "chaos.acceptance",
       [ Alcotest.test_case "loss+crash+flaps reconverges" `Quick
           test_acceptance_reconverges;

@@ -255,10 +255,10 @@ let test_routing_same_instant_failures () =
         true (rules_a = rules_b))
     reference same_instant
 
-(* After a crash and re-handshake, routing re-pushes the crashed
-   switch's rules from its [installed] shadow (repeat switch_up),
-   instead of leaving the fresh table empty until the next topology
-   change. *)
+(* After a crash, the keepalive verdict marks the switch dead and
+   routing recomputes around it; the re-handshake clears the dead mark
+   and a fresh recompute (not a stale single-switch repush) restores the
+   crashed switch's rules. *)
 let test_routing_repush_on_rehandshake () =
   let resilience =
     { Controller.Runtime.default_resilience with
@@ -273,12 +273,18 @@ let test_routing_repush_on_rehandshake () =
   in
   let before = Flow.Table.size (Network.switch net 2).table in
   Alcotest.(check bool) "rules installed" true (before > 0);
-  Alcotest.(check int) "no repush yet" 0 (Controller.Routing.repushes routing);
+  Alcotest.(check int) "no reroute yet" 0 (Controller.Routing.reroutes routing);
   Network.crash_switch net 2;
   ignore (Network.run ~until:(Network.now net +. 0.5) net ());
+  Alcotest.(check (list int)) "crashed switch marked dead" [ 2 ]
+    (Controller.Routing.dead_switches routing);
+  Alcotest.(check int) "one reroute" 1 (Controller.Routing.reroutes routing);
   Network.restart_switch net 2;
   ignore (Network.run ~until:(Network.now net +. 1.0) net ());
-  Alcotest.(check int) "one repush" 1 (Controller.Routing.repushes routing);
+  Alcotest.(check (list int)) "dead mark cleared on re-handshake" []
+    (Controller.Routing.dead_switches routing);
+  Alcotest.(check int) "recovery recomputes, not a stale repush" 0
+    (Controller.Routing.repushes routing);
   Alcotest.(check int) "rules restored" before
     (Flow.Table.size (Network.switch net 2).table);
   let got, _ = ping_pair net ~src:1 ~dst:3 in

@@ -32,6 +32,34 @@ let prop_wire_decoder_mutation =
       | _ -> true
       | exception Openflow.Wire.Wire_error _ -> true)
 
+(* several random byte flips at once — the shape of a chaos-corrupted
+   frame (see Dataplane.Fault link_corrupt), which real receivers see as
+   a CRC failure; the decoders must report their declared error or a
+   value, never garbage or an unrelated exception *)
+let gen_flips len =
+  QCheck.Gen.(list_size (1 -- 8) (pair (int_bound (len - 1)) (int_bound 255)))
+
+let flip_all base flips =
+  let b = Bytes.copy base in
+  List.iter (fun (pos, v) -> Bytes.set b pos (Char.chr v)) flips;
+  b
+
+let prop_wire_decoder_multiflip =
+  let base =
+    Openflow.Wire.encode ~xid:7
+      (Openflow.Message.Flow_mod
+         (Openflow.Message.add_flow ~priority:9
+            ~pattern:(Flow.Pattern.of_field Packet.Fields.Tp_dst 80)
+            ~actions:(Flow.Action.forward 1) ()))
+  in
+  QCheck.Test.make ~name:"openflow decoder survives multi-byte corruption"
+    ~count:2000
+    (QCheck.make (gen_flips (Bytes.length base)))
+    (fun flips ->
+      match Openflow.Wire.decode (flip_all base flips) with
+      | _ -> true
+      | exception Openflow.Wire.Wire_error _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Packet decoder on arbitrary bytes *)
 
@@ -58,6 +86,36 @@ let prop_packet_decoder_mutation =
       let b = Bytes.copy base in
       Bytes.set b pos (Char.chr v);
       match Packet.Codec.decode b with
+      | _ -> true
+      | exception Packet.Codec.Parse_error _ -> true)
+
+let packet_base =
+  Packet.Codec.encode
+    (Packet.Frame.tcp_packet
+       ~eth_src:(Packet.Mac.of_host_id 1) ~eth_dst:(Packet.Mac.of_host_id 2)
+       ~ip_src:(Packet.Ipv4.of_host_id 1) ~ip_dst:(Packet.Ipv4.of_host_id 2)
+       ~tp_src:1 ~tp_dst:2 ~payload:(Bytes.make 32 'x') ())
+
+let prop_packet_decoder_multiflip =
+  QCheck.Test.make ~name:"packet decoder survives multi-byte corruption"
+    ~count:2000
+    (QCheck.make (gen_flips (Bytes.length packet_base)))
+    (fun flips ->
+      match Packet.Codec.decode (flip_all packet_base flips) with
+      | _ -> true
+      | exception Packet.Codec.Parse_error _ -> true)
+
+(* corruption and truncation together: flip bytes, then cut the frame *)
+let prop_packet_decoder_flip_truncate =
+  QCheck.Test.make
+    ~name:"packet decoder survives corruption plus truncation" ~count:2000
+    (QCheck.make
+       QCheck.Gen.(
+         pair (gen_flips (Bytes.length packet_base))
+           (0 -- Bytes.length packet_base)))
+    (fun (flips, cut) ->
+      let b = flip_all packet_base flips in
+      match Packet.Codec.decode (Bytes.sub b 0 cut) with
       | _ -> true
       | exception Packet.Codec.Parse_error _ -> true)
 
@@ -217,8 +275,11 @@ let suites =
   [ ( "fuzz",
       [ QCheck_alcotest.to_alcotest prop_wire_decoder_total;
         QCheck_alcotest.to_alcotest prop_wire_decoder_mutation;
+        QCheck_alcotest.to_alcotest prop_wire_decoder_multiflip;
         QCheck_alcotest.to_alcotest prop_packet_decoder_total;
         QCheck_alcotest.to_alcotest prop_packet_decoder_mutation;
+        QCheck_alcotest.to_alcotest prop_packet_decoder_multiflip;
+        QCheck_alcotest.to_alcotest prop_packet_decoder_flip_truncate;
         QCheck_alcotest.to_alcotest prop_batch_roundtrip_liveness;
         QCheck_alcotest.to_alcotest prop_batch_truncation;
         QCheck_alcotest.to_alcotest prop_parser_total;

@@ -86,9 +86,11 @@ let test_stats () =
     (Message.Stats_reply
        (Flow_stats_reply
           [ { fs_pattern = pattern; fs_priority = 10; fs_cookie = 1;
-              fs_packets = 5; fs_bytes = 5000 };
+              fs_actions = Flow.Action.forward 2; fs_packets = 5;
+              fs_bytes = 5000 };
             { fs_pattern = Flow.Pattern.any; fs_priority = 0; fs_cookie = 0;
-              fs_packets = 0; fs_bytes = 0 } ]));
+              fs_actions = Flow.Action.drop; fs_packets = 0;
+              fs_bytes = 0 } ]));
   roundtrip "port stats reply"
     (Message.Stats_reply
        (Port_stats_reply

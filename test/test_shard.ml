@@ -56,7 +56,13 @@ let incidents_for topo =
   in
   (match flap with Some f -> [ f ] | None -> []) @ crash
 
-let chaos_cfg seed = Fault.make_config ~seed:(seed + 7) ~drop:0.2 ~jitter:1e-3 ()
+(* control-channel loss + jitter, plus link-level data chaos: the
+   per-link verdict streams are keyed on [link_seed] (not the
+   shard-perturbed seed), so drops/corruptions/reorders must replay
+   byte-identically at any shard count *)
+let chaos_cfg seed =
+  Fault.make_config ~seed:(seed + 7) ~drop:0.2 ~jitter:1e-3 ~link_drop:0.08
+    ~link_corrupt:0.04 ~link_reorder:0.08 ()
 
 (* staggered starts keep the workload free of cross-flow timestamp
    ties — the precondition for exact trace equivalence (see Shard's
@@ -140,14 +146,24 @@ let run_sharded ~topo_id ~seed ~flows ~chaos ~with_incidents ~shards =
   if with_incidents then Shard.inject t incidents;
   let executed = Shard.run ~until t in
   (* sharding overhead events: one queue-release per cross-shard handoff,
-     plus the silent clone link flips on every non-owning shard *)
+     plus the silent clone link flips on every non-owning shard.  A
+     reordered cross-shard packet is the exception: its late delivery is
+     a separate event in the single-domain run too, so that handoff
+     costs no extra event — subtract those back out. *)
   let flaps =
     List.length
       (List.filter
          (function Fault.Link_flap _ -> true | _ -> false)
          incidents)
   in
-  let overhead = Shard.handoffs t + (2 * flaps * (shards - 1)) in
+  let cross_reorders =
+    Array.fold_left
+      (fun acc net -> acc + Network.remote_reorders net)
+      0 (Shard.nets t)
+  in
+  let overhead =
+    Shard.handoffs t + (2 * flaps * (shards - 1)) - cross_reorders
+  in
   { o_signature = Shard.signature t;
     o_trace =
       sort_trace

@@ -1,8 +1,8 @@
 (* Tests for the reliable transport over the lossy dataplane. *)
 
-let routed_pair ?(queue_depth = 64) () =
+let routed_pair ?(queue_depth = 64) ?fault () =
   let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
-  let net = Dataplane.Network.create ~queue_depth topo in
+  let net = Dataplane.Network.create ~queue_depth ?fault topo in
   let fdd = Netkat.Fdd.of_policy (Netkat.Builder.routing_policy topo) in
   List.iter
     (fun sw ->
@@ -78,6 +78,35 @@ let test_aborts_when_unreachable () =
   Alcotest.(check bool) "aborted" true (Dataplane.Transport.is_aborted c);
   Alcotest.(check bool) "not complete" false (Dataplane.Transport.is_complete c)
 
+(* Exponential backoff vs the legacy fixed RTO on a 20%-lossy link,
+   with the initial RTO set below the loaded RTT: the fixed timer keeps
+   spuriously re-offering whole windows while ACKs are still in flight
+   (further inflating queueing delay), where backing off quickly grows
+   past the real RTT.  Both must complete; backoff must retransmit
+   strictly less. *)
+let test_backoff_beats_fixed_rto_under_loss () =
+  let retx_with backoff =
+    let fault = Dataplane.Fault.create ~seed:77 ~link_drop:0.2 () in
+    let net = routed_pair ~fault () in
+    let c =
+      Dataplane.Transport.start net ~src:1 ~dst:2 ~total:300 ~window:32
+        ~rto:1e-4 ~backoff ~max_retx:5000 ()
+    in
+    ignore (Dataplane.Network.run ~until:120.0 net ());
+    Alcotest.(check bool) "link chaos bit" true
+      ((Dataplane.Network.stats net).dropped_chaos > 0);
+    Alcotest.(check bool) "complete despite loss" true
+      (Dataplane.Transport.is_complete c);
+    Alcotest.(check int) "all delivered" 300 (Dataplane.Transport.delivered c);
+    (Dataplane.Transport.stats c).retransmissions
+  in
+  let fixed = retx_with 1.0 in
+  let backed_off = retx_with 2.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "backoff retransmits less (%d < %d)" backed_off fixed)
+    true
+    (backed_off > 0 && backed_off < fixed)
+
 let test_window_increases_goodput () =
   let goodput_for window =
     let net = routed_pair () in
@@ -101,5 +130,7 @@ let suites =
           test_recovers_from_outage;
         Alcotest.test_case "aborts when unreachable" `Quick
           test_aborts_when_unreachable;
+        Alcotest.test_case "backoff beats fixed RTO under loss" `Quick
+          test_backoff_beats_fixed_rto_under_loss;
         Alcotest.test_case "window scales goodput" `Quick
           test_window_increases_goodput ] ) ]
