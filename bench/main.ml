@@ -1887,16 +1887,353 @@ let e16_smoke () =
     (100.0 *. ratio) rs.resync_bytes_selective rs.resync_bytes_full
 
 (* ------------------------------------------------------------------ *)
+(* E17 — incremental delta recompilation under policy churn *)
+
+(* One churn edit: a switch-scoped deny guard (drop dst-host traffic to
+   one TCP port at one switch) composed in front of the current policy.
+   Composition happens at the FDD level (Fdd.seq on the cached diagram)
+   so both paths measure recompilation + push, not a re-walk of the
+   ~10K-clause base syntax tree — the diagrams are exactly those of
+   [of_policy (Seq (guard, base))].  The guard touches exactly one
+   switch: restricting the composed diagram to any other switch
+   hash-conses back to the unedited node, which is what the delta
+   layer's uid comparison detects. *)
+let e17_guard ~sw ~mac ~port =
+  Netkat.Syntax.filter
+    (Netkat.Syntax.Not
+       (Netkat.Syntax.conj
+          (Netkat.Syntax.test Packet.Fields.Switch sw)
+          (Netkat.Syntax.conj
+             (Netkat.Syntax.test Packet.Fields.Eth_dst mac)
+             (Netkat.Syntax.test Packet.Fields.Tp_dst port))))
+
+(* seeded (switch, dst-mac, port) churn trace *)
+let e17_edits ~seed ~edits topo =
+  let prng = Util.Prng.create seed in
+  let switches = Array.of_list (Topo.Topology.switch_ids topo) in
+  let hosts = Array.of_list (Topo.Topology.host_ids topo) in
+  List.init edits (fun i ->
+    let sw = switches.(Util.Prng.int prng (Array.length switches)) in
+    let h = hosts.(Util.Prng.int prng (Array.length hosts)) in
+    (sw, Packet.Mac.of_host_id h, 1024 + i))
+
+let e17_apply_edit fdd (sw, mac, port) =
+  Netkat.Fdd.seq (Netkat.Fdd.of_policy (e17_guard ~sw ~mac ~port)) fdd
+
+let e17_batch_bytes msgs =
+  Bytes.length
+    (Openflow.Wire.encode_batch (List.mapi (fun i m -> (i + 1, m)) msgs))
+
+(* wire bytes of a full re-push: per switch, delete-all + every rule +
+   barrier (what the non-incremental installers put on the channel) *)
+let e17_full_bytes snapshot switches =
+  List.fold_left
+    (fun acc sw ->
+      let rules =
+        Option.value ~default:[] (Netkat.Delta.find snapshot sw)
+      in
+      let msgs =
+        Openflow.Message.Flow_mod
+          (Openflow.Message.delete_flow ~pattern:Flow.Pattern.any ())
+        :: List.map
+             (fun (r : Netkat.Local.rule) ->
+               Openflow.Message.Flow_mod
+                 (Openflow.Message.add_flow ~priority:r.priority
+                    ~pattern:r.pattern ~actions:r.actions ()))
+             rules
+        @ [ Openflow.Message.Barrier_request ]
+      in
+      acc + e17_batch_bytes msgs)
+    0 switches
+
+(* wire bytes of the delta push: adds + strict deletes + barrier, only
+   to the switches that changed *)
+let e17_delta_bytes (result : Netkat.Delta.result) =
+  List.fold_left
+    (fun acc (_, change) ->
+      match (change : Netkat.Delta.change) with
+      | Netkat.Delta.Unchanged -> acc
+      | Netkat.Delta.Changed { adds; deletes; _ } ->
+        if adds = [] && deletes = [] then acc
+        else
+          acc
+          + e17_batch_bytes
+              (Controller.Api.delta_flow_mods ~adds ~deletes ()
+               @ [ Openflow.Message.Barrier_request ]))
+    0 result.changes
+
+(* per-switch (priority, pattern, actions) triples of the live tables *)
+let e17_tables net switches =
+  List.map
+    (fun sw ->
+      ( sw,
+        List.map
+          (fun (r : Flow.Table.rule) -> (r.priority, r.pattern, r.actions))
+          (Flow.Table.rules
+             (Dataplane.Network.switch (Zen.network net) sw).table) ))
+    switches
+
+let e17_scratch_tables fdd switches =
+  Netkat.Local.rules_of_fdd_all ~switches fdd
+  |> List.map (fun (sw, rules) ->
+    ( sw,
+      List.map
+        (fun (r : Netkat.Local.rule) -> (r.priority, r.pattern, r.actions))
+        rules ))
+
+let e17_percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+
+(* drive [edits] churn edits through a live net, timing each install *)
+let e17_timed_run ~k ~seed ~edits ~incremental =
+  Netkat.Fdd.clear_cache ();
+  let topo, _ = Topo.Gen.fat_tree ~k () in
+  let base = Netkat.Fdd.of_policy (Netkat.Builder.routing_policy topo) in
+  let net = Zen.create topo in
+  let initial = Zen.install_fdd ~incremental net base in
+  let lat = Array.make edits 0.0 in
+  let fdd = ref base in
+  List.iteri
+    (fun i edit ->
+      let next = e17_apply_edit !fdd edit in
+      (* drain GC debt from the (untimed) FDD composition so collector
+         slices don't land inside the timed install window *)
+      Gc.major ();
+      let _, t = wall (fun () -> ignore (Zen.install_fdd ~incremental net next)) in
+      fdd := next;
+      lat.(i) <- t)
+    (e17_edits ~seed ~edits topo);
+  (net, topo, !fdd, lat, initial)
+
+(* pure accounting pass: flow-mod bytes, mods and skip counts per edit *)
+let e17_accounting ~k ~seed ~edits =
+  Netkat.Fdd.clear_cache ();
+  let topo, _ = Topo.Gen.fat_tree ~k () in
+  let switches = Topo.Topology.switch_ids topo in
+  let base = Netkat.Fdd.of_policy (Netkat.Builder.routing_policy topo) in
+  let r0 = Netkat.Delta.compile ~switches None base in
+  let snap = ref r0.snapshot in
+  let fdd = ref base in
+  let full_b = ref 0 and delta_b = ref 0 and mods = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun edit ->
+      let next = e17_apply_edit !fdd edit in
+      let result = Netkat.Delta.compile ~switches (Some !snap) next in
+      full_b := !full_b + e17_full_bytes result.snapshot switches;
+      delta_b := !delta_b + e17_delta_bytes result;
+      mods := !mods + result.n_adds + result.n_deletes;
+      skipped := !skipped + result.skipped;
+      snap := result.snapshot;
+      fdd := next)
+    (e17_edits ~seed ~edits topo);
+  (Netkat.Delta.total_rules !snap, !full_b, !delta_b, !mods, !skipped)
+
+(* the headline single-rule-edit latency: one seeded edit applied to a
+   freshly-installed deployment, best of [rounds] (fresh state each
+   round — a repeated delta edit would be a no-op) *)
+let e17_single ~k ~seed ~rounds ~incremental =
+  let best = ref infinity in
+  for _ = 1 to rounds do
+    Netkat.Fdd.clear_cache ();
+    let topo, _ = Topo.Gen.fat_tree ~k () in
+    let base = Netkat.Fdd.of_policy (Netkat.Builder.routing_policy topo) in
+    let net = Zen.create topo in
+    ignore (Zen.install_fdd ~incremental net base);
+    let edit = List.hd (e17_edits ~seed ~edits:1 topo) in
+    let next = e17_apply_edit base edit in
+    Gc.major ();
+    let _, t = wall (fun () -> ignore (Zen.install_fdd ~incremental net next)) in
+    if t < !best then best := t
+  done;
+  !best
+
+let e17_scale ~k ~edits ~seed =
+  let nick = Printf.sprintf "fattree-k%d" k in
+  let (net_f, _, fdd_f, lat_f, initial) =
+    e17_timed_run ~k ~seed ~edits ~incremental:false
+  in
+  let (net_d, topo_d, fdd_d, lat_d, _) =
+    e17_timed_run ~k ~seed ~edits ~incremental:true
+  in
+  let switches = Topo.Topology.switch_ids topo_d in
+  (* equivalence: delta-maintained tables must be byte-equal to both the
+     full re-push path and a from-scratch compile of the final policy *)
+  (* [fdd_f]/[fdd_d] are structurally identical but not physically equal
+     (each run re-derives after a clear_cache), so equivalence is judged
+     on the tables: delta-maintained ≡ full re-push ≡ from-scratch *)
+  ignore fdd_f;
+  let tf = e17_tables net_f switches and td = e17_tables net_d switches in
+  let scratch = e17_scratch_tables fdd_d switches in
+  let equal = td = tf && td = scratch in
+  let total_rules, full_b, delta_b, mods, skipped =
+    e17_accounting ~k ~seed ~edits
+  in
+  let stats lat =
+    let s = Array.copy lat in
+    Array.sort compare s;
+    let total = Array.fold_left ( +. ) 0.0 lat in
+    (total, e17_percentile s 0.5, e17_percentile s 0.99)
+  in
+  let tot_f, p50_f, p99_f = stats lat_f in
+  let tot_d, p50_d, p99_d = stats lat_d in
+  let single_f = e17_single ~k ~seed ~rounds:5 ~incremental:false in
+  let single_d = e17_single ~k ~seed ~rounds:5 ~incremental:true in
+  let speedup = single_f /. single_d in
+  pf "%-12s | %6d rules, %d switches, %d edits (%d switch-skips)@." nick
+    initial (List.length switches) edits skipped;
+  pf "  %-10s | p50 %8.3f ms  p99 %8.3f ms  %8.1f edits/s  %10d B@." "full"
+    (ms p50_f) (ms p99_f)
+    (float_of_int edits /. tot_f)
+    full_b;
+  pf "  %-10s | p50 %8.3f ms  p99 %8.3f ms  %8.1f edits/s  %10d B@." "delta"
+    (ms p50_d) (ms p99_d)
+    (float_of_int edits /. tot_d)
+    delta_b;
+  pf "  single-rule edit: full %.3f ms vs delta %.3f ms — %.1fx speedup;@."
+    (ms single_f) (ms single_d) speedup;
+  pf "  %.0f delta rules/s applied; %.0fx fewer flow-mod bytes; tables \
+      byte-equal: %b@."
+    (float_of_int mods /. tot_d)
+    (float_of_int full_b /. float_of_int (max 1 delta_b))
+    equal;
+  record ~experiment:"e17" ~metric:(nick ^ "/rules") (float_of_int total_rules);
+  record ~experiment:"e17" ~metric:(nick ^ "/full-p50-ms") (ms p50_f);
+  record ~experiment:"e17" ~metric:(nick ^ "/full-p99-ms") (ms p99_f);
+  record ~experiment:"e17" ~metric:(nick ^ "/delta-p50-ms") (ms p50_d);
+  record ~experiment:"e17" ~metric:(nick ^ "/delta-p99-ms") (ms p99_d);
+  record ~experiment:"e17" ~metric:(nick ^ "/delta-edits-per-sec")
+    (float_of_int edits /. tot_d);
+  record ~experiment:"e17" ~metric:(nick ^ "/delta-rules-per-sec")
+    (float_of_int mods /. tot_d);
+  record ~experiment:"e17" ~metric:(nick ^ "/single-edit-full-ms")
+    (ms single_f);
+  record ~experiment:"e17" ~metric:(nick ^ "/single-edit-delta-ms")
+    (ms single_d);
+  record ~experiment:"e17" ~metric:(nick ^ "/single-edit-speedup-x") speedup;
+  record ~experiment:"e17" ~metric:(nick ^ "/full-flowmod-bytes")
+    (float_of_int full_b);
+  record ~experiment:"e17" ~metric:(nick ^ "/delta-flowmod-bytes")
+    (float_of_int delta_b);
+  record ~experiment:"e17" ~metric:(nick ^ "/tables-equal")
+    (if equal then 1.0 else 0.0);
+  equal
+
+let e17 () =
+  header "E17 — incremental delta recompilation under policy churn";
+  pf "expected shape: a single-rule edit on a fat-tree deployment leaves@.";
+  pf "all but one switch uid-unchanged, so the delta path re-derives one@.";
+  pf "table and pushes a handful of flow-mods while the full path@.";
+  pf "recompiles and re-pushes everything — >=10x lower edit latency and@.";
+  pf "orders of magnitude fewer bytes, with byte-equal tables.@.@.";
+  let ok8 = e17_scale ~k:8 ~edits:32 ~seed:42 in
+  let ok16 =
+    match Sys.getenv_opt "ZEN_E17_FULL" with
+    | Some ("1" | "true") -> e17_scale ~k:16 ~edits:8 ~seed:42
+    | _ ->
+      pf "(set ZEN_E17_FULL=1 for the fat-tree k=16 row)@.";
+      true
+  in
+  if not (ok8 && ok16) then pf "WARNING: table equivalence violated@."
+
+let e17_smoke () =
+  header "E17 smoke — incremental ≡ full churn trace + latency/byte gates";
+  (* gate 1: k=4 seeded churn trace, byte-equality at every step *)
+  let k = 4 and edits = 8 and seed = 7 in
+  Netkat.Fdd.clear_cache ();
+  let topo_f, _ = Topo.Gen.fat_tree ~k () in
+  let topo_d, _ = Topo.Gen.fat_tree ~k () in
+  let switches = Topo.Topology.switch_ids topo_f in
+  let base = Netkat.Fdd.of_policy (Netkat.Builder.routing_policy topo_f) in
+  let net_f = Zen.create topo_f and net_d = Zen.create topo_d in
+  ignore (Zen.install_fdd ~incremental:false net_f base);
+  ignore (Zen.install_fdd ~incremental:true net_d base);
+  let fdd = ref base in
+  List.iteri
+    (fun i edit ->
+      let next = e17_apply_edit !fdd edit in
+      ignore (Zen.install_fdd ~incremental:false net_f next);
+      ignore (Zen.install_fdd ~incremental:true net_d next);
+      fdd := next;
+      let tf = e17_tables net_f switches and td = e17_tables net_d switches in
+      let scratch = e17_scratch_tables next switches in
+      if td <> tf || td <> scratch then begin
+        pf "SMOKE FAILURE: tables diverge after edit %d (delta=full: %b, \
+            delta=scratch: %b)@."
+          (i + 1) (td = tf) (td = scratch);
+        exit 1
+      end)
+    (e17_edits ~seed ~edits topo_f);
+  pf "churn trace: %d edits on fattree-k%d, tables byte-equal at every \
+      step@."
+    edits k;
+  (* gate 2: single-edit latency, best of 3 — incremental must not be
+     slower than 1.25x full (+2 ms scheduling noise allowance) *)
+  let single ~incremental =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      Netkat.Fdd.clear_cache ();
+      let topo, _ = Topo.Gen.fat_tree ~k () in
+      let b = Netkat.Fdd.of_policy (Netkat.Builder.routing_policy topo) in
+      let net = Zen.create topo in
+      ignore (Zen.install_fdd ~incremental net b);
+      let edit = List.hd (e17_edits ~seed ~edits:1 topo) in
+      let next = e17_apply_edit b edit in
+      let _, t = wall (fun () -> ignore (Zen.install_fdd ~incremental net next)) in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let full_t = single ~incremental:false in
+  let delta_t = single ~incremental:true in
+  pf "single edit (k=%d, best of 3): full %.3f ms, delta %.3f ms@." k
+    (ms full_t) (ms delta_t);
+  record ~experiment:"e17-smoke" ~metric:"single-edit-full-ms" (ms full_t);
+  record ~experiment:"e17-smoke" ~metric:"single-edit-delta-ms" (ms delta_t);
+  if delta_t > (full_t *. 1.25) +. 2e-3 then begin
+    pf "SMOKE FAILURE: incremental single edit took %.3f ms vs full %.3f \
+        ms (> 1.25x + 2 ms)@."
+      (ms delta_t) (ms full_t);
+    exit 1
+  end;
+  (* gate 3: 1 edit on a >=4000-rule fat-tree k=8 deployment must move
+     >=2x fewer flow-mod bytes than the full re-push *)
+  let total_rules, full_b, delta_b, _, skipped =
+    e17_accounting ~k:8 ~seed:42 ~edits:1
+  in
+  pf "1-edit byte gate (k=8): %d rules deployed, full %d B vs delta %d B \
+      (%d switches skipped)@."
+    total_rules full_b delta_b skipped;
+  record ~experiment:"e17-smoke" ~metric:"k8-full-bytes" (float_of_int full_b);
+  record ~experiment:"e17-smoke" ~metric:"k8-delta-bytes"
+    (float_of_int delta_b);
+  if total_rules < 4000 then begin
+    pf "SMOKE FAILURE: k=8 deployment only has %d rules (< 4000)@."
+      total_rules;
+    exit 1
+  end;
+  if delta_b * 2 > full_b then begin
+    pf "SMOKE FAILURE: delta moved %d B vs full %d B (< 2x reduction)@."
+      delta_b full_b;
+    exit 1
+  end;
+  pf "smoke ok: equality at every step, single-edit %.2fx of full \
+      (gate <= 1.25x + 2 ms), byte reduction %.0fx (gate >= 2x)@."
+    (delta_t /. full_t)
+    (float_of_int full_b /. float_of_int (max 1 delta_b))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e9-chaos", e9_chaos);
+    ("e17", e17); ("e9-chaos", e9_chaos);
     ("e1-smoke", e1_smoke); ("e2-smoke", e2_smoke); ("e3-smoke", e3_smoke);
     ("e8-smoke", e8_smoke); ("e9-smoke", e9_smoke);
     ("e15-shard-smoke", e15_smoke); ("e16-smoke", e16_smoke);
-    ("micro", micro) ]
+    ("e17-smoke", e17_smoke); ("micro", micro) ]
 
 let () =
   (* pull out a --json FILE pair; remaining args name experiments *)

@@ -163,6 +163,16 @@ let simulate_cmd =
                    blocks) or 'pod:K' (fat-tree pod affinity).  Default: \
                    block.")
   in
+  let incremental_arg =
+    Arg.(value & flag
+         & info [ "incremental" ]
+             ~doc:"Incremental delta recompilation: repeated installs \
+                   (policy edits, topology events) uid-skip unchanged \
+                   switches and push minimal add/delete flow-mods instead \
+                   of full table re-pushes.  Applies to compiled and \
+                   routing modes.  Default: the ZEN_INCREMENTAL \
+                   environment knob.")
+  in
   let run_sharded topo pol_str flows rate duration seed shards partition =
     let partition =
       Option.map
@@ -220,7 +230,9 @@ let simulate_cmd =
         (Dataplane.Shard.stalls_of t i)
     done
   in
-  let run spec pol_str flows rate duration seed mode shards partition =
+  let run spec pol_str flows rate duration seed mode shards partition
+      incremental =
+    let incremental = incremental || Netkat.Delta.env_enabled () in
     let topo = or_die (load_topo spec) in
     let sharded =
       match shards with
@@ -247,13 +259,13 @@ let simulate_cmd =
     (match mode with
      | `Compiled ->
        let pol = or_die (load_policy topo pol_str) in
-       let n = Zen.install_policy net pol in
+       let n = Zen.install_policy ~incremental net pol in
        Format.printf "installed %d rules@." n
      | `Learning ->
        let app = Controller.Learning.create () in
        ignore (Zen.with_controller net [ Controller.Learning.app app ])
      | `Routing ->
-       let app = Controller.Routing.create () in
+       let app = Controller.Routing.create ~incremental () in
        ignore (Zen.with_controller net [ Controller.Routing.app app ]));
     let prng = Util.Prng.create seed in
     let senders =
@@ -296,7 +308,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run random traffic through the network")
     Term.(const run $ topo_arg $ policy_arg $ flows_arg $ rate_arg
-          $ duration_arg $ seed_arg $ mode_arg $ shards_arg $ partition_arg)
+          $ duration_arg $ seed_arg $ mode_arg $ shards_arg $ partition_arg
+          $ incremental_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos *)

@@ -71,6 +71,49 @@ let install_rules ctx ~switch_id ?idle_timeout ?hard_timeout ?(cookie = 0)
     ctx.send_batch ~switch_id (msgs @ [ Openflow.Message.Barrier_request ])
   end
 
+(** [delta_flow_mods ?cookie ~adds ~deletes ()] — the flow-mod messages
+    for a minimal table edit: one add/modify per rule of [adds], one
+    strict delete per rule of [deletes].  No barrier; see
+    {!apply_delta}. *)
+let delta_flow_mods ?idle_timeout ?hard_timeout ?(cookie = 0)
+    ?(notify_when_removed = false) ~(adds : Netkat.Local.rule list)
+    ~(deletes : Netkat.Local.rule list) () =
+  let add_msgs =
+    List.map
+      (fun (r : Netkat.Local.rule) ->
+        Openflow.Message.Flow_mod
+          (Openflow.Message.add_flow ~priority:r.priority ~idle_timeout
+             ~hard_timeout ~cookie ~notify_when_removed ~pattern:r.pattern
+             ~actions:r.actions ()))
+      adds
+  in
+  let delete_msgs =
+    List.map
+      (fun (r : Netkat.Local.rule) ->
+        Openflow.Message.Flow_mod
+          (Openflow.Message.delete_strict_flow ~cookie:(Some cookie)
+             ~priority:r.priority ~pattern:r.pattern ()))
+      deletes
+  in
+  add_msgs @ delete_msgs
+
+(** [apply_delta ctx ~switch_id ?cookie ~adds ~deletes ()] pushes a
+    minimal table edit as one batched transmission terminated by a
+    barrier: adds/modifies first (an OpenFlow add with an existing
+    [(priority, pattern)] is a modify), then strict deletes of vanished
+    rules.  Sends nothing at all when both lists are empty — a no-op
+    edit must not touch the switch (its flow cache stays warm). *)
+let apply_delta ctx ~switch_id ?idle_timeout ?hard_timeout ?cookie
+    ?notify_when_removed ~adds ~deletes () =
+  match (adds, deletes) with
+  | [], [] -> ()
+  | _ ->
+    let msgs =
+      delta_flow_mods ?idle_timeout ?hard_timeout ?cookie
+        ?notify_when_removed ~adds ~deletes ()
+    in
+    ctx.send_batch ~switch_id (msgs @ [ Openflow.Message.Barrier_request ])
+
 (** [uninstall ctx ~switch_id ?cookie pattern] deletes all rules subsumed
     by [pattern] (restricted to [cookie] when given). *)
 let uninstall ctx ~switch_id ?cookie pattern =

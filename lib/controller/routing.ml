@@ -26,8 +26,11 @@ type t = {
   mutable repushes : int;            (* single-switch re-pushes on repeat
                                         switch_up (post-crash re-handshake) *)
   mutable rules_per_switch : (int * int) list;
-  (* what we believe each switch's table holds (for diffing) *)
-  installed : (int, Netkat.Local.rule list) Hashtbl.t;
+  (* what we believe each live switch's table holds: per-switch uid
+     certificates + rule lists from the last compile (for uid-skipping,
+     diffing, and crash re-pushes) *)
+  mutable snap : Netkat.Delta.snapshot option;
+  mutable skipped : int;  (* switches skipped as unchanged over the lifetime *)
   (* switches that have announced themselves at least once — a second
      announcement is a re-handshake *)
   seen : (int, unit) Hashtbl.t;
@@ -37,28 +40,6 @@ type t = {
   mutable reroutes : int;  (* recomputes triggered by switch_down *)
   use_ip : bool;
 }
-
-(* flow-mods needed to turn [old_rules] into [new_rules]: adds/modifies
-   for new or changed (priority, pattern) keys, strict deletes for
-   vanished ones *)
-let diff_rules old_rules new_rules =
-  let key (r : Netkat.Local.rule) = (r.priority, r.pattern) in
-  let old_tbl = Hashtbl.create 32 in
-  List.iter (fun r -> Hashtbl.replace old_tbl (key r) r) old_rules;
-  let adds =
-    List.filter
-      (fun (r : Netkat.Local.rule) ->
-        match Hashtbl.find_opt old_tbl (key r) with
-        | Some old -> old.actions <> r.actions
-        | None -> true)
-      new_rules
-  in
-  let new_keys = Hashtbl.create 32 in
-  List.iter (fun r -> Hashtbl.replace new_keys (key r) ()) new_rules;
-  let deletes =
-    List.filter (fun r -> not (Hashtbl.mem new_keys (key r))) old_rules
-  in
-  (adds, deletes)
 
 let push_tables t ctx =
   let live_topo = Api.topology ctx in
@@ -82,54 +63,48 @@ let push_tables t ctx =
   let fdd = Netkat.Fdd.of_policy pol in
   let churn = ref 0 in
   let per_switch = ref [] in
-  (* per-switch compilation fans out over the domain pool; the installs
-     below stay on this domain (the control channel is not thread-safe).
-     Dead switches get no push: unreachable over their dead channel, and
-     their [installed] entry deliberately goes stale — recovery runs a
-     fresh recompute, not a stale repush. *)
+  (* per-switch compilation (uid-certification + rederivation of the
+     changed switches) fans out over the domain pool inside
+     Delta.compile; the installs below stay on this domain (the control
+     channel is not thread-safe).  Dead switches get no push: they are
+     excluded from the compile, so their snapshot entry is dropped —
+     recovery re-enters them via a fresh recompute, which sees no entry
+     and full-replaces their table. *)
   let switches =
     List.filter
       (fun id -> not (Hashtbl.mem t.dead id))
       (Topo.Topology.switch_ids topo)
   in
-  let compiled = Netkat.Local.rules_of_fdd_all ~switches fdd in
+  let previous = if t.incremental then t.snap else None in
+  let result = Netkat.Delta.compile ~switches previous fdd in
+  t.snap <- Some result.snapshot;
+  t.skipped <- t.skipped + result.skipped;
   List.iter
-    (fun (switch_id, rules) ->
-      let previous = Hashtbl.find_opt t.installed switch_id in
-      (match (t.incremental, previous) with
-       | true, Some old_rules ->
-         (* the delta — adds then strict deletes — rides as one batch *)
-         let adds, deletes = diff_rules old_rules rules in
-         let msgs =
-           List.map
-             (fun (r : Netkat.Local.rule) ->
-               incr churn;
-               Openflow.Message.Flow_mod
-                 (Openflow.Message.add_flow ~priority:r.priority
-                    ~cookie:t.cookie ~pattern:r.pattern ~actions:r.actions ()))
-             adds
-           @ List.map
-               (fun (r : Netkat.Local.rule) ->
-                 incr churn;
-                 Openflow.Message.Flow_mod
-                   (Openflow.Message.delete_strict_flow
-                      ~cookie:(Some t.cookie) ~priority:r.priority
-                      ~pattern:r.pattern ()))
-               deletes
-         in
-         if msgs <> [] then
-           ctx.Api.send_batch ~switch_id
-             (msgs @ [ Openflow.Message.Barrier_request ])
-       | _ ->
-         Api.install_rules ctx ~switch_id ~cookie:t.cookie ~replace:true
-           (List.map
-              (fun (r : Netkat.Local.rule) ->
-                incr churn;
-                (r.priority, r.pattern, r.actions))
-              rules));
-      Hashtbl.replace t.installed switch_id rules;
-      per_switch := (switch_id, List.length rules) :: !per_switch)
-    compiled;
+    (fun (switch_id, change) ->
+      (match (change : Netkat.Delta.change) with
+       | Netkat.Delta.Unchanged -> ()
+       | Netkat.Delta.Changed { rules; adds; deletes } ->
+         (match previous with
+          | Some p when Netkat.Delta.find p switch_id <> None ->
+            (* the delta — adds then strict deletes — rides as one batch *)
+            churn := !churn + List.length adds + List.length deletes;
+            Api.apply_delta ctx ~switch_id ~cookie:t.cookie ~adds ~deletes ()
+          | _ ->
+            (* full mode, or a switch we never programmed (first contact,
+               or rejoining after a crash): full table replacement *)
+            Api.install_rules ctx ~switch_id ~cookie:t.cookie ~replace:true
+              (List.map
+                 (fun (r : Netkat.Local.rule) ->
+                   incr churn;
+                   (r.priority, r.pattern, r.actions))
+                 rules)));
+      let n =
+        match Netkat.Delta.find result.snapshot switch_id with
+        | Some rules -> List.length rules
+        | None -> 0
+      in
+      per_switch := (switch_id, n) :: !per_switch)
+    result.changes;
   t.installs <- t.installs + !churn;
   t.last_churn <- !churn;
   t.reinstalls <- t.reinstalls + 1;
@@ -175,7 +150,7 @@ let create ?(use_ip = false) ?(incremental = false) ?(cookie = 0x0e) () =
       push_tables t ctx
     end
     else if repeat && not was_dead then
-      match Hashtbl.find_opt t.installed switch_id with
+      match Option.bind t.snap (fun s -> Netkat.Delta.find s switch_id) with
       | None -> ()  (* never compiled for it; the next recompute will *)
       | Some rules ->
         t.repushes <- t.repushes + 1;
@@ -205,7 +180,7 @@ let create ?(use_ip = false) ?(incremental = false) ?(cookie = 0x0e) () =
   let t =
     { app; cookie; incremental; installs = 0; reinstalls = 0; last_churn = 0;
       last_recompute = 0.0; recompute_pending = false; repushes = 0;
-      rules_per_switch = []; installed = Hashtbl.create 16;
+      rules_per_switch = []; snap = None; skipped = 0;
       seen = Hashtbl.create 16; dead = Hashtbl.create 4; reroutes = 0;
       use_ip }
   in
@@ -220,3 +195,4 @@ let reroutes t = t.reroutes
 let dead_switches t = Hashtbl.fold (fun id () acc -> id :: acc) t.dead []
 let last_churn t = t.last_churn
 let rules_per_switch t = t.rules_per_switch
+let skipped_switches t = t.skipped

@@ -85,18 +85,43 @@ let internal_part topo pol ~version =
 
 type t = {
   drain : float;                 (** seconds before old rules are removed *)
+  incremental : bool;            (** delta-push repeated installs in place *)
+  streams : (string, Delta.snapshot) Hashtbl.t;
+      (** per install-path snapshots, keyed ["<path>:<version>"] so a
+          version bump (whose base/tag transform differs) never reuses a
+          stale certificate *)
+  pushed : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** cookie → switches that actually received rules under it;
+          {!delete_version} consults this to leave the rest alone *)
   mutable version : int;
-  mutable installs : int;        (** flow-mods issued over the lifetime *)
+  mutable installs : int;        (** add/modify flow-mods issued over the lifetime *)
   mutable peak_rules : int;      (** max total rules observed installed *)
   mutable updates_done : int;
+  mutable skipped_switches : int;(** switches proven unchanged, never touched *)
+  mutable delta_mods : int;      (** flow-mods (adds + strict deletes) on delta pushes *)
+  mutable delete_msgs : int;     (** cookie-scoped deletes issued by {!delete_version} *)
 }
 
-let create ?(drain = 0.5) () =
-  { drain; version = 0; installs = 0; peak_rules = 0; updates_done = 0 }
+(** [create ?drain ?incremental ()] — [incremental] (default: the
+    [ZEN_INCREMENTAL] env knob) makes repeated {!install},
+    {!global_install} and {!install_plain} calls delta-push against the
+    previous snapshot instead of re-pushing whole tables; see each
+    function for the consistency caveat. *)
+let create ?(drain = 0.5) ?incremental () =
+  let incremental =
+    match incremental with Some b -> b | None -> Delta.env_enabled ()
+  in
+  { drain; incremental; streams = Hashtbl.create 8; pushed = Hashtbl.create 8;
+    version = 0; installs = 0; peak_rules = 0; updates_done = 0;
+    skipped_switches = 0; delta_mods = 0; delete_msgs = 0 }
 
 let version t = t.version
 let peak_rules t = t.peak_rules
 let updates_done t = t.updates_done
+let incremental t = t.incremental
+let skipped_switches t = t.skipped_switches
+let delta_mods t = t.delta_mods
+let delete_msgs t = t.delete_msgs
 
 let observe_occupancy t ctx =
   let total =
@@ -108,6 +133,29 @@ let observe_occupancy t ctx =
   in
   if total > t.peak_rules then t.peak_rules <- total
 
+let note_pushed t ~cookie ~switch_id =
+  let set =
+    match Hashtbl.find_opt t.pushed cookie with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 16 in
+      Hashtbl.replace t.pushed cookie s;
+      s
+  in
+  Hashtbl.replace set switch_id ()
+
+(* Push one switch's delta under [cookie].  An unchanged switch gets no
+   message at all — its flow cache stays warm. *)
+let push_change t ctx ~cookie switch_id = function
+  | Delta.Unchanged -> ()
+  | Delta.Changed { adds; deletes; _ } ->
+    if adds <> [] || deletes <> [] then begin
+      t.installs <- t.installs + List.length adds;
+      t.delta_mods <- t.delta_mods + List.length adds + List.length deletes;
+      note_pushed t ~cookie ~switch_id;
+      Api.apply_delta ctx ~switch_id ~cookie ~adds ~deletes ()
+    end
+
 (* Install the compiled rules of [part] on every switch.
 
    Correctness requirement: while two versions coexist, no rule of one
@@ -118,40 +166,78 @@ let observe_occupancy t ctx =
    diagram to the vlan value its packets are known to carry ([only_vlan]:
    the version tag for internal parts, untagged for ingress parts) and
    stamp that value into every emitted pattern — making every single
-   rule, including drops, version-specific. *)
-let install_part t ctx part ~only_vlan ~cookie ~base =
+   rule, including drops, version-specific.
+
+   The compile runs through {!Delta.compile} against the [stream]'s
+   previous snapshot (when [t.incremental]): switches whose restricted
+   diagram is uid-unchanged are skipped entirely, changed switches get
+   minimal add/strict-delete batches.  [base]/[only_vlan] feed the
+   transform, so the stream key must pin the version — it does
+   (["<path>:<version>"]). *)
+let install_part t ctx ~stream part ~only_vlan ~cookie ~base =
   let topo = Api.topology ctx in
   let fdd = Fdd.restrict (Packet.Fields.Vlan, only_vlan) (Fdd.of_policy part) in
-  (* compile every switch on the domain pool, then issue one batched
-     transmission per switch (the control channel is not thread-safe) *)
-  Local.rules_of_fdd_all ~switches:(Topo.Topology.switch_ids topo) fdd
-  |> List.iter (fun (switch_id, rules) ->
-    Api.install_rules ctx ~switch_id ~cookie
-      (List.map
-         (fun (r : Local.rule) ->
-           t.installs <- t.installs + 1;
-           (base + r.priority, { r.pattern with vlan = Some only_vlan },
-            r.actions))
-         rules))
-
-let delete_version ctx ~cookie =
+  let previous =
+    if t.incremental then Hashtbl.find_opt t.streams stream else None
+  in
+  let transform (r : Local.rule) =
+    { r with priority = base + r.priority;
+      pattern = { r.pattern with vlan = Some only_vlan } }
+  in
+  let result =
+    Delta.compile ~transform ~switches:(Topo.Topology.switch_ids topo)
+      previous fdd
+  in
+  Hashtbl.replace t.streams stream result.snapshot;
+  t.skipped_switches <- t.skipped_switches + result.skipped;
   List.iter
-    (fun sw ->
-      Api.uninstall ctx ~switch_id:(Topo.Topology.Node.id sw) ~cookie
-        Flow.Pattern.any)
-    (Topo.Topology.switches (Api.topology ctx))
+    (fun (switch_id, change) -> push_change t ctx ~cookie switch_id change)
+    result.changes
 
-(** [install t ctx pol] — initial installation of a versioned policy
-    (version 1). @raise Policy_uses_vlan *)
+let stream_keys version =
+  [ Printf.sprintf "internal:%d" version;
+    Printf.sprintf "ingress:%d" version;
+    Printf.sprintf "global:%d" version ]
+
+(* Garbage-collect one version: cookie-scoped delete to exactly the
+   switches that received rules under that cookie (a switch that never
+   did must not be touched — the delete would be a no-op on the wire but
+   historically invalidated nothing anyway; skipping it keeps the
+   control channel quiet and the accounting honest). *)
+let delete_version t ctx ~cookie =
+  (match Hashtbl.find_opt t.pushed cookie with
+   | None -> ()
+   | Some set ->
+     List.iter
+       (fun sw ->
+         let switch_id = Topo.Topology.Node.id sw in
+         if Hashtbl.mem set switch_id then begin
+           t.delete_msgs <- t.delete_msgs + 1;
+           Api.uninstall ctx ~switch_id ~cookie Flow.Pattern.any
+         end)
+       (Topo.Topology.switches (Api.topology ctx));
+     Hashtbl.remove t.pushed cookie);
+  List.iter (Hashtbl.remove t.streams) (stream_keys cookie)
+
+(** [install t ctx pol] — installation of a versioned policy.  The first
+    call installs version 1.  With [incremental] on, later calls keep
+    the version (and its vlan tag, priority base and cookie) {e stable}
+    and delta-push only the changed switches/rules — the fast path for
+    small edits.  This in-place edit is {e not} per-packet consistent
+    (a packet in flight can mix pre- and post-edit rules); use
+    {!two_phase} when the edit needs the consistency guarantee.
+    @raise Policy_uses_vlan *)
 let install t ctx pol =
   if pol_uses_vlan pol then raise Policy_uses_vlan;
-  t.version <- t.version + 1;
+  if not (t.incremental && t.version > 0) then t.version <- t.version + 1;
   let topo = Api.topology ctx in
-  let base = t.version * 10000 in
-  install_part t ctx (internal_part topo pol ~version:t.version)
-    ~only_vlan:t.version ~cookie:t.version ~base;
-  install_part t ctx (ingress_part topo pol ~version:t.version)
-    ~only_vlan:Packet.Fields.vlan_none ~cookie:t.version ~base:(base + 1000);
+  let v = t.version in
+  let base = v * 10000 in
+  install_part t ctx ~stream:(Printf.sprintf "internal:%d" v)
+    (internal_part topo pol ~version:v) ~only_vlan:v ~cookie:v ~base;
+  install_part t ctx ~stream:(Printf.sprintf "ingress:%d" v)
+    (ingress_part topo pol ~version:v) ~only_vlan:Packet.Fields.vlan_none
+    ~cookie:v ~base:(base + 1000);
   Api.schedule ctx ~delay:0.05 (fun () -> observe_occupancy t ctx)
 
 (** [two_phase t ctx pol] — per-packet-consistent transition to [pol].
@@ -165,21 +251,26 @@ let two_phase t ctx pol =
   t.version <- new_version;
   let topo = Api.topology ctx in
   let base = new_version * 10000 in
-  (* phase 1: internal rules of the new version (invisible to old traffic) *)
-  install_part t ctx (internal_part topo pol ~version:new_version)
+  (* phase 1: internal rules of the new version (invisible to old
+     traffic); the fresh version in the stream key makes the compile
+     start from a clean snapshot — cross-version rules are never
+     byte-identical (the tag differs), so there is nothing to reuse *)
+  install_part t ctx ~stream:(Printf.sprintf "internal:%d" new_version)
+    (internal_part topo pol ~version:new_version)
     ~only_vlan:new_version ~cookie:new_version ~base;
   (* phase 2: once phase 1 has certainly landed (one control latency plus
      slack), flip ingress stamping; new ingress rules shadow the old ones
      by their higher priority base *)
   Api.schedule ctx ~delay:0.01 (fun () ->
-    install_part t ctx (ingress_part topo pol ~version:new_version)
+    install_part t ctx ~stream:(Printf.sprintf "ingress:%d" new_version)
+      (ingress_part topo pol ~version:new_version)
       ~only_vlan:Packet.Fields.vlan_none ~cookie:new_version
       ~base:(base + 1000);
     (* sample occupancy at its peak: both versions fully installed *)
     Api.schedule ctx ~delay:0.01 (fun () -> observe_occupancy t ctx);
     (* phase 3: drain, then garbage-collect the old version *)
     Api.schedule ctx ~delay:t.drain (fun () ->
-      delete_version ctx ~cookie:old_version;
+      delete_version t ctx ~cookie:old_version;
       t.updates_done <- t.updates_done + 1))
 
 (** [naive t ctx ~prng ~max_jitter pol] — the inconsistent baseline:
@@ -240,24 +331,40 @@ let split_global_all ctx fdd =
     ~switches:(Topo.Topology.switch_ids (Api.topology ctx)) fdd
   |> List.map (fun (switch_id, rules) -> (switch_id, split_global_rules rules))
 
-let install_global_rules t ctx ~cookie ~base ~ingress_bump fdd =
+(* Same partition expressed as Delta transform/keep: drop fall-through
+   drops, bump untagged (ingress) rules above the internal ones. *)
+let install_global_rules t ctx ~stream ~cookie ~base ~ingress_bump fdd =
+  let previous =
+    if t.incremental then Hashtbl.find_opt t.streams stream else None
+  in
+  let transform (r : Local.rule) =
+    let bump =
+      if r.pattern.vlan = Some Packet.Fields.vlan_none then ingress_bump
+      else 0
+    in
+    { r with priority = base + bump + r.priority }
+  in
+  let keep (r : Local.rule) = r.actions <> [] in
+  let result =
+    Delta.compile ~transform ~keep
+      ~switches:(Topo.Topology.switch_ids (Api.topology ctx)) previous fdd
+  in
+  Hashtbl.replace t.streams stream result.snapshot;
+  t.skipped_switches <- t.skipped_switches + result.skipped;
   List.iter
-    (fun (switch_id, (ingress, internal)) ->
-      let rule bump (r : Local.rule) =
-        t.installs <- t.installs + 1;
-        (base + bump + r.priority, r.pattern, r.actions)
-      in
-      Api.install_rules ctx ~switch_id ~cookie
-        (List.map (rule ingress_bump) ingress @ List.map (rule 0) internal))
-    (split_global_all ctx fdd)
+    (fun (switch_id, change) -> push_change t ctx ~cookie switch_id change)
+    result.changes
 
-(** [global_install t ctx pol] — initial installation of a
+(** [global_install t ctx pol] — installation of a
     {!Netkat.Global.compile}d program (or any policy obeying the vlan
-    discipline above). *)
+    discipline above).  With [incremental] on, later calls with the same
+    tag space keep the version stable and delta-push (not per-packet
+    consistent; see {!global_two_phase} for the consistency path). *)
 let global_install t ctx pol =
-  t.version <- t.version + 1;
-  install_global_rules t ctx ~cookie:t.version ~base:(t.version * 10000)
-    ~ingress_bump:1000 (Fdd.of_policy pol);
+  if not (t.incremental && t.version > 0) then t.version <- t.version + 1;
+  install_global_rules t ctx ~stream:(Printf.sprintf "global:%d" t.version)
+    ~cookie:t.version ~base:(t.version * 10000) ~ingress_bump:1000
+    (Fdd.of_policy pol);
   Api.schedule ctx ~delay:0.05 (fun () -> observe_occupancy t ctx)
 
 (** [global_two_phase t ctx pol] — per-packet-consistent transition to a
@@ -274,6 +381,7 @@ let global_two_phase t ctx pol =
   (* phase 1: tagged (internal) rules only — invisible to live traffic *)
   List.iter
     (fun (switch_id, (_, internal)) ->
+      if internal <> [] then note_pushed t ~cookie:new_version ~switch_id;
       Api.install_rules ctx ~switch_id ~cookie:new_version
         (List.map
            (fun (r : Local.rule) ->
@@ -285,6 +393,7 @@ let global_two_phase t ctx pol =
   Api.schedule ctx ~delay:0.01 (fun () ->
     List.iter
       (fun (switch_id, (ingress, _)) ->
+        if ingress <> [] then note_pushed t ~cookie:new_version ~switch_id;
         Api.install_rules ctx ~switch_id ~cookie:new_version
           (List.map
              (fun (r : Local.rule) ->
@@ -294,19 +403,40 @@ let global_two_phase t ctx pol =
       per_switch;
     Api.schedule ctx ~delay:0.01 (fun () -> observe_occupancy t ctx);
     Api.schedule ctx ~delay:t.drain (fun () ->
-      delete_version ctx ~cookie:old_version;
+      delete_version t ctx ~cookie:old_version;
       t.updates_done <- t.updates_done + 1))
 
-(** Plain (unversioned) initial install, for the naive baseline runs. *)
+(** Plain (unversioned) install, for the naive baseline runs.  The
+    first call full-replaces each switch's cookie-0 rules; with
+    [incremental] on, later calls delta-push only the changed
+    switches/rules (unchanged switches get no message at all). *)
 let install_plain t ctx pol =
   let fdd = Fdd.of_policy pol in
-  Local.rules_of_fdd_all
-    ~switches:(Topo.Topology.switch_ids (Api.topology ctx)) fdd
-  |> List.iter (fun (switch_id, rules) ->
-    Api.install_rules ctx ~switch_id
-      (List.map
-         (fun (r : Local.rule) ->
-           t.installs <- t.installs + 1;
-           (r.priority, r.pattern, r.actions))
-         rules));
+  let previous =
+    if t.incremental then Hashtbl.find_opt t.streams "plain" else None
+  in
+  let result =
+    Delta.compile ~switches:(Topo.Topology.switch_ids (Api.topology ctx))
+      previous fdd
+  in
+  Hashtbl.replace t.streams "plain" result.snapshot;
+  t.skipped_switches <- t.skipped_switches + result.skipped;
+  List.iter
+    (fun (switch_id, change) ->
+      match (change : Delta.change) with
+      | Delta.Unchanged -> ()
+      | Delta.Changed { rules; adds; deletes } ->
+        (match previous with
+         | None ->
+           t.installs <- t.installs + List.length rules;
+           Api.install_rules ctx ~switch_id ~replace:true
+             (List.map
+                (fun (r : Local.rule) -> (r.priority, r.pattern, r.actions))
+                rules)
+         | Some _ ->
+           t.installs <- t.installs + List.length adds;
+           t.delta_mods <-
+             t.delta_mods + List.length adds + List.length deletes;
+           Api.apply_delta ctx ~switch_id ~adds ~deletes ()))
+    result.changes;
   Api.schedule ctx ~delay:0.05 (fun () -> observe_occupancy t ctx)

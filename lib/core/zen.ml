@@ -25,6 +25,8 @@ module Wan = Wan
 type net = {
   network : Dataplane.Network.t;
   mutable runtime : Controller.Runtime.t option;
+  mutable delta_snap : Netkat.Delta.snapshot option;
+      (* last compile's per-switch certificates, for incremental installs *)
 }
 
 (** [create topo] instantiates the simulated network (empty tables).
@@ -34,33 +36,69 @@ type net = {
     to the [ZEN_CHAOS_*] environment knobs, usually absent). *)
 let create ?queue_depth ?sim_engine ?fault topo =
   { network = Dataplane.Network.create ?queue_depth ?sim_engine ?fault topo;
-    runtime = None }
+    runtime = None; delta_snap = None }
 
 let topology t = Dataplane.Network.topology t.network
 let network t = t.network
 let now t = Dataplane.Network.now t.network
 
-(** [install_policy t pol] compiles the local policy with the FDD
-    compiler and loads every switch's table directly (the "compiled,
-    proactive, no controller" mode).  Returns total rules installed.
+(** [install_fdd t fdd] compiles an already-built diagram and loads
+    every switch's table directly (the "compiled, proactive, no
+    controller" mode).  Returns total rules installed.
+
+    With [incremental] (default: the [ZEN_INCREMENTAL] environment
+    knob), the compile runs through {!Netkat.Delta} against the previous
+    install's snapshot: switches whose restricted diagram is
+    uid-unchanged are not touched at all (their flow caches stay warm),
+    and changed switches get in-place modify/remove edits instead of
+    clear + reload.
     @raise Netkat.Local.Not_local on policies with links. *)
-let install_policy t pol =
+let install_fdd ?incremental t fdd =
+  let incremental =
+    match incremental with
+    | Some b -> b
+    | None -> Netkat.Delta.env_enabled ()
+  in
   (* per-switch compilation runs on the shared domain pool; the tables
      are loaded sequentially here (they belong to the simulator) *)
-  Netkat.Local.compile_all
-    ~switches:(Topo.Topology.switch_ids (topology t)) pol
-  |> List.fold_left
-       (fun acc (switch_id, rules) ->
-         let table = (Dataplane.Network.switch t.network switch_id).table in
-         Flow.Table.clear table;
-         List.iter
-           (fun (r : Netkat.Local.rule) ->
-             Flow.Table.add table
-               (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
-                  ~actions:r.actions ()))
-           rules;
-         acc + List.length rules)
-       0
+  let previous = if incremental then t.delta_snap else None in
+  let result =
+    Netkat.Delta.compile
+      ~switches:(Topo.Topology.switch_ids (topology t)) previous fdd
+  in
+  t.delta_snap <- Some result.snapshot;
+  List.iter
+    (fun (switch_id, change) ->
+      match (change : Netkat.Delta.change) with
+      | Netkat.Delta.Unchanged -> ()
+      | Netkat.Delta.Changed { rules; adds; deletes } ->
+        let table = (Dataplane.Network.switch t.network switch_id).table in
+        let add (r : Netkat.Local.rule) =
+          Flow.Table.add table
+            (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+               ~actions:r.actions ())
+        in
+        (match previous with
+         | Some p when Netkat.Delta.find p switch_id <> None ->
+           (* in-place edit: modify/insert the changed rules, then drop
+              the vanished ones *)
+           List.iter add adds;
+           List.iter
+             (fun (r : Netkat.Local.rule) ->
+               Flow.Table.remove_strict table ~priority:r.priority
+                 ~pattern:r.pattern)
+             deletes
+         | _ ->
+           Flow.Table.clear table;
+           List.iter add rules))
+    result.changes;
+  Netkat.Delta.total_rules result.snapshot
+
+(** [install_policy t pol] — {!install_fdd} from policy syntax.
+    Returns total rules installed.
+    @raise Netkat.Local.Not_local on policies with links. *)
+let install_policy ?incremental t pol =
+  install_fdd ?incremental t (Netkat.Fdd.of_policy pol)
 
 (** [install_policy_string t s] — as {!install_policy}, from concrete
     syntax.  @raise Netkat.Parser.Parse_error on bad syntax. *)

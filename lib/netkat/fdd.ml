@@ -300,6 +300,16 @@ let memo_fill tbl sel key v =
   if Shared.locking () then Hashtbl.replace (sel (domain_memo ())) key v
   else Hashtbl.replace tbl key v
 
+(** Hash-cons generation: bumped by every {!clear_cache}.  Within one
+    generation, structurally equal diagrams are physically equal, so
+    equal uids certify equal diagrams {e and} unequal uids certify the
+    diagrams were not built from shared construction — the property the
+    incremental recompiler ({!Delta}) uses for change detection.  Across
+    a clear, sharing is lost: re-deriving the same policy yields fresh
+    uids, so uid comparison stays {e sound} (uids are never reused) but
+    loses its completeness — equal tables may carry different uids. *)
+let generation () = Atomic.get memo_generation
+
 (** Sizes of the internal tables:
     [(leaves, branches, binop cache, restrict cache)]. *)
 let cache_stats () =
@@ -549,6 +559,28 @@ let node_count d =
   in
   go d;
   Hashtbl.length seen
+
+(** [switch_cases d] — the diagram's top-level [Switch] spine unzipped
+    in one walk: [(cases, default)], where [cases] maps each
+    spine-tested switch value to the subtree packets carrying that value
+    reach, and [default] is the fall-through subtree for every value the
+    spine never tests.  Because [Switch] is the first field in the
+    diagram order, [restrict (Switch, sw) d] is a pure function of the
+    reached subtree — so that subtree's uid is a per-switch change
+    certificate costing O(spine) for {e all} switches, where a
+    per-switch [restrict] walk would cost O(spine) {e each} (the
+    incremental recompiler's fast path). *)
+let switch_cases d =
+  let cases = Hashtbl.create 64 in
+  let rec go d =
+    match d.node with
+    | Branch ((f, v), tru, fls) when Fields.equal f Fields.Switch ->
+      if not (Hashtbl.mem cases v) then Hashtbl.add cases v tru;
+      go fls
+    | Leaf _ | Branch _ -> d
+  in
+  let default = go d in
+  (cases, default)
 
 (** [fold_paths d ~init ~f] visits every root-to-leaf path, true-branches
     first (the order in which rules must be emitted for priorities to

@@ -63,11 +63,14 @@ let pattern_of_tests tests =
            assert false))
     Flow.Pattern.any tests
 
-(** [rules_of_fdd ~switch d] specializes [d] to the switch and extracts
-    the rule list, highest priority first.
+(** [rules_of_restricted d] extracts the rule list from a diagram
+    already specialized to one switch (no [Switch] tests left), highest
+    priority first.  Priorities count paths from the bottom ([n - i]),
+    so an edit that inserts or removes paths leaves every rule {e below}
+    the edit point untouched — the property the incremental recompiler
+    ({!Delta}) relies on for small diffs.
     @raise Not_local if the diagram moves packets between switches. *)
-let rules_of_fdd ~switch d =
-  let d = Fdd.restrict (Fields.Switch, switch) d in
+let rules_of_restricted d =
   let paths =
     Fdd.fold_paths d ~init:[] ~f:(fun tests acts acc ->
       (pattern_of_tests tests, group_of_actset acts) :: acc)
@@ -78,6 +81,12 @@ let rules_of_fdd ~switch d =
   List.rev paths
   |> List.mapi (fun i (pattern, actions) ->
     { priority = n - i; pattern; actions })
+
+(** [rules_of_fdd ~switch d] specializes [d] to the switch and extracts
+    the rule list, highest priority first.
+    @raise Not_local if the diagram moves packets between switches. *)
+let rules_of_fdd ~switch d =
+  rules_of_restricted (Fdd.restrict (Fields.Switch, switch) d)
 
 (** [compile ~switch pol] compiles a local policy to the flow table of
     one switch.

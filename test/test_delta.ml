@@ -1,0 +1,211 @@
+(* Incremental delta recompilation ({!Netkat.Delta}): uid certificates
+   skip untouched switches, structural fallback survives cache clears,
+   and delta-maintained tables stay byte-equal to a from-scratch compile
+   at every step of a churn sequence. *)
+
+open Packet
+module Syntax = Netkat.Syntax
+module Fdd = Netkat.Fdd
+module Local = Netkat.Local
+module Delta = Netkat.Delta
+
+let triples rules =
+  List.map (fun (r : Local.rule) -> (r.priority, r.pattern, r.actions)) rules
+
+(* ------------------------------------------------------------------ *)
+(* Directed *)
+
+let test_edit_skips_other_switches () =
+  let topo = Topo.Gen.linear ~switches:4 ~hosts_per_switch:2 () in
+  let switches = Topo.Topology.switch_ids topo in
+  let base = Fdd.of_policy (Netkat.Builder.routing_policy topo) in
+  let r0 = Delta.compile ~switches None base in
+  Alcotest.(check int) "first compile re-derives everything"
+    (List.length switches) r0.rederived;
+  (* drop one destination at switch 2 only *)
+  let guard =
+    Syntax.filter
+      (Syntax.neg
+         (Syntax.conj
+            (Syntax.test Fields.Switch 2)
+            (Syntax.test Fields.Eth_dst (Mac.of_host_id 1))))
+  in
+  let edited = Fdd.seq (Fdd.of_policy guard) base in
+  let r1 = Delta.compile ~switches (Some r0.snapshot) edited in
+  Alcotest.(check int) "all other switches skipped"
+    (List.length switches - 1) r1.skipped;
+  Alcotest.(check int) "one switch re-derived" 1 r1.rederived;
+  List.iter
+    (fun (sw, change) ->
+      match (change : Delta.change) with
+      | Delta.Unchanged ->
+        Alcotest.(check bool) "switch 2 must not be Unchanged" false (sw = 2)
+      | Delta.Changed _ -> Alcotest.(check int) "only switch 2 changed" 2 sw)
+    r1.changes;
+  (* the new snapshot's tables are byte-equal to a from-scratch compile *)
+  List.iter
+    (fun (sw, rules) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "switch %d equals scratch" sw)
+        true
+        (Delta.find r1.snapshot sw = Some rules))
+    (Local.rules_of_fdd_all ~switches edited)
+
+let test_clear_cache_structural_fallback () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let switches = Topo.Topology.switch_ids topo in
+  let pol = Netkat.Builder.routing_policy topo in
+  let r0 = Delta.compile ~switches None (Fdd.of_policy pol) in
+  (* a cache clear wipes the hash-cons tables: re-deriving the same
+     policy yields fresh uids, so the uid fast path misses — the
+     structural rule comparison must still report every switch
+     unchanged and push nothing *)
+  Fdd.clear_cache ();
+  let r1 = Delta.compile ~switches (Some r0.snapshot) (Fdd.of_policy pol) in
+  Alcotest.(check int) "no switch re-reported as changed" 0 r1.rederived;
+  Alcotest.(check int) "no adds" 0 r1.n_adds;
+  Alcotest.(check int) "no deletes" 0 r1.n_deletes;
+  (* the refreshed certificates work again: same diagram, all-skip *)
+  let fdd = Fdd.of_policy pol in
+  let r2 = Delta.compile ~switches (Some r1.snapshot) fdd in
+  Alcotest.(check int) "refreshed uids certify" 0 r2.rederived
+
+let test_new_switch_appears_and_leaves () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let pol = Netkat.Builder.routing_policy topo in
+  let fdd = Fdd.of_policy pol in
+  let r0 = Delta.compile ~switches:[ 1; 2 ] None fdd in
+  let r1 = Delta.compile ~switches:[ 1; 2; 3 ] (Some r0.snapshot) fdd in
+  Alcotest.(check int) "known switches skipped" 2 r1.skipped;
+  (match List.assoc 3 r1.changes with
+   | Delta.Changed { rules; adds; deletes } ->
+     Alcotest.(check bool) "new switch: full table as adds" true (adds = rules);
+     Alcotest.(check int) "new switch: no deletes" 0 (List.length deletes)
+   | Delta.Unchanged -> Alcotest.fail "new switch reported Unchanged");
+  (* a switch dropped from the set leaves the snapshot *)
+  let r2 = Delta.compile ~switches:[ 1; 2 ] (Some r1.snapshot) fdd in
+  Alcotest.(check bool) "departed switch forgotten" true
+    (Delta.find r2.snapshot 3 = None)
+
+let test_diff_rules () =
+  let mk priority tp actions =
+    { Local.priority; pattern = { Flow.Pattern.any with tp_dst = Some tp };
+      actions }
+  in
+  let old_rules =
+    [ mk 3 1 (Flow.Action.forward 1); mk 2 2 (Flow.Action.forward 2);
+      mk 1 3 [] ]
+  in
+  let new_rules =
+    [ mk 3 1 (Flow.Action.forward 9) (* actions changed -> modify *);
+      mk 2 2 (Flow.Action.forward 2) (* identical -> nothing *);
+      mk 1 4 [] (* new key -> add; old (1, tp=3) -> strict delete *) ]
+  in
+  let adds, deletes = Delta.diff_rules old_rules new_rules in
+  Alcotest.(check bool) "adds = changed + new" true
+    (triples adds
+     = triples [ mk 3 1 (Flow.Action.forward 9); mk 1 4 [] ]);
+  Alcotest.(check bool) "deletes = vanished keys" true
+    (triples deletes = triples [ mk 1 3 [] ])
+
+(* ------------------------------------------------------------------ *)
+(* Property: a churn sequence maintained by deltas is byte-equal to a
+   from-scratch compile at every step — at 1 and 4 domains, with and
+   without interleaved cache clears *)
+
+let apply_change old_rules = function
+  | Delta.Unchanged -> old_rules
+  | Delta.Changed { adds; deletes; _ } ->
+    let key (r : Local.rule) = (r.priority, r.pattern) in
+    let dead = List.map key deletes @ List.map key adds in
+    adds @ List.filter (fun r -> not (List.mem (key r) dead)) old_rules
+
+let prop_churn ~domains ~clears name =
+  QCheck.Test.make ~name ~count:25
+    (QCheck.make
+       ~print:(fun pols ->
+         String.concat " ;; " (List.map Syntax.pol_to_string pols))
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 2 5)
+          Test_netkat.local_pol_gen))
+    (fun pols ->
+      let switches = [ 0; 1; 2; 3 ] in
+      let pool =
+        if domains <= 1 then None
+        else Some (Util.Pool.create ~domains ())
+      in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Util.Pool.shutdown pool)
+        (fun () ->
+          (* cumulative edits: step i's diagram shares structure with
+             step i-1's, like a real churn stream *)
+          let steps =
+            List.fold_left
+              (fun acc p ->
+                match acc with
+                | [] -> [ p ]
+                | prev :: _ -> Syntax.union prev p :: acc)
+              [] pols
+            |> List.rev
+          in
+          let tables = Hashtbl.create 8 in
+          let snap = ref None in
+          List.iteri
+            (fun i pol ->
+              if clears && i mod 2 = 1 then Fdd.clear_cache ();
+              let fdd = Fdd.of_policy pol in
+              let result = Delta.compile ?pool ~switches !snap fdd in
+              snap := Some result.snapshot;
+              List.iter
+                (fun (sw, change) ->
+                  let old_rules =
+                    Option.value ~default:[] (Hashtbl.find_opt tables sw)
+                  in
+                  (match (change : Delta.change) with
+                   | Delta.Unchanged -> ()
+                   | Delta.Changed { rules; _ } ->
+                     (* the emitted delta must reconstruct the full table *)
+                     let applied = apply_change old_rules change in
+                     if
+                       List.sort compare (triples applied)
+                       <> List.sort compare (triples rules)
+                     then
+                       QCheck.Test.fail_reportf
+                         "delta does not reconstruct table (step %d, switch %d)"
+                         i sw;
+                     Hashtbl.replace tables sw rules))
+                result.changes;
+              (* ...and every switch (including skipped ones) must equal
+                 a from-scratch compile of this step's policy *)
+              List.iter
+                (fun (sw, rules) ->
+                  let got =
+                    Option.value ~default:[] (Hashtbl.find_opt tables sw)
+                  in
+                  if got <> rules then
+                    QCheck.Test.fail_reportf
+                      "incremental <> scratch (step %d, switch %d)" i sw)
+                (Local.rules_of_fdd_all ~switches fdd))
+            steps;
+          true))
+
+let suites =
+  [ ( "netkat.delta",
+      [ Alcotest.test_case "edit skips other switches" `Quick
+          test_edit_skips_other_switches;
+        Alcotest.test_case "clear_cache structural fallback" `Quick
+          test_clear_cache_structural_fallback;
+        Alcotest.test_case "new switch appears and leaves" `Quick
+          test_new_switch_appears_and_leaves;
+        Alcotest.test_case "diff_rules" `Quick test_diff_rules;
+        QCheck_alcotest.to_alcotest
+          (prop_churn ~domains:1 ~clears:false
+             "churn ≡ scratch at every step (1 domain)");
+        QCheck_alcotest.to_alcotest
+          (prop_churn ~domains:4 ~clears:false
+             "churn ≡ scratch at every step (4 domains)");
+        QCheck_alcotest.to_alcotest
+          (prop_churn ~domains:1 ~clears:true
+             "churn ≡ scratch across cache clears (1 domain)");
+        QCheck_alcotest.to_alcotest
+          (prop_churn ~domains:4 ~clears:true
+             "churn ≡ scratch across cache clears (4 domains)") ] ) ]

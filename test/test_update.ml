@@ -250,6 +250,121 @@ let test_incremental_noop_on_no_change () =
     (churn_restore <= churn_fail + 2)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental installs (Netkat.Delta through Update) *)
+
+let table_marks net =
+  List.map
+    (fun (sw : Dataplane.Network.switch) ->
+      ( sw.sw_id, Flow.Table.generation sw.table,
+        Flow.Table.invalidations sw.table ))
+    (Dataplane.Network.switch_list net)
+
+(* no-op churn: reinstalling the same policy incrementally must not send
+   a single flow-mod — every switch's cache generation stays put *)
+let test_incremental_reinstall_noop () =
+  let topo, old_pol, _ = ring_with_policies () in
+  let net = Zen.create topo in
+  let rt = Zen.with_controller net [] in
+  let ctx = Controller.Runtime.ctx rt in
+  let updater = Controller.Update.create ~incremental:true () in
+  Controller.Update.install updater ctx old_pol;
+  ignore (Zen.run ~until:(Zen.now net +. 0.2) net);
+  let before = table_marks (Zen.network net) in
+  let mods_before = Controller.Update.delta_mods updater in
+  Controller.Update.install updater ctx old_pol;
+  ignore (Zen.run ~until:(Zen.now net +. 0.2) net);
+  Alcotest.(check bool) "no table generation/invalidation moved" true
+    (table_marks (Zen.network net) = before);
+  Alcotest.(check int) "version stays stable" 1
+    (Controller.Update.version updater);
+  Alcotest.(check int) "no delta flow-mods" mods_before
+    (Controller.Update.delta_mods updater);
+  Alcotest.(check bool) "switches certified unchanged" true
+    (Controller.Update.skipped_switches updater > 0)
+
+(* a small incremental edit touches only the edited switch's table *)
+let test_incremental_edit_targets_one_switch () =
+  let topo, old_pol, new_pol = ring_with_policies () in
+  let net = Zen.create topo in
+  let rt = Zen.with_controller net [] in
+  let ctx = Controller.Runtime.ctx rt in
+  let updater = Controller.Update.create ~incremental:true () in
+  Controller.Update.install updater ctx old_pol;
+  ignore (Zen.run ~until:(Zen.now net +. 0.2) net);
+  let before = table_marks (Zen.network net) in
+  Controller.Update.install updater ctx new_pol;
+  ignore (Zen.run ~until:(Zen.now net +. 0.2) net);
+  let after = table_marks (Zen.network net) in
+  let touched =
+    List.filter (fun (m_b, m_a) -> m_b <> m_a) (List.combine before after)
+    |> List.length
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "some but not all switches touched (%d/4)" touched)
+    true
+    (touched > 0 && touched < 4);
+  Alcotest.(check bool) "delta flow-mods issued" true
+    (Controller.Update.delta_mods updater > 0);
+  (* the resulting tables are what a fresh non-incremental install of
+     new_pol would produce *)
+  let tables net =
+    List.map
+      (fun (sw : Dataplane.Network.switch) ->
+        ( sw.sw_id,
+          List.map
+            (fun (r : Flow.Table.rule) -> (r.priority, r.pattern, r.actions))
+            (Flow.Table.rules sw.table)
+          |> List.sort compare ))
+      (Dataplane.Network.switch_list net)
+  in
+  let fresh =
+    let net' = Zen.create (let t, _, _ = ring_with_policies () in t) in
+    let rt' = Zen.with_controller net' [] in
+    let updater' = Controller.Update.create () in
+    Controller.Update.install updater' (Controller.Runtime.ctx rt') new_pol;
+    ignore (Zen.run ~until:(Zen.now net' +. 0.2) net');
+    tables (Zen.network net')
+  in
+  Alcotest.(check bool) "tables equal a from-scratch install" true
+    (tables (Zen.network net) = fresh)
+
+(* delete_version only messages switches that received rules under the
+   cookie: a switch whose compiled table was pure drops (not installed
+   by the global path) must not see the delete — its flow cache stays
+   warm *)
+let test_delete_version_skips_untouched () =
+  let topo = Topo.Gen.linear ~switches:2 ~hosts_per_switch:1 () in
+  let net = Zen.create topo in
+  let rt = Zen.with_controller net [] in
+  let ctx = Controller.Runtime.ctx rt in
+  let updater = Controller.Update.create () in
+  (* forwards only at switch 1; switch 2 compiles to fall-through drops,
+     which the global path leaves uninstalled *)
+  let host_port sw =
+    snd (List.hd (Topo.Topology.hosts_of_switch topo sw))
+  in
+  let pol =
+    Netkat.Syntax.big_seq
+      [ Netkat.Syntax.at ~switch:1;
+        Netkat.Syntax.filter
+          (Netkat.Syntax.test Fields.Eth_dst (Mac.of_host_id 1));
+        Netkat.Syntax.forward (host_port 1) ]
+  in
+  Controller.Update.global_install updater ctx pol;
+  ignore (Zen.run ~until:(Zen.now net +. 0.2) net);
+  let sw2 = Dataplane.Network.switch (Zen.network net) 2 in
+  Alcotest.(check int) "switch 2 never received rules" 0
+    (Flow.Table.size sw2.table);
+  let marks = (Flow.Table.generation sw2.table, Flow.Table.invalidations sw2.table) in
+  Controller.Update.delete_version updater ctx ~cookie:1;
+  ignore (Zen.run ~until:(Zen.now net +. 0.2) net);
+  Alcotest.(check int) "delete messaged only the pushed switch" 1
+    (Controller.Update.delete_msgs updater);
+  Alcotest.(check bool) "untouched switch's flow cache stays warm" true
+    ((Flow.Table.generation sw2.table, Flow.Table.invalidations sw2.table)
+     = marks)
+
+(* ------------------------------------------------------------------ *)
 (* Optimizer *)
 
 let opt_rule priority pattern actions =
@@ -364,7 +479,13 @@ let suites =
       [ Alcotest.test_case "delta equals full result" `Quick
           test_incremental_routing_equivalent;
         Alcotest.test_case "restore churn bounded" `Quick
-          test_incremental_noop_on_no_change ] );
+          test_incremental_noop_on_no_change;
+        Alcotest.test_case "no-op reinstall leaves caches warm" `Quick
+          test_incremental_reinstall_noop;
+        Alcotest.test_case "edit touches only changed switches" `Quick
+          test_incremental_edit_targets_one_switch;
+        Alcotest.test_case "delete_version skips unpushed switches" `Quick
+          test_delete_version_skips_untouched ] );
     ( "flow.optimize",
       [ Alcotest.test_case "removes shadowed" `Quick
           test_optimize_removes_shadowed;
