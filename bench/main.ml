@@ -2224,16 +2224,369 @@ let e17_smoke () =
     (float_of_int full_b /. float_of_int (max 1 delta_b))
 
 (* ------------------------------------------------------------------ *)
+(* E18 — adaptive window sizing vs the fixed min-lookahead barrier *)
+
+(* [sites] 2-spine/2-leaf fat-tree cells (10 us links, 2 hosts per
+   leaf), spines joined site-to-site: sites 0-1 by a 20 us metro link,
+   every other pair long-haul at 1 ms.  Switch ids are contiguous per
+   site, so the block partition maps one site per shard and the shard
+   quotient distances are heterogeneous: the global min lookahead is
+   the idle metro pair's 20 us, while a loaded long-haul site can run
+   ~1 ms ahead before anything it posts can come back. *)
+let e18_topo ~sites () =
+  let topo = Topo.Topology.create () in
+  let sw s i = Topo.Topology.Node.Switch ((s * 4) + i + 1) in
+  for s = 0 to sites - 1 do
+    for spine = 0 to 1 do
+      for leaf = 2 to 3 do
+        Topo.Gen.connect topo (sw s spine) (sw s leaf)
+      done
+    done
+  done;
+  let next_host = ref 1 in
+  for s = 0 to sites - 1 do
+    for leaf = 2 to 3 do
+      for _ = 1 to 2 do
+        let h = Topo.Topology.Node.Host !next_host in
+        incr next_host;
+        Topo.Gen.connect topo (sw s leaf) h
+      done
+    done
+  done;
+  for a = 0 to sites - 1 do
+    for b = a + 1 to sites - 1 do
+      let delay = if a = 0 && b = 1 then 20e-6 else 1e-3 in
+      Topo.Gen.connect ~delay topo (sw a 0) (sw b 0)
+    done
+  done;
+  topo
+
+(* intra-site flow mix on the 37 us stagger lattice: no two chains ever
+   share a timestamp, the precondition for exact equivalence *)
+let e18_site_flows ~site ~flows ~rate_pps ~start ~stop =
+  let h i = (site * 4) + i + 1 in
+  let pairs = [| (0, 2); (1, 3); (2, 0); (3, 1); (0, 3); (1, 2) |] in
+  List.init flows (fun i ->
+    let a, b = pairs.(i mod Array.length pairs) in
+    { (Dataplane.Traffic.default_flow ~src:(h a) ~dst:(h b)) with
+      rate_pps; pkt_size = 200;
+      start = start +. (float_of_int i *. 37e-6);
+      stop })
+
+(* dense chains in the [dense] sites, a trickle in the [light] ones,
+   silence elsewhere: the fixed barrier steps the whole fabric at the
+   min cross-shard lookahead while the loaded shards have far more
+   safe slack than that *)
+let e18_specs ~dense ~light ~stop =
+  List.concat_map
+    (fun site ->
+      e18_site_flows ~site ~flows:6 ~rate_pps:5000.0
+        ~start:(0.0107 +. (float_of_int site *. 13e-6)) ~stop)
+    dense
+  @ List.concat_map
+      (fun site ->
+        e18_site_flows ~site ~flows:2 ~rate_pps:500.0
+          ~start:(0.0131 +. (float_of_int site *. 13e-6)) ~stop)
+      light
+
+type e18_obs = {
+  e_sig : string;
+  e_chaos : string list;
+  e_events : int;
+  e_rounds : int;
+  e_stalls : int;
+  e_steals : int;
+  e_wall : float;
+}
+
+let e18_chaos seed =
+  Dataplane.Fault.make_config ~seed ~link_drop:0.05 ~link_corrupt:0.02
+    ~link_reorder:0.05 ()
+
+let e18_run ~sites ~dense ~light ~stop ~until ?chaos how =
+  let topo = e18_topo ~sites () in
+  let specs = e18_specs ~dense ~light ~stop in
+  match how with
+  | `Single ->
+    let fault = Option.map Dataplane.Fault.of_config chaos in
+    let net = Dataplane.Network.create ?fault topo in
+    e15_install_routes topo (fun sw -> (Dataplane.Network.switch net sw).table);
+    List.iter (fun s -> ignore (Dataplane.Traffic.cbr net s)) specs;
+    let events, t = wall (fun () -> Dataplane.Network.run ~until net ()) in
+    { e_sig = Dataplane.Shard.net_signature topo [ net ];
+      e_chaos =
+        (match Dataplane.Network.fault net with
+         | Some f -> List.sort compare (Dataplane.Fault.events f)
+         | None -> []);
+      e_events = events; e_rounds = 0; e_stalls = 0; e_steals = 0;
+      e_wall = t }
+  | `Sharded (shards, window, steal) ->
+    let t = Dataplane.Shard.create ?fault_config:chaos ~shards topo in
+    e15_install_routes topo (fun sw ->
+      (Dataplane.Network.switch (Dataplane.Shard.net_of_switch t sw) sw).table);
+    List.iter
+      (fun (s : Dataplane.Traffic.flow_spec) ->
+        ignore (Dataplane.Traffic.cbr (Dataplane.Shard.net_of_host t s.src) s))
+      specs;
+    let events, wall_t =
+      wall (fun () -> Dataplane.Shard.run ~until ~window ~steal t)
+    in
+    { e_sig = Dataplane.Shard.signature t;
+      e_chaos = List.sort compare (Dataplane.Shard.chaos_events t);
+      e_events = events;
+      e_rounds = Dataplane.Shard.rounds t;
+      e_stalls = Dataplane.Shard.stalls t;
+      e_steals = Dataplane.Shard.steals t;
+      e_wall = wall_t }
+
+(* controller-attached sharded run vs the single-domain reference:
+   reactive routing app over the control channel, one mid-run link
+   flap, tables must converge to the controller's intended state *)
+let e18_ctl_run how =
+  let topo = fst (Topo.Gen.fat_tree ~k:4 ()) in
+  let host_ids = Array.of_list (Topo.Topology.host_ids topo) in
+  let n = Array.length host_ids in
+  let specs =
+    List.init (n / 2) (fun i ->
+      { (Dataplane.Traffic.default_flow ~src:host_ids.(i)
+           ~dst:host_ids.(n - 1 - i))
+        with
+        rate_pps = 1000.0; pkt_size = 200;
+        start = 0.0307 +. (float_of_int i *. 37e-6);
+        stop = 0.15 })
+  in
+  let flap =
+    List.find_map
+      (fun (l : Topo.Topology.link) ->
+        if Topo.Topology.Node.is_switch l.src
+           && Topo.Topology.Node.is_switch l.dst
+        then
+          Some
+            (Dataplane.Fault.Link_flap
+               { node = l.src; port = l.src_port; at = 0.057;
+                 duration = 0.043 })
+        else None)
+      (Topo.Topology.links topo)
+    |> Option.to_list
+  in
+  let until = 0.25 in
+  let rule_key (r : Flow.Table.rule) = (r.priority, r.pattern, r.actions) in
+  match how with
+  | `Single ->
+    let net = Dataplane.Network.create topo in
+    let routing = Controller.Routing.create () in
+    let rt =
+      Controller.Runtime.create_and_handshake net
+        [ Controller.Routing.app routing ]
+    in
+    List.iter (fun s -> ignore (Dataplane.Traffic.cbr net s)) specs;
+    Dataplane.Network.inject net flap;
+    ignore (Dataplane.Network.run ~until net ());
+    let diverged =
+      List.filter
+        (fun sw ->
+          List.sort compare
+            (List.map rule_key
+               (Flow.Table.rules (Dataplane.Network.switch net sw).table))
+          <> List.sort compare
+               (List.map rule_key
+                  (Controller.Runtime.intended_rules rt ~switch_id:sw)))
+        (Topo.Topology.switch_ids topo)
+    in
+    ( Dataplane.Shard.net_signature topo [ net ],
+      (Dataplane.Network.stats net).delivered,
+      (Dataplane.Network.stats net).control_msgs,
+      diverged, 0 )
+  | `Sharded shards ->
+    let t = Dataplane.Shard.create ~shards topo in
+    let routing = Controller.Routing.create () in
+    let rt = Zen.with_controller_sharded t [ Controller.Routing.app routing ] in
+    List.iter
+      (fun (s : Dataplane.Traffic.flow_spec) ->
+        ignore (Dataplane.Traffic.cbr (Dataplane.Shard.net_of_host t s.src) s))
+      specs;
+    Dataplane.Shard.inject t flap;
+    ignore (Dataplane.Shard.run ~until t);
+    let diverged =
+      List.filter
+        (fun sw ->
+          List.sort compare
+            (List.map rule_key
+               (Flow.Table.rules
+                  (Dataplane.Network.switch
+                     (Dataplane.Shard.net_of_switch t sw) sw)
+                    .table))
+          <> List.sort compare
+               (List.map rule_key
+                  (Controller.Runtime.intended_rules rt ~switch_id:sw)))
+        (Topo.Topology.switch_ids topo)
+    in
+    ( Dataplane.Shard.signature t,
+      (Dataplane.Shard.stats t).delivered,
+      (Dataplane.Shard.stats t).control_msgs,
+      diverged,
+      Dataplane.Shard.rounds t )
+
+let e18 () =
+  header
+    "E18 — adaptive windows + stealing vs the fixed min-lookahead barrier";
+  let sites = 4 and stop = 0.05 in
+  let until = 0.06 in
+  let e18_run ~sites ~stop ~until ?chaos how =
+    e18_run ~sites ~dense:[ 2; 3 ] ~light:[ 0 ] ~stop ~until ?chaos how
+  in
+  pf "4-site fabric: dense CBR in the two long-haul sites (1 ms links), \
+      a trickle at site 0; the idle metro pair pins the global \
+      lookahead at 20 us@.";
+  let single = e18_run ~sites ~stop ~until `Single in
+  pf "%-28s %9s %9s %9s %9s@." "config" "events" "rounds" "stalls" "wall-ms";
+  pf "%-28s %9d %9s %9s %9.1f@." "single-domain" single.e_events "-" "-"
+    (ms single.e_wall);
+  let results =
+    List.concat_map
+      (fun shards ->
+        List.map
+          (fun (wname, window) ->
+            let r =
+              e18_run ~sites ~stop ~until
+                (`Sharded (shards, window, true))
+            in
+            let name = Printf.sprintf "shards-%d/%s" shards wname in
+            pf "%-28s %9d %9d %9d %9.1f@." name r.e_events r.e_rounds
+              r.e_stalls (ms r.e_wall);
+            if r.e_sig <> single.e_sig then begin
+              pf "FAILURE: %s diverged from the single-domain run@." name;
+              exit 1
+            end;
+            record ~experiment:"e18" ~metric:(name ^ "/rounds")
+              (float_of_int r.e_rounds);
+            record ~experiment:"e18" ~metric:(name ^ "/stalls")
+              (float_of_int r.e_stalls);
+            (shards, wname, r))
+          [ ("fixed", Util.Shard_sync.Fixed);
+            ("adaptive", Util.Shard_sync.Adaptive) ])
+      [ 1; 2; 4 ]
+  in
+  let find shards wname =
+    let _, _, r =
+      List.find (fun (s, w, _) -> s = shards && w = wname) results
+    in
+    r
+  in
+  let fx = find 4 "fixed" and ad = find 4 "adaptive" in
+  let round_ratio = float_of_int fx.e_rounds /. float_of_int (max 1 ad.e_rounds)
+  and stall_ratio =
+    float_of_int fx.e_stalls /. float_of_int (max 1 ad.e_stalls)
+  in
+  record ~experiment:"e18" ~metric:"shards-4/round-reduction-x" round_ratio;
+  record ~experiment:"e18" ~metric:"shards-4/stall-reduction-x" stall_ratio;
+  pf "@.4-shard barrier rounds: fixed %d vs adaptive %d (%.1fx fewer); \
+      stalls %d vs %d (%.1fx)@."
+    fx.e_rounds ad.e_rounds round_ratio fx.e_stalls ad.e_stalls stall_ratio;
+  (* link-level chaos replays byte-identically at every shard count *)
+  let chaos = e18_chaos 4242 in
+  let csingle = e18_run ~sites ~stop ~until ~chaos `Single in
+  List.iter
+    (fun shards ->
+      let r =
+        e18_run ~sites ~stop ~until ~chaos
+          (`Sharded (shards, Util.Shard_sync.Adaptive, true))
+      in
+      if r.e_sig <> csingle.e_sig || r.e_chaos <> csingle.e_chaos then begin
+        pf "FAILURE: chaos run diverged at %d shards@." shards;
+        exit 1
+      end)
+    [ 1; 2; 4 ];
+  pf "link chaos (drop/corrupt/reorder) byte-identical at 1/2/4 shards@.";
+  (* reactive controller over the sharded control channel *)
+  let sig_s, _, ctl_s, div_s, _ = e18_ctl_run `Single in
+  let sig_p, del_p, ctl_p, div_p, rounds_p = e18_ctl_run (`Sharded 2) in
+  if sig_s <> sig_p || div_s <> [] || div_p <> [] then begin
+    pf "FAILURE: controller-attached sharded run diverged (sig %b, \
+        diverged single %d, sharded %d)@."
+      (sig_s = sig_p) (List.length div_s) (List.length div_p);
+    exit 1
+  end;
+  record ~experiment:"e18" ~metric:"ctl/delivered" (float_of_int del_p);
+  record ~experiment:"e18" ~metric:"ctl/control-msgs" (float_of_int ctl_p);
+  record ~experiment:"e18" ~metric:"ctl/rounds" (float_of_int rounds_p);
+  pf "controller-attached 2-shard run == single-domain: %d delivered, %d \
+      control msgs (%d/%d), tables == intended on every switch, %d \
+      rounds@."
+    del_p ctl_p ctl_s ctl_p rounds_p
+
+let e18_smoke () =
+  header "E18 smoke — adaptive windows: equality + round-reduction gate";
+  let sites = 2 and stop = 0.05 in
+  let until = 0.06 in
+  let e18_run ~sites ~stop ~until how =
+    e18_run ~sites ~dense:[ 0 ] ~light:[ 1 ] ~stop ~until how
+  in
+  let single = e18_run ~sites ~stop ~until `Single in
+  let fixed =
+    e18_run ~sites ~stop ~until
+      (`Sharded (2, Util.Shard_sync.Fixed, true))
+  in
+  let adaptive =
+    e18_run ~sites ~stop ~until
+      (`Sharded (2, Util.Shard_sync.Adaptive, true))
+  in
+  pf "2-site fabric: single %d events; fixed %d rounds / %d stalls; \
+      adaptive %d rounds / %d stalls@."
+    single.e_events fixed.e_rounds fixed.e_stalls adaptive.e_rounds
+    adaptive.e_stalls;
+  record ~experiment:"e18-smoke" ~metric:"fixed-rounds"
+    (float_of_int fixed.e_rounds);
+  record ~experiment:"e18-smoke" ~metric:"adaptive-rounds"
+    (float_of_int adaptive.e_rounds);
+  if fixed.e_sig <> single.e_sig then begin
+    pf "SMOKE FAILURE: fixed-window sharded run diverged@.";
+    exit 1
+  end;
+  if adaptive.e_sig <> single.e_sig then begin
+    pf "SMOKE FAILURE: adaptive-window sharded run diverged@.";
+    exit 1
+  end;
+  if
+    float_of_int adaptive.e_rounds
+    > 0.6 *. float_of_int fixed.e_rounds
+  then begin
+    pf "SMOKE FAILURE: adaptive took %d rounds vs fixed %d (> 0.6x gate)@."
+      adaptive.e_rounds fixed.e_rounds;
+    exit 1
+  end;
+  let sig_s, del_s, _, div_s, _ = e18_ctl_run `Single in
+  let sig_p, del_p, _, div_p, _ = e18_ctl_run (`Sharded 2) in
+  if sig_s <> sig_p || del_s <> del_p || del_p = 0 then begin
+    pf "SMOKE FAILURE: controller-attached sharded run diverged \
+        (delivered %d vs %d)@."
+      del_s del_p;
+    exit 1
+  end;
+  if div_s <> [] || div_p <> [] then begin
+    pf "SMOKE FAILURE: switches diverged from intended tables \
+        (single: %s; sharded: %s)@."
+      (String.concat "," (List.map string_of_int div_s))
+      (String.concat "," (List.map string_of_int div_p))
+  ;
+    exit 1
+  end;
+  pf "smoke ok: byte-equal at 2 shards, adaptive %d rounds vs fixed %d \
+      (gate <= 0.6x), controller-attached run byte-equal with tables == \
+      intended@."
+    adaptive.e_rounds fixed.e_rounds
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e9-chaos", e9_chaos);
+    ("e17", e17); ("e18", e18); ("e9-chaos", e9_chaos);
     ("e1-smoke", e1_smoke); ("e2-smoke", e2_smoke); ("e3-smoke", e3_smoke);
     ("e8-smoke", e8_smoke); ("e9-smoke", e9_smoke);
     ("e15-shard-smoke", e15_smoke); ("e16-smoke", e16_smoke);
-    ("e17-smoke", e17_smoke); ("micro", micro) ]
+    ("e17-smoke", e17_smoke); ("e18-smoke", e18_smoke); ("micro", micro) ]
 
 let () =
   (* pull out a --json FILE pair; remaining args name experiments *)

@@ -128,6 +128,50 @@ let verify_cmd =
 (* ------------------------------------------------------------------ *)
 (* simulate *)
 
+(* hand-rolled JSON: everything simulate emits is flat scalars, one
+   stats object and one per-shard array, so a printer beats a dep *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+let json_obj fields =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> json_str k ^ ": " ^ v) fields)
+  ^ "}"
+let json_arr items = "[" ^ String.concat ", " items ^ "]"
+
+let json_of_counters (c : Dataplane.Network.counters) =
+  json_obj
+    [ ("delivered", string_of_int c.delivered);
+      ("dropped_policy", string_of_int c.dropped_policy);
+      ("dropped_miss", string_of_int c.dropped_miss);
+      ("dropped_queue", string_of_int c.dropped_queue);
+      ("dropped_link", string_of_int c.dropped_link);
+      ("dropped_ttl", string_of_int c.dropped_ttl);
+      ("dropped_down", string_of_int c.dropped_down);
+      ("dropped_chaos", string_of_int c.dropped_chaos);
+      ("corrupted", string_of_int c.corrupted);
+      ("reordered", string_of_int c.reordered);
+      ("forwarded", string_of_int c.forwarded);
+      ("control_msgs", string_of_int c.control_msgs);
+      ("control_bytes", string_of_int c.control_bytes) ]
+
 let simulate_cmd =
   let flows_arg =
     Arg.(value & opt int 10 & info [ "flows" ] ~docv:"N" ~doc:"Random CBR flows.")
@@ -153,8 +197,14 @@ let simulate_cmd =
     Arg.(value & opt (some int) None
          & info [ "shards" ] ~docv:"N"
              ~doc:"Partition the simulation over N domains (conservative \
-                   parallel DES; compiled mode only).  Default: the \
-                   ZEN_SIM_SHARDS environment knob, else 1.")
+                   parallel DES; compiled and routing modes).  Default: \
+                   the ZEN_SIM_SHARDS environment knob, else 1.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the run's results as one JSON object on stdout \
+                   instead of text.")
   in
   let partition_arg =
     Arg.(value & opt (some string) None
@@ -173,7 +223,8 @@ let simulate_cmd =
                    routing modes.  Default: the ZEN_INCREMENTAL \
                    environment knob.")
   in
-  let run_sharded topo pol_str flows rate duration seed shards partition =
+  let run_sharded topo spec pol_str flows rate duration seed mode shards
+      partition json =
     let partition =
       Option.map
         (fun s ->
@@ -185,12 +236,39 @@ let simulate_cmd =
             exit 1)
         partition
     in
-    let pol = or_die (load_policy topo pol_str) in
     let t = Zen.create_sharded ~shards ?partition topo in
-    let n = Zen.install_policy_sharded t pol in
-    Format.printf "installed %d rules over %d shards (lookahead %.1f us)@." n
-      (Dataplane.Shard.shards t)
-      (Dataplane.Shard.lookahead t *. 1e6);
+    let mode_name, n =
+      match mode with
+      | `Learning -> assert false (* rejected before dispatching here *)
+      | `Compiled ->
+        let pol = or_die (load_policy topo pol_str) in
+        ("compiled", Zen.install_policy_sharded t pol)
+      | `Routing ->
+        let app = Controller.Routing.create () in
+        ignore
+          (Zen.with_controller_sharded t [ Controller.Routing.app app ]);
+        ( "routing",
+          List.fold_left
+            (fun acc id ->
+              acc
+              + Flow.Table.size
+                  (Dataplane.Network.switch
+                     (Dataplane.Shard.net_of_switch t id) id)
+                    .table)
+            0
+            (Topo.Topology.switch_ids topo) )
+    in
+    let window_mode = Util.Shard_sync.window_mode_of_env () in
+    let steal = Util.Shard_sync.steal_enabled_of_env () in
+    if not json then
+      Format.printf
+        "installed %d rules over %d shards (lookahead %.1f us, %s windows, \
+         steal %s)@."
+        n
+        (Dataplane.Shard.shards t)
+        (Dataplane.Shard.lookahead t *. 1e6)
+        (Util.Shard_sync.window_mode_to_string window_mode)
+        (if steal then "on" else "off");
     let prng = Util.Prng.create seed in
     let host_ids = Array.of_list (Topo.Topology.host_ids topo) in
     let specs =
@@ -207,31 +285,81 @@ let simulate_cmd =
     let executed = Zen.run_sharded ~until:(duration +. 1.0) t in
     let wall = Unix.gettimeofday () -. t0 in
     let sent = List.fold_left (fun acc s -> acc + !s) 0 senders in
-    Format.printf "sent %d packets over %d flows in %.1fs of simulated time@."
-      sent flows duration;
-    Format.printf "%a@." Dataplane.Network.pp_stats (Dataplane.Shard.stats t);
-    Format.printf
-      "events executed: %d (%.0f events/s wall) in %d windows, %d \
-       cross-shard handoffs, %d backpressure waits (mailbox high-water %d)@."
-      executed
-      (if wall > 0.0 then float_of_int executed /. wall else 0.0)
-      (Dataplane.Shard.rounds t)
-      (Dataplane.Shard.handoffs t)
-      (Dataplane.Shard.backpressure t)
-      (Dataplane.Shard.high_water t);
-    for i = 0 to Dataplane.Shard.shards t - 1 do
-      let ev = Dataplane.Shard.executed_of t i in
+    if json then
+      print_endline
+        (json_obj
+           [ ("mode", json_str mode_name);
+             ("topo", json_str spec);
+             ("shards", string_of_int (Dataplane.Shard.shards t));
+             ("lookahead_us",
+              json_float (Dataplane.Shard.lookahead t *. 1e6));
+             ("window_mode",
+              json_str (Util.Shard_sync.window_mode_to_string window_mode));
+             ("steal", string_of_bool steal);
+             ("installed_rules", string_of_int n);
+             ("flows", string_of_int flows);
+             ("sent", string_of_int sent);
+             ("duration_s", json_float duration);
+             ("wall_s", json_float wall);
+             ("events", string_of_int executed);
+             ("rounds", string_of_int (Dataplane.Shard.rounds t));
+             ("handoffs", string_of_int (Dataplane.Shard.handoffs t));
+             ("stalls", string_of_int (Dataplane.Shard.stalls t));
+             ("steals", string_of_int (Dataplane.Shard.steals t));
+             ("backpressure",
+              string_of_int (Dataplane.Shard.backpressure t));
+             ("high_water", string_of_int (Dataplane.Shard.high_water t));
+             ("stats", json_of_counters (Dataplane.Shard.stats t));
+             ("per_shard",
+              json_arr
+                (List.init (Dataplane.Shard.shards t) (fun i ->
+                   json_obj
+                     [ ("shard", string_of_int i);
+                       ("events",
+                        string_of_int (Dataplane.Shard.executed_of t i));
+                       ("handoffs_in",
+                        string_of_int (Dataplane.Shard.handoffs_of t i));
+                       ("stalls",
+                        string_of_int (Dataplane.Shard.stalls_of t i));
+                       ("steals",
+                        string_of_int (Dataplane.Shard.steals_of t i));
+                       ("windows",
+                        string_of_int (Dataplane.Shard.windows_of t i));
+                       ("avg_window_us",
+                        json_float (Dataplane.Shard.avg_window_of t i *. 1e6))
+                     ]))) ])
+    else begin
+      Format.printf "sent %d packets over %d flows in %.1fs of simulated time@."
+        sent flows duration;
+      Format.printf "%a@." Dataplane.Network.pp_stats (Dataplane.Shard.stats t);
       Format.printf
-        "  shard %d: %d events (%.0f events/s wall), %d handoffs in, %d \
-         horizon stalls@."
-        i ev
-        (if wall > 0.0 then float_of_int ev /. wall else 0.0)
-        (Dataplane.Shard.handoffs_of t i)
-        (Dataplane.Shard.stalls_of t i)
-    done
+        "events executed: %d (%.0f events/s wall) in %d rounds, %d \
+         cross-shard handoffs, %d steals, %d backpressure waits (mailbox \
+         high-water %d)@."
+        executed
+        (if wall > 0.0 then float_of_int executed /. wall else 0.0)
+        (Dataplane.Shard.rounds t)
+        (Dataplane.Shard.handoffs t)
+        (Dataplane.Shard.steals t)
+        (Dataplane.Shard.backpressure t)
+        (Dataplane.Shard.high_water t);
+      for i = 0 to Dataplane.Shard.shards t - 1 do
+        let ev = Dataplane.Shard.executed_of t i in
+        Format.printf
+          "  shard %d: %d events (%.0f events/s wall), %d handoffs in, %d \
+           horizon stalls, %d steals, %d windows (avg %.1f us)@."
+          i ev
+          (if wall > 0.0 then float_of_int ev /. wall else 0.0)
+          (Dataplane.Shard.handoffs_of t i)
+          (Dataplane.Shard.stalls_of t i)
+          (Dataplane.Shard.steals_of t i)
+          (Dataplane.Shard.windows_of t i)
+          (Dataplane.Shard.avg_window_of t i *. 1e6)
+      done
+    end
   in
   let run spec pol_str flows rate duration seed mode shards partition
-      incremental =
+      incremental json =
     let incremental = incremental || Netkat.Delta.env_enabled () in
     let topo = or_die (load_topo spec) in
     let sharded =
@@ -241,43 +369,53 @@ let simulate_cmd =
     in
     if sharded then begin
       (match mode with
-       | `Compiled -> ()
-       | `Learning | `Routing ->
+       | `Compiled | `Routing -> ()
+       | `Learning ->
          prerr_endline
-           "zenctl: --shards requires --mode compiled (sharded runs have \
-            no controller)";
+           "zenctl: --shards supports --mode compiled or routing (the \
+            learning app pokes switch state directly and cannot run \
+            sharded)";
          exit 1);
       let shards =
         match shards with
         | Some n -> n
         | None -> Dataplane.Shard.default_shards ()
       in
-      run_sharded topo pol_str flows rate duration seed shards partition
+      run_sharded topo spec pol_str flows rate duration seed mode shards
+        partition json
     end
     else
     let net = Zen.create topo in
-    (match mode with
-     | `Compiled ->
-       let pol = or_die (load_policy topo pol_str) in
-       let n = Zen.install_policy ~incremental net pol in
-       Format.printf "installed %d rules@." n
-     | `Learning ->
-       let app = Controller.Learning.create () in
-       ignore (Zen.with_controller net [ Controller.Learning.app app ])
-     | `Routing ->
-       let app = Controller.Routing.create ~incremental () in
-       ignore (Zen.with_controller net [ Controller.Routing.app app ]));
+    let mode_name, installed =
+      match mode with
+      | `Compiled ->
+        let pol = or_die (load_policy topo pol_str) in
+        let n = Zen.install_policy ~incremental net pol in
+        if not json then Format.printf "installed %d rules@." n;
+        ("compiled", n)
+      | `Learning ->
+        let app = Controller.Learning.create () in
+        ignore (Zen.with_controller net [ Controller.Learning.app app ]);
+        ("learning", 0)
+      | `Routing ->
+        let app = Controller.Routing.create ~incremental () in
+        ignore (Zen.with_controller net [ Controller.Routing.app app ]);
+        ( "routing",
+          List.fold_left
+            (fun acc (sw : Dataplane.Network.switch) ->
+              acc + Flow.Table.size sw.table)
+            0
+            (Dataplane.Network.switch_list net.network) )
+    in
     let prng = Util.Prng.create seed in
+    let t0 = Unix.gettimeofday () in
     let senders =
       Dataplane.Traffic.random_pairs net.network ~prng ~flows ~rate_pps:rate
         ~pkt_size:1000 ~stop:duration
     in
     ignore (Zen.run ~until:(duration +. 1.0) net);
+    let wall = Unix.gettimeofday () -. t0 in
     let sent = List.fold_left (fun acc s -> acc + !s) 0 senders in
-    Format.printf "sent %d packets over %d flows in %.1fs of simulated time@."
-      sent flows duration;
-    Format.printf "%a@." Dataplane.Network.pp_stats
-      (Dataplane.Network.stats net.network);
     let ch, cm, inv, cp, cs =
       List.fold_left
         (fun (h, m, i, p, s) (sw : Dataplane.Network.switch) ->
@@ -289,27 +427,55 @@ let simulate_cmd =
         (0, 0, 0, 0, 0)
         (Dataplane.Network.switch_list net.network)
     in
-    let probes = ch + cm in
-    Format.printf
-      "flow cache: %d hits, %d misses (%.1f%% hit rate), %d invalidations@."
-      ch cm
-      (if probes = 0 then 0.0 else 100.0 *. float_of_int ch /. float_of_int probes)
-      inv;
-    Format.printf
-      "classifier: %d shape probes over %d shapes (%.1f probes/miss)@."
-      cp cs
-      (if cm = 0 then 0.0 else float_of_int cp /. float_of_int cm);
-    (match Dataplane.Network.fault net.network with
-     | Some f -> Format.printf "%a@." Dataplane.Fault.pp_stats f
-     | None -> ());
-    Format.printf "events executed: %d@."
-      (Dataplane.Sim.executed (Dataplane.Network.sim net.network))
+    let executed = Dataplane.Sim.executed (Dataplane.Network.sim net.network) in
+    if json then
+      print_endline
+        (json_obj
+           [ ("mode", json_str mode_name);
+             ("topo", json_str spec);
+             ("shards", "1");
+             ("installed_rules", string_of_int installed);
+             ("flows", string_of_int flows);
+             ("sent", string_of_int sent);
+             ("duration_s", json_float duration);
+             ("wall_s", json_float wall);
+             ("events", string_of_int executed);
+             ("stats",
+              json_of_counters (Dataplane.Network.stats net.network));
+             ("flow_cache",
+              json_obj
+                [ ("hits", string_of_int ch);
+                  ("misses", string_of_int cm);
+                  ("invalidations", string_of_int inv);
+                  ("classifier_probes", string_of_int cp);
+                  ("shapes", string_of_int cs) ]) ])
+    else begin
+      Format.printf "sent %d packets over %d flows in %.1fs of simulated time@."
+        sent flows duration;
+      Format.printf "%a@." Dataplane.Network.pp_stats
+        (Dataplane.Network.stats net.network);
+      let probes = ch + cm in
+      Format.printf
+        "flow cache: %d hits, %d misses (%.1f%% hit rate), %d invalidations@."
+        ch cm
+        (if probes = 0 then 0.0
+         else 100.0 *. float_of_int ch /. float_of_int probes)
+        inv;
+      Format.printf
+        "classifier: %d shape probes over %d shapes (%.1f probes/miss)@."
+        cp cs
+        (if cm = 0 then 0.0 else float_of_int cp /. float_of_int cm);
+      (match Dataplane.Network.fault net.network with
+       | Some f -> Format.printf "%a@." Dataplane.Fault.pp_stats f
+       | None -> ());
+      Format.printf "events executed: %d@." executed
+    end
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run random traffic through the network")
     Term.(const run $ topo_arg $ policy_arg $ flows_arg $ rate_arg
           $ duration_arg $ seed_arg $ mode_arg $ shards_arg $ partition_arg
-          $ incremental_arg)
+          $ incremental_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos *)

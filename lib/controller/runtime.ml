@@ -419,8 +419,14 @@ let shutdown t = t.stopped <- true
     speaking the wire protocol to [net] and registers [apps]
     (dispatched in list order).  The handshake (hello + features
     request) with every switch is scheduled immediately; apps receive
-    [switch_up] once the features reply returns. *)
-let create ?(latency = 1e-3) ?resilience net apps =
+    [switch_up] once the features reply returns.
+
+    [switch_ids] overrides the handshake set (default: the switches
+    [net] owns).  A sharded run passes the whole topology's switch ids:
+    the runtime attaches to the controller shard's network, which
+    reaches the other shards' switches through the sharded control
+    channel (see {!Dataplane.Shard.wire_controller}). *)
+let create ?(latency = 1e-3) ?resilience ?switch_ids net apps =
   let t_ref = ref None in
   let rec handler ~switch_id data =
     match !t_ref with
@@ -587,17 +593,25 @@ let create ?(latency = 1e-3) ?resilience net apps =
   Dataplane.Network.attach_controller net ~latency handler;
   (* handshake with every switch: hello + features request ride in one
      batched transmission per switch *)
+  let ids =
+    match switch_ids with
+    | Some ids -> List.sort_uniq compare ids
+    | None ->
+      List.map
+        (fun (sw : Dataplane.Network.switch) -> sw.sw_id)
+        (Dataplane.Network.switch_list net)
+  in
   List.iter
-    (fun (sw : Dataplane.Network.switch) ->
-      ignore (state t sw.sw_id);
-      t.ctx.send_batch ~switch_id:sw.sw_id
+    (fun switch_id ->
+      ignore (state t switch_id);
+      t.ctx.send_batch ~switch_id
         [ Openflow.Message.Hello; Openflow.Message.Features_request ];
       match t.resilience with
       | Some r ->
         Api.schedule t.ctx ~delay:r.echo_period (fun () ->
-          keepalive_tick t (state t sw.sw_id) r)
+          keepalive_tick t (state t switch_id) r)
       | None -> ())
-    (Dataplane.Network.switch_list net);
+    ids;
   t
 
 let ctx t = t.ctx
@@ -617,8 +631,8 @@ let switch_up t ~switch_id =
     enough (10 control RTTs) for the handshake and any proactive rule
     pushes to land.  Apps with periodic loops (e.g. {!Monitor}) schedule
     beyond this horizon and are unaffected. *)
-let create_and_handshake ?(latency = 1e-3) ?resilience net apps =
-  let t = create ~latency ?resilience net apps in
+let create_and_handshake ?(latency = 1e-3) ?resilience ?switch_ids net apps =
+  let t = create ~latency ?resilience ?switch_ids net apps in
   let horizon = Dataplane.Network.now net +. (20.0 *. latency) in
   ignore (Dataplane.Network.run ~until:horizon net ());
   t

@@ -125,11 +125,10 @@ let run ?until ?max_events t =
 
 (** [create_sharded topo] partitions the network over [shards] OCaml
     domains (default: the [ZEN_SIM_SHARDS] environment knob, else 1)
-    and runs them under conservative lookahead.  Sharded mode is
-    compiled/proactive only — install tables with
-    {!install_policy_sharded} (or directly per shard); there is no
-    controller.  Observable results are pinned equal to {!create} +
-    {!run} on the same seed and workload. *)
+    and runs them under conservative lookahead.  Install tables with
+    {!install_policy_sharded} (or directly per shard), or attach a
+    controller with {!with_controller_sharded}.  Observable results are
+    pinned equal to {!create} + {!run} on the same seed and workload. *)
 let create_sharded ?queue_depth ?sim_engine ?fault_config ?shards ?partition
     topo =
   let shards =
@@ -158,9 +157,35 @@ let install_policy_sharded t pol =
          acc + List.length rules)
        0
 
+(** [with_controller_sharded t apps] attaches a controller to a sharded
+    network — the sharded counterpart of {!with_controller}.  The
+    runtime lives on shard 0's simulator and reaches every switch in the
+    topology through the sharded control channel
+    (see {!Dataplane.Shard.wire_controller}); the handshake is driven to
+    completion before returning.  Observable results are pinned equal to
+    the single-domain controller run, except that {e control-channel}
+    chaos rates split the fault stream per shard (link chaos and
+    incidents stay byte-equal).  The learning app is not supported
+    sharded (it pokes switch state directly instead of using the
+    control channel).  As in the single-domain case, resilient runtimes
+    schedule keepalives forever — drive the simulation with
+    [run_sharded ~until]. *)
+let with_controller_sharded ?(latency = 1e-3) ?resilience ?pool t apps =
+  Dataplane.Shard.wire_controller t ~latency;
+  let net0 = Dataplane.Shard.net t 0 in
+  let switch_ids =
+    Topo.Topology.switch_ids (Dataplane.Shard.topology t)
+  in
+  let rt =
+    Controller.Runtime.create ~latency ?resilience ~switch_ids net0 apps
+  in
+  let horizon = Dataplane.Network.now net0 +. (20.0 *. latency) in
+  ignore (Dataplane.Shard.run ?pool ~until:horizon t);
+  rt
+
 (** [run_sharded t ~until] advances all shards in parallel; returns
     events executed (including cross-shard queue-release events). *)
-let run_sharded ?until t = Dataplane.Shard.run ?until t
+let run_sharded ?until ?pool t = Dataplane.Shard.run ?until ?pool t
 
 (** [snapshot t] captures topology + installed tables for verification. *)
 let snapshot t : Verify.Reach.snapshot =

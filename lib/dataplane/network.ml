@@ -138,6 +138,21 @@ type t = {
          the fault only when a link-level rate is actually set, so the
          zero-chaos path is byte-identical to having no fault at all *)
   mutable remote : remote_iface option;  (** set when part of a sharded run *)
+  mutable ctl_up_remote : (switch_id:int -> time:float -> bytes -> unit) option;
+      (** sharded runs with a controller on another shard: posts a
+          switch→controller frame as a timestamped envelope *)
+  mutable ctl_down_remote :
+    (switch_id:int -> time:float -> bytes -> unit) option;
+      (** set on the controller's shard: posts a controller→switch frame
+          toward the switch's owner shard *)
+  ctl_down_remote_arrival : (int, float ref) Hashtbl.t;
+      (* controller-shard monotone delivery clamp for remote switches
+         (the local clamp lives on the [switch] record) *)
+  remote_ctl_blocked : (int, unit) Hashtbl.t;
+      (* remote switches whose control channel is partitioned
+         ({!cut_control} runs on the owner; the flag is broadcast so the
+         controller shard drops down-frames at send time exactly as the
+         single-domain engine does) *)
   mutable remote_reorders : int;
       (* reorder verdicts on cross-shard links: their late delivery is a
          distinct event in the single-domain run too, so (unlike a clean
@@ -174,7 +189,10 @@ let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
       expiry_period; fault;
       link_chaos =
         (match fault with Some f -> Fault.has_link_chaos f | None -> false);
-      remote = None; remote_reorders = 0; ingress_tbl = Hashtbl.create 8 }
+      remote = None; ctl_up_remote = None; ctl_down_remote = None;
+      ctl_down_remote_arrival = Hashtbl.create 8;
+      remote_ctl_blocked = Hashtbl.create 8;
+      remote_reorders = 0; ingress_tbl = Hashtbl.create 8 }
   in
   let owned n = match only with Some f -> f n | None -> true in
   List.iter
@@ -199,6 +217,28 @@ let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
 
 (** Attaches the cross-shard interface (before any traffic flows). *)
 let set_remote t ri = t.remote <- Some ri
+
+(** Wires the sharded control channel (see {!Shard.wire_controller}):
+    [set_ctl_up_remote] on every shard that does {e not} host the
+    controller, [set_ctl_down_remote] on the shard that does. *)
+let set_ctl_up_remote t f = t.ctl_up_remote <- Some f
+
+let set_ctl_down_remote t f = t.ctl_down_remote <- Some f
+
+(** Replicates a remote switch's control-partition flag onto the
+    controller's shard (see {!cut_control}; broadcast by [Shard.inject]
+    at the same simulated instants as the owner-side flip). *)
+let set_remote_ctl_blocked t ~switch_id blocked =
+  if blocked then Hashtbl.replace t.remote_ctl_blocked switch_id ()
+  else Hashtbl.remove t.remote_ctl_blocked switch_id
+
+(** Whether a controller can receive this network's packet-ins — locally
+    attached, or reachable through the sharded control channel. *)
+let has_controller t = t.controller <> None || t.ctl_up_remote <> None
+
+(** Aligns the control-channel latency across the shards of a sharded
+    run (the attach on the controller's shard only sets its own). *)
+let set_control_latency t latency = t.control_latency <- latency
 
 let sim t = t.sim
 let topology t = t.topo
@@ -314,53 +354,58 @@ let host_egress t h port =
 (* ------------------------------------------------------------------ *)
 (* Control-channel scheduling under chaos *)
 
-(* Schedules one control-channel transmission toward/from [sw].  With no
-   fault attached this is exactly a [control_latency]-delayed event.
-   Under chaos the transmission may be dropped, duplicated or delayed —
-   but never reordered: per switch and direction, delivery times are
-   clamped to be monotone in send order (the channel models an ordered
-   transport; reordering would break the switch-side xid dedup). *)
-let schedule_ctrl t sw ~to_switch deliver =
-  if sw.ctl_blocked then begin
+(* Decides the delivery time(s) of one control-channel transmission and
+   hands each to [emit] (local sends schedule on the shard's sim; in a
+   sharded run a remote send posts an envelope at the same time).  With
+   no fault attached this is exactly a [control_latency]-delayed
+   delivery.  Under chaos the transmission may be dropped, duplicated or
+   delayed — but never reordered: [clamp] must make delivery times
+   monotone in send order for the (switch, direction) channel (the
+   channel models an ordered transport; reordering would break the
+   switch-side xid dedup). *)
+let schedule_ctrl_gen t ~sw_id ~blocked ~to_switch ~clamp emit =
+  if blocked then begin
     (* control-channel partition (see [cut_control]): the transmission
        vanishes in either direction; the switch keeps forwarding *)
     t.stats.dropped_down <- t.stats.dropped_down + 1;
-    trace t "s%d drop(ctl-cut)" sw.sw_id
+    trace t "s%d drop(ctl-cut)" sw_id
   end
   else
   match t.fault with
-  | None -> Sim.schedule t.sim ~delay:t.control_latency deliver
+  | None -> emit (now t +. t.control_latency)
   | Some f ->
     let v = Fault.decide f in
     let nowt = now t in
     let dir = if to_switch then "ctl->s" else "ctl<-s" in
     if v.v_drop then
-      Fault.note f ~time:nowt "drop %s%d" dir sw.sw_id
+      Fault.note f ~time:nowt "drop %s%d" dir sw_id
     else begin
-      let sched extra =
-        let arr = nowt +. t.control_latency +. extra in
-        let arr =
-          if to_switch then begin
-            let arr = if arr < sw.ctl_down_arrival then sw.ctl_down_arrival else arr in
-            sw.ctl_down_arrival <- arr;
-            arr
-          end
-          else begin
-            let arr = if arr < sw.ctl_up_arrival then sw.ctl_up_arrival else arr in
-            sw.ctl_up_arrival <- arr;
-            arr
-          end
-        in
-        Sim.schedule_at t.sim ~time:arr deliver
-      in
+      let sched extra = emit (clamp (nowt +. t.control_latency +. extra)) in
       if v.v_delay > 0.0 then
-        Fault.note f ~time:nowt "jitter %s%d +%.6f" dir sw.sw_id v.v_delay;
+        Fault.note f ~time:nowt "jitter %s%d +%.6f" dir sw_id v.v_delay;
       sched v.v_delay;
       if v.v_dup then begin
-        Fault.note f ~time:nowt "dup %s%d" dir sw.sw_id;
+        Fault.note f ~time:nowt "dup %s%d" dir sw_id;
         sched v.v_dup_delay
       end
     end
+
+(* [schedule_ctrl_gen] against a locally-owned switch record *)
+let schedule_ctrl t sw ~to_switch deliver =
+  let clamp arr =
+    if to_switch then begin
+      let arr = if arr < sw.ctl_down_arrival then sw.ctl_down_arrival else arr in
+      sw.ctl_down_arrival <- arr;
+      arr
+    end
+    else begin
+      let arr = if arr < sw.ctl_up_arrival then sw.ctl_up_arrival else arr in
+      sw.ctl_up_arrival <- arr;
+      arr
+    end
+  in
+  schedule_ctrl_gen t ~sw_id:sw.sw_id ~blocked:sw.ctl_blocked ~to_switch ~clamp
+    (fun time -> Sim.schedule_at t.sim ~time deliver)
 
 (* ------------------------------------------------------------------ *)
 (* Forwarding *)
@@ -572,27 +617,43 @@ and execute_outputs t sw ~in_port outputs pkt =
 (* Control channel *)
 
 and control_send t ?(xid = 0) sw msg =
-  match t.controller with
-  | None -> ()
-  | Some handler ->
+  match (t.controller, t.ctl_up_remote) with
+  | None, None -> ()
+  | ctl, up ->
     let data = Openflow.Wire.encode ~xid msg in
     t.stats.control_msgs <- t.stats.control_msgs + 1;
     t.stats.control_bytes <- t.stats.control_bytes + Bytes.length data;
     let switch_id = sw.sw_id in
-    schedule_ctrl t sw ~to_switch:false (fun () -> handler ~switch_id data)
+    (match (ctl, up) with
+     | Some handler, _ ->
+       schedule_ctrl t sw ~to_switch:false (fun () -> handler ~switch_id data)
+     | None, Some post ->
+       (* the controller lives on another shard: the frame becomes an
+          envelope timestamped with its arrival (the chaos verdict and
+          the monotone clamp are drawn here, where the switch and its
+          per-shard fault stream live) *)
+       let clamp arr =
+         let arr = if arr < sw.ctl_up_arrival then sw.ctl_up_arrival else arr in
+         sw.ctl_up_arrival <- arr;
+         arr
+       in
+       schedule_ctrl_gen t ~sw_id:switch_id ~blocked:sw.ctl_blocked
+         ~to_switch:false ~clamp (fun time -> post ~switch_id ~time data)
+     | None, None -> assert false)
 
 and packet_in t sw ~in_port ~reason pkt =
-  match t.controller with
-  | None ->
+  if not (has_controller t) then begin
     t.stats.dropped_miss <- t.stats.dropped_miss + 1;
     trace t "s%d drop(miss)" sw.sw_id
-  | Some _ ->
+  end
+  else begin
     sw.packet_ins <- sw.packet_ins + 1;
     trace t "s%d packet-in port=%d" sw.sw_id in_port;
     control_send t sw
       (Openflow.Message.Packet_in
          { in_port; reason;
            packet = { headers = pkt.hdr; size = pkt.size; tag = pkt.tag } })
+  end
 
 (* Resolved ingress state for a link arriving from another shard: same
    shape as an egress [link_state], but tx counters live on the remote
@@ -769,27 +830,82 @@ let handle_at_switch t sw ~xid (msg : Openflow.Message.t) =
   | Flow_removed _ | Stats_reply _ | Barrier_reply ->
     ()  (* controller-bound messages are meaningless at a switch *)
 
+(* apply a delivered controller→switch transmission (possibly a batch)
+   to the locally-owned switch record *)
+let deliver_down t sw data =
+  if sw.alive then
+    List.iter
+      (fun (xid, msg) -> handle_at_switch t sw ~xid msg)
+      (Openflow.Wire.decode_all data)
+  else begin
+    let n = Openflow.Wire.frame_count data in
+    t.stats.dropped_down <- t.stats.dropped_down + n;
+    trace t "s%d drop(ctl, switch-down) %d frame(s)" sw.sw_id n
+  end
+
 (** Controller → switch: delivers wire-encoded [data] to [switch_id]
     after the control-channel latency.  [data] may carry one message or
     a whole batch (concatenated frames, see {!Openflow.Wire.encode_batch});
     stats count the logical messages, and a batch is decoded and applied
-    in frame order as one delivery event.
+    in frame order as one delivery event.  In a sharded run a switch
+    owned by another shard is reached through the [ctl_down_remote]
+    envelope post; the arrival time (chaos verdict, monotone clamp,
+    partition check) is decided here on the controller's shard.
     @raise Openflow.Wire.Wire_error on undecodable bytes (at delivery). *)
 let controller_send t ~switch_id data =
   t.stats.control_msgs <-
     t.stats.control_msgs + Openflow.Wire.frame_count data;
   t.stats.control_bytes <- t.stats.control_bytes + Bytes.length data;
-  let sw = switch t switch_id in
-  schedule_ctrl t sw ~to_switch:true (fun () ->
-    if sw.alive then
-      List.iter
-        (fun (xid, msg) -> handle_at_switch t sw ~xid msg)
-        (Openflow.Wire.decode_all data)
-    else begin
-      let n = Openflow.Wire.frame_count data in
-      t.stats.dropped_down <- t.stats.dropped_down + n;
-      trace t "s%d drop(ctl, switch-down) %d frame(s)" switch_id n
-    end)
+  match Hashtbl.find_opt t.switches switch_id with
+  | Some sw ->
+    schedule_ctrl t sw ~to_switch:true (fun () -> deliver_down t sw data)
+  | None ->
+    (match t.ctl_down_remote with
+     | None ->
+       invalid_arg (Printf.sprintf "Network.switch: no switch %d" switch_id)
+     | Some post ->
+       let blocked = Hashtbl.mem t.remote_ctl_blocked switch_id in
+       let clamp arr =
+         let r =
+           match Hashtbl.find_opt t.ctl_down_remote_arrival switch_id with
+           | Some r -> r
+           | None ->
+             let r = ref 0.0 in
+             Hashtbl.replace t.ctl_down_remote_arrival switch_id r;
+             r
+         in
+         let arr = if arr < !r then !r else arr in
+         r := arr;
+         arr
+       in
+       schedule_ctrl_gen t ~sw_id:switch_id ~blocked ~to_switch:true ~clamp
+         (fun time -> post ~switch_id ~time data))
+
+(** Completes a cross-shard controller→switch hop on the owner shard
+    (simulated time must already be the arrival time). *)
+let deliver_ctl_down t ~switch_id data = deliver_down t (switch t switch_id) data
+
+(** Completes a cross-shard switch→controller hop on the controller's
+    shard: hands the frame to the attached handler. *)
+let deliver_ctl_up t ~switch_id data =
+  match t.controller with
+  | Some handler -> handler ~switch_id data
+  | None -> ()
+
+(** Emits a [Port_status] toward the controller from [switch_id] (used
+    by {!Shard.inject} when a cross-shard link incident's far endpoint
+    lives here; the owner endpoint notifies through {!fail_link}).
+    No-op without a reachable controller or for unknown switches. *)
+let notify_port_status t ~switch_id ~port ~up =
+  match Hashtbl.find_opt t.switches switch_id with
+  | None -> ()
+  | Some sw ->
+    control_send t sw
+      (Openflow.Message.Port_status
+         { ps_port = port;
+           ps_reason =
+             (if up then Openflow.Message.Port_up
+              else Openflow.Message.Port_down) })
 
 (* ------------------------------------------------------------------ *)
 (* Failures *)

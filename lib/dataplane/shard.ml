@@ -26,15 +26,24 @@
     costs one extra local event (the source-side queue release), so
     [logical events = executed - handoffs].
 
-    Sharded mode is {e compiled/proactive only}: there is no controller
-    (a control channel spanning shards would serialize every window);
-    install tables directly or via [Zen.install_policy_sharded]. *)
+    Tables can be installed directly ([Zen.install_policy_sharded]), or
+    a {!Controller.Runtime} can attach to shard 0's network after
+    {!wire_controller}: control frames in both directions travel as
+    {!Util.Shard_sync} envelopes timestamped with their arrival, with
+    the lookahead lowered to [min link_lookahead control_latency].  With
+    {e control-channel} chaos rates set the sharded trace diverges from
+    single-domain (the control fault stream is split per shard); link
+    chaos, link flaps and outages remain byte-equal. *)
 
 module Node = Topo.Topology.Node
 
-(* a cross-shard envelope payload: the link (identified by its sending
-   endpoint) the packet left through, and the packet itself *)
-type load = { ld_src : Node.t; ld_src_port : int; ld_pkt : Network.pkt }
+(* a cross-shard envelope payload: a data packet identified by the link
+   (sending endpoint) it left through, or a control-channel frame in
+   either direction (see [wire_controller]) *)
+type load =
+  | Ld_pkt of { ld_src : Node.t; ld_src_port : int; ld_pkt : Network.pkt }
+  | Ld_ctl_up of { cu_switch : int; cu_data : bytes }
+  | Ld_ctl_down of { cd_switch : int; cd_data : bytes }
 
 type shard = {
   sh_index : int;
@@ -48,7 +57,13 @@ type t = {
   shard_of : Node.t -> int;
   shards : shard array;
   sync : load Util.Shard_sync.t;
-  lookahead : float;  (* min delay over cross-shard links; +inf if none *)
+  mutable lookahead : float;
+      (* min delay over cross-shard links (+inf if none); lowered to the
+         control latency when a controller attaches *)
+  mutable dist : float array array;
+      (* shard-quotient distance matrix for the adaptive window bound
+         (see Shard_sync.drive); rebuilt when a controller attaches *)
+  mutable ctl_shard : int;  (* controller's shard, -1 when none *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -144,6 +159,56 @@ let lookahead_of topo shard_of =
       if shard_of l.src <> shard_of l.dst then Float.min acc l.delay else acc)
     infinity (Topo.Topology.links topo)
 
+(* Shard-quotient distance matrix: d.(j).(i) lower-bounds the boundary
+   delay any causal chain accumulates getting from shard [j] to shard
+   [i] (edge weight = min delay over the pair's boundary links, plus a
+   [latency]-weight star around the controller shard when one is
+   wired); the diagonal holds the minimum return cycle.  Feeds the
+   adaptive window bound in {!Util.Shard_sync.drive}. *)
+let quotient_dist topo shard_of ~shards ?ctl () =
+  let d =
+    Array.init shards (fun j ->
+      Array.init shards (fun i -> if i = j then 0.0 else infinity))
+  in
+  let edge a b w =
+    if a <> b then begin
+      if w < d.(a).(b) then d.(a).(b) <- w;
+      if w < d.(b).(a) then d.(b).(a) <- w
+    end
+  in
+  List.iter
+    (fun (l : Topo.Topology.link) ->
+      edge (shard_of l.src) (shard_of l.dst) l.delay)
+    (Topo.Topology.links topo);
+  (match ctl with
+   | Some (ctl_shard, latency) ->
+     for k = 0 to shards - 1 do
+       edge ctl_shard k latency
+     done
+   | None -> ());
+  (* Floyd–Warshall over the quotient graph (diagonal 0 while relaxing) *)
+  for k = 0 to shards - 1 do
+    for i = 0 to shards - 1 do
+      for j = 0 to shards - 1 do
+        let v = d.(i).(k) +. d.(k).(j) in
+        if v < d.(i).(j) then d.(i).(j) <- v
+      done
+    done
+  done;
+  (* diagonal := min return cycle through any other shard (uses only
+     off-diagonal entries, so order does not matter) *)
+  for i = 0 to shards - 1 do
+    let cyc = ref infinity in
+    for j = 0 to shards - 1 do
+      if j <> i then begin
+        let v = d.(i).(j) +. d.(j).(i) in
+        if v < !cyc then cyc := v
+      end
+    done;
+    d.(i).(i) <- !cyc
+  done;
+  d
+
 (** [create ~shards topo] partitions [topo] and instantiates one network
     per shard.  [partition] defaults to {!block_partition};
     [fault_config] attaches a chaos layer with per-shard derived seeds
@@ -186,7 +251,9 @@ let create ?queue_depth ?sim_engine ?fault_config
               clone
           in
           { sh_index = i; sh_net = net; sh_executed = 0 });
-      sync; lookahead }
+      sync; lookahead;
+      dist = quotient_dist topo shard_of ~shards ();
+      ctl_shard = -1 }
   in
   Array.iter
     (fun sh ->
@@ -196,7 +263,7 @@ let create ?queue_depth ?sim_engine ?fault_config
             (fun ~rem_shard ~time ~src ~src_port pkt ->
               Util.Shard_sync.post t.sync ~src:sh.sh_index ~dst:rem_shard
                 ~time
-                { ld_src = src; ld_src_port = src_port; ld_pkt = pkt }) })
+                (Ld_pkt { ld_src = src; ld_src_port = src_port; ld_pkt = pkt })) })
     t.shards;
   t
 
@@ -213,6 +280,47 @@ let net_of_switch t id = t.shards.(t.shard_of (Node.Switch id)).sh_net
 let net_of_host t id = t.shards.(t.shard_of (Node.Host id)).sh_net
 
 (* ------------------------------------------------------------------ *)
+(* Sharded control channel *)
+
+(** [wire_controller t ~latency] prepares the sharded control channel
+    before a {!Controller.Runtime} attaches to shard 0's network: every
+    other shard posts switch→controller frames as timestamped envelopes,
+    and shard 0 posts controller→switch frames back toward each
+    switch's owner.  Arrival times (including chaos verdicts and the
+    per-channel monotone clamps) are decided on the {e sending} shard,
+    so a control transmission is an envelope at [>= now + latency] and
+    the conservative invariant holds with the lookahead lowered to
+    [min lookahead latency].
+
+    The runtime's own timers (keepalives, retransmissions, stats polls)
+    live on shard 0's simulator; apps must only touch switch state
+    through the control channel ({!Controller.Api.ctx} sends —
+    [Api.set_flood_ports], and thus the learning app, would race across
+    domains and raises for remote switches). *)
+let wire_controller t ~latency =
+  if latency <= 0.0 then
+    invalid_arg "Shard.wire_controller: latency must be positive";
+  t.lookahead <- Float.min t.lookahead latency;
+  t.ctl_shard <- 0;
+  t.dist <-
+    quotient_dist t.topo t.shard_of ~shards:t.nshards
+      ~ctl:(t.ctl_shard, latency) ();
+  Array.iter
+    (fun sh ->
+      Network.set_control_latency sh.sh_net latency;
+      if sh.sh_index <> t.ctl_shard then
+        Network.set_ctl_up_remote sh.sh_net (fun ~switch_id ~time data ->
+          Util.Shard_sync.post t.sync ~src:sh.sh_index ~dst:t.ctl_shard ~time
+            (Ld_ctl_up { cu_switch = switch_id; cu_data = data })))
+    t.shards;
+  Network.set_ctl_down_remote t.shards.(t.ctl_shard).sh_net
+    (fun ~switch_id ~time data ->
+      Util.Shard_sync.post t.sync ~src:t.ctl_shard
+        ~dst:(t.shard_of (Node.Switch switch_id))
+        ~time
+        (Ld_ctl_down { cd_switch = switch_id; cd_data = data }))
+
+(* ------------------------------------------------------------------ *)
 (* Incidents *)
 
 (** [inject t incidents] broadcasts a chaos scenario to every shard: the
@@ -220,7 +328,15 @@ let net_of_host t id = t.shards.(t.shard_of (Node.Host id)).sh_net
     fault note, controller notification if any); every {e other} shard
     silently flips its own topology clone at the same instants, so the
     in-flight link-down verdicts every shard makes match the
-    single-domain run exactly.  Switch outages only touch the owner. *)
+    single-domain run exactly.  Switch outages only touch the owner.
+
+    With a controller attached ({!wire_controller}) two incidents grow
+    controller-visible far ends: a {e cross-shard} link flap's far
+    endpoint emits its own [Port_status] from its owner shard (the
+    owner-side {!Network.fail_link} can only notify locally), and a
+    control partition's blocked flag is replicated to every shard so the
+    controller shard drops down-frames at send time exactly as the
+    single-domain engine does. *)
 let inject t incidents =
   Array.iter
     (fun sh ->
@@ -233,15 +349,44 @@ let inject t incidents =
             if t.shard_of node = sh.sh_index then
               Network.inject sh.sh_net [ i ]
             else begin
+              (* does the link's far endpoint live here?  Then this
+                 shard owns the far-end port-status notification. *)
+              let far =
+                match Topo.Topology.link_via clone node port with
+                | Some l
+                  when t.shard_of l.dst = sh.sh_index
+                       && t.shard_of l.dst <> t.shard_of node ->
+                  (match l.dst with
+                   | Node.Switch id -> Some (id, l.dst_port)
+                   | Node.Host _ -> None)
+                | Some _ | None -> None
+              in
+              let notify up =
+                match far with
+                | Some (id, p) ->
+                  Network.notify_port_status sh.sh_net ~switch_id:id ~port:p
+                    ~up
+                | None -> ()
+              in
               Sim.schedule_at sim ~time:at (fun () ->
-                Topo.Topology.set_link_up clone (node, port) false);
+                Topo.Topology.set_link_up clone (node, port) false;
+                notify false);
               Sim.schedule_at sim ~time:(at +. duration) (fun () ->
-                Topo.Topology.set_link_up clone (node, port) true)
+                Topo.Topology.set_link_up clone (node, port) true;
+                notify true)
             end
-          | Fault.Switch_outage { switch_id; _ }
-          | Fault.Ctl_outage { switch_id; _ } ->
+          | Fault.Switch_outage { switch_id; _ } ->
             if t.shard_of (Node.Switch switch_id) = sh.sh_index then
-              Network.inject sh.sh_net [ i ])
+              Network.inject sh.sh_net [ i ]
+          | Fault.Ctl_outage { switch_id; at; duration } ->
+            if t.shard_of (Node.Switch switch_id) = sh.sh_index then
+              Network.inject sh.sh_net [ i ]
+            else begin
+              Sim.schedule_at sim ~time:at (fun () ->
+                Network.set_remote_ctl_blocked sh.sh_net ~switch_id true);
+              Sim.schedule_at sim ~time:(at +. duration) (fun () ->
+                Network.set_remote_ctl_blocked sh.sh_net ~switch_id false)
+            end)
         incidents)
     t.shards
 
@@ -251,8 +396,12 @@ let inject t incidents =
 (** [run ?until ?pool t] advances every shard under the conservative
     window loop, fanning windows over [pool] (default: the process-wide
     {!Util.Pool}).  Returns the total number of events executed.  Safe
-    to call repeatedly; like {!Sim.run}, [until] is inclusive. *)
-let run ?until ?pool t =
+    to call repeatedly; like {!Sim.run}, [until] is inclusive.
+
+    [window]/[steal] select the window-sizing and work-stealing policy
+    (default: the [ZEN_SHARD_WINDOW]/[ZEN_SHARD_STEAL] knobs — see
+    {!Util.Shard_sync.drive}; neither changes observable results). *)
+let run ?until ?pool ?window ?steal t =
   let pool = match pool with Some p -> p | None -> Util.Pool.get_default () in
   let before = Array.fold_left (fun a sh -> a + sh.sh_executed) 0 t.shards in
   let next_time i =
@@ -260,21 +409,29 @@ let run ?until ?pool t =
     | Some (time, _) -> time
     | None -> infinity
   in
+  let load_hint i = Sim.pending (Network.sim t.shards.(i).sh_net) in
   let run_window i ~stop ~strict =
     let sh = t.shards.(i) in
     let sim = Network.sim sh.sh_net in
     List.iter
       (fun (e : load Util.Shard_sync.envelope) ->
-        let { ld_src; ld_src_port; ld_pkt } = e.env_load in
-        Sim.schedule_at sim ~time:e.env_time (fun () ->
-          Network.receive_remote sh.sh_net ~src:ld_src ~src_port:ld_src_port
-            ld_pkt))
+        match e.env_load with
+        | Ld_pkt { ld_src; ld_src_port; ld_pkt } ->
+          Sim.schedule_at sim ~time:e.env_time (fun () ->
+            Network.receive_remote sh.sh_net ~src:ld_src
+              ~src_port:ld_src_port ld_pkt)
+        | Ld_ctl_up { cu_switch; cu_data } ->
+          Sim.schedule_at sim ~time:e.env_time (fun () ->
+            Network.deliver_ctl_up sh.sh_net ~switch_id:cu_switch cu_data)
+        | Ld_ctl_down { cd_switch; cd_data } ->
+          Sim.schedule_at sim ~time:e.env_time (fun () ->
+            Network.deliver_ctl_down sh.sh_net ~switch_id:cd_switch cd_data))
       (Util.Shard_sync.drain t.sync i);
     sh.sh_executed <-
       sh.sh_executed + Network.run ~until:stop ~strict sh.sh_net ()
   in
-  Util.Shard_sync.drive t.sync ~pool ~lookahead:t.lookahead ?until ~next_time
-    ~run_window ();
+  Util.Shard_sync.drive t.sync ~pool ~lookahead:t.lookahead ?until ?window
+    ?steal ~dist:t.dist ~load_hint ~next_time ~run_window ();
   Array.fold_left (fun a sh -> a + sh.sh_executed) 0 t.shards - before
 
 (* ------------------------------------------------------------------ *)
@@ -285,7 +442,12 @@ let executed_of t i = t.shards.(i).sh_executed
 let rounds t = Util.Shard_sync.rounds t.sync
 let handoffs t = Util.Shard_sync.handoffs t.sync
 let handoffs_of t i = Util.Shard_sync.handoffs_of t.sync i
+let stalls t = Util.Shard_sync.stalls t.sync
 let stalls_of t i = Util.Shard_sync.stalls_of t.sync i
+let steals t = Util.Shard_sync.steals t.sync
+let steals_of t i = Util.Shard_sync.steals_of t.sync i
+let windows_of t i = Util.Shard_sync.windows_of t.sync i
+let avg_window_of t i = Util.Shard_sync.avg_window_of t.sync i
 let backpressure t = Util.Shard_sync.backpressure t.sync
 let high_water t = Util.Shard_sync.high_water t.sync
 

@@ -28,11 +28,49 @@
       {!Pool}, and barriers (the [Pool.map] return).  Rounds where a
       shard has nothing below the window bound are counted as
       {e horizon stalls} — the per-shard idleness a too-small lookahead
-      or an unbalanced partition produces.
+      or an unbalanced partition produces — and such shards are
+      {e skipped} outright (their window would only advance a clock, an
+      unobservable effect), so a sparse fabric fast-forwards from event
+      cluster to event cluster instead of barrier-stepping empty
+      [L]-wide windows.
+    - {b adaptive windows} ({!Adaptive}, the default): shard [i]'s
+      window may end beyond the global [m + L] bound, at its
+      {e distance-based} envelope bound
+
+      {v  B_i = min over shards j of (pending_j + dist(j, i))  v}
+
+      where [dist(j, i)] is the shortest-path weight from [j] to [i] in
+      the {e shard quotient graph} (one node per shard, edge weight =
+      minimum delay over the boundary links joining the pair), and the
+      diagonal [dist(i, i)] is the minimum {e return cycle} — the
+      cheapest way shard [i]'s own traffic can bounce off another shard
+      and come back.  This is risk-free: any envelope that will ever
+      reach [i] is caused by some event that is pending {e now} on some
+      shard [j], and its causal chain must cross boundary links summing
+      to at least [dist(j, i)] ([j = i] covers the echo of [i]'s own
+      posts); barriers only delay it further.  So nothing can arrive
+      inside [\[m, B_i)], and [B_i >= m + L] always (the fixed window is
+      the uniform-distance special case).  A growth cap [m + g*L] keeps
+      one shard from racing unboundedly ahead of its consumers: [g]
+      doubles each round the mailboxes stay inside capacity and halves
+      when backpressure grew, so sustained cross-shard pressure shrinks
+      the window back toward the fixed [L] bound.  {!Fixed}
+      ([ZEN_SHARD_WINDOW=fixed]) restores the uniform [m + L] window.
+    - {b work stealing} ({!steal_enabled_of_env}, on by default): the
+      per-round windows are dealt to the pool's workers by shard index
+      (shard [i]'s {e home} is worker [i mod size]), each worker's deal
+      sorted heaviest-first by a load hint; a worker whose own deal
+      drains steals the {e lightest} window from a loaded neighbor's
+      tail.  Stealing moves whole windows — each shard's window is still
+      executed by exactly one domain between two barriers — so it
+      changes which core runs a window, never the events' order, and
+      results stay byte-equal with stealing on or off.
     - determinism: envelopes carry [(time, source shard, per-source
       sequence)] and are filed in that order at every drain, so the
       result of a sharded run is a function of the inputs only, not of
-      domain scheduling or pool size.
+      domain scheduling or pool size.  (The [steals] counters are the
+      one scheduling-dependent output: they describe where windows ran,
+      not what they computed.)
 
     Capacity is a soft bound: mailboxes grow past it (a hard bound would
     deadlock the barrier), but posts beyond capacity are counted in
@@ -61,6 +99,9 @@ type 'a t = {
   seqs : int array;       (* next per-source sequence; owner-written only *)
   handoffs : int array;   (* envelopes posted by shard i *)
   stalls : int array;     (* windows where shard i had nothing to run *)
+  steals : int array;     (* windows of shard i run by a non-home worker *)
+  windows : int array;    (* windows shard i actually executed *)
+  win_sum : float array;  (* total width of those windows *)
   mutable rounds : int;
   mutable backpressure : int;
 }
@@ -77,6 +118,9 @@ let create ?(capacity = default_capacity) ~shards () =
     seqs = Array.make shards 0;
     handoffs = Array.make shards 0;
     stalls = Array.make shards 0;
+    steals = Array.make shards 0;
+    windows = Array.make shards 0;
+    win_sum = Array.make shards 0.0;
     rounds = 0; backpressure = 0 }
 
 let shards t = t.nshards
@@ -128,15 +172,133 @@ let mailbox_min t shard =
   m
 
 (* ------------------------------------------------------------------ *)
+(* Window policy knobs *)
+
+(** How each round's safe windows are sized (see the module header). *)
+type window_mode = Fixed | Adaptive
+
+let window_mode_to_string = function
+  | Fixed -> "fixed"
+  | Adaptive -> "adaptive"
+
+(** [ZEN_SHARD_WINDOW]: ["fixed"] restores the uniform [m + L] window;
+    anything else (and unset) selects {!Adaptive}. *)
+let window_mode_of_env () =
+  match Sys.getenv_opt "ZEN_SHARD_WINDOW" with
+  | Some s when String.lowercase_ascii (String.trim s) = "fixed" -> Fixed
+  | Some _ | None -> Adaptive
+
+(** [ZEN_SHARD_STEAL]: ["0"/"off"/"false"/"no"] disables window
+    stealing; anything else (and unset) enables it. *)
+let steal_enabled_of_env () =
+  match Sys.getenv_opt "ZEN_SHARD_STEAL" with
+  | Some s ->
+    (match String.lowercase_ascii (String.trim s) with
+     | "0" | "off" | "false" | "no" -> false
+     | _ -> true)
+  | None -> true
+
+(* ------------------------------------------------------------------ *)
 (* Stats *)
 
 let rounds t = t.rounds
 let handoffs t = Array.fold_left ( + ) 0 t.handoffs
 let handoffs_of t shard = t.handoffs.(shard)
+let stalls t = Array.fold_left ( + ) 0 t.stalls
 let stalls_of t shard = t.stalls.(shard)
+let steals t = Array.fold_left ( + ) 0 t.steals
+let steals_of t shard = t.steals.(shard)
+let windows_of t shard = t.windows.(shard)
+
+(** Mean executed-window width of [shard], in simulated seconds
+    (0 when it never ran a window).  Under {!Adaptive} this grows past
+    the lookahead whenever the other shards' pending bounds allow it. *)
+let avg_window_of t shard =
+  if t.windows.(shard) = 0 then 0.0
+  else t.win_sum.(shard) /. float_of_int t.windows.(shard)
+
 let backpressure t = t.backpressure
 let high_water t =
   Array.fold_left (fun acc b -> max acc b.mb_high_water) 0 t.boxes
+
+(* ------------------------------------------------------------------ *)
+(* Per-round window execution, with optional stealing *)
+
+(* Run this round's windows — [(shard, stop, strict)] tasks — over the
+   pool.  Without stealing each task is one pool job (FIFO order).  With
+   stealing, tasks are dealt to their home workers ([shard mod size]),
+   each deal sorted heaviest-first by [load_hint]; a worker drains its
+   own deal from the front, then steals the lightest task (the tail)
+   from the first loaded neighbor.  Every task is popped exactly once
+   under the queue mutex, so a shard's window still runs on exactly one
+   domain and [steals] has one writer per cell per round. *)
+let exec_round t ~pool ~steal ~load_hint ~run_window tasks =
+  let run (i, stop, strict) = run_window i ~stop ~strict in
+  match tasks with
+  | [] -> ()
+  | [ task ] -> run task
+  | _ ->
+    let w = Pool.size pool in
+    if (not steal) || w <= 1 then
+      ignore (Pool.map pool tasks ~f:run)
+    else begin
+      let deals = Array.make w [] in
+      List.iter
+        (fun ((i, _, _) as task) ->
+          let home = i mod w in
+          deals.(home) <- task :: deals.(home))
+        tasks;
+      Array.iteri
+        (fun h deal ->
+          deals.(h) <-
+            List.stable_sort
+              (fun (i, _, _) (j, _, _) ->
+                match compare (load_hint j) (load_hint i) with
+                | 0 -> compare i j
+                | c -> c)
+              deal)
+        deals;
+      let qm = Mutex.create () in
+      (* pop the last element: thieves take the victim's lightest task *)
+      let rec split_last acc = function
+        | [] -> assert false
+        | [ x ] -> (List.rev acc, x)
+        | x :: rest -> split_last (x :: acc) rest
+      in
+      let take worker =
+        Mutex.lock qm;
+        let r =
+          match deals.(worker) with
+          | task :: rest ->
+            deals.(worker) <- rest;
+            Some (task, false)
+          | [] ->
+            let rec rob k =
+              if k = w then None
+              else
+                let victim = (worker + k) mod w in
+                match deals.(victim) with
+                | [] -> rob (k + 1)
+                | deal ->
+                  let kept, task = split_last [] deal in
+                  deals.(victim) <- kept;
+                  Some (task, true)
+            in
+            rob 1
+        in
+        Mutex.unlock qm;
+        r
+      in
+      let rec worker_loop worker =
+        match take worker with
+        | None -> ()
+        | Some (((i, _, _) as task), stolen) ->
+          if stolen then t.steals.(i) <- t.steals.(i) + 1;
+          run task;
+          worker_loop worker
+      in
+      ignore (Pool.map pool (List.init w Fun.id) ~f:worker_loop)
+    end
 
 (* ------------------------------------------------------------------ *)
 (* The windowed barrier loop *)
@@ -151,32 +313,99 @@ let high_water t =
     is exclusive, the interior-window case; inclusive only for the final
     [until] window).  Both callbacks run between barriers, so they may
     touch shard state without locks; [run_window] is fanned over [pool]
-    and must only touch shard [i]. *)
-let drive t ~pool ~lookahead ?until ~next_time ~run_window () =
+    and must only touch shard [i].
+
+    [window] (default [ZEN_SHARD_WINDOW], else {!Adaptive}) sizes the
+    per-shard windows; [steal] (default [ZEN_SHARD_STEAL], else on)
+    lets idle pool workers steal queued windows, guided by [load_hint i]
+    (any monotone proxy for shard [i]'s queued work; default constant).
+    Neither knob changes observable simulation results.
+
+    [dist] is the shard-quotient distance matrix for {!Adaptive} bounds:
+    [dist.(j).(i)] lower-bounds the boundary-delay any causal chain
+    accumulates getting from shard [j] to shard [i], with the diagonal
+    [dist.(i).(i)] the minimum return cycle (how soon [i]'s own posts
+    can echo back).  Every entry must be [>= lookahead] (the diagonal
+    [>= 2 * lookahead]); [infinity] marks unreachable pairs.  Defaults
+    to the uniform matrix ([lookahead] off-diagonal, twice that on the
+    diagonal — no echo possible when there is a single shard). *)
+let drive t ~pool ~lookahead ?until ?window ?steal ?dist
+    ?(load_hint = fun (_ : int) -> 0) ~next_time ~run_window () =
   if lookahead <= 0.0 then
     invalid_arg "Shard_sync.drive: lookahead must be positive";
+  let mode = match window with Some m -> m | None -> window_mode_of_env () in
+  let steal =
+    match steal with Some b -> b | None -> steal_enabled_of_env ()
+  in
   let idx = List.init t.nshards Fun.id in
+  let dist =
+    match dist with
+    | Some d -> d
+    | None ->
+      Array.init t.nshards (fun j ->
+        Array.init t.nshards (fun i ->
+          if i <> j then lookahead
+          else if t.nshards > 1 then 2.0 *. lookahead
+          else infinity))
+  in
   let pending i = Float.min (next_time i) (mailbox_min t i) in
+  let pend = Array.make t.nshards infinity in
+  (* adaptive growth cap, in lookaheads: how far past [m + L] a shard may
+     run before its consumers have caught up.  Doubles every round the
+     mailboxes stayed inside capacity, halves when backpressure grew. *)
+  let growth = ref 1.0 in
+  let last_bp = ref t.backpressure in
   let rec round () =
-    let m = List.fold_left (fun acc i -> Float.min acc (pending i)) infinity idx in
+    for i = 0 to t.nshards - 1 do pend.(i) <- pending i done;
+    let m = Array.fold_left Float.min infinity pend in
     let live = match until with Some u -> m <= u | None -> m < infinity in
     if live then begin
-      (* the safe window is [m, m + lookahead); cap the last one at
-         [until] and make it inclusive, as the single-domain run is *)
-      let stop, strict =
-        let s = m +. lookahead in
-        match until with
-        | Some u when s >= u -> (u, false)
-        | _ -> (s, true)
+      let cap = m +. (!growth *. lookahead) in
+      let stop_of i =
+        match mode with
+        | Fixed -> m +. lookahead
+        | Adaptive ->
+          (* distance-based envelope bound: nothing can reach shard [i]
+             before B_i = min_j (pending_j + dist(j, i)) — see the
+             module header for the causal-chain argument *)
+          let b = ref infinity in
+          for j = 0 to t.nshards - 1 do
+            let v = pend.(j) +. dist.(j).(i) in
+            if v < !b then b := v
+          done;
+          Float.min !b cap
       in
-      List.iter
-        (fun i ->
-          let p = pending i in
-          if (if strict then p >= stop else p > stop) then
-            t.stalls.(i) <- t.stalls.(i) + 1)
-        idx;
-      ignore (Pool.map pool idx ~f:(fun i -> run_window i ~stop ~strict));
+      let tasks = ref [] in
+      for i = t.nshards - 1 downto 0 do
+        (* cap the last window at [until] and make it inclusive, as the
+           single-domain run is *)
+        let stop, strict =
+          let s = stop_of i in
+          match until with
+          | Some u when s >= u -> (u, false)
+          | _ -> (s, true)
+        in
+        let p = pend.(i) in
+        if (if strict then p >= stop else p > stop) then
+          (* nothing below the bound: a horizon stall.  The window is
+             skipped — running it would only advance the local clock,
+             which no observable depends on — so idle shards cost the
+             round nothing. *)
+          t.stalls.(i) <- t.stalls.(i) + 1
+        else begin
+          t.windows.(i) <- t.windows.(i) + 1;
+          t.win_sum.(i) <- t.win_sum.(i) +. (stop -. m);
+          tasks := (i, stop, strict) :: !tasks
+        end
+      done;
+      exec_round t ~pool ~steal ~load_hint ~run_window !tasks;
       t.rounds <- t.rounds + 1;
+      if mode = Adaptive then begin
+        if t.backpressure > !last_bp then
+          growth := Float.max 1.0 (!growth /. 2.0)
+        else growth := Float.min 1024.0 (!growth *. 2.0);
+        last_bp := t.backpressure
+      end;
       round ()
     end
   in

@@ -271,6 +271,297 @@ let test_pod_partition_no_intra_pod_crossing () =
     (Topo.Topology.links topo)
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive windows: sparse fabrics fast-forward, heterogeneous
+   distances widen windows, and observables never change *)
+
+(* [sites] 2-spine/2-leaf fat-tree cells (10 us links, 2 hosts per
+   leaf), spines joined site-to-site: sites 0-1 by a 20 us metro link,
+   every other pair long-haul at 1 ms.  Switch ids are contiguous per
+   site, so the block partition with [shards = sites] is one site per
+   shard and the shard quotient distances are heterogeneous — the
+   adaptive bound's home turf. *)
+let multi_site_topo ~sites () =
+  let topo = Topo.Topology.create () in
+  let sw s i = Topo.Topology.Node.Switch ((s * 4) + i + 1) in
+  for s = 0 to sites - 1 do
+    for spine = 0 to 1 do
+      for leaf = 2 to 3 do
+        Topo.Gen.connect topo (sw s spine) (sw s leaf)
+      done
+    done
+  done;
+  let next_host = ref 1 in
+  for s = 0 to sites - 1 do
+    for leaf = 2 to 3 do
+      for _ = 1 to 2 do
+        let h = Topo.Topology.Node.Host !next_host in
+        incr next_host;
+        Topo.Gen.connect topo (sw s leaf) h
+      done
+    done
+  done;
+  for a = 0 to sites - 1 do
+    for b = a + 1 to sites - 1 do
+      let delay = if a = 0 && b = 1 then 20e-6 else 1e-3 in
+      Topo.Gen.connect ~delay topo (sw a 0) (sw b 0)
+    done
+  done;
+  topo
+
+(* intra-site flow mix: [flows] pairs inside site [s] (hosts 4s+1..4s+4),
+   staggered by a 37 us lattice so no two flows' event chains ever share
+   a timestamp *)
+let site_flows ~site ~flows ~rate_pps ~start ~stop =
+  let h i = (site * 4) + i + 1 in
+  let pairs = [| (0, 2); (1, 3); (2, 0); (3, 1); (0, 3); (1, 2) |] in
+  List.init flows (fun i ->
+    let a, b = pairs.(i mod Array.length pairs) in
+    { (Traffic.default_flow ~src:(h a) ~dst:(h b)) with
+      rate_pps; pkt_size = 200;
+      start = start +. (float_of_int i *. 37e-6);
+      stop })
+
+let run_sites ~sites ~specs ~until how =
+  let topo = multi_site_topo ~sites () in
+  match how with
+  | `Single ->
+    let net = Network.create topo in
+    let rules =
+      Netkat.Local.compile_all
+        ~switches:(Topo.Topology.switch_ids topo)
+        (Netkat.Builder.routing_policy topo)
+    in
+    List.iter
+      (fun (switch_id, rs) ->
+        let table = (Network.switch net switch_id).table in
+        List.iter
+          (fun (r : Netkat.Local.rule) ->
+            Flow.Table.add table
+              (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+                 ~actions:r.actions ()))
+          rs)
+      rules;
+    List.iter (fun s -> ignore (Traffic.cbr net s)) specs;
+    ignore (Network.run ~until net ());
+    (Shard.net_signature topo [ net ], 0, 0)
+  | `Sharded (window, pool) ->
+    let t = Shard.create ~shards:sites topo in
+    let rules =
+      Netkat.Local.compile_all
+        ~switches:(Topo.Topology.switch_ids topo)
+        (Netkat.Builder.routing_policy topo)
+    in
+    List.iter
+      (fun (switch_id, rs) ->
+        let net = Shard.net_of_switch t switch_id in
+        let table = (Network.switch net switch_id).table in
+        List.iter
+          (fun (r : Netkat.Local.rule) ->
+            Flow.Table.add table
+              (Flow.Table.make_rule ~priority:r.priority ~pattern:r.pattern
+                 ~actions:r.actions ()))
+          rs)
+      rules;
+    List.iter
+      (fun (s : Traffic.flow_spec) ->
+        ignore (Traffic.cbr (Shard.net_of_host t s.src) s))
+      specs;
+    ignore (Shard.run ~until ~window ?pool t);
+    (Shard.signature t, Shard.rounds t, Shard.stalls t)
+
+(* dense traffic in site 0, a trickle in site 1: the fixed 20 us window
+   (the metro-link lookahead) barrier-steps the dense chains two events
+   at a time while shard 1 mostly stalls; the adaptive echo bound packs
+   twice the span per round, halving both rounds and stalls *)
+let test_adaptive_vs_fixed_two_sites () =
+  let specs =
+    site_flows ~site:0 ~flows:6 ~rate_pps:5000.0 ~start:0.0107 ~stop:0.05
+    @ site_flows ~site:1 ~flows:2 ~rate_pps:500.0 ~start:0.0131 ~stop:0.05
+  in
+  let run how = run_sites ~sites:2 ~specs ~until:0.06 how in
+  let sig_single, _, _ = run `Single in
+  let sig_fixed, rounds_fixed, stalls_fixed =
+    run (`Sharded (Util.Shard_sync.Fixed, None))
+  in
+  let sig_adaptive, rounds_adaptive, stalls_adaptive =
+    run (`Sharded (Util.Shard_sync.Adaptive, None))
+  in
+  Alcotest.(check string) "fixed == single" sig_single sig_fixed;
+  Alcotest.(check string) "adaptive == single" sig_single sig_adaptive;
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive rounds %d <= 0.6 * fixed rounds %d"
+       rounds_adaptive rounds_fixed)
+    true
+    (float_of_int rounds_adaptive <= 0.6 *. float_of_int rounds_fixed);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive stalls %d < fixed stalls %d" stalls_adaptive
+       stalls_fixed)
+    true
+    (stalls_adaptive < stalls_fixed);
+  (* work stealing with a real multi-worker pool moves windows between
+     domains without changing a byte *)
+  let pool = Util.Pool.create ~domains:2 () in
+  let sig_steal, _, _ = run (`Sharded (Util.Shard_sync.Adaptive, Some pool)) in
+  Util.Pool.shutdown pool;
+  Alcotest.(check string) "stealing pool == single" sig_single sig_steal
+
+(* a sparse-event fabric fast-forwards: the window loop must jump from
+   event cluster to event cluster instead of barrier-stepping every
+   20 us lookahead window across the idle span *)
+let test_sparse_fast_forward () =
+  let specs =
+    site_flows ~site:0 ~flows:1 ~rate_pps:50.0 ~start:0.0107 ~stop:0.4
+    @ site_flows ~site:1 ~flows:1 ~rate_pps:50.0 ~start:0.0131 ~stop:0.4
+  in
+  let until = 0.5 in
+  let sig_single, _, _ = run_sites ~sites:2 ~specs ~until `Single in
+  let sig_sharded, rounds, _ =
+    run_sites ~sites:2 ~specs ~until (`Sharded (Util.Shard_sync.Adaptive, None))
+  in
+  Alcotest.(check string) "sparse sharded == single" sig_single sig_sharded;
+  let naive_windows = int_of_float (until /. 20e-6) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds %d << %d naive lookahead windows" rounds
+       naive_windows)
+    true
+    (rounds * 20 < naive_windows)
+
+(* ------------------------------------------------------------------ *)
+(* Controller-attached sharded runs *)
+
+let rule_key (r : Flow.Table.rule) = (r.priority, r.pattern, r.actions)
+
+let ctl_flap topo =
+  List.find_map
+    (fun (l : Topo.Topology.link) ->
+      if Topo.Topology.Node.is_switch l.src
+         && Topo.Topology.Node.is_switch l.dst
+      then
+        Some
+          (Fault.Link_flap
+             { node = l.src; port = l.src_port; at = 0.057; duration = 0.043 })
+      else None)
+    (Topo.Topology.links topo)
+  |> Option.to_list
+
+let ctl_specs topo =
+  let host_ids = Array.of_list (Topo.Topology.host_ids topo) in
+  let n = Array.length host_ids in
+  List.init (n / 2) (fun i ->
+    { (Traffic.default_flow ~src:host_ids.(i) ~dst:host_ids.(n - 1 - i)) with
+      rate_pps = 1000.0; pkt_size = 200;
+      start = 0.0307 +. (float_of_int i *. 37e-6);
+      stop = 0.15 })
+
+let ctl_until = 0.25
+
+(* single-domain reference: routing app over the control channel *)
+let run_ctl_single () =
+  let topo = fst (Topo.Gen.fat_tree ~k:4 ()) in
+  let net = Network.create topo in
+  let lines = ref [] in
+  Network.set_tracer net (fun time s ->
+    lines := Printf.sprintf "%.9f %s" time s :: !lines);
+  let routing = Controller.Routing.create () in
+  let rt =
+    Controller.Runtime.create_and_handshake net
+      [ Controller.Routing.app routing ]
+  in
+  List.iter (fun s -> ignore (Traffic.cbr net s)) (ctl_specs topo);
+  Network.inject net (ctl_flap topo);
+  ignore (Network.run ~until:ctl_until net ());
+  let intended sw_id =
+    List.map rule_key (Controller.Runtime.intended_rules rt ~switch_id:sw_id)
+  in
+  let installed sw_id =
+    List.map rule_key (Flow.Table.rules (Network.switch net sw_id).table)
+  in
+  ( Shard.net_signature topo [ net ],
+    sort_trace !lines,
+    List.map
+      (fun id -> (id, intended id, installed id))
+      (Topo.Topology.switch_ids topo),
+    (Network.stats net).delivered )
+
+let run_ctl_sharded ~shards () =
+  let topo = fst (Topo.Gen.fat_tree ~k:4 ()) in
+  let t = Shard.create ~shards topo in
+  let per_shard = Array.map (fun _ -> ref []) (Shard.nets t) in
+  Array.iteri
+    (fun i net ->
+      let r = per_shard.(i) in
+      Network.set_tracer net (fun time s ->
+        r := Printf.sprintf "%.9f %s" time s :: !r))
+    (Shard.nets t);
+  let routing = Controller.Routing.create () in
+  let rt = Zen.with_controller_sharded t [ Controller.Routing.app routing ] in
+  List.iter
+    (fun (s : Traffic.flow_spec) ->
+      ignore (Traffic.cbr (Shard.net_of_host t s.src) s))
+    (ctl_specs topo);
+  Shard.inject t (ctl_flap topo);
+  ignore (Shard.run ~until:ctl_until t);
+  let intended sw_id =
+    List.map rule_key (Controller.Runtime.intended_rules rt ~switch_id:sw_id)
+  in
+  let installed sw_id =
+    List.map rule_key
+      (Flow.Table.rules (Network.switch (Shard.net_of_switch t sw_id) sw_id).table)
+  in
+  ( Shard.signature t,
+    sort_trace (Array.to_list per_shard |> List.concat_map (fun r -> !r)),
+    List.map
+      (fun id -> (id, intended id, installed id))
+      (Topo.Topology.switch_ids topo),
+    (Shard.stats t).delivered )
+
+let test_controller_sharded_equiv () =
+  let sig_s, trace_s, tables_s, delivered_s = run_ctl_single () in
+  let sig_p, trace_p, tables_p, delivered_p = run_ctl_sharded ~shards:2 () in
+  Alcotest.(check bool) "controller traffic flowed" true (delivered_s > 0);
+  Alcotest.(check int) "delivered equal" delivered_s delivered_p;
+  Alcotest.(check string) "controller signature equal" sig_s sig_p;
+  Alcotest.(check (list string)) "controller trace equal" trace_s trace_p;
+  List.iter2
+    (fun (id, intended_s, installed_s) (id', intended_p, installed_p) ->
+      Alcotest.(check int) "same switch" id id';
+      Alcotest.(check bool)
+        (Printf.sprintf "s%d sharded installed == intended" id)
+        true
+        (List.sort compare installed_p = List.sort compare intended_p);
+      Alcotest.(check bool)
+        (Printf.sprintf "s%d intended matches single-domain" id)
+        true
+        (List.sort compare intended_p = List.sort compare intended_s
+         && List.sort compare installed_p = List.sort compare installed_s))
+    tables_s tables_p
+
+(* ------------------------------------------------------------------ *)
+(* Shard_sync mailbox backpressure *)
+
+let test_sync_backpressure () =
+  let sync : int Util.Shard_sync.t =
+    Util.Shard_sync.create ~capacity:4 ~shards:2 ()
+  in
+  for i = 1 to 10 do
+    Util.Shard_sync.post sync ~src:1 ~dst:0 ~time:(float_of_int i) i
+  done;
+  Alcotest.(check int) "posts beyond capacity counted" 6
+    (Util.Shard_sync.backpressure sync);
+  Alcotest.(check int) "high-water tracks the burst" 10
+    (Util.Shard_sync.high_water sync);
+  Alcotest.(check int) "all envelopes survive (soft bound)" 10
+    (List.length (Util.Shard_sync.drain sync 0));
+  (* drained: the next burst within capacity adds no backpressure *)
+  for i = 1 to 4 do
+    Util.Shard_sync.post sync ~src:1 ~dst:0 ~time:(float_of_int i) i
+  done;
+  Alcotest.(check int) "within capacity after drain" 6
+    (Util.Shard_sync.backpressure sync);
+  Alcotest.(check int) "high-water is a high-water mark" 10
+    (Util.Shard_sync.high_water sync)
+
+(* ------------------------------------------------------------------ *)
 (* Shard_sync determinism *)
 
 let test_sync_drain_order () =
@@ -291,6 +582,47 @@ let test_sync_drain_order () =
     (Util.Shard_sync.drain sync 0 = []);
   Alcotest.(check int) "handoffs counted at the source" 2
     (Util.Shard_sync.handoffs_of sync 1)
+
+(* bursty posting with deliberate timestamp ties: drain order is the
+   total (time, src, seq) order, so per-source sequences stay monotone
+   no matter how the burst interleaves *)
+let drain_order_prop =
+  QCheck.Test.make ~count:100 ~name:"bursty mailbox drain order"
+    QCheck.(list_of_size (Gen.int_range 0 40) (pair (int_range 0 3) (int_range 0 5)))
+    (fun posts ->
+      let sync : int Util.Shard_sync.t =
+        Util.Shard_sync.create ~shards:4 ()
+      in
+      (* each source posts at non-decreasing times (like a shard
+         draining its queue); tick = 0 manufactures cross-source ties *)
+      let clock = Array.make 4 0.0 in
+      List.iteri
+        (fun i (src, tick) ->
+          clock.(src) <- clock.(src) +. float_of_int tick;
+          Util.Shard_sync.post sync ~src ~dst:0 ~time:clock.(src) i)
+        posts;
+      let drained = Util.Shard_sync.drain sync 0 in
+      let sorted =
+        List.sort
+          (fun (a : int Util.Shard_sync.envelope) b ->
+            compare (a.env_time, a.env_src, a.env_seq)
+              (b.env_time, b.env_src, b.env_seq))
+          drained
+      in
+      let monotone_per_src =
+        List.for_all
+          (fun src ->
+            let seqs =
+              List.filter_map
+                (fun (e : int Util.Shard_sync.envelope) ->
+                  if e.env_src = src then Some e.env_seq else None)
+                drained
+            in
+            List.sort compare seqs = seqs)
+          [ 0; 1; 2; 3 ]
+      in
+      List.length drained = List.length posts
+      && drained = sorted && monotone_per_src)
 
 (* ------------------------------------------------------------------ *)
 (* QCheck: sharded == single-domain over random scenarios *)
@@ -326,4 +658,13 @@ let suites =
           test_pod_partition_no_intra_pod_crossing;
         Alcotest.test_case "Shard_sync drain order" `Quick
           test_sync_drain_order;
+        Alcotest.test_case "Shard_sync mailbox backpressure" `Quick
+          test_sync_backpressure;
+        Alcotest.test_case "adaptive windows vs fixed (2-site)" `Quick
+          test_adaptive_vs_fixed_two_sites;
+        Alcotest.test_case "sparse fabric fast-forward" `Quick
+          test_sparse_fast_forward;
+        Alcotest.test_case "controller-attached sharded == single" `Quick
+          test_controller_sharded_equiv;
+        QCheck_alcotest.to_alcotest drain_order_prop;
         QCheck_alcotest.to_alcotest equiv_prop ] ) ]
