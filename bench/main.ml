@@ -2577,16 +2577,299 @@ let e18_smoke () =
     adaptive.e_rounds fixed.e_rounds
 
 (* ------------------------------------------------------------------ *)
+(* E19 — replicated controller: leader-lease failover and fencing *)
+
+let e19_resilience =
+  (* echo_miss_limit is high so control-channel loss cannot fake a
+     switch outage mid-measurement (the failover clock, not the switch
+     keepalive, is under test) *)
+  { Controller.Runtime.echo_period = 0.05; echo_miss_limit = 8;
+    retx_timeout = 0.01; retx_backoff = 2.0; retx_cap = 0.1;
+    selective_resync = true }
+
+let e19_routing_apps () =
+  [ Controller.Routing.app (Controller.Routing.create ()) ]
+
+type e19_result = {
+  f_trace : string list;
+  f_samples : float list;   (* failover detection -> all switches re-upped *)
+  f_diverged : int list;
+  f_counters : int * int * int;  (* control_msgs, control_bytes, delivered *)
+  f_repl : int * int * int * int;  (* failovers, completed, repl_msgs, drops *)
+  f_sent : int;
+}
+
+(* 6-ring under control-channel chaos with CBR crossing it; the leader
+   crashes at 0.6 s and stays down, the standby's lease expires and it
+   adopts every switch session, resyncing from its replicated shadow *)
+let e19_run ~seed ~drop ~dup ~jitter () =
+  let topo = Topo.Gen.ring ~switches:6 ~hosts_per_switch:1 () in
+  let fault = Dataplane.Fault.create ~seed ~drop ~dup ~jitter () in
+  let net = Dataplane.Network.create ~fault topo in
+  let r =
+    Controller.Replica.create ~resilience:e19_resilience ~replicas:2
+      ~lease:0.15 net e19_routing_apps
+  in
+  Dataplane.Network.inject net
+    [ Dataplane.Fault.Controller_outage
+        { controller_id = 0; at = 0.6; duration = 60.0 } ];
+  let senders =
+    List.map
+      (fun (src, dst) ->
+        Dataplane.Traffic.cbr net
+          { (Dataplane.Traffic.default_flow ~src ~dst) with
+            rate_pps = 200.0; pkt_size = 200; start = 0.1; stop = 2.5;
+            tp_src = Some 9000 })
+      [ (1, 4); (2, 5); (6, 3) ]
+  in
+  ignore (Dataplane.Network.run ~until:5.0 net ());
+  let s = Dataplane.Network.stats net in
+  let rs = Controller.Replica.stats r in
+  let result =
+    { f_trace = Dataplane.Fault.events fault;
+      f_samples = Controller.Replica.failover_samples r;
+      f_diverged = Controller.Replica.diverged r;
+      f_counters = (s.control_msgs, s.control_bytes, s.delivered);
+      f_repl = (rs.failovers, rs.takeovers_completed, rs.repl_msgs,
+                rs.repl_drops);
+      f_sent = List.fold_left (fun acc se -> acc + !se) 0 senders }
+  in
+  Controller.Replica.shutdown r;
+  result
+
+(* split brain, chaos-free and fully deterministic: the leader is cut
+   off the inter-controller channel only (its switch sessions keep
+   working), a confident keepalive keeps it writing, and each leader
+   incarnation schedules a distinct marker rule — the deposed leader's
+   must be fenced out *)
+let e19_split_brain () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let net = Dataplane.Network.create topo in
+  let incarnation = ref 0 in
+  let mk_apps () =
+    incr incarnation;
+    let cookie = if !incarnation = 1 then 0xdead else 0xbeef in
+    let marker =
+      { (Controller.Api.default_app "marker") with
+        switch_up =
+          (fun ctx ~switch_id ~ports:_ ->
+            if switch_id = 1 then
+              Controller.Api.schedule ctx ~delay:1.5 (fun () ->
+                Controller.Api.install ctx ~switch_id:1 ~priority:99 ~cookie
+                  Flow.Pattern.any [])) }
+    in
+    e19_routing_apps () @ [ marker ]
+  in
+  let r =
+    Controller.Replica.create
+      ~resilience:{ e19_resilience with echo_miss_limit = 10_000 }
+      ~replicas:2 ~lease:0.15 net mk_apps
+  in
+  Dataplane.Sim.schedule_at (Dataplane.Network.sim net) ~time:0.5 (fun () ->
+    Controller.Replica.partition r ~controller_id:0);
+  ignore (Dataplane.Network.run ~until:4.0 net ());
+  let cookies =
+    List.map
+      (fun (ru : Flow.Table.rule) -> ru.cookie)
+      (Flow.Table.rules (Dataplane.Network.switch net 1).table)
+  in
+  let fenced = (Dataplane.Network.stats net).fenced_writes in
+  let diverged = Controller.Replica.diverged r in
+  Controller.Replica.shutdown r;
+  (fenced, List.mem 0xdead cookies, List.mem 0xbeef cookies, diverged)
+
+(* replicas=1 must leave the single-controller path byte-identical: the
+   degenerate Replica instantiates a plain runtime — no fence frames, no
+   adoption, no heartbeats — so trace and counters match exactly *)
+let e19_parity ~replicated () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let net = Dataplane.Network.create topo in
+  let lines = ref [] in
+  Dataplane.Network.set_tracer net (fun time s ->
+    lines := Printf.sprintf "%.9f %s" time s :: !lines);
+  let switch_ids = Topo.Topology.switch_ids topo in
+  let cleanup =
+    if replicated then begin
+      let r =
+        Controller.Replica.create ~resilience:e19_resilience ~replicas:1
+          ~switch_ids net e19_routing_apps
+      in
+      fun () -> Controller.Replica.shutdown r
+    end
+    else begin
+      let rt =
+        Controller.Runtime.create ~resilience:e19_resilience ~switch_ids net
+          (e19_routing_apps ())
+      in
+      fun () -> Controller.Runtime.shutdown rt
+    end
+  in
+  ignore (Dataplane.Network.run ~until:0.05 net ());
+  Dataplane.Traffic.install_responders net;
+  let result = Dataplane.Traffic.ping net ~src:1 ~dst:3 ~count:3 ~interval:0.02 in
+  ignore (Dataplane.Network.run ~until:2.0 net ());
+  cleanup ();
+  let s = Dataplane.Network.stats net in
+  ( List.rev !lines,
+    (s.control_msgs, s.control_bytes, s.delivered),
+    List.length !(result.rtts) )
+
+let e19_chaos_levels =
+  [ ("drop-10", 0.10, 0.0, 0.0);
+    ("drop-20-dup-5-jitter", 0.20, 0.05, 1e-3) ]
+
+let e19_seeds = List.init 12 (fun i -> 7000 + i)
+
+let e19 () =
+  header "E19 — replicated controller: failover time, divergence, fencing";
+  pf "expected shape: the standby detects the expired lease within the@.";
+  pf "stagger bound and re-adopts every switch in a handful of heartbeat@.";
+  pf "intervals (selective resync makes warm tables nearly free); chaos@.";
+  pf "stretches the tail but never yields divergence; a partitioned stale@.";
+  pf "leader keeps writing and every such write is fenced out.@.@.";
+  pf "%-22s | %5s %8s %8s %8s %5s@." "chaos" "runs" "p50(s)" "p95(s)"
+    "p99(s)" "conv";
+  pf "%s@." (String.make 66 '-');
+  List.iter
+    (fun (name, drop, dup, jitter) ->
+      let results =
+        List.map (fun seed -> e19_run ~seed ~drop ~dup ~jitter ()) e19_seeds
+      in
+      let samples = List.concat_map (fun r -> r.f_samples) results in
+      let diverged = List.concat_map (fun r -> r.f_diverged) results in
+      let complete =
+        List.for_all
+          (fun r ->
+            let f, c, _, _ = r.f_repl in
+            f = 1 && c = 1)
+          results
+      in
+      pf "%-22s | %5d %8.3f %8.3f %8.3f %5s@." name (List.length results)
+        (Util.Stats.percentile samples 50.0)
+        (Util.Stats.percentile samples 95.0)
+        (Util.Stats.percentile samples 99.0)
+        (if diverged = [] && complete then "yes" else "NO");
+      record ~experiment:"e19" ~metric:(name ^ "/failover-p50")
+        (Util.Stats.percentile samples 50.0);
+      record ~experiment:"e19" ~metric:(name ^ "/failover-p95")
+        (Util.Stats.percentile samples 95.0);
+      record ~experiment:"e19" ~metric:(name ^ "/failover-p99")
+        (Util.Stats.percentile samples 99.0);
+      record ~experiment:"e19" ~metric:(name ^ "/diverged")
+        (float_of_int (List.length diverged)))
+    e19_chaos_levels;
+  let fenced, stale_landed, fresh_landed, sb_diverged = e19_split_brain () in
+  pf "@.split brain: %d fenced writes, stale marker %s, new leader's \
+      marker %s, %s@."
+    fenced
+    (if stale_landed then "LANDED" else "rejected")
+    (if fresh_landed then "landed" else "MISSING")
+    (if sb_diverged = [] then "converged" else "DIVERGED");
+  record ~experiment:"e19" ~metric:"split-brain/fenced-writes"
+    (float_of_int fenced);
+  record ~experiment:"e19" ~metric:"split-brain/stale-installs"
+    (if stale_landed then 1.0 else 0.0);
+  let trace_p, counts_p, pings_p = e19_parity ~replicated:false () in
+  let trace_r, counts_r, pings_r = e19_parity ~replicated:true () in
+  let identical =
+    trace_p = trace_r && counts_p = counts_r && pings_p = pings_r
+  in
+  pf "replicas=1 parity: %s (%d trace lines, %d pings)@."
+    (if identical then "byte-identical" else "DIVERGED")
+    (List.length trace_p) pings_p;
+  record ~experiment:"e19" ~metric:"replicas1-parity"
+    (if identical then 1.0 else 0.0)
+
+(* CI gate: same seed twice -> byte-identical failover trace and
+   counters; post-failover tables == the surviving leader's intended
+   shadow; failover completes within a bounded number of heartbeat
+   intervals; the split-brain scenario installs zero stale-leader rules;
+   replicas=1 stays byte-identical to the plain runtime *)
+let e19_smoke () =
+  header "E19 smoke — failover determinism + convergence + fencing";
+  let run () =
+    e19_run ~seed:7007 ~drop:0.2 ~dup:0.05 ~jitter:1e-3 ()
+  in
+  let a = run () in
+  let b = run () in
+  let failovers, completed, repl_msgs, repl_drops = a.f_repl in
+  pf "seed 7007: %d failovers (%d completed), %d repl msgs (%d dropped), \
+      %d trace events, samples %s@."
+    failovers completed repl_msgs repl_drops
+    (List.length a.f_trace)
+    (String.concat ", "
+       (List.map (Printf.sprintf "%.3fs") a.f_samples));
+  (match a.f_samples with
+   | s :: _ -> record ~experiment:"e19-smoke" ~metric:"failover-s" s
+   | [] -> ());
+  if
+    a.f_trace <> b.f_trace || a.f_counters <> b.f_counters
+    || a.f_samples <> b.f_samples || a.f_repl <> b.f_repl
+    || a.f_sent <> b.f_sent
+  then begin
+    pf "SMOKE FAILURE: same seed produced different failover runs@.";
+    exit 1
+  end;
+  if failovers <> 1 || completed <> 1 then begin
+    pf "SMOKE FAILURE: expected exactly one completed failover, got %d/%d@."
+      failovers completed;
+    exit 1
+  end;
+  if a.f_diverged <> [] then begin
+    pf "SMOKE FAILURE: switches %s diverged from the surviving leader@."
+      (String.concat ", " (List.map string_of_int a.f_diverged));
+    exit 1
+  end;
+  let hb = 0.15 /. 3.0 in
+  let bound = 40.0 *. hb in
+  List.iter
+    (fun s ->
+      if s > bound then begin
+        pf "SMOKE FAILURE: failover took %.3fs (> %.1f heartbeat \
+            intervals)@."
+          s (bound /. hb);
+        exit 1
+      end)
+    a.f_samples;
+  let fenced, stale_landed, fresh_landed, sb_diverged = e19_split_brain () in
+  record ~experiment:"e19-smoke" ~metric:"split-brain-fenced"
+    (float_of_int fenced);
+  if fenced < 1 then begin
+    pf "SMOKE FAILURE: the partitioned stale leader was never fenced@.";
+    exit 1
+  end;
+  if stale_landed then begin
+    pf "SMOKE FAILURE: a stale-leader rule landed despite the fence@.";
+    exit 1
+  end;
+  if (not fresh_landed) || sb_diverged <> [] then begin
+    pf "SMOKE FAILURE: the new leader's writes did not converge@.";
+    exit 1
+  end;
+  let trace_p, counts_p, pings_p = e19_parity ~replicated:false () in
+  let trace_r, counts_r, pings_r = e19_parity ~replicated:true () in
+  if trace_p <> trace_r || counts_p <> counts_r || pings_p <> pings_r
+  then begin
+    pf "SMOKE FAILURE: replicas=1 diverged from the plain runtime@.";
+    exit 1
+  end;
+  pf "smoke ok: byte-identical failover runs, tables == intended, \
+      failover within %.0f heartbeats, %d stale writes fenced with zero \
+      installed, replicas=1 byte-identical@."
+    (bound /. hb) fenced
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e9-chaos", e9_chaos);
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e9-chaos", e9_chaos);
     ("e1-smoke", e1_smoke); ("e2-smoke", e2_smoke); ("e3-smoke", e3_smoke);
     ("e8-smoke", e8_smoke); ("e9-smoke", e9_smoke);
     ("e15-shard-smoke", e15_smoke); ("e16-smoke", e16_smoke);
-    ("e17-smoke", e17_smoke); ("e18-smoke", e18_smoke); ("micro", micro) ]
+    ("e17-smoke", e17_smoke); ("e18-smoke", e18_smoke);
+    ("e19-smoke", e19_smoke); ("micro", micro) ]
 
 let () =
   (* pull out a --json FILE pair; remaining args name experiments *)

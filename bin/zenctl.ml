@@ -170,7 +170,8 @@ let json_of_counters (c : Dataplane.Network.counters) =
       ("reordered", string_of_int c.reordered);
       ("forwarded", string_of_int c.forwarded);
       ("control_msgs", string_of_int c.control_msgs);
-      ("control_bytes", string_of_int c.control_bytes) ]
+      ("control_bytes", string_of_int c.control_bytes);
+      ("fenced_writes", string_of_int c.fenced_writes) ]
 
 let simulate_cmd =
   let flows_arg =
@@ -533,18 +534,60 @@ let chaos_cmd =
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the chaos event trace.")
   in
+  let replicas_arg =
+    Arg.(value & opt int 1
+         & info [ "replicas" ] ~docv:"N"
+             ~doc:"Run N controller replicas under a leader lease \
+                   (default 1: plain single controller).")
+  in
+  let lease_arg =
+    Arg.(value & opt float 150.0
+         & info [ "lease" ] ~docv:"MS"
+             ~doc:"Leader lease in milliseconds (replicas > 1).")
+  in
+  let ctl_crash_arg =
+    Arg.(value & opt (some int) None
+         & info [ "ctl-crash" ] ~docv:"ID"
+             ~doc:"Crash controller ID mid-run (replicas > 1: a standby \
+                   detects the expired lease and takes over).")
+  in
+  let split_brain_arg =
+    Arg.(value & flag
+         & info [ "split-brain" ]
+             ~doc:"Partition the leader off the inter-controller channel \
+                   mid-run (it keeps writing; fencing must reject it), \
+                   healing near the end.")
+  in
   let run spec seed drop dup jitter link_drop link_corrupt link_reorder flaps
-      crash flows rate duration trace =
+      crash flows rate duration trace replicas lease_ms ctl_crash split_brain =
     let topo = or_die (load_topo spec) in
     let fault =
       Dataplane.Fault.create ~seed ~drop ~dup ~jitter ~link_drop ~link_corrupt
         ~link_reorder ()
     in
     let net = Zen.create ~fault topo in
-    let routing = Controller.Routing.create () in
+    let mk_apps () = [ Controller.Routing.app (Controller.Routing.create ()) ] in
+    let replica =
+      if replicas > 1 then
+        Some
+          (Zen.with_replicas
+             ~resilience:Controller.Runtime.default_resilience ~replicas
+             ~lease:(lease_ms /. 1000.0) net mk_apps)
+      else None
+    in
+    let rt_of_replica () =
+      match replica with
+      | None -> None
+      | Some r -> Controller.Replica.leader_runtime r
+    in
     let rt =
-      Zen.with_controller ~resilience:Controller.Runtime.default_resilience net
-        [ Controller.Routing.app routing ]
+      match replica with
+      | Some _ -> None
+      | None ->
+        Some
+          (Zen.with_controller
+             ~resilience:Controller.Runtime.default_resilience net
+             (mk_apps ()))
     in
     (* the whole scenario — flap targets, times, traffic — derives from
        the one chaos seed, so a run is reproducible end to end *)
@@ -563,13 +606,35 @@ let chaos_cmd =
             at = 0.2 *. duration +. Util.Prng.float scenario (0.4 *. duration);
             duration = 0.2 *. duration })
       @
-      match crash with
-      | None -> []
-      | Some switch_id ->
-        [ Dataplane.Fault.Switch_outage
-            { switch_id; at = 0.3 *. duration; duration = 0.3 *. duration } ]
+      (match crash with
+       | None -> []
+       | Some switch_id ->
+         [ Dataplane.Fault.Switch_outage
+             { switch_id; at = 0.3 *. duration; duration = 0.3 *. duration } ])
+      @ (match ctl_crash with
+         | None -> []
+         | Some controller_id ->
+           [ Dataplane.Fault.Controller_outage
+               { controller_id; at = 0.3 *. duration;
+                 duration = 0.4 *. duration } ])
+      @ Dataplane.Fault.ctl_incidents_from_env ()
     in
     Dataplane.Network.inject net.network incidents;
+    (match (replica, split_brain) with
+     | Some r, true ->
+       (* cut the current leader off the replication channel mid-run;
+          heal near the end so the deposed leader steps down on record *)
+       let sim = Dataplane.Network.sim net.network in
+       Dataplane.Sim.schedule_at sim ~time:(0.3 *. duration) (fun () ->
+         match Controller.Replica.leader r with
+         | Some id -> Controller.Replica.partition r ~controller_id:id
+         | None -> ());
+       Dataplane.Sim.schedule_at sim ~time:(0.8 *. duration) (fun () ->
+         List.iter
+           (fun id ->
+             Controller.Replica.heal r ~controller_id:id)
+           (List.init replicas Fun.id))
+     | _ -> ());
     let senders =
       Dataplane.Traffic.random_pairs net.network ~prng:scenario ~flows
         ~rate_pps:rate ~pkt_size:500 ~stop:duration
@@ -583,40 +648,74 @@ let chaos_cmd =
        else 100.0 *. float_of_int delivered /. float_of_int sent)
       flows;
     Format.printf "%a@." Dataplane.Fault.pp_stats fault;
-    let rs = Controller.Runtime.resilience_stats rt in
-    Format.printf
-      "control plane: %d retransmits, %d echo misses, %d switch-down events, \
-       %d resyncs, %d batches acked, %d dropped@."
-      rs.retransmits rs.echo_misses rs.switch_downs rs.resyncs
-      rs.acked_batches rs.dropped_batches;
-    (match Controller.Runtime.recovery_times rt with
-     | [] -> Format.printf "recoveries: none@."
-     | ts ->
+    let live_rt =
+      match rt with Some _ -> rt | None -> rt_of_replica ()
+    in
+    (match live_rt with
+     | None -> Format.printf "control plane: no live controller@."
+     | Some rt ->
+       let rs = Controller.Runtime.resilience_stats rt in
        Format.printf
-         "recoveries: %d, time p50=%.3fs p95=%.3fs p99=%.3fs@."
-         (List.length ts)
-         (Util.Stats.percentile ts 50.0)
-         (Util.Stats.percentile ts 95.0)
-         (Util.Stats.percentile ts 99.0));
+         "control plane: %d retransmits, %d echo misses, %d switch-down \
+          events, %d resyncs, %d batches acked, %d dropped@."
+         rs.retransmits rs.echo_misses rs.switch_downs rs.resyncs
+         rs.acked_batches rs.dropped_batches;
+       match Controller.Runtime.recovery_times rt with
+       | [] -> Format.printf "recoveries: none@."
+       | ts ->
+         Format.printf
+           "recoveries: %d, time p50=%.3fs p95=%.3fs p99=%.3fs@."
+           (List.length ts)
+           (Util.Stats.percentile ts 50.0)
+           (Util.Stats.percentile ts 95.0)
+           (Util.Stats.percentile ts 99.0));
+    (match replica with
+     | None -> ()
+     | Some r ->
+       let s = Controller.Replica.stats r in
+       Format.printf
+         "replication: leader=%s epoch=%d, %d failovers (%d completed), %d \
+          step-downs, %d heartbeats, %d deltas, %d syncs, %d repl msgs (%d \
+          dropped), %d fenced writes@."
+         (match Controller.Replica.leader r with
+          | Some id -> Printf.sprintf "c%d" id
+          | None -> "none")
+         (Controller.Replica.epoch r)
+         s.failovers s.takeovers_completed s.step_downs s.hb_sent
+         s.deltas_sent s.syncs s.repl_msgs s.repl_drops
+         (Dataplane.Network.stats net.network).fenced_writes;
+       match Controller.Replica.failover_samples r with
+       | [] -> Format.printf "failovers: none@."
+       | ts ->
+         Format.printf "failovers: %d, time p50=%.3fs p95=%.3fs p99=%.3fs@."
+           (List.length ts)
+           (Util.Stats.percentile ts 50.0)
+           (Util.Stats.percentile ts 95.0)
+           (Util.Stats.percentile ts 99.0));
     let diverged =
-      List.filter
-        (fun (sw : Dataplane.Network.switch) ->
-          let key (r : Flow.Table.rule) =
-            (r.priority, r.pattern, r.actions, r.cookie)
-          in
-          let keys rules = List.sort compare (List.map key rules) in
-          keys (Flow.Table.rules sw.table)
-          <> keys (Controller.Runtime.intended_rules rt ~switch_id:sw.sw_id))
-        (Dataplane.Network.switch_list net.network)
+      match replica with
+      | Some r -> Controller.Replica.diverged r
+      | None ->
+        (match live_rt with
+         | None -> []
+         | Some rt ->
+           List.filter
+             (fun (sw : Dataplane.Network.switch) ->
+               let key (r : Flow.Table.rule) =
+                 (r.priority, r.pattern, r.actions, r.cookie)
+               in
+               let keys rules = List.sort compare (List.map key rules) in
+               keys (Flow.Table.rules sw.table)
+               <> keys
+                    (Controller.Runtime.intended_rules rt ~switch_id:sw.sw_id))
+             (Dataplane.Network.switch_list net.network)
+           |> List.map (fun (sw : Dataplane.Network.switch) -> sw.sw_id))
     in
     (match diverged with
      | [] -> Format.printf "convergence: all tables equal intended state@."
      | sws ->
        Format.printf "convergence: DIVERGED on switches %s@."
-         (String.concat ", "
-            (List.map
-               (fun (sw : Dataplane.Network.switch) -> string_of_int sw.sw_id)
-               sws)));
+         (String.concat ", " (List.map string_of_int sws)));
     if trace then
       List.iter print_endline (Dataplane.Fault.events fault);
     if diverged <> [] then exit 4
@@ -629,7 +728,8 @@ let chaos_cmd =
     Term.(const run $ topo_arg $ seed_arg $ drop_arg $ dup_arg $ jitter_arg
           $ link_drop_arg $ corrupt_arg $ reorder_arg
           $ flaps_arg $ crash_arg $ flows_arg $ rate_arg $ duration_arg
-          $ trace_arg)
+          $ trace_arg $ replicas_arg $ lease_arg $ ctl_crash_arg
+          $ split_brain_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ping *)

@@ -167,6 +167,18 @@ type app = {
     Openflow.Message.payload -> unit;
   port_status : ctx -> switch_id:int -> port:int -> up:bool -> unit;
   flow_removed : ctx -> switch_id:int -> Openflow.Message.flow_removed -> unit;
+  export_state : ctx -> string option;
+      (** replication hook (see {!Controller.Replica}): an opaque blob of
+          the app's durable state, shipped to standby controllers with
+          each heartbeat.  [None] (the default) = stateless — tables and
+          topology reactions are rebuilt from events, nothing to carry.
+          Export only what a fresh instance cannot re-derive (e.g. a
+          version counter whose values are still live in the dataplane,
+          see {!Update.export_state}). *)
+  import_state : ctx -> string -> unit;
+      (** replication hook: a newly-promoted leader's fresh app instance
+          receives the latest blob the old leader exported (called once,
+          before any [switch_up] events).  Default: ignore. *)
 }
 
 (** An app with every callback a no-op; override the fields you need. *)
@@ -176,4 +188,6 @@ let default_app name =
     switch_down = (fun _ ~switch_id:_ -> ());
     packet_in = (fun _ ~switch_id:_ ~port:_ ~reason:_ _ -> ());
     port_status = (fun _ ~switch_id:_ ~port:_ ~up:_ -> ());
-    flow_removed = (fun _ ~switch_id:_ _ -> ()) }
+    flow_removed = (fun _ ~switch_id:_ _ -> ());
+    export_state = (fun _ -> None);
+    import_state = (fun _ _ -> ()) }

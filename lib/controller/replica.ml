@@ -1,0 +1,641 @@
+(** Replicated controller: 2+ {!Runtime} instances over one
+    {!Dataplane.Network} under a leader-lease protocol.
+
+    One member holds the lease and owns every switch control session
+    (adopted via {!Dataplane.Network.adopt}); it is the only writer.
+    The leader streams its intended state to the standbys over a
+    seeded-chaos-capable inter-controller channel: heartbeats every
+    [lease/3] carry the lease epoch, the xid high-water mark and the
+    apps' exported state blobs, and every flow-mod it shadows is
+    forwarded as a delta, so each standby maintains a replica of
+    {!Runtime.intended_rules} for every switch.
+
+    {b Failover.}  A standby that misses heartbeats for a full lease
+    (staggered per member so two standbys never take over in the same
+    instant) declares the lease expired, bumps the epoch, creates a
+    fresh runtime {e seeded from its replica} ([~shadows]), adopts every
+    switch session — frames already in flight re-home with the session —
+    and re-handshakes.  Because the seeded shadow marks every switch as
+    previously handshaked, the first features reply triggers the PR 7
+    selective-resync diff: warm tables receive only the delta between
+    what the switch holds and what the replica says it should hold.
+
+    {b Split brain.}  The lease alone is only a failure detector: a
+    deposed leader that is merely partitioned from its peers still
+    believes it holds the lease and keeps (re)transmitting.  Safety
+    comes from fencing: every reliable batch opens with a
+    {!Openflow.Message.Fence} carrying the sender's epoch, switches
+    remember the highest epoch seen and reject flow-mods fenced with a
+    lower one ([fenced_writes] counts them).  A strictly higher fence
+    also resets the switch's flow-mod xid dedup, so the new leader's
+    (replicated, possibly lagging) xid sequence is never wrongly deduped
+    against the old leader's, while each leader's own retransmits still
+    dedup within its epoch.  On heal, the deposed leader sees a
+    higher-epoch heartbeat and steps down to standby.
+
+    With [replicas = 1] no replication machinery is instantiated at all
+    — no fencing, no heartbeats, plain {!Runtime.create} — so the
+    single-controller path is byte-identical to a non-replicated run. *)
+
+module Network = Dataplane.Network
+module Sim = Dataplane.Sim
+module Fault = Dataplane.Fault
+
+type role = Leader | Standby | Down
+
+type config = {
+  replicas : int;
+  lease : float;       (** lease duration, seconds *)
+  hb_period : float;   (** heartbeat period, [lease / 3] *)
+  repl_latency : float;(** one-way inter-controller latency *)
+}
+
+(* one inter-controller message; deltas carry the decoded message (the
+   channel is in-process) but are accounted at wire size *)
+type repl_msg =
+  | Hb of { h_epoch : int; h_xid : int; h_states : (string * string) list }
+  | Delta of { d_epoch : int; d_xid : int; d_sw : int;
+               d_msg : Openflow.Message.t }
+  | Sync_req of { sr_from : int }
+  | Sync_full of { sf_epoch : int; sf_xid : int;
+                   sf_tables : (int * Flow.Table.rule list) list;
+                   sf_states : (string * string) list }
+
+type member = {
+  m_id : int;
+  mutable role : role;
+  mutable runtime : Runtime.t option;
+  mutable apps : Api.app list;
+  m_shadows : (int, Flow.Table.t) Hashtbl.t;
+      (* standby: replicated copy of the leader's intended state *)
+  mutable m_states : (string * string) list;  (* replicated app blobs *)
+  mutable m_epoch : int;   (* highest lease epoch known *)
+  mutable m_xid : int;     (* leader's replicated xid high-water mark *)
+  mutable last_hb : float;
+  mutable synced : bool;   (* false while a rejoined standby awaits Sync_full *)
+  mutable partitioned : bool;  (* inter-controller channel cut (split brain) *)
+  mutable term : int;
+      (* local loop-invalidation counter: every role change bumps it, and
+         every periodic loop captures it at start — a loop whose term is
+         stale belongs to a previous life of this member and stops *)
+}
+
+type stats = {
+  mutable failovers : int;        (** lease expiries acted on (takeovers begun) *)
+  mutable takeovers_completed : int;
+  mutable step_downs : int;       (** deposed leaders demoted on heal *)
+  mutable hb_sent : int;
+  mutable deltas_sent : int;
+  mutable repl_msgs : int;        (** inter-controller messages sent *)
+  mutable repl_bytes : int;       (** at modeled wire size *)
+  mutable repl_drops : int;       (** lost to chaos or partition *)
+  mutable syncs : int;            (** full-state transfers to rejoining standbys *)
+  mutable failover_samples : float list;
+      (** lease-expiry detection → every switch re-upped, newest first *)
+}
+
+type t = {
+  net : Network.t;
+  cfg : config;
+  latency : float;
+  resilience : Runtime.resilience;
+  mk_apps : unit -> Api.app list;
+      (* app factory: each leader incarnation runs fresh app instances
+         (replicated state re-enters through [import_state]) *)
+  switch_ids : int list;
+  members : member array;
+  repl_fault : Fault.t option;  (* chaos on the inter-controller channel *)
+  repl_arrival : (int, float ref) Hashtbl.t;
+      (* per (src, dst) monotone delivery clamp: the channel models an
+         ordered transport, jitter must not reorder it *)
+  rstats : stats;
+  mutable stopped : bool;
+}
+
+let default_lease = 0.15
+
+let env_replicas () =
+  match Sys.getenv_opt "ZEN_REPLICAS" with
+  | None | Some "" -> None
+  | Some s -> int_of_string_opt s
+
+let env_lease () =
+  match Sys.getenv_opt "ZEN_LEASE_MS" with
+  | None | Some "" -> None
+  | Some s -> Option.map (fun ms -> ms /. 1000.0) (float_of_string_opt s)
+
+let now t = Network.now t.net
+let sim t = Network.sim t.net
+
+let note t fmt =
+  Printf.ksprintf
+    (fun s ->
+      match Network.fault t.net with
+      | Some f -> Fault.note f ~time:(now t) "%s" s
+      | None -> ())
+    fmt
+
+(* a member's lease-expiry threshold, staggered by id so two standbys
+   never declare expiry in the same tick *)
+let expiry t m = t.cfg.lease +. (float_of_int m.m_id *. t.cfg.hb_period)
+
+(* ------------------------------------------------------------------ *)
+(* Inter-controller channel *)
+
+let repl_size (msg : repl_msg) =
+  match msg with
+  | Hb { h_states; _ } ->
+    16 + List.fold_left (fun a (n, s) -> a + String.length n + String.length s)
+           0 h_states
+  | Delta { d_msg; _ } ->
+    8 + Bytes.length (Openflow.Wire.encode ~xid:0 d_msg)
+  | Sync_req _ -> 8
+  | Sync_full { sf_tables; sf_states; _ } ->
+    16
+    + List.fold_left (fun a (_, rules) -> a + (40 * List.length rules)) 0
+        sf_tables
+    + List.fold_left (fun a (n, s) -> a + String.length n + String.length s)
+        0 sf_states
+
+let rec send_repl t ~src ~dst msg =
+  if not t.stopped then begin
+    let ms = t.members.(src) and md = t.members.(dst) in
+    t.rstats.repl_msgs <- t.rstats.repl_msgs + 1;
+    t.rstats.repl_bytes <- t.rstats.repl_bytes + repl_size msg;
+    if ms.partitioned || md.partitioned then
+      t.rstats.repl_drops <- t.rstats.repl_drops + 1
+    else begin
+      let deliver time =
+        (* FIFO clamp per (src, dst) pair *)
+        let key = (src * 64) + dst in
+        let r =
+          match Hashtbl.find_opt t.repl_arrival key with
+          | Some r -> r
+          | None ->
+            let r = ref 0.0 in
+            Hashtbl.replace t.repl_arrival key r;
+            r
+        in
+        let time = if time < !r then !r else time in
+        r := time;
+        Sim.schedule_at (sim t) ~time (fun () -> recv_repl t md msg)
+      in
+      match t.repl_fault with
+      | None -> deliver (now t +. t.cfg.repl_latency)
+      | Some f ->
+        let v = Fault.decide f in
+        if v.v_drop then begin
+          t.rstats.repl_drops <- t.rstats.repl_drops + 1;
+          Fault.note f ~time:(now t) "repl-drop c%d->c%d" src dst
+        end
+        else begin
+          deliver (now t +. t.cfg.repl_latency +. v.v_delay);
+          if v.v_dup then
+            deliver (now t +. t.cfg.repl_latency +. v.v_dup_delay)
+        end
+    end
+  end
+
+and broadcast t ~src msg =
+  Array.iter
+    (fun (m : member) ->
+      if m.m_id <> src then send_repl t ~src ~dst:m.m_id msg)
+    t.members
+
+(* ------------------------------------------------------------------ *)
+(* Standby state *)
+
+and shadow_of m sw =
+  match Hashtbl.find_opt m.m_shadows sw with
+  | Some table -> table
+  | None ->
+    let table = Flow.Table.create () in
+    Hashtbl.replace m.m_shadows sw table;
+    table
+
+and replicated_rules t m =
+  List.map
+    (fun sid ->
+      ( sid,
+        match Hashtbl.find_opt m.m_shadows sid with
+        | Some table -> Flow.Table.rules table
+        | None -> [] ))
+    t.switch_ids
+
+and load_tables m tables =
+  Hashtbl.reset m.m_shadows;
+  List.iter
+    (fun (sid, rules) ->
+      let table = shadow_of m sid in
+      List.iter
+        (fun (ru : Flow.Table.rule) ->
+          Flow.Table.add table
+            (Flow.Table.make_rule ~priority:ru.priority ~pattern:ru.pattern
+               ~actions:ru.actions ~idle_timeout:ru.idle_timeout
+               ~hard_timeout:ru.hard_timeout ~cookie:ru.cookie ()))
+        rules)
+    tables
+
+(* ------------------------------------------------------------------ *)
+(* Receive *)
+
+and recv_repl t m msg =
+  if (not t.stopped) && m.role <> Down && not m.partitioned then
+    match msg with
+    | Hb { h_epoch; h_xid; h_states } ->
+      if h_epoch >= m.m_epoch then begin
+        (match m.role with
+         | Leader when h_epoch > m.m_epoch ->
+           (* a higher lease epoch exists: this member was deposed while
+              partitioned — stop writing and rejoin as a standby *)
+           step_down t m h_epoch
+         | _ -> ());
+        if m.role = Standby then begin
+          m.last_hb <- now t;
+          m.m_epoch <- h_epoch;
+          if h_xid > m.m_xid then m.m_xid <- h_xid;
+          m.m_states <- h_states
+        end
+      end
+    | Delta { d_epoch; d_xid; d_sw; d_msg } ->
+      if m.role = Standby && d_epoch >= m.m_epoch then begin
+        m.last_hb <- now t;
+        m.m_epoch <- d_epoch;
+        if d_xid > m.m_xid then m.m_xid <- d_xid;
+        match d_msg with
+        | Openflow.Message.Flow_mod fm ->
+          Runtime.shadow_apply (shadow_of m d_sw) fm
+        | _ -> ()
+      end
+    | Sync_req { sr_from } ->
+      (match (m.role, m.runtime) with
+       | Leader, Some rt ->
+         t.rstats.syncs <- t.rstats.syncs + 1;
+         let tables =
+           List.map
+             (fun sid -> (sid, Runtime.intended_rules rt ~switch_id:sid))
+             t.switch_ids
+         in
+         send_repl t ~src:m.m_id ~dst:sr_from
+           (Sync_full
+              { sf_epoch = m.m_epoch; sf_xid = Runtime.next_xid rt;
+                sf_tables = tables; sf_states = export_states t m })
+       | _ -> ())
+    | Sync_full { sf_epoch; sf_xid; sf_tables; sf_states } ->
+      if m.role = Standby && (not m.synced) && sf_epoch >= m.m_epoch then begin
+        load_tables m sf_tables;
+        m.m_states <- sf_states;
+        m.m_epoch <- sf_epoch;
+        if sf_xid > m.m_xid then m.m_xid <- sf_xid;
+        m.synced <- true;
+        m.last_hb <- now t;
+        note t "sync c%d epoch=%d" m.m_id sf_epoch
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Leader side *)
+
+and export_states _t m =
+  match m.runtime with
+  | None -> []
+  | Some rt ->
+    List.filter_map
+      (fun (app : Api.app) ->
+        match app.export_state (Runtime.ctx rt) with
+        | Some blob -> Some (app.name, blob)
+        | None -> None)
+      m.apps
+
+and hb_loop t m term =
+  if (not t.stopped) && m.term = term && m.role = Leader then begin
+    (match m.runtime with
+     | Some rt ->
+       t.rstats.hb_sent <- t.rstats.hb_sent + 1;
+       broadcast t ~src:m.m_id
+         (Hb
+            { h_epoch = m.m_epoch; h_xid = Runtime.next_xid rt;
+              h_states = export_states t m })
+     | None -> ());
+    Sim.schedule (sim t) ~delay:t.cfg.hb_period (fun () -> hb_loop t m term)
+  end
+
+and mk_on_shadow t m ~switch_id msg =
+  if m.role = Leader then begin
+    t.rstats.deltas_sent <- t.rstats.deltas_sent + 1;
+    let xid =
+      match m.runtime with Some rt -> Runtime.next_xid rt | None -> m.m_xid
+    in
+    broadcast t ~src:m.m_id
+      (Delta { d_epoch = m.m_epoch; d_xid = xid; d_sw = switch_id;
+               d_msg = msg })
+  end
+
+(* hand every switch session to [rt] — in-flight frames re-home at
+   delivery, dedup state and FIFO clamps stay on the switch.  The new
+   epoch is asserted on each switch immediately: fencing tokens normally
+   ride only on flow-mod batches, so after a {e clean} handoff (warm
+   converged tables, selective resync sends nothing) the switch would
+   otherwise still hold the old epoch — and a deposed leader's
+   equal-fenced writes would land *)
+and adopt_all t rt ~epoch =
+  let h = Runtime.handler rt in
+  List.iter
+    (fun sid ->
+      Network.adopt (Network.ctl_channel t.net sid) h;
+      Network.controller_send t.net ~switch_id:sid
+        (Openflow.Wire.encode_batch [ (0, Openflow.Message.Fence epoch) ]))
+    t.switch_ids
+
+and start_leader t m ~shadows =
+  m.role <- Leader;
+  m.term <- m.term + 1;
+  let apps = t.mk_apps () in
+  let rt =
+    Runtime.create ~latency:t.latency ~resilience:t.resilience
+      ~switch_ids:t.switch_ids ~attach:false ~fence:m.m_epoch
+      ~xid_base:(m.m_xid + 1) ~shadows ~on_shadow:(mk_on_shadow t m) t.net
+      apps
+  in
+  m.runtime <- Some rt;
+  m.apps <- apps;
+  adopt_all t rt ~epoch:m.m_epoch;
+  (* replicated app state enters before any switch_up event fires (the
+     features replies are still in flight) *)
+  List.iter
+    (fun (app : Api.app) ->
+      match List.assoc_opt app.name m.m_states with
+      | Some blob -> app.import_state (Runtime.ctx rt) blob
+      | None -> ())
+    apps;
+  hb_loop t m m.term;
+  rt
+
+and step_down t m new_epoch =
+  t.rstats.step_downs <- t.rstats.step_downs + 1;
+  note t "step-down c%d epoch=%d" m.m_id new_epoch;
+  (match m.runtime with Some rt -> Runtime.shutdown rt | None -> ());
+  m.runtime <- None;
+  m.apps <- [];
+  m.role <- Standby;
+  m.term <- m.term + 1;
+  m.m_epoch <- new_epoch;
+  m.synced <- false;
+  Hashtbl.reset m.m_shadows;
+  m.m_states <- [];
+  m.last_hb <- now t;
+  monitor_loop t m m.term
+
+(* ------------------------------------------------------------------ *)
+(* Standby side: lease monitoring and takeover *)
+
+and takeover t m =
+  t.rstats.failovers <- t.rstats.failovers + 1;
+  let detect = now t in
+  m.m_epoch <- m.m_epoch + 1;
+  note t "takeover c%d epoch=%d" m.m_id m.m_epoch;
+  let shadows = replicated_rules t m in
+  let rt = start_leader t m ~shadows in
+  let term = m.term in
+  (* sample the failover: detection → every switch back up under the new
+     leader (handshake + resync complete) *)
+  let rec poll () =
+    if (not t.stopped) && m.term = term && m.role = Leader then begin
+      if
+        List.for_all
+          (fun sid -> Runtime.switch_up rt ~switch_id:sid)
+          t.switch_ids
+      then begin
+        let d = now t -. detect in
+        t.rstats.takeovers_completed <- t.rstats.takeovers_completed + 1;
+        t.rstats.failover_samples <- d :: t.rstats.failover_samples;
+        note t "failover-complete c%d %.6f" m.m_id d
+      end
+      else
+        Sim.schedule (sim t) ~delay:t.cfg.hb_period poll
+    end
+  in
+  Sim.schedule (sim t) ~delay:t.cfg.hb_period poll
+
+and monitor_loop t m term =
+  if (not t.stopped) && m.term = term && m.role = Standby then begin
+    if not m.synced then begin
+      (* rejoining: pull a full state transfer before becoming eligible
+         for takeover (an unsynced standby must never lead) *)
+      broadcast t ~src:m.m_id (Sync_req { sr_from = m.m_id });
+      Sim.schedule (sim t) ~delay:t.cfg.hb_period (fun () ->
+        monitor_loop t m term)
+    end
+    else if now t -. m.last_hb > expiry t m then begin
+      note t "lease-expired c%d" m.m_id;
+      takeover t m
+    end
+    else
+      Sim.schedule (sim t) ~delay:t.cfg.hb_period (fun () ->
+        monitor_loop t m term)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Controller-outage incidents *)
+
+let crash t ~controller_id =
+  if controller_id >= 0 && controller_id < Array.length t.members then begin
+    let m = t.members.(controller_id) in
+    if m.role <> Down then begin
+      (match m.runtime with Some rt -> Runtime.halt rt | None -> ());
+      m.runtime <- None;
+      m.apps <- [];
+      m.role <- Down;
+      m.term <- m.term + 1
+    end
+  end
+
+let restart t ~controller_id =
+  if controller_id >= 0 && controller_id < Array.length t.members then begin
+    let m = t.members.(controller_id) in
+    if m.role = Down then begin
+      m.role <- Standby;
+      m.term <- m.term + 1;
+      m.synced <- false;
+      Hashtbl.reset m.m_shadows;
+      m.m_states <- [];
+      m.last_hb <- now t;
+      monitor_loop t m m.term
+    end
+  end
+
+(** Cuts member [controller_id] off the inter-controller channel (its
+    switch sessions are untouched): the canonical split-brain lever — a
+    partitioned leader keeps writing while its standbys' leases expire. *)
+let partition t ~controller_id =
+  let m = t.members.(controller_id) in
+  if not m.partitioned then begin
+    m.partitioned <- true;
+    note t "repl-partition c%d" controller_id
+  end
+
+let heal t ~controller_id =
+  let m = t.members.(controller_id) in
+  if m.partitioned then begin
+    m.partitioned <- false;
+    note t "repl-heal c%d" controller_id
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let leader t =
+  let r = ref None in
+  Array.iter (fun m -> if m.role = Leader then r := Some m.m_id) t.members;
+  !r
+
+let epoch t =
+  Array.fold_left (fun acc m -> max acc m.m_epoch) 0 t.members
+
+let leader_runtime t =
+  match leader t with
+  | None -> None
+  | Some id -> t.members.(id).runtime
+
+let runtime_of t ~controller_id = t.members.(controller_id).runtime
+
+let role_of t ~controller_id =
+  t.members.(controller_id).role
+
+let stats t = t.rstats
+
+let failover_samples t = t.rstats.failover_samples
+
+(** Switches whose installed table differs from the current leader's
+    intended shadow (empty = zero divergence).  Rules are compared as
+    (priority, pattern, actions, cookie) sets. *)
+let diverged t =
+  match leader_runtime t with
+  | None -> t.switch_ids
+  | Some rt ->
+    List.filter
+      (fun sid ->
+        let key (r : Flow.Table.rule) =
+          (r.priority, r.pattern, r.actions, r.cookie)
+        in
+        let installed =
+          Flow.Table.rules (Network.switch t.net sid).table
+          |> List.map key |> List.sort compare
+        in
+        let intended =
+          Runtime.intended_rules rt ~switch_id:sid
+          |> List.map key |> List.sort compare
+        in
+        installed <> intended)
+      t.switch_ids
+
+(** Stops every member's loops and runtimes so the simulation can drain
+    its event queue. *)
+let shutdown t =
+  t.stopped <- true;
+  Array.iter
+    (fun m ->
+      match m.runtime with Some rt -> Runtime.shutdown rt | None -> ())
+    t.members
+
+(* ------------------------------------------------------------------ *)
+(* Creation *)
+
+(** [create net mk_apps] starts [replicas] controller members over [net]
+    (default: the [ZEN_REPLICAS] knob, else 2): member 0 as leader at
+    epoch 1, the rest as synced standbys.  [mk_apps] is called once per
+    leader incarnation — every promotion runs fresh app instances, with
+    replicated state restored through [import_state].
+
+    [lease] (default: [ZEN_LEASE_MS], else 0.15 s) bounds failover
+    detection; heartbeats ride every [lease/3].  [repl_fault] attaches
+    chaos to the inter-controller channel; [resilience] defaults to
+    selective-resync-enabled {!Runtime.default_resilience} (replication
+    requires a resilient runtime — with [replicas = 1] it is passed
+    through unchanged, [None] meaning a classic non-resilient runtime).
+
+    {!Fault.Controller_outage} incidents injected into [net] crash and
+    restart members by id. *)
+let create ?(latency = 1e-3) ?resilience ?replicas ?lease
+    ?(repl_latency = 1e-3) ?repl_fault ?switch_ids net mk_apps =
+  let replicas =
+    match replicas with
+    | Some n -> n
+    | None -> (match env_replicas () with Some n -> n | None -> 2)
+  in
+  if replicas < 1 then invalid_arg "Replica.create: replicas < 1";
+  let lease =
+    match lease with
+    | Some l -> l
+    | None -> (match env_lease () with Some l -> l | None -> default_lease)
+  in
+  if lease <= 0.0 then invalid_arg "Replica.create: lease <= 0";
+  let switch_ids =
+    match switch_ids with
+    | Some ids -> List.sort_uniq compare ids
+    | None ->
+      List.map
+        (fun (sw : Network.switch) -> sw.sw_id)
+        (Network.switch_list net)
+  in
+  let cfg = { replicas; lease; hb_period = lease /. 3.0; repl_latency } in
+  let member id role =
+    { m_id = id; role; runtime = None; apps = [];
+      m_shadows = Hashtbl.create 16; m_states = [];
+      m_epoch = 1; m_xid = 0; last_hb = Network.now net; synced = true;
+      partitioned = false; term = 0 }
+  in
+  if replicas = 1 then begin
+    (* degenerate case: plain single controller, byte-identical to
+       [Runtime.create] — no fencing, no adoption, no heartbeats *)
+    let m = member 0 Leader in
+    let t =
+      { net; cfg; latency;
+        resilience =
+          (match resilience with
+           | Some r -> r
+           | None -> Runtime.default_resilience);
+        mk_apps; switch_ids; members = [| m |]; repl_fault;
+        repl_arrival = Hashtbl.create 4;
+        rstats =
+          { failovers = 0; takeovers_completed = 0; step_downs = 0;
+            hb_sent = 0; deltas_sent = 0; repl_msgs = 0; repl_bytes = 0;
+            repl_drops = 0; syncs = 0; failover_samples = [] };
+        stopped = false }
+    in
+    let apps = mk_apps () in
+    let rt =
+      Runtime.create ~latency ?resilience ~switch_ids:t.switch_ids net apps
+    in
+    m.runtime <- Some rt;
+    m.apps <- apps;
+    t
+  end
+  else begin
+    let resilience =
+      match resilience with
+      | Some r -> r
+      | None -> { Runtime.default_resilience with selective_resync = true }
+    in
+    let members =
+      Array.init replicas (fun id ->
+        member id (if id = 0 then Leader else Standby))
+    in
+    let t =
+      { net; cfg; latency; resilience; mk_apps; switch_ids; members;
+        repl_fault; repl_arrival = Hashtbl.create 8;
+        rstats =
+          { failovers = 0; takeovers_completed = 0; step_downs = 0;
+            hb_sent = 0; deltas_sent = 0; repl_msgs = 0; repl_bytes = 0;
+            repl_drops = 0; syncs = 0; failover_samples = [] };
+        stopped = false }
+    in
+    Network.set_ctl_outage_handler net (fun ~controller_id ~up ->
+      if up then restart t ~controller_id else crash t ~controller_id);
+    ignore (start_leader t members.(0) ~shadows:[]);
+    Array.iter
+      (fun m -> if m.role = Standby then monitor_loop t m m.term)
+      members;
+    t
+  end
+
+let config t = t.cfg

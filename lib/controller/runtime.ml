@@ -112,6 +112,23 @@ type t = {
   states : (int, sw_state) Hashtbl.t;
   rstats : resilience_stats;
   mutable stopped : bool;  (* shuts periodic loops down (see shutdown) *)
+  mutable halted : bool;
+      (* crashed (see halt): additionally refuses incoming frames and
+         outgoing sends — a dead process neither reads nor writes *)
+  fence : int;
+      (* lease epoch stamped on every reliable batch as a leading
+         {!Openflow.Message.Fence} frame; 0 = no fencing (single
+         controller).  See {!Controller.Replica}. *)
+  preset : (int, Flow.Table.rule list) Hashtbl.t;
+      (* replicated shadow tables to seed per-switch state from (a new
+         leader starts from its replica, not from empty); consumed by
+         [state] on first touch *)
+  on_shadow : (switch_id:int -> Openflow.Message.t -> unit) option;
+      (* replication hook: observes every flow-mod as it is shadowed,
+         i.e. exactly the intended-state delta stream *)
+  mutable hfn : (switch_id:int -> bytes -> unit) option;
+      (* the control-channel receive handler, exposed for session
+         adoption (see {!handler}) *)
 }
 
 let send_raw net ~switch_id ~xid msg =
@@ -132,33 +149,53 @@ let state t switch_id =
         status = Handshaking; echo_outstanding = 0; down_since = 0.0;
         handshaked = false; resync_gen = 0 }
     in
+    (match Hashtbl.find_opt t.preset switch_id with
+     | None -> ()
+     | Some rules ->
+       (* seed the intended-state shadow from the replicated copy, and
+          mark the switch as previously handshaked so the first features
+          reply triggers a resync against it — with selective resync a
+          warm table receives only the delta *)
+       List.iter
+         (fun (ru : Flow.Table.rule) ->
+           Flow.Table.add st.shadow
+             (Flow.Table.make_rule ~priority:ru.priority ~pattern:ru.pattern
+                ~actions:ru.actions ~idle_timeout:ru.idle_timeout
+                ~hard_timeout:ru.hard_timeout ~cookie:ru.cookie ()))
+         rules;
+       st.handshaked <- true;
+       Hashtbl.remove t.preset switch_id);
     Hashtbl.replace t.states switch_id st;
     st
 
 (* ------------------------------------------------------------------ *)
 (* Intended-state shadow *)
 
-(* Mirror one outgoing flow-mod into the intended-state table.  The
-   notify bit rides in the cookie exactly as on the real switch so
-   deletes scoped by cookie hit the same rules. *)
-let shadow_flow_mod st (fm : Openflow.Message.flow_mod) =
+(** [shadow_apply table fm] mirrors one flow-mod into an intended-state
+    table.  The notify bit rides in the cookie exactly as on the real
+    switch so deletes scoped by cookie hit the same rules.  Exposed so a
+    {!Controller.Replica} standby can maintain its replicated copy of the
+    leader's shadow from the delta stream. *)
+let shadow_apply table (fm : Openflow.Message.flow_mod) =
   match fm.command with
   | Add_flow | Modify_flow ->
     let cookie =
       if fm.notify_when_removed then fm.fm_cookie lor 0x40000000
       else fm.fm_cookie
     in
-    Flow.Table.add st.shadow
+    Flow.Table.add table
       (Flow.Table.make_rule ~priority:fm.fm_priority ~pattern:fm.fm_pattern
          ~actions:fm.fm_actions ~idle_timeout:fm.idle_timeout
          ~hard_timeout:fm.hard_timeout ~cookie ())
   | Delete_flow ->
     let cookie = if fm.fm_cookie = -1 then None else Some fm.fm_cookie in
-    Flow.Table.remove ?cookie st.shadow ~pattern:fm.fm_pattern
+    Flow.Table.remove ?cookie table ~pattern:fm.fm_pattern
   | Delete_strict_flow ->
     let cookie = if fm.fm_cookie = -1 then None else Some fm.fm_cookie in
-    Flow.Table.remove_strict ?cookie st.shadow ~priority:fm.fm_priority
+    Flow.Table.remove_strict ?cookie table ~priority:fm.fm_priority
       ~pattern:fm.fm_pattern
+
+let shadow_flow_mod st fm = shadow_apply st.shadow fm
 
 let shadow_msg st (msg : Openflow.Message.t) =
   match msg with Flow_mod fm -> shadow_flow_mod st fm | _ -> ()
@@ -204,8 +241,14 @@ let pump t st r =
     end
 
 (* enqueue [msgs] as one reliable batch (trailing barrier appended when
-   missing); xids are assigned now so any retransmission is a replay *)
+   missing); xids are assigned now so any retransmission is a replay.
+   A replicated leader opens every batch with its lease-epoch Fence —
+   the switch rejects the whole delivery once a higher epoch has been
+   seen, so a deposed leader's retransmits can never land. *)
 let enqueue_reliable t st r msgs =
+  let msgs =
+    if t.fence > 0 then Openflow.Message.Fence t.fence :: msgs else msgs
+  in
   let msgs =
     match List.rev msgs with
     | Openflow.Message.Barrier_request :: _ -> msgs
@@ -415,6 +458,15 @@ let recovery_times t = t.rstats.recovery_samples
     resilient simulation can drain its event queue. *)
 let shutdown t = t.stopped <- true
 
+(** Crashes the runtime: {!shutdown}, plus incoming frames are ignored
+    and outgoing sends refused — a dead controller process neither reads
+    nor writes.  Used by {!Controller.Replica} for controller-outage
+    incidents (a {e deposed} leader is NOT halted: it keeps writing, and
+    only the fencing tokens protect the switches). *)
+let halt t =
+  t.stopped <- true;
+  t.halted <- true
+
 (** [create ?latency ?resilience net apps] attaches a controller
     speaking the wire protocol to [net] and registers [apps]
     (dispatched in list order).  The handshake (hello + features
@@ -425,13 +477,25 @@ let shutdown t = t.stopped <- true
     [net] owns).  A sharded run passes the whole topology's switch ids:
     the runtime attaches to the controller shard's network, which
     reaches the other shards' switches through the sharded control
-    channel (see {!Dataplane.Shard.wire_controller}). *)
-let create ?(latency = 1e-3) ?resilience ?switch_ids net apps =
+    channel (see {!Dataplane.Shard.wire_controller}).
+
+    The remaining knobs exist for {!Controller.Replica} and leave the
+    single-controller behavior byte-identical at their defaults:
+    [attach:false] skips {!Dataplane.Network.attach_controller} — the
+    caller adopts individual switch sessions instead
+    ({!Dataplane.Network.adopt} with {!handler}); [fence] stamps every
+    reliable batch with a lease-epoch {!Openflow.Message.Fence};
+    [xid_base] continues a replicated xid sequence; [shadows] seeds
+    per-switch intended-state from a replica (those switches resync on
+    their first features reply); [on_shadow] observes every shadowed
+    flow-mod — the replication delta stream. *)
+let create ?(latency = 1e-3) ?resilience ?switch_ids ?(attach = true)
+    ?(fence = 0) ?(xid_base = 0) ?(shadows = []) ?on_shadow net apps =
   let t_ref = ref None in
   let rec handler ~switch_id data =
     match !t_ref with
     | None -> ()
-    | Some t -> handle t ~switch_id data
+    | Some t -> if not t.halted then handle t ~switch_id data
   and handle t ~switch_id data =
     (* switches send single frames today, but decode as a batch so the
        channel is symmetric *)
@@ -528,29 +592,37 @@ let create ?(latency = 1e-3) ?resilience ?switch_ids net apps =
     | Echo_request s ->
       send_raw t.ctx.net ~switch_id ~xid:0 (Openflow.Message.Echo_reply s)
     | Features_request | Packet_out _ | Flow_mod _ | Stats_request _
-    | Barrier_request ->
+    | Barrier_request | Fence _ ->
       ()  (* switch-bound message types never arrive at the controller *)
   in
   (* tie the knot: the ctx closes over the runtime record *)
+  let shadow_and_replicate t st msg =
+    shadow_msg st msg;
+    match (t.on_shadow, (msg : Openflow.Message.t)) with
+    | Some f, Flow_mod _ -> f ~switch_id:st.st_id msg
+    | _ -> ()
+  in
   let rec t =
     { ctx =
         { net;
           send =
             (fun ~switch_id msg ->
-              shadow_msg (state t switch_id) msg;
-              match (t.resilience, msg) with
-              | Some r, Openflow.Message.Flow_mod _ ->
-                (* single flow-mods join the reliable stream so the
-                   switch-side xid dedup sees one ordered sequence *)
-                enqueue_reliable t (state t switch_id) r [ msg ]
-              | _ ->
-                t.next_xid <- t.next_xid + 1;
-                send_raw net ~switch_id ~xid:t.next_xid msg);
+              if not t.halted then begin
+                shadow_and_replicate t (state t switch_id) msg;
+                match (t.resilience, msg) with
+                | Some r, Openflow.Message.Flow_mod _ ->
+                  (* single flow-mods join the reliable stream so the
+                     switch-side xid dedup sees one ordered sequence *)
+                  enqueue_reliable t (state t switch_id) r [ msg ]
+                | _ ->
+                  t.next_xid <- t.next_xid + 1;
+                  send_raw net ~switch_id ~xid:t.next_xid msg
+              end);
           send_batch =
             (fun ~switch_id msgs ->
-              if msgs <> [] then begin
+              if msgs <> [] && not t.halted then begin
                 let st = state t switch_id in
-                List.iter (shadow_msg st) msgs;
+                List.iter (shadow_and_replicate t st) msgs;
                 match t.resilience with
                 | Some r when contains_flow_mod msgs ->
                   enqueue_reliable t st r msgs
@@ -577,7 +649,7 @@ let create ?(latency = 1e-3) ?resilience ?switch_ids net apps =
               in
               Queue.push k q) };
       apps;
-      next_xid = 0;
+      next_xid = xid_base;
       stats_waiters = Hashtbl.create 16;
       handshakes = 0;
       resilience;
@@ -587,10 +659,17 @@ let create ?(latency = 1e-3) ?resilience ?switch_ids net apps =
           selective_resyncs = 0; acked_batches = 0; dropped_batches = 0;
           resync_bytes_selective = 0; resync_bytes_full = 0;
           recovery_samples = [] };
-      stopped = false }
+      stopped = false; halted = false;
+      fence;
+      preset =
+        (let h = Hashtbl.create (List.length shadows) in
+         List.iter (fun (sid, rules) -> Hashtbl.replace h sid rules) shadows;
+         h);
+      on_shadow; hfn = None }
   in
   t_ref := Some t;
-  Dataplane.Network.attach_controller net ~latency handler;
+  t.hfn <- Some handler;
+  if attach then Dataplane.Network.attach_controller net ~latency handler;
   (* handshake with every switch: hello + features request ride in one
      batched transmission per switch *)
   let ids =
@@ -615,6 +694,15 @@ let create ?(latency = 1e-3) ?resilience ?switch_ids net apps =
   t
 
 let ctx t = t.ctx
+
+(** The control-channel receive handler — what
+    {!Dataplane.Network.adopt} re-homes a switch session to. *)
+let handler t =
+  match t.hfn with Some h -> h | None -> assert false (* set in create *)
+
+(** The next xid the runtime would assign (monotone); replicated so a
+    successor can continue the sequence. *)
+let next_xid t = t.next_xid
 
 (** Switches that have completed the feature handshake (with resilience,
     re-handshakes after a crash count again). *)

@@ -117,6 +117,23 @@ let create ?(drain = 0.5) ?incremental () =
 
 let version t = t.version
 let peak_rules t = t.peak_rules
+
+(** Replication of the updater's durable state (see {!Api.app}'s
+    [export_state]/[import_state] and {!Controller.Replica}).  Only the
+    version counter is carried: version numbers become VLAN tags on
+    in-flight packets and cookies on installed rules, so a new leader
+    restarting from 0 could collide with tags the old leader's rules
+    still match on.  Everything else in [t] (snapshots, pushed sets,
+    lifetime counters) is per-process bookkeeping a successor safely
+    rebuilds. *)
+let export_state t = string_of_int t.version
+
+(** Adopts a replicated version counter, never moving backwards (a late
+    or duplicated blob must not rewind the sequence). *)
+let import_state t blob =
+  match int_of_string_opt (String.trim blob) with
+  | Some v when v > t.version -> t.version <- v
+  | Some _ | None -> ()
 let updates_done t = t.updates_done
 let incremental t = t.incremental
 let skipped_switches t = t.skipped_switches

@@ -116,6 +116,25 @@ let with_controller ?latency ?resilience t apps =
   t.runtime <- Some rt;
   rt
 
+(** [with_replicas t mk_apps] attaches a replicated controller:
+    [replicas] members (default: the [ZEN_REPLICAS] knob, else 2) over
+    one network under a leader lease of [lease] seconds (default: the
+    [ZEN_LEASE_MS] knob, else 0.15) — see {!Controller.Replica}.
+    [mk_apps] is called once per leader incarnation.  [repl_fault]
+    attaches chaos to the inter-controller channel.  The leader's
+    handshake is driven to completion before returning.  With
+    [replicas = 1] the run is byte-identical to {!with_controller}. *)
+let with_replicas ?(latency = 1e-3) ?resilience ?replicas ?lease
+    ?repl_latency ?repl_fault t mk_apps =
+  let r =
+    Controller.Replica.create ~latency ?resilience ?replicas ?lease
+      ?repl_latency ?repl_fault t.network mk_apps
+  in
+  t.runtime <- Controller.Replica.leader_runtime r;
+  let horizon = now t +. (20.0 *. latency) in
+  ignore (Dataplane.Network.run ~until:horizon t.network ());
+  r
+
 (** [run t ~until] advances simulated time. *)
 let run ?until ?max_events t =
   Dataplane.Network.run ?until ?max_events t.network ()

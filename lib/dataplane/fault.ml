@@ -51,6 +51,16 @@ type incident =
           direction is dropped — the resilient runtime declares it down
           and must reconcile the surviving state on re-handshake. *)
     }
+  | Controller_outage of {
+      controller_id : int;
+      at : float;
+      duration : float;
+      (** crash/restart of a controller {e replica} (see
+          {!Controller.Replica}): the member stops sending and receiving
+          at [at] and rejoins as a standby at [at + duration].  Routed
+          through [Network.set_ctl_outage_handler]; a network without a
+          replicated controller ignores it. *)
+    }
 
 type t = {
   config : config;
@@ -287,3 +297,18 @@ let from_env () =
     Some
       (create ~seed ?drop ?dup ?jitter ?link_drop ?link_corrupt ?link_reorder
          ())
+
+(** Reads the [ZEN_CHAOS_CTL_*] family describing a scheduled controller
+    crash: [ZEN_CHAOS_CTL_CRASH] (replica id to crash; the knob that
+    enables the incident), [ZEN_CHAOS_CTL_AT] (absolute sim time,
+    default 1.0) and [ZEN_CHAOS_CTL_DURATION] (seconds until the member
+    rejoins as a standby, default 1.0). *)
+let ctl_incidents_from_env () =
+  match env_int "ZEN_CHAOS_CTL_CRASH" with
+  | None -> []
+  | Some controller_id ->
+    let at = Option.value (env_float "ZEN_CHAOS_CTL_AT") ~default:1.0 in
+    let duration =
+      Option.value (env_float "ZEN_CHAOS_CTL_DURATION") ~default:1.0
+    in
+    [ Controller_outage { controller_id; at; duration } ]

@@ -53,6 +53,19 @@ type switch = {
       (** control channel partitioned ({!cut_control}): the switch stays
           alive and keeps forwarding, but control frames in either
           direction are dropped *)
+  mutable ctl_owner : (switch_id:int -> bytes -> unit) option;
+      (* per-switch control-session owner (see {!ctl_channel}/{!adopt}):
+         when set it overrides the network-wide [controller] handler for
+         this switch's up-direction frames.  Resolved at {e delivery}
+         time, so frames in flight when a session is adopted re-home to
+         the new owner — exactly what a TCP connection handed to a new
+         process would do. *)
+  mutable fence_token : int;
+      (* highest lease-fencing token seen on this control session
+         (see {!Openflow.Message.Fence}); 0 = never fenced.  Survives a
+         switch reboot: the token models the durable epoch a real switch
+         learns from its connection manager, and forgetting it would
+         re-open the split-brain window after every crash. *)
 }
 
 and host = {
@@ -118,6 +131,8 @@ type counters = {
   mutable forwarded : int;       (* switch forwarding operations *)
   mutable control_msgs : int;    (* messages on the control channel *)
   mutable control_bytes : int;
+  mutable fenced_writes : int;   (* flow-mods rejected by the lease fence
+                                    (a stale leader wrote after deposal) *)
 }
 
 type t = {
@@ -145,6 +160,10 @@ type t = {
     (switch_id:int -> time:float -> bytes -> unit) option;
       (** set on the controller's shard: posts a controller→switch frame
           toward the switch's owner shard *)
+  mutable ctl_outage : (controller_id:int -> up:bool -> unit) option;
+      (** interpreter for {!Fault.Controller_outage} incidents (set by
+          {!Controller.Replica}); [up:false] crashes the member,
+          [up:true] restarts it as a standby *)
   ctl_down_remote_arrival : (int, float ref) Hashtbl.t;
       (* controller-shard monotone delivery clamp for remote switches
          (the local clamp lives on the [switch] record) *)
@@ -184,12 +203,14 @@ let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
         { delivered = 0; dropped_policy = 0; dropped_miss = 0;
           dropped_queue = 0; dropped_link = 0; dropped_ttl = 0;
           dropped_down = 0; dropped_chaos = 0; corrupted = 0; reordered = 0;
-          forwarded = 0; control_msgs = 0; control_bytes = 0 };
+          forwarded = 0; control_msgs = 0; control_bytes = 0;
+          fenced_writes = 0 };
       controller = None; control_latency = 1e-3; tracer = None;
       expiry_period; fault;
       link_chaos =
         (match fault with Some f -> Fault.has_link_chaos f | None -> false);
       remote = None; ctl_up_remote = None; ctl_down_remote = None;
+      ctl_outage = None;
       ctl_down_remote_arrival = Hashtbl.create 8;
       remote_ctl_blocked = Hashtbl.create 8;
       remote_reorders = 0; ingress_tbl = Hashtbl.create 8 }
@@ -206,7 +227,7 @@ let create ?(queue_depth = default_queue_depth) ?(expiry_period = 1.0)
               packet_ins = 0; has_timeouts = false; out_ports = [||];
               alive = true; last_fm_xid = 0;
               ctl_down_arrival = 0.0; ctl_up_arrival = 0.0;
-              ctl_blocked = false }
+              ctl_blocked = false; ctl_owner = None; fence_token = 0 }
         | Node.Host id ->
           Hashtbl.replace t.host_tbl id
             { host_id = id; mac = Packet.Mac.of_host_id id;
@@ -616,33 +637,50 @@ and execute_outputs t sw ~in_port outputs pkt =
 (* ------------------------------------------------------------------ *)
 (* Control channel *)
 
+(* complete an up-direction delivery: the session owner is resolved
+   {e here}, at delivery time, so frames in flight when the session is
+   adopted ({!adopt}) land at the new owner — a re-homed connection
+   keeps its receive queue *)
+and deliver_up t sw data =
+  let switch_id = sw.sw_id in
+  match sw.ctl_owner with
+  | Some handler -> handler ~switch_id data
+  | None ->
+    (match t.controller with
+     | Some handler -> handler ~switch_id data
+     | None -> ())  (* owner detached while the frame was in flight *)
+
 and control_send t ?(xid = 0) sw msg =
-  match (t.controller, t.ctl_up_remote) with
-  | None, None -> ()
-  | ctl, up ->
+  if sw.ctl_owner = None && t.controller = None && t.ctl_up_remote = None then
+    ()
+  else begin
     let data = Openflow.Wire.encode ~xid msg in
     t.stats.control_msgs <- t.stats.control_msgs + 1;
     t.stats.control_bytes <- t.stats.control_bytes + Bytes.length data;
     let switch_id = sw.sw_id in
-    (match (ctl, up) with
-     | Some handler, _ ->
-       schedule_ctrl t sw ~to_switch:false (fun () -> handler ~switch_id data)
-     | None, Some post ->
-       (* the controller lives on another shard: the frame becomes an
-          envelope timestamped with its arrival (the chaos verdict and
-          the monotone clamp are drawn here, where the switch and its
-          per-shard fault stream live) *)
-       let clamp arr =
-         let arr = if arr < sw.ctl_up_arrival then sw.ctl_up_arrival else arr in
-         sw.ctl_up_arrival <- arr;
-         arr
-       in
-       schedule_ctrl_gen t ~sw_id:switch_id ~blocked:sw.ctl_blocked
-         ~to_switch:false ~clamp (fun time -> post ~switch_id ~time data)
-     | None, None -> assert false)
+    if sw.ctl_owner <> None || t.controller <> None then
+      schedule_ctrl t sw ~to_switch:false (fun () -> deliver_up t sw data)
+    else
+      match t.ctl_up_remote with
+      | Some post ->
+        (* the controller lives on another shard: the frame becomes an
+           envelope timestamped with its arrival (the chaos verdict and
+           the monotone clamp are drawn here, where the switch and its
+           per-shard fault stream live) *)
+        let clamp arr =
+          let arr =
+            if arr < sw.ctl_up_arrival then sw.ctl_up_arrival else arr
+          in
+          sw.ctl_up_arrival <- arr;
+          arr
+        in
+        schedule_ctrl_gen t ~sw_id:switch_id ~blocked:sw.ctl_blocked
+          ~to_switch:false ~clamp (fun time -> post ~switch_id ~time data)
+      | None -> assert false
+  end
 
 and packet_in t sw ~in_port ~reason pkt =
-  if not (has_controller t) then begin
+  if sw.ctl_owner = None && not (has_controller t) then begin
     t.stats.dropped_miss <- t.stats.dropped_miss + 1;
     trace t "s%d drop(miss)" sw.sw_id
   end
@@ -709,6 +747,40 @@ let receive_remote t ~src ~src_port pkt =
 let attach_controller t ?(latency = 1e-3) handler =
   t.control_latency <- latency;
   t.controller <- Some handler
+
+(* ------------------------------------------------------------------ *)
+(* Adoptable control sessions *)
+
+(** A switch's control session as a first-class handle.  The session is
+    the per-switch half of the control channel: its in-flight frames,
+    its per-direction FIFO clamps ([ctl_down_arrival]/[ctl_up_arrival]),
+    its flow-mod xid dedup watermark and its fencing token all live on
+    the switch record — {!adopt} re-homes {e ownership} of that state
+    without disturbing any of it. *)
+type ctl_channel = { ch_net : t; ch_sw : switch }
+
+(** The control session of [switch_id] (a cheap handle; no state is
+    created).  @raise Invalid_argument for switches this network does
+    not own. *)
+let ctl_channel t switch_id = { ch_net = t; ch_sw = switch t switch_id }
+
+(** [adopt ch handler] re-homes the session: from now on {e this}
+    switch's up-direction frames are delivered to [handler] instead of
+    the network-wide {!attach_controller} handler.  Frames already in
+    flight re-home too — the owner is resolved at delivery time, so
+    adoption behaves like handing a connected socket to a new process:
+    nothing is lost, nothing is reordered, and the switch-side dedup
+    state keeps protecting against the previous owner's retransmits.
+    Deliberately silent (no trace, no fault note): adoption by the same
+    logical controller must be invisible to a chaos-free run. *)
+let adopt ch handler = ch.ch_sw.ctl_owner <- Some handler
+
+(** The session's current fencing token (0 = never fenced). *)
+let channel_fence_token ch = ch.ch_sw.fence_token
+
+(** Registers the interpreter for {!Fault.Controller_outage} incidents
+    (see {!Controller.Replica}); without one they are ignored. *)
+let set_ctl_outage_handler t h = t.ctl_outage <- Some h
 
 (* Periodic sweep evicting timed-out rules; started lazily when the
    first rule with a timeout is installed. *)
@@ -826,17 +898,52 @@ let handle_at_switch t sw ~xid (msg : Openflow.Message.t) =
               cache_invalidations = Flow.Table.invalidations sw.table;
               classifier_probes = Flow.Table.classifier_probes sw.table;
               classifier_shapes = Flow.Table.shape_count sw.table }))
+  | Fence _ ->
+    ()  (* interpreted by [deliver_down], which gates the whole delivery *)
   | Echo_reply _ | Features_reply _ | Packet_in _ | Port_status _
   | Flow_removed _ | Stats_reply _ | Barrier_reply ->
     ()  (* controller-bound messages are meaningless at a switch *)
 
 (* apply a delivered controller→switch transmission (possibly a batch)
-   to the locally-owned switch record *)
+   to the locally-owned switch record.  A leading [Fence] frame gates
+   the delivery's flow-mods: a token below the highest ever seen marks
+   the whole delivery stale (a deposed leader wrote after failover) and
+   its flow-mods are rejected; a strictly higher token opens a new
+   epoch and resets the flow-mod xid dedup — the new leader's xid
+   sequence is unrelated to the old one's, while its own retransmits
+   (same token) still dedup within the epoch.  Non-flow-mod frames are
+   processed either way: reads and barriers are harmless, and a barrier
+   reply acks {e delivery}, not rule acceptance — the stale leader's
+   stream advances while its writes land nowhere. *)
 let deliver_down t sw data =
-  if sw.alive then
+  if sw.alive then begin
+    let stale = ref false in
     List.iter
-      (fun (xid, msg) -> handle_at_switch t sw ~xid msg)
+      (fun (xid, msg) ->
+        match (msg : Openflow.Message.t) with
+        | Fence token ->
+          if token > sw.fence_token then begin
+            sw.fence_token <- token;
+            sw.last_fm_xid <- 0;
+            stale := false;
+            trace t "s%d fence epoch=%d" sw.sw_id token
+          end
+          else if token < sw.fence_token then begin
+            stale := true;
+            trace t "s%d stale fence %d < %d" sw.sw_id token sw.fence_token;
+            match t.fault with
+            | Some f ->
+              Fault.note f ~time:(now t) "fence-reject s%d epoch=%d" sw.sw_id
+                token
+            | None -> ()
+          end
+          else stale := false
+        | Flow_mod _ when !stale ->
+          t.stats.fenced_writes <- t.stats.fenced_writes + 1;
+          trace t "s%d drop(fenced) xid=%d" sw.sw_id xid
+        | _ -> handle_at_switch t sw ~xid msg)
       (Openflow.Wire.decode_all data)
+  end
   else begin
     let n = Openflow.Wire.frame_count data in
     t.stats.dropped_down <- t.stats.dropped_down + n;
@@ -1048,7 +1155,20 @@ let inject t incidents =
       | Fault.Ctl_outage { switch_id; at; duration } ->
         Sim.schedule_at t.sim ~time:at (fun () -> cut_control t switch_id);
         Sim.schedule_at t.sim ~time:(at +. duration) (fun () ->
-          heal_control t switch_id))
+          heal_control t switch_id)
+      | Fault.Controller_outage { controller_id; at; duration } ->
+        let fire up label =
+          trace t "c%d %s" controller_id label;
+          (match t.fault with
+           | Some f -> Fault.note f ~time:(now t) "%s c%d" label controller_id
+           | None -> ());
+          match t.ctl_outage with
+          | Some h -> h ~controller_id ~up
+          | None -> ()
+        in
+        Sim.schedule_at t.sim ~time:at (fun () -> fire false "ctl-crash");
+        Sim.schedule_at t.sim ~time:(at +. duration) (fun () ->
+          fire true "ctl-restart"))
     incidents
 
 (* ------------------------------------------------------------------ *)
@@ -1076,4 +1196,6 @@ let pp_stats fmt (c : counters) =
     "delivered=%d forwarded=%d dropped(policy=%d miss=%d queue=%d link=%d ttl=%d down=%d chaos=%d corrupt=%d) reordered=%d control(msgs=%d bytes=%d)"
     c.delivered c.forwarded c.dropped_policy c.dropped_miss c.dropped_queue
     c.dropped_link c.dropped_ttl c.dropped_down c.dropped_chaos c.corrupted
-    c.reordered c.control_msgs c.control_bytes
+    c.reordered c.control_msgs c.control_bytes;
+  if c.fenced_writes > 0 then
+    Format.fprintf fmt " fenced=%d" c.fenced_writes

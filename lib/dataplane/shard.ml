@@ -378,6 +378,11 @@ let inject t incidents =
           | Fault.Switch_outage { switch_id; _ } ->
             if t.shard_of (Node.Switch switch_id) = sh.sh_index then
               Network.inject sh.sh_net [ i ]
+          | Fault.Controller_outage _ ->
+            (* replicated controllers are a single-domain feature; the
+               incident is interpreted (or ignored) by shard 0, where a
+               controller would live *)
+            if sh.sh_index = 0 then Network.inject sh.sh_net [ i ]
           | Fault.Ctl_outage { switch_id; at; duration } ->
             if t.shard_of (Node.Switch switch_id) = sh.sh_index then
               Network.inject sh.sh_net [ i ]
@@ -458,7 +463,8 @@ let stats t =
     { Network.delivered = 0; dropped_policy = 0; dropped_miss = 0;
       dropped_queue = 0; dropped_link = 0; dropped_ttl = 0; dropped_down = 0;
       dropped_chaos = 0; corrupted = 0; reordered = 0;
-      forwarded = 0; control_msgs = 0; control_bytes = 0 }
+      forwarded = 0; control_msgs = 0; control_bytes = 0;
+      fenced_writes = 0 }
   in
   Array.iter
     (fun sh ->
@@ -475,7 +481,8 @@ let stats t =
       m.reordered <- m.reordered + c.reordered;
       m.forwarded <- m.forwarded + c.forwarded;
       m.control_msgs <- m.control_msgs + c.control_msgs;
-      m.control_bytes <- m.control_bytes + c.control_bytes)
+      m.control_bytes <- m.control_bytes + c.control_bytes;
+      m.fenced_writes <- m.fenced_writes + c.fenced_writes)
     t.shards;
   m
 
@@ -508,7 +515,8 @@ let net_signature topo nets =
     { Network.delivered = 0; dropped_policy = 0; dropped_miss = 0;
       dropped_queue = 0; dropped_link = 0; dropped_ttl = 0; dropped_down = 0;
       dropped_chaos = 0; corrupted = 0; reordered = 0;
-      forwarded = 0; control_msgs = 0; control_bytes = 0 }
+      forwarded = 0; control_msgs = 0; control_bytes = 0;
+      fenced_writes = 0 }
   in
   List.iter
     (fun net ->
@@ -525,7 +533,8 @@ let net_signature topo nets =
       merged.reordered <- merged.reordered + c.reordered;
       merged.forwarded <- merged.forwarded + c.forwarded;
       merged.control_msgs <- merged.control_msgs + c.control_msgs;
-      merged.control_bytes <- merged.control_bytes + c.control_bytes)
+      merged.control_bytes <- merged.control_bytes + c.control_bytes;
+      merged.fenced_writes <- merged.fenced_writes + c.fenced_writes)
     nets;
   Buffer.add_string buf (Format.asprintf "%a@." Network.pp_stats merged);
   let hosts =

@@ -147,6 +147,14 @@ type t =
   | Stats_reply of stats_reply
   | Barrier_request
   | Barrier_reply
+  | Fence of int
+      (** leader-lease fencing token (see {!Controller.Replica}): prefixes
+          a flow-mod batch with the sender's lease epoch.  A switch
+          remembers the highest token it has seen and rejects flow-mods
+          in any delivery fenced with a lower one, so a deposed leader's
+          writes cannot land after a failover.  A strictly higher token
+          also resets the switch's flow-mod xid dedup — each epoch is a
+          fresh reliable stream. *)
 
 let type_name = function
   | Hello -> "hello"
@@ -163,5 +171,6 @@ let type_name = function
   | Stats_reply _ -> "stats_reply"
   | Barrier_request -> "barrier_request"
   | Barrier_reply -> "barrier_reply"
+  | Fence _ -> "fence"
 
 let pp fmt t = Format.pp_print_string fmt (type_name t)

@@ -40,6 +40,7 @@ let type_code = function
   | Stats_reply _ -> 17
   | Barrier_request -> 18
   | Barrier_reply -> 19
+  | Fence _ -> 20
 
 (* ------------------------------------------------------------------ *)
 (* Encoding: single-pass writes into a pooled scratch buffer *)
@@ -177,6 +178,10 @@ let w_i32 w v = w_u32 w (v land 0xffffffff)
 
 let w_body w = function
   | Hello | Features_request | Barrier_request | Barrier_reply -> ()
+  | Fence token ->
+    if token < 0 || token > 0xffffffff then
+      fail "fence token out of range (%d)" token;
+    w_u32 w token
   | Echo_request s | Echo_reply s -> w_string w s
   | Features_reply f ->
     w_u32 w f.datapath_id;
@@ -532,6 +537,7 @@ let rbody code c =
      | n -> fail "unknown stats_reply subtype %d" n)
   | 18 -> Barrier_request
   | 19 -> Barrier_reply
+  | 20 -> Fence (r32 c)
   | n -> fail "unknown message type %d" n
 
 (** [decode bytes] parses one framed message, returning [(xid, msg)].

@@ -97,6 +97,79 @@ let test_fault_env_matrix () =
       Alcotest.(check (pair int (float 0.0))) "seed and rate both honored"
         (99, 0.1) (c.seed, c.link_drop))
 
+(* the ZEN_CHAOS_CTL_* knobs: a scheduled controller outage, for the
+   replicated control plane (see Controller.Replica) *)
+let test_ctl_outage_env_knobs () =
+  let knobs =
+    [ "ZEN_CHAOS_CTL_CRASH"; "ZEN_CHAOS_CTL_AT"; "ZEN_CHAOS_CTL_DURATION" ]
+  in
+  let clear () = List.iter (fun k -> Unix.putenv k "") knobs in
+  Fun.protect ~finally:clear (fun () ->
+    clear ();
+    Alcotest.(check int) "all empty -> no incident" 0
+      (List.length (Fault.ctl_incidents_from_env ()));
+    Unix.putenv "ZEN_CHAOS_CTL_CRASH" "0";
+    (match Fault.ctl_incidents_from_env () with
+     | [ Fault.Controller_outage { controller_id; at; duration } ] ->
+       Alcotest.(check int) "controller id" 0 controller_id;
+       Alcotest.(check (float 0.0)) "default at" 1.0 at;
+       Alcotest.(check (float 0.0)) "default duration" 1.0 duration
+     | _ -> Alcotest.fail "ZEN_CHAOS_CTL_CRASH alone did not schedule");
+    Unix.putenv "ZEN_CHAOS_CTL_AT" "0.4";
+    Unix.putenv "ZEN_CHAOS_CTL_DURATION" "2.5";
+    match Fault.ctl_incidents_from_env () with
+    | [ Fault.Controller_outage { controller_id; at; duration } ] ->
+      Alcotest.(check int) "controller id" 0 controller_id;
+      Alcotest.(check (float 0.0)) "at honored" 0.4 at;
+      Alcotest.(check (float 0.0)) "duration honored" 2.5 duration
+    | _ -> Alcotest.fail "knob combination did not schedule")
+
+(* a Controller_outage against a replicated control plane is part of the
+   seeded fault stream: same seed, byte-identical chaos trace (crash,
+   lease expiry, takeover, restart notes included) and counters *)
+let test_ctl_outage_deterministic () =
+  let run seed =
+    let topo = Topo.Gen.ring ~switches:4 ~hosts_per_switch:1 () in
+    let fault = Fault.create ~seed ~drop:0.1 ~jitter:1e-3 () in
+    let net = Network.create ~fault topo in
+    let r =
+      Controller.Replica.create
+        ~resilience:{ fast_resilience with echo_miss_limit = 8 }
+        ~replicas:2 ~lease:0.15 net
+        (fun () -> [ Controller.Routing.app (Controller.Routing.create ()) ])
+    in
+    Network.inject net
+      [ Fault.Controller_outage { controller_id = 0; at = 0.5; duration = 2.0 } ];
+    ignore (Network.run ~until:4.0 net ());
+    let s = Network.stats net in
+    let rs = Controller.Replica.stats r in
+    Controller.Replica.shutdown r;
+    ( Fault.events fault,
+      (s.control_msgs, s.control_bytes, s.delivered),
+      (rs.failovers, rs.hb_sent, rs.repl_msgs) )
+  in
+  let trace_a, counts_a, repl_a = run 77 in
+  let trace_b, counts_b, repl_b = run 77 in
+  Alcotest.(check (list string)) "identical chaos traces" trace_a trace_b;
+  let has_sub sub l =
+    let n = String.length l and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub l i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "trace includes crash, takeover, restart" true
+    (List.exists (has_sub "ctl-crash c0") trace_a
+    && List.exists (has_sub "takeover c1") trace_a
+    && List.exists (has_sub "ctl-restart c0") trace_a);
+  Alcotest.(check (triple int int int)) "identical counters" counts_a counts_b;
+  Alcotest.(check (triple int int int)) "identical replication stats" repl_a
+    repl_b;
+  Alcotest.(check int) "exactly one failover" 1
+    (let f, _, _ = repl_a in
+     f);
+  let trace_c, _, _ = run 78 in
+  Alcotest.(check bool) "different seed, different trace" false
+    (trace_a = trace_c)
+
 (* ------------------------------------------------------------------ *)
 (* Link-level data chaos *)
 
@@ -506,6 +579,10 @@ let suites =
         Alcotest.test_case "env knobs absent -> no fault" `Quick
           test_fault_env;
         Alcotest.test_case "env knob matrix" `Quick test_fault_env_matrix;
+        Alcotest.test_case "controller-outage env knobs" `Quick
+          test_ctl_outage_env_knobs;
+        Alcotest.test_case "controller outage deterministic per seed" `Quick
+          test_ctl_outage_deterministic;
         Alcotest.test_case "zero chaos transparent" `Quick
           test_zero_chaos_transparent;
         Alcotest.test_case "link chaos deterministic per seed" `Quick

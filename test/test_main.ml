@@ -8,4 +8,4 @@ let () =
     @ Test_te.suites @ Test_zen.suites @ Test_update.suites
     @ Test_analysis.suites @ Test_wan.suites @ Test_fuzz.suites
     @ Test_apps.suites @ Test_global.suites @ Test_transport.suites
-    @ Test_chaos.suites @ Test_shard.suites @ Test_delta.suites)
+    @ Test_chaos.suites @ Test_replica.suites @ Test_shard.suites @ Test_delta.suites)

@@ -1,0 +1,484 @@
+(* Replicated controller (ISSUE 10): adoptable switch sessions,
+   leader-lease failover from replicated shadows, fencing-token
+   split-brain protection, and replication-under-churn properties. *)
+
+open Dataplane
+module Replica = Controller.Replica
+
+let fast_resilience =
+  { Controller.Runtime.echo_period = 0.05; echo_miss_limit = 3;
+    retx_timeout = 0.01; retx_backoff = 2.0; retx_cap = 0.1;
+    selective_resync = true }
+
+(* for chaos runs: loss must not fake a switch outage (a spurious
+   keepalive verdict would make the routing app reroute and change
+   tables mid-measurement) *)
+let sturdy_resilience = { fast_resilience with echo_miss_limit = 8 }
+
+let mk_routing_apps () =
+  [ Controller.Routing.app (Controller.Routing.create ()) ]
+
+let rule_key (r : Flow.Table.rule) = (r.priority, r.pattern, r.actions, r.cookie)
+let keys rules = List.sort compare (List.map rule_key rules)
+
+let check_replica_converged r =
+  Alcotest.(check (list int)) "tables equal surviving leader's intended" []
+    (Replica.diverged r)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: adoption is invisible to a chaos-free run *)
+
+(* The same runtime handler, either attached classically or adopted
+   per-switch (and re-adopted mid-run), must produce a byte-identical
+   network trace and identical counters: adoption re-homes the session
+   without touching FIFO clamps, dedup state, or in-flight frames. *)
+let run_adoption_scenario ~adopt () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let lines = ref [] in
+  Network.set_tracer net (fun time s ->
+    lines := Printf.sprintf "%.6f %s" time s :: !lines);
+  let switch_ids = Topo.Topology.switch_ids topo in
+  let rt =
+    Controller.Runtime.create ~resilience:fast_resilience ~switch_ids
+      ~attach:(not adopt) net (mk_routing_apps ())
+  in
+  let adopt_all () =
+    List.iter
+      (fun sid ->
+        Network.adopt (Network.ctl_channel net sid)
+          (Controller.Runtime.handler rt))
+      switch_ids
+  in
+  if adopt then begin
+    adopt_all ();
+    (* re-adoption mid-run (same handler): also invisible *)
+    Sim.schedule_at (Network.sim net) ~time:0.7 adopt_all
+  end;
+  ignore (Network.run ~until:0.05 net ());
+  Traffic.install_responders net;
+  let result = Traffic.ping net ~src:1 ~dst:3 ~count:3 ~interval:0.02 in
+  ignore (Network.run ~until:2.0 net ());
+  Controller.Runtime.shutdown rt;
+  ( List.rev !lines,
+    Format.asprintf "%a" Network.pp_stats (Network.stats net),
+    List.length !(result.rtts) )
+
+let test_adoption_invisible () =
+  let trace_a, stats_a, pings_a = run_adoption_scenario ~adopt:false () in
+  let trace_b, stats_b, pings_b = run_adoption_scenario ~adopt:true () in
+  Alcotest.(check bool) "trace non-trivial" true (List.length trace_a >= 6);
+  Alcotest.(check (list string)) "byte-identical trace" trace_a trace_b;
+  Alcotest.(check string) "identical counters" stats_a stats_b;
+  Alcotest.(check int) "pings answered" pings_a pings_b
+
+(* ------------------------------------------------------------------ *)
+(* Fencing and epoch-scoped dedup at the switch *)
+
+let test_fence_rejects_stale_writes () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let fm priority =
+    Openflow.Message.Flow_mod
+      (Openflow.Message.add_flow ~priority ~pattern:Flow.Pattern.any
+         ~actions:[] ())
+  in
+  let send msgs =
+    Network.controller_send net ~switch_id:1 (Openflow.Wire.encode_batch msgs)
+  in
+  let table = (Network.switch net 1).table in
+  let run () = ignore (Network.run ~until:(Network.now net +. 0.05) net ()) in
+  (* epoch 1 applies *)
+  send [ (0, Openflow.Message.Fence 1); (10, fm 10) ];
+  run ();
+  Alcotest.(check int) "epoch-1 write applied" 1 (Flow.Table.size table);
+  (* a replay of the same batch dedups on last_fm_xid *)
+  let gen = Flow.Table.generation table in
+  send [ (0, Openflow.Message.Fence 1); (10, fm 10) ];
+  run ();
+  Alcotest.(check int) "replay deduped (generation unchanged)" gen
+    (Flow.Table.generation table);
+  (* epoch 2 with a LOWER xid: the higher fence resets the dedup
+     watermark, so the new leader's unrelated xid sequence applies *)
+  send [ (0, Openflow.Message.Fence 2); (3, fm 20) ];
+  run ();
+  Alcotest.(check int) "epoch-2 write applied despite lower xid" 2
+    (Flow.Table.size table);
+  (* the deposed epoch-1 leader keeps writing: rejected, counted *)
+  send [ (0, Openflow.Message.Fence 1); (11, fm 30) ];
+  run ();
+  Alcotest.(check int) "stale write rejected" 2 (Flow.Table.size table);
+  Alcotest.(check int) "fenced_writes counted" 1
+    (Network.stats net).fenced_writes;
+  (* the fence gates only flow-mods: the stale stream's barrier still
+     acks delivery (its retransmit machinery advances into the void) *)
+  send [ (0, Openflow.Message.Fence 1); (12, fm 40);
+         (13, Openflow.Message.Barrier_request) ];
+  run ();
+  Alcotest.(check int) "still rejected" 2 (Flow.Table.size table);
+  Alcotest.(check int) "fence token survives at highest" 2
+    (Network.channel_fence_token (Network.ctl_channel net 1))
+
+let test_fence_token_survives_reboot () =
+  let topo = Topo.Gen.linear ~switches:1 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let send msgs =
+    Network.controller_send net ~switch_id:1 (Openflow.Wire.encode_batch msgs)
+  in
+  send [ (0, Openflow.Message.Fence 3) ];
+  ignore (Network.run ~until:0.1 net ());
+  Network.crash_switch net 1;
+  Network.restart_switch net 1;
+  Alcotest.(check int) "fence epoch is durable across reboot" 3
+    (Network.channel_fence_token (Network.ctl_channel net 1));
+  (* ...so a deposed leader cannot launder stale writes through a
+     freshly rebooted switch *)
+  send
+    [ (0, Openflow.Message.Fence 1);
+      ( 1,
+        Openflow.Message.Flow_mod
+          (Openflow.Message.add_flow ~priority:5 ~pattern:Flow.Pattern.any
+             ~actions:[] ()) ) ];
+  ignore (Network.run ~until:(Network.now net +. 0.05) net ());
+  Alcotest.(check int) "stale write rejected after reboot" 0
+    (Flow.Table.size (Network.switch net 1).table)
+
+(* ------------------------------------------------------------------ *)
+(* Leader-lease failover *)
+
+let test_failover_reconverges () =
+  let topo = Topo.Gen.ring ~switches:4 ~hosts_per_switch:1 () in
+  let net = Zen.create topo in
+  let r =
+    Zen.with_replicas ~resilience:fast_resilience ~replicas:2 ~lease:0.15 net
+      mk_routing_apps
+  in
+  ignore (Zen.run ~until:0.5 net);
+  Alcotest.(check (option int)) "member 0 leads" (Some 0) (Replica.leader r);
+  check_replica_converged r;
+  let installed_before =
+    keys (Flow.Table.rules (Network.switch (Zen.network net) 2).table)
+  in
+  Alcotest.(check bool) "switch 2 programmed" true (installed_before <> []);
+  Network.inject (Zen.network net)
+    [ Fault.Controller_outage { controller_id = 0; at = 0.6; duration = 60.0 } ];
+  ignore (Zen.run ~until:3.0 net);
+  Alcotest.(check (option int)) "member 1 took over" (Some 1)
+    (Replica.leader r);
+  Alcotest.(check int) "epoch bumped" 2 (Replica.epoch r);
+  let s = Replica.stats r in
+  Alcotest.(check int) "one failover" 1 s.failovers;
+  Alcotest.(check int) "takeover completed" 1 s.takeovers_completed;
+  Alcotest.(check bool) "heartbeats and deltas replicated" true
+    (s.hb_sent > 0 && s.deltas_sent > 0);
+  check_replica_converged r;
+  (* chaos-free failover completes within a few heartbeat intervals of
+     lease-expiry detection *)
+  (match Replica.failover_samples r with
+   | [ d ] ->
+     Alcotest.(check bool)
+       (Printf.sprintf "failover %.3fs within 10 heartbeats" d)
+       true
+       (d > 0.0 && d <= 10.0 *. (Replica.config r).hb_period)
+   | l ->
+     Alcotest.failf "expected one failover sample, got %d" (List.length l));
+  (* a warm switch resyncs by diff, not clear+reload: the new leader's
+     selective resync touched nothing on converged tables *)
+  Alcotest.(check bool) "warm tables preserved across handoff" true
+    (installed_before
+    = keys (Flow.Table.rules (Network.switch (Zen.network net) 2).table));
+  (* dataplane still works under the new leader *)
+  let rtts = Zen.ping ~count:3 net ~src:1 ~dst:3 in
+  Alcotest.(check int) "pings answered after failover" 3 (List.length rtts);
+  Replica.shutdown r
+
+let test_crashed_leader_rejoins_as_standby () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let net = Zen.create topo in
+  let r =
+    Zen.with_replicas ~resilience:fast_resilience ~replicas:2 ~lease:0.12 net
+      mk_routing_apps
+  in
+  Network.inject (Zen.network net)
+    [ Fault.Controller_outage { controller_id = 0; at = 0.4; duration = 1.0 } ];
+  ignore (Zen.run ~until:4.0 net);
+  Alcotest.(check (option int)) "member 1 leads" (Some 1) (Replica.leader r);
+  Alcotest.(check bool) "member 0 back as standby" true
+    (Replica.role_of r ~controller_id:0 = Replica.Standby);
+  Alcotest.(check bool) "rejoin used a full state transfer" true
+    ((Replica.stats r).syncs >= 1);
+  check_replica_converged r;
+  Replica.shutdown r
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: failover mid-retransmit applies no duplicate rules *)
+
+let test_failover_mid_retransmit_no_duplicates () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let fault = Fault.create ~seed:42 ~drop:0.25 ~dup:0.2 ~jitter:1e-3 () in
+  let net = Network.create ~fault topo in
+  let r =
+    Replica.create ~resilience:sturdy_resilience ~replicas:2 ~lease:0.15 net
+      mk_routing_apps
+  in
+  (* crash the leader early: initial rule pushes are still being
+     retransmitted under 25% loss when member 1 adopts the sessions *)
+  Network.inject net
+    [ Fault.Controller_outage { controller_id = 0; at = 0.05; duration = 60.0 } ];
+  ignore (Network.run ~until:4.0 net ());
+  Alcotest.(check int) "failover happened" 1 (Replica.stats r).failovers;
+  Alcotest.(check bool) "chaos actually hit the channel" true
+    (Fault.drops fault > 0 && Fault.dups fault > 0);
+  (match Replica.runtime_of r ~controller_id:1 with
+   | Some rt ->
+     Alcotest.(check bool) "new leader retransmitted" true
+       ((Controller.Runtime.resilience_stats rt).retransmits > 0)
+   | None -> Alcotest.fail "member 1 has no runtime");
+  check_replica_converged r;
+  (* quiet period: the workload is settled, so every late duplicate and
+     straggling retransmit must dedup switch-side — a single duplicate
+     application would bump a table generation *)
+  let ids = List.map (fun (sw : Network.switch) -> sw.sw_id)
+      (Network.switch_list net)
+  in
+  let gens () =
+    List.map (fun sid -> Flow.Table.generation (Network.switch net sid).table)
+      ids
+  in
+  let frozen = gens () in
+  ignore (Network.run ~until:6.0 net ());
+  Alcotest.(check (list int)) "no duplicate rule application" frozen (gens ());
+  check_replica_converged r;
+  Replica.shutdown r
+
+(* ------------------------------------------------------------------ *)
+(* Split brain: both controllers alive, only the leaseholder's writes land *)
+
+let test_split_brain_fenced () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let net = Network.create topo in
+  let incarnation = ref 0 in
+  let mk_apps () =
+    incr incarnation;
+    (* each leader incarnation schedules a distinct marker rule well
+       after the partition: the stale leader's must never land *)
+    let cookie = if !incarnation = 1 then 0xdead else 0xbeef in
+    let marker =
+      { (Controller.Api.default_app "marker") with
+        switch_up =
+          (fun ctx ~switch_id ~ports:_ ->
+            if switch_id = 1 then
+              Controller.Api.schedule ctx ~delay:1.5 (fun () ->
+                Controller.Api.install ctx ~switch_id:1 ~priority:99 ~cookie
+                  Flow.Pattern.any [])) }
+    in
+    [ Controller.Routing.app (Controller.Routing.create ()); marker ]
+  in
+  (* a huge echo-miss limit keeps the deposed leader fully confident:
+     without it, the silence of its adopted sessions (echo replies now
+     route to the new owner) would make it mark every switch down and
+     queue the marker write instead of transmitting it — the fence must
+     be what stops the write, not the keepalive *)
+  let r =
+    Replica.create
+      ~resilience:{ fast_resilience with echo_miss_limit = 10_000 }
+      ~replicas:2 ~lease:0.15 net mk_apps
+  in
+  (* cut the leader off the inter-controller channel only: it stays
+     alive, believes it holds the lease, and keeps writing *)
+  Sim.schedule_at (Network.sim net) ~time:0.5 (fun () ->
+    Replica.partition r ~controller_id:0);
+  ignore (Network.run ~until:4.0 net ());
+  Alcotest.(check (option int)) "standby took over" (Some 1)
+    (Replica.leader r);
+  Alcotest.(check bool) "stale leader still believes it leads" true
+    (Replica.role_of r ~controller_id:0 = Replica.Leader);
+  Alcotest.(check bool) "stale writes were fenced" true
+    ((Network.stats net).fenced_writes > 0);
+  let cookies =
+    List.map
+      (fun (ru : Flow.Table.rule) -> ru.cookie)
+      (Flow.Table.rules (Network.switch net 1).table)
+  in
+  Alcotest.(check bool) "zero stale-leader rules installed" false
+    (List.mem 0xdead cookies);
+  Alcotest.(check bool) "new leader's writes land" true
+    (List.mem 0xbeef cookies);
+  check_replica_converged r;
+  (* heal: the deposed leader sees the higher-epoch heartbeat and steps
+     down instead of dueling *)
+  Replica.heal r ~controller_id:0;
+  ignore (Network.run ~until:5.0 net ());
+  Alcotest.(check int) "deposed leader stepped down" 1
+    (Replica.stats r).step_downs;
+  Alcotest.(check bool) "now a standby" true
+    (Replica.role_of r ~controller_id:0 = Replica.Standby);
+  Alcotest.(check (option int)) "one leader remains" (Some 1)
+    (Replica.leader r);
+  Replica.shutdown r
+
+(* ------------------------------------------------------------------ *)
+(* replicas=1 degenerate path is byte-identical to a plain controller *)
+
+let run_single_controller ~replicated () =
+  let topo = Topo.Gen.linear ~switches:3 ~hosts_per_switch:1 () in
+  let net = Zen.create topo in
+  let lines = ref [] in
+  Network.set_tracer (Zen.network net) (fun time s ->
+    lines := Printf.sprintf "%.6f %s" time s :: !lines);
+  if replicated then
+    ignore
+      (Zen.with_replicas ~resilience:fast_resilience ~replicas:1 net
+         mk_routing_apps)
+  else
+    ignore
+      (Zen.with_controller ~resilience:fast_resilience net (mk_routing_apps ()));
+  let rtts = Zen.ping ~count:3 net ~src:1 ~dst:3 in
+  ignore (Zen.run ~until:2.0 net);
+  ( List.rev !lines,
+    Format.asprintf "%a" Network.pp_stats
+      (Network.stats (Zen.network net)),
+    List.length rtts )
+
+let test_replicas_one_byte_identical () =
+  let trace_a, stats_a, pings_a = run_single_controller ~replicated:false () in
+  let trace_b, stats_b, pings_b = run_single_controller ~replicated:true () in
+  Alcotest.(check (list string)) "byte-identical trace" trace_a trace_b;
+  Alcotest.(check string) "identical counters" stats_a stats_b;
+  Alcotest.(check int) "same pings" pings_a pings_b;
+  Alcotest.(check bool) "no fence ever sent" false
+    (List.exists
+       (fun l ->
+         let has_sub s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         has_sub l "fence")
+       trace_a)
+
+(* ------------------------------------------------------------------ *)
+(* App-state replication: the Update app's version counter *)
+
+let test_update_version_replicates () =
+  let u = Controller.Update.create () in
+  Alcotest.(check string) "fresh export" "0" (Controller.Update.export_state u);
+  Controller.Update.import_state u "7";
+  Alcotest.(check int) "import adopts a newer version" 7
+    (Controller.Update.version u);
+  Controller.Update.import_state u "3";
+  Alcotest.(check int) "stale import ignored (never rewinds)" 7
+    (Controller.Update.version u);
+  Controller.Update.import_state u "bogus";
+  Alcotest.(check int) "garbage import ignored" 7
+    (Controller.Update.version u)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: replication under churn (policy edits + crashes + failovers) *)
+
+(* Random cumulative policy edits stream through whichever member
+   currently holds the lease (compiled incrementally through
+   Netkat.Delta, as in test_delta's lockstep harness) while the leader
+   crashes and a standby takes over; afterwards every switch's installed
+   table must equal the surviving leader's intended shadow.  Edits that
+   fall into the leaderless window are dropped entirely — the property
+   is installed ≡ intended, not edit durability. *)
+let prop_replica_churn ~domains name =
+  QCheck.Test.make ~name ~count:8
+    (QCheck.make
+       ~print:(fun pols ->
+         String.concat " ;; " (List.map Netkat.Syntax.pol_to_string pols))
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 2 4)
+          Test_netkat.local_pol_gen))
+    (fun pols ->
+      let pool =
+        if domains <= 1 then None else Some (Util.Pool.create ~domains ())
+      in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Util.Pool.shutdown pool)
+        (fun () ->
+          let topo = Topo.Gen.ring ~switches:4 ~hosts_per_switch:1 () in
+          let switches = Topo.Topology.switch_ids topo in
+          let net = Network.create topo in
+          let r =
+            Replica.create ~resilience:fast_resilience ~replicas:2 ~lease:0.1
+              net
+              (fun () -> [])
+          in
+          let steps =
+            List.fold_left
+              (fun acc p ->
+                match acc with
+                | [] -> [ p ]
+                | prev :: _ -> Netkat.Syntax.union prev p :: acc)
+              [] pols
+            |> List.rev
+          in
+          let snap = ref None in
+          List.iteri
+            (fun i pol ->
+              Sim.schedule_at (Network.sim net)
+                ~time:(0.3 +. (0.4 *. float_of_int i))
+                (fun () ->
+                  let fdd = Netkat.Fdd.of_policy pol in
+                  let result = Netkat.Delta.compile ?pool ~switches !snap fdd in
+                  snap := Some result.snapshot;
+                  match Replica.leader_runtime r with
+                  | None -> ()
+                  | Some rt ->
+                    let ctx = Controller.Runtime.ctx rt in
+                    List.iter
+                      (fun (sw, change) ->
+                        match (change : Netkat.Delta.change) with
+                        | Netkat.Delta.Unchanged -> ()
+                        | Netkat.Delta.Changed { rules; _ } ->
+                          Controller.Api.install_rules ctx ~switch_id:sw
+                            ~cookie:7 ~replace:true
+                            (List.map
+                               (fun (ru : Netkat.Local.rule) ->
+                                 (ru.priority, ru.pattern, ru.actions))
+                               rules))
+                      result.changes))
+            steps;
+          (* leader crashes mid-stream and later rejoins as a standby *)
+          Network.inject net
+            [ Fault.Controller_outage
+                { controller_id = 0; at = 0.45; duration = 1.0 } ];
+          let horizon = 0.3 +. (0.4 *. float_of_int (List.length steps)) +. 3.0 in
+          ignore (Network.run ~until:horizon net ());
+          if (Replica.stats r).failovers < 1 then
+            QCheck.Test.fail_report "no failover happened";
+          let diverged = Replica.diverged r in
+          Replica.shutdown r;
+          if diverged <> [] then
+            QCheck.Test.fail_reportf "diverged switches: %s"
+              (String.concat "," (List.map string_of_int diverged))
+          else true))
+
+let suites =
+  [ ( "replica.channel",
+      [ Alcotest.test_case "adoption invisible (byte-identical trace)" `Quick
+          test_adoption_invisible;
+        Alcotest.test_case "fence rejects stale writes" `Quick
+          test_fence_rejects_stale_writes;
+        Alcotest.test_case "fence token survives reboot" `Quick
+          test_fence_token_survives_reboot ] );
+    ( "replica.failover",
+      [ Alcotest.test_case "failover reconverges" `Quick
+          test_failover_reconverges;
+        Alcotest.test_case "crashed leader rejoins as standby" `Quick
+          test_crashed_leader_rejoins_as_standby;
+        Alcotest.test_case "mid-retransmit failover: no duplicates" `Quick
+          test_failover_mid_retransmit_no_duplicates;
+        Alcotest.test_case "split brain: stale writes fenced" `Quick
+          test_split_brain_fenced;
+        Alcotest.test_case "replicas=1 byte-identical to plain" `Quick
+          test_replicas_one_byte_identical;
+        Alcotest.test_case "update version replicates" `Quick
+          test_update_version_replicates ] );
+    ( "replica.churn",
+      [ QCheck_alcotest.to_alcotest
+          (prop_replica_churn ~domains:1 "replica churn converges (1 domain)");
+        QCheck_alcotest.to_alcotest
+          (prop_replica_churn ~domains:2 "replica churn converges (2 domains)")
+      ] ) ]
